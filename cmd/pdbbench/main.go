@@ -1,0 +1,120 @@
+// Command pdbbench regenerates the paper's evaluation: Table 1 and
+// Figures 5–7 of Section 6, comparing the partial-lineage engine with the
+// MayBMS-style exact-lineage baseline.
+//
+// Usage:
+//
+//	pdbbench -experiment all -scale small
+//	pdbbench -experiment fig6 -scale paper
+//
+// The small scale finishes in seconds and preserves every qualitative shape
+// of the paper's plots; the paper scale uses the published parameters
+// (Figure 5: N=100, m=10000) and can take many minutes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1, fig5, fig6, fig7 or all")
+		scaleName  = flag.String("scale", "small", "small or paper")
+		asJSON     = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
+	)
+	flag.Parse()
+	sc, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	emitJSON := func(ms []experiments.Measurement) {
+		type record struct {
+			Experiment string  `json:"experiment"`
+			Query      string  `json:"query"`
+			X          float64 `json:"x"`
+			Strategy   string  `json:"strategy"`
+			Millis     float64 `json:"millis"`
+			Offending  int     `json:"offending"`
+			Answers    int     `json:"answers"`
+			Approx     bool    `json:"approx"`
+			Err        string  `json:"error,omitempty"`
+		}
+		records := make([]record, len(ms))
+		for i, m := range ms {
+			records[i] = record{
+				Experiment: m.Experiment, Query: m.Query, X: m.X,
+				Strategy: m.Strategy.String(), Millis: m.Millis,
+				Offending: m.Offending, Answers: m.Answers,
+				Approx: m.Approx, Err: m.Err,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fatal(err)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "table1":
+			fmt.Println("== Table 1: queries and query plans ==")
+			experiments.PrintTable1(os.Stdout)
+			fmt.Println()
+		case "fig5":
+			ms, err := experiments.Fig5(sc)
+			if err != nil {
+				fatal(err)
+			}
+			if *asJSON {
+				emitJSON(ms)
+				return
+			}
+			experiments.Print(os.Stdout,
+				fmt.Sprintf("Figure 5: scalability, 1%% offending tuples (scale=%s, per-group ms)", sc.Name), "m", ms)
+			fmt.Println()
+		case "fig6":
+			ms, err := experiments.Fig6(sc)
+			if err != nil {
+				fatal(err)
+			}
+			if *asJSON {
+				emitJSON(ms)
+				return
+			}
+			experiments.Print(os.Stdout,
+				fmt.Sprintf("Figure 6: varying the fraction of offending tuples r_f (scale=%s, per-group ms)", sc.Name), "r_f", ms)
+			fmt.Println()
+		case "fig7":
+			ms, err := experiments.Fig7(sc)
+			if err != nil {
+				fatal(err)
+			}
+			if *asJSON {
+				emitJSON(ms)
+				return
+			}
+			experiments.Print(os.Stdout,
+				fmt.Sprintf("Figure 7: varying the fraction of deterministic tuples, r_f=1 (scale=%s, per-group ms)", sc.Name), "r_d", ms)
+			fmt.Println()
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command pdbgen generates the paper's synthetic probabilistic databases
+// (Section 6.1) as directories of CSV files.
+//
+// Usage:
+//
+//	pdbgen -query P1 -n 10 -m 1000 -fanout 4 -rf 0.01 -rd 1 -seed 1 -out data/p1
+//
+// generates the tables needed by Table 1 query P1 (R1, S1, R2) into
+// data/p1/*.csv, loadable with pdbrun -data or pdb.LoadDatabase.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		queryName = flag.String("query", "P1", "Table 1 query whose tables to generate (P1, P2, P3, S2, S3)")
+		n         = flag.Int("n", 10, "number of answer groups N (domain of H)")
+		m         = flag.Int("m", 1000, "tuples per group m")
+		fanout    = flag.Int("fanout", 4, "maximum FD-violation fanout (>= 2)")
+		rf        = flag.Float64("rf", 0.01, "fraction of FD-violating prefixes r_f in [0,1]")
+		rd        = flag.Float64("rd", 1, "fraction of non-deterministic R-table tuples r_d in [0,1]")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "output directory (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "pdbgen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	spec, err := workload.SpecByName(*queryName)
+	if err != nil {
+		fatal(err)
+	}
+	params := workload.Params{N: *n, M: *m, Fanout: *fanout, RF: *rf, RD: *rd, Seed: *seed}
+	db, err := workload.GenerateFor(spec, params)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.SaveDir(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %s tables for %s (%d rows total) into %s\n",
+		spec.Name, spec.QueryText, db.TotalRows(), *out)
+	fmt.Printf("query: %s\njoin order: %v\n", spec.QueryText, spec.JoinOrder)
+	// Report the empirical data-safety parameters (Section 6.1's FFD/FDT).
+	for _, ts := range spec.Tables {
+		rel, err := db.Relation(ts.Name)
+		if err != nil {
+			fatal(err)
+		}
+		uncertain := float64(rel.UncertainCount()) / float64(rel.Len())
+		switch ts.Kind {
+		case workload.KindHier:
+			attrs := rel.Attrs
+			frac, err := rel.FDViolationFraction(attrs[:2], attrs[2:])
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %s: %d rows, FD %v→%v violated in %.1f%% of groups, %.0f%% uncertain\n",
+				ts.Name, rel.Len(), attrs[1:2], attrs[2:], 100*frac, 100*uncertain)
+		default:
+			fmt.Printf("  %s: %d rows, %.0f%% uncertain\n", ts.Name, rel.Len(), 100*uncertain)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command pdbrun evaluates a conjunctive query over a probabilistic
+// database stored as a directory of CSV files.
+//
+// Usage:
+//
+//	pdbrun -data data/p1 -query 'q(h) :- R1(h, x), S1(h, x, y), R2(h, y)' \
+//	       -order R1,S1,R2 -strategy partial
+//
+// Strategies: partial (the paper's hybrid method, default), safe (purely
+// extensional, fails if the instance is not data-safe), network (full
+// intensional AND-OR network), dnf (MayBMS-style exact lineage), mc
+// (Karp–Luby sampling).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/pdb"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("data", "", "directory of <relation>.csv files (required)")
+		queryText = flag.String("query", "", "conjunctive query, e.g. 'q(h) :- R(h,x), S(h,x,y)' (required)")
+		order     = flag.String("order", "", "comma-separated left-deep join order (default: safe plan if the query is safe, else body order)")
+		strategy  = flag.String("strategy", "partial", "evaluation strategy: partial, safe, network, dnf, mc")
+		samples   = flag.Int("samples", 100000, "samples for mc and the approximate fallback")
+		parallel  = flag.Int("parallel", 1, "goroutines for per-answer probability computation")
+		width     = flag.Int("width", 0, "exact-inference width cap (0 = default)")
+		seed      = flag.Int64("seed", 1, "sampler seed")
+		showPlan  = flag.Bool("plan", false, "print the physical plan before running")
+		dotOut    = flag.String("dot", "", "write the AND-OR network to this file (network strategies)")
+		topK      = flag.Int("top", 20, "print at most this many answers (0 = all)")
+		optimize  = flag.Bool("optimize", false, "data-aware plan selection: cost candidate join orders and use the best")
+		sample    = flag.Int("optimize-sample", 4, "answer groups used to cost plans with -optimize (0 = all)")
+		sqlOut    = flag.String("sql", "", "write the paper-style SQL batch implementing the plan to this file ('-' for stdout)")
+		trace     = flag.Bool("trace", false, "print a per-operator execution trace (network strategies)")
+	)
+	flag.Parse()
+	if *dataDir == "" || *queryText == "" {
+		fmt.Fprintln(os.Stderr, "pdbrun: -data and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := pdb.LoadDatabase(*dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := pdb.ParseQuery(*queryText)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := pdb.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: *parallel, Trace: *trace}
+
+	if *sqlOut != "" {
+		text, err := pdb.GenerateSQL(q, strings.Split(*order, ","))
+		if err != nil {
+			fatal(err)
+		}
+		if *sqlOut == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(*sqlOut, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	var res *pdb.Result
+	if *optimize {
+		best, ranked, err := db.OptimizePlan(q, *sample)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("optimizer ranked %d join orders; best: %s (offending=%d, network=%d nodes)\n",
+			len(ranked), strings.Join(best.Order, ","), best.Offending, best.Nodes)
+		if *showPlan {
+			fmt.Println("plan:", best.Plan)
+		}
+		res, err = db.EvaluateWithPlan(q, best.Plan, opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else if *order != "" {
+		plan, err := pdb.LeftDeepPlan(q, strings.Split(*order, ",")...)
+		if err != nil {
+			fatal(err)
+		}
+		if *showPlan {
+			fmt.Println("plan:", plan)
+		}
+		res, err = db.EvaluateWithPlan(q, plan, opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if *showPlan {
+			if plan, err := pdb.SafePlan(q); err == nil {
+				fmt.Println("plan (safe):", plan)
+			} else {
+				fmt.Println("plan: left-deep in body order (query is unsafe:", err, ")")
+			}
+		}
+		res, err = db.Evaluate(q, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	rows := append([]pdb.Row(nil), res.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].P > rows[j].P })
+	if len(res.Attrs) == 0 {
+		fmt.Printf("Pr(q) = %.9f\n", res.BoolProb())
+	} else {
+		fmt.Printf("%s  probability\n", strings.Join(res.Attrs, ", "))
+		for i, row := range rows {
+			if *topK > 0 && i >= *topK {
+				fmt.Printf("... (%d more answers)\n", len(rows)-i)
+				break
+			}
+			vals := make([]string, len(row.Vals))
+			for j, v := range row.Vals {
+				vals[j] = v.String()
+			}
+			fmt.Printf("%s  %.9f\n", strings.Join(vals, ", "), row.P)
+		}
+	}
+	s := res.Stats
+	fmt.Printf("\nstats: strategy=%v answers=%d offending=%d network=%d nodes/%d edges width=%d approx=%v\n",
+		s.Strategy, s.Answers, s.OffendingTuples, s.NetworkNodes, s.NetworkEdges, s.InferenceWidth, s.Approximate)
+	fmt.Printf("       lineage=%d clauses/%d vars plan=%v inference=%v\n",
+		s.LineageClauses, s.LineageVars, s.PlanTime, s.InferenceTime)
+	for _, js := range s.PerJoin {
+		fmt.Printf("       join %s: conditioned %d offending tuples\n", js.Join, js.Conditioned)
+	}
+	if *trace {
+		fmt.Println("\noperator trace (post-order):")
+		fmt.Printf("%10s %12s %12s  %s\n", "rows", "net growth", "own time", "operator")
+		for _, op := range s.Operators {
+			fmt.Printf("%10d %12d %12v  %s\n", op.Rows, op.NetworkGrowth, op.Time.Round(time.Microsecond), op.Op)
+		}
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteNetworkDOT(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("AND-OR network written to", *dotOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbrun:", err)
+	os.Exit(1)
+}

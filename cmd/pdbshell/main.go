@@ -1,0 +1,25 @@
+// Command pdbshell is an interactive shell for the probabilistic query
+// engine: build or load a database, set a query, pick a strategy or plan,
+// and evaluate — see 'help' inside the shell.
+//
+//	$ go run ./cmd/pdbshell
+//	pdb shell — type 'help' for commands
+//	rel R x
+//	add R 0.5 1
+//	query q :- R(x)
+//	run
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/shell"
+)
+
+func main() {
+	if err := shell.New().Run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdbshell:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Data cleaning / integration: the Section 4.1 story on real-looking data.
+//
+// An integrated customer database holds deduplicated customer records
+// (uncertain: the dedup classifier emits match probabilities) and addresses
+// extracted from several sources. Clean customers satisfy the functional
+// dependency customer → city; dirty ones carry conflicting extracted cities.
+// Shipping availability per city is itself probabilistic (a partner feed).
+//
+// The business question "will some customer's order ship?" is the unsafe
+// pattern q :- Customer(c), Address(c, city), Shipping(city). This example
+// sweeps the fraction of dirty customers and shows the paper's headline
+// behaviour: evaluation cost and symbolic work grow smoothly with the
+// distance from data-safety (the number of offending tuples), instead of
+// falling off a cliff the moment the query is unsafe.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/pdb"
+)
+
+const (
+	customers = 600
+	cities    = 40
+)
+
+func buildDatabase(dirtyFrac float64, rng *rand.Rand) *pdb.Database {
+	db := pdb.NewDatabase()
+	cust := db.CreateRelation("Customer", "c")
+	addr := db.CreateRelation("Address", "c", "city")
+	ship := db.CreateRelation("Shipping", "city")
+	for c := 1; c <= customers; c++ {
+		check(cust.AddInts(0.02+0.08*rng.Float64(), int64(c)))
+		city := int64(1 + rng.Intn(cities))
+		check(addr.AddInts(0.3+0.4*rng.Float64(), int64(c), city))
+		if rng.Float64() < dirtyFrac {
+			// A conflicting extraction: second city for the same customer.
+			other := city%int64(cities) + 1
+			check(addr.AddInts(0.3+0.4*rng.Float64(), int64(c), other))
+		}
+	}
+	for city := 1; city <= cities; city++ {
+		check(ship.AddInts(0.05+0.15*rng.Float64(), int64(city)))
+	}
+	return db
+}
+
+func main() {
+	q, err := pdb.ParseQuery("ships :- Customer(c), Address(c, city), Shipping(city)")
+	check(err)
+	fmt.Printf("query: %s (safe: %v)\n", q, q.IsSafe())
+	fmt.Printf("%d customers, %d cities; sweeping the dirty-record fraction\n\n", customers, cities)
+	fmt.Printf("%8s %12s %12s %14s %12s %8s\n", "dirty", "Pr(ships)", "offending", "net nodes", "time", "approx")
+
+	for _, dirty := range []float64{0, 0.01, 0.05, 0.1, 0.2, 0.4} {
+		db := buildDatabase(dirty, rand.New(rand.NewSource(7)))
+		start := time.Now()
+		res, err := db.Evaluate(q, pdb.Options{Strategy: pdb.PartialLineage, Samples: 50000})
+		check(err)
+		elapsed := time.Since(start).Round(time.Microsecond)
+		approx := ""
+		if res.Stats.Approximate {
+			approx = "mc"
+		}
+		fmt.Printf("%8.2f %12.6f %12d %14d %12v %8s\n",
+			dirty, res.BoolProb(), res.Stats.OffendingTuples, res.Stats.NetworkNodes, elapsed, approx)
+	}
+
+	fmt.Println("\nWith no dirty records the FD c→city holds, the plan is data-safe and")
+	fmt.Println("evaluation is purely extensional (0 offending tuples, 1-node network).")
+	fmt.Println("Each dirty customer adds a handful of symbolic nodes; cost tracks the")
+	fmt.Println("number of offending tuples — the paper's 'distance from the ideal setting'.")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

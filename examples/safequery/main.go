@@ -1,0 +1,74 @@
+// Safe-query tooling: classify queries by the dichotomy (safe/unsafe) and
+// the strictly-hierarchical property (bounded-treewidth lineage,
+// Theorem 4.2), synthesize safe plans, and show that a safe plan evaluates
+// the same query correctly where a naive plan would need conditioning.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/pdb"
+)
+
+func main() {
+	fmt.Println("query classification (Sections 3 and 4.3):")
+	fmt.Printf("%-40s %6s %18s\n", "query", "safe", "strictly-hier.")
+	for _, text := range []string{
+		"q :- R(x, y), S(x, z)",
+		"q :- R(x), S(x, y)",
+		"q :- R(x, y), S(x, y, z)",
+		"q :- R(x), S(x, y), T(y)",
+		"q :- R(x, y), S(y, z)",
+	} {
+		q, err := pdb.ParseQuery(text)
+		check(err)
+		fmt.Printf("%-40s %6v %18v\n", text, q.IsSafe(), q.IsStrictlyHierarchical())
+	}
+
+	// Build data where the naive plan for R(x,y),S(x,z) would need heavy
+	// conditioning (every x joins many y and z), yet the safe plan
+	// π_∅(π_x R ⋈ π_x S) stays purely extensional.
+	rng := rand.New(rand.NewSource(9))
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "x", "y")
+	s := db.CreateRelation("S", "x", "z")
+	for x := 1; x <= 30; x++ {
+		for k := 1; k <= 10; k++ {
+			check(r.AddInts(0.15*rng.Float64(), int64(x), int64(k)))
+			check(s.AddInts(0.15*rng.Float64(), int64(x), int64(k)))
+		}
+	}
+
+	q, err := pdb.ParseQuery("q :- R(x, y), S(x, z)")
+	check(err)
+	safePlan, err := pdb.SafePlan(q)
+	check(err)
+	fmt.Printf("\nsafe plan for %s:\n  %s\n", q, safePlan)
+
+	extensional, err := db.EvaluateWithPlan(q, safePlan, pdb.Options{Strategy: pdb.SafePlanOnly})
+	check(err)
+	fmt.Printf("safe plan, extensional only: Pr = %.9f (offending: %d)\n",
+		extensional.BoolProb(), extensional.Stats.OffendingTuples)
+
+	naive, err := pdb.LeftDeepPlan(q, "R", "S")
+	check(err)
+	hybrid, err := db.EvaluateWithPlan(q, naive, pdb.Options{Strategy: pdb.PartialLineage})
+	check(err)
+	fmt.Printf("naive plan %s, partial lineage: Pr = %.9f (offending: %d)\n",
+		naive, hybrid.BoolProb(), hybrid.Stats.OffendingTuples)
+
+	if math.Abs(extensional.BoolProb()-hybrid.BoolProb()) > 1e-7 {
+		log.Fatalf("plans disagree: %.12f vs %.12f", extensional.BoolProb(), hybrid.BoolProb())
+	}
+	fmt.Println("\nboth plans agree; the safe plan avoided every symbolic operation, while")
+	fmt.Println("the naive plan recovered correctness by conditioning the offending tuples.")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

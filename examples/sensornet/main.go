@@ -1,0 +1,99 @@
+// Sensor network monitoring: one of the motivating applications of
+// probabilistic databases (sensor data, Section 1 of the paper).
+//
+// Regions fire with some probability (uncertain detections), links between
+// regions and gateway nodes are uncertain (lossy radio), and gateways raise
+// alarms with a confidence. The monitoring question — "what is the
+// probability that some firing region reaches an alarming gateway?" — is
+// exactly the #P-hard query pattern q :- Region(x), Link(x,y), Alarm(y).
+//
+// The network topology is nearly a matching (each region reports to one
+// gateway), so the instance is nearly data-safe: partial lineage evaluates
+// almost everything extensionally and conditions only the few multi-homed
+// regions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/pdb"
+)
+
+func main() {
+	const (
+		regions    = 400
+		gateways   = 80
+		multihomed = 8 // regions connected to two gateways: the offending part
+	)
+	rng := rand.New(rand.NewSource(42))
+
+	db := pdb.NewDatabase()
+	region := db.CreateRelation("Region", "x")
+	link := db.CreateRelation("Link", "x", "y")
+	alarm := db.CreateRelation("Alarm", "y")
+
+	for x := 1; x <= regions; x++ {
+		check(region.AddInts(0.01+0.05*rng.Float64(), int64(x)))
+		g := int64(1 + rng.Intn(gateways))
+		check(link.AddInts(0.2+0.3*rng.Float64(), int64(x), g))
+		if x <= multihomed {
+			g2 := g%int64(gateways) + 1
+			check(link.AddInts(0.2+0.3*rng.Float64(), int64(x), g2))
+		}
+	}
+	for y := 1; y <= gateways; y++ {
+		check(alarm.AddInts(0.05+0.2*rng.Float64(), int64(y)))
+	}
+
+	q, err := pdb.ParseQuery("alert :- Region(x), Link(x, y), Alarm(y)")
+	check(err)
+	fmt.Printf("monitoring query: %s (safe: %v)\n", q, q.IsSafe())
+	fmt.Printf("topology: %d regions, %d gateways, %d multi-homed regions\n\n", regions, gateways, multihomed)
+
+	partial, err := db.Evaluate(q, pdb.Options{Strategy: pdb.PartialLineage})
+	check(err)
+	fmt.Printf("partial lineage: Pr(alert) = %.6f\n", partial.BoolProb())
+	fmt.Printf("  offending tuples: %d (the multi-homed regions + gateway fan-in)\n", partial.Stats.OffendingTuples)
+	fmt.Printf("  AND-OR network:   %d nodes, %d edges (vs %d input tuples)\n",
+		partial.Stats.NetworkNodes, partial.Stats.NetworkEdges,
+		region.Len()+link.Len()+alarm.Len())
+	fmt.Printf("  inference width:  %d, time: plan=%v inference=%v\n\n",
+		partial.Stats.InferenceWidth, partial.Stats.PlanTime, partial.Stats.InferenceTime)
+
+	dnf, err := db.Evaluate(q, pdb.Options{Strategy: pdb.DNFLineage})
+	check(err)
+	fmt.Printf("full DNF lineage (MayBMS-style): Pr(alert) = %.6f\n", dnf.BoolProb())
+	fmt.Printf("  lineage: %d clauses over %d variables, time: plan=%v inference=%v\n\n",
+		dnf.Stats.LineageClauses, dnf.Stats.LineageVars, dnf.Stats.PlanTime, dnf.Stats.InferenceTime)
+
+	if diff := partial.BoolProb() - dnf.BoolProb(); diff < 1e-7 && diff > -1e-7 {
+		fmt.Println("both methods agree exactly — partial lineage just did far less symbolic work")
+	} else {
+		fmt.Printf("WARNING: methods disagree by %g\n", diff)
+	}
+
+	// Per-gateway alert probabilities: the grouped variant of the query,
+	// ranked by the multisimulation top-k (only the contested gateways are
+	// simulated precisely).
+	qg, err := pdb.ParseQuery("alert(y) :- Region(x), Link(x, y), Alarm(y)")
+	check(err)
+	grouped, err := db.Evaluate(qg, pdb.Options{Strategy: pdb.PartialLineage})
+	check(err)
+	topAnswers, separated, err := db.TopK(qg, 3, 1)
+	check(err)
+	fmt.Printf("per-gateway analysis: %d gateways can alert; top 3 (separated: %v):\n",
+		len(grouped.Rows), separated)
+	for i, a := range topAnswers {
+		exact := grouped.Prob(a.Vals...)
+		fmt.Printf("  #%d gateway %v: Pr ∈ [%.4f, %.4f] (exact %.4f)\n",
+			i+1, a.Vals[0], a.Lo, a.Hi, exact)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

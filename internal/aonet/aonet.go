@@ -1,0 +1,338 @@
+// Package aonet implements AND-OR networks (Section 5.1 of the paper).
+//
+// An AND-OR network is a directed acyclic graph whose nodes are Boolean
+// random variables labeled And, Or or Leaf. Leaves carry a marginal
+// probability P(v); edges carry probabilities P(w,v). The conditional
+// probability of a node given its parents is
+//
+//	Or:   φ(x_v=1 | x_par) = 1 - ∏_{w∈par(v)} (1 - x_w·P(w,v))
+//	And:  φ(x_v=1 | x_par) = ∏_{w∈par(v)} x_w·P(w,v)
+//	Leaf: φ(x_v=1)         = P(v)
+//
+// AND-OR networks are a special case of Bayesian networks; the joint
+// distribution is N(x) = ∏_v φ(x_v | x_par(v)).
+//
+// Every network contains the distinguished node Epsilon: a leaf with P = 1
+// representing the trivial ("always true") lineage ε of Examples 5.3–5.5.
+//
+// Networks grow monotonically through the augmentation operation ∪̊ of the
+// paper: AddLeaf and AddGate attach new nodes whose parents already exist,
+// which keeps the graph acyclic by construction and makes node IDs a
+// topological order.
+//
+// Deterministic gates (every edge probability exactly 1) are hash-consed:
+// adding a second gate with the same label and parent set returns the
+// existing node. This implements the paper's hash functions h (dedup) and g
+// (join) in the sound regime — see DESIGN.md §1 for why consing is restricted
+// to deterministic gates.
+package aonet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// NodeID identifies a node of a network. IDs are dense, start at 0, and are
+// assigned in topological order (parents before children).
+type NodeID int32
+
+// Epsilon is the distinguished trivial-lineage leaf present in every
+// network: a leaf with probability 1.
+const Epsilon NodeID = 0
+
+// Label classifies a node.
+type Label uint8
+
+// Node labels.
+const (
+	Leaf Label = iota
+	And
+	Or
+)
+
+// String returns the label name.
+func (l Label) String() string {
+	switch l {
+	case Leaf:
+		return "Leaf"
+	case And:
+		return "And"
+	case Or:
+		return "Or"
+	default:
+		return fmt.Sprintf("Label(%d)", uint8(l))
+	}
+}
+
+// Edge is a parent reference with its edge probability P(w,v).
+type Edge struct {
+	From NodeID
+	P    float64
+}
+
+// Network is a mutable AND-OR network. The zero value is not usable; create
+// networks with New.
+type Network struct {
+	labels     []Label
+	leafP      []float64 // indexed by NodeID; meaningful for leaves only
+	parents    [][]Edge  // indexed by NodeID; nil for leaves
+	consing    map[string]NodeID
+	consingOff bool
+}
+
+// SetHashConsing enables or disables deterministic-gate hash-consing.
+// Disabling is always sound (fresh nodes are never wrong, only bigger) and
+// exists for the Section 5.4 ablation: consing is what lets deduplication
+// collapse identical deterministic Or gates and keep the network treewidth
+// low on instances like the deterministic complete-bipartite S example.
+func (n *Network) SetHashConsing(enabled bool) { n.consingOff = !enabled }
+
+// New creates a network containing only the ε node.
+func New() *Network {
+	n := &Network{consing: make(map[string]NodeID)}
+	id := n.AddLeaf(1)
+	if id != Epsilon {
+		panic("aonet: ε allocation broken")
+	}
+	return n
+}
+
+// Len returns the number of nodes, including ε.
+func (n *Network) Len() int { return len(n.labels) }
+
+// EdgeCount returns the total number of edges.
+func (n *Network) EdgeCount() int {
+	c := 0
+	for _, ps := range n.parents {
+		c += len(ps)
+	}
+	return c
+}
+
+// Label returns the label of v.
+func (n *Network) Label(v NodeID) Label { return n.labels[v] }
+
+// LeafP returns the probability of leaf v. It panics if v is not a leaf.
+func (n *Network) LeafP(v NodeID) float64 {
+	if n.labels[v] != Leaf {
+		panic("aonet: LeafP on " + n.labels[v].String())
+	}
+	return n.leafP[v]
+}
+
+// Parents returns the parent edges of v. The returned slice must not be
+// modified.
+func (n *Network) Parents(v NodeID) []Edge { return n.parents[v] }
+
+// AddLeaf appends a new leaf with probability p and returns its ID.
+// Leaves are never hash-consed: each leaf is an independent variable.
+func (n *Network) AddLeaf(p float64) NodeID {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		panic(fmt.Sprintf("aonet: leaf probability %v outside [0,1]", p))
+	}
+	id := NodeID(len(n.labels))
+	n.labels = append(n.labels, Leaf)
+	n.leafP = append(n.leafP, p)
+	n.parents = append(n.parents, nil)
+	return id
+}
+
+// AddGate appends a gate node with the given label and parent edges,
+// implementing the augmentation operation N ∪̊ (w, E', P', label). Parents
+// must already exist and carry edge probabilities in [0,1]; at least one
+// parent is required. When every edge probability is exactly 1 the gate is
+// deterministic and is hash-consed: a previous identical gate is returned
+// instead of allocating a new node.
+func (n *Network) AddGate(label Label, parents []Edge) NodeID {
+	if label != And && label != Or {
+		panic("aonet: AddGate label must be And or Or")
+	}
+	if len(parents) == 0 {
+		panic("aonet: gate with no parents")
+	}
+	es := make([]Edge, len(parents))
+	copy(es, parents)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].P < es[j].P
+	})
+	deterministic := true
+	for _, e := range es {
+		if e.From < 0 || int(e.From) >= len(n.labels) {
+			panic(fmt.Sprintf("aonet: gate parent %d does not exist", e.From))
+		}
+		if math.IsNaN(e.P) || e.P < 0 || e.P > 1 {
+			panic(fmt.Sprintf("aonet: edge probability %v outside [0,1]", e.P))
+		}
+		if e.P != 1 {
+			deterministic = false
+		}
+	}
+	deterministic = deterministic && !n.consingOff
+	var key string
+	if deterministic {
+		key = consKey(label, es)
+		if id, ok := n.consing[key]; ok {
+			return id
+		}
+	}
+	id := NodeID(len(n.labels))
+	n.labels = append(n.labels, label)
+	n.leafP = append(n.leafP, 0)
+	n.parents = append(n.parents, es)
+	if deterministic {
+		n.consing[key] = id
+	}
+	return id
+}
+
+func consKey(label Label, sorted []Edge) string {
+	b := make([]byte, 0, 4+8*len(sorted))
+	b = append(b, byte(label))
+	for _, e := range sorted {
+		b = strconv.AppendInt(b, int64(e.From), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// CondProbTrue evaluates φ(x_v = 1 | x_par(v)) under the Boolean assignment
+// x (indexed by NodeID; entries beyond the parents of v are ignored).
+func (n *Network) CondProbTrue(v NodeID, x []bool) float64 {
+	switch n.labels[v] {
+	case Leaf:
+		return n.leafP[v]
+	case Or:
+		prod := 1.0
+		for _, e := range n.parents[v] {
+			if x[e.From] {
+				prod *= 1 - e.P
+			}
+		}
+		return 1 - prod
+	default: // And
+		prod := 1.0
+		for _, e := range n.parents[v] {
+			if !x[e.From] {
+				return 0
+			}
+			prod *= e.P
+		}
+		return prod
+	}
+}
+
+// Joint evaluates N(x) = ∏_v φ(x_v | x_par(v)) for a full assignment x over
+// all nodes (len(x) == Len()).
+func (n *Network) Joint(x []bool) float64 {
+	if len(x) != len(n.labels) {
+		panic(fmt.Sprintf("aonet: assignment width %d, want %d", len(x), len(n.labels)))
+	}
+	p := 1.0
+	for v := range n.labels {
+		pt := n.CondProbTrue(NodeID(v), x)
+		if x[v] {
+			p *= pt
+		} else {
+			p *= 1 - pt
+		}
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// MaxBruteForceNodes bounds exhaustive marginal computation.
+const MaxBruteForceNodes = 22
+
+// MarginalBruteForce computes N⁰(x_v = 1) by enumerating all assignments.
+// It is intended for tests and returns an error for networks larger than
+// MaxBruteForceNodes.
+func (n *Network) MarginalBruteForce(v NodeID) (float64, error) {
+	k := len(n.labels)
+	if k > MaxBruteForceNodes {
+		return 0, fmt.Errorf("aonet: %d nodes exceeds brute-force limit %d", k, MaxBruteForceNodes)
+	}
+	x := make([]bool, k)
+	total := 0.0
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		if mask&(1<<uint(v)) == 0 {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+		}
+		total += n.Joint(x)
+	}
+	return total, nil
+}
+
+// Ancestors returns the set of nodes from which v is reachable, including v
+// itself, as a sorted slice. The marginal of v depends only on this set.
+func (n *Network) Ancestors(v NodeID) []NodeID {
+	seen := make([]bool, len(n.labels))
+	stack := []NodeID{v}
+	count := 0
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		count++
+		for _, e := range n.parents[u] {
+			if !seen[e.From] {
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	out := make([]NodeID, 0, count)
+	for u := range seen {
+		if seen[u] {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: parent IDs precede child IDs
+// (topological numbering, hence acyclicity), probabilities lie in [0,1],
+// gates have parents, and ε is the leaf 0 with probability 1.
+func (n *Network) Validate() error {
+	if len(n.labels) == 0 || n.labels[Epsilon] != Leaf || n.leafP[Epsilon] != 1 {
+		return fmt.Errorf("aonet: ε node missing or malformed")
+	}
+	for v := range n.labels {
+		lab := n.labels[v]
+		switch lab {
+		case Leaf:
+			if len(n.parents[v]) != 0 {
+				return fmt.Errorf("aonet: leaf %d has parents", v)
+			}
+			if p := n.leafP[v]; p < 0 || p > 1 || math.IsNaN(p) {
+				return fmt.Errorf("aonet: leaf %d probability %v outside [0,1]", v, p)
+			}
+		case And, Or:
+			if len(n.parents[v]) == 0 {
+				return fmt.Errorf("aonet: gate %d has no parents", v)
+			}
+			for _, e := range n.parents[v] {
+				if int(e.From) >= v {
+					return fmt.Errorf("aonet: edge %d→%d violates topological numbering", e.From, v)
+				}
+				if e.P < 0 || e.P > 1 || math.IsNaN(e.P) {
+					return fmt.Errorf("aonet: edge %d→%d probability %v outside [0,1]", e.From, v, e.P)
+				}
+			}
+		default:
+			return fmt.Errorf("aonet: node %d has unknown label %d", v, lab)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package aonet
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildExample51 constructs the network N of Figure 3 / Example 5.1:
+// leaves u (P=.3) and v (P=.8), and an Or node w with parents u, v, both
+// edges with probability 0.5.
+func buildExample51() (*Network, NodeID, NodeID, NodeID) {
+	n := New()
+	u := n.AddLeaf(0.3)
+	v := n.AddLeaf(0.8)
+	w := n.AddGate(Or, []Edge{{From: u, P: 0.5}, {From: v, P: 0.5}})
+	return n, u, v, w
+}
+
+// TestExample51 reproduces the worked joint-probability computation of
+// Example 5.1: for x = {u:0, v:1, w:0}, N(x) = (1 - 1·0.5)·(1-.3)·.8 = .28.
+func TestExample51(t *testing.T) {
+	n, u, v, w := buildExample51()
+	x := make([]bool, n.Len())
+	x[Epsilon] = true // ε is always true; assignments with ε=false have N(x)=0
+	x[u], x[v], x[w] = false, true, false
+	if got := n.Joint(x); math.Abs(got-0.28) > 1e-12 {
+		t.Errorf("N(x) = %g, want 0.28", got)
+	}
+}
+
+func TestEpsilonInvariants(t *testing.T) {
+	n := New()
+	if n.Label(Epsilon) != Leaf || n.LeafP(Epsilon) != 1 {
+		t.Fatal("ε must be a leaf with probability 1")
+	}
+	p, err := n.MarginalBruteForce(Epsilon)
+	if err != nil || math.Abs(p-1) > 1e-12 {
+		t.Errorf("marginal of ε = %g, %v", p, err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJointSumsToOne(t *testing.T) {
+	n, _, _, _ := buildExample51()
+	k := n.Len()
+	sum := 0.0
+	x := make([]bool, k)
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		for i := 0; i < k; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+		}
+		sum += n.Joint(x)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("joint sums to %g", sum)
+	}
+}
+
+func TestOrMarginal(t *testing.T) {
+	// P(w=1) = Σ_{u,v} P(u)P(v)·(1-(1-u/2)(1-v/2))
+	n, _, _, w := buildExample51()
+	want := 0.3*0.8*(1-0.25) + 0.3*0.2*0.5 + 0.7*0.8*0.5
+	got, err := n.MarginalBruteForce(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(w=1) = %g, want %g", got, want)
+	}
+}
+
+func TestAndMarginal(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.3)
+	v := n.AddLeaf(0.8)
+	a := n.AddGate(And, []Edge{{From: u, P: 0.5}, {From: v, P: 0.25}})
+	got, err := n.MarginalBruteForce(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3 * 0.8 * 0.5 * 0.25
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P(and=1) = %g, want %g", got, want)
+	}
+}
+
+// TestAugmentation reproduces Figure 3's N' = N ∪̊ (y, {u,w}, ·, ·): growing
+// the network preserves the distribution of existing nodes.
+func TestAugmentation(t *testing.T) {
+	n, u, _, w := buildExample51()
+	before, err := n.MarginalBruteForce(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := n.AddGate(And, []Edge{{From: u, P: 1}, {From: w, P: 1}})
+	after, err := n.MarginalBruteForce(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-after) > 1e-12 {
+		t.Errorf("augmentation changed P(w): %g -> %g", before, after)
+	}
+	if err := n.Validate(); err != nil {
+		t.Error(err)
+	}
+	// P(y) = P(u ∧ w) = P(u)·P(w|u) ... check against enumeration identity:
+	py, err := n.MarginalBruteForce(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u ∧ (noisy-or of u,v): P = P(u)·(1-(1-.5)(1-z_v·.5)) summed over v.
+	want := 0.3 * (0.8*(1-0.5*0.5) + 0.2*0.5)
+	if math.Abs(py-want) > 1e-12 {
+		t.Errorf("P(y) = %g, want %g", py, want)
+	}
+}
+
+func TestDeterministicHashConsing(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.5)
+	v := n.AddLeaf(0.5)
+	a := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	b := n.AddGate(And, []Edge{{From: v, P: 1}, {From: u, P: 1}}) // parent order irrelevant
+	if a != b {
+		t.Error("deterministic And gates not hash-consed")
+	}
+	o1 := n.AddGate(Or, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	if o1 == a {
+		t.Error("Or consed onto And")
+	}
+	o2 := n.AddGate(Or, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	if o1 != o2 {
+		t.Error("deterministic Or gates not hash-consed")
+	}
+}
+
+func TestNondeterministicGatesNeverConsed(t *testing.T) {
+	// Gates with sub-unit edge weights carry fresh anonymous coins and must
+	// be distinct nodes even with identical signatures (DESIGN.md §1).
+	n := New()
+	u := n.AddLeaf(0.5)
+	a := n.AddGate(Or, []Edge{{From: u, P: 0.7}})
+	b := n.AddGate(Or, []Edge{{From: u, P: 0.7}})
+	if a == b {
+		t.Error("nondeterministic gates were hash-consed")
+	}
+}
+
+func TestSetHashConsing(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.5)
+	v := n.AddLeaf(0.5)
+	n.SetHashConsing(false)
+	a := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	b := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	if a == b {
+		t.Error("consing disabled but gates shared")
+	}
+	n.SetHashConsing(true)
+	c := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	d := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	if c != d {
+		t.Error("consing re-enabled but gates distinct")
+	}
+	// Disabling never changes marginals, only sharing.
+	pa, err := n.MarginalBruteForce(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := n.MarginalBruteForce(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-pc) > 1e-12 {
+		t.Errorf("marginals differ: %g vs %g", pa, pc)
+	}
+}
+
+func TestLeavesNeverConsed(t *testing.T) {
+	n := New()
+	if n.AddLeaf(0.5) == n.AddLeaf(0.5) {
+		t.Error("leaves were hash-consed")
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.5)
+	v := n.AddLeaf(0.5)
+	w := n.AddLeaf(0.5) // unrelated
+	a := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	o := n.AddGate(Or, []Edge{{From: a, P: 0.5}})
+	anc := n.Ancestors(o)
+	want := []NodeID{u, v, a, o}
+	if len(anc) != len(want) {
+		t.Fatalf("Ancestors = %v, want %v", anc, want)
+	}
+	for i := range want {
+		if anc[i] != want[i] {
+			t.Fatalf("Ancestors = %v, want %v", anc, want)
+		}
+	}
+	if len(n.Ancestors(w)) != 1 {
+		t.Error("leaf ancestors should be itself only")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.5)
+	n.AddGate(Or, []Edge{{From: u, P: 0.5}})
+	if err := n.Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	// Corrupt internals to exercise each check.
+	bad := New()
+	bad.AddLeaf(0.5)
+	bad.leafP[1] = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("bad leaf probability accepted")
+	}
+	bad2 := New()
+	u2 := bad2.AddLeaf(0.5)
+	g := bad2.AddGate(Or, []Edge{{From: u2, P: 0.5}})
+	bad2.parents[g][0].From = g // self-loop
+	if err := bad2.Validate(); err == nil {
+		t.Error("topological violation accepted")
+	}
+}
+
+func TestAddGatePanics(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.5)
+	for i, f := range []func(){
+		func() { n.AddGate(Leaf, []Edge{{From: u, P: 1}}) },
+		func() { n.AddGate(And, nil) },
+		func() { n.AddGate(And, []Edge{{From: 99, P: 1}}) },
+		func() { n.AddGate(And, []Edge{{From: u, P: 1.5}}) },
+		func() { n.AddLeaf(-0.2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// randomNetwork builds a random valid AND-OR network with nLeaves leaves and
+// nGates gates, for property tests.
+func randomNetwork(rng *rand.Rand, nLeaves, nGates int) *Network {
+	n := New()
+	for i := 0; i < nLeaves; i++ {
+		n.AddLeaf(rng.Float64())
+	}
+	for i := 0; i < nGates; i++ {
+		k := 1 + rng.Intn(3)
+		edges := make([]Edge, 0, k)
+		for j := 0; j < k; j++ {
+			from := NodeID(rng.Intn(n.Len()))
+			p := 1.0
+			if rng.Intn(2) == 0 {
+				p = rng.Float64()
+			}
+			edges = append(edges, Edge{From: from, P: p})
+		}
+		lab := Or
+		if rng.Intn(2) == 0 {
+			lab = And
+		}
+		n.AddGate(lab, edges)
+	}
+	return n
+}
+
+func TestRandomNetworksJointIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetwork(rng, 3, 5)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		k := n.Len()
+		if k > 14 {
+			continue
+		}
+		sum := 0.0
+		x := make([]bool, k)
+		for mask := 0; mask < 1<<uint(k); mask++ {
+			for i := 0; i < k; i++ {
+				x[i] = mask&(1<<uint(i)) != 0
+			}
+			sum += n.Joint(x)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("trial %d: joint sums to %g", trial, sum)
+		}
+	}
+}
+
+func TestMarginalsInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNetwork(rng, 3, 4)
+		for v := 0; v < n.Len(); v++ {
+			p, err := n.MarginalBruteForce(NodeID(v))
+			if err != nil || p < -1e-12 || p > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	n := New()
+	for i := 0; i < MaxBruteForceNodes; i++ {
+		n.AddLeaf(0.5)
+	}
+	if _, err := n.MarginalBruteForce(1); err == nil {
+		t.Error("expected error above node limit")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n, u, _, w := buildExample51()
+	var b strings.Builder
+	if err := n.WriteDOT(&b, map[NodeID]string{u: "u", w: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "OR w", "u\\np=0.3", "-> n3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	n, _, _, _ := buildExample51()
+	s := n.Summarize()
+	if s.Nodes != 4 || s.Leaves != 3 || s.Ors != 1 || s.Ands != 0 || s.Edges != 2 || s.MaxFanIn != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestUndirectedAdjacency(t *testing.T) {
+	n, u, v, w := buildExample51()
+	ids, adj := n.UndirectedAdjacency([]NodeID{u, v, w})
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// w adjacent to both u and v; u-v not adjacent.
+	if len(adj[2]) != 2 || len(adj[0]) != 1 || len(adj[1]) != 1 {
+		t.Errorf("adjacency = %v", adj)
+	}
+	// nil means all nodes (including ε, which is isolated here).
+	ids2, adj2 := n.UndirectedAdjacency(nil)
+	if len(ids2) != 4 || len(adj2[0]) != 0 {
+		t.Errorf("full adjacency = %v %v", ids2, adj2)
+	}
+}

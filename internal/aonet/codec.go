@@ -1,0 +1,153 @@
+package aonet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The textual codec serializes a network losslessly:
+//
+//	aonet v1
+//	nodes <count>
+//	leaf <p>
+//	or <k> <from>:<p> ...
+//	and <k> <from>:<p> ...
+//
+// one line per node in ID (topological) order. Decoding re-registers
+// deterministic gates in the hash-consing index, so a decoded network
+// behaves identically under further augmentation.
+
+const codecHeader = "aonet v1"
+
+// Encode writes the network in the textual codec.
+func (n *Network) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, codecHeader)
+	fmt.Fprintf(bw, "nodes %d\n", n.Len())
+	for v := range n.labels {
+		switch n.labels[v] {
+		case Leaf:
+			fmt.Fprintf(bw, "leaf %s\n", formatProb(n.leafP[v]))
+		case And, Or:
+			if n.labels[v] == And {
+				fmt.Fprintf(bw, "and %d", len(n.parents[v]))
+			} else {
+				fmt.Fprintf(bw, "or %d", len(n.parents[v]))
+			}
+			for _, e := range n.parents[v] {
+				fmt.Fprintf(bw, " %d:%s", e.From, formatProb(e.P))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatProb(p float64) string {
+	return strconv.FormatFloat(p, 'g', -1, 64)
+}
+
+// Decode reads a network written by Encode.
+func Decode(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	header, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("aonet: decoding header: %w", err)
+	}
+	if header != codecHeader {
+		return nil, fmt.Errorf("aonet: unsupported format %q", header)
+	}
+	countLine, err := line()
+	if err != nil {
+		return nil, fmt.Errorf("aonet: decoding node count: %w", err)
+	}
+	var count int
+	if _, err := fmt.Sscanf(countLine, "nodes %d", &count); err != nil {
+		return nil, fmt.Errorf("aonet: bad node count line %q", countLine)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("aonet: node count %d (the ε node is mandatory)", count)
+	}
+	n := &Network{consing: make(map[string]NodeID)}
+	for v := 0; v < count; v++ {
+		l, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("aonet: decoding node %d: %w", v, err)
+		}
+		fields := strings.Fields(l)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("aonet: malformed node line %q", l)
+		}
+		switch fields[0] {
+		case "leaf":
+			p, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("aonet: node %d: bad leaf probability %q", v, fields[1])
+			}
+			n.labels = append(n.labels, Leaf)
+			n.leafP = append(n.leafP, p)
+			n.parents = append(n.parents, nil)
+		case "and", "or":
+			lab := And
+			if fields[0] == "or" {
+				lab = Or
+			}
+			k, err := strconv.Atoi(fields[1])
+			if err != nil || k < 1 || len(fields) != 2+k {
+				return nil, fmt.Errorf("aonet: node %d: bad gate arity in %q", v, l)
+			}
+			edges := make([]Edge, 0, k)
+			deterministic := true
+			for _, part := range fields[2:] {
+				colon := strings.IndexByte(part, ':')
+				if colon < 0 {
+					return nil, fmt.Errorf("aonet: node %d: bad edge %q", v, part)
+				}
+				from, err := strconv.Atoi(part[:colon])
+				if err != nil || from < 0 || from >= v {
+					return nil, fmt.Errorf("aonet: node %d: bad or non-topological parent %q", v, part)
+				}
+				p, err := strconv.ParseFloat(part[colon+1:], 64)
+				if err != nil || p < 0 || p > 1 {
+					return nil, fmt.Errorf("aonet: node %d: bad edge probability %q", v, part)
+				}
+				if p != 1 {
+					deterministic = false
+				}
+				edges = append(edges, Edge{From: NodeID(from), P: p})
+			}
+			sort.Slice(edges, func(i, j int) bool {
+				if edges[i].From != edges[j].From {
+					return edges[i].From < edges[j].From
+				}
+				return edges[i].P < edges[j].P
+			})
+			n.labels = append(n.labels, lab)
+			n.leafP = append(n.leafP, 0)
+			n.parents = append(n.parents, edges)
+			if deterministic {
+				n.consing[consKey(lab, edges)] = NodeID(v)
+			}
+		default:
+			return nil, fmt.Errorf("aonet: node %d: unknown kind %q", v, fields[0])
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,105 @@
+package aonet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNetwork(rng, 3, 5)
+		var buf bytes.Buffer
+		if err := n.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Len() != n.Len() || got.EdgeCount() != n.EdgeCount() {
+			t.Fatalf("trial %d: size mismatch: %d/%d vs %d/%d",
+				trial, got.Len(), got.EdgeCount(), n.Len(), n.EdgeCount())
+		}
+		for v := 0; v < n.Len() && v < 14; v++ {
+			want, err := n.MarginalBruteForce(NodeID(v))
+			if err != nil {
+				break
+			}
+			have, err := got.MarginalBruteForce(NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(want-have) > 1e-12 {
+				t.Errorf("trial %d node %d: marginal %g vs %g", trial, v, have, want)
+			}
+		}
+	}
+}
+
+func TestCodecPreservesConsing(t *testing.T) {
+	n := New()
+	u := n.AddLeaf(0.5)
+	v := n.AddLeaf(0.5)
+	g := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+	var buf bytes.Buffer
+	if err := n.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup := got.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}}); dup != g {
+		t.Errorf("decoded network lost hash-consing: new node %d, want %d", dup, g)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\nnodes 1\nleaf 1\n",
+		"aonet v1\nnodes x\n",
+		"aonet v1\nnodes 0\n",
+		"aonet v1\nnodes 2\nleaf 1\n",                   // truncated
+		"aonet v1\nnodes 1\nleaf 2\n",                   // bad probability
+		"aonet v1\nnodes 2\nleaf 1\nxor 1 0:1\n",        // unknown kind
+		"aonet v1\nnodes 2\nleaf 1\nor 2 0:1\n",         // arity mismatch
+		"aonet v1\nnodes 2\nleaf 1\nor 1 5:1\n",         // dangling parent
+		"aonet v1\nnodes 2\nleaf 1\nor 1 0:1.5\n",       // bad edge probability
+		"aonet v1\nnodes 2\nleaf 1\nor 1 0\n",           // missing colon
+		"aonet v1\nnodes 2\nleaf 0.5\nor 1 0:1\n",       // ε must have p=1
+		"aonet v1\nnodes 2\nleaf 1\nor\n",               // short line
+		"aonet v1\nnodes 3\nleaf 1\nleaf 0.5\nor 1 2:1", // self/forward ref
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestEncodeDecodeLarge(t *testing.T) {
+	n := New()
+	prev := n.AddLeaf(0.5)
+	for i := 0; i < 500; i++ {
+		prev = n.AddGate(Or, []Edge{{From: prev, P: 0.99}, {From: n.AddLeaf(0.01), P: 1}})
+	}
+	var buf bytes.Buffer
+	if err := n.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != n.Len() {
+		t.Errorf("size %d vs %d", got.Len(), n.Len())
+	}
+}

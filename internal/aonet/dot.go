@@ -1,0 +1,131 @@
+package aonet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/treewidth"
+)
+
+// WriteDOT renders the network in Graphviz DOT format, used to inspect the
+// networks of the paper's Figures 1–4. Names maps node IDs to display names;
+// unnamed nodes render as their label and ID.
+func (n *Network) WriteDOT(w io.Writer, names map[NodeID]string) error {
+	var b strings.Builder
+	b.WriteString("digraph aonet {\n  rankdir=BT;\n")
+	for v := range n.labels {
+		id := NodeID(v)
+		name := names[id]
+		if name == "" {
+			if id == Epsilon {
+				name = "eps"
+			} else {
+				name = fmt.Sprintf("%s%d", strings.ToLower(n.labels[v].String()), v)
+			}
+		}
+		switch n.labels[v] {
+		case Leaf:
+			fmt.Fprintf(&b, "  n%d [label=\"%s\\np=%.4g\" shape=ellipse];\n", v, name, n.leafP[v])
+		case And:
+			fmt.Fprintf(&b, "  n%d [label=\"AND %s\" shape=box];\n", v, name)
+		case Or:
+			fmt.Fprintf(&b, "  n%d [label=\"OR %s\" shape=diamond];\n", v, name)
+		}
+	}
+	for v := range n.labels {
+		for _, e := range n.parents[v] {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.4g\"];\n", e.From, v, e.P)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Stats summarizes the size and composition of a network.
+type Stats struct {
+	Nodes, Edges, Leaves, Ands, Ors int
+	MaxFanIn                        int
+}
+
+// Summarize computes Stats for the network (ε included).
+func (n *Network) Summarize() Stats {
+	s := Stats{Nodes: n.Len()}
+	for v := range n.labels {
+		switch n.labels[v] {
+		case Leaf:
+			s.Leaves++
+		case And:
+			s.Ands++
+		case Or:
+			s.Ors++
+		}
+		s.Edges += len(n.parents[v])
+		if len(n.parents[v]) > s.MaxFanIn {
+			s.MaxFanIn = len(n.parents[v])
+		}
+	}
+	return s
+}
+
+// TreewidthBound returns a greedy upper bound on the treewidth of the
+// undirected graph Ḡ of the sub-network induced by nodes (all nodes when
+// nil) — the quantity governing exact inference cost (Theorem 5.17) and the
+// subject of Corollary 4.4's comparison between partial-lineage networks
+// and full factor graphs.
+func (n *Network) TreewidthBound(nodes []NodeID) int {
+	ids, adj := n.UndirectedAdjacency(nodes)
+	g := treewidth.NewGraph(len(ids))
+	for i, nb := range adj {
+		for _, j := range nb {
+			if i < j {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return treewidth.UpperBound(g)
+}
+
+// UndirectedAdjacency returns, for the sub-network induced by the given
+// nodes (all nodes when nodes is nil), the undirected adjacency lists of the
+// graph Ḡ obtained by forgetting edge directions. Node order in the result
+// follows the input order (or ID order when nodes is nil). The treewidth of
+// this graph governs the cost of exact inference (Theorem 5.17).
+func (n *Network) UndirectedAdjacency(nodes []NodeID) (ids []NodeID, adj [][]int) {
+	if nodes == nil {
+		nodes = make([]NodeID, n.Len())
+		for i := range nodes {
+			nodes[i] = NodeID(i)
+		}
+	}
+	pos := make(map[NodeID]int, len(nodes))
+	for i, v := range nodes {
+		pos[v] = i
+	}
+	edge := make(map[[2]int]bool)
+	for _, v := range nodes {
+		i := pos[v]
+		for _, e := range n.parents[v] {
+			j, ok := pos[e.From]
+			if !ok {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			edge[[2]int{a, b}] = true
+		}
+	}
+	adj = make([][]int, len(nodes))
+	for e := range edge {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+	}
+	return nodes, adj
+}

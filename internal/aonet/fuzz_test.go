@@ -1,0 +1,44 @@
+package aonet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode exercises the network codec on arbitrary input: it must never
+// panic, and anything it accepts must validate and round-trip.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	n := New()
+	u := n.AddLeaf(0.5)
+	n.AddGate(Or, []Edge{{From: u, P: 0.25}, {From: Epsilon, P: 1}})
+	if err := n.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("aonet v1\nnodes 1\nleaf 1\n")
+	f.Add("aonet v1\nnodes 2\nleaf 1\nor 1 0:0.5\n")
+	f.Add("aonet v1\nnodes 0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, input string) {
+		net, err := Decode(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := net.Encode(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Decode(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Len() != net.Len() || again.EdgeCount() != net.EdgeCount() {
+			t.Fatal("round trip changed the network size")
+		}
+	})
+}

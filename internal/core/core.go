@@ -1,0 +1,135 @@
+// Package core holds the evaluation-strategy and statistics types shared by
+// the engine, the public API, the tools and the benchmark harness.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Strategy selects how a query is evaluated.
+type Strategy int
+
+const (
+	// PartialLineage is the paper's contribution: extensional evaluation
+	// with conditioning on offending tuples, producing a partial-lineage
+	// AND-OR network on which exact inference runs (Section 5).
+	PartialLineage Strategy = iota
+	// SafePlanOnly evaluates purely extensionally and fails if the plan is
+	// not data-safe on the instance (any operator needs conditioning).
+	SafePlanOnly
+	// FullNetwork treats every uncertain tuple as offending, materializing
+	// the full intensional AND-OR network — the AND/OR-factor-graph method
+	// of Sen & Deshpande [25] (Section 4.3.2).
+	FullNetwork
+	// DNFLineage computes the complete DNF lineage and runs exact
+	// variable-elimination confidence computation on it — the MayBMS
+	// method [16], the paper's experimental competitor.
+	DNFLineage
+	// MonteCarlo computes the complete DNF lineage and estimates each
+	// answer probability with the Karp–Luby estimator.
+	MonteCarlo
+)
+
+var strategyNames = map[Strategy]string{
+	PartialLineage: "partial",
+	SafePlanOnly:   "safe",
+	FullNetwork:    "network",
+	DNFLineage:     "dnf",
+	MonteCarlo:     "mc",
+}
+
+// String returns the short name used by the CLI tools.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy resolves a CLI strategy name.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want partial, safe, network, dnf or mc)", name)
+}
+
+// Strategies lists all strategies in a stable order.
+func Strategies() []Strategy {
+	return []Strategy{PartialLineage, SafePlanOnly, FullNetwork, DNFLineage, MonteCarlo}
+}
+
+// OpStat is one operator's line in the execution trace (engine Options
+// with Trace enabled): output cardinality, network growth attributable to
+// the operator, and wall time including its inputs' construction excluded.
+type OpStat struct {
+	// Op renders the operator.
+	Op string
+	// Rows is the operator's output cardinality.
+	Rows int
+	// NetworkGrowth is the number of AND-OR nodes the operator added.
+	NetworkGrowth int
+	// Time is the operator's own wall time (children excluded).
+	Time time.Duration
+}
+
+// JoinStat reports one join operator's conditioning work.
+type JoinStat struct {
+	// Join renders the operator, e.g. "R(x) ⋈ S(x, y)".
+	Join string
+	// Conditioned is the number of offending tuples conditioned at this
+	// join (Definition 5.14's cSets of both sides).
+	Conditioned int
+}
+
+// Stats reports what one evaluation did. Fields are filled as applicable to
+// the strategy.
+type Stats struct {
+	Strategy Strategy
+
+	// OffendingTuples is the number of tuples conditioned across all join
+	// operators — the instance's distance from data-safety (Definition 3.4).
+	OffendingTuples int
+
+	// NetworkNodes/NetworkEdges size the AND-OR network built (including ε).
+	NetworkNodes int
+	NetworkEdges int
+
+	// NetworkWidthBound is a greedy treewidth upper bound of the network's
+	// undirected graph Ḡ (Theorem 5.17's complexity parameter), filled when
+	// the engine is asked to measure it.
+	NetworkWidthBound int
+
+	// InferenceWidth is the largest variable-elimination width encountered
+	// across answer tuples; InferenceVars the largest variable count.
+	InferenceWidth int
+	InferenceVars  int
+
+	// Approximate is set when exact inference exceeded the width limit and
+	// the engine fell back to sampling.
+	Approximate bool
+
+	// LineageClauses/LineageVars size the DNF lineage (intensional
+	// strategies).
+	LineageClauses int
+	LineageVars    int
+
+	// Answers is the number of result rows.
+	Answers int
+
+	// PerJoin breaks OffendingTuples down by join operator, in plan
+	// execution order (network strategies only).
+	PerJoin []JoinStat
+
+	// Operators is the per-operator execution trace, in post-order, filled
+	// when tracing is enabled (network strategies only).
+	Operators []OpStat
+
+	// PlanTime covers relational execution (and grounding); InferenceTime
+	// covers probability computation.
+	PlanTime      time.Duration
+	InferenceTime time.Duration
+}

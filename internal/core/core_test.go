@@ -1,0 +1,41 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStrategyStringRoundTrip(t *testing.T) {
+	for _, s := range Strategies() {
+		name := s.String()
+		if strings.Contains(name, "Strategy(") {
+			t.Errorf("strategy %d has no name", int(s))
+		}
+		got, err := ParseStrategy(name)
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if s := Strategy(99).String(); !strings.Contains(s, "Strategy(99)") {
+		t.Errorf("unknown strategy renders as %q", s)
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestStrategiesStableOrder(t *testing.T) {
+	a := Strategies()
+	b := Strategies()
+	if len(a) != 5 {
+		t.Fatalf("expected 5 strategies, got %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("Strategies order unstable")
+		}
+	}
+	if a[0] != PartialLineage {
+		t.Error("PartialLineage should lead the list")
+	}
+}

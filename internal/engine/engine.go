@@ -1,0 +1,337 @@
+// Package engine evaluates conjunctive queries over tuple-independent
+// probabilistic databases under the five strategies of core.Strategy,
+// bridging extensional and intensional evaluation exactly as the paper
+// prescribes: plans run over pL-relations, conditioning only the offending
+// tuples, and a final inference pass over the resulting partial-lineage
+// AND-OR network produces the answer probabilities.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/aonet"
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/lineage"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Options configures an evaluation.
+type Options struct {
+	Strategy core.Strategy
+	// Inference configures exact inference over AND-OR networks.
+	Inference inference.Options
+	// Samples is the sample count for the MonteCarlo strategy and for the
+	// sampling fallback when exact inference exceeds its width limit.
+	// Zero means the default of 100000.
+	Samples int
+	// Seed seeds the sampler (approximate paths only).
+	Seed int64
+	// NoFallback makes the engine return inference.ErrTooWide (network
+	// strategies) or lineage.ErrBudget (DNFLineage) instead of falling back
+	// to sampling when exact computation is intractable.
+	NoFallback bool
+	// ExactBudget caps the DNFLineage solver's Shannon expansions per
+	// answer before the sampling fallback engages. Zero means the default
+	// of 500000; negative means unlimited.
+	ExactBudget int
+	// Parallelism is the number of goroutines computing per-answer
+	// probabilities (inference or lineage confidence). Answers are
+	// independent, so this scales near-linearly. 0 or 1 means sequential;
+	// results are deterministic either way (approximate paths derive their
+	// seed from Seed and the answer identity).
+	Parallelism int
+	// SkipInference stops the network strategies after plan execution: the
+	// result carries statistics (offending tuples, network size) but no
+	// rows. Used by the data-aware plan optimizer to cost candidate plans.
+	SkipInference bool
+	// Trace records a per-operator execution trace (output cardinality,
+	// network growth, own wall time) into Stats.Operators (network
+	// strategies only).
+	Trace bool
+	// Evidence conditions the database on observations about specific base
+	// tuples before evaluation: each answer probability becomes
+	// P(answer | evidence) — the conditioning of probabilistic databases of
+	// Koch & Olteanu [16]. Network strategies only; evidence of probability
+	// zero (e.g. asserting a certain tuple absent) is an error.
+	Evidence []Evidence
+	// MeasureWidth computes a greedy treewidth upper bound of the final
+	// AND-OR network into Stats.NetworkWidthBound (network strategies).
+	// Opt-in: the bound costs a quadratic pass over the network.
+	MeasureWidth bool
+	// Validate makes the executor check structural invariants (schema
+	// integrity, probability ranges, lineage references, network
+	// well-formedness) after every operator. Intended for tests and
+	// debugging; adds a linear pass per operator.
+	Validate bool
+	// NoExpansion disables the default partial-lineage inference path
+	// (expand the answer's network into a DNF over offending tuples and
+	// anonymous coins, then run the Shannon solver — Section 4.2's "run any
+	// general-purpose inference algorithm" on the partial lineage), forcing
+	// variable elimination with cutset conditioning instead. For the
+	// inference-backend ablation benchmark.
+	NoExpansion bool
+}
+
+func (o Options) samples() int {
+	if o.Samples <= 0 {
+		return 100000
+	}
+	return o.Samples
+}
+
+func (o Options) exactBudget() int {
+	switch {
+	case o.ExactBudget == 0:
+		return 500000
+	case o.ExactBudget < 0:
+		return -1
+	default:
+		return o.ExactBudget
+	}
+}
+
+// Evidence is one observation: the named base tuple is known present or
+// absent. Vals must match the stored tuple exactly (full relation arity).
+type Evidence struct {
+	Rel     string
+	Vals    tuple.Tuple
+	Present bool
+}
+
+// Row is one answer: the head-variable values and the answer probability.
+type Row struct {
+	Vals tuple.Tuple
+	P    float64
+}
+
+// Result is the outcome of one evaluation.
+type Result struct {
+	Attrs []string
+	Rows  []Row
+	Stats core.Stats
+	// Net is the AND-OR network built by the network strategies (nil for
+	// the lineage strategies); exposed for inspection and DOT export.
+	Net *aonet.Network
+}
+
+// BoolProb returns the probability of a Boolean query: the single row's
+// probability, or 0 when the query has no satisfying grounding.
+func (r *Result) BoolProb() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	return r.Rows[0].P
+}
+
+// Prob returns the probability of the answer with the given head values,
+// or 0 if absent.
+func (r *Result) Prob(vals tuple.Tuple) float64 {
+	k := vals.Key()
+	for _, row := range r.Rows {
+		if row.Vals.Key() == k {
+			return row.P
+		}
+	}
+	return 0
+}
+
+// Evaluate runs the plan (which must be a plan for q) against db under the
+// chosen strategy. The plan's scans identify relations by predicate name.
+func Evaluate(db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	switch opts.Strategy {
+	case core.PartialLineage, core.SafePlanOnly, core.FullNetwork:
+		return evalNetwork(db, plan, opts)
+	case core.DNFLineage, core.MonteCarlo:
+		if len(opts.Evidence) > 0 {
+			return nil, fmt.Errorf("engine: evidence conditioning requires a network strategy")
+		}
+		return evalLineage(db, q, plan, opts)
+	default:
+		return nil, fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
+	}
+}
+
+// EvaluateQuery is Evaluate with a plan derived from the query: the safe
+// plan when one exists, otherwise the left-deep plan in body order.
+func EvaluateQuery(db *relation.Database, q *query.Query, opts Options) (*Result, error) {
+	plan, err := query.SafePlan(q)
+	if err != nil {
+		order := make([]string, len(q.Atoms))
+		for i := range q.Atoms {
+			order[i] = q.Atoms[i].Pred
+		}
+		plan, err = query.LeftDeepPlan(q, order)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Evaluate(db, q, plan, opts)
+}
+
+// marginals computes the answer probability of every row of the final
+// pL-relation. Distinct lineage nodes are computed once each — in parallel
+// when Options.Parallelism > 1 — and the rows are assembled in input order.
+func marginals(res *Result, final []finalTuple, opts Options, evidence map[aonet.NodeID]bool) error {
+	var distinct []aonet.NodeID
+	seen := make(map[aonet.NodeID]bool)
+	for _, ft := range final {
+		if ft.lin != aonet.Epsilon && !seen[ft.lin] {
+			seen[ft.lin] = true
+			distinct = append(distinct, ft.lin)
+		}
+	}
+	results := make(map[aonet.NodeID]marginalResult, len(distinct))
+	compute := func(lin aonet.NodeID) marginalResult {
+		return answerMarginal(res.Net, lin, opts, evidence)
+	}
+	if opts.Parallelism > 1 && len(distinct) > 1 {
+		type job struct {
+			lin aonet.NodeID
+			res marginalResult
+		}
+		jobs := make(chan aonet.NodeID)
+		out := make(chan job, len(distinct))
+		var wg sync.WaitGroup
+		workers := opts.Parallelism
+		if workers > len(distinct) {
+			workers = len(distinct)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for lin := range jobs {
+					out <- job{lin: lin, res: compute(lin)}
+				}
+			}()
+		}
+		for _, lin := range distinct {
+			jobs <- lin
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+		for j := range out {
+			results[j.lin] = j.res
+		}
+	} else {
+		for _, lin := range distinct {
+			results[lin] = compute(lin)
+		}
+	}
+	for _, lin := range distinct {
+		r := results[lin]
+		if r.err != nil {
+			return r.err
+		}
+		if r.width > res.Stats.InferenceWidth {
+			res.Stats.InferenceWidth = r.width
+		}
+		if r.vars > res.Stats.InferenceVars {
+			res.Stats.InferenceVars = r.vars
+		}
+		if r.approx {
+			res.Stats.Approximate = true
+		}
+	}
+	for _, ft := range final {
+		p := ft.p
+		if ft.lin != aonet.Epsilon {
+			p *= results[ft.lin].p
+		}
+		res.Rows = append(res.Rows, Row{Vals: ft.vals, P: p})
+	}
+	return nil
+}
+
+// marginalResult is the outcome of one lineage node's marginal computation.
+type marginalResult struct {
+	p           float64
+	width, vars int
+	approx      bool
+	err         error
+}
+
+// answerMarginal computes one lineage node's marginal. Exact paths, in
+// order: (1) expand the partial lineage into a DNF and run the Shannon
+// solver (Section 4.2's "run any general-purpose inference algorithm" on the
+// partial lineage); (2) variable elimination with cutset conditioning. Past
+// both budgets it approximates — by Karp–Luby on the expanded formula when
+// the expansion succeeded, otherwise by forward sampling on the network —
+// unless NoFallback is set, in which case the tractability error surfaces.
+// It only reads the network, so it is safe to run concurrently; the
+// approximate paths seed deterministically from Options.Seed and the node.
+func answerMarginal(net *aonet.Network, lin aonet.NodeID, opts Options, evidence map[aonet.NodeID]bool) marginalResult {
+	var expanded *lineage.DNF
+	var expandedProbs []float64
+	if len(evidence) > 0 {
+		// Conditional marginals go through the network backends: variable
+		// elimination with the evidence pinned, then rejection sampling.
+		r, err := inference.ExactGiven(net, lin, evidence, opts.Inference)
+		if err == nil {
+			return marginalResult{p: r.P, width: r.Width, vars: r.Vars}
+		}
+		if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
+			return marginalResult{err: err}
+		}
+		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
+		p, err := inference.MonteCarloGiven(net, lin, evidence, opts.samples(), rng)
+		if err != nil {
+			return marginalResult{err: err}
+		}
+		return marginalResult{p: p, approx: true}
+	}
+	if !opts.NoExpansion {
+		f, probs, err := inference.ExpandDNF(net, lin, 0)
+		switch {
+		case err == nil:
+			p, err := lineage.ProbBudget(f, func(v lineage.Var) float64 { return probs[v] }, opts.exactBudget())
+			if err == nil {
+				return marginalResult{p: p}
+			}
+			if !errors.Is(err, lineage.ErrBudget) {
+				return marginalResult{err: err}
+			}
+			expanded, expandedProbs = f, probs
+		case !errors.Is(err, inference.ErrExpansion):
+			return marginalResult{err: err}
+		}
+	}
+	r, err := inference.Exact(net, lin, opts.Inference)
+	if err == nil {
+		return marginalResult{p: r.P, width: r.Width, vars: r.Vars}
+	}
+	if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
+		return marginalResult{err: err}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
+	if expanded != nil {
+		p := lineage.KarpLuby(expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.samples(), rng)
+		return marginalResult{p: p, approx: true}
+	}
+	return marginalResult{p: inference.MonteCarlo(net, lin, opts.samples(), rng), approx: true}
+}
+
+type finalTuple struct {
+	vals tuple.Tuple
+	p    float64
+	lin  aonet.NodeID
+}
+
+// timed runs f and adds its duration to *d.
+func timed(d *time.Duration, f func() error) error {
+	start := time.Now()
+	err := f()
+	*d += time.Since(start)
+	return err
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// bruteForceGivenAnswers computes P(answer | evidence) by world enumeration.
+func bruteForceGivenAnswers(t *testing.T, db *relation.Database, q *query.Query, evidence []Evidence) map[string]float64 {
+	t.Helper()
+	worlds, err := db.Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	consistent := func(w *relation.World) bool {
+		for _, ev := range evidence {
+			rel, err := db.Relation(ev.Rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := -1
+			for i, row := range rel.Rows {
+				if row.Tuple.Equal(ev.Vals) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Fatalf("evidence tuple %v not in %s", ev.Vals, ev.Rel)
+			}
+			if w.Has(ev.Rel, idx) != ev.Present {
+				return false
+			}
+		}
+		return true
+	}
+	num := make(map[string]float64)
+	den := 0.0
+	for i := range worlds {
+		w := &worlds[i]
+		if !consistent(w) {
+			continue
+		}
+		den += w.P
+		for _, key := range matchWorld(t, db, q, w) {
+			num[key] += w.P
+		}
+	}
+	if den == 0 {
+		t.Fatal("evidence has probability zero")
+	}
+	for k := range num {
+		num[k] /= den
+	}
+	return num
+}
+
+func evidenceFixture(t *testing.T, rng *rand.Rand) *relation.Database {
+	t.Helper()
+	return randomDatabase(rng, 2)
+}
+
+func TestEvidenceMatchesBruteForce(t *testing.T) {
+	q := query.MustParse("q :- R(a), S(a, b), T(b)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S", "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(113))
+	trials := 0
+	for trials < 20 {
+		db := evidenceFixture(t, rng)
+		s, err := db.Relation("S")
+		if err != nil || s.Len() == 0 {
+			continue
+		}
+		// Observe a random uncertain S tuple.
+		var pick tuple.Tuple
+		for _, row := range s.Rows {
+			if row.P > 0 && row.P < 1 {
+				pick = row.Tuple
+				break
+			}
+		}
+		if pick == nil {
+			continue
+		}
+		trials++
+		for _, present := range []bool{true, false} {
+			evidence := []Evidence{{Rel: "S", Vals: pick, Present: present}}
+			want := bruteForceGivenAnswers(t, db, q, evidence)
+			for _, strat := range []core.Strategy{core.PartialLineage, core.FullNetwork} {
+				res, err := Evaluate(db, q, plan, Options{Strategy: strat, Evidence: evidence})
+				if err != nil {
+					t.Fatalf("trial %d (%v present=%v): %v", trials, strat, present, err)
+				}
+				if math.Abs(res.BoolProb()-want[""]) > 1e-9 {
+					t.Errorf("trial %d (%v, present=%v): %.12f, want %.12f",
+						trials, strat, present, res.BoolProb(), want[""])
+				}
+			}
+		}
+	}
+}
+
+func TestEvidenceRaisesAndLowers(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	s := relation.New("S", "a", "b")
+	tt := relation.New("T", "b")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	s.MustAdd(tuple.Ints(1, 1), 0.5)
+	tt.MustAdd(tuple.Ints(1), 0.5)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	db.AddRelation(tt)
+	q := query.MustParse("q :- R(a), S(a, b), T(b)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S", "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := Evaluate(db, q, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(1), Present: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(1), Present: false}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(up.BoolProb() > prior.BoolProb()) || down.BoolProb() != 0 {
+		t.Errorf("prior %g, given present %g, given absent %g",
+			prior.BoolProb(), up.BoolProb(), down.BoolProb())
+	}
+	if math.Abs(up.BoolProb()-0.25) > 1e-9 { // S∧T = 0.25 once R is certain
+		t.Errorf("P(q | R present) = %g, want 0.25", up.BoolProb())
+	}
+}
+
+func TestEvidenceErrors(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.MustAdd(tuple.Ints(1), 1)
+	r.MustAdd(tuple.Ints(2), 0.5)
+	db.AddRelation(r)
+	q := query.MustParse("q :- R(a)")
+	plan, err := query.LeftDeepPlan(q, []string{"R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contradicting a certain tuple.
+	if _, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(1), Present: false}}}); err == nil {
+		t.Error("zero-probability evidence accepted")
+	}
+	// Unknown tuple.
+	if _, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(9), Present: true}}}); err == nil {
+		t.Error("missing evidence tuple accepted")
+	}
+	// Unknown relation (never scanned).
+	if _, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "Z", Vals: tuple.Ints(1), Present: true}}}); err == nil {
+		t.Error("evidence on unscanned relation accepted")
+	}
+	// Lineage strategies reject evidence.
+	if _, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage, Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(2), Present: true}}}); err == nil {
+		t.Error("DNF strategy accepted evidence")
+	}
+	// Vacuous evidence on a certain tuple is fine.
+	res, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(1), Present: true}}})
+	if err != nil || res.BoolProb() != 1 {
+		t.Errorf("vacuous evidence: %v, %v", res.BoolProb(), err)
+	}
+}
+
+func TestEvidenceOnFilteredTupleIsIndependent(t *testing.T) {
+	// The evidence tuple is selected away by the atom's constant: it cannot
+	// influence the answer, and the conditional equals the prior.
+	db := relation.NewDatabase()
+	r := relation.New("R", "a", "b")
+	r.MustAdd(tuple.Ints(1, 7), 0.5)
+	r.MustAdd(tuple.Ints(2, 8), 0.5)
+	db.AddRelation(r)
+	q := query.MustParse("q :- R(a, 7)")
+	plan, err := query.LeftDeepPlan(q, []string{"R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior, err := Evaluate(db, q, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	given, err := Evaluate(db, q, plan, Options{Evidence: []Evidence{{Rel: "R", Vals: tuple.Ints(2, 8), Present: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prior.BoolProb()-given.BoolProb()) > 1e-12 {
+		t.Errorf("independent evidence changed the answer: %g vs %g", prior.BoolProb(), given.BoolProb())
+	}
+}

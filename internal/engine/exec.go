@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aonet"
+	"repro/internal/core"
+	"repro/internal/pl"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// evalNetwork executes the plan over pL-relations (the SafePlanOnly,
+// PartialLineage and FullNetwork strategies) and runs inference on the
+// resulting partial-lineage network.
+func evalNetwork(db *relation.Database, plan *query.Plan, opts Options) (*Result, error) {
+	res := &Result{Attrs: plan.Attrs(), Net: aonet.New()}
+	res.Stats.Strategy = opts.Strategy
+	ex := &executor{db: db, net: res.Net, opts: opts, stats: &res.Stats}
+	if len(opts.Evidence) > 0 {
+		ex.evidenceByRel = make(map[string][]int)
+		ex.evidenceMatched = make([]bool, len(opts.Evidence))
+		ex.evidenceNodes = make(map[aonet.NodeID]bool)
+		for i, ev := range opts.Evidence {
+			ex.evidenceByRel[ev.Rel] = append(ex.evidenceByRel[ev.Rel], i)
+		}
+	}
+
+	var out *pl.Relation
+	err := timed(&res.Stats.PlanTime, func() error {
+		var err error
+		out, err = ex.exec(plan)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, matched := range ex.evidenceMatched {
+		if !matched {
+			ev := opts.Evidence[i]
+			return nil, fmt.Errorf("engine: evidence tuple %v not found in relation %s (or the relation is not scanned by the plan)", ev.Vals, ev.Rel)
+		}
+	}
+	res.Stats.NetworkNodes = res.Net.Len()
+	res.Stats.NetworkEdges = res.Net.EdgeCount()
+	if opts.MeasureWidth {
+		res.Stats.NetworkWidthBound = res.Net.TreewidthBound(nil)
+	}
+	if opts.SkipInference {
+		res.Stats.Answers = out.Len()
+		return res, nil
+	}
+
+	final := make([]finalTuple, 0, out.Len())
+	for _, t := range out.Tuples {
+		final = append(final, finalTuple{vals: t.Vals, p: t.P, lin: t.Lin})
+	}
+	if err := timed(&res.Stats.InferenceTime, func() error {
+		return marginals(res, final, opts, ex.evidenceNodes)
+	}); err != nil {
+		return nil, err
+	}
+	res.Stats.Answers = len(res.Rows)
+	return res, nil
+}
+
+// executor runs one plan over a shared network.
+type executor struct {
+	db    *relation.Database
+	net   *aonet.Network
+	opts  Options
+	stats *core.Stats
+
+	// trace accumulators (Options.Trace): total time and network growth of
+	// the operators already completed within the current subtree.
+	childTime  time.Duration
+	childNodes int
+
+	// evidence bookkeeping (Options.Evidence).
+	evidenceByRel   map[string][]int
+	evidenceMatched []bool
+	evidenceNodes   map[aonet.NodeID]bool
+}
+
+func (ex *executor) exec(p *query.Plan) (*pl.Relation, error) {
+	if !ex.opts.Trace {
+		return ex.execChecked(p)
+	}
+	// Trace bookkeeping: own time and own network growth exclude the
+	// children, which report their totals through the accumulators.
+	start := time.Now()
+	nodesBefore := ex.net.Len()
+	parentTime, parentNodes := ex.childTime, ex.childNodes
+	ex.childTime, ex.childNodes = 0, 0
+	out, err := ex.execChecked(p)
+	total := time.Since(start)
+	grown := ex.net.Len() - nodesBefore
+	if err == nil {
+		ex.stats.Operators = append(ex.stats.Operators, core.OpStat{
+			Op:            p.String(),
+			Rows:          out.Len(),
+			NetworkGrowth: grown - ex.childNodes,
+			Time:          total - ex.childTime,
+		})
+	}
+	ex.childTime = parentTime + total
+	ex.childNodes = parentNodes + grown
+	return out, err
+}
+
+// execChecked runs the operator and, when requested, validates the output
+// invariants.
+func (ex *executor) execChecked(p *query.Plan) (*pl.Relation, error) {
+	out, err := ex.execOp(p)
+	if err != nil {
+		return nil, err
+	}
+	if ex.opts.Validate {
+		if err := out.Validate(ex.net); err != nil {
+			return nil, fmt.Errorf("engine: invariant violation after %s: %w", p.String(), err)
+		}
+		if err := ex.net.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: network invariant violation after %s: %w", p.String(), err)
+		}
+	}
+	return out, nil
+}
+
+func (ex *executor) execOp(p *query.Plan) (*pl.Relation, error) {
+	switch p.Op {
+	case query.OpScan:
+		return ex.scan(p.Atom)
+	case query.OpProject:
+		in, err := ex.exec(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		return pl.Project(in, p.Cols, ex.net)
+	case query.OpJoin:
+		left, err := ex.exec(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ex.exec(p.Right)
+		if err != nil {
+			return nil, err
+		}
+		joined, conditioned, err := pl.SafeJoin(left, right, ex.net)
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.OffendingTuples += conditioned
+		ex.stats.PerJoin = append(ex.stats.PerJoin, core.JoinStat{
+			Join:        fmt.Sprintf("%s ⋈ %s", p.Left.String(), p.Right.String()),
+			Conditioned: conditioned,
+		})
+		if conditioned > 0 && ex.opts.Strategy == core.SafePlanOnly {
+			return nil, fmt.Errorf("engine: plan is not data-safe on this instance: join %s ⋈ %s required conditioning %d offending tuples",
+				p.Left.String(), p.Right.String(), conditioned)
+		}
+		return joined, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown plan operator %d", p.Op)
+	}
+}
+
+// scan reads the atom's relation, applies the selections implied by constant
+// arguments and repeated variables, and projects onto the atom's distinct
+// variables. Under FullNetwork every uncertain tuple is conditioned
+// immediately, making the whole evaluation intensional.
+func (ex *executor) scan(a *query.Atom) (*pl.Relation, error) {
+	rel, err := ex.db.Relation(a.Pred)
+	if err != nil {
+		return nil, err
+	}
+	if len(rel.Attrs) != len(a.Args) {
+		return nil, fmt.Errorf("engine: atom %s has %d arguments, relation has %d attributes", a.String(), len(a.Args), len(rel.Attrs))
+	}
+	// Compile the binding pattern.
+	type eqCheck struct{ pos, with int }
+	type constCheck struct {
+		pos int
+		val tuple.Value
+	}
+	var eqs []eqCheck
+	var consts []constCheck
+	firstPos := make(map[string]int)
+	var outCols tuple.Schema
+	var outPos []int
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			consts = append(consts, constCheck{pos: i, val: arg.Const})
+			continue
+		}
+		if j, seen := firstPos[arg.Var]; seen {
+			eqs = append(eqs, eqCheck{pos: i, with: j})
+			continue
+		}
+		firstPos[arg.Var] = i
+		outCols = append(outCols, arg.Var)
+		outPos = append(outPos, i)
+	}
+	out := &pl.Relation{Attrs: outCols}
+	outRow := make([]int, len(rel.Rows))
+	for ri, row := range rel.Rows {
+		outRow[ri] = -1
+		if row.P == 0 {
+			continue
+		}
+		ok := true
+		for _, c := range consts {
+			if row.Tuple[c.pos] != c.val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, e := range eqs {
+				if row.Tuple[e.pos] != row.Tuple[e.with] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		outRow[ri] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, pl.Tuple{
+			Vals: row.Tuple.Project(outPos),
+			P:    row.P,
+			Lin:  aonet.Epsilon,
+		})
+	}
+	if ex.opts.Strategy == core.FullNetwork {
+		for i := range out.Tuples {
+			if out.Tuples[i].P < 1 {
+				pl.Cond(out, i, ex.net)
+			}
+		}
+	}
+	if err := ex.applyEvidence(a.Pred, rel, outRow, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// applyEvidence conditions the scanned relation on the observations for
+// this predicate: observed tuples get a lineage node pinned to the observed
+// value during inference. outRow maps base-relation row indexes to scan
+// output indexes (-1 when filtered out by the atom's selections — such
+// tuples are independent of the answers, so only the zero-probability check
+// applies).
+func (ex *executor) applyEvidence(pred string, rel *relation.Relation, outRow []int, out *pl.Relation) error {
+	items := ex.evidenceByRel[pred]
+	if len(items) == 0 {
+		return nil
+	}
+	for _, idx := range items {
+		ev := ex.opts.Evidence[idx]
+		found := -1
+		for ri, row := range rel.Rows {
+			if row.Tuple.Equal(ev.Vals) {
+				found = ri
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("engine: evidence tuple %v not in relation %s", ev.Vals, pred)
+		}
+		ex.evidenceMatched[idx] = true
+		p := rel.Rows[found].P
+		if p >= 1 && !ev.Present {
+			return fmt.Errorf("engine: evidence asserts certain tuple %v of %s absent (probability zero)", ev.Vals, pred)
+		}
+		if p <= 0 && ev.Present {
+			return fmt.Errorf("engine: evidence asserts impossible tuple %v of %s present (probability zero)", ev.Vals, pred)
+		}
+		if p >= 1 || p <= 0 {
+			continue // the observation is already certain
+		}
+		oi := outRow[found]
+		if oi < 0 {
+			continue // filtered out by the atom's selections: independent of the answers
+		}
+		pl.Cond(out, oi, ex.net)
+		ex.evidenceNodes[out.Tuples[oi].Lin] = ev.Present
+	}
+	return nil
+}

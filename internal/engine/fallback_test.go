@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// hardDB builds an instance whose partial-lineage network is dense: every
+// R tuple joins every S tuple group, defeating both the expansion budget and
+// narrow elimination limits when they are set low.
+func hardDB(t *testing.T, n int) (*relation.Database, *query.Query, *query.Plan) {
+	t.Helper()
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	s := relation.New("S", "a", "b")
+	tt := relation.New("T", "b")
+	for x := 1; x <= n; x++ {
+		r.MustAdd(tuple.Ints(int64(x)), 0.5)
+		tt.MustAdd(tuple.Ints(int64(x)), 0.5)
+		for y := 1; y <= n; y++ {
+			s.MustAdd(tuple.Ints(int64(x), int64(y)), 0.5)
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	db.AddRelation(tt)
+	q := query.MustParse("q :- R(a), S(a, b), T(b)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S", "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, q, plan
+}
+
+func TestNoFallbackSurfacesTooWide(t *testing.T) {
+	db, q, plan := hardDB(t, 10)
+	opts := Options{
+		Strategy:    core.PartialLineage,
+		NoFallback:  true,
+		NoExpansion: true,
+		Inference:   inference.Options{MaxFactorVars: 4, NoConditioning: true},
+	}
+	_, err := Evaluate(db, q, plan, opts)
+	if !errors.Is(err, inference.ErrTooWide) {
+		t.Errorf("expected ErrTooWide, got %v", err)
+	}
+}
+
+func TestSamplingFallbackApproximates(t *testing.T) {
+	db, q, plan := hardDB(t, 9)
+	exact, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward-sampling fallback: expansion disabled, VE too narrow.
+	approx, err := Evaluate(db, q, plan, Options{
+		Strategy:    core.PartialLineage,
+		NoExpansion: true,
+		Inference:   inference.Options{MaxFactorVars: 4, NoConditioning: true},
+		Samples:     200000,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.Stats.Approximate {
+		t.Fatal("fallback not flagged approximate")
+	}
+	if math.Abs(approx.BoolProb()-exact.BoolProb()) > 0.02 {
+		t.Errorf("forward-sampling fallback %g vs exact %g", approx.BoolProb(), exact.BoolProb())
+	}
+	// Karp–Luby-on-expansion fallback: expansion succeeds, solver budget
+	// trips, VE too narrow.
+	kl, err := Evaluate(db, q, plan, Options{
+		Strategy:    core.PartialLineage,
+		ExactBudget: 1,
+		Inference:   inference.Options{MaxFactorVars: 4, NoConditioning: true},
+		Samples:     200000,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kl.Stats.Approximate {
+		t.Fatal("KL fallback not flagged approximate")
+	}
+	if math.Abs(kl.BoolProb()-exact.BoolProb()) > 0.02 {
+		t.Errorf("Karp–Luby fallback %g vs exact %g", kl.BoolProb(), exact.BoolProb())
+	}
+}
+
+func TestDNFBudgetFallback(t *testing.T) {
+	db, q, plan := hardDB(t, 9)
+	exact, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := Evaluate(db, q, plan, Options{
+		Strategy:    core.DNFLineage,
+		ExactBudget: 1,
+		Samples:     200000,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !limited.Stats.Approximate {
+		t.Fatal("budget fallback not flagged approximate")
+	}
+	if math.Abs(limited.BoolProb()-exact.BoolProb()) > 0.02 {
+		t.Errorf("budgeted %g vs exact %g", limited.BoolProb(), exact.BoolProb())
+	}
+	// With NoFallback the budget error surfaces instead.
+	_, err = Evaluate(db, q, plan, Options{Strategy: core.DNFLineage, ExactBudget: 1, NoFallback: true})
+	if err == nil {
+		t.Error("expected budget error with NoFallback")
+	}
+}
+
+func TestSkipInference(t *testing.T) {
+	db, q, plan := hardDB(t, 6)
+	res, err := Evaluate(db, q, plan, Options{Strategy: core.PartialLineage, SkipInference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("SkipInference produced %d rows", len(res.Rows))
+	}
+	if res.Stats.OffendingTuples == 0 || res.Stats.NetworkNodes <= 1 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	db := relation.NewDatabase()
+	q := query.MustParse("q :- R(a)")
+	plan, err := query.LeftDeepPlan(q, []string{"R"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing relation.
+	if _, err := Evaluate(db, q, plan, Options{}); err == nil {
+		t.Error("missing relation accepted")
+	}
+	if _, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage}); err == nil {
+		t.Error("missing relation accepted by grounding")
+	}
+	// Arity mismatch.
+	r := relation.New("R", "a", "b")
+	r.MustAdd(tuple.Ints(1, 2), 0.5)
+	db.AddRelation(r)
+	if _, err := Evaluate(db, q, plan, Options{}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage}); err == nil {
+		t.Error("arity mismatch accepted by grounding")
+	}
+	// Unknown strategy value.
+	if _, err := Evaluate(db, q, plan, Options{Strategy: core.Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/lineage"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Grounding is the complete DNF lineage of a query (Definition 3.5), split
+// per answer (head binding). Variables are assigned to input tuples lazily;
+// tuples with probability 1 never receive a variable (their literal is
+// constantly true) and tuples with probability 0 never ground.
+type Grounding struct {
+	Attrs   []string
+	Answers []GroundedAnswer
+	Probs   []float64 // probability of each lineage variable
+}
+
+// GroundedAnswer pairs one head binding with its lineage.
+type GroundedAnswer struct {
+	Vals tuple.Tuple
+	F    *lineage.DNF
+}
+
+// VarCount returns the number of lineage variables allocated.
+func (g *Grounding) VarCount() int { return len(g.Probs) }
+
+// ClauseCount returns the total number of clauses across answers.
+func (g *Grounding) ClauseCount() int {
+	n := 0
+	for i := range g.Answers {
+		n += len(g.Answers[i].F.Clauses)
+	}
+	return n
+}
+
+// Ground computes the full lineage of q over db, matching atoms in the
+// order the plan scans them (left-deep join order).
+func Ground(db *relation.Database, q *query.Query, plan *query.Plan) (*Grounding, error) {
+	var atoms []*query.Atom
+	plan.Walk(func(p *query.Plan) {
+		if p.Op == query.OpScan {
+			atoms = append(atoms, p.Atom)
+		}
+	})
+	if len(atoms) != len(q.Atoms) {
+		return nil, fmt.Errorf("engine: plan scans %d atoms, query has %d", len(atoms), len(q.Atoms))
+	}
+	g := &grounder{
+		db:     db,
+		q:      q,
+		atoms:  atoms,
+		varID:  make(map[varKey]lineage.Var),
+		byHead: make(map[string]int),
+	}
+	if err := g.prepare(); err != nil {
+		return nil, err
+	}
+	g.recurse(0, make(map[string]tuple.Value), make([]lineage.Var, 0, len(atoms)))
+	out := &Grounding{Attrs: q.Head, Answers: g.answers, Probs: g.probs}
+	return out, nil
+}
+
+type varKey struct {
+	pred string
+	row  int
+}
+
+type atomPlan struct {
+	rel       *relation.Relation
+	args      []query.Term
+	boundVars []string // variables bound by earlier atoms, in arg order
+	boundPos  []int    // their positions in this atom
+	index     map[string][]int
+	newVarPos map[string]int // first position of each newly bound variable
+}
+
+type grounder struct {
+	db      *relation.Database
+	q       *query.Query
+	atoms   []*query.Atom
+	plans   []atomPlan
+	varID   map[varKey]lineage.Var
+	probs   []float64
+	answers []GroundedAnswer
+	byHead  map[string]int
+}
+
+// prepare compiles the binding pattern of each atom and builds a hash index
+// keyed on the positions bound by earlier atoms plus constants and repeated
+// variables.
+func (g *grounder) prepare() error {
+	bound := make(map[string]bool)
+	for _, a := range g.atoms {
+		rel, err := g.db.Relation(a.Pred)
+		if err != nil {
+			return err
+		}
+		if len(rel.Attrs) != len(a.Args) {
+			return fmt.Errorf("engine: atom %s has %d arguments, relation has %d attributes", a.String(), len(a.Args), len(rel.Attrs))
+		}
+		ap := atomPlan{rel: rel, args: a.Args, newVarPos: make(map[string]int)}
+		seenHere := make(map[string]int)
+		type fixed struct {
+			pos int
+			val tuple.Value
+		}
+		var fixedChecks []fixed
+		type eq struct{ pos, with int }
+		var eqChecks []eq
+		for i, arg := range a.Args {
+			switch {
+			case !arg.IsVar():
+				fixedChecks = append(fixedChecks, fixed{pos: i, val: arg.Const})
+			case bound[arg.Var]:
+				ap.boundVars = append(ap.boundVars, arg.Var)
+				ap.boundPos = append(ap.boundPos, i)
+			default:
+				if j, ok := seenHere[arg.Var]; ok {
+					eqChecks = append(eqChecks, eq{pos: i, with: j})
+				} else {
+					seenHere[arg.Var] = i
+					ap.newVarPos[arg.Var] = i
+				}
+			}
+		}
+		ap.index = make(map[string][]int)
+		for ri, row := range rel.Rows {
+			if row.P == 0 {
+				continue
+			}
+			ok := true
+			for _, f := range fixedChecks {
+				if row.Tuple[f.pos] != f.val {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, e := range eqChecks {
+					if row.Tuple[e.pos] != row.Tuple[e.with] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			ap.index[row.Tuple.KeyAt(ap.boundPos)] = append(ap.index[row.Tuple.KeyAt(ap.boundPos)], ri)
+		}
+		for v := range ap.newVarPos {
+			bound[v] = true
+		}
+		g.plans = append(g.plans, ap)
+	}
+	return nil
+}
+
+// recurse extends the partial grounding at atom depth with every matching
+// row. clause carries the lineage variables of uncertain matched rows.
+func (g *grounder) recurse(depth int, binding map[string]tuple.Value, clause []lineage.Var) {
+	if depth == len(g.plans) {
+		vals := make(tuple.Tuple, len(g.q.Head))
+		for i, h := range g.q.Head {
+			vals[i] = binding[h]
+		}
+		k := vals.Key()
+		ai, ok := g.byHead[k]
+		if !ok {
+			ai = len(g.answers)
+			g.byHead[k] = ai
+			g.answers = append(g.answers, GroundedAnswer{Vals: vals, F: &lineage.DNF{}})
+		}
+		g.answers[ai].F.Add(lineage.NewClause(clause...))
+		return
+	}
+	ap := &g.plans[depth]
+	key := make(tuple.Tuple, len(ap.boundPos))
+	for i, v := range ap.boundVars {
+		key[i] = binding[v]
+	}
+	for _, ri := range ap.index[key.Key()] {
+		row := ap.rel.Rows[ri]
+		for v, pos := range ap.newVarPos {
+			binding[v] = row.Tuple[pos]
+		}
+		next := clause
+		if row.P < 1 {
+			next = append(clause, g.varFor(ap.rel.Name, ri, row.P))
+		}
+		g.recurse(depth+1, binding, next)
+	}
+	for v := range ap.newVarPos {
+		delete(binding, v)
+	}
+}
+
+func (g *grounder) varFor(pred string, row int, p float64) lineage.Var {
+	k := varKey{pred: pred, row: row}
+	if v, ok := g.varID[k]; ok {
+		return v
+	}
+	v := lineage.Var(len(g.probs))
+	g.varID[k] = v
+	g.probs = append(g.probs, p)
+	return v
+}
+
+// evalLineage implements the DNFLineage and MonteCarlo strategies: ground
+// the full lineage, then compute each answer's confidence.
+func evalLineage(db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
+	res := &Result{Attrs: plan.Attrs()}
+	res.Stats.Strategy = opts.Strategy
+	var g *Grounding
+	err := timed(&res.Stats.PlanTime, func() error {
+		var err error
+		g, err = Ground(db, q, plan)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.LineageClauses = g.ClauseCount()
+	res.Stats.LineageVars = g.VarCount()
+	probOf := func(v lineage.Var) float64 { return g.Probs[v] }
+	if opts.Strategy == core.MonteCarlo {
+		res.Stats.Approximate = true
+	}
+	err = timed(&res.Stats.InferenceTime, func() error {
+		type confidence struct {
+			p      float64
+			approx bool
+			err    error
+		}
+		// confidenceOf computes one answer's probability; approximate paths
+		// seed deterministically per answer so parallel and sequential runs
+		// agree.
+		confidenceOf := func(i int) confidence {
+			f := g.Answers[i].F
+			sample := func() float64 {
+				rng := rand.New(rand.NewSource(opts.Seed ^ (int64(i)+1)*0x7f4a7c15))
+				return lineage.KarpLuby(f, probOf, opts.samples(), rng)
+			}
+			if opts.Strategy == core.MonteCarlo {
+				return confidence{p: sample(), approx: true}
+			}
+			p, err := lineage.ProbBudget(f, probOf, opts.exactBudget())
+			if errors.Is(err, lineage.ErrBudget) && !opts.NoFallback {
+				return confidence{p: sample(), approx: true}
+			}
+			if err != nil {
+				return confidence{err: err}
+			}
+			return confidence{p: p}
+		}
+		out := make([]confidence, len(g.Answers))
+		if opts.Parallelism > 1 && len(g.Answers) > 1 {
+			jobs := make(chan int)
+			var wg sync.WaitGroup
+			workers := opts.Parallelism
+			if workers > len(g.Answers) {
+				workers = len(g.Answers)
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range jobs {
+						out[i] = confidenceOf(i)
+					}
+				}()
+			}
+			for i := range g.Answers {
+				jobs <- i
+			}
+			close(jobs)
+			wg.Wait()
+		} else {
+			for i := range g.Answers {
+				out[i] = confidenceOf(i)
+			}
+		}
+		for i, ans := range g.Answers {
+			if out[i].err != nil {
+				return out[i].err
+			}
+			if out[i].approx {
+				res.Stats.Approximate = true
+			}
+			res.Rows = append(res.Rows, Row{Vals: ans.Vals, P: out[i].p})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Answers = len(res.Rows)
+	return res, nil
+}

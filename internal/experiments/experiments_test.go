@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Scale {
+	return Scale{
+		Name:     "tiny",
+		Fig5:     workload.Params{N: 2, M: 24, Fanout: 3, RF: 0.05, RD: 1, Seed: 1},
+		Fig5Ms:   []int{12, 24},
+		Queries:  []string{"P1", "S2"},
+		Fig6:     workload.Params{N: 2, M: 12, Fanout: 3, RD: 1, Seed: 2},
+		Fig6RFs:  []float64{0, 0.5, 1},
+		Fig7:     workload.Params{N: 2, M: 12, Fanout: 3, RF: 1, Seed: 3},
+		Fig7RDs:  []float64{0, 0.2},
+		Samples:  2000,
+		MaxWidth: 14,
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "paper"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("%s: %v %v", name, sc.Name, err)
+		}
+	}
+	if _, err := ScaleByName("x"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestFig5ProducesSeries(t *testing.T) {
+	sc := tiny()
+	ms, err := Fig5(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// queries × m-values × 2 strategies.
+	want := len(sc.Queries) * len(sc.Fig5Ms) * 2
+	if len(ms) != want {
+		t.Fatalf("got %d measurements, want %d", len(ms), want)
+	}
+	for _, m := range ms {
+		if m.Err != "" {
+			t.Errorf("%s x=%g %v failed: %s", m.Query, m.X, m.Strategy, m.Err)
+		}
+		if m.Experiment != "fig5" {
+			t.Errorf("experiment = %q", m.Experiment)
+		}
+		if m.Answers == 0 {
+			t.Errorf("%s x=%g: no answers", m.Query, m.X)
+		}
+	}
+	var sb strings.Builder
+	Print(&sb, "Figure 5", "m", ms)
+	out := sb.String()
+	for _, want := range []string{"Figure 5", "query P1", "query S2", "partial (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6OffendingGrowsWithRF(t *testing.T) {
+	sc := tiny()
+	sc.Queries = []string{"P1"}
+	ms, err := Fig6(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offending []int
+	for _, m := range ms {
+		if m.Err != "" {
+			t.Fatalf("%+v", m)
+		}
+		if m.Strategy == core.PartialLineage {
+			offending = append(offending, m.Offending)
+		}
+	}
+	if len(offending) != 3 {
+		t.Fatalf("offending series = %v", offending)
+	}
+	if offending[0] != 0 {
+		t.Errorf("r_f=0 has %d offending tuples", offending[0])
+	}
+	if offending[2] <= offending[0] || offending[2] < offending[1] {
+		t.Errorf("offending tuples do not grow with r_f: %v", offending)
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	sc := tiny()
+	sc.Queries = []string{"P1"}
+	ms, err := Fig7(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Err != "" {
+			t.Errorf("%+v", m)
+		}
+	}
+	// r_d = 0 means fully deterministic R tables: zero offending tuples.
+	for _, m := range ms {
+		if m.X == 0 && m.Strategy == core.PartialLineage && m.Offending != 0 {
+			t.Errorf("r_d=0 produced %d offending tuples", m.Offending)
+		}
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	var sb strings.Builder
+	PrintTable1(&sb)
+	out := sb.String()
+	for _, want := range []string{"P1/S1", "P2", "P3", "S2", "S3", "R1, S1, R2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 printout missing %q", want)
+		}
+	}
+}

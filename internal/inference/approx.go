@@ -1,0 +1,163 @@
+package inference
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/aonet"
+)
+
+// MonteCarlo estimates N⁰(x_target = 1) by forward sampling: leaves are
+// drawn from their priors, gate nodes are computed from their sampled
+// parents with each edge firing independently with its edge probability.
+// Sampling is restricted to the ancestors of target. The estimator is
+// unbiased with standard error at most 1/(2·sqrt(samples)).
+func MonteCarlo(n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Rand) float64 {
+	nodes := n.Ancestors(target) // sorted ascending = topological order
+	x := make(map[aonet.NodeID]bool, len(nodes))
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for _, v := range nodes {
+			switch n.Label(v) {
+			case aonet.Leaf:
+				x[v] = rng.Float64() < n.LeafP(v)
+			case aonet.Or:
+				val := false
+				for _, e := range n.Parents(v) {
+					if x[e.From] && rng.Float64() < e.P {
+						val = true
+						break
+					}
+				}
+				x[v] = val
+			case aonet.And:
+				val := true
+				for _, e := range n.Parents(v) {
+					if !x[e.From] || rng.Float64() >= e.P {
+						val = false
+						break
+					}
+				}
+				x[v] = val
+			}
+		}
+		if x[target] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// BruteForce computes N⁰(x_target = 1) by enumerating assignments over the
+// ancestors of target (a parent-closed set, so all other nodes marginalize
+// to one). It is exact but exponential; used to validate Exact and
+// MonteCarlo on small networks.
+func BruteForce(n *aonet.Network, target aonet.NodeID) (float64, error) {
+	nodes := n.Ancestors(target)
+	k := len(nodes)
+	if k > aonet.MaxBruteForceNodes {
+		return 0, fmt.Errorf("inference: %d ancestor nodes exceeds brute-force limit %d", k, aonet.MaxBruteForceNodes)
+	}
+	pos := make(map[aonet.NodeID]int, k)
+	for i, v := range nodes {
+		pos[v] = i
+	}
+	// Assignment over the full network width so CondProbTrue can index it;
+	// non-ancestor entries are never read by ancestor CPDs.
+	x := make([]bool, n.Len())
+	total := 0.0
+	ti := pos[target]
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		if mask&(1<<uint(ti)) == 0 {
+			continue
+		}
+		for i, v := range nodes {
+			x[v] = mask&(1<<uint(i)) != 0
+		}
+		p := 1.0
+		for _, v := range nodes {
+			pt := n.CondProbTrue(v, x)
+			if x[v] {
+				p *= pt
+			} else {
+				p *= 1 - pt
+			}
+			if p == 0 {
+				break
+			}
+		}
+		total += p
+	}
+	return total, nil
+}
+
+// MonteCarloGiven estimates the conditional marginal
+// P(x_target = 1 | evidence) by rejection sampling: forward samples over the
+// ancestors of the target and the evidence nodes, discarding samples
+// inconsistent with the evidence. It errors when no sample is accepted
+// (evidence too unlikely for the sample budget).
+func MonteCarloGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, samples int, rng *rand.Rand) (float64, error) {
+	roots := []aonet.NodeID{target}
+	for v := range evidence {
+		roots = append(roots, v)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	seen := make(map[aonet.NodeID]bool)
+	var nodes []aonet.NodeID
+	for _, r := range roots {
+		for _, v := range n.Ancestors(r) {
+			if !seen[v] {
+				seen[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	x := make(map[aonet.NodeID]bool, len(nodes))
+	accepted, hits := 0, 0
+	for s := 0; s < samples; s++ {
+		for _, v := range nodes {
+			switch n.Label(v) {
+			case aonet.Leaf:
+				x[v] = rng.Float64() < n.LeafP(v)
+			case aonet.Or:
+				val := false
+				for _, e := range n.Parents(v) {
+					if x[e.From] && rng.Float64() < e.P {
+						val = true
+						break
+					}
+				}
+				x[v] = val
+			case aonet.And:
+				val := true
+				for _, e := range n.Parents(v) {
+					if !x[e.From] || rng.Float64() >= e.P {
+						val = false
+						break
+					}
+				}
+				x[v] = val
+			}
+		}
+		ok := true
+		for v, want := range evidence {
+			if x[v] != want {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		accepted++
+		if x[target] {
+			hits++
+		}
+	}
+	if accepted == 0 {
+		return 0, fmt.Errorf("inference: rejection sampling accepted no sample in %d draws (evidence too unlikely)", samples)
+	}
+	return float64(hits) / float64(accepted), nil
+}

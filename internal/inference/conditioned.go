@@ -1,0 +1,291 @@
+package inference
+
+import (
+	"sort"
+
+	"repro/internal/treewidth"
+)
+
+// This file implements the recursive-conditioning layer over variable
+// elimination (cutset conditioning, Pearl 1988; the same principle as the
+// confidence computation by conditioning of Koch & Olteanu [16] that the
+// paper builds on). When the interaction graph of a factor component is too
+// wide for direct elimination, the solver cases on a high-degree variable:
+// restricting the factors to v=0 and v=1 simplifies scopes and typically
+// splits the component, and the two branch measures add. Components not
+// containing the query variable reduce to scalars and multiply.
+//
+// The result is an unnormalized measure over the query variable; the caller
+// normalizes. A split budget bounds the exponential worst case, returning
+// ErrTooWide when exhausted so the engine can fall back to sampling.
+
+// restrict returns f with variable v fixed to val (v dropped from scope).
+// If v is not in scope, f itself is returned.
+func restrict(f *factor, v int, val bool) *factor {
+	p := f.pos(v)
+	if p < 0 {
+		return f
+	}
+	rest := make([]int, 0, len(f.vars)-1)
+	for _, u := range f.vars {
+		if u != v {
+			rest = append(rest, u)
+		}
+	}
+	out := newFactor(rest)
+	low := (1 << uint(p)) - 1
+	hi := 0
+	if val {
+		hi = 1 << uint(p)
+	}
+	for idx := range out.data {
+		out.data[idx] = f.data[(idx&low)|((idx&^low)<<1)|hi]
+	}
+	return out
+}
+
+// recSolver carries the options and remaining split budget of one query.
+type recSolver struct {
+	opts     Options
+	splits   int
+	maxWidth int // largest elimination width performed (for stats)
+}
+
+// splitBudget bounds the total number of conditioning branches explored.
+const splitBudget = 1 << 10
+
+// condWidth is the elimination width above which the solver prefers to
+// condition rather than eliminate directly.
+const condWidth = 14
+
+// measure is an unnormalized measure over the query variable: m[x] is the
+// mass with target = x. Components without the target use a scalar measure
+// (m[1] unused, scalar flag set).
+type measure struct {
+	m      [2]float64
+	scalar bool
+}
+
+func (a measure) mul(b measure) measure {
+	switch {
+	case a.scalar && b.scalar:
+		return measure{m: [2]float64{a.m[0] * b.m[0]}, scalar: true}
+	case a.scalar:
+		return measure{m: [2]float64{b.m[0] * a.m[0], b.m[1] * a.m[0]}}
+	case b.scalar:
+		return measure{m: [2]float64{a.m[0] * b.m[0], a.m[1] * b.m[0]}}
+	default:
+		panic("inference: product of two target measures")
+	}
+}
+
+func (a measure) add(b measure) measure {
+	if a.scalar != b.scalar {
+		panic("inference: sum of mismatched measures")
+	}
+	return measure{m: [2]float64{a.m[0] + b.m[0], a.m[1] + b.m[1]}, scalar: a.scalar}
+}
+
+// solve computes the unnormalized measure of the factor set over target
+// (target < 0 for a scalar component).
+func (s *recSolver) solve(factors []*factor, target int) (measure, error) {
+	comps, targetComp := splitComponents(factors, target)
+	result := measure{m: [2]float64{1}, scalar: true}
+	if target >= 0 && targetComp < 0 {
+		// The target's factor set is empty here (all its factors were
+		// restricted away — cannot happen for well-formed inputs, but keep
+		// the measure well-defined: target unconstrained means weight 1 for
+		// both values).
+		result = measure{m: [2]float64{1, 1}}
+	}
+	for ci, comp := range comps {
+		t := -1
+		if ci == targetComp {
+			t = target
+		}
+		m, err := s.solveComponent(comp, t)
+		if err != nil {
+			return measure{}, err
+		}
+		result = resultMul(result, m)
+	}
+	return result, nil
+}
+
+func resultMul(a, b measure) measure {
+	if a.scalar || b.scalar {
+		return a.mul(b)
+	}
+	// Both carry the target: impossible by construction (one component).
+	panic("inference: two components claim the target")
+}
+
+// solveComponent solves one connected component: by elimination when narrow
+// enough, otherwise by conditioning on a max-degree variable.
+func (s *recSolver) solveComponent(factors []*factor, target int) (measure, error) {
+	// Constant factors (empty scope) multiply directly.
+	constant := 1.0
+	live := factors[:0]
+	for _, f := range factors {
+		if len(f.vars) == 0 {
+			constant *= f.data[0]
+			continue
+		}
+		live = append(live, f)
+	}
+	if len(live) == 0 {
+		if target >= 0 {
+			return measure{m: [2]float64{constant, constant}}, nil
+		}
+		return measure{m: [2]float64{constant}, scalar: true}, nil
+	}
+	g, vars := interactionGraph(live)
+	heuristic := s.opts.Heuristic
+	if len(vars) > 400 && heuristic == treewidth.MinFill {
+		heuristic = treewidth.MinDegree
+	}
+	order, width := treewidth.Order(g, heuristic)
+	limit := s.opts.maxFactorVars()
+	threshold := condWidth
+	if threshold > limit {
+		threshold = limit
+	}
+	if width+1 <= threshold || (s.splits <= 0 && width+1 <= limit) || s.opts.NoConditioning {
+		if width > s.maxWidth {
+			s.maxWidth = width
+		}
+		vec, err := eliminateMeasure(live, vars, order, target, limit)
+		if err != nil {
+			return measure{}, err
+		}
+		vec.m[0] *= constant
+		vec.m[1] *= constant
+		return vec, nil
+	}
+	if s.splits <= 0 {
+		return measure{}, errTooWidef(width+1, limit)
+	}
+	// Condition on the max-degree variable (never the target).
+	cut := -1
+	bestDeg := -1
+	for i, v := range vars {
+		if v == target {
+			continue
+		}
+		if d := g.Degree(i); d > bestDeg {
+			bestDeg, cut = d, v
+		}
+	}
+	if cut < 0 {
+		// Only the target remains; eliminate directly.
+		vec, err := eliminateMeasure(live, vars, order, target, limit)
+		if err != nil {
+			return measure{}, err
+		}
+		vec.m[0] *= constant
+		vec.m[1] *= constant
+		return vec, nil
+	}
+	var total measure
+	for bi, val := range []bool{false, true} {
+		s.splits--
+		branch := make([]*factor, len(live))
+		for i, f := range live {
+			branch[i] = restrict(f, cut, val)
+		}
+		m, err := s.solve(branch, target)
+		if err != nil {
+			return measure{}, err
+		}
+		if target >= 0 && m.scalar {
+			// The target decoupled from every factor in this branch.
+			m = measure{m: [2]float64{m.m[0], m.m[0]}}
+		}
+		if bi == 0 {
+			total = m
+		} else {
+			total = total.add(m)
+		}
+	}
+	total.m[0] *= constant
+	total.m[1] *= constant
+	return total, nil
+}
+
+// splitComponents partitions factors into variable-connected components and
+// returns the index of the component containing target (-1 if none).
+func splitComponents(factors []*factor, target int) ([][]*factor, int) {
+	parent := make(map[int]int)
+	var find func(int) int
+	find = func(v int) int {
+		r, ok := parent[v]
+		if !ok {
+			parent[v] = v
+			return v
+		}
+		if r == v {
+			return v
+		}
+		root := find(r)
+		parent[v] = root
+		return root
+	}
+	for _, f := range factors {
+		for i := 1; i < len(f.vars); i++ {
+			parent[find(f.vars[0])] = find(f.vars[i])
+		}
+	}
+	groups := make(map[int][]*factor)
+	var roots []int
+	var constants []*factor
+	for _, f := range factors {
+		if len(f.vars) == 0 {
+			constants = append(constants, f)
+			continue
+		}
+		r := find(f.vars[0])
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], f)
+	}
+	sort.Ints(roots)
+	out := make([][]*factor, 0, len(groups)+1)
+	if len(constants) > 0 {
+		out = append(out, constants)
+	}
+	targetComp := -1
+	for _, r := range roots {
+		if target >= 0 {
+			if rr, ok := parent[target]; ok && find(rr) == r {
+				targetComp = len(out)
+			}
+		}
+		out = append(out, groups[r])
+	}
+	return out, targetComp
+}
+
+// interactionGraph builds the moral interaction graph of the factors,
+// returning the graph and the variable list.
+func interactionGraph(factors []*factor) (*treewidth.Graph, []int) {
+	idx := make(map[int]int)
+	var vars []int
+	for _, f := range factors {
+		for _, v := range f.vars {
+			if _, ok := idx[v]; !ok {
+				idx[v] = len(vars)
+				vars = append(vars, v)
+			}
+		}
+	}
+	g := treewidth.NewGraph(len(vars))
+	for _, f := range factors {
+		for i := 0; i < len(f.vars); i++ {
+			for j := i + 1; j < len(f.vars); j++ {
+				g.AddEdge(idx[f.vars[i]], idx[f.vars[j]])
+			}
+		}
+	}
+	return g, vars
+}

@@ -1,0 +1,126 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+)
+
+// bruteForceGiven computes P(target=1 | evidence) by enumeration.
+func bruteForceGiven(t *testing.T, n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool) float64 {
+	t.Helper()
+	k := n.Len()
+	if k > aonet.MaxBruteForceNodes {
+		t.Fatal("network too large for brute force")
+	}
+	x := make([]bool, k)
+	num, den := 0.0, 0.0
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		for i := 0; i < k; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+		}
+		consistent := true
+		for v, val := range evidence {
+			if x[v] != val {
+				consistent = false
+				break
+			}
+		}
+		if !consistent {
+			continue
+		}
+		p := n.Joint(x)
+		den += p
+		if x[target] {
+			num += p
+		}
+	}
+	if den == 0 {
+		t.Fatal("evidence has probability zero")
+	}
+	return num / den
+}
+
+func TestExactGivenMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 40; trial++ {
+		n := randomNetwork(rng, 3, 4, 3)
+		target := aonet.NodeID(n.Len() - 1)
+		// Evidence on a leaf (always positive probability for both values
+		// when 0 < p < 1).
+		evNode := aonet.NodeID(1 + rng.Intn(2))
+		if n.Label(evNode) != aonet.Leaf || n.LeafP(evNode) <= 0 || n.LeafP(evNode) >= 1 {
+			continue
+		}
+		evidence := map[aonet.NodeID]bool{evNode: rng.Intn(2) == 0}
+		want := bruteForceGiven(t, n, target, evidence)
+		got, err := ExactGiven(n, target, evidence, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got.P-want) > 1e-9 {
+			t.Errorf("trial %d: conditional %.12f, want %.12f", trial, got.P, want)
+		}
+	}
+}
+
+func TestExactGivenExplainingAway(t *testing.T) {
+	// Classic explaining-away: or = u ∨ v. Observing or=1 raises P(u);
+	// additionally observing v=1 lowers it back toward the prior.
+	n := aonet.New()
+	u := n.AddLeaf(0.1)
+	v := n.AddLeaf(0.1)
+	or := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 1}, {From: v, P: 1}})
+	prior, err := Exact(n, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	given, err := ExactGiven(n, u, map[aonet.NodeID]bool{or: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := ExactGiven(n, u, map[aonet.NodeID]bool{or: true, v: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(given.P > prior.P) {
+		t.Errorf("observing the Or should raise P(u): %g vs prior %g", given.P, prior.P)
+	}
+	if !(both.P < given.P) {
+		t.Errorf("explaining away failed: %g should drop below %g", both.P, given.P)
+	}
+	// P(u | or=1, v=1) = P(u) since or is certain given v: equals prior.
+	if math.Abs(both.P-prior.P) > 1e-9 {
+		t.Errorf("P(u | or, v) = %g, want the prior %g", both.P, prior.P)
+	}
+}
+
+func TestExactGivenZeroProbabilityEvidence(t *testing.T) {
+	n := aonet.New()
+	u := n.AddLeaf(0) // never true
+	v := n.AddLeaf(0.5)
+	if _, err := ExactGiven(n, v, map[aonet.NodeID]bool{u: true}, Options{}); err == nil {
+		t.Error("zero-probability evidence accepted")
+	}
+}
+
+func TestExactGivenEvidenceOutsideAncestors(t *testing.T) {
+	// Evidence on a DESCENDANT of the target must influence the result
+	// (the scope extension pulls it in).
+	n := aonet.New()
+	u := n.AddLeaf(0.2)
+	or := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 1}, {From: n.AddLeaf(0.5), P: 1}})
+	want := bruteForceGiven(t, n, u, map[aonet.NodeID]bool{or: false})
+	got, err := ExactGiven(n, u, map[aonet.NodeID]bool{or: false}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P-want) > 1e-9 {
+		t.Errorf("conditional on descendant = %g, want %g", got.P, want)
+	}
+	if got.P != 0 {
+		t.Errorf("P(u | or=0) should be 0, got %g", got.P)
+	}
+}

@@ -1,0 +1,409 @@
+package inference
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/aonet"
+	"repro/internal/treewidth"
+)
+
+// ErrTooWide is returned by Exact when variable elimination would build a
+// factor larger than Options.MaxFactorVars variables — the network's
+// (heuristic) treewidth is past the tractable region, and the caller should
+// fall back to approximate inference.
+var ErrTooWide = errors.New("inference: elimination width exceeds limit; use approximate inference")
+
+// Options configures exact inference.
+type Options struct {
+	// MaxFactorVars caps the scope of any intermediate factor. A factor over
+	// k variables stores 2^k float64s; the default 22 bounds a single factor
+	// at 32 MiB. Zero means the default.
+	MaxFactorVars int
+	// Heuristic selects the elimination ordering heuristic
+	// (default min-fill).
+	Heuristic treewidth.Heuristic
+	// NoAncestorPrune disables restricting inference to the ancestors of the
+	// queried node. Pruning is always sound (descendants and unrelated nodes
+	// marginalize to 1); the flag exists for the ablation benchmark.
+	NoAncestorPrune bool
+	// NoDecompose disables the D(G) gate decomposition, building one factor
+	// per gate over all of its parents instead. Without decomposition a gate
+	// with fan-in k yields a 2^(k+1)-entry factor; the flag exists for the
+	// ablation benchmark (Figure 2 contrasts M(G) with M(D(G))).
+	NoDecompose bool
+	// NoConditioning disables the recursive-conditioning layer, forcing
+	// plain variable elimination up to the width limit; it exists for the
+	// cutset-conditioning ablation benchmark.
+	NoConditioning bool
+}
+
+func (o Options) maxFactorVars() int {
+	if o.MaxFactorVars <= 0 {
+		return 22
+	}
+	return o.MaxFactorVars
+}
+
+// Result carries the marginal and the work statistics of one exact query.
+type Result struct {
+	P float64
+	// Width is the maximum intermediate factor scope encountered minus one,
+	// i.e. the width of the elimination actually performed.
+	Width int
+	// Vars is the number of variables (network nodes plus decomposition
+	// auxiliaries) the elimination ran over.
+	Vars int
+}
+
+// Exact computes N⁰(x_target = 1) by recursive conditioning over variable
+// elimination: components narrow enough are eliminated directly; wide
+// components are case-split on high-degree variables (cutset conditioning),
+// which shrinks factor scopes and decouples sub-components, until the split
+// budget runs out (then ErrTooWide).
+func Exact(n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) {
+	return ExactGiven(n, target, nil, opts)
+}
+
+// ExactGiven computes the conditional marginal P(x_target = 1 | evidence),
+// where evidence fixes the values of other network nodes: indicator factors
+// zero out inconsistent assignments and the normalized result is the
+// conditional. The variable scope is extended with the evidence nodes'
+// ancestors. Evidence of probability zero is an error. With nil evidence it
+// equals Exact.
+func ExactGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, opts Options) (Result, error) {
+	b := builder{net: n, opts: opts}
+	extra := make([]aonet.NodeID, 0, len(evidence))
+	for v := range evidence {
+		extra = append(extra, v)
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	factors, targetVar, err := b.build(target, extra...)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, v := range extra {
+		ev := b.nodeVar[v]
+		if ev < 0 {
+			return Result{}, fmt.Errorf("inference: evidence node %d outside variable scope", v)
+		}
+		f := newFactor([]int{int(ev)})
+		if evidence[v] {
+			f.data[1] = 1
+		} else {
+			f.data[0] = 1
+		}
+		factors = append(factors, f)
+	}
+	s := &recSolver{opts: opts, splits: splitBudget}
+	m, err := s.solve(factors, targetVar)
+	if err != nil {
+		return Result{}, err
+	}
+	total := m.m[0] + m.m[1]
+	if m.scalar || total <= 0 {
+		return Result{}, fmt.Errorf("inference: degenerate result measure %v (evidence of probability zero?)", m.m)
+	}
+	return Result{P: m.m[1] / total, Width: s.maxWidth, Vars: b.nextVar}, nil
+}
+
+// errTooWidef wraps ErrTooWide with the offending width.
+func errTooWidef(needed, limit int) error {
+	return fmt.Errorf("%w (needed %d variables, limit %d)", ErrTooWide, needed, limit)
+}
+
+// builder converts (the relevant part of) a network into factors.
+type builder struct {
+	net     *aonet.Network
+	opts    Options
+	nextVar int
+	nodeVar []int32 // indexed by NodeID; -1 when outside the variable scope
+}
+
+// build returns the factor list for the ancestors of target (and of any
+// extra nodes, e.g. evidence) and the variable index assigned to target.
+func (b *builder) build(target aonet.NodeID, extra ...aonet.NodeID) ([]*factor, int, error) {
+	var nodes []aonet.NodeID
+	if b.opts.NoAncestorPrune {
+		nodes = make([]aonet.NodeID, b.net.Len())
+		for i := range nodes {
+			nodes[i] = aonet.NodeID(i)
+		}
+	} else {
+		seen := make(map[aonet.NodeID]bool)
+		for _, root := range append([]aonet.NodeID{target}, extra...) {
+			for _, v := range b.net.Ancestors(root) {
+				if !seen[v] {
+					seen[v] = true
+					nodes = append(nodes, v)
+				}
+			}
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	}
+	b.nodeVar = make([]int32, b.net.Len())
+	for i := range b.nodeVar {
+		b.nodeVar[i] = -1
+	}
+	for _, v := range nodes {
+		b.nodeVar[v] = int32(b.nextVar)
+		b.nextVar++
+	}
+	var factors []*factor
+	for _, v := range nodes {
+		fs, err := b.nodeFactors(v)
+		if err != nil {
+			return nil, 0, err
+		}
+		factors = append(factors, fs...)
+	}
+	return factors, int(b.nodeVar[target]), nil
+}
+
+// leafFactor builds the prior factor for a leaf.
+func leafFactor(v int, p float64) *factor {
+	f := newFactor([]int{v})
+	f.data[0], f.data[1] = 1-p, p
+	return f
+}
+
+// binaryGateFactor builds the CPD factor for out = gate(in1 with weight q1,
+// in2 with weight q2) for label And/Or.
+func binaryGateFactor(label aonet.Label, out, in1 int, q1 float64, in2 int, q2 float64) *factor {
+	f := newFactor([]int{out, in1, in2})
+	outBit := 1 << uint(f.pos(out))
+	in1Bit := 1 << uint(f.pos(in1))
+	in2Bit := 1 << uint(f.pos(in2))
+	for mask := 0; mask < 4; mask++ {
+		x1 := mask&1 != 0
+		x2 := mask&2 != 0
+		var pt float64
+		if label == aonet.And {
+			if x1 && x2 {
+				pt = q1 * q2
+			}
+		} else {
+			prod := 1.0
+			if x1 {
+				prod *= 1 - q1
+			}
+			if x2 {
+				prod *= 1 - q2
+			}
+			pt = 1 - prod
+		}
+		base := 0
+		if x1 {
+			base |= in1Bit
+		}
+		if x2 {
+			base |= in2Bit
+		}
+		f.data[base] = 1 - pt
+		f.data[base|outBit] = pt
+	}
+	return f
+}
+
+// unaryGateFactor builds the CPD factor for out = gate(in with weight q);
+// And and Or coincide on a single input: P(out=1|in) = x_in·q.
+func unaryGateFactor(out, in int, q float64) *factor {
+	f := newFactor([]int{out, in})
+	outBit := 1 << uint(f.pos(out))
+	inBit := 1 << uint(f.pos(in))
+	f.data[0] = 1
+	f.data[outBit] = 0
+	f.data[inBit] = 1 - q
+	f.data[inBit|outBit] = q
+	return f
+}
+
+// gateProb evaluates φ(out=1 | inputs) for the given label.
+func gateProb(label aonet.Label, x []bool, q []float64) float64 {
+	if label == aonet.And {
+		p := 1.0
+		for i := range x {
+			if !x[i] {
+				return 0
+			}
+			p *= q[i]
+		}
+		return p
+	}
+	prod := 1.0
+	for i := range x {
+		if x[i] {
+			prod *= 1 - q[i]
+		}
+	}
+	return 1 - prod
+}
+
+// nodeFactors emits the factor(s) encoding node v's CPD, decomposing high
+// fan-in gates into a chain of binary gates through fresh auxiliary
+// variables (the D(G) construction) unless disabled.
+func (b *builder) nodeFactors(v aonet.NodeID) ([]*factor, error) {
+	out := int(b.nodeVar[v])
+	switch b.net.Label(v) {
+	case aonet.Leaf:
+		return []*factor{leafFactor(out, b.net.LeafP(v))}, nil
+	}
+	label := b.net.Label(v)
+	// Merge duplicate parent edges into a single effective weight so every
+	// factor variable is distinct: an And sees x_w·q1·x_w·q2 = x_w·(q1·q2),
+	// an Or sees 1-(1-x_w·q1)(1-x_w·q2) = x_w·(1-(1-q1)(1-q2)).
+	var ins []int
+	var qs []float64
+	seen := make(map[int]int)
+	for _, e := range b.net.Parents(v) {
+		pv32 := b.nodeVar[e.From]
+		if pv32 < 0 {
+			return nil, fmt.Errorf("inference: parent %d of node %d outside variable scope", e.From, v)
+		}
+		pv := int(pv32)
+		if j, dup := seen[pv]; dup {
+			if label == aonet.And {
+				qs[j] *= e.P
+			} else {
+				qs[j] = 1 - (1-qs[j])*(1-e.P)
+			}
+			continue
+		}
+		seen[pv] = len(ins)
+		ins = append(ins, pv)
+		qs = append(qs, e.P)
+	}
+	if len(ins) == 1 {
+		return []*factor{unaryGateFactor(out, ins[0], qs[0])}, nil
+	}
+	if b.opts.NoDecompose {
+		return []*factor{b.wideGateFactor(label, out, ins, qs)}, nil
+	}
+	// Chain: a_2 = g(w1,w2), a_j = g(a_{j-1}, w_j), last output is v itself.
+	var fs []*factor
+	cur, curQ := ins[0], qs[0]
+	for i := 1; i < len(ins); i++ {
+		outVar := out
+		if i < len(ins)-1 {
+			outVar = b.nextVar
+			b.nextVar++
+		}
+		fs = append(fs, binaryGateFactor(label, outVar, cur, curQ, ins[i], qs[i]))
+		cur, curQ = outVar, 1
+	}
+	return fs, nil
+}
+
+// wideGateFactor builds a single factor over the gate output and all its
+// parents (used only when decomposition is disabled).
+func (b *builder) wideGateFactor(label aonet.Label, out int, ins []int, qs []float64) *factor {
+	vars := append([]int{out}, ins...)
+	f := newFactor(vars)
+	k := len(ins)
+	x := make([]bool, k)
+	assign := make(map[int]bool, k+1)
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		for i := 0; i < k; i++ {
+			x[i] = mask&(1<<uint(i)) != 0
+			assign[ins[i]] = x[i]
+		}
+		pt := gateProb(label, x, qs)
+		assign[out] = true
+		f.set(assign, pt)
+		assign[out] = false
+		f.set(assign, 1-pt)
+	}
+	return f
+}
+
+// eliminateMeasure runs bucketed variable elimination over the factors,
+// summing out every variable except target (all variables when target < 0),
+// following the supplied elimination order (indexes into vars). It returns
+// the unnormalized measure over the target. Any elimination step whose
+// union scope exceeds limit variables aborts with ErrTooWide.
+func eliminateMeasure(factors []*factor, vars []int, order []int, target, limit int) (measure, error) {
+	maxVar := 0
+	for _, v := range vars {
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	live := append([]*factor(nil), factors...)
+	buckets := make([][]int32, maxVar+1)
+	addToBuckets := func(fi int) {
+		for _, u := range live[fi].vars {
+			buckets[u] = append(buckets[u], int32(fi))
+		}
+	}
+	for fi := range live {
+		addToBuckets(fi)
+	}
+	inScope := make([]bool, maxVar+1)
+	for _, gi := range order {
+		v := vars[gi]
+		if v == target {
+			continue
+		}
+		var group []*factor
+		var scope []int
+		for _, fi := range buckets[v] {
+			f := live[fi]
+			if f == nil || f.pos(v) < 0 {
+				continue
+			}
+			group = append(group, f)
+			live[fi] = nil // consumed
+			for _, u := range f.vars {
+				if !inScope[u] {
+					inScope[u] = true
+					scope = append(scope, u)
+				}
+			}
+		}
+		buckets[v] = nil
+		for _, u := range scope {
+			inScope[u] = false
+		}
+		if len(group) == 0 {
+			continue
+		}
+		if len(scope) > limit {
+			return measure{}, errTooWidef(len(scope), limit)
+		}
+		reduced := sumOut(multiplyAll(group), v)
+		live = append(live, reduced)
+		addToBuckets(len(live) - 1)
+	}
+	// Multiply the remaining factors (all over target or empty scope).
+	var remaining []*factor
+	if target >= 0 {
+		remaining = append(remaining, leafUniform(target))
+	}
+	for _, f := range live {
+		if f != nil {
+			remaining = append(remaining, f)
+		}
+	}
+	if len(remaining) == 0 {
+		return measure{m: [2]float64{1}, scalar: true}, nil
+	}
+	result := multiplyAll(remaining)
+	for _, v := range result.vars {
+		if v != target {
+			result = sumOut(result, v)
+		}
+	}
+	if target < 0 {
+		return measure{m: [2]float64{result.data[0]}, scalar: true}, nil
+	}
+	return measure{m: [2]float64{result.data[0], result.data[1]}}, nil
+}
+
+// leafUniform returns the constant-1 factor over a single variable, seeding
+// the final product so the result always carries the target in scope.
+func leafUniform(v int) *factor {
+	f := newFactor([]int{v})
+	f.data[0], f.data[1] = 1, 1
+	return f
+}

@@ -1,0 +1,174 @@
+package inference
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aonet"
+	"repro/internal/lineage"
+)
+
+// ErrExpansion is returned by ExpandDNF when the expanded formula exceeds
+// the size budget.
+var ErrExpansion = errors.New("inference: partial-lineage expansion exceeds the size budget")
+
+// ExpandDNF converts the ancestors of target into an equivalent monotone
+// DNF over independent variables: one variable per uncertain leaf and one
+// anonymous variable per sub-unit edge probability ("every number stands for
+// a separate Boolean variable", Section 4.2). The expansion distributes And
+// gates over Or gates exactly as lineage grounding would, so its size is
+// bounded by the size of the full DNF lineage and is typically far smaller —
+// it only mentions offending tuples and their coins.
+//
+// The returned probability slice is indexed by lineage.Var. maxClauses
+// bounds the total clause count across all memoized nodes (0 means 100000);
+// past it ExpandDNF returns ErrExpansion and the caller should fall back to
+// variable elimination or sampling.
+//
+// Shared gate nodes are expanded once and their clause sets reused, so
+// shared sub-events keep shared variables (correct correlation), while each
+// edge coin stays private to its edge.
+func ExpandDNF(n *aonet.Network, target aonet.NodeID, maxClauses int) (*lineage.DNF, []float64, error) {
+	if maxClauses <= 0 {
+		maxClauses = 100000
+	}
+	e := &expander{
+		net:        n,
+		maxClauses: maxClauses,
+		memo:       make(map[aonet.NodeID][]lineage.Clause),
+	}
+	clauses, err := e.expand(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]lineage.Clause, len(clauses))
+	copy(out, clauses)
+	return &lineage.DNF{Clauses: out}, e.probs, nil
+}
+
+type expander struct {
+	net        *aonet.Network
+	maxClauses int
+	total      int
+	probs      []float64
+	leafVar    map[aonet.NodeID]lineage.Var
+	memo       map[aonet.NodeID][]lineage.Clause
+}
+
+// newVar allocates a variable with the given probability.
+func (e *expander) newVar(p float64) lineage.Var {
+	v := lineage.Var(len(e.probs))
+	e.probs = append(e.probs, p)
+	return v
+}
+
+// charge counts newly produced clauses against the budget.
+func (e *expander) charge(n int) error {
+	e.total += n
+	if e.total > e.maxClauses {
+		return fmt.Errorf("%w (%d clauses, budget %d)", ErrExpansion, e.total, e.maxClauses)
+	}
+	return nil
+}
+
+// expand returns the clause set of the event "node = 1". An empty clause
+// set means the event is impossible; a set containing the empty clause
+// means it is certain.
+func (e *expander) expand(v aonet.NodeID) ([]lineage.Clause, error) {
+	if cs, ok := e.memo[v]; ok {
+		return cs, nil
+	}
+	var out []lineage.Clause
+	switch e.net.Label(v) {
+	case aonet.Leaf:
+		switch p := e.net.LeafP(v); {
+		case p >= 1:
+			out = []lineage.Clause{{}}
+		case p <= 0:
+			out = nil
+		default:
+			if e.leafVar == nil {
+				e.leafVar = make(map[aonet.NodeID]lineage.Var)
+			}
+			lv, ok := e.leafVar[v]
+			if !ok {
+				lv = e.newVar(p)
+				e.leafVar[v] = lv
+			}
+			out = []lineage.Clause{{lv}}
+		}
+	case aonet.Or:
+		for _, edge := range e.net.Parents(v) {
+			if edge.P <= 0 {
+				continue
+			}
+			sub, err := e.expand(edge.From)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.charge(len(sub)); err != nil {
+				return nil, err
+			}
+			if edge.P >= 1 {
+				out = append(out, sub...)
+				continue
+			}
+			coin := e.newVar(edge.P)
+			for _, c := range sub {
+				nc := make(lineage.Clause, 0, len(c)+1)
+				nc = append(nc, c...)
+				nc = append(nc, coin)
+				out = append(out, lineage.NewClause(nc...))
+			}
+		}
+	case aonet.And:
+		out = []lineage.Clause{{}}
+		for _, edge := range e.net.Parents(v) {
+			if edge.P <= 0 {
+				out = nil
+				break
+			}
+			sub, err := e.expand(edge.From)
+			if err != nil {
+				return nil, err
+			}
+			var coin lineage.Var = -1
+			if edge.P < 1 {
+				coin = e.newVar(edge.P)
+			}
+			if err := e.charge(len(out) * len(sub)); err != nil {
+				return nil, err
+			}
+			next := make([]lineage.Clause, 0, len(out)*len(sub))
+			for _, a := range out {
+				for _, b := range sub {
+					nc := make(lineage.Clause, 0, len(a)+len(b)+1)
+					nc = append(nc, a...)
+					nc = append(nc, b...)
+					if coin >= 0 {
+						nc = append(nc, coin)
+					}
+					next = append(next, lineage.NewClause(nc...))
+				}
+			}
+			out = next
+			if len(out) == 0 {
+				break
+			}
+		}
+	}
+	e.memo[v] = out
+	return out, nil
+}
+
+// ExactViaExpansion computes N⁰(x_target = 1) by expanding the partial
+// lineage to a DNF and running the exact confidence solver (Shannon
+// expansion with independence decomposition) on it. maxClauses and budget
+// bound expansion size and solver work respectively (0 = defaults).
+func ExactViaExpansion(n *aonet.Network, target aonet.NodeID, maxClauses, budget int) (float64, error) {
+	f, probs, err := ExpandDNF(n, target, maxClauses)
+	if err != nil {
+		return 0, err
+	}
+	return lineage.ProbBudget(f, func(v lineage.Var) float64 { return probs[v] }, budget)
+}

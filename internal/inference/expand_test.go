@@ -1,0 +1,176 @@
+package inference
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+	"repro/internal/lineage"
+)
+
+func TestExpandMatchesBruteForceOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 60; trial++ {
+		n := randomNetwork(rng, 2+rng.Intn(4), 1+rng.Intn(6), 4)
+		target := aonet.NodeID(rng.Intn(n.Len()))
+		want, err := BruteForce(n, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExactViaExpansion(n, target, 0, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: expansion = %.12f, brute force = %.12f", trial, got, want)
+		}
+	}
+}
+
+func TestExpandAgreesWithConditionedVE(t *testing.T) {
+	// Larger networks than brute force can handle: cross-check the two
+	// exact backends against each other.
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 10; trial++ {
+		n := randomNetwork(rng, 8, 25, 3)
+		target := aonet.NodeID(n.Len() - 1)
+		viaExp, err := ExactViaExpansion(n, target, 0, 0)
+		if err != nil {
+			t.Fatalf("trial %d: expansion: %v", trial, err)
+		}
+		viaVE, err := Exact(n, target, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: VE: %v", trial, err)
+		}
+		if math.Abs(viaExp-viaVE.P) > 1e-9 {
+			t.Errorf("trial %d: expansion %.12f vs VE %.12f", trial, viaExp, viaVE.P)
+		}
+	}
+}
+
+func TestExpandEpsilonAndLeaves(t *testing.T) {
+	n := aonet.New()
+	if p, err := ExactViaExpansion(n, aonet.Epsilon, 0, 0); err != nil || math.Abs(p-1) > 1e-12 {
+		t.Errorf("ε: %g, %v", p, err)
+	}
+	u := n.AddLeaf(0.37)
+	if p, err := ExactViaExpansion(n, u, 0, 0); err != nil || math.Abs(p-0.37) > 1e-12 {
+		t.Errorf("leaf: %g, %v", p, err)
+	}
+	z := n.AddLeaf(0)
+	f, _, err := ExpandDNF(n, z, 0)
+	if err != nil || len(f.Clauses) != 0 {
+		t.Errorf("zero leaf: %v, %v", f, err)
+	}
+}
+
+func TestExpandSharedSubeventKeepsCorrelation(t *testing.T) {
+	// v = Or(u); w = Or(u); top = And(v, w). Since v and w are the same
+	// event u, P(top) = P(u), not P(u)².
+	n := aonet.New()
+	u := n.AddLeaf(0.5)
+	v := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 1}})
+	w := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 1}})
+	if v != w {
+		// Deterministic gates are consed; force distinct via an extra
+		// parent with weight 1 from ε.
+		w = n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 1}, {From: u, P: 1}})
+	}
+	top := n.AddGate(aonet.And, []aonet.Edge{{From: v, P: 1}, {From: w, P: 1}})
+	got, err := ExactViaExpansion(n, top, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BruteForce(n, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 || math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("shared sub-event: expansion %g, brute force %g, want 0.5", got, want)
+	}
+}
+
+func TestExpandCoinsAreIndependentPerEdge(t *testing.T) {
+	// top = Or(u with 0.5, u with 0.5): P = p_u·(1-(1-.5)(1-.5)) = p_u·0.75.
+	n := aonet.New()
+	u := n.AddLeaf(0.8)
+	top := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 0.5}, {From: u, P: 0.5}})
+	got, err := ExactViaExpansion(n, top, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.8 * 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("per-edge coins: %g, want %g", got, want)
+	}
+}
+
+// buildAndOrTower builds a balanced tower of And-of-Or gates over nLeaves
+// leaves; its DNF expansion squares in size per level.
+func buildAndOrTower(nLeaves int) (*aonet.Network, aonet.NodeID) {
+	n := aonet.New()
+	layer := []aonet.NodeID{}
+	for i := 0; i < nLeaves; i++ {
+		layer = append(layer, n.AddLeaf(0.5))
+	}
+	for len(layer) > 1 {
+		var next []aonet.NodeID
+		for i := 0; i+1 < len(layer); i += 2 {
+			or1 := n.AddGate(aonet.Or, []aonet.Edge{{From: layer[i], P: 0.9}, {From: layer[i+1], P: 0.9}})
+			or2 := n.AddGate(aonet.Or, []aonet.Edge{{From: layer[i], P: 0.8}, {From: layer[i+1], P: 0.8}})
+			next = append(next, n.AddGate(aonet.And, []aonet.Edge{{From: or1, P: 1}, {From: or2, P: 1}}))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	return n, layer[0]
+}
+
+func TestExpandBudget(t *testing.T) {
+	// A deep tower's DNF expansion is exponential: the clause budget must
+	// trip rather than hang or exhaust memory.
+	n, top := buildAndOrTower(24)
+	if _, _, err := ExpandDNF(n, top, 50); !errors.Is(err, ErrExpansion) {
+		t.Errorf("expected ErrExpansion, got %v", err)
+	}
+	// A shallow tower expands within budget and matches the VE backend.
+	n2, top2 := buildAndOrTower(6)
+	p1, err := ExactViaExpansion(n2, top2, 1000000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Exact(n2, top2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-p2.P) > 1e-9 {
+		t.Errorf("expansion %g vs VE %g", p1, p2.P)
+	}
+}
+
+func TestExpandSolverBudgetPropagates(t *testing.T) {
+	// A dense formula that expands fine but exceeds a tiny solver budget.
+	n := aonet.New()
+	var leaves []aonet.NodeID
+	for i := 0; i < 12; i++ {
+		leaves = append(leaves, n.AddLeaf(0.5))
+	}
+	var ors []aonet.Edge
+	for i := 0; i < 12; i++ {
+		ors = append(ors, aonet.Edge{
+			From: n.AddGate(aonet.And, []aonet.Edge{
+				{From: leaves[i], P: 1},
+				{From: leaves[(i+5)%12], P: 1},
+				{From: leaves[(i+7)%12], P: 1},
+			}),
+			P: 1,
+		})
+	}
+	top := n.AddGate(aonet.Or, ors)
+	if _, err := ExactViaExpansion(n, top, 0, 2); !errors.Is(err, lineage.ErrBudget) {
+		t.Errorf("expected solver budget error, got %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package inference computes marginal probabilities over AND-OR networks.
+//
+// The exact engine follows the construction the paper analyzes in
+// Section 4.3.2: gates with many parents are decomposed into chains of
+// binary gates D(G) (each conditional probability table then spans at most
+// three variables, Figure 2), the resulting factors are moralized implicitly,
+// and a variable-elimination pass with a greedy treewidth ordering sums out
+// everything but the queried node. Its cost is exponential in the width of
+// the elimination ordering found for M(D(G)) restricted to the ancestors of
+// the queried node, which is the complexity class the paper establishes for
+// partial-lineage inference (Theorem 5.17, Corollary 4.4).
+//
+// The package also offers forward Monte-Carlo sampling for networks beyond
+// the exact-inference phase transition (Section 6.4 observes that past a
+// certain treewidth "one must resort to approximate computations"), and a
+// brute-force enumerator used to validate both.
+package inference
+
+import (
+	"fmt"
+	"sort"
+)
+
+// factor is a table over a sorted set of Boolean variables. data has
+// 2^len(vars) entries; the value of vars[i] selects bit i of the index.
+type factor struct {
+	vars []int
+	data []float64
+}
+
+func newFactor(vars []int) *factor {
+	sorted := append([]int(nil), vars...)
+	sort.Ints(sorted)
+	return &factor{vars: sorted, data: make([]float64, 1<<uint(len(sorted)))}
+}
+
+// pos returns the position of v in f.vars, or -1.
+func (f *factor) pos(v int) int {
+	for i, u := range f.vars {
+		if u == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// set assigns the table entry for the given assignment, expressed as a map
+// from variable to value. Used by the builders, where scopes are tiny.
+func (f *factor) set(assign map[int]bool, val float64) {
+	idx := 0
+	for i, v := range f.vars {
+		if assign[v] {
+			idx |= 1 << uint(i)
+		}
+	}
+	f.data[idx] = val
+}
+
+// multiply returns the product factor of f and g over the union scope.
+func multiply(f, g *factor) *factor {
+	return multiplyAll([]*factor{f, g})
+}
+
+// indexTable maps every index over the output scope to the corresponding
+// index of a factor whose per-output-bit index masks are given. Built by
+// dynamic programming in O(2^k): an index in [2^b, 2^(b+1)) extends the
+// already-computed index with bit b cleared.
+func indexTable(size int, masks []int32) []int32 {
+	t := make([]int32, size)
+	for b := 0; 1<<uint(b) < size; b++ {
+		lo := 1 << uint(b)
+		m := masks[b]
+		for idx := lo; idx < lo<<1 && idx < size; idx++ {
+			t[idx] = t[idx-lo] | m
+		}
+	}
+	return t
+}
+
+// multiplyAll returns the product of all factors over their union scope in
+// a single pass, avoiding the intermediate tables a pairwise chain would
+// materialize.
+func multiplyAll(fs []*factor) *factor {
+	var union []int
+	seen := make(map[int]bool)
+	for _, f := range fs {
+		for _, v := range f.vars {
+			if !seen[v] {
+				seen[v] = true
+				union = append(union, v)
+			}
+		}
+	}
+	out := newFactor(union)
+	size := len(out.data)
+	tables := make([][]int32, len(fs))
+	for fi, f := range fs {
+		masks := make([]int32, len(out.vars))
+		for i, v := range out.vars {
+			if j := f.pos(v); j >= 0 {
+				masks[i] = 1 << uint(j)
+			}
+		}
+		tables[fi] = indexTable(size, masks)
+	}
+	for idx := 0; idx < size; idx++ {
+		p := 1.0
+		for fi := range fs {
+			p *= fs[fi].data[tables[fi][idx]]
+			if p == 0 {
+				break
+			}
+		}
+		out.data[idx] = p
+	}
+	return out
+}
+
+// sumOut returns the factor with variable v marginalized away.
+func sumOut(f *factor, v int) *factor {
+	p := f.pos(v)
+	if p < 0 {
+		return f
+	}
+	rest := make([]int, 0, len(f.vars)-1)
+	for _, u := range f.vars {
+		if u != v {
+			rest = append(rest, u)
+		}
+	}
+	out := newFactor(rest)
+	low := (1 << uint(p)) - 1
+	for idx := range out.data {
+		base := (idx & low) | ((idx &^ low) << 1)
+		out.data[idx] = f.data[base] + f.data[base|1<<uint(p)]
+	}
+	return out
+}
+
+// normalizeCheck verifies a one-variable result factor is (numerically) a
+// distribution and returns P(var = 1).
+func normalizeCheck(f *factor) (float64, error) {
+	if len(f.vars) != 1 {
+		return 0, fmt.Errorf("inference: result factor has scope %v, want a single variable", f.vars)
+	}
+	total := f.data[0] + f.data[1]
+	if total <= 0 {
+		return 0, fmt.Errorf("inference: result factor sums to %g", total)
+	}
+	return f.data[1] / total, nil
+}

@@ -1,0 +1,287 @@
+package inference
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+	"repro/internal/treewidth"
+)
+
+// randomNetwork builds a random valid AND-OR network for cross-checking.
+func randomNetwork(rng *rand.Rand, nLeaves, nGates, maxFanIn int) *aonet.Network {
+	n := aonet.New()
+	for i := 0; i < nLeaves; i++ {
+		n.AddLeaf(rng.Float64())
+	}
+	for i := 0; i < nGates; i++ {
+		k := 1 + rng.Intn(maxFanIn)
+		edges := make([]aonet.Edge, 0, k)
+		for j := 0; j < k; j++ {
+			p := 1.0
+			if rng.Intn(2) == 0 {
+				p = rng.Float64()
+			}
+			edges = append(edges, aonet.Edge{From: aonet.NodeID(rng.Intn(n.Len())), P: p})
+		}
+		lab := aonet.Or
+		if rng.Intn(2) == 0 {
+			lab = aonet.And
+		}
+		n.AddGate(lab, edges)
+	}
+	return n
+}
+
+func TestExactMatchesBruteForceOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := randomNetwork(rng, 2+rng.Intn(4), 1+rng.Intn(6), 4)
+		target := aonet.NodeID(rng.Intn(n.Len()))
+		want, err := BruteForce(n, target)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, opts := range []Options{
+			{},
+			{Heuristic: treewidth.MinDegree},
+			{NoAncestorPrune: true},
+			{NoDecompose: true},
+		} {
+			got, err := Exact(n, target, opts)
+			if err != nil {
+				t.Fatalf("trial %d (%+v): %v", trial, opts, err)
+			}
+			if math.Abs(got.P-want) > 1e-9 {
+				t.Errorf("trial %d (%+v): Exact = %.12f, brute force = %.12f", trial, opts, got.P, want)
+			}
+		}
+	}
+}
+
+func TestExactOnExample51(t *testing.T) {
+	n := aonet.New()
+	u := n.AddLeaf(0.3)
+	v := n.AddLeaf(0.8)
+	w := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 0.5}, {From: v, P: 0.5}})
+	want := 0.3*0.8*0.75 + 0.3*0.2*0.5 + 0.7*0.8*0.5
+	got, err := Exact(n, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P-want) > 1e-12 {
+		t.Errorf("P(w) = %g, want %g", got.P, want)
+	}
+	if got.Vars < 3 {
+		t.Errorf("Vars = %d", got.Vars)
+	}
+}
+
+func TestExactLeafIsPrior(t *testing.T) {
+	n := aonet.New()
+	u := n.AddLeaf(0.37)
+	got, err := Exact(n, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P-0.37) > 1e-12 {
+		t.Errorf("P(u) = %g", got.P)
+	}
+	if got.Width != 0 {
+		t.Errorf("Width = %d for a lone leaf", got.Width)
+	}
+}
+
+func TestExactEpsilonIsOne(t *testing.T) {
+	n := aonet.New()
+	got, err := Exact(n, aonet.Epsilon, Options{})
+	if err != nil || math.Abs(got.P-1) > 1e-12 {
+		t.Errorf("P(ε) = %g, %v", got.P, err)
+	}
+}
+
+func TestExactHighFanInGate(t *testing.T) {
+	// A 12-input noisy Or: decomposition must keep factors small while the
+	// no-decompose ablation still gets the same answer.
+	n := aonet.New()
+	edges := make([]aonet.Edge, 0, 12)
+	expectFalse := 1.0
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		p := rng.Float64()
+		q := rng.Float64()
+		leaf := n.AddLeaf(p)
+		edges = append(edges, aonet.Edge{From: leaf, P: q})
+		expectFalse *= 1 - p*q // independent noisy inputs
+	}
+	or := n.AddGate(aonet.Or, edges)
+	want := 1 - expectFalse
+	got, err := Exact(n, or, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P-want) > 1e-9 {
+		t.Errorf("P(or) = %g, want %g", got.P, want)
+	}
+	if got.Width > 3 {
+		t.Errorf("decomposed elimination width = %d, want <= 3 for a tree", got.Width)
+	}
+	got2, err := Exact(n, or, Options{NoDecompose: true, MaxFactorVars: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got2.P-want) > 1e-9 {
+		t.Errorf("no-decompose P = %g, want %g", got2.P, want)
+	}
+	if got2.Width <= got.Width {
+		t.Errorf("expected wider elimination without decomposition: %d vs %d", got2.Width, got.Width)
+	}
+}
+
+func TestExactWidthGuard(t *testing.T) {
+	// A K_{n,n}-style network: n And gates sharing n leaves forces width ~n.
+	n := aonet.New()
+	var leaves []aonet.NodeID
+	for i := 0; i < 8; i++ {
+		leaves = append(leaves, n.AddLeaf(0.5))
+	}
+	var ands []aonet.Edge
+	for i := 0; i < 8; i++ {
+		var es []aonet.Edge
+		for _, l := range leaves {
+			es = append(es, aonet.Edge{From: l, P: 0.9})
+		}
+		ands = append(ands, aonet.Edge{From: n.AddGate(aonet.And, es), P: 1})
+	}
+	top := n.AddGate(aonet.Or, ands)
+	_, err := Exact(n, top, Options{MaxFactorVars: 3, NoConditioning: true})
+	if !errors.Is(err, ErrTooWide) {
+		t.Errorf("expected ErrTooWide, got %v", err)
+	}
+	// Cutset conditioning solves the same network exactly despite the limit.
+	res, err := Exact(n, top, Options{MaxFactorVars: 3})
+	if err != nil {
+		t.Fatalf("conditioning failed: %v", err)
+	}
+	resWide, err := Exact(n, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-resWide.P) > 1e-9 {
+		t.Errorf("conditioned %g vs direct %g", res.P, resWide.P)
+	}
+	// The exact result also matches Monte Carlo closely.
+	mc := MonteCarlo(n, top, 200000, rand.New(rand.NewSource(1)))
+	if math.Abs(res.P-mc) > 0.01 {
+		t.Errorf("Exact %g vs MC %g", res.P, mc)
+	}
+}
+
+func TestMonteCarloConvergesToBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		n := randomNetwork(rng, 3, 4, 3)
+		target := aonet.NodeID(n.Len() - 1)
+		want, err := BruteForce(n, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MonteCarlo(n, target, 100000, rng)
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("trial %d: MC = %g, want %g", trial, got, want)
+		}
+	}
+}
+
+func TestAncestorPruneMatters(t *testing.T) {
+	// Target is a leaf inside a big network: with pruning the elimination
+	// touches one variable; without it, all of them.
+	n := aonet.New()
+	u := n.AddLeaf(0.4)
+	for i := 0; i < 6; i++ {
+		n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 0.5}, {From: n.AddLeaf(0.5), P: 1}})
+	}
+	pruned, err := Exact(n, u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Exact(n, u, Options{NoAncestorPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pruned.P-0.4) > 1e-12 || math.Abs(full.P-0.4) > 1e-9 {
+		t.Errorf("P(u): pruned %g, full %g, want 0.4", pruned.P, full.P)
+	}
+	if pruned.Vars >= full.Vars {
+		t.Errorf("pruning did not shrink the variable set: %d vs %d", pruned.Vars, full.Vars)
+	}
+}
+
+func TestBruteForceLimit(t *testing.T) {
+	n := aonet.New()
+	var es []aonet.Edge
+	for i := 0; i < aonet.MaxBruteForceNodes+1; i++ {
+		es = append(es, aonet.Edge{From: n.AddLeaf(0.5), P: 1})
+	}
+	top := n.AddGate(aonet.Or, es)
+	if _, err := BruteForce(n, top); err == nil {
+		t.Error("expected brute-force limit error")
+	}
+}
+
+func TestFactorOps(t *testing.T) {
+	// f(a,b) = P(a)·P(b|a) for a tiny chain; check multiply and sumOut
+	// against hand computation.
+	fa := leafFactor(0, 0.3)
+	fba := unaryGateFactor(1, 0, 0.5)
+	joint := multiply(fa, fba)
+	if len(joint.vars) != 2 {
+		t.Fatalf("joint scope %v", joint.vars)
+	}
+	marg := sumOut(joint, 0)
+	p, err := normalizeCheck(marg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.15) > 1e-12 {
+		t.Errorf("P(b) = %g, want 0.15", p)
+	}
+	// sumOut of an absent variable is the identity.
+	if sumOut(fa, 99) != fa {
+		t.Error("sumOut of absent variable should return the factor unchanged")
+	}
+	if _, err := normalizeCheck(joint); err == nil {
+		t.Error("normalizeCheck accepted a two-variable factor")
+	}
+}
+
+// TestFigure2 reproduces the Figure 2 story: decomposing a 3-parent gate
+// into binary gates D(G) preserves the distribution while shrinking the
+// largest CPD factor from 4 variables to 3.
+func TestFigure2(t *testing.T) {
+	n := aonet.New()
+	a := n.AddLeaf(0.2)
+	b := n.AddLeaf(0.5)
+	c := n.AddLeaf(0.7)
+	g := n.AddGate(aonet.Or, []aonet.Edge{{From: a, P: 0.9}, {From: b, P: 0.8}, {From: c, P: 0.6}})
+	want, err := BruteForce(n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Exact(n, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Exact(n, g, Options{NoDecompose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.P-want) > 1e-9 || math.Abs(raw.P-want) > 1e-9 {
+		t.Errorf("decomposed %g, raw %g, want %g", dec.P, raw.P, want)
+	}
+	if dec.Vars <= raw.Vars {
+		t.Errorf("decomposition should add auxiliary variables: %d vs %d", dec.Vars, raw.Vars)
+	}
+}

@@ -1,0 +1,124 @@
+package inference
+
+import (
+	"fmt"
+
+	"repro/internal/aonet"
+	"repro/internal/treewidth"
+)
+
+// ExactJT computes N⁰(x_target = 1) by message passing over a tree
+// decomposition of the moralized decomposed network — the algorithmic shape
+// of the paper's Theorem 5.17: given a tree decomposition of the (ancestor
+// subgraph of the) network, the marginal is computed in one upward pass with
+// per-bag tables, so the cost is |G|·2^O(tw). It returns ErrTooWide when the
+// decomposition found by the greedy ordering exceeds Options.MaxFactorVars.
+//
+// ExactJT and Exact compute the same marginals; ExactJT exists as the
+// paper-faithful backend and for the inference-backend ablation. Exact's
+// recursive conditioning usually wins beyond small treewidths.
+func ExactJT(n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) {
+	b := builder{net: n, opts: opts}
+	factors, targetVar, err := b.build(target)
+	if err != nil {
+		return Result{}, err
+	}
+	p, width, err := junctionTree(factors, targetVar, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{P: p, Width: width, Vars: b.nextVar}, nil
+}
+
+// junctionTree runs one upward message-passing sweep.
+func junctionTree(factors []*factor, target int, opts Options) (float64, int, error) {
+	g, vars := interactionGraph(factors)
+	idx := make(map[int]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	ti, ok := idx[target]
+	if !ok {
+		return 0, 0, fmt.Errorf("inference: target variable %d not in any factor", target)
+	}
+	heuristic := opts.Heuristic
+	if len(vars) > 400 && heuristic == treewidth.MinFill {
+		heuristic = treewidth.MinDegree
+	}
+	order, _ := treewidth.Order(g, heuristic)
+	// Move the target to the end of the elimination order so its bag is a
+	// root of the decomposition tree and one upward pass suffices.
+	reordered := make([]int, 0, len(order))
+	for _, v := range order {
+		if v != ti {
+			reordered = append(reordered, v)
+		}
+	}
+	reordered = append(reordered, ti)
+	dec := treewidth.Decompose(g, reordered)
+	limit := opts.maxFactorVars()
+	if w := dec.Width(); w+1 > limit {
+		return 0, 0, errTooWidef(w+1, limit)
+	}
+
+	// Assign each factor to the bag of its earliest-eliminated variable;
+	// that bag contains the factor's whole scope (the scope is a clique of
+	// the interaction graph).
+	pos := make([]int, len(vars)) // graph vertex -> elimination position
+	for i, v := range reordered {
+		pos[v] = i
+	}
+	assigned := make([][]*factor, len(dec.Bags))
+	for _, f := range factors {
+		first := -1
+		for _, v := range f.vars {
+			if p := pos[idx[v]]; first < 0 || p < first {
+				first = p
+			}
+		}
+		assigned[first] = append(assigned[first], f)
+	}
+
+	// Upward pass in elimination order: each bag multiplies its assigned
+	// factors and child messages, sums out its eliminated variable, and
+	// sends the rest to its parent. Root bags (Parent < 0) keep their
+	// tables; the final product over roots, marginalized to the target,
+	// is the answer measure.
+	messages := make([][]*factor, len(dec.Bags))
+	var rootTables []*factor
+	width := dec.Width()
+	for i := range dec.Bags {
+		group := append(append([]*factor(nil), assigned[i]...), messages[i]...)
+		elim := vars[reordered[i]]
+		if len(group) == 0 {
+			continue
+		}
+		prod := multiplyAll(group)
+		if len(prod.vars) > limit {
+			return 0, 0, errTooWidef(len(prod.vars), limit)
+		}
+		if len(prod.vars)-1 > width {
+			width = len(prod.vars) - 1
+		}
+		if elim != target {
+			prod = sumOut(prod, elim)
+		}
+		if dec.Parent[i] < 0 {
+			rootTables = append(rootTables, prod)
+			continue
+		}
+		messages[dec.Parent[i]] = append(messages[dec.Parent[i]], prod)
+	}
+	final := append([]*factor{leafUniform(target)}, rootTables...)
+	result := multiplyAll(final)
+	for _, v := range result.vars {
+		if v != target {
+			result = sumOut(result, v)
+		}
+	}
+	p, err := normalizeCheck(result)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p, width, nil
+}

@@ -1,0 +1,114 @@
+package inference
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+)
+
+func TestJunctionTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 60; trial++ {
+		n := randomNetwork(rng, 2+rng.Intn(4), 1+rng.Intn(6), 4)
+		target := aonet.NodeID(rng.Intn(n.Len()))
+		want, err := BruteForce(n, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ExactJT(n, target, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got.P-want) > 1e-9 {
+			t.Errorf("trial %d: junction tree = %.12f, brute force = %.12f", trial, got.P, want)
+		}
+	}
+}
+
+func TestJunctionTreeAgreesWithOtherBackendsAtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 8; trial++ {
+		n := randomNetwork(rng, 8, 30, 3)
+		target := aonet.NodeID(n.Len() - 1)
+		jt, err := ExactJT(n, target, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: jt: %v", trial, err)
+		}
+		ve, err := Exact(n, target, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: ve: %v", trial, err)
+		}
+		exp, err := ExactViaExpansion(n, target, 0, 0)
+		if err != nil {
+			t.Fatalf("trial %d: expansion: %v", trial, err)
+		}
+		if math.Abs(jt.P-ve.P) > 1e-9 || math.Abs(jt.P-exp) > 1e-9 {
+			t.Errorf("trial %d: jt %.12f, ve %.12f, expansion %.12f", trial, jt.P, ve.P, exp)
+		}
+	}
+}
+
+func TestJunctionTreeWidthGuard(t *testing.T) {
+	// A dense network forces a wide decomposition: the guard must fire.
+	n := aonet.New()
+	var leaves []aonet.Edge
+	for i := 0; i < 10; i++ {
+		leaves = append(leaves, aonet.Edge{From: n.AddLeaf(0.5), P: 0.9})
+	}
+	var ors []aonet.Edge
+	for i := 0; i < 10; i++ {
+		rot := append(append([]aonet.Edge(nil), leaves[i:]...), leaves[:i]...)
+		ors = append(ors, aonet.Edge{From: n.AddGate(aonet.Or, rot), P: 1})
+	}
+	top := n.AddGate(aonet.And, ors)
+	if _, err := ExactJT(n, top, Options{MaxFactorVars: 4}); !errors.Is(err, ErrTooWide) {
+		t.Errorf("expected ErrTooWide, got %v", err)
+	}
+	res, err := ExactJT(n, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := Exact(n, top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.P-ve.P) > 1e-9 {
+		t.Errorf("jt %.12f vs ve %.12f", res.P, ve.P)
+	}
+}
+
+func TestJunctionTreeLeafAndEpsilon(t *testing.T) {
+	n := aonet.New()
+	u := n.AddLeaf(0.42)
+	res, err := ExactJT(n, u, Options{})
+	if err != nil || math.Abs(res.P-0.42) > 1e-12 {
+		t.Errorf("leaf: %v %v", res.P, err)
+	}
+	res2, err := ExactJT(n, aonet.Epsilon, Options{})
+	if err != nil || math.Abs(res2.P-1) > 1e-12 {
+		t.Errorf("ε: %v %v", res2.P, err)
+	}
+}
+
+func TestJunctionTreeDisconnectedAncestors(t *testing.T) {
+	// Target with an ancestor graph containing the ε component plus its own:
+	// unrelated roots contribute scalar 1.
+	n := aonet.New()
+	u := n.AddLeaf(0.3)
+	v := n.AddLeaf(0.9)
+	or := n.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 0.5}, {From: v, P: 0.5}})
+	want, err := BruteForce(n, or)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExactJT(n, or, Options{NoAncestorPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P-want) > 1e-9 {
+		t.Errorf("jt without pruning = %.12f, want %.12f", got.P, want)
+	}
+}

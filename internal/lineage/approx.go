@@ -1,0 +1,133 @@
+package lineage
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MonteCarlo estimates the probability of f by naive sampling: draw worlds
+// from the product distribution and count satisfying ones. Its relative
+// error is poor for small probabilities; prefer KarpLuby.
+func MonteCarlo(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 {
+	vars := f.Vars()
+	assign := make(map[Var]bool, len(vars))
+	hits := 0
+	for s := 0; s < samples; s++ {
+		for _, v := range vars {
+			assign[v] = rng.Float64() < validateProb(p(v), v)
+		}
+		if f.Eval(func(v Var) bool { return assign[v] }) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// KarpLuby estimates the probability of the monotone DNF f with the
+// Karp–Luby unbiased union estimator:
+//
+//	M = Σ_i P(clause_i);  sample clause i with probability P(clause_i)/M,
+//	then a world conditioned on clause_i being true; the indicator that i is
+//	the first satisfied clause has expectation P(F)/M.
+//
+// The estimator's relative error depends on the number of clauses rather
+// than on P(F), which makes it the standard choice for small query
+// probabilities [21, 13].
+func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 {
+	if len(f.Clauses) == 0 {
+		return 0
+	}
+	if f.IsTrue() {
+		return 1
+	}
+	// Clause weights and the cumulative distribution for sampling.
+	weights := make([]float64, len(f.Clauses))
+	total := 0.0
+	for i, c := range f.Clauses {
+		w := 1.0
+		for _, v := range c {
+			w *= validateProb(p(v), v)
+		}
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	vars := f.Vars()
+	assign := make(map[Var]bool, len(vars))
+	hits := 0
+	for s := 0; s < samples; s++ {
+		// Sample a clause proportional to its weight.
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i == len(cum) {
+			i = len(cum) - 1
+		}
+		// Sample a world conditioned on clause i true.
+		forced := f.Clauses[i]
+		fi := 0
+		for _, v := range vars {
+			if fi < len(forced) && forced[fi] == v {
+				assign[v] = true
+				fi++
+				continue
+			}
+			assign[v] = rng.Float64() < p(v)
+		}
+		// Count the sample iff i is the first satisfied clause.
+		first := -1
+		for j, c := range f.Clauses {
+			sat := true
+			for _, v := range c {
+				if !assign[v] {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				first = j
+				break
+			}
+		}
+		if first == i {
+			hits++
+		}
+	}
+	est := total * float64(hits) / float64(samples)
+	if est > 1 {
+		est = 1
+	}
+	return est
+}
+
+// KarpLubyGuarantee estimates the probability of the monotone DNF f with a
+// multiplicative (ε, δ) guarantee: with probability at least 1-δ the
+// estimate is within relative error ε of the true probability. It runs the
+// Karp–Luby estimator with the sample count of the zero-one estimator
+// theorem — the coverage indicator has mean at least 1/m for a formula of m
+// clauses, so n = ⌈4·m·ln(2/δ)/ε²⌉ samples suffice. It returns the estimate
+// and the sample count used. This is the guarantee style of approximate
+// confidence computation in probabilistic databases [19, 21].
+func KarpLubyGuarantee(f *DNF, p func(Var) float64, eps, delta float64, rng *rand.Rand) (float64, int) {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		panic("lineage: KarpLubyGuarantee needs eps, delta in (0,1)")
+	}
+	s := f.Simplify()
+	m := len(s.Clauses)
+	if m == 0 {
+		return 0, 0
+	}
+	if s.IsTrue() {
+		return 1, 0
+	}
+	n := int(math.Ceil(4 * float64(m) * math.Log(2/delta) / (eps * eps)))
+	return KarpLuby(s, p, n, rng), n
+}

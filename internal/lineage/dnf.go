@@ -1,0 +1,224 @@
+// Package lineage implements DNF lineage formulas and intensional
+// confidence computation.
+//
+// The lineage of a Boolean conjunctive query is a monotone DNF formula over
+// Boolean variables associated with input tuples (Definition 3.5): one
+// clause per satisfying grounding of the query. The package provides
+//
+//   - exact confidence computation by variable elimination / Shannon
+//     expansion with independent-subformula decomposition, the algorithm
+//     class of Koch & Olteanu [16] used by MayBMS — our stand-in for the
+//     paper's competitor system;
+//   - approximate confidence computation: naive Monte-Carlo and the
+//     Karp–Luby unbiased DNF estimator;
+//   - the lineage primal graph and its treewidth (Section 4.3.1,
+//     Theorem 4.2).
+package lineage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/treewidth"
+)
+
+// Var is a propositional variable. Variables are dense indexes into a
+// probability table.
+type Var int32
+
+// Clause is a conjunction of (positive) variables, stored sorted and
+// deduplicated.
+type Clause []Var
+
+// NewClause builds a canonical clause from the given variables.
+func NewClause(vars ...Var) Clause {
+	c := append(Clause(nil), vars...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:0]
+	for i, v := range c {
+		if i == 0 || v != c[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DNF is a monotone formula in disjunctive normal form: the disjunction of
+// its clauses. The empty DNF is false; a DNF containing an empty clause is
+// true.
+type DNF struct {
+	Clauses []Clause
+}
+
+// Add appends a clause.
+func (f *DNF) Add(c Clause) { f.Clauses = append(f.Clauses, c) }
+
+// Vars returns the sorted set of variables occurring in f.
+func (f *DNF) Vars() []Var {
+	seen := make(map[Var]bool)
+	for _, c := range f.Clauses {
+		for _, v := range c {
+			seen[v] = true
+		}
+	}
+	out := make([]Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Eval evaluates the formula under the given assignment.
+func (f *DNF) Eval(assign func(Var) bool) bool {
+	for _, c := range f.Clauses {
+		sat := true
+		for _, v := range c {
+			if !assign(v) {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the formula as x1x2 ∨ x3 ... for debugging.
+func (f *DNF) String() string {
+	if len(f.Clauses) == 0 {
+		return "false"
+	}
+	s := ""
+	for i, c := range f.Clauses {
+		if i > 0 {
+			s += " v "
+		}
+		if len(c) == 0 {
+			s += "true"
+			continue
+		}
+		for j, v := range c {
+			if j > 0 {
+				s += "."
+			}
+			s += fmt.Sprintf("x%d", v)
+		}
+	}
+	return s
+}
+
+// PrimalGraph returns the primal graph of the formula's hypergraph
+// (Section 4.3.1): vertices are the formula's variables, with an edge
+// between every pair co-occurring in a clause. It also returns the variable
+// corresponding to each graph vertex.
+func (f *DNF) PrimalGraph() (*treewidth.Graph, []Var) {
+	vars := f.Vars()
+	idx := make(map[Var]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	g := treewidth.NewGraph(len(vars))
+	for _, c := range f.Clauses {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				g.AddEdge(idx[c[i]], idx[c[j]])
+			}
+		}
+	}
+	return g, vars
+}
+
+// TreewidthUpperBound returns a greedy upper bound on the treewidth of the
+// formula's primal graph.
+func (f *DNF) TreewidthUpperBound() int {
+	g, _ := f.PrimalGraph()
+	return treewidth.UpperBound(g)
+}
+
+// ProbBruteForce computes the exact probability of f by enumerating all
+// assignments of its variables; for validating Prob on small formulas.
+func ProbBruteForce(f *DNF, p func(Var) float64) (float64, error) {
+	vars := f.Vars()
+	if len(vars) > 22 {
+		return 0, fmt.Errorf("lineage: %d variables exceeds brute-force limit", len(vars))
+	}
+	assign := make(map[Var]bool, len(vars))
+	total := 0.0
+	for mask := 0; mask < 1<<uint(len(vars)); mask++ {
+		w := 1.0
+		for i, v := range vars {
+			on := mask&(1<<uint(i)) != 0
+			assign[v] = on
+			if on {
+				w *= p(v)
+			} else {
+				w *= 1 - p(v)
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		if f.Eval(func(v Var) bool { return assign[v] }) {
+			total += w
+		}
+	}
+	return total, nil
+}
+
+// Simplify removes clauses that are supersets of other clauses (absorption)
+// and duplicate clauses, returning a logically equivalent formula. It is a
+// preprocessing step for the exact solver.
+func (f *DNF) Simplify() *DNF {
+	cs := make([]Clause, len(f.Clauses))
+	copy(cs, f.Clauses)
+	sort.Slice(cs, func(i, j int) bool { return len(cs[i]) < len(cs[j]) })
+	var kept []Clause
+	for _, c := range cs {
+		absorbed := false
+		for _, k := range kept {
+			if subset(k, c) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			kept = append(kept, c)
+		}
+	}
+	return &DNF{Clauses: kept}
+}
+
+// subset reports whether sorted clause a ⊆ sorted clause b.
+func subset(a, b Clause) bool {
+	i := 0
+	for _, v := range b {
+		if i < len(a) && a[i] == v {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// IsTrue reports whether the formula contains an empty clause (tautology
+// for monotone DNF).
+func (f *DNF) IsTrue() bool {
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// validateProb panics on probabilities outside [0,1]; exact and approximate
+// solvers share it.
+func validateProb(p float64, v Var) float64 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		panic(fmt.Sprintf("lineage: probability %v of x%d outside [0,1]", p, v))
+	}
+	return p
+}

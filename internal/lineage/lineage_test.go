@@ -1,0 +1,386 @@
+package lineage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// uniformProbs returns a probability oracle from a fixed slice.
+func tableProbs(ps ...float64) func(Var) float64 {
+	return func(v Var) float64 { return ps[v] }
+}
+
+func TestNewClauseCanonical(t *testing.T) {
+	c := NewClause(3, 1, 3, 2, 1)
+	want := Clause{1, 2, 3}
+	if len(c) != 3 || c[0] != want[0] || c[1] != want[1] || c[2] != want[2] {
+		t.Errorf("NewClause = %v", c)
+	}
+}
+
+func TestEvalAndIsTrue(t *testing.T) {
+	f := &DNF{}
+	f.Add(NewClause(0, 1))
+	f.Add(NewClause(2))
+	on := map[Var]bool{0: true, 1: false, 2: false}
+	if f.Eval(func(v Var) bool { return on[v] }) {
+		t.Error("unsatisfied formula evaluated true")
+	}
+	on[2] = true
+	if !f.Eval(func(v Var) bool { return on[v] }) {
+		t.Error("satisfied formula evaluated false")
+	}
+	if f.IsTrue() {
+		t.Error("IsTrue without empty clause")
+	}
+	f.Add(NewClause())
+	if !f.IsTrue() {
+		t.Error("IsTrue missed empty clause")
+	}
+}
+
+func TestProbSingleClauseAndEmpty(t *testing.T) {
+	p := tableProbs(0.5, 0.4)
+	empty := &DNF{}
+	if got := Prob(empty, p); got != 0 {
+		t.Errorf("Prob(false) = %g", got)
+	}
+	one := &DNF{Clauses: []Clause{NewClause(0, 1)}}
+	if got := Prob(one, p); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Prob(x0x1) = %g, want 0.2", got)
+	}
+	taut := &DNF{Clauses: []Clause{NewClause(0), NewClause()}}
+	if got := Prob(taut, p); got != 1 {
+		t.Errorf("Prob(true) = %g", got)
+	}
+}
+
+func TestProbIndependentClauses(t *testing.T) {
+	// x0 ∨ x1 with independent vars: 1-(1-p0)(1-p1).
+	f := &DNF{Clauses: []Clause{NewClause(0), NewClause(1)}}
+	p := tableProbs(0.3, 0.6)
+	want := 1 - 0.7*0.4
+	if got := Prob(f, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob = %g, want %g", got, want)
+	}
+}
+
+func TestProbSharedVariable(t *testing.T) {
+	// x0x1 ∨ x0x2 = x0(x1 ∨ x2).
+	f := &DNF{Clauses: []Clause{NewClause(0, 1), NewClause(0, 2)}}
+	p := tableProbs(0.5, 0.4, 0.8)
+	want := 0.5 * (1 - 0.6*0.2)
+	if got := Prob(f, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Prob = %g, want %g", got, want)
+	}
+}
+
+// TestExample36Lineage reproduces Example 3.6: the lineage of
+// q = R(x,y),S(y,z) over R = S = {1,2}² has 8 clauses r_iy·s_yz.
+func TestExample36Lineage(t *testing.T) {
+	// Vars 0..3 = r11,r12,r21,r22; 4..7 = s11,s12,s21,s22.
+	r := func(i, j int) Var { return Var(2*(i-1) + (j - 1)) }
+	s := func(i, j int) Var { return Var(4 + 2*(i-1) + (j - 1)) }
+	f := &DNF{}
+	for x := 1; x <= 2; x++ {
+		for y := 1; y <= 2; y++ {
+			for z := 1; z <= 2; z++ {
+				f.Add(NewClause(r(x, y), s(y, z)))
+			}
+		}
+	}
+	if len(f.Clauses) != 8 {
+		t.Fatalf("lineage has %d clauses, want 8", len(f.Clauses))
+	}
+	probs := make([]float64, 8)
+	rng := rand.New(rand.NewSource(3))
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	p := tableProbs(probs...)
+	want, err := ProbBruteForce(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Prob(f, p); math.Abs(got-want) > 1e-10 {
+		t.Errorf("Prob = %g, brute force %g", got, want)
+	}
+}
+
+// randomDNF builds a random monotone DNF over nVars variables.
+func randomDNF(rng *rand.Rand, nVars, nClauses, maxLen int) *DNF {
+	f := &DNF{}
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(maxLen)
+		vs := make([]Var, k)
+		for j := range vs {
+			vs[j] = Var(rng.Intn(nVars))
+		}
+		f.Add(NewClause(vs...))
+	}
+	return f
+}
+
+func TestProbMatchesBruteForceOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		nVars := 2 + rng.Intn(8)
+		f := randomDNF(rng, nVars, 1+rng.Intn(8), 3)
+		probs := make([]float64, nVars)
+		for i := range probs {
+			switch rng.Intn(4) {
+			case 0:
+				probs[i] = 1
+			case 1:
+				probs[i] = 0
+			default:
+				probs[i] = rng.Float64()
+			}
+		}
+		p := tableProbs(probs...)
+		want, err := ProbBruteForce(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Prob(f, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: Prob = %.12f, brute force %.12f (%s)", trial, got, want, f.String())
+		}
+	}
+}
+
+func TestProbMonotoneInProbabilities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDNF(rng, 5, 4, 3)
+		probs := make([]float64, 5)
+		for i := range probs {
+			probs[i] = rng.Float64() * 0.9
+		}
+		p1 := Prob(d, tableProbs(probs...))
+		bumped := append([]float64(nil), probs...)
+		bumped[rng.Intn(5)] += 0.05
+		p2 := Prob(d, tableProbs(bumped...))
+		return p2 >= p1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyAbsorption(t *testing.T) {
+	f := &DNF{Clauses: []Clause{NewClause(0), NewClause(0, 1), NewClause(2, 3), NewClause(2, 3)}}
+	s := f.Simplify()
+	if len(s.Clauses) != 2 {
+		t.Errorf("Simplify left %d clauses: %s", len(s.Clauses), s.String())
+	}
+	// Absorption preserves probability.
+	p := tableProbs(0.3, 0.5, 0.7, 0.2)
+	if math.Abs(Prob(f, p)-Prob(s, p)) > 1e-12 {
+		t.Error("Simplify changed the probability")
+	}
+}
+
+func TestKarpLubyCloseToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 6; trial++ {
+		nVars := 4 + rng.Intn(6)
+		f := randomDNF(rng, nVars, 2+rng.Intn(6), 3)
+		probs := make([]float64, nVars)
+		for i := range probs {
+			probs[i] = rng.Float64() * 0.4
+		}
+		p := tableProbs(probs...)
+		want := Prob(f, p)
+		got := KarpLuby(f, p, 60000, rng)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("trial %d: KarpLuby = %g, exact %g", trial, got, want)
+		}
+	}
+}
+
+func TestKarpLubySmallProbabilityRelativeError(t *testing.T) {
+	// A conjunction of rare events: naive MC would need ~10^6 samples for a
+	// single hit; Karp–Luby stays accurate in relative terms.
+	f := &DNF{Clauses: []Clause{NewClause(0, 1), NewClause(2, 3)}}
+	p := tableProbs(0.01, 0.01, 0.01, 0.01)
+	want := Prob(f, p) // ≈ 2e-4
+	rng := rand.New(rand.NewSource(31))
+	got := KarpLuby(f, p, 40000, rng)
+	if want <= 0 || math.Abs(got-want)/want > 0.10 {
+		t.Errorf("KarpLuby = %g, exact %g (relative error too large)", got, want)
+	}
+}
+
+func TestKarpLubyEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := KarpLuby(&DNF{}, tableProbs(), 100, rng); got != 0 {
+		t.Errorf("empty formula = %g", got)
+	}
+	taut := &DNF{Clauses: []Clause{NewClause()}}
+	if got := KarpLuby(taut, tableProbs(), 100, rng); got != 1 {
+		t.Errorf("tautology = %g", got)
+	}
+	zero := &DNF{Clauses: []Clause{NewClause(0)}}
+	if got := KarpLuby(zero, tableProbs(0), 100, rng); got != 0 {
+		t.Errorf("zero-weight formula = %g", got)
+	}
+}
+
+func TestKarpLubyGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := randomDNF(rng, 8, 6, 3)
+	probs := make([]float64, 8)
+	for i := range probs {
+		probs[i] = rng.Float64() * 0.5
+	}
+	p := tableProbs(probs...)
+	want := Prob(f, p)
+	if want == 0 {
+		t.Skip("degenerate formula")
+	}
+	const eps, delta = 0.1, 0.05
+	failures := 0
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		got, n := KarpLubyGuarantee(f, p, eps, delta, rng)
+		if n <= 0 {
+			t.Fatalf("sample count %d", n)
+		}
+		if math.Abs(got-want)/want > eps {
+			failures++
+		}
+	}
+	// With δ=0.05 per run, ≥5 failures in 20 runs is astronomically
+	// unlikely.
+	if failures >= 5 {
+		t.Errorf("%d/%d runs outside the ε bound", failures, runs)
+	}
+	// Edge cases.
+	if got, n := KarpLubyGuarantee(&DNF{}, p, eps, delta, rng); got != 0 || n != 0 {
+		t.Errorf("empty formula: %g, %d", got, n)
+	}
+	taut := &DNF{Clauses: []Clause{NewClause()}}
+	if got, _ := KarpLubyGuarantee(taut, p, eps, delta, rng); got != 1 {
+		t.Errorf("tautology: %g", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for bad eps")
+			}
+		}()
+		KarpLubyGuarantee(f, p, 0, delta, rng)
+	}()
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	f := randomDNF(rng, 6, 5, 3)
+	probs := []float64{0.2, 0.5, 0.8, 0.3, 0.6, 0.4}
+	p := tableProbs(probs...)
+	want := Prob(f, p)
+	got := MonteCarlo(f, p, 120000, rng)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("MC = %g, exact %g", got, want)
+	}
+}
+
+func TestPrimalGraphAndTreewidth(t *testing.T) {
+	// x0x1 ∨ x1x2 ∨ x2x3: a path, treewidth 1.
+	f := &DNF{Clauses: []Clause{NewClause(0, 1), NewClause(1, 2), NewClause(2, 3)}}
+	g, vars := f.PrimalGraph()
+	if g.N() != 4 || len(vars) != 4 {
+		t.Fatalf("primal graph has %d vertices", g.N())
+	}
+	if g.EdgeCount() != 3 {
+		t.Errorf("primal graph has %d edges, want 3", g.EdgeCount())
+	}
+	if tw := f.TreewidthUpperBound(); tw != 1 {
+		t.Errorf("treewidth bound = %d, want 1", tw)
+	}
+}
+
+// TestTheorem42 demonstrates Theorem 4.2 empirically: the lineage of the
+// strictly hierarchical query R(x,y),S(x,y,z) keeps bounded treewidth as the
+// instance grows, while the (safe but not strictly hierarchical) query
+// R(x,y),S(x,z) and the unsafe query R(x),S(x,y),T(y) have lineage treewidth
+// growing with the instance (a K_{n,n} minor).
+func TestTheorem42(t *testing.T) {
+	strictTW := func(n int) int {
+		// R(x,y),S(x,y,z): clauses r_{xy}·s_{xyz} — primal graph is a star
+		// forest, treewidth 1 regardless of n.
+		f := &DNF{}
+		nextVar := Var(0)
+		rv := make(map[[2]int]Var)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				rv[[2]int{x, y}] = nextVar
+				nextVar++
+			}
+		}
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				for z := 0; z < 2; z++ {
+					f.Add(NewClause(rv[[2]int{x, y}], nextVar))
+					nextVar++
+				}
+			}
+		}
+		return f.TreewidthUpperBound()
+	}
+	nonStrictTW := func(n int) int {
+		// R(x,y),S(x,z) with a single x value: clauses r_y·s_z for all y,z —
+		// the primal graph contains K_{n,n}, treewidth ≥ n.
+		f := &DNF{}
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				f.Add(NewClause(Var(y), Var(n+z)))
+			}
+		}
+		return f.TreewidthUpperBound()
+	}
+	for _, n := range []int{2, 3, 4, 5} {
+		if tw := strictTW(n); tw > 1 {
+			t.Errorf("strictly hierarchical lineage at n=%d has treewidth bound %d, want ≤1", n, tw)
+		}
+	}
+	if tw2, tw5 := nonStrictTW(2), nonStrictTW(5); tw5 <= tw2 {
+		t.Errorf("non-strict lineage treewidth did not grow: n=2 → %d, n=5 → %d", tw2, tw5)
+	}
+	if tw := nonStrictTW(5); tw < 5 {
+		t.Errorf("K_{5,5} lineage treewidth bound = %d, want ≥ 5", tw)
+	}
+}
+
+func TestProbReadOnceChainIsFast(t *testing.T) {
+	// A long read-once chain: x_{2i}·x_{2i+1} disjuncts over disjoint pairs.
+	// Exact probability has a closed form; the solver must handle 2000
+	// clauses instantly through component decomposition.
+	n := 2000
+	f := &DNF{}
+	probs := make([]float64, 2*n)
+	expectFalse := 1.0
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		probs[2*i] = rng.Float64()
+		probs[2*i+1] = rng.Float64()
+		f.Add(NewClause(Var(2*i), Var(2*i+1)))
+		expectFalse *= 1 - probs[2*i]*probs[2*i+1]
+	}
+	got := Prob(f, tableProbs(probs...))
+	if math.Abs(got-(1-expectFalse)) > 1e-9 {
+		t.Errorf("chain Prob = %g, want %g", got, 1-expectFalse)
+	}
+}
+
+func TestValidateProbPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for probability out of range")
+		}
+	}()
+	f := &DNF{Clauses: []Clause{NewClause(0)}}
+	Prob(f, tableProbs(1.5))
+}

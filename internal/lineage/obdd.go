@@ -1,0 +1,221 @@
+package lineage
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/treewidth"
+)
+
+// OBDD compilation of monotone DNF lineage — the intensional technique of
+// the paper's references [12] (DPLL-based OBDD construction) and [17]
+// (OBDD-based query evaluation in SPROUT). Once the lineage is compiled
+// into a reduced ordered binary decision diagram, the probability is a
+// single linear pass; the catch, as Section 4.3.1 notes, is that "the most
+// effective methods rely on finding a good variable order; however, finding
+// the best order is itself an intractable problem". BuildOBDD therefore
+// takes the order as an input, enforces a node budget, and the test suite
+// demonstrates the exponential gap between good and bad orders.
+
+// ErrOBDDBudget is returned when construction exceeds the node budget —
+// usually a sign of a poor variable order or inherently hard lineage.
+var ErrOBDDBudget = errors.New("lineage: OBDD node budget exceeded")
+
+// obddNode is one decision node: branch on Var, follow Lo on false and Hi
+// on true. Node ids 0 and 1 are the terminals.
+type obddNode struct {
+	v      Var
+	lo, hi int32
+}
+
+// OBDD is a reduced ordered binary decision diagram over a variable order.
+type OBDD struct {
+	order []Var
+	nodes []obddNode // nodes[0], nodes[1] are the 0/1 terminals
+	root  int32
+}
+
+// Size returns the number of decision nodes (terminals excluded).
+func (o *OBDD) Size() int { return len(o.nodes) - 2 }
+
+// Order returns the variable order used.
+func (o *OBDD) Order() []Var { return append([]Var(nil), o.order...) }
+
+// Eval follows the diagram under an assignment.
+func (o *OBDD) Eval(assign func(Var) bool) bool {
+	at := o.root
+	for at > 1 {
+		n := o.nodes[at]
+		if assign(n.v) {
+			at = n.hi
+		} else {
+			at = n.lo
+		}
+	}
+	return at == 1
+}
+
+// Prob computes the probability of reaching the 1-terminal in one pass.
+func (o *OBDD) Prob(p func(Var) float64) float64 {
+	memo := make([]float64, len(o.nodes))
+	memo[1] = 1
+	for i := 2; i < len(o.nodes); i++ {
+		// Nodes are created bottom-up, so children precede parents.
+		n := o.nodes[i]
+		pv := validateProb(p(n.v), n.v)
+		memo[i] = (1-pv)*memo[n.lo] + pv*memo[n.hi]
+	}
+	return memo[o.root]
+}
+
+// DefaultOrder returns a frequency-descending variable order (ties by
+// variable id) — a reasonable default; callers with structural knowledge
+// (e.g. hierarchical queries) should supply better orders.
+func DefaultOrder(f *DNF) []Var {
+	counts := make(map[Var]int)
+	for _, c := range f.Clauses {
+		for _, v := range c {
+			counts[v]++
+		}
+	}
+	order := f.Vars()
+	// Stable selection sort by count descending (small formulas).
+	for i := 0; i < len(order); i++ {
+		best := i
+		for j := i + 1; j < len(order); j++ {
+			if counts[order[j]] > counts[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	return order
+}
+
+// TreewidthOrder derives a variable order from a greedy elimination
+// ordering of the formula's primal graph, reversed — the construction
+// behind the bounded-treewidth guarantees of the paper's references [10]
+// and [12]: for a formula of primal treewidth w, the resulting OBDD has
+// width 2^O(w), so low-treewidth lineage compiles to small OBDDs no matter
+// how many clauses it has.
+func TreewidthOrder(f *DNF) []Var {
+	g, vars := f.PrimalGraph()
+	order, _ := treewidth.Order(g, treewidth.MinFill)
+	out := make([]Var, len(order))
+	for i, gi := range order {
+		out[len(order)-1-i] = vars[gi]
+	}
+	return out
+}
+
+// BuildOBDD compiles the monotone DNF into a reduced OBDD under the given
+// variable order (which must cover the formula's variables). maxNodes
+// bounds construction (0 = 1<<20 nodes); past it ErrOBDDBudget is returned.
+func BuildOBDD(f *DNF, order []Var, maxNodes int) (*OBDD, error) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 20
+	}
+	pos := make(map[Var]int, len(order))
+	for i, v := range order {
+		if _, dup := pos[v]; dup {
+			return nil, fmt.Errorf("lineage: variable x%d repeated in order", v)
+		}
+		pos[v] = i
+	}
+	for _, v := range f.Vars() {
+		if _, ok := pos[v]; !ok {
+			return nil, fmt.Errorf("lineage: order does not cover variable x%d", v)
+		}
+	}
+	b := &obddBuilder{
+		order:    order,
+		maxNodes: maxNodes,
+		unique:   make(map[[3]int32]int32),
+		memo:     make(map[string]int32),
+	}
+	b.o = &OBDD{order: append([]Var(nil), order...), nodes: make([]obddNode, 2)}
+	root, err := b.build(f.Simplify().Clauses, 0)
+	if err != nil {
+		return nil, err
+	}
+	b.o.root = root
+	return b.o, nil
+}
+
+type obddBuilder struct {
+	o        *OBDD
+	order    []Var
+	maxNodes int
+	unique   map[[3]int32]int32
+	memo     map[string]int32
+}
+
+// build compiles the residual clause set starting at order position depth.
+func (b *obddBuilder) build(clauses []Clause, depth int) (int32, error) {
+	if len(clauses) == 0 {
+		return 0, nil
+	}
+	for _, c := range clauses {
+		if len(c) == 0 {
+			return 1, nil
+		}
+	}
+	// Skip order positions whose variable does not occur.
+	present := make(map[Var]bool)
+	for _, c := range clauses {
+		for _, v := range c {
+			present[v] = true
+		}
+	}
+	for depth < len(b.order) && !present[b.order[depth]] {
+		depth++
+	}
+	if depth >= len(b.order) {
+		return 0, fmt.Errorf("lineage: residual %v has variables beyond the order", clauses)
+	}
+	key := strconv.Itoa(depth) + "|" + canonicalKey(clauses)
+	if id, ok := b.memo[key]; ok {
+		return id, nil
+	}
+	v := b.order[depth]
+	pos, neg := cofactors(clauses, v)
+	var hi int32
+	var err error
+	if pos == nil {
+		hi = 1 // F|v=1 is a tautology
+	} else {
+		hi, err = b.build(pos, depth+1)
+		if err != nil {
+			return 0, err
+		}
+	}
+	lo, err := b.build(neg, depth+1)
+	if err != nil {
+		return 0, err
+	}
+	id, err := b.node(v, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	b.memo[key] = id
+	return id, nil
+}
+
+// node interns a decision node, applying the OBDD reduction rules.
+func (b *obddBuilder) node(v Var, lo, hi int32) (int32, error) {
+	if lo == hi {
+		return lo, nil
+	}
+	k := [3]int32{int32(v), lo, hi}
+	if id, ok := b.unique[k]; ok {
+		return id, nil
+	}
+	if b.o.Size() >= b.maxNodes {
+		return 0, fmt.Errorf("%w (%d nodes)", ErrOBDDBudget, b.o.Size())
+	}
+	id := int32(len(b.o.nodes))
+	b.o.nodes = append(b.o.nodes, obddNode{v: v, lo: lo, hi: hi})
+	b.unique[k] = id
+	return id, nil
+}

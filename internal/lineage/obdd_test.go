@@ -1,0 +1,169 @@
+package lineage
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOBDDMatchesProbOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 2 + rng.Intn(7)
+		f := randomDNF(rng, nVars, 1+rng.Intn(7), 3)
+		o, err := BuildOBDD(f, DefaultOrder(f), 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		probs := make([]float64, nVars)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		p := tableProbs(probs...)
+		want := Prob(f, p)
+		if got := o.Prob(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: OBDD prob %.12f, want %.12f", trial, got, want)
+		}
+		// Eval agrees with the formula on random assignments.
+		for s := 0; s < 20; s++ {
+			assign := make(map[Var]bool)
+			for v := Var(0); v < Var(nVars); v++ {
+				assign[v] = rng.Intn(2) == 0
+			}
+			a := func(v Var) bool { return assign[v] }
+			if o.Eval(a) != f.Eval(a) {
+				t.Fatalf("trial %d: Eval diverges on %v", trial, assign)
+			}
+		}
+	}
+}
+
+func TestOBDDTerminalCases(t *testing.T) {
+	p := tableProbs(0.5)
+	empty, err := BuildOBDD(&DNF{}, nil, 0)
+	if err != nil || empty.Prob(p) != 0 || empty.Size() != 0 {
+		t.Errorf("false OBDD: %v, %v", empty, err)
+	}
+	taut, err := BuildOBDD(&DNF{Clauses: []Clause{NewClause()}}, nil, 0)
+	if err != nil || taut.Prob(p) != 1 || taut.Size() != 0 {
+		t.Errorf("true OBDD: %v, %v", taut, err)
+	}
+	single, err := BuildOBDD(&DNF{Clauses: []Clause{NewClause(0)}}, []Var{0}, 0)
+	if err != nil || single.Size() != 1 || math.Abs(single.Prob(p)-0.5) > 1e-12 {
+		t.Errorf("single-var OBDD: %v, %v", single, err)
+	}
+}
+
+// TestOBDDOrderSensitivity demonstrates the Section 4.3.1 point: for
+// F = ∨_i (x_i ∧ y_i), the interleaved order x1,y1,x2,y2,... gives a
+// linear-size OBDD while the separated order x1..xn,y1..yn is exponential.
+func TestOBDDOrderSensitivity(t *testing.T) {
+	const n = 12
+	f := &DNF{}
+	var interleaved, separated []Var
+	for i := 0; i < n; i++ {
+		x, y := Var(2*i), Var(2*i+1)
+		f.Add(NewClause(x, y))
+		interleaved = append(interleaved, x, y)
+	}
+	for i := 0; i < n; i++ {
+		separated = append(separated, Var(2*i))
+	}
+	for i := 0; i < n; i++ {
+		separated = append(separated, Var(2*i+1))
+	}
+	good, err := BuildOBDD(f, interleaved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Size() > 3*n {
+		t.Errorf("interleaved order gives %d nodes, want O(n)=%d", good.Size(), 3*n)
+	}
+	// The separated order must blow past a small budget.
+	if _, err := BuildOBDD(f, separated, 8*n); !errors.Is(err, ErrOBDDBudget) {
+		t.Errorf("separated order within budget: %v", err)
+	}
+	// With enough budget both orders agree on the probability.
+	bad, err := BuildOBDD(f, separated, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := make([]float64, 2*n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	p := tableProbs(probs...)
+	if math.Abs(good.Prob(p)-bad.Prob(p)) > 1e-9 {
+		t.Errorf("orders disagree: %g vs %g", good.Prob(p), bad.Prob(p))
+	}
+	if bad.Size() <= good.Size() {
+		t.Errorf("separated order (%d nodes) not larger than interleaved (%d)", bad.Size(), good.Size())
+	}
+}
+
+func TestOBDDOrderValidation(t *testing.T) {
+	f := &DNF{Clauses: []Clause{NewClause(0, 1)}}
+	if _, err := BuildOBDD(f, []Var{0}, 0); err == nil {
+		t.Error("incomplete order accepted")
+	}
+	if _, err := BuildOBDD(f, []Var{0, 0, 1}, 0); err == nil {
+		t.Error("duplicate order accepted")
+	}
+}
+
+func TestDefaultOrderFrequencyDescending(t *testing.T) {
+	f := &DNF{Clauses: []Clause{NewClause(0, 2), NewClause(1, 2), NewClause(2, 3)}}
+	order := DefaultOrder(f)
+	if order[0] != 2 {
+		t.Errorf("most frequent variable not first: %v", order)
+	}
+	if len(order) != 4 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestOBDDReductionSharesNodes(t *testing.T) {
+	// (a∧c) ∨ (b∧c): after branching on a and b the residual {c} must be
+	// shared — the reduced OBDD has 3 decision nodes, not 4.
+	f := &DNF{Clauses: []Clause{NewClause(0, 2), NewClause(1, 2)}}
+	o, err := BuildOBDD(f, []Var{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 3 {
+		t.Errorf("reduced OBDD has %d nodes, want 3", o.Size())
+	}
+}
+
+// TestTreewidthOrderKeepsLowTreewidthOBDDsSmall builds a long chain lineage
+// (primal treewidth 1) with many clauses: the treewidth-derived order keeps
+// the OBDD linear while a pessimal order blows a small budget.
+func TestTreewidthOrderKeepsLowTreewidthOBDDsSmall(t *testing.T) {
+	const n = 40
+	f := &DNF{}
+	for i := 0; i < n; i++ {
+		f.Add(NewClause(Var(i), Var(i+1)))
+	}
+	order := TreewidthOrder(f)
+	if len(order) != n+1 {
+		t.Fatalf("order covers %d vars", len(order))
+	}
+	o, err := BuildOBDD(f, order, 16*n)
+	if err != nil {
+		t.Fatalf("treewidth order blew the budget: %v", err)
+	}
+	if o.Size() > 8*n {
+		t.Errorf("chain OBDD has %d nodes under the treewidth order", o.Size())
+	}
+	rng := rand.New(rand.NewSource(9))
+	probs := make([]float64, n+1)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	p := tableProbs(probs...)
+	if want := Prob(f, p); math.Abs(o.Prob(p)-want) > 1e-9 {
+		t.Errorf("OBDD prob %g, want %g", o.Prob(p), want)
+	}
+}

@@ -1,0 +1,255 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements read-once (one-occurrence) factorization of monotone
+// DNF formulas — the tractable form the paper discusses in Section 4.3.1:
+// SPROUT [17] factorizes the lineage of safe queries into one-occurrence
+// form, "for which probability computation can be performed in linear
+// time". A formula is read-once when it is equivalent to a formula in which
+// every variable appears exactly once; for monotone functions given by
+// their prime implicants this holds exactly when the variable co-occurrence
+// graph is a cograph and the clause set is normal (Gurvich; Golumbic,
+// Mintz & Rotics). The recognizer below decomposes recursively:
+//
+//   - Or-decomposition when the co-occurrence graph is disconnected
+//     (clauses split into variable-disjoint groups);
+//   - And-decomposition when the complement graph is disconnected (the
+//     variable set splits into co-components, and the clause set must be
+//     exactly the cross product of its projections — the normality check);
+//   - a single variable is a leaf; anything else is not read-once.
+//
+// The resulting factorization tree mentions each variable once, so the
+// probability is a single bottom-up pass.
+
+// FactorKind labels a factorization node.
+type FactorKind uint8
+
+// Factorization node kinds.
+const (
+	FVar FactorKind = iota
+	FAnd
+	FOr
+)
+
+// Factorization is a read-once form: a tree of ∧/∨ nodes whose leaves are
+// distinct variables.
+type Factorization struct {
+	Kind     FactorKind
+	Var      Var // for FVar
+	Children []*Factorization
+}
+
+// Prob evaluates the factorization in one pass.
+func (f *Factorization) Prob(p func(Var) float64) float64 {
+	switch f.Kind {
+	case FVar:
+		return validateProb(p(f.Var), f.Var)
+	case FAnd:
+		out := 1.0
+		for _, c := range f.Children {
+			out *= c.Prob(p)
+		}
+		return out
+	default:
+		notAny := 1.0
+		for _, c := range f.Children {
+			notAny *= 1 - c.Prob(p)
+		}
+		return 1 - notAny
+	}
+}
+
+// String renders the factorization, e.g. (x0 ∧ (x1 ∨ x2)).
+func (f *Factorization) String() string {
+	switch f.Kind {
+	case FVar:
+		return fmt.Sprintf("x%d", f.Var)
+	case FAnd:
+		parts := make([]string, len(f.Children))
+		for i, c := range f.Children {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, " ∧ ") + ")"
+	default:
+		parts := make([]string, len(f.Children))
+		for i, c := range f.Children {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, " ∨ ") + ")"
+	}
+}
+
+// Vars returns the variables of the factorization (each exactly once).
+func (f *Factorization) Vars() []Var {
+	var out []Var
+	var walk func(*Factorization)
+	walk = func(n *Factorization) {
+		if n.Kind == FVar {
+			out = append(out, n.Var)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(f)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadOnce attempts to factorize f into read-once form. It returns the
+// factorization and true on success. The formula is absorption-simplified
+// first (monotone prime implicants); tautologies and the empty formula are
+// not read-once (they have no variable occurrence to factor) and return
+// false.
+func ReadOnce(f *DNF) (*Factorization, bool) {
+	s := f.Simplify()
+	if len(s.Clauses) == 0 || s.IsTrue() {
+		return nil, false
+	}
+	return readOnce(s.Clauses)
+}
+
+func readOnce(clauses []Clause) (*Factorization, bool) {
+	for _, c := range clauses {
+		if len(c) == 0 {
+			return nil, false
+		}
+	}
+	vars := (&DNF{Clauses: clauses}).Vars()
+	if len(vars) == 1 {
+		if len(clauses) != 1 || len(clauses[0]) != 1 {
+			return nil, false
+		}
+		return &Factorization{Kind: FVar, Var: vars[0]}, true
+	}
+	// Or-decomposition: variable-disjoint clause groups.
+	comps := components(clauses)
+	if len(comps) > 1 {
+		node := &Factorization{Kind: FOr}
+		for _, comp := range comps {
+			child, ok := readOnce(comp)
+			if !ok {
+				return nil, false
+			}
+			node.Children = append(node.Children, child)
+		}
+		return node, true
+	}
+	// And-decomposition: co-components of the co-occurrence graph's
+	// complement. Two variables are in the same co-component when they are
+	// NOT adjacent in the complement, i.e. when they DO co-occur... the
+	// complement's connected components are computed below by BFS over
+	// non-co-occurring pairs.
+	groups := coComponents(clauses, vars)
+	if len(groups) <= 1 {
+		return nil, false
+	}
+	// Project clauses onto each group and verify normality: the clause set
+	// must be exactly the cross product of the projections.
+	node := &Factorization{Kind: FAnd}
+	product := 1
+	for _, group := range groups {
+		proj := projectClauses(clauses, group)
+		product *= len(proj)
+		child, ok := readOnce(proj)
+		if !ok {
+			return nil, false
+		}
+		node.Children = append(node.Children, child)
+	}
+	if product != len(clauses) {
+		return nil, false // not normal: some cross combination is missing
+	}
+	return node, true
+}
+
+// coComponents partitions vars into the connected components of the
+// complement of the co-occurrence graph. For an And-decomposable formula
+// F1 ∧ F2, every variable of F1 co-occurs with every variable of F2, so the
+// complement has no edges across the split.
+func coComponents(clauses []Clause, vars []Var) [][]Var {
+	idx := make(map[Var]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	n := len(vars)
+	co := make([][]bool, n)
+	for i := range co {
+		co[i] = make([]bool, n)
+	}
+	for _, c := range clauses {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				a, b := idx[c[i]], idx[c[j]]
+				co[a][b], co[b][a] = true, true
+			}
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for start := 0; start < n; start++ {
+		if comp[start] >= 0 {
+			continue
+		}
+		comp[start] = next
+		queue := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for w := 0; w < n; w++ {
+				if comp[w] < 0 && !co[u][w] { // complement edge
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	out := make([][]Var, next)
+	for i, v := range vars {
+		out[comp[i]] = append(out[comp[i]], v)
+	}
+	return out
+}
+
+// projectClauses restricts every clause to the given variable group and
+// deduplicates.
+func projectClauses(clauses []Clause, group []Var) []Clause {
+	in := make(map[Var]bool, len(group))
+	for _, v := range group {
+		in[v] = true
+	}
+	seen := make(map[string]bool)
+	var out []Clause
+	for _, c := range clauses {
+		proj := make(Clause, 0, len(c))
+		for _, v := range c {
+			if in[v] {
+				proj = append(proj, v)
+			}
+		}
+		k := clauseKey(proj)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, proj)
+		}
+	}
+	return out
+}
+
+func clauseKey(c Clause) string {
+	var b strings.Builder
+	for _, v := range c {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package lineage
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestReadOnceBasicForms(t *testing.T) {
+	cases := []struct {
+		name     string
+		f        *DNF
+		readOnce bool
+	}{
+		{"single var", &DNF{Clauses: []Clause{NewClause(0)}}, true},
+		{"and", &DNF{Clauses: []Clause{NewClause(0, 1, 2)}}, true},
+		{"or", &DNF{Clauses: []Clause{NewClause(0), NewClause(1)}}, true},
+		{"a(b or c)", &DNF{Clauses: []Clause{NewClause(0, 1), NewClause(0, 2)}}, true},
+		// (a∨b)(c∨d): connected co-occurrence graph, And-decomposable.
+		{"(a+b)(c+d)", &DNF{Clauses: []Clause{
+			NewClause(0, 2), NewClause(0, 3), NewClause(1, 2), NewClause(1, 3),
+		}}, true},
+		// P4 path ab ∨ bc ∨ cd: the canonical non-read-once monotone DNF.
+		{"P4", &DNF{Clauses: []Clause{NewClause(0, 1), NewClause(1, 2), NewClause(2, 3)}}, false},
+		// Non-normal: (a∨b)(c∨d) with one combination missing.
+		{"missing combo", &DNF{Clauses: []Clause{
+			NewClause(0, 2), NewClause(0, 3), NewClause(1, 2),
+		}}, false},
+		{"empty", &DNF{}, false},
+		{"tautology", &DNF{Clauses: []Clause{NewClause()}}, false},
+	}
+	for _, c := range cases {
+		fact, ok := ReadOnce(c.f)
+		if ok != c.readOnce {
+			t.Errorf("%s: ReadOnce = %v, want %v", c.name, ok, c.readOnce)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		// Each variable occurs exactly once in the factorization.
+		vars := fact.Vars()
+		want := c.f.Vars()
+		if len(vars) != len(want) {
+			t.Errorf("%s: factorization vars %v, formula vars %v (%s)", c.name, vars, want, fact)
+			continue
+		}
+		for i := range vars {
+			if vars[i] != want[i] {
+				t.Errorf("%s: var mismatch %v vs %v", c.name, vars, want)
+			}
+		}
+		// Probability agrees with brute force.
+		probs := make([]float64, int(want[len(want)-1])+1)
+		rng := rand.New(rand.NewSource(1))
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		p := func(v Var) float64 { return probs[v] }
+		wantP, err := ProbBruteForce(c.f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fact.Prob(p); math.Abs(got-wantP) > 1e-12 {
+			t.Errorf("%s: factorization prob %g, brute force %g", c.name, got, wantP)
+		}
+	}
+}
+
+// randomReadOnceTree generates a random read-once formula by building a
+// random ∧/∨ tree over distinct variables and expanding it to DNF.
+func randomReadOnceTree(rng *rand.Rand, nextVar *Var, depth int) (*Factorization, []Clause) {
+	if depth == 0 || rng.Intn(3) == 0 {
+		v := *nextVar
+		*nextVar++
+		return &Factorization{Kind: FVar, Var: v}, []Clause{NewClause(v)}
+	}
+	kind := FAnd
+	if rng.Intn(2) == 0 {
+		kind = FOr
+	}
+	k := 2 + rng.Intn(2)
+	node := &Factorization{Kind: kind}
+	var clauseSets [][]Clause
+	for i := 0; i < k; i++ {
+		child, cs := randomReadOnceTree(rng, nextVar, depth-1)
+		node.Children = append(node.Children, child)
+		clauseSets = append(clauseSets, cs)
+	}
+	if kind == FOr {
+		var union []Clause
+		for _, cs := range clauseSets {
+			union = append(union, cs...)
+		}
+		return node, union
+	}
+	// And: cross product of the children's clause sets.
+	acc := []Clause{NewClause()}
+	for _, cs := range clauseSets {
+		var next []Clause
+		for _, a := range acc {
+			for _, b := range cs {
+				next = append(next, NewClause(append(append(Clause{}, a...), b...)...))
+			}
+		}
+		acc = next
+	}
+	return node, acc
+}
+
+func TestReadOnceRecognizesRandomReadOnceFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		var next Var
+		tree, clauses := randomReadOnceTree(rng, &next, 3)
+		f := &DNF{Clauses: clauses}
+		fact, ok := ReadOnce(f)
+		if !ok {
+			t.Fatalf("trial %d: read-once formula not recognized: %s (tree %s)", trial, f, tree)
+		}
+		probs := make([]float64, int(next))
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		p := func(v Var) float64 { return probs[v] }
+		want := tree.Prob(p)
+		if got := fact.Prob(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: prob %g, want %g", trial, got, want)
+		}
+		// The general solver agrees too (and now takes the fast path).
+		if got := Prob(f, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: Prob %g, want %g", trial, got, want)
+		}
+	}
+}
+
+func TestReadOnceRejectsRandomDenseFormulas(t *testing.T) {
+	// Random dense formulas are almost never read-once; whenever the
+	// recognizer does accept, its probability must still be correct.
+	rng := rand.New(rand.NewSource(11))
+	accepted := 0
+	for trial := 0; trial < 50; trial++ {
+		f := randomDNF(rng, 6, 6, 3)
+		fact, ok := ReadOnce(f)
+		if !ok {
+			continue
+		}
+		accepted++
+		probs := make([]float64, 6)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		p := func(v Var) float64 { return probs[v] }
+		want, err := ProbBruteForce(f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fact.Prob(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: accepted factorization is wrong: %g vs %g", trial, got, want)
+		}
+	}
+	if accepted == 50 {
+		t.Error("recognizer accepted every dense formula; it is not discriminating")
+	}
+}
+
+func TestFactorizationString(t *testing.T) {
+	f := &DNF{Clauses: []Clause{NewClause(0, 1), NewClause(0, 2)}}
+	fact, ok := ReadOnce(f)
+	if !ok {
+		t.Fatal("not recognized")
+	}
+	s := fact.String()
+	if !strings.Contains(s, "x0") || !strings.Contains(s, "∨") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestHierarchicalLineageIsReadOnce checks the Section 4.3.1 connection:
+// the per-answer lineage of a hierarchical query is read-once. For
+// q :- R(x), S(x,y): lineage ∨_x r_x ∧ (∨_y s_xy).
+func TestHierarchicalLineageIsReadOnce(t *testing.T) {
+	f := &DNF{}
+	// r_x are vars 0..2; s_xy are 3 + 2x + y for y in {0,1}.
+	for x := Var(0); x < 3; x++ {
+		for y := Var(0); y < 2; y++ {
+			f.Add(NewClause(x, 3+2*x+y))
+		}
+	}
+	fact, ok := ReadOnce(f)
+	if !ok {
+		t.Fatalf("hierarchical lineage not read-once: %s", f)
+	}
+	probs := make([]float64, 9)
+	rng := rand.New(rand.NewSource(3))
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	p := func(v Var) float64 { return probs[v] }
+	want, err := ProbBruteForce(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fact.Prob(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("prob %g, want %g", got, want)
+	}
+}

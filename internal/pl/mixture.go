@@ -1,0 +1,233 @@
+package pl
+
+import (
+	"fmt"
+
+	"repro/internal/aonet"
+	"repro/internal/tuple"
+)
+
+// This file implements the mixture-of-independent-relations view of
+// pL-relations (Section 5.2): a pL-relation is a convex combination of
+// independent relations, one per assignment of the AND-OR network's
+// variables. The standard mixture follows Definition 5.2 directly;
+// Proposition 5.6 gives a smaller mixture when probability-1 tuples'
+// lineage nodes can be folded into the tuples themselves. These are
+// analysis/verification constructs (exponential in the network size), used
+// to state and test the paper's soundness arguments; the engine never
+// materializes them.
+
+// Mixture is a convex combination of independent relations over the tuple
+// slots of one pL-relation: component i has weight Weights[i] and gives slot
+// t presence probability Probs[i][t] (Eq. 6).
+type Mixture struct {
+	Weights []float64
+	Probs   [][]float64
+}
+
+// Validate checks convexity and probability ranges.
+func (m *Mixture) Validate() error {
+	total := 0.0
+	for i, w := range m.Weights {
+		if w < -1e-12 {
+			return fmt.Errorf("pl: mixture weight %d is negative (%g)", i, w)
+		}
+		total += w
+		for t, p := range m.Probs[i] {
+			if p < -1e-12 || p > 1+1e-12 {
+				return fmt.Errorf("pl: mixture component %d slot %d probability %g", i, t, p)
+			}
+		}
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return fmt.Errorf("pl: mixture weights sum to %g", total)
+	}
+	return nil
+}
+
+// Distribution returns the distribution the mixture represents over the
+// relation's worlds (Eq. 6), keyed by WorldKey. Exponential; for tests.
+func (m *Mixture) Distribution(r *Relation) (map[string]float64, error) {
+	n := len(r.Tuples)
+	if n > maxEnumBits {
+		return nil, fmt.Errorf("pl: %d tuple slots exceeds enumeration limit", n)
+	}
+	out := make(map[string]float64)
+	world := make([]tuple.Tuple, 0, n)
+	for ci, w := range m.Weights {
+		if w == 0 {
+			continue
+		}
+		probs := m.Probs[ci]
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			weight := w
+			world = world[:0]
+			for t := 0; t < n; t++ {
+				if mask&(1<<uint(t)) != 0 {
+					weight *= probs[t]
+					world = append(world, r.Tuples[t].Vals)
+				} else {
+					weight *= 1 - probs[t]
+				}
+				if weight == 0 {
+					break
+				}
+			}
+			if weight == 0 {
+				continue
+			}
+			out[WorldKey(world)] += weight
+		}
+	}
+	return out, nil
+}
+
+// StandardMixture materializes the standard mixture of Definition 5.2 /
+// Section 5.2: one component per assignment z of the network nodes relevant
+// to the relation's lineage, with weight N(z) and slot probabilities
+// z_{l(t)}·p(t). Components of weight zero are dropped.
+func StandardMixture(r *Relation, net *aonet.Network) (*Mixture, error) {
+	relSet := make(map[aonet.NodeID]bool)
+	var relevant []aonet.NodeID
+	for _, t := range r.Tuples {
+		for _, v := range net.Ancestors(t.Lin) {
+			if !relSet[v] {
+				relSet[v] = true
+				relevant = append(relevant, v)
+			}
+		}
+	}
+	if len(relevant) > maxEnumBits {
+		return nil, fmt.Errorf("pl: %d relevant nodes exceeds enumeration limit", len(relevant))
+	}
+	m := &Mixture{}
+	z := make([]bool, net.Len())
+	for mask := 0; mask < 1<<uint(len(relevant)); mask++ {
+		for i, v := range relevant {
+			z[v] = mask&(1<<uint(i)) != 0
+		}
+		w := 1.0
+		for _, v := range relevant {
+			pt := net.CondProbTrue(v, z)
+			if z[v] {
+				w *= pt
+			} else {
+				w *= 1 - pt
+			}
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		probs := make([]float64, len(r.Tuples))
+		for t, tp := range r.Tuples {
+			if z[tp.Lin] {
+				probs[t] = tp.P
+			}
+		}
+		m.Weights = append(m.Weights, w)
+		m.Probs = append(m.Probs, probs)
+	}
+	return m, nil
+}
+
+// Prop56Mixture materializes mixture(R, S) of Proposition 5.6: S is a set of
+// slot indexes whose tuples have probability 1; their lineage nodes V_S are
+// removed from the network, the mixture enumerates only the remaining
+// relevant nodes, and the folded tuples take probability
+// φ(z_{l(t)}=1 | z_par(l(t))) inside each component. It requires the folding
+// to be well-formed: every tuple in S has probability 1, the nodes V_S have
+// no children among the remaining relevant nodes, their parents lie outside
+// V_S, and no tuple outside S references a node of V_S.
+func Prop56Mixture(r *Relation, net *aonet.Network, s []int) (*Mixture, error) {
+	inS := make(map[int]bool, len(s))
+	vS := make(map[aonet.NodeID]bool, len(s))
+	for _, t := range s {
+		if t < 0 || t >= len(r.Tuples) {
+			return nil, fmt.Errorf("pl: slot %d out of range", t)
+		}
+		if r.Tuples[t].P != 1 {
+			return nil, fmt.Errorf("pl: Proposition 5.6 requires p(t)=1 for folded tuples (slot %d has %g)", t, r.Tuples[t].P)
+		}
+		inS[t] = true
+		vS[r.Tuples[t].Lin] = true
+	}
+	for t, tp := range r.Tuples {
+		if !inS[t] && vS[tp.Lin] {
+			return nil, fmt.Errorf("pl: slot %d outside S references a folded node", t)
+		}
+	}
+	for v := range vS {
+		for _, e := range net.Parents(v) {
+			if vS[e.From] {
+				return nil, fmt.Errorf("pl: folded node %d has a folded parent", v)
+			}
+		}
+	}
+	// Relevant nodes: ancestors of every lineage node, minus V_S.
+	relSet := make(map[aonet.NodeID]bool)
+	var relevant []aonet.NodeID
+	add := func(v aonet.NodeID) {
+		for _, u := range net.Ancestors(v) {
+			if !relSet[u] && !vS[u] {
+				relSet[u] = true
+				relevant = append(relevant, u)
+			}
+		}
+	}
+	for t, tp := range r.Tuples {
+		if inS[t] {
+			for _, e := range net.Parents(tp.Lin) {
+				add(e.From)
+			}
+			continue
+		}
+		add(tp.Lin)
+	}
+	// Folded nodes must have no children among the remaining nodes.
+	for _, v := range relevant {
+		for _, e := range net.Parents(v) {
+			if vS[e.From] {
+				return nil, fmt.Errorf("pl: remaining node %d depends on folded node %d", v, e.From)
+			}
+		}
+	}
+	if len(relevant) > maxEnumBits {
+		return nil, fmt.Errorf("pl: %d relevant nodes exceeds enumeration limit", len(relevant))
+	}
+	m := &Mixture{}
+	z := make([]bool, net.Len())
+	for mask := 0; mask < 1<<uint(len(relevant)); mask++ {
+		for i, v := range relevant {
+			z[v] = mask&(1<<uint(i)) != 0
+		}
+		w := 1.0
+		for _, v := range relevant {
+			pt := net.CondProbTrue(v, z)
+			if z[v] {
+				w *= pt
+			} else {
+				w *= 1 - pt
+			}
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		probs := make([]float64, len(r.Tuples))
+		for t, tp := range r.Tuples {
+			if inS[t] {
+				probs[t] = net.CondProbTrue(tp.Lin, z)
+			} else if z[tp.Lin] {
+				probs[t] = tp.P
+			}
+		}
+		m.Weights = append(m.Weights, w)
+		m.Probs = append(m.Probs, probs)
+	}
+	return m, nil
+}

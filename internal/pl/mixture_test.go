@@ -1,0 +1,176 @@
+package pl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+	"repro/internal/tuple"
+)
+
+// TestExample53 reproduces Example 5.3: with the one-node ε network, the
+// pL-relation is exactly the independent relation (R, p) and its standard
+// mixture has a single unit-weight component.
+func TestExample53(t *testing.T) {
+	net := aonet.New()
+	r := &Relation{Attrs: tuple.Schema{"A"}, Tuples: []Tuple{
+		{Vals: tuple.Ints(1), P: 0.6, Lin: aonet.Epsilon},
+		{Vals: tuple.Ints(2), P: 0.3, Lin: aonet.Epsilon},
+		{Vals: tuple.Ints(3), P: 0.5, Lin: aonet.Epsilon},
+	}}
+	m, err := StandardMixture(r, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Weights) != 1 || math.Abs(m.Weights[0]-1) > 1e-12 {
+		t.Fatalf("standard mixture of an independent relation: %+v", m.Weights)
+	}
+	for i, want := range []float64{0.6, 0.3, 0.5} {
+		if m.Probs[0][i] != want {
+			t.Errorf("slot %d: %g, want %g", i, m.Probs[0][i], want)
+		}
+	}
+	dist, err := m.Distribution(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Distribution(r, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distEqual(t, "example 5.3", dist, direct)
+}
+
+// TestExample54 reproduces Example 5.4: with all probabilities 1, the
+// pL-relation "just represents the AND-OR network" — the worlds' weights
+// are the network's joint probabilities.
+func TestExample54(t *testing.T) {
+	net := aonet.New()
+	u := net.AddLeaf(0.3)
+	v := net.AddLeaf(0.8)
+	w := net.AddGate(aonet.Or, []aonet.Edge{{From: u, P: 0.5}, {From: v, P: 0.5}})
+	r := &Relation{Attrs: tuple.Schema{"A"}, Tuples: []Tuple{
+		{Vals: tuple.Ints(1), P: 1, Lin: u},
+		{Vals: tuple.Ints(2), P: 1, Lin: v},
+		{Vals: tuple.Ints(3), P: 1, Lin: w},
+	}}
+	dist, err := Distribution(r, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The world {1, 3} corresponds to z = (u=1, v=0, w=1):
+	// N(z) = 0.3 · 0.2 · φ(w=1|u) = 0.3·0.2·0.5 = 0.03.
+	key := WorldKey([]tuple.Tuple{tuple.Ints(1), tuple.Ints(3)})
+	if math.Abs(dist[key]-0.03) > 1e-12 {
+		t.Errorf("ρ({1,3}) = %g, want 0.03", dist[key])
+	}
+}
+
+// TestStandardMixtureEqualsDefinition checks, on random pL-relations, that
+// the standard mixture's distribution equals the relation's distribution —
+// the identity underpinning Proposition 5.7.
+func TestStandardMixtureEqualsDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		net, r := randomPLRelation(rng, 2)
+		m, err := StandardMixture(r, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := m.Distribution(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Distribution(r, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distEqual(t, "standard mixture", got, want)
+	}
+}
+
+// TestProposition56 verifies the folded mixture: after deduplication the
+// new Or nodes can be folded into their probability-1 tuples, and the
+// resulting smaller mixture represents the same distribution.
+func TestProposition56(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 25; trial++ {
+		net := aonet.New()
+		// A dedup-shaped relation: two ε tuples merged into an Or node with
+		// sub-unit weights, plus an untouched ε tuple.
+		l1 := net.AddLeaf(rng.Float64())
+		l2 := net.AddLeaf(rng.Float64())
+		or := net.AddGate(aonet.Or, []aonet.Edge{
+			{From: l1, P: rng.Float64()},
+			{From: l2, P: rng.Float64()},
+		})
+		r := &Relation{Attrs: tuple.Schema{"A"}, Tuples: []Tuple{
+			{Vals: tuple.Ints(1), P: 1, Lin: or},
+			{Vals: tuple.Ints(2), P: rng.Float64(), Lin: aonet.Epsilon},
+			{Vals: tuple.Ints(3), P: rng.Float64(), Lin: l1},
+		}}
+		folded, err := Prop56Mixture(r, net, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := folded.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		standard, err := StandardMixture(r, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(folded.Weights) >= len(standard.Weights) {
+			t.Errorf("trial %d: folding did not shrink the mixture: %d vs %d components",
+				trial, len(folded.Weights), len(standard.Weights))
+		}
+		got, err := folded.Distribution(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Distribution(r, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		distEqual(t, "proposition 5.6", got, want)
+	}
+}
+
+func TestProp56Preconditions(t *testing.T) {
+	net := aonet.New()
+	l := net.AddLeaf(0.5)
+	or := net.AddGate(aonet.Or, []aonet.Edge{{From: l, P: 0.5}})
+	r := &Relation{Attrs: tuple.Schema{"A"}, Tuples: []Tuple{
+		{Vals: tuple.Ints(1), P: 0.7, Lin: or}, // p < 1: cannot fold
+		{Vals: tuple.Ints(2), P: 1, Lin: or},
+	}}
+	if _, err := Prop56Mixture(r, net, []int{0}); err == nil {
+		t.Error("folded a tuple with p < 1")
+	}
+	// Folding slot 1 while slot 0 still references the node: invalid.
+	if _, err := Prop56Mixture(r, net, []int{1}); err == nil {
+		t.Error("folded a node still referenced outside S")
+	}
+	if _, err := Prop56Mixture(r, net, []int{9}); err == nil {
+		t.Error("accepted out-of-range slot")
+	}
+	// Folding a node whose child remains relevant: invalid.
+	net2 := aonet.New()
+	l2 := net2.AddLeaf(0.5)
+	mid := net2.AddGate(aonet.Or, []aonet.Edge{{From: l2, P: 0.5}})
+	top := net2.AddGate(aonet.Or, []aonet.Edge{{From: mid, P: 0.5}})
+	r2 := &Relation{Attrs: tuple.Schema{"A"}, Tuples: []Tuple{
+		{Vals: tuple.Ints(1), P: 1, Lin: mid},
+		{Vals: tuple.Ints(2), P: 1, Lin: top},
+	}}
+	if _, err := Prop56Mixture(r2, net2, []int{0}); err == nil {
+		t.Error("folded a node with a remaining child")
+	}
+}

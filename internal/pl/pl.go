@@ -1,0 +1,337 @@
+// Package pl implements relations with partial lineage (pL-relations,
+// Section 5 of the paper) and the relational operators over them.
+//
+// A pL-relation (R, p, l, N) pairs each tuple with a probability p(t) and a
+// lineage node l(t) of a shared AND-OR network N (Definition 5.2). The
+// represented distribution over subsets ω ⊆ R is
+//
+//	ρ(ω) = Σ_z N(z) · ∏_{t∈ω} z_{l(t)}·p(t) · ∏_{t∉ω} (1 - z_{l(t)}·p(t))
+//
+// Tuples with the trivial lineage ε are handled purely extensionally
+// (numbers); tuples pointing at real network nodes carry symbolic state. The
+// operators below grow the shared network exactly as Sections 5.3.1–5.3.3
+// prescribe: selection is relational selection; projection is an independent
+// project followed by deduplication (Or augmentation, Theorem 5.10); joins
+// require conditioning on the cSets (Definition 5.14, Theorem 5.16) and
+// introduce And nodes for symbolic×symbolic matches.
+package pl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/aonet"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Tuple is one row of a pL-relation: values, probability, and the lineage
+// node (aonet.Epsilon for trivial lineage).
+type Tuple struct {
+	Vals tuple.Tuple
+	P    float64
+	Lin  aonet.NodeID
+}
+
+// Relation is a pL-relation sharing an AND-OR network with the rest of the
+// query's intermediate state. Operators treat relations as immutable and
+// return new ones.
+type Relation struct {
+	Attrs  tuple.Schema
+	Tuples []Tuple
+}
+
+// FromBase converts a tuple-independent base relation into a pL-relation
+// with the given attribute names (renaming positions to query variables).
+// Tuples with probability zero are dropped (they are present in no world).
+func FromBase(r *relation.Relation, attrs tuple.Schema) (*Relation, error) {
+	if len(attrs) != len(r.Attrs) {
+		return nil, fmt.Errorf("pl: renaming %d attributes of %s to %d names", len(r.Attrs), r.Name, len(attrs))
+	}
+	out := &Relation{Attrs: attrs.Clone(), Tuples: make([]Tuple, 0, len(r.Rows))}
+	for _, row := range r.Rows {
+		if row.P == 0 {
+			continue
+		}
+		out.Tuples = append(out.Tuples, Tuple{Vals: row.Tuple, P: row.P, Lin: aonet.Epsilon})
+	}
+	return out, nil
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Clone returns a copy sharing tuple values (immutable by convention) but
+// with independent row storage.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Attrs: r.Attrs.Clone(), Tuples: make([]Tuple, len(r.Tuples))}
+	copy(out.Tuples, r.Tuples)
+	return out
+}
+
+// Select returns the tuples satisfying pred. Selection over pL-relations is
+// always safe (Section 5.3.1).
+func Select(r *Relation, pred func(tuple.Tuple) bool) *Relation {
+	out := &Relation{Attrs: r.Attrs.Clone()}
+	for _, t := range r.Tuples {
+		if pred(t.Vals) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// IndProject performs the independent-project stage of Section 5.3.2:
+// project onto cols but merge only tuples that share the same lineage node
+// (projecting on A ∪ {l}), combining probabilities as
+// p = 1 - ∏(1 - p_i). The network is not modified.
+func IndProject(r *Relation, cols []string) (*Relation, error) {
+	idx, err := r.Attrs.Indexes(cols)
+	if err != nil {
+		return nil, fmt.Errorf("pl: IndProject: %w", err)
+	}
+	out := &Relation{Attrs: tuple.Schema(cols).Clone()}
+	type groupKey struct {
+		vals string
+		lin  aonet.NodeID
+	}
+	pos := make(map[groupKey]int)
+	for _, t := range r.Tuples {
+		k := groupKey{vals: t.Vals.KeyAt(idx), lin: t.Lin}
+		if i, ok := pos[k]; ok {
+			out.Tuples[i].P = 1 - (1-out.Tuples[i].P)*(1-t.P)
+			continue
+		}
+		pos[k] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, Tuple{Vals: t.Vals.Project(idx), P: t.P, Lin: t.Lin})
+	}
+	return out, nil
+}
+
+// Dedup performs the deduplication stage of Section 5.3.2: tuples with equal
+// values are replaced by a single tuple with probability 1 whose lineage is
+// a new Or node over the group members' (lineage, probability) pairs. Groups
+// of size one pass through unchanged. Theorem 5.10 shows IndProject followed
+// by Dedup equals the possible-worlds projection.
+func Dedup(r *Relation, net *aonet.Network) *Relation {
+	out := &Relation{Attrs: r.Attrs.Clone()}
+	groups := make(map[string][]int)
+	var order []string
+	for i, t := range r.Tuples {
+		k := t.Vals.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		members := groups[k]
+		if len(members) == 1 {
+			out.Tuples = append(out.Tuples, r.Tuples[members[0]])
+			continue
+		}
+		edges := make([]aonet.Edge, 0, len(members))
+		for _, i := range members {
+			edges = append(edges, aonet.Edge{From: r.Tuples[i].Lin, P: r.Tuples[i].P})
+		}
+		lin := net.AddGate(aonet.Or, edges)
+		out.Tuples = append(out.Tuples, Tuple{Vals: r.Tuples[members[0]].Vals, P: 1, Lin: lin})
+	}
+	return out
+}
+
+// Project is the full projection of Section 5.3.2: IndProject then Dedup.
+func Project(r *Relation, cols []string, net *aonet.Network) (*Relation, error) {
+	ind, err := IndProject(r, cols)
+	if err != nil {
+		return nil, err
+	}
+	return Dedup(ind, net), nil
+}
+
+// Cond conditions the relation on the tuple at index i (Section 5.3.3): its
+// probability becomes 1 and its lineage a fresh leaf carrying the old
+// probability. Lemma 5.12 shows the distribution is unchanged. When the
+// tuple already carries non-trivial lineage, the fresh leaf is combined with
+// it through a deterministic And node, which preserves the represented
+// factor z_l(t)·p(t) exactly. Conditioning a tuple whose probability is
+// already 1 is a no-op. The relation is modified in place.
+func Cond(r *Relation, i int, net *aonet.Network) {
+	t := &r.Tuples[i]
+	if t.P == 1 {
+		return
+	}
+	leaf := net.AddLeaf(t.P)
+	if t.Lin == aonet.Epsilon {
+		t.Lin = leaf
+	} else {
+		t.Lin = net.AddGate(aonet.And, []aonet.Edge{{From: t.Lin, P: 1}, {From: leaf, P: 1}})
+	}
+	t.P = 1
+}
+
+// CSet returns the indexes in r1 of the offending tuples with respect to a
+// join with r2 (Definition 5.14): uncertain tuples (p < 1) that join two or
+// more tuples of r2. joinCols names the join attributes (shared attribute
+// names).
+func CSet(r1, r2 *Relation, joinCols []string) ([]int, error) {
+	idx1, err := r1.Attrs.Indexes(joinCols)
+	if err != nil {
+		return nil, fmt.Errorf("pl: CSet: %w", err)
+	}
+	idx2, err := r2.Attrs.Indexes(joinCols)
+	if err != nil {
+		return nil, fmt.Errorf("pl: CSet: %w", err)
+	}
+	fanout := make(map[string]int, len(r2.Tuples))
+	for _, t := range r2.Tuples {
+		fanout[t.Vals.KeyAt(idx2)]++
+	}
+	var out []int
+	for i, t := range r1.Tuples {
+		if t.P < 1 && fanout[t.Vals.KeyAt(idx1)] >= 2 {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// Join computes r1 ⋈_pL r2 (Definition 5.13), the natural join on the shared
+// attribute names. For tuple pairs where both lineages are non-trivial, a
+// new And node over the two (lineage, probability) pairs is created and the
+// output probability is 1; otherwise the probabilities multiply and the
+// non-trivial lineage (if any) is inherited.
+//
+// Join does NOT condition its inputs; per Theorem 5.16 the caller must first
+// condition both sides on their cSets for the result to obey the
+// possible-worlds semantics. Use SafeJoin for the conditioned combination.
+func Join(r1, r2 *Relation, net *aonet.Network) (*Relation, error) {
+	shared := r1.Attrs.Shared(r2.Attrs)
+	idx1, err := r1.Attrs.Indexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	idx2, err := r2.Attrs.Indexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	// Output schema: r1's attributes, then r2's non-shared attributes.
+	outAttrs := r1.Attrs.Clone()
+	var rest2 []int
+	for j, a := range r2.Attrs {
+		if r1.Attrs.Index(a) < 0 {
+			outAttrs = append(outAttrs, a)
+			rest2 = append(rest2, j)
+		}
+	}
+	// Hash join: bucket r2 by join key.
+	buckets := make(map[string][]int, len(r2.Tuples))
+	for j, t := range r2.Tuples {
+		k := t.Vals.KeyAt(idx2)
+		buckets[k] = append(buckets[k], j)
+	}
+	out := &Relation{Attrs: outAttrs}
+	for _, t1 := range r1.Tuples {
+		for _, j := range buckets[t1.Vals.KeyAt(idx1)] {
+			t2 := r2.Tuples[j]
+			vals := t1.Vals.Concat(t2.Vals.Project(rest2))
+			var nt Tuple
+			switch {
+			case t1.Lin == aonet.Epsilon && t2.Lin == aonet.Epsilon:
+				nt = Tuple{Vals: vals, P: t1.P * t2.P, Lin: aonet.Epsilon}
+			case t2.Lin == aonet.Epsilon:
+				nt = Tuple{Vals: vals, P: t1.P * t2.P, Lin: t1.Lin}
+			case t1.Lin == aonet.Epsilon:
+				nt = Tuple{Vals: vals, P: t1.P * t2.P, Lin: t2.Lin}
+			default:
+				lin := net.AddGate(aonet.And, []aonet.Edge{
+					{From: t1.Lin, P: t1.P},
+					{From: t2.Lin, P: t2.P},
+				})
+				nt = Tuple{Vals: vals, P: 1, Lin: lin}
+			}
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+// SafeJoin conditions both inputs on their cSets (Theorem 5.16) and then
+// joins them. It returns the join result and the number of offending tuples
+// conditioned, the per-operator distance from data-safety (Definition 3.4).
+// The inputs are cloned, not modified.
+func SafeJoin(r1, r2 *Relation, net *aonet.Network) (*Relation, int, error) {
+	shared := r1.Attrs.Shared(r2.Attrs)
+	c1, err := CSet(r1, r2, shared)
+	if err != nil {
+		return nil, 0, err
+	}
+	c2, err := CSet(r2, r1, shared)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(c1) > 0 {
+		r1 = r1.Clone()
+		for _, i := range c1 {
+			Cond(r1, i, net)
+		}
+	}
+	if len(c2) > 0 {
+		r2 = r2.Clone()
+		for _, i := range c2 {
+			Cond(r2, i, net)
+		}
+	}
+	joined, err := Join(r1, r2, net)
+	if err != nil {
+		return nil, 0, err
+	}
+	return joined, len(c1) + len(c2), nil
+}
+
+// Validate checks structural invariants: probabilities in [0,1], lineage
+// nodes inside the network, schema well-formed.
+func (r *Relation) Validate(net *aonet.Network) error {
+	if err := r.Attrs.Validate(); err != nil {
+		return err
+	}
+	for i, t := range r.Tuples {
+		if math.IsNaN(t.P) || t.P < 0 || t.P > 1 {
+			return fmt.Errorf("pl: tuple %d probability %v outside [0,1]", i, t.P)
+		}
+		if t.Lin < 0 || int(t.Lin) >= net.Len() {
+			return fmt.Errorf("pl: tuple %d lineage node %d outside network", i, t.Lin)
+		}
+		if len(t.Vals) != len(r.Attrs) {
+			return fmt.Errorf("pl: tuple %d width %d, schema width %d", i, len(t.Vals), len(r.Attrs))
+		}
+	}
+	return nil
+}
+
+// String renders the relation for debugging.
+func (r *Relation) String() string {
+	s := fmt.Sprintf("%v\n", []string(r.Attrs))
+	for _, t := range r.Tuples {
+		lin := "ε"
+		if t.Lin != aonet.Epsilon {
+			lin = fmt.Sprintf("n%d", t.Lin)
+		}
+		s += fmt.Sprintf("  %v p=%.6g l=%s\n", t.Vals, t.P, lin)
+	}
+	return s
+}
+
+// sortTupleIndexes returns 0..n-1 sorted by tuple value, for canonical
+// iteration in Distribution.
+func (r *Relation) sortTupleIndexes() []int {
+	idx := make([]int, len(r.Tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return r.Tuples[idx[a]].Vals.Compare(r.Tuples[idx[b]].Vals) < 0
+	})
+	return idx
+}

@@ -1,0 +1,249 @@
+// Package planner implements data-aware plan selection — the paper's open
+// question (i) in Section 8: "how to choose a query plan that minimizes the
+// size ... of the output network".
+//
+// For a fixed query the number of offending tuples, and hence the size and
+// width of the partial-lineage network, depends heavily on the join order:
+// a join direction along a functional dependency that the instance satisfies
+// is data-safe, while the reverse direction of the same join may condition
+// thousands of tuples. The planner enumerates left-deep join orders whose
+// prefixes stay connected (no cross products), dry-runs the partial-lineage
+// pipeline on each (relational work only, no inference), and ranks the
+// candidates by the exact statistics of the run: offending tuples first,
+// then network size.
+//
+// Dry-running every order is exact but costs one relational execution per
+// candidate; Options.MaxOrders bounds the search and Options.SampleGroups
+// restricts the costing runs to a sample of answer groups when the query has
+// head variables.
+package planner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxOrders caps the number of candidate join orders costed
+	// (0 = default 64). Orders are enumerated deterministically.
+	MaxOrders int
+	// SampleGroups, when positive and the query has head variables,
+	// restricts costing to the answer groups whose first head attribute
+	// falls in the SampleGroups smallest values present — a cheap stand-in
+	// for sampling since group structure is homogeneous in the paper's
+	// workloads. Zero costs the full instance.
+	SampleGroups int
+}
+
+func (o Options) maxOrders() int {
+	if o.MaxOrders <= 0 {
+		return 64
+	}
+	return o.MaxOrders
+}
+
+// Candidate is one costed join order.
+type Candidate struct {
+	Order     []string
+	Plan      *query.Plan
+	Offending int
+	Nodes     int
+	Edges     int
+}
+
+// String renders the candidate for reports.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s: offending=%d network=%d nodes/%d edges",
+		strings.Join(c.Order, ","), c.Offending, c.Nodes, c.Edges)
+}
+
+// Choose costs the candidate left-deep orders of q against db and returns
+// the best candidate plus the full ranking (best first). The best candidate
+// minimizes offending tuples, breaking ties by network node count, then
+// edge count, then lexicographic order (for determinism).
+func Choose(db *relation.Database, q *query.Query, opts Options) (*Candidate, []Candidate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	orders := connectedOrders(q, opts.maxOrders())
+	if len(orders) == 0 {
+		return nil, nil, fmt.Errorf("planner: no connected join order for %s", q.Name)
+	}
+	costDB, err := sampleDatabase(db, q, opts.SampleGroups)
+	if err != nil {
+		return nil, nil, err
+	}
+	cands := make([]Candidate, 0, len(orders))
+	for _, order := range orders {
+		plan, err := query.LeftDeepPlan(q, order)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := engine.Evaluate(costDB, q, plan, engine.Options{
+			Strategy:      core.PartialLineage,
+			SkipInference: true,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cands = append(cands, Candidate{
+			Order:     order,
+			Plan:      plan,
+			Offending: res.Stats.OffendingTuples,
+			Nodes:     res.Stats.NetworkNodes,
+			Edges:     res.Stats.NetworkEdges,
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.Offending != b.Offending {
+			return a.Offending < b.Offending
+		}
+		if a.Nodes != b.Nodes {
+			return a.Nodes < b.Nodes
+		}
+		if a.Edges != b.Edges {
+			return a.Edges < b.Edges
+		}
+		return strings.Join(a.Order, ",") < strings.Join(b.Order, ",")
+	})
+	best := cands[0]
+	return &best, cands, nil
+}
+
+// connectedOrders enumerates left-deep atom orders whose every prefix shares
+// a variable with the next atom (no cross products), up to limit orders.
+// When the query is variable-disconnected, orders fall back to unrestricted
+// permutations.
+func connectedOrders(q *query.Query, limit int) [][]string {
+	n := len(q.Atoms)
+	varsOf := make([]map[string]bool, n)
+	for i := range q.Atoms {
+		varsOf[i] = make(map[string]bool)
+		for _, v := range q.Atoms[i].Vars() {
+			varsOf[i][v] = true
+		}
+	}
+	connects := func(prefix map[string]bool, next int) bool {
+		for v := range varsOf[next] {
+			if prefix[v] {
+				return true
+			}
+		}
+		return false
+	}
+	var out [][]string
+	used := make([]bool, n)
+	prefixVars := make(map[string]bool)
+	var current []string
+	var rec func(requireConnected bool)
+	rec = func(requireConnected bool) {
+		if len(out) >= limit {
+			return
+		}
+		if len(current) == n {
+			out = append(out, append([]string(nil), current...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if requireConnected && len(current) > 0 && !connects(prefixVars, i) {
+				continue
+			}
+			used[i] = true
+			current = append(current, q.Atoms[i].Pred)
+			var added []string
+			for v := range varsOf[i] {
+				if !prefixVars[v] {
+					prefixVars[v] = true
+					added = append(added, v)
+				}
+			}
+			rec(requireConnected)
+			for _, v := range added {
+				delete(prefixVars, v)
+			}
+			current = current[:len(current)-1]
+			used[i] = false
+		}
+	}
+	rec(true)
+	if len(out) == 0 {
+		rec(false)
+	}
+	return out
+}
+
+// sampleDatabase restricts every relation to the rows whose first-head-
+// attribute value is among the k smallest head values, to cost plans on a
+// sample of answer groups. It returns db unchanged when k <= 0 or the query
+// is Boolean or the head attribute cannot be located positionally.
+func sampleDatabase(db *relation.Database, q *query.Query, k int) (*relation.Database, error) {
+	if k <= 0 || len(q.Head) == 0 {
+		return db, nil
+	}
+	head := q.Head[0]
+	// Find, per predicate, the position of the head variable.
+	headPos := make(map[string]int)
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		for j, t := range a.Args {
+			if t.IsVar() && t.Var == head {
+				headPos[a.Pred] = j
+				break
+			}
+		}
+	}
+	if len(headPos) != len(q.Atoms) {
+		return db, nil // head variable not in every atom: sample unsound
+	}
+	// Collect the k smallest distinct head values from the first atom.
+	first, err := db.Relation(q.Atoms[0].Pred)
+	if err != nil {
+		return nil, err
+	}
+	pos := headPos[q.Atoms[0].Pred]
+	distinct := make(map[string]tuple.Value)
+	for _, row := range first.Rows {
+		distinct[row.Tuple[pos].String()] = row.Tuple[pos]
+	}
+	values := make([]tuple.Value, 0, len(distinct))
+	for _, v := range distinct {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i].Compare(values[j]) < 0 })
+	if k < len(values) {
+		values = values[:k]
+	}
+	keep := make(map[tuple.Value]bool, len(values))
+	for _, v := range values {
+		keep[v] = true
+	}
+	out := relation.NewDatabase()
+	for i := range q.Atoms {
+		pred := q.Atoms[i].Pred
+		rel, err := db.Relation(pred)
+		if err != nil {
+			return nil, err
+		}
+		sampled := relation.New(rel.Name, rel.Attrs...)
+		p := headPos[pred]
+		for _, row := range rel.Rows {
+			if keep[row.Tuple[p]] {
+				sampled.Rows = append(sampled.Rows, row)
+			}
+		}
+		out.AddRelation(sampled)
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+package query
+
+import "testing"
+
+// FuzzParse exercises the parser on arbitrary input: it must never panic,
+// and anything it accepts must validate and re-parse from its own rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"q(h) :- R1(h, x), S1(h, x, y), R2(h, y)",
+		"q :- R(x, 7), S(x, 'paris')",
+		"q() :- R(x)",
+		"q :- R(x, x, y)",
+		"q(h :- R(h)",
+		"q :- r(h)",
+		"q :- R('unterminated",
+		"q :- R(,)",
+		"",
+		":-",
+		"q :- R(2.5e3)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted query fails validation: %v (%q)", err, input)
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering does not re-parse: %v (%q -> %q)", err, input, rendered)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q", rendered, q2.String())
+		}
+	})
+}

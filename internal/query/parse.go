@@ -1,0 +1,214 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/tuple"
+)
+
+// Parse reads a conjunctive query in datalog syntax:
+//
+//	q(h) :- R1(h, x), S1(h, x, y), R2(h, y)
+//
+// Boolean queries omit the head arguments: `q() :- R(x), S(x, y)` or
+// `q :- R(x), S(x, y)`. Arguments are variables (identifiers starting with a
+// lowercase letter or underscore), integer/float constants, or single-quoted
+// string constants. Predicate names are identifiers starting with an
+// uppercase letter.
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("parsing query: %w (at offset %d of %q)", err, p.pos, input)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed catalogs.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(p.src[p.pos]) {
+		return "", fmt.Errorf("expected identifier")
+	}
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("query name: %w", err)
+	}
+	q := &Query{Name: name}
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		p.skipSpace()
+		for p.peek() != ')' {
+			h, err := p.ident()
+			if err != nil {
+				return nil, fmt.Errorf("head variable: %w", err)
+			}
+			q.Head = append(q.Head, h)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+		}
+		p.pos++ // ')'
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], ":-") {
+		return nil, fmt.Errorf("expected \":-\"")
+	}
+	p.pos += 2
+	for {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, *atom)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return q, nil
+}
+
+func (p *parser) parseAtom() (*Atom, error) {
+	pred, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("predicate: %w", err)
+	}
+	if c := pred[0]; c < 'A' || c > 'Z' {
+		return nil, fmt.Errorf("predicate %q must start with an uppercase letter", pred)
+	}
+	if err := p.expect('('); err != nil {
+		return nil, fmt.Errorf("after predicate %s: %w", pred, err)
+	}
+	a := &Atom{Pred: pred}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, fmt.Errorf("in atom %s: %w", pred, err)
+		}
+		a.Args = append(a.Args, *t)
+		p.skipSpace()
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return a, nil
+		default:
+			return nil, fmt.Errorf("in atom %s: expected \",\" or \")\"", pred)
+		}
+	}
+}
+
+func (p *parser) parseTerm() (*Term, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '\'':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("unterminated string constant")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return &Term{Const: tuple.String(s)}, nil
+	case c == '-' || c == '+' || ('0' <= c && c <= '9'):
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.src) {
+			d := p.src[p.pos]
+			isDigitish := d == '.' || ('0' <= d && d <= '9') || d == 'e' || d == 'E'
+			// A sign is part of the number only directly after an exponent.
+			isExpSign := (d == '-' || d == '+') && (p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E')
+			if !isDigitish && !isExpSign {
+				break
+			}
+			p.pos++
+		}
+		lit := p.src[start:p.pos]
+		v := tuple.ParseValue(lit)
+		if v.Kind() == tuple.KindString {
+			return nil, fmt.Errorf("malformed numeric constant %q", lit)
+		}
+		return &Term{Const: v}, nil
+	case c == '_' || ('a' <= c && c <= 'z'):
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Term{Var: v}, nil
+	case 'A' <= c && c <= 'Z':
+		return nil, fmt.Errorf("variables must start with a lowercase letter (got %q)", string(c))
+	default:
+		return nil, fmt.Errorf("expected a term")
+	}
+}

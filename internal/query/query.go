@@ -1,0 +1,304 @@
+// Package query represents conjunctive queries and their plans.
+//
+// Queries are written datalog-style:
+//
+//	q(h) :- R1(h, x), S1(h, x, y), R2(h, y)
+//
+// Head variables are answer ("group-by") variables; all other variables are
+// existentially quantified. Constants (numbers or quoted strings) may appear
+// as arguments and compile to selections. Following the paper, self-joins
+// (a predicate used twice) are rejected.
+//
+// The package classifies queries as hierarchical (= safe, by the dichotomy
+// of Dalvi–Suciu [8] for conjunctive queries without self-joins) and as
+// strictly hierarchical (Definition 4.1, the class with bounded-treewidth
+// lineage per Theorem 4.2), synthesizes safe plans for hierarchical queries,
+// and builds left-deep plans for a given join order (Table 1).
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// Term is one argument of an atom: either a variable or a constant.
+type Term struct {
+	Var   string      // non-empty for variables
+	Const tuple.Value // used when Var == ""
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Var != "" }
+
+// String renders the term; string constants are quoted so the rendering
+// re-parses faithfully.
+func (t Term) String() string {
+	if t.IsVar() {
+		return t.Var
+	}
+	if t.Const.Kind() == tuple.KindString {
+		return "'" + t.Const.AsString() + "'"
+	}
+	return t.Const.String()
+}
+
+// Atom is one subgoal: a predicate applied to terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// Vars returns the distinct variables of the atom, in first-occurrence order.
+func (a *Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Args {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// String renders the atom.
+func (a *Atom) String() string {
+	s := a.Pred + "("
+	for i, t := range a.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return s + ")"
+}
+
+// Query is a conjunctive query: head variables plus a conjunction of atoms.
+type Query struct {
+	Name  string
+	Head  []string
+	Atoms []Atom
+}
+
+// String renders the query in the input syntax.
+func (q *Query) String() string {
+	s := q.Name + "("
+	for i, h := range q.Head {
+		if i > 0 {
+			s += ", "
+		}
+		s += h
+	}
+	s += ") :- "
+	for i := range q.Atoms {
+		if i > 0 {
+			s += ", "
+		}
+		s += q.Atoms[i].String()
+	}
+	return s
+}
+
+// Vars returns all distinct variables in first-occurrence order.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for i := range q.Atoms {
+		for _, v := range q.Atoms[i].Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// ExistentialVars returns the variables not in the head, sorted.
+func (q *Query) ExistentialVars() []string {
+	head := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		head[h] = true
+	}
+	var out []string
+	for _, v := range q.Vars() {
+		if !head[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks structural well-formedness: no self-joins, every head
+// variable occurs in the body, and the query is non-empty.
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("query %s has no atoms", q.Name)
+	}
+	seen := make(map[string]bool)
+	for i := range q.Atoms {
+		p := q.Atoms[i].Pred
+		if seen[p] {
+			return fmt.Errorf("query %s uses predicate %s twice: self-joins are not supported", q.Name, p)
+		}
+		seen[p] = true
+		if len(q.Atoms[i].Args) == 0 {
+			return fmt.Errorf("query %s: atom %s has no arguments", q.Name, p)
+		}
+	}
+	vars := make(map[string]bool)
+	for _, v := range q.Vars() {
+		vars[v] = true
+	}
+	for _, h := range q.Head {
+		if !vars[h] {
+			return fmt.Errorf("query %s: head variable %s does not occur in the body", q.Name, h)
+		}
+	}
+	return nil
+}
+
+// sg returns, for each existential variable, the set of atom indexes
+// containing it (the subgoal function Sg of the paper). Head variables are
+// treated as constants and excluded.
+func (q *Query) sg() map[string]map[int]bool {
+	head := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		head[h] = true
+	}
+	out := make(map[string]map[int]bool)
+	for i := range q.Atoms {
+		for _, v := range q.Atoms[i].Vars() {
+			if head[v] {
+				continue
+			}
+			if out[v] == nil {
+				out[v] = make(map[int]bool)
+			}
+			out[v][i] = true
+		}
+	}
+	return out
+}
+
+// IsHierarchical reports whether the query is hierarchical: for every pair
+// of existential variables x, y, the subgoal sets Sg(x) and Sg(y) are either
+// disjoint or one contains the other. By the dichotomy theorem [8], a
+// conjunctive query without self-joins is safe iff it is hierarchical.
+func (q *Query) IsHierarchical() bool {
+	sg := q.sg()
+	vars := make([]string, 0, len(sg))
+	for v := range sg {
+		vars = append(vars, v)
+	}
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			a, b := sg[vars[i]], sg[vars[j]]
+			if !subsetOrDisjoint(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSafe is a synonym for IsHierarchical (queries here are conjunctive
+// without self-joins, where the two notions coincide).
+func (q *Query) IsSafe() bool { return q.IsHierarchical() }
+
+// IsStrictlyHierarchical reports whether the atoms can be ordered so their
+// existential-variable sets form a chain under inclusion (Definition 4.1).
+// Strictly hierarchical queries are exactly those with bounded-treewidth
+// lineage (Theorem 4.2).
+func (q *Query) IsStrictlyHierarchical() bool {
+	head := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		head[h] = true
+	}
+	sets := make([]map[string]bool, len(q.Atoms))
+	for i := range q.Atoms {
+		sets[i] = make(map[string]bool)
+		for _, v := range q.Atoms[i].Vars() {
+			if !head[v] {
+				sets[i][v] = true
+			}
+		}
+	}
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	for i := 0; i+1 < len(sets); i++ {
+		if !containsAll(sets[i+1], sets[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetOrDisjoint(a, b map[int]bool) bool {
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	return inter == 0 || inter == len(a) || inter == len(b)
+}
+
+func containsAll(big, small map[string]bool) bool {
+	for k := range small {
+		if !big[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// connectedComponents partitions atom indexes into components linked by
+// shared existential variables.
+func (q *Query) connectedComponents(atomIdx []int) [][]int {
+	sg := q.sg()
+	parent := make(map[int]int, len(atomIdx))
+	for _, i := range atomIdx {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	inSet := make(map[int]bool, len(atomIdx))
+	for _, i := range atomIdx {
+		inSet[i] = true
+	}
+	for _, atoms := range sg {
+		var prev = -1
+		for _, i := range atomIdx {
+			if atoms[i] {
+				if prev >= 0 {
+					parent[find(i)] = find(prev)
+				}
+				prev = i
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	var roots []int
+	for _, i := range atomIdx {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	sort.Ints(roots)
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SafePlan synthesizes a plan for a hierarchical query in which every join
+// is structurally 1-1 and therefore data-safe on every instance
+// (Definition 3.3) — the construction of Dalvi–Suciu [8], adapted to this
+// paper's per-operator discipline where only joins carry safety conditions
+// (Proposition 3.2).
+//
+// The recursion keeps the invariant that every sub-plan's output schema is
+// exactly its "kept" variable set and its tuples are distinct over that
+// schema, so joins between sub-plans with equal schemas are 1-1. Head
+// variables are treated as constants (the plan evaluates the query for every
+// head binding at once).
+//
+// SafePlan returns an error for non-hierarchical (unsafe) queries, and for
+// hierarchical queries whose recursion produces sibling sub-plans with
+// different schemas. The latter happens in two cases outside the paper's
+// scope: disconnected queries with distinct head variables per component
+// (the paper restricts attention to connected queries), and queries whose
+// safety relies on per-answer grouping — a head variable missing from some
+// atom, as in q(h,y) :- R1(h,x), S1(h,x,y), R2(h,y). Such queries are
+// hierarchical under the Boolean dichotomy, but no plan for them satisfies
+// the paper's strict per-join data-safety (Proposition 3.2 demands the whole
+// intermediate relation be independent, and tuples of different answers
+// share uncertain inputs). The PartialLineage engine still evaluates them
+// exactly, treating the cross-answer sharing as offending tuples.
+func SafePlan(q *Query) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.IsHierarchical() {
+		return nil, fmt.Errorf("query %s is not hierarchical, hence unsafe: no safe plan exists", q.Name)
+	}
+	idx := make([]int, len(q.Atoms))
+	for i := range idx {
+		idx[i] = i
+	}
+	keep := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		keep[h] = true
+	}
+	p, err := buildSafe(q, idx, keep)
+	if err != nil {
+		return nil, err
+	}
+	return forceProject(p, q.Head), nil
+}
+
+// buildSafe builds a plan over the given atoms whose output schema is
+// keep ∩ vars(atoms) with distinct tuples.
+func buildSafe(q *Query, atoms []int, keep map[string]bool) (*Plan, error) {
+	if len(atoms) == 1 {
+		a := &q.Atoms[atoms[0]]
+		var cols []string
+		for _, v := range a.Vars() {
+			if keep[v] {
+				cols = append(cols, v)
+			}
+		}
+		// Projection of a base (independent) relation is always data-safe.
+		return forceProject(Scan(a), cols), nil
+	}
+	comps := componentsBy(q, atoms, keep)
+	if len(comps) > 1 {
+		plans := make([]*Plan, len(comps))
+		var schema []string
+		for i, comp := range comps {
+			p, err := buildSafe(q, comp, keep)
+			if err != nil {
+				return nil, err
+			}
+			attrs := p.Attrs()
+			sort.Strings(attrs)
+			if i == 0 {
+				schema = attrs
+			} else if !sameSet(schema, attrs) {
+				return nil, fmt.Errorf("query %s: safe-plan components have mismatched schemas %v vs %v (disconnected query; evaluate the components separately)", q.Name, schema, attrs)
+			}
+			plans[i] = p
+		}
+		cur := plans[0]
+		for _, p := range plans[1:] {
+			cur = Join(cur, p) // equal schemas: a key-key join, structurally 1-1
+		}
+		return cur, nil
+	}
+	// Single connected component: find root variables present in every atom.
+	roots := rootVars(q, atoms, keep)
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("query %s: connected sub-query over %v has no root variable (not hierarchical)", q.Name, atoms)
+	}
+	grown := make(map[string]bool, len(keep)+len(roots))
+	for v := range keep {
+		grown[v] = true
+	}
+	for _, v := range roots {
+		grown[v] = true
+	}
+	sub, err := buildSafe(q, atoms, grown)
+	if err != nil {
+		return nil, err
+	}
+	// Independent-project the roots back out.
+	var cols []string
+	for _, v := range sub.Attrs() {
+		if keep[v] {
+			cols = append(cols, v)
+		}
+	}
+	return forceProject(sub, cols), nil
+}
+
+// componentsBy partitions the atoms into groups connected through
+// existential variables outside keep.
+func componentsBy(q *Query, atoms []int, keep map[string]bool) [][]int {
+	head := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		head[h] = true
+	}
+	parent := make(map[int]int, len(atoms))
+	for _, i := range atoms {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	varAtoms := make(map[string][]int)
+	for _, i := range atoms {
+		for _, v := range q.Atoms[i].Vars() {
+			if head[v] || keep[v] {
+				continue
+			}
+			varAtoms[v] = append(varAtoms[v], i)
+		}
+	}
+	for _, as := range varAtoms {
+		for i := 1; i < len(as); i++ {
+			parent[find(as[i])] = find(as[0])
+		}
+	}
+	groups := make(map[int][]int)
+	var roots []int
+	for _, i := range atoms {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// rootVars returns the existential variables (outside keep) occurring in
+// every one of the given atoms, sorted.
+func rootVars(q *Query, atoms []int, keep map[string]bool) []string {
+	head := make(map[string]bool, len(q.Head))
+	for _, h := range q.Head {
+		head[h] = true
+	}
+	counts := make(map[string]int)
+	for _, i := range atoms {
+		for _, v := range q.Atoms[i].Vars() {
+			if head[v] || keep[v] {
+				continue
+			}
+			counts[v]++
+		}
+	}
+	var out []string
+	for v, c := range counts {
+		if c == len(atoms) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,125 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/tuple"
+)
+
+// WriteCSV writes the relation as CSV: a header row with the attribute names
+// followed by a trailing "p" column, then one row per tuple with the
+// probability last.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, r.Attrs...), "p")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(r.Attrs)+1)
+	for _, row := range r.Rows {
+		for i, v := range row.Tuple {
+			rec[i] = v.String()
+		}
+		rec[len(r.Attrs)] = strconv.FormatFloat(row.P, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a relation written by WriteCSV. The relation name is
+// supplied by the caller (conventionally the file base name).
+func ReadCSV(name string, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: reading header: %w", name, err)
+	}
+	if len(header) < 2 || header[len(header)-1] != "p" {
+		return nil, fmt.Errorf("relation %s: header %v must end with probability column \"p\"", name, header)
+	}
+	r := New(name, header[:len(header)-1]...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation %s: line %d: %d fields, want %d", name, line, len(rec), len(header))
+		}
+		p, err := strconv.ParseFloat(rec[len(rec)-1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("relation %s: line %d: bad probability %q: %w", name, line, rec[len(rec)-1], err)
+		}
+		t := make(tuple.Tuple, len(rec)-1)
+		for i, f := range rec[:len(rec)-1] {
+			t[i] = tuple.ParseValue(f)
+		}
+		if err := r.Add(t, p); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return r, nil
+}
+
+// SaveDir writes every relation of the database to dir as <name>.csv,
+// creating dir if necessary.
+func (d *Database) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range d.order {
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		err = d.rels[name].WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing relation %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every *.csv file in dir as a relation named after the file
+// base name and returns the resulting database.
+func LoadDir(dir string) (*Database, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no *.csv relations found in %s", dir)
+	}
+	db := NewDatabase()
+	for _, path := range matches {
+		name := filepath.Base(path)
+		name = name[:len(name)-len(".csv")]
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ReadCSV(name, f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		db.AddRelation(r)
+	}
+	return db, nil
+}

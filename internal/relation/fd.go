@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// Functional-dependency analysis. Data-safety in the paper is driven by
+// functional dependencies: the plan π_y(R ⋈ S) ⋈ T is data-safe exactly
+// when S satisfies x→y (Section 4.1), and the workload generator's r_f
+// parameter is the fraction of FD-violating prefixes (Section 6.1). These
+// helpers let applications measure how far a relation is from satisfying a
+// dependency — the same "distance from the ideal setting" the offending
+// tuples quantify.
+
+// FDViolation is one determinant group violating a functional dependency:
+// a left-hand-side value with two or more distinct right-hand sides.
+type FDViolation struct {
+	// LHS is the determinant value (projection onto the dependency's
+	// left-hand side).
+	LHS tuple.Tuple
+	// Rows are the indexes of the group's rows in the relation.
+	Rows []int
+	// RHSCount is the number of distinct right-hand-side values.
+	RHSCount int
+}
+
+// CheckFD verifies the functional dependency lhs → rhs on the relation and
+// returns the violating groups, sorted by determinant value. An empty
+// result means the dependency holds. Attribute names must exist in the
+// schema and rhs must not be empty.
+func (r *Relation) CheckFD(lhs, rhs []string) ([]FDViolation, error) {
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("relation %s: empty right-hand side", r.Name)
+	}
+	lidx, err := r.Attrs.Indexes(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", r.Name, err)
+	}
+	ridx, err := r.Attrs.Indexes(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: %w", r.Name, err)
+	}
+	type group struct {
+		lhs  tuple.Tuple
+		rows []int
+		rhs  map[string]bool
+	}
+	groups := make(map[string]*group)
+	for i, row := range r.Rows {
+		k := row.Tuple.KeyAt(lidx)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{lhs: row.Tuple.Project(lidx), rhs: make(map[string]bool)}
+			groups[k] = g
+		}
+		g.rows = append(g.rows, i)
+		g.rhs[row.Tuple.KeyAt(ridx)] = true
+	}
+	var out []FDViolation
+	for _, g := range groups {
+		if len(g.rhs) > 1 {
+			out = append(out, FDViolation{LHS: g.lhs, Rows: g.rows, RHSCount: len(g.rhs)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LHS.Compare(out[j].LHS) < 0 })
+	return out, nil
+}
+
+// FDViolationFraction returns the fraction of determinant groups violating
+// lhs → rhs — the empirical r_f of Section 6.1.
+func (r *Relation) FDViolationFraction(lhs, rhs []string) (float64, error) {
+	violations, err := r.CheckFD(lhs, rhs)
+	if err != nil {
+		return 0, err
+	}
+	lidx, err := r.Attrs.Indexes(lhs)
+	if err != nil {
+		return 0, err
+	}
+	groups := make(map[string]bool)
+	for _, row := range r.Rows {
+		groups[row.Tuple.KeyAt(lidx)] = true
+	}
+	if len(groups) == 0 {
+		return 0, nil
+	}
+	return float64(len(violations)) / float64(len(groups)), nil
+}
+
+// Keys reports whether the given attributes form a key of the relation:
+// no two rows agree on all of them. A relation keyed on the join attributes
+// makes the corresponding join side 1-1 (Proposition 3.2).
+func (r *Relation) Keys(attrs []string) (bool, error) {
+	idx, err := r.Attrs.Indexes(attrs)
+	if err != nil {
+		return false, fmt.Errorf("relation %s: %w", r.Name, err)
+	}
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		k := row.Tuple.KeyAt(idx)
+		if seen[k] {
+			return false, nil
+		}
+		seen[k] = true
+	}
+	return true, nil
+}

@@ -1,0 +1,112 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func fdFixture() *Relation {
+	r := New("S", "x", "y", "z")
+	r.MustAdd(tuple.Ints(1, 1, 1), 0.5)
+	r.MustAdd(tuple.Ints(1, 2, 1), 0.5) // x=1 violates x→y
+	r.MustAdd(tuple.Ints(2, 3, 2), 0.5)
+	r.MustAdd(tuple.Ints(3, 4, 3), 0.5)
+	r.MustAdd(tuple.Ints(3, 4, 4), 0.5) // x=3 violates x→z but not x→y
+	return r
+}
+
+func TestCheckFD(t *testing.T) {
+	r := fdFixture()
+	vio, err := r.CheckFD([]string{"x"}, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio) != 1 || !vio[0].LHS.Equal(tuple.Ints(1)) || vio[0].RHSCount != 2 || len(vio[0].Rows) != 2 {
+		t.Errorf("x→y violations = %+v", vio)
+	}
+	vio2, err := r.CheckFD([]string{"x"}, []string{"y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio2) != 2 {
+		t.Errorf("x→yz violations = %+v", vio2)
+	}
+	// Violations are sorted by determinant.
+	if vio2[0].LHS.Compare(vio2[1].LHS) >= 0 {
+		t.Error("violations not sorted")
+	}
+	// x,y → z: only the (3,4) group violates.
+	vio3, err := r.CheckFD([]string{"x", "y"}, []string{"z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio3) != 1 || !vio3[0].LHS.Equal(tuple.Ints(3, 4)) {
+		t.Errorf("xy→z violations = %+v", vio3)
+	}
+	if _, err := r.CheckFD([]string{"nope"}, []string{"y"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := r.CheckFD([]string{"x"}, nil); err == nil {
+		t.Error("empty RHS accepted")
+	}
+}
+
+func TestFDViolationFraction(t *testing.T) {
+	r := fdFixture()
+	frac, err := r.FDViolationFraction([]string{"x"}, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac-1.0/3) > 1e-12 { // one of three x-groups violates
+		t.Errorf("fraction = %g, want 1/3", frac)
+	}
+	empty := New("E", "a", "b")
+	if f, err := empty.FDViolationFraction([]string{"a"}, []string{"b"}); err != nil || f != 0 {
+		t.Errorf("empty relation: %g, %v", f, err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	r := fdFixture()
+	if ok, _ := r.Keys([]string{"x"}); ok {
+		t.Error("x accepted as key despite duplicates")
+	}
+	if ok, _ := r.Keys([]string{"x", "y", "z"}); !ok {
+		t.Error("full schema rejected as key")
+	}
+	if ok, _ := r.Keys([]string{"x", "y"}); ok {
+		t.Error("(x,y) accepted as key despite the (3,4) duplicate")
+	}
+	if _, err := r.Keys([]string{"missing"}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+// TestFDFractionTracksGeneratorRF ties the FD utilities back to the
+// workload story: on synthetic data built with a given violation rate, the
+// measured fraction matches.
+func TestFDFractionTracksGeneratorRF(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := New("S", "x", "y")
+	const groups = 400
+	const rf = 0.25
+	row := 0
+	for x := 1; x <= groups; x++ {
+		r.MustAdd(tuple.Ints(int64(x), int64(rng.Intn(50))), 0.5)
+		row++
+		if rng.Float64() < rf {
+			r.MustAdd(tuple.Ints(int64(x), int64(50+rng.Intn(50))), 0.5)
+			row++
+		}
+	}
+	frac, err := r.FDViolationFraction([]string{"x"}, []string{"y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac-rf) > 0.07 {
+		t.Errorf("measured fraction %g, want ≈ %g", frac, rf)
+	}
+}

@@ -1,0 +1,182 @@
+// Package relation implements tuple-independent probabilistic relations and
+// databases (Section 2 of the paper).
+//
+// A tuple-independent relation (R, p) assigns each tuple an independent
+// presence probability p(t) ∈ [0,1]. A probabilistic database is a named
+// collection of such relations; the joint distribution is the product space
+// over the relations (Eq. 1 of the paper).
+//
+// The package also provides exhaustive possible-world enumeration for small
+// instances, used throughout the test suite to validate the operator
+// semantics of the pL engine against Definition 2.1.
+package relation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// Row is one tuple of a probabilistic relation together with its independent
+// presence probability.
+type Row struct {
+	Tuple tuple.Tuple
+	P     float64
+}
+
+// Relation is a tuple-independent probabilistic relation: a schema plus rows
+// with independent presence probabilities.
+type Relation struct {
+	Name  string
+	Attrs tuple.Schema
+	Rows  []Row
+}
+
+// New creates an empty relation with the given name and attribute names.
+func New(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: tuple.Schema(attrs)}
+}
+
+// Add appends a tuple with probability p. It returns an error if the tuple
+// width does not match the schema or p is outside [0,1].
+func (r *Relation) Add(t tuple.Tuple, p float64) error {
+	if len(t) != len(r.Attrs) {
+		return fmt.Errorf("relation %s: tuple %v has width %d, schema has %d", r.Name, t, len(t), len(r.Attrs))
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("relation %s: probability %v outside [0,1]", r.Name, p)
+	}
+	r.Rows = append(r.Rows, Row{Tuple: t, P: p})
+	return nil
+}
+
+// MustAdd is Add that panics on error, for tests and examples.
+func (r *Relation) MustAdd(t tuple.Tuple, p float64) {
+	if err := r.Add(t, p); err != nil {
+		panic(err)
+	}
+}
+
+// AddInts appends a tuple of integer values with probability p.
+func (r *Relation) AddInts(p float64, vs ...int64) error {
+	return r.Add(tuple.Ints(vs...), p)
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone returns a deep-enough copy: rows are copied, tuples are shared
+// (tuples are immutable by convention).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Name: r.Name, Attrs: r.Attrs.Clone(), Rows: make([]Row, len(r.Rows))}
+	copy(out.Rows, r.Rows)
+	return out
+}
+
+// Deterministic reports whether every row has probability exactly 1.
+func (r *Relation) Deterministic() bool {
+	for _, row := range r.Rows {
+		if row.P != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// UncertainCount returns the number of rows with probability strictly below 1.
+func (r *Relation) UncertainCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.P < 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the schema and that no two rows repeat the same tuple
+// (a tuple-independent relation is a set of tuples).
+func (r *Relation) Validate() error {
+	if err := r.Attrs.Validate(); err != nil {
+		return fmt.Errorf("relation %s: %w", r.Name, err)
+	}
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		if len(row.Tuple) != len(r.Attrs) {
+			return fmt.Errorf("relation %s: row %v width mismatch", r.Name, row.Tuple)
+		}
+		k := row.Tuple.Key()
+		if seen[k] {
+			return fmt.Errorf("relation %s: duplicate tuple %v", r.Name, row.Tuple)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// Sort orders the rows lexicographically by tuple value, giving the relation
+// a canonical row order. It is used to make generator output and test
+// fixtures deterministic.
+func (r *Relation) Sort() {
+	sort.Slice(r.Rows, func(i, j int) bool {
+		return r.Rows[i].Tuple.Compare(r.Rows[j].Tuple) < 0
+	})
+}
+
+// Database is a named collection of tuple-independent relations. Relations
+// are assumed mutually independent (product space, Section 2).
+type Database struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{rels: make(map[string]*Relation)}
+}
+
+// AddRelation registers r under its name, replacing any previous relation
+// with the same name.
+func (d *Database) AddRelation(r *Relation) {
+	if _, exists := d.rels[r.Name]; !exists {
+		d.order = append(d.order, r.Name)
+	}
+	d.rels[r.Name] = r
+}
+
+// Relation returns the named relation, or an error if absent.
+func (d *Database) Relation(name string) (*Relation, error) {
+	r, ok := d.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("database has no relation %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// Validate validates every relation.
+func (d *Database) Validate() error {
+	for _, name := range d.order {
+		if err := d.rels[name].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalRows returns the total number of rows across all relations.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, name := range d.order {
+		n += d.rels[name].Len()
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestAddValidation(t *testing.T) {
+	r := New("R", "a", "b")
+	if err := r.Add(tuple.Ints(1, 2), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(tuple.Ints(1), 0.5); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if err := r.Add(tuple.Ints(1, 2), -0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := r.Add(tuple.Ints(1, 2), 1.1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if err := r.Add(tuple.Ints(1, 2), math.NaN()); err == nil {
+		t.Error("NaN probability accepted")
+	}
+}
+
+func TestValidateDuplicates(t *testing.T) {
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	r.MustAdd(tuple.Ints(1), 0.7)
+	if err := r.Validate(); err == nil {
+		t.Error("duplicate tuple accepted by Validate")
+	}
+}
+
+func TestDeterministicAndUncertainCount(t *testing.T) {
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 1)
+	r.MustAdd(tuple.Ints(2), 0.5)
+	if r.Deterministic() {
+		t.Error("relation with p<1 reported deterministic")
+	}
+	if got := r.UncertainCount(); got != 1 {
+		t.Errorf("UncertainCount = %d", got)
+	}
+	r2 := New("S", "a")
+	r2.MustAdd(tuple.Ints(1), 1)
+	if !r2.Deterministic() {
+		t.Error("all-certain relation not reported deterministic")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	c := r.Clone()
+	c.Rows[0].P = 0.9
+	c.MustAdd(tuple.Ints(2), 0.1)
+	if r.Rows[0].P != 0.5 || r.Len() != 1 {
+		t.Error("Clone shares row storage with original")
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	r := New("R", "a", "b")
+	r.MustAdd(tuple.Ints(2, 1), 0.5)
+	r.MustAdd(tuple.Ints(1, 9), 0.5)
+	r.MustAdd(tuple.Ints(1, 2), 0.5)
+	r.Sort()
+	want := []tuple.Tuple{tuple.Ints(1, 2), tuple.Ints(1, 9), tuple.Ints(2, 1)}
+	for i, w := range want {
+		if !r.Rows[i].Tuple.Equal(w) {
+			t.Errorf("row %d = %v, want %v", i, r.Rows[i].Tuple, w)
+		}
+	}
+}
+
+func TestDatabaseAccessors(t *testing.T) {
+	db := NewDatabase()
+	r := New("R", "a")
+	s := New("S", "a")
+	db.AddRelation(r)
+	db.AddRelation(s)
+	if got, _ := db.Relation("R"); got != r {
+		t.Error("Relation(R) wrong")
+	}
+	if _, err := db.Relation("T"); err == nil {
+		t.Error("missing relation accepted")
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("Names = %v", names)
+	}
+	// Replacing keeps one entry.
+	db.AddRelation(New("R", "b"))
+	if len(db.Names()) != 2 {
+		t.Errorf("replacement duplicated name: %v", db.Names())
+	}
+	r.MustAdd(tuple.Ints(1), 1)
+	s.MustAdd(tuple.Ints(1), 1)
+	s.MustAdd(tuple.Ints(2), 1)
+	// Note: db now holds the replaced empty "R".
+	if db.TotalRows() != 2 {
+		t.Errorf("TotalRows = %d", db.TotalRows())
+	}
+}
+
+func TestWorldsEnumerationProbabilitiesSumToOne(t *testing.T) {
+	db := NewDatabase()
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.3)
+	r.MustAdd(tuple.Ints(2), 1)   // always present
+	r.MustAdd(tuple.Ints(3), 0)   // never present
+	r.MustAdd(tuple.Ints(4), 0.6) // uncertain
+	db.AddRelation(r)
+	worlds, err := db.Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(worlds) != 4 { // two uncertain rows
+		t.Fatalf("got %d worlds, want 4", len(worlds))
+	}
+	sum := 0.0
+	for _, w := range worlds {
+		sum += w.P
+		if !w.Has("R", 1) {
+			t.Error("certain row missing from a world")
+		}
+		if w.Has("R", 2) {
+			t.Error("impossible row present in a world")
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("world probabilities sum to %g", sum)
+	}
+}
+
+func TestWorldsMarginalMatchesRowProbability(t *testing.T) {
+	db := NewDatabase()
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.25)
+	r.MustAdd(tuple.Ints(2), 0.5)
+	db.AddRelation(r)
+	worlds, err := db.Worlds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := 0.0
+	for _, w := range worlds {
+		if w.Has("R", 0) {
+			marg += w.P
+		}
+	}
+	if math.Abs(marg-0.25) > 1e-12 {
+		t.Errorf("marginal of row 0 = %g, want 0.25", marg)
+	}
+}
+
+func TestWorldsLimit(t *testing.T) {
+	db := NewDatabase()
+	r := New("R", "a")
+	for i := 0; i <= MaxWorldRows; i++ {
+		r.MustAdd(tuple.Ints(int64(i)), 0.5)
+	}
+	db.AddRelation(r)
+	if _, err := db.Worlds(); err == nil {
+		t.Error("expected error above MaxWorldRows")
+	}
+	if n, err := db.WorldCount(); err != nil || n != 1<<(MaxWorldRows+1) {
+		t.Errorf("WorldCount = %d, %v", n, err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New("R", "h", "name")
+	r.MustAdd(tuple.Of(tuple.Int(1), tuple.String("alice")), 0.5)
+	r.MustAdd(tuple.Of(tuple.Int(2), tuple.String("bob,jr")), 1)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("R", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || !got.Rows[0].Tuple.Equal(r.Rows[0].Tuple) || got.Rows[1].P != 1 {
+		t.Errorf("round trip mismatch: %+v", got.Rows)
+	}
+	if got.Attrs.Index("name") != 1 {
+		t.Errorf("schema lost: %v", got.Attrs)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("R", bytes.NewBufferString("a,b\n1,2\n")); err == nil {
+		t.Error("header without p column accepted")
+	}
+	if _, err := ReadCSV("R", bytes.NewBufferString("a,p\n1,notanumber\n")); err == nil {
+		t.Error("bad probability accepted")
+	}
+	if _, err := ReadCSV("R", bytes.NewBufferString("a,p\n1,2\n")); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	db := NewDatabase()
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	s := New("S", "a", "b")
+	s.MustAdd(tuple.Ints(1, 2), 1)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := got.Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.Len() != 1 || gr.Rows[0].P != 0.5 {
+		t.Errorf("loaded R = %+v", gr.Rows)
+	}
+	if _, err := LoadDir(filepath.Join(dir, "empty")); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// World is one possible world of a database: for each relation (by name) the
+// set of present row indexes, plus the probability of this world under the
+// tuple-independent semantics.
+type World struct {
+	Present map[string][]int
+	P       float64
+}
+
+// Has reports whether row i of relation name is present in the world.
+func (w *World) Has(name string, i int) bool {
+	for _, j := range w.Present[name] {
+		if j == i {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxWorldRows bounds exhaustive world enumeration: databases with more than
+// this many uncertain rows are rejected by Worlds.
+const MaxWorldRows = 22
+
+// Worlds enumerates every possible world of the database together with its
+// probability (Eq. 1 extended to the product space). Rows with probability 1
+// are present in every world and rows with probability 0 in none; only
+// uncertain rows are enumerated. It is intended for tests on small instances
+// and returns an error when the number of uncertain rows exceeds
+// MaxWorldRows.
+func (d *Database) Worlds() ([]World, error) {
+	type slot struct {
+		rel string
+		idx int
+		p   float64
+	}
+	var uncertain []slot
+	certain := make(map[string][]int)
+	for _, name := range d.order {
+		r := d.rels[name]
+		for i, row := range r.Rows {
+			switch {
+			case row.P >= 1:
+				certain[name] = append(certain[name], i)
+			case row.P <= 0:
+				// never present
+			default:
+				uncertain = append(uncertain, slot{rel: name, idx: i, p: row.P})
+			}
+		}
+	}
+	n := len(uncertain)
+	if n > MaxWorldRows {
+		return nil, fmt.Errorf("worlds: %d uncertain rows exceeds limit %d", n, MaxWorldRows)
+	}
+	worlds := make([]World, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		w := World{Present: make(map[string][]int, len(d.order)), P: 1}
+		for name, idxs := range certain {
+			w.Present[name] = append(w.Present[name], idxs...)
+		}
+		for b := 0; b < n; b++ {
+			if mask&(1<<uint(b)) != 0 {
+				w.P *= uncertain[b].p
+				w.Present[uncertain[b].rel] = append(w.Present[uncertain[b].rel], uncertain[b].idx)
+			} else {
+				w.P *= 1 - uncertain[b].p
+			}
+		}
+		worlds = append(worlds, w)
+	}
+	return worlds, nil
+}
+
+// UncertainRows returns the number of rows with probability strictly
+// between 0 and 1, i.e. the log2 of the number of possible worlds.
+func (d *Database) UncertainRows() int {
+	n := 0
+	for _, name := range d.order {
+		for _, row := range d.rels[name].Rows {
+			if row.P > 0 && row.P < 1 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WorldCount returns the number of possible worlds, or an error if it would
+// overflow an int.
+func (d *Database) WorldCount() (int, error) {
+	n := d.UncertainRows()
+	if n >= bits.UintSize-2 {
+		return 0, fmt.Errorf("worlds: 2^%d overflows", n)
+	}
+	return 1 << uint(n), nil
+}

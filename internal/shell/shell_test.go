@@ -1,0 +1,219 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pdb"
+)
+
+// runScript feeds a script to a fresh shell and returns the transcript.
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := New().Run(strings.NewReader(script), &out); err != nil {
+		t.Fatalf("shell error: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestBuildAndRunBooleanQuery(t *testing.T) {
+	out := runScript(t, `
+rel R x
+add R 0.5 1
+add R 0.25 2
+rel S x y
+add S 0.6 1 1
+add S 0.4 1 2
+add S 0.9 2 2
+rel T y
+add T 0.8 1
+add T 0.3 2
+rels
+query q :- R(x), S(x, y), T(y)
+run
+`)
+	for _, want := range []string{
+		"relation R(x) created",
+		"R: 2 tuples",
+		"safe: false",
+		"Pr = 0.", // the unsafe triangle evaluates to a proper probability
+		"offending=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStrategiesAgreeInShell(t *testing.T) {
+	base := `
+rel R x
+add R 0.5 1
+rel S x y
+add S 0.6 1 1
+add S 0.4 1 2
+rel T y
+add T 0.8 1
+add T 0.3 2
+query q :- R(x), S(x, y), T(y)
+`
+	partial := runScript(t, base+"strategy partial\nrun\n")
+	dnf := runScript(t, base+"strategy dnf\nrun\n")
+	pLine := extractProbLine(t, partial)
+	dLine := extractProbLine(t, dnf)
+	if pLine != dLine {
+		t.Errorf("strategies disagree: %q vs %q", pLine, dLine)
+	}
+}
+
+func extractProbLine(t *testing.T, transcript string) string {
+	t.Helper()
+	for _, line := range strings.Split(transcript, "\n") {
+		if strings.HasPrefix(line, "Pr = ") {
+			return line
+		}
+	}
+	t.Fatalf("no probability line in:\n%s", transcript)
+	return ""
+}
+
+func TestGroupedQueryAndExplicitOrder(t *testing.T) {
+	out := runScript(t, `
+rel R h x
+add R 0.5 1 1
+add R 0.5 2 1
+rel S h x
+add S 0.5 1 1
+add S 0.5 2 1
+query q(h) :- R(h, x), S(h, x)
+order S,R
+plan
+run
+`)
+	for _, want := range []string{"plan:", "h  probability", "1  0.25", "2  0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptimizeCommand(t *testing.T) {
+	out := runScript(t, `
+rel A x
+add A 0.5 1
+add A 0.5 2
+add A 0.5 3
+rel B x y
+add B 0.5 1 0
+add B 0.5 2 0
+add B 0.5 3 0
+rel C y
+add C 0.5 0
+query q :- A(x), B(x, y), C(y)
+optimize
+plan
+run
+`)
+	if !strings.Contains(out, "ranked") || !strings.Contains(out, "optimized order") {
+		t.Errorf("optimize transcript:\n%s", out)
+	}
+	if !strings.Contains(out, "offending=0") {
+		t.Errorf("optimizer did not find the safe direction:\n%s", out)
+	}
+}
+
+func TestGenCommand(t *testing.T) {
+	out := runScript(t, `
+gen P1 2 10 3 0.2 1 7
+rels
+plan
+run
+`)
+	for _, want := range []string{
+		"generated P1 (60 rows)",
+		"R1: 20 tuples",
+		"Table 1 order R1,S1,R2",
+		"h  probability",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	// Bad arguments are recoverable errors.
+	bad := runScript(t, "gen NOPE 2 10 3 0.2 1 7\ngen P1 x 10 3 0.2 1 7\ngen P1 2\n")
+	if c := strings.Count(bad, "error:"); c != 3 {
+		t.Errorf("expected 3 errors, got %d:\n%s", c, bad)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	runScript(t, `
+rel R x
+add R 0.5 1
+save `+dir+`
+`)
+	out := runScript(t, "load "+dir+"\nquery q :- R(x)\nrun\n")
+	if !strings.Contains(out, "loaded 1 relations") || !strings.Contains(out, "Pr = 0.5") {
+		t.Errorf("round trip transcript:\n%s", out)
+	}
+}
+
+func TestErrorsAreRecoverable(t *testing.T) {
+	out := runScript(t, `
+bogus
+add R 0.5 1
+query nonsense((
+rel R x
+add R notaprob 1
+add R 0.5 1
+query q :- R(x)
+run
+quit
+`)
+	for _, want := range []string{
+		"unknown command",
+		"error:",
+		"Pr = 0.5", // session still works after errors
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHelpAndComments(t *testing.T) {
+	out := runScript(t, "# a comment\nhelp\nquit\nrel never x\n")
+	if !strings.Contains(out, "commands:") {
+		t.Errorf("help missing:\n%s", out)
+	}
+	if strings.Contains(out, "never") {
+		t.Error("commands after quit were executed")
+	}
+}
+
+func TestParseValueKinds(t *testing.T) {
+	if v := parseValue("42"); v != pdb.Int(42) {
+		t.Errorf("int: %v", v)
+	}
+	if v := parseValue("2.5"); v != pdb.Float(2.5) {
+		t.Errorf("float: %v", v)
+	}
+	if v := parseValue("'hi'"); v != pdb.String("hi") {
+		t.Errorf("quoted: %v", v)
+	}
+	if v := parseValue("paris"); v != pdb.String("paris") {
+		t.Errorf("bare: %v", v)
+	}
+}
+
+func TestStrategyAndSamplesValidation(t *testing.T) {
+	out := runScript(t, "strategy nope\nsamples -3\nsamples abc\nstrategy mc\nsamples 500\n")
+	if c := strings.Count(out, "error:"); c != 3 {
+		t.Errorf("expected 3 errors, got %d:\n%s", c, out)
+	}
+	if !strings.Contains(out, "strategy: mc") {
+		t.Errorf("valid strategy rejected:\n%s", out)
+	}
+}

@@ -1,0 +1,98 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func generateFor(t *testing.T, queryText string, order []string) string {
+	t.Helper()
+	q := query.MustParse(queryText)
+	plan, err := query.LeftDeepPlan(q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, err := Generate(q, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sql
+}
+
+func TestGenerateP1Structure(t *testing.T) {
+	sql := generateFor(t, "q(h) :- R1(h, x), S1(h, x, y), R2(h, y)", []string{"R1", "S1", "R2"})
+	for _, want := range []string{
+		"CREATE TABLE L",                 // the network table of Sec. 6.2
+		"'eps' AS l",                     // trivial lineage at scans
+		">= 2;",                          // cSet fanout condition (Def. 5.14)
+		"1 - EXP(SUM(LOG(1 - p)))",       // independent project aggregation
+		"INSERT INTO L SELECT 'or_'",     // dedup Or edges
+		"'and_' + l.l + '_' + r.l",       // join And nodes
+		"CASE WHEN l.l <> 'eps' AND r.l", // ⋈_pL case split
+		"SELECT * FROM",                  // final answer select
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("generated SQL missing %q:\n%s", want, sql)
+		}
+	}
+	// One scan per atom, materialized in post-order temp tables.
+	if strings.Count(sql, "-- scan ") != 3 {
+		t.Errorf("expected 3 scans:\n%s", sql)
+	}
+	// Two joins, each with both cSets.
+	if got := strings.Count(sql, "-- cSet("); got != 4 {
+		t.Errorf("expected 4 cSet computations, got %d", got)
+	}
+}
+
+func TestGenerateBooleanQuery(t *testing.T) {
+	sql := generateFor(t, "q :- R(x), S(x, y)", []string{"R", "S"})
+	if !strings.Contains(sql, "'or_q'") {
+		t.Errorf("Boolean final projection missing:\n%s", sql)
+	}
+}
+
+func TestGenerateConstantsAndRepeatedVars(t *testing.T) {
+	sql := generateFor(t, "q(x) :- R(x, x, 7), S(x, 'paris')", []string{"R", "S"})
+	if !strings.Contains(sql, "c3 = 7") {
+		t.Errorf("numeric constant predicate missing:\n%s", sql)
+	}
+	if !strings.Contains(sql, "c2 = 'paris'") {
+		t.Errorf("string constant predicate missing:\n%s", sql)
+	}
+	if !strings.Contains(sql, "c2 = c1") {
+		t.Errorf("repeated-variable predicate missing:\n%s", sql)
+	}
+}
+
+func TestGenerateRejectsCrossProduct(t *testing.T) {
+	q := query.MustParse("q :- R(x), S(y)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(q, plan); err == nil {
+		t.Error("cross product accepted")
+	}
+}
+
+func TestGenerateQuotesNonNumericLiterals(t *testing.T) {
+	sql := generateFor(t, "q(x) :- R(x, 'new york')", []string{"R"})
+	if !strings.Contains(sql, "c2 = 'new york'") {
+		t.Errorf("string literal not quoted:\n%s", sql)
+	}
+	sql2 := generateFor(t, "q(x) :- R(x, 2.5)", []string{"R"})
+	if !strings.Contains(sql2, "c2 = 2.5") {
+		t.Errorf("numeric literal quoted:\n%s", sql2)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generateFor(t, "q(h) :- R1(h, x), S1(h, x, y), R2(h, y)", []string{"R1", "S1", "R2"})
+	b := generateFor(t, "q(h) :- R1(h, x), S1(h, x, y), R2(h, y)", []string{"R1", "S1", "R2"})
+	if a != b {
+		t.Error("generation not deterministic")
+	}
+}

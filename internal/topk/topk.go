@@ -1,0 +1,292 @@
+// Package topk computes the k most probable answers of a query without
+// computing every answer probability exactly — the multisimulation approach
+// of Ré, Dalvi & Suciu, "Efficient top-k query evaluation on probabilistic
+// data" (ICDE 2007), reference [21] of the paper.
+//
+// Every answer holds a Karp–Luby estimator over its lineage together with a
+// Hoeffding confidence interval. Rounds of simulation refine only the
+// *critical* answers — those whose intervals still straddle the k-th
+// boundary — until the top-k set separates from the rest (or the interval
+// widths drop below a tolerance, or a round budget is hit). Answers with
+// small lineage are computed exactly up front and never simulated.
+package topk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/lineage"
+	"repro/internal/tuple"
+)
+
+// Options tunes the multisimulation.
+type Options struct {
+	// K is the number of answers wanted (required, ≥ 1).
+	K int
+	// Eps stops refining an answer whose interval is narrower than this
+	// (default 1e-3). The returned set is then a best-effort split.
+	Eps float64
+	// Batch is the number of samples added to a critical answer per round
+	// (default 1024).
+	Batch int
+	// MaxRounds bounds the refinement loop (default 1000).
+	MaxRounds int
+	// ExactClauseLimit: answers with at most this many clauses are computed
+	// exactly instead of simulated (default 64).
+	ExactClauseLimit int
+	// Seed drives the samplers.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 1e-3
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1024
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 1000
+	}
+	if o.ExactClauseLimit <= 0 {
+		o.ExactClauseLimit = 64
+	}
+	return o
+}
+
+// Answer is one ranked answer with its probability bounds. Exact answers
+// have Lo == Hi.
+type Answer struct {
+	Vals    tuple.Tuple
+	Lo, Hi  float64
+	Exact   bool
+	Samples int
+}
+
+// mid returns the interval midpoint used for final ordering.
+func (a Answer) mid() float64 { return (a.Lo + a.Hi) / 2 }
+
+// Result reports the chosen top-k plus the state of every answer.
+type Result struct {
+	Top []Answer
+	All []Answer
+	// Separated reports whether the top-k set was provably separated from
+	// the rest (up to the estimators' confidence); false means the ranking
+	// at the boundary relied on interval midpoints after Eps/round budget.
+	Separated bool
+	Rounds    int
+}
+
+// FromGrounding runs multisimulation over a query grounding.
+func FromGrounding(g *engine.Grounding, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.K < 1 {
+		return nil, fmt.Errorf("topk: K must be at least 1 (got %d)", opts.K)
+	}
+	probOf := func(v lineage.Var) float64 { return g.Probs[v] }
+	states := make([]*state, len(g.Answers))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i, ans := range g.Answers {
+		st := &state{vals: ans.Vals}
+		f := ans.F.Simplify()
+		if len(f.Clauses) <= opts.ExactClauseLimit {
+			p := lineage.Prob(f, probOf)
+			st.lo, st.hi, st.exact = p, p, true
+		} else {
+			st.sampler = newSampler(f, probOf, rand.New(rand.NewSource(rng.Int63())))
+			st.lo, st.hi = 0, math.Min(1, st.sampler.total)
+		}
+		states[i] = st
+	}
+	res := &Result{}
+	if len(states) <= opts.K {
+		// Everything is in the top-k; refine nothing.
+		res.Separated = true
+		res.All = snapshot(states)
+		res.Top = res.All
+		sortAnswers(res.Top)
+		return res, nil
+	}
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Rounds = round
+		critical := criticalSet(states, opts.K, opts.Eps)
+		if len(critical) == 0 {
+			break
+		}
+		for _, i := range critical {
+			states[i].refine(opts.Batch)
+		}
+	}
+	res.All = snapshot(states)
+	sorted := snapshot(states)
+	sortAnswers(sorted)
+	res.Top = sorted[:opts.K]
+	res.Separated = separated(states, opts.K)
+	return res, nil
+}
+
+// state is one answer's simulation state.
+type state struct {
+	vals    tuple.Tuple
+	sampler *sampler
+	lo, hi  float64
+	exact   bool
+	samples int
+}
+
+// refine adds a batch of samples and recomputes the Hoeffding interval.
+func (s *state) refine(batch int) {
+	if s.exact {
+		return
+	}
+	s.sampler.draw(batch)
+	s.samples = s.sampler.n
+	mean := float64(s.sampler.hits) / float64(s.sampler.n)
+	// 99.9%-per-evaluation Hoeffding radius on the indicator mean.
+	radius := math.Sqrt(math.Log(2/0.001) / (2 * float64(s.sampler.n)))
+	s.lo = math.Max(0, s.sampler.total*(mean-radius))
+	s.hi = math.Min(1, s.sampler.total*(mean+radius))
+	if s.hi < s.lo {
+		s.hi = s.lo
+	}
+}
+
+// criticalSet returns the indexes whose intervals straddle the k-th
+// boundary and are still wider than eps.
+func criticalSet(states []*state, k int, eps float64) []int {
+	los := make([]float64, len(states))
+	for i, s := range states {
+		los[i] = s.lo
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(los)))
+	kthLo := los[k-1]
+	his := make([]float64, len(states))
+	for i, s := range states {
+		his[i] = s.hi
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(his)))
+	kthHi := his[k-1]
+	var out []int
+	for i, s := range states {
+		if s.exact || s.hi-s.lo <= eps {
+			continue
+		}
+		// Ambiguous: could be in (hi above the k-th lower bound) and could
+		// be out (lo below the k-th upper bound).
+		if s.hi >= kthLo && s.lo <= kthHi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// separated reports whether the k-th and (k+1)-th answers' intervals are
+// disjoint under the midpoint ordering.
+func separated(states []*state, k int) bool {
+	sorted := append([]*state(nil), states...)
+	sort.Slice(sorted, func(i, j int) bool {
+		mi := (sorted[i].lo + sorted[i].hi) / 2
+		mj := (sorted[j].lo + sorted[j].hi) / 2
+		if mi != mj {
+			return mi > mj
+		}
+		return sorted[i].vals.Compare(sorted[j].vals) < 0
+	})
+	boundary := sorted[k-1].lo
+	for _, s := range sorted[k:] {
+		if s.hi > boundary {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshot(states []*state) []Answer {
+	out := make([]Answer, len(states))
+	for i, s := range states {
+		out[i] = Answer{Vals: s.vals, Lo: s.lo, Hi: s.hi, Exact: s.exact, Samples: s.samples}
+	}
+	return out
+}
+
+func sortAnswers(as []Answer) {
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].mid() != as[j].mid() {
+			return as[i].mid() > as[j].mid()
+		}
+		return as[i].Vals.Compare(as[j].Vals) < 0
+	})
+}
+
+// sampler is an incremental Karp–Luby estimator over one monotone DNF.
+type sampler struct {
+	f       *lineage.DNF
+	p       func(lineage.Var) float64
+	rng     *rand.Rand
+	vars    []lineage.Var
+	cum     []float64
+	total   float64
+	n, hits int
+}
+
+func newSampler(f *lineage.DNF, p func(lineage.Var) float64, rng *rand.Rand) *sampler {
+	s := &sampler{f: f, p: p, rng: rng, vars: f.Vars()}
+	acc := 0.0
+	for _, c := range f.Clauses {
+		w := 1.0
+		for _, v := range c {
+			w *= p(v)
+		}
+		acc += w
+		s.cum = append(s.cum, acc)
+	}
+	s.total = acc
+	return s
+}
+
+// draw adds n Karp–Luby samples.
+func (s *sampler) draw(n int) {
+	if s.total == 0 {
+		s.n += n
+		return
+	}
+	assign := make(map[lineage.Var]bool, len(s.vars))
+	for t := 0; t < n; t++ {
+		x := s.rng.Float64() * s.total
+		i := sort.SearchFloat64s(s.cum, x)
+		if i == len(s.cum) {
+			i = len(s.cum) - 1
+		}
+		forced := s.f.Clauses[i]
+		fi := 0
+		for _, v := range s.vars {
+			if fi < len(forced) && forced[fi] == v {
+				assign[v] = true
+				fi++
+				continue
+			}
+			assign[v] = s.rng.Float64() < s.p(v)
+		}
+		first := -1
+		for j, c := range s.f.Clauses {
+			sat := true
+			for _, v := range c {
+				if !assign[v] {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				first = j
+				break
+			}
+		}
+		if first == i {
+			s.hits++
+		}
+	}
+	s.n += n
+}

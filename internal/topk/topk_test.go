@@ -1,0 +1,170 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+// groundSpec grounds a generated Table 1 instance.
+func groundSpec(t *testing.T, name string, p workload.Params) (*engine.Grounding, *engine.Result) {
+	t.Helper()
+	spec, err := workload.SpecByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := workload.GenerateFor(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := spec.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := engine.Ground(db, spec.Query(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := engine.Evaluate(db, spec.Query(), plan, engine.Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, exact
+}
+
+func TestTopKMatchesExactRanking(t *testing.T) {
+	g, exact := groundSpec(t, "P1", workload.Params{N: 12, M: 30, Fanout: 3, RF: 0.2, RD: 1, Seed: 37})
+	const k = 4
+	res, err := FromGrounding(g, Options{K: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != k {
+		t.Fatalf("got %d top answers", len(res.Top))
+	}
+	// The k-th exact probability is the admission threshold; every returned
+	// answer must be within interval tolerance of it.
+	probs := make([]float64, 0, len(exact.Rows))
+	for _, row := range exact.Rows {
+		probs = append(probs, row.P)
+	}
+	kth := kthLargest(probs, k)
+	for _, a := range res.Top {
+		exactP := exact.Prob(a.Vals)
+		if exactP < kth-0.02 {
+			t.Errorf("answer %v (exact %.4f) admitted below the k-th probability %.4f", a.Vals, exactP, kth)
+		}
+		if exactP < a.Lo-1e-9 || exactP > a.Hi+1e-9 {
+			t.Errorf("answer %v: exact %.6f outside [%.6f, %.6f]", a.Vals, exactP, a.Lo, a.Hi)
+		}
+	}
+}
+
+func TestTopKSmallLineageIsExact(t *testing.T) {
+	g, exact := groundSpec(t, "P1", workload.Params{N: 6, M: 10, Fanout: 3, RF: 0.1, RD: 1, Seed: 39})
+	res, err := FromGrounding(g, Options{K: 2, Seed: 1, ExactClauseLimit: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Separated {
+		t.Error("fully exact answers must separate")
+	}
+	for _, a := range res.All {
+		if !a.Exact || a.Lo != a.Hi {
+			t.Errorf("answer %v not exact: [%g, %g]", a.Vals, a.Lo, a.Hi)
+		}
+		if want := exact.Prob(a.Vals); math.Abs(a.Lo-want) > 1e-9 {
+			t.Errorf("answer %v: %g, want %g", a.Vals, a.Lo, want)
+		}
+	}
+}
+
+func TestTopKSimulationRefinesOnlyCritical(t *testing.T) {
+	// Heterogeneous groups: group h's tuples have probability ≈ h/11, so
+	// the answer probabilities are well separated and most answers leave
+	// the critical set after the first rounds.
+	db := relation.NewDatabase()
+	r := relation.New("R", "h", "a")
+	s := relation.New("S", "h", "a", "b")
+	for h := int64(1); h <= 10; h++ {
+		base := float64(h) / 11
+		for a := int64(1); a <= 12; a++ {
+			r.MustAdd(tuple.Ints(h, a), base)
+			s.MustAdd(tuple.Ints(h, a, a%4), 0.5)
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	q := query.MustParse("q(h) :- R(h, a), S(h, a, b)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := engine.Ground(db, q, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FromGrounding(g, Options{K: 3, Seed: 5, ExactClauseLimit: 1, Batch: 512, MaxRounds: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one answer should have needed no (or few) samples: it was
+	// never critical.
+	minSamples, maxSamples := math.MaxInt32, 0
+	for _, a := range res.All {
+		if a.Exact {
+			continue
+		}
+		if a.Samples < minSamples {
+			minSamples = a.Samples
+		}
+		if a.Samples > maxSamples {
+			maxSamples = a.Samples
+		}
+	}
+	if maxSamples == 0 {
+		t.Fatal("no simulation happened")
+	}
+	if minSamples >= maxSamples {
+		t.Errorf("all answers refined equally (%d vs %d): multisimulation not selective", minSamples, maxSamples)
+	}
+}
+
+func TestTopKEverythingFits(t *testing.T) {
+	g, _ := groundSpec(t, "P1", workload.Params{N: 3, M: 8, Fanout: 2, RF: 0.2, RD: 1, Seed: 43})
+	res, err := FromGrounding(g, Options{K: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != len(res.All) || !res.Separated {
+		t.Errorf("K beyond answer count: top=%d all=%d separated=%v", len(res.Top), len(res.All), res.Separated)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	g, _ := groundSpec(t, "P1", workload.Params{N: 2, M: 5, Fanout: 2, RF: 0, RD: 1, Seed: 45})
+	if _, err := FromGrounding(g, Options{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+}
+
+func kthLargest(xs []float64, k int) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] > s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	if k > len(s) {
+		k = len(s)
+	}
+	return s[k-1]
+}

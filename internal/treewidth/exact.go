@@ -1,0 +1,78 @@
+package treewidth
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ExactMaxVertices bounds the Held–Karp style exact computation (the DP
+// table has 2^n entries).
+const ExactMaxVertices = 16
+
+// Exact computes the exact treewidth of g by dynamic programming over
+// vertex subsets (Bodlaender et al.'s formulation of the Held–Karp
+// recurrence): tw(G) = min over elimination orders of the maximum
+// elimination degree, where the degree of v eliminated after the set S is
+// |Q(S, v)|, the set of vertices outside S ∪ {v} reachable from v through
+// S. It is exponential and intended for validating the heuristic bounds on
+// small graphs; graphs larger than ExactMaxVertices are rejected.
+func Exact(g *Graph) (int, error) {
+	n := g.N()
+	if n > ExactMaxVertices {
+		return 0, fmt.Errorf("treewidth: %d vertices exceeds exact limit %d", n, ExactMaxVertices)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			adj[v] |= 1 << uint(u)
+		}
+	}
+	// q(S, v): neighbors of the component of v in G[S ∪ {v}], outside it.
+	q := func(S uint32, v int) int {
+		// BFS from v through S.
+		inside := uint32(1 << uint(v))
+		frontier := inside
+		for frontier != 0 {
+			next := uint32(0)
+			for f := frontier; f != 0; {
+				u := bits.TrailingZeros32(f)
+				f &= f - 1
+				next |= adj[u] & S &^ inside
+			}
+			inside |= next
+			frontier = next
+		}
+		// Outside neighbors of the reached set.
+		out := uint32(0)
+		for in := inside; in != 0; {
+			u := bits.TrailingZeros32(in)
+			in &= in - 1
+			out |= adj[u]
+		}
+		out &^= S | (1 << uint(v))
+		return bits.OnesCount32(out)
+	}
+	const inf = 1 << 30
+	full := uint32(1)<<uint(n) - 1
+	dp := make([]int32, 1<<uint(n))
+	for S := uint32(1); S <= full; S++ {
+		best := int32(inf)
+		for s := S; s != 0; {
+			v := bits.TrailingZeros32(s)
+			s &= s - 1
+			rest := S &^ (1 << uint(v))
+			cost := int32(q(rest, v))
+			if prev := dp[rest]; prev > cost {
+				cost = prev
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		dp[S] = best
+	}
+	return int(dp[full]), nil
+}

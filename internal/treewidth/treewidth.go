@@ -1,0 +1,309 @@
+// Package treewidth provides undirected graphs, greedy elimination
+// orderings, and tree decompositions.
+//
+// The paper's complexity analysis (Sections 4.3 and 5.4) is parameterized by
+// the treewidth of several graphs: the primal graph of a DNF lineage
+// (Theorem 4.2), the moralized decomposed factor graph M(D(G)) of [25], and
+// the undirected AND-OR network Ḡ (Theorem 5.17). Computing treewidth
+// exactly is NP-hard; as is standard, this package computes upper bounds via
+// the min-fill and min-degree elimination heuristics, and can materialize and
+// validate the corresponding tree decomposition.
+package treewidth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// NewGraph creates a graph with n isolated vertices.
+func NewGraph(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for _, a := range g.adj {
+		c += len(a)
+	}
+	return c / 2
+}
+
+// Neighbors returns the sorted neighbor list of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph(g.n)
+	for v, a := range g.adj {
+		for u := range a {
+			out.adj[v][u] = true
+		}
+	}
+	return out
+}
+
+// Heuristic selects the greedy vertex-elimination rule.
+type Heuristic int
+
+// Supported elimination heuristics.
+const (
+	// MinFill eliminates the vertex whose elimination adds the fewest
+	// fill-in edges. Slower but usually gives smaller width.
+	MinFill Heuristic = iota
+	// MinDegree eliminates the vertex of minimum current degree.
+	MinDegree
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	if h == MinFill {
+		return "min-fill"
+	}
+	return "min-degree"
+}
+
+// fillCount returns the number of fill edges eliminating v would add.
+func fillCount(g *Graph, v int) int {
+	nb := g.Neighbors(v)
+	fill := 0
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			if !g.adj[nb[i]][nb[j]] {
+				fill++
+			}
+		}
+	}
+	return fill
+}
+
+// eliminate removes v from g, connecting all its neighbors into a clique.
+func eliminate(g *Graph, v int) {
+	nb := g.Neighbors(v)
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			g.AddEdge(nb[i], nb[j])
+		}
+	}
+	for _, u := range nb {
+		delete(g.adj[u], v)
+	}
+	g.adj[v] = make(map[int]bool)
+}
+
+// Order computes a greedy elimination ordering of the graph under the given
+// heuristic, returning the ordering and the width it induces (the maximum,
+// over elimination steps, of the eliminated vertex's current degree). The
+// width is an upper bound on the treewidth of g.
+func Order(g *Graph, h Heuristic) (order []int, width int) {
+	work := g.Clone()
+	eliminated := make([]bool, g.n)
+	order = make([]int, 0, g.n)
+	for len(order) < g.n {
+		best, bestScore := -1, -1
+		// Ascending vertex scan gives a deterministic lowest-ID tie-break.
+		for v := 0; v < g.n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			var score int
+			if h == MinFill {
+				score = fillCount(work, v)
+			} else {
+				score = work.Degree(v)
+			}
+			if best == -1 || score < bestScore {
+				best, bestScore = v, score
+			}
+			if bestScore == 0 {
+				break // cannot do better; also skips O(n) scans on sparse graphs
+			}
+		}
+		if d := work.Degree(best); d > width {
+			width = d
+		}
+		eliminate(work, best)
+		eliminated[best] = true
+		order = append(order, best)
+	}
+	return order, width
+}
+
+// UpperBound returns the smaller of the min-fill and min-degree width bounds,
+// a convenient single number for reporting.
+func UpperBound(g *Graph) int {
+	_, wf := Order(g, MinFill)
+	_, wd := Order(g, MinDegree)
+	if wd < wf {
+		return wd
+	}
+	return wf
+}
+
+// Decomposition is a tree decomposition: bags of vertices connected by tree
+// edges (parent[i] is the parent bag of bag i; the root has parent -1).
+type Decomposition struct {
+	Bags   [][]int
+	Parent []int
+}
+
+// Width returns max |bag| - 1.
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b)-1 > w {
+			w = len(b) - 1
+		}
+	}
+	return w
+}
+
+// Decompose materializes the tree decomposition induced by an elimination
+// ordering: bag i holds order[i] plus its neighbors at elimination time, and
+// its parent is the bag of the earliest-eliminated vertex among those
+// neighbors.
+func Decompose(g *Graph, order []int) *Decomposition {
+	if len(order) != g.n {
+		panic(fmt.Sprintf("treewidth: ordering has %d vertices, graph has %d", len(order), g.n))
+	}
+	pos := make([]int, g.n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	work := g.Clone()
+	d := &Decomposition{Bags: make([][]int, g.n), Parent: make([]int, g.n)}
+	for i, v := range order {
+		nb := work.Neighbors(v)
+		bag := append([]int{v}, nb...)
+		sort.Ints(bag)
+		d.Bags[i] = bag
+		// Parent: bag of the neighbor eliminated next (smallest position > i).
+		d.Parent[i] = -1
+		bestPos := g.n
+		for _, u := range nb {
+			if pos[u] > i && pos[u] < bestPos {
+				bestPos = pos[u]
+			}
+		}
+		if bestPos < g.n {
+			d.Parent[i] = bestPos
+		}
+		eliminate(work, v)
+	}
+	return d
+}
+
+// Validate checks the three tree-decomposition properties against g:
+// every vertex occurs in some bag, every edge is covered by some bag, and
+// the bags containing any given vertex form a connected subtree.
+func (d *Decomposition) Validate(g *Graph) error {
+	covered := make([]bool, g.n)
+	inBag := make([]map[int]bool, len(d.Bags))
+	for i, b := range d.Bags {
+		inBag[i] = make(map[int]bool, len(b))
+		for _, v := range b {
+			covered[v] = true
+			inBag[i][v] = true
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if !covered[v] {
+			return fmt.Errorf("treewidth: vertex %d not in any bag", v)
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		for u := range g.adj[v] {
+			if u < v {
+				continue
+			}
+			ok := false
+			for i := range d.Bags {
+				if inBag[i][u] && inBag[i][v] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("treewidth: edge {%d,%d} not covered by any bag", u, v)
+			}
+		}
+	}
+	// Connectedness: for each vertex, the bags containing it must form a
+	// connected component under the tree's parent links.
+	for v := 0; v < g.n; v++ {
+		var bags []int
+		for i := range d.Bags {
+			if inBag[i][v] {
+				bags = append(bags, i)
+			}
+		}
+		if len(bags) <= 1 {
+			continue
+		}
+		member := make(map[int]bool, len(bags))
+		for _, b := range bags {
+			member[b] = true
+		}
+		// BFS within the induced subtree from bags[0].
+		seen := map[int]bool{bags[0]: true}
+		queue := []int{bags[0]}
+		for len(queue) > 0 {
+			b := queue[0]
+			queue = queue[1:]
+			var adj []int
+			if p := d.Parent[b]; p >= 0 && member[p] {
+				adj = append(adj, p)
+			}
+			for c := range member {
+				if d.Parent[c] == b {
+					adj = append(adj, c)
+				}
+			}
+			for _, nb := range adj {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if len(seen) != len(bags) {
+			return fmt.Errorf("treewidth: bags of vertex %d are not connected", v)
+		}
+	}
+	return nil
+}

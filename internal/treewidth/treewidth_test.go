@@ -1,0 +1,260 @@
+package treewidth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(0, n-1)
+	return g
+}
+
+func clique(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// completeBipartite returns K_{m,n}, whose treewidth is min(m,n)
+// (Fact 5.18 of the paper).
+func completeBipartite(m, n int) *Graph {
+	g := NewGraph(m + n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			g.AddEdge(i, m+j)
+		}
+	}
+	return g
+}
+
+func grid(r, c int) *Graph {
+	g := NewGraph(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+func TestBasicGraphOps(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate ignored
+	g.AddEdge(1, 1) // self-loop ignored
+	if g.EdgeCount() != 1 || !g.HasEdge(1, 0) || g.HasEdge(1, 2) {
+		t.Errorf("edge bookkeeping wrong: %d edges", g.EdgeCount())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 0 {
+		t.Error("degree wrong")
+	}
+	nb := g.Neighbors(0)
+	if len(nb) != 1 || nb[0] != 1 {
+		t.Errorf("Neighbors = %v", nb)
+	}
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Error("Clone shares adjacency")
+	}
+}
+
+func TestKnownWidths(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *Graph
+		exact int // true treewidth
+	}{
+		{"empty", NewGraph(5), 0},
+		{"path10", path(10), 1},
+		{"cycle8", cycle(8), 2},
+		{"K5", clique(5), 4},
+		{"K33", completeBipartite(3, 3), 3},
+		{"K27", completeBipartite(2, 7), 2},
+		{"grid3x3", grid(3, 3), 3},
+	}
+	for _, c := range cases {
+		for _, h := range []Heuristic{MinFill, MinDegree} {
+			order, w := Order(c.g, h)
+			if len(order) != c.g.N() {
+				t.Errorf("%s/%s: ordering length %d", c.name, h, len(order))
+			}
+			if w < c.exact {
+				t.Errorf("%s/%s: width %d below true treewidth %d", c.name, h, w, c.exact)
+			}
+			// Greedy heuristics find the optimum on these standard graphs.
+			if w != c.exact {
+				t.Errorf("%s/%s: width %d, want %d", c.name, h, w, c.exact)
+			}
+		}
+	}
+}
+
+func TestDecomposeValidates(t *testing.T) {
+	for _, g := range []*Graph{path(8), cycle(7), clique(4), grid(3, 4), completeBipartite(2, 5)} {
+		order, w := Order(g, MinFill)
+		d := Decompose(g, order)
+		if err := d.Validate(g); err != nil {
+			t.Errorf("decomposition invalid: %v", err)
+		}
+		if d.Width() != w {
+			t.Errorf("decomposition width %d != ordering width %d", d.Width(), w)
+		}
+	}
+}
+
+func TestDecomposeRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		for _, h := range []Heuristic{MinFill, MinDegree} {
+			order, w := Order(g, h)
+			d := Decompose(g, order)
+			if err := d.Validate(g); err != nil {
+				t.Fatalf("trial %d (%s): %v", trial, h, err)
+			}
+			if d.Width() != w {
+				t.Fatalf("trial %d (%s): width mismatch %d vs %d", trial, h, d.Width(), w)
+			}
+		}
+	}
+}
+
+func TestUpperBoundTakesBetterHeuristic(t *testing.T) {
+	g := grid(4, 4)
+	ub := UpperBound(g)
+	_, wf := Order(g, MinFill)
+	_, wd := Order(g, MinDegree)
+	if ub != min(wf, wd) {
+		t.Errorf("UpperBound = %d, min-fill %d, min-degree %d", ub, wf, wd)
+	}
+	if ub < 4 { // tw(grid 4x4) = 4
+		t.Errorf("UpperBound %d below true treewidth 4", ub)
+	}
+}
+
+func TestExactOnKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", NewGraph(4), 0},
+		{"path6", path(6), 1},
+		{"cycle6", cycle(6), 2},
+		{"K4", clique(4), 3},
+		{"K33", completeBipartite(3, 3), 3},
+		{"grid3x3", grid(3, 3), 3},
+		{"grid3x4", grid(3, 4), 3},
+	}
+	for _, c := range cases {
+		got, err := Exact(c.g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: Exact = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if _, err := Exact(NewGraph(ExactMaxVertices + 1)); err == nil {
+		t.Error("oversized graph accepted")
+	}
+}
+
+// TestHeuristicsUpperBoundExact checks, on random graphs, that the greedy
+// orderings never report a width below the true treewidth (they are upper
+// bounds) and usually match it on small instances.
+func TestHeuristicsUpperBoundExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	matches := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		n := 4 + rng.Intn(8)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.35 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		exact, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub := UpperBound(g)
+		if ub < exact {
+			t.Fatalf("trial %d: heuristic bound %d below exact treewidth %d", trial, ub, exact)
+		}
+		if ub == exact {
+			matches++
+		}
+	}
+	if matches < trials/2 {
+		t.Errorf("heuristics matched exact treewidth on only %d/%d small graphs", matches, trials)
+	}
+}
+
+func TestValidateCatchesBrokenDecompositions(t *testing.T) {
+	g := path(4)
+	order, _ := Order(g, MinFill)
+	d := Decompose(g, order)
+
+	missingVertex := &Decomposition{Bags: [][]int{{0, 1}, {1, 2}}, Parent: []int{1, -1}}
+	if err := missingVertex.Validate(g); err == nil {
+		t.Error("decomposition missing vertex 3 accepted")
+	}
+	missingEdge := &Decomposition{Bags: [][]int{{0}, {1}, {2}, {3}}, Parent: []int{1, 2, 3, -1}}
+	if err := missingEdge.Validate(g); err == nil {
+		t.Error("decomposition missing edges accepted")
+	}
+	// Break connectedness: vertex 1 in two bags joined only through a bag
+	// that lacks it.
+	disconnected := &Decomposition{
+		Bags:   [][]int{{0, 1}, {2, 3}, {1, 2}},
+		Parent: []int{1, -1, 1},
+	}
+	// Edges: {0,1} in bag0, {2,3} in bag1, {1,2} in bag2. Vertex 1 in bags 0
+	// and 2, whose connecting path passes bag 1 (no vertex 1): invalid.
+	if err := disconnected.Validate(g); err == nil {
+		t.Error("disconnected decomposition accepted")
+	}
+	if err := d.Validate(g); err != nil {
+		t.Errorf("valid decomposition rejected: %v", err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+// Package workload generates the synthetic probabilistic databases of the
+// paper's evaluation (Section 6.1) and carries the Table 1 query catalog.
+//
+// The generator is parameterized exactly as the paper's:
+//
+//	N      — the number of answer groups (domain of attribute H);
+//	m      — tuples per group (domain of the other attributes);
+//	fanout — the maximum functional-dependency fanout f ∈ [2, fanout];
+//	r_f    — the fraction of prefix values violating the functional
+//	         dependency (offending tuples);
+//	r_d    — the fraction of non-deterministic tuples in the R tables.
+//
+// Tables:
+//
+//	R_i(H, A)          — all (h, a) pairs; probability 1 with probability
+//	                     1-r_d, else uniform in (0, 1);
+//	S_i(H, A, B)       — per (h, a): one random b with probability 1-r_f,
+//	                     else f random b's; at most m tuples per h; every
+//	                     tuple uncertain;
+//	T_1(H, A, B, C)    — built from an S-shaped T'(H, B, C) by attaching the
+//	                     A level the same way (violating A→B,C and B→C);
+//	T_2(H, A, B, C, D) — one more attachment level. (The paper declares T_i
+//	                     with four attributes but query S3 uses T_2 with five
+//	                     arguments; we follow the query.)
+//
+// Every relation has exactly N·m tuples.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Params are the generator parameters of Section 6.1.
+type Params struct {
+	N      int
+	M      int
+	Fanout int
+	RF     float64
+	RD     float64
+	Seed   int64
+}
+
+// Validate rejects nonsensical parameters.
+func (p Params) Validate() error {
+	if p.N <= 0 || p.M <= 0 {
+		return fmt.Errorf("workload: N and m must be positive (got %d, %d)", p.N, p.M)
+	}
+	if p.Fanout < 2 {
+		return fmt.Errorf("workload: fanout must be at least 2 (got %d)", p.Fanout)
+	}
+	if p.RF < 0 || p.RF > 1 || p.RD < 0 || p.RD > 1 {
+		return fmt.Errorf("workload: r_f and r_d must lie in [0,1]")
+	}
+	return nil
+}
+
+// uncertainProb draws a probability from (0, 1).
+func uncertainProb(rng *rand.Rand) float64 {
+	for {
+		if p := rng.Float64(); p > 0 {
+			return p
+		}
+	}
+}
+
+// GenR generates an R_i(H, A) table: the full cross product [N]×[m] with an
+// r_d fraction of uncertain tuples.
+func GenR(name string, p Params, rng *rand.Rand) *relation.Relation {
+	r := relation.New(name, "h", "a")
+	for h := 1; h <= p.N; h++ {
+		for a := 1; a <= p.M; a++ {
+			prob := 1.0
+			if rng.Float64() < p.RD {
+				prob = uncertainProb(rng)
+			}
+			r.MustAdd(tuple.Ints(int64(h), int64(a)), prob)
+		}
+	}
+	return r
+}
+
+// GenHier generates an S table (depth 1), a T_1 table (depth 2) or a T_2
+// table (depth 3): per h, `depth` attachment levels over the base domain
+// [m], each level violating its functional dependency on an r_f fraction of
+// prefix values with fanout drawn from [2, fanout]. Every tuple is
+// uncertain. The result has 1+depth+1 attributes (h plus the key chain).
+func GenHier(name string, depth int, p Params, rng *rand.Rand) *relation.Relation {
+	attrs := []string{"h"}
+	for i := 0; i <= depth; i++ {
+		attrs = append(attrs, fmt.Sprintf("a%d", i+1))
+	}
+	r := relation.New(name, attrs...)
+	for h := 1; h <= p.N; h++ {
+		// Base domain: single values 1..m.
+		domain := make([][]int64, p.M)
+		for i := range domain {
+			domain[i] = []int64{int64(i + 1)}
+		}
+		for level := 0; level < depth; level++ {
+			domain = attach(domain, p, rng)
+		}
+		for _, suffix := range domain {
+			vals := make([]int64, 0, len(suffix)+1)
+			vals = append(vals, int64(h))
+			vals = append(vals, suffix...)
+			r.MustAdd(tuple.Ints(vals...), uncertainProb(rng))
+		}
+	}
+	return r
+}
+
+// attach implements one construction level of Section 6.1: for each prefix
+// value a ∈ [m], pick one suffix from the domain with probability 1-r_f,
+// otherwise pick f ∈ [2, fanout] distinct suffixes; stop after m rows.
+func attach(domain [][]int64, p Params, rng *rand.Rand) [][]int64 {
+	rows := make([][]int64, 0, p.M)
+	for a := 1; a <= p.M && len(rows) < p.M; a++ {
+		k := 1
+		if rng.Float64() < p.RF {
+			k = 2 + rng.Intn(p.Fanout-1)
+		}
+		if k > len(domain) {
+			k = len(domain)
+		}
+		seen := make(map[int]bool, k)
+		for j := 0; j < k && len(rows) < p.M; j++ {
+			// Distinct suffixes per prefix (relations are sets); bounded
+			// retries keep this O(1) in expectation.
+			var si int
+			for try := 0; ; try++ {
+				si = rng.Intn(len(domain))
+				if !seen[si] || try > 16 {
+					break
+				}
+			}
+			if seen[si] {
+				continue
+			}
+			seen[si] = true
+			row := make([]int64, 0, len(domain[si])+1)
+			row = append(row, int64(a))
+			row = append(row, domain[si]...)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// TableKind distinguishes the generator used for a table of a query spec.
+type TableKind int
+
+// Table kinds.
+const (
+	KindR    TableKind = iota // R_i(H, A)
+	KindHier                  // S_i / T_i, with Depth attachment levels
+)
+
+// TableSpec names one table of a query spec and how to generate it.
+type TableSpec struct {
+	Name  string
+	Kind  TableKind
+	Depth int // attachment levels for KindHier (1=S, 2=T1, 3=T2)
+}
+
+// Spec is one experiment query: its text, the left-deep join order of
+// Table 1, and the tables it reads.
+type Spec struct {
+	Name      string
+	QueryText string
+	JoinOrder []string
+	Tables    []TableSpec
+}
+
+// Query parses the spec's query.
+func (s Spec) Query() *query.Query { return query.MustParse(s.QueryText) }
+
+// Plan builds the spec's left-deep plan (Table 1's join order).
+func (s Spec) Plan() (*query.Plan, error) {
+	return query.LeftDeepPlan(s.Query(), s.JoinOrder)
+}
+
+// Table1 returns the paper's query catalog (Table 1). P1 and S1 are the
+// same query; it appears once under the name P1.
+func Table1() []Spec {
+	return []Spec{
+		{
+			Name:      "P1",
+			QueryText: "q(h) :- R1(h, x), S1(h, x, y), R2(h, y)",
+			JoinOrder: []string{"R1", "S1", "R2"},
+			Tables: []TableSpec{
+				{Name: "R1", Kind: KindR},
+				{Name: "S1", Kind: KindHier, Depth: 1},
+				{Name: "R2", Kind: KindR},
+			},
+		},
+		{
+			Name:      "P2",
+			QueryText: "q(h) :- R1(h, x), S1(h, x, y), S2(h, y, z), R2(h, z)",
+			JoinOrder: []string{"R1", "S1", "S2", "R2"},
+			Tables: []TableSpec{
+				{Name: "R1", Kind: KindR},
+				{Name: "S1", Kind: KindHier, Depth: 1},
+				{Name: "S2", Kind: KindHier, Depth: 1},
+				{Name: "R2", Kind: KindR},
+			},
+		},
+		{
+			Name:      "P3",
+			QueryText: "q(h) :- R1(h, x), S1(h, x, y), S2(h, y, z), S3(h, z, u), R2(h, u)",
+			JoinOrder: []string{"R1", "S1", "S2", "S3", "R2"},
+			Tables: []TableSpec{
+				{Name: "R1", Kind: KindR},
+				{Name: "S1", Kind: KindHier, Depth: 1},
+				{Name: "S2", Kind: KindHier, Depth: 1},
+				{Name: "S3", Kind: KindHier, Depth: 1},
+				{Name: "R2", Kind: KindR},
+			},
+		},
+		{
+			Name:      "S2",
+			QueryText: "q(h) :- R1(h, x), T1(h, x, y, z), R2(h, y), R3(h, z)",
+			JoinOrder: []string{"R1", "T1", "R2", "R3"},
+			Tables: []TableSpec{
+				{Name: "R1", Kind: KindR},
+				{Name: "T1", Kind: KindHier, Depth: 2},
+				{Name: "R2", Kind: KindR},
+				{Name: "R3", Kind: KindR},
+			},
+		},
+		{
+			Name:      "S3",
+			QueryText: "q(h) :- R1(h, x), T2(h, x, y, z, u), R2(h, y), R3(h, z), R4(h, u)",
+			JoinOrder: []string{"R1", "T2", "R2", "R3", "R4"},
+			Tables: []TableSpec{
+				{Name: "R1", Kind: KindR},
+				{Name: "T2", Kind: KindHier, Depth: 3},
+				{Name: "R2", Kind: KindR},
+				{Name: "R3", Kind: KindR},
+				{Name: "R4", Kind: KindR},
+			},
+		},
+	}
+}
+
+// SpecByName finds a Table 1 spec (S1 resolves to P1).
+func SpecByName(name string) (Spec, error) {
+	if name == "S1" {
+		name = "P1"
+	}
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: no query named %q in Table 1", name)
+}
+
+// GenerateFor generates the database for one query spec.
+func GenerateFor(s Spec, p Params) (*relation.Database, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := relation.NewDatabase()
+	for _, ts := range s.Tables {
+		switch ts.Kind {
+		case KindR:
+			db.AddRelation(GenR(ts.Name, p, rng))
+		case KindHier:
+			db.AddRelation(GenHier(ts.Name, ts.Depth, p, rng))
+		default:
+			return nil, fmt.Errorf("workload: unknown table kind %d", ts.Kind)
+		}
+	}
+	return db, nil
+}

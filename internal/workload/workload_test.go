@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{N: 2, M: 10, Fanout: 3, RF: 0.5, RD: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []Params{
+		{N: 0, M: 10, Fanout: 3},
+		{N: 1, M: 0, Fanout: 3},
+		{N: 1, M: 1, Fanout: 1},
+		{N: 1, M: 1, Fanout: 2, RF: 1.5},
+		{N: 1, M: 1, Fanout: 2, RD: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestGenRSizeAndDeterminism(t *testing.T) {
+	p := Params{N: 4, M: 50, Fanout: 3, RF: 0, RD: 0.5, Seed: 1}
+	r := GenR("R1", p, rand.New(rand.NewSource(p.Seed)))
+	if r.Len() != p.N*p.M {
+		t.Fatalf("R has %d rows, want %d", r.Len(), p.N*p.M)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(r.UncertainCount()) / float64(r.Len())
+	if math.Abs(frac-p.RD) > 0.15 {
+		t.Errorf("uncertain fraction = %g, want ≈ %g", frac, p.RD)
+	}
+	// r_d = 0: fully deterministic. r_d = 1: fully uncertain.
+	r0 := GenR("R", Params{N: 2, M: 30, Fanout: 2, RD: 0}, rand.New(rand.NewSource(2)))
+	if !r0.Deterministic() {
+		t.Error("r_d=0 table has uncertain tuples")
+	}
+	r1 := GenR("R", Params{N: 2, M: 30, Fanout: 2, RD: 1}, rand.New(rand.NewSource(3)))
+	if r1.UncertainCount() != r1.Len() {
+		t.Error("r_d=1 table has certain tuples")
+	}
+}
+
+func TestGenHierSizeAndFDViolations(t *testing.T) {
+	p := Params{N: 3, M: 200, Fanout: 4, RF: 0.3, RD: 1, Seed: 5}
+	s := GenHier("S1", 1, p, rand.New(rand.NewSource(p.Seed)))
+	if s.Len() != p.N*p.M {
+		t.Fatalf("S has %d rows, want %d", s.Len(), p.N*p.M)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.UncertainCount() != s.Len() {
+		t.Error("S tables must be fully uncertain")
+	}
+	// Count (h, a) groups with fanout ≥ 2; their fraction among groups
+	// should track r_f.
+	groups := make(map[[2]int64]int)
+	for _, row := range s.Rows {
+		groups[[2]int64{row.Tuple[0].AsInt(), row.Tuple[1].AsInt()}]++
+	}
+	violating, total := 0, 0
+	for _, c := range groups {
+		total++
+		if c >= 2 {
+			violating++
+		}
+	}
+	frac := float64(violating) / float64(total)
+	if math.Abs(frac-p.RF) > 0.12 {
+		t.Errorf("FD-violating group fraction = %g, want ≈ %g", frac, p.RF)
+	}
+	// r_f = 0 means the FD a→b holds exactly.
+	s0 := GenHier("S", 1, Params{N: 2, M: 100, Fanout: 2, RF: 0, RD: 1}, rand.New(rand.NewSource(7)))
+	g0 := make(map[[2]int64]int)
+	for _, row := range s0.Rows {
+		g0[[2]int64{row.Tuple[0].AsInt(), row.Tuple[1].AsInt()}]++
+	}
+	for k, c := range g0 {
+		if c > 1 {
+			t.Errorf("r_f=0 but group %v has fanout %d", k, c)
+		}
+	}
+}
+
+func TestGenHierDepths(t *testing.T) {
+	p := Params{N: 2, M: 20, Fanout: 3, RF: 0.5, RD: 1, Seed: 11}
+	for depth, wantAttrs := range map[int]int{1: 3, 2: 4, 3: 5} {
+		r := GenHier("T", depth, p, rand.New(rand.NewSource(p.Seed)))
+		if len(r.Attrs) != wantAttrs {
+			t.Errorf("depth %d: %d attributes, want %d", depth, len(r.Attrs), wantAttrs)
+		}
+		if r.Len() != p.N*p.M {
+			t.Errorf("depth %d: %d rows, want %d", depth, r.Len(), p.N*p.M)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("depth %d: %v", depth, err)
+		}
+	}
+}
+
+func TestGeneratorDeterministicBySeed(t *testing.T) {
+	p := Params{N: 2, M: 30, Fanout: 3, RF: 0.4, RD: 0.5, Seed: 13}
+	spec, err := SpecByName("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := GenerateFor(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFor(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Names() {
+		ra, _ := a.Relation(name)
+		rb, _ := b.Relation(name)
+		if ra.Len() != rb.Len() {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range ra.Rows {
+			if !ra.Rows[i].Tuple.Equal(rb.Rows[i].Tuple) || ra.Rows[i].P != rb.Rows[i].P {
+				t.Fatalf("%s row %d differs between identical seeds", name, i)
+			}
+		}
+	}
+}
+
+func TestTable1Catalog(t *testing.T) {
+	specs := Table1()
+	if len(specs) != 5 {
+		t.Fatalf("catalog has %d specs", len(specs))
+	}
+	wantAtoms := map[string]int{"P1": 3, "P2": 4, "P3": 5, "S2": 4, "S3": 5}
+	for _, s := range specs {
+		q := s.Query()
+		if len(q.Atoms) != wantAtoms[s.Name] {
+			t.Errorf("%s: %d atoms, want %d", s.Name, len(q.Atoms), wantAtoms[s.Name])
+		}
+		if q.IsHierarchical() {
+			t.Errorf("%s should be unsafe (per h), but is hierarchical", s.Name)
+		}
+		if _, err := s.Plan(); err != nil {
+			t.Errorf("%s: plan: %v", s.Name, err)
+		}
+		if len(s.JoinOrder) != len(q.Atoms) {
+			t.Errorf("%s: join order covers %d atoms of %d", s.Name, len(s.JoinOrder), len(q.Atoms))
+		}
+		if len(s.Tables) != len(q.Atoms) {
+			t.Errorf("%s: %d tables for %d atoms", s.Name, len(s.Tables), len(q.Atoms))
+		}
+	}
+	if _, err := SpecByName("S1"); err != nil {
+		t.Errorf("S1 alias: %v", err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+// TestSafeWhenRFZero checks the paper's data-safety claim: with r_f = 0 the
+// generated instance satisfies all functional dependencies and every Table 1
+// plan is data-safe (zero offending tuples) even though the queries are
+// unsafe in general.
+func TestSafeWhenRFZero(t *testing.T) {
+	for _, spec := range Table1() {
+		p := Params{N: 2, M: 12, Fanout: 3, RF: 0, RD: 1, Seed: 17}
+		db, err := GenerateFor(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := spec.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := engine.Evaluate(db, spec.Query(), plan, engine.Options{Strategy: core.SafePlanOnly})
+		if err != nil {
+			t.Errorf("%s: r_f=0 instance not data-safe: %v", spec.Name, err)
+			continue
+		}
+		if res.Stats.OffendingTuples != 0 {
+			t.Errorf("%s: %d offending tuples at r_f=0", spec.Name, res.Stats.OffendingTuples)
+		}
+	}
+}
+
+// TestDeterministicRTablesAreSafe checks the dual claim: with r_d = 0 the R
+// tables are deterministic, so their tuples are never offending and the
+// plans stay data-safe regardless of r_f — for the queries whose offending
+// tuples all come from R tables (P1-style joins).
+func TestDeterministicRTablesAreSafe(t *testing.T) {
+	spec, err := SpecByName("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{N: 2, M: 12, Fanout: 3, RF: 1, RD: 0, Seed: 19}
+	db, err := GenerateFor(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := spec.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Evaluate(db, spec.Query(), plan, engine.Options{Strategy: core.SafePlanOnly})
+	if err != nil {
+		t.Fatalf("r_d=0 instance not data-safe: %v", err)
+	}
+	if res.Stats.OffendingTuples != 0 {
+		t.Errorf("%d offending tuples at r_d=0", res.Stats.OffendingTuples)
+	}
+}
+
+// TestStrategiesAgreeAtScale stresses agreement on instances big enough to
+// surface bookkeeping bugs that tiny fixtures miss.
+func TestStrategiesAgreeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping large agreement check in -short mode")
+	}
+	for _, spec := range Table1() {
+		p := Params{N: 3, M: 120, Fanout: 3, RF: 0.08, RD: 1, Seed: 29}
+		db, err := GenerateFor(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := spec.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := spec.Query()
+		partial, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.PartialLineage, NoFallback: true})
+		if err != nil {
+			t.Fatalf("%s: partial: %v", spec.Name, err)
+		}
+		dnf, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage, NoFallback: true})
+		if err != nil {
+			t.Fatalf("%s: dnf: %v", spec.Name, err)
+		}
+		for _, row := range partial.Rows {
+			if w := dnf.Prob(row.Vals); math.Abs(row.P-w) > 1e-7 {
+				t.Errorf("%s: answer %v: partial %.10f vs dnf %.10f", spec.Name, row.Vals, row.P, w)
+			}
+		}
+	}
+}
+
+// TestStrategiesAgreeOnGeneratedData is the integration check on real
+// workload data: partial lineage and the MayBMS-style DNF baseline agree on
+// every Table 1 query at a small scale.
+func TestStrategiesAgreeOnGeneratedData(t *testing.T) {
+	for _, spec := range Table1() {
+		p := Params{N: 2, M: 8, Fanout: 3, RF: 0.3, RD: 1, Seed: 23}
+		db, err := GenerateFor(spec, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := spec.Plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := spec.Query()
+		partial, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.PartialLineage})
+		if err != nil {
+			t.Fatalf("%s: partial: %v", spec.Name, err)
+		}
+		dnf, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage})
+		if err != nil {
+			t.Fatalf("%s: dnf: %v", spec.Name, err)
+		}
+		if len(partial.Rows) != len(dnf.Rows) {
+			t.Fatalf("%s: answer counts differ: %d vs %d", spec.Name, len(partial.Rows), len(dnf.Rows))
+		}
+		for _, row := range partial.Rows {
+			if w := dnf.Prob(row.Vals); math.Abs(row.P-w) > 1e-7 {
+				t.Errorf("%s: answer %v: partial %.10f vs dnf %.10f", spec.Name, row.Vals, row.P, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package pdb is the public API of the probabilistic query engine: a Go
+// reproduction of "Bridging the Gap Between Intensional and Extensional
+// Query Evaluation in Probabilistic Databases" (Jha, Olteanu, Suciu,
+// EDBT 2010).
+//
+// The engine evaluates conjunctive queries over tuple-independent
+// probabilistic databases. Safe queries — and unsafe queries on favourable
+// instances — are evaluated purely extensionally inside the relational
+// executor; where the data violates data-safety, only the offending tuples
+// are treated symbolically (partial lineage), and a final inference pass
+// over a compact AND-OR network computes the answer probabilities.
+//
+// Quick start:
+//
+//	db := pdb.NewDatabase()
+//	r := db.CreateRelation("R", "x")
+//	r.Add(0.5, pdb.Int(1))
+//	s := db.CreateRelation("S", "x", "y")
+//	s.Add(0.8, pdb.Int(1), pdb.Int(2))
+//	q, _ := pdb.ParseQuery("q :- R(a), S(a, b)")
+//	res, _ := db.Evaluate(q, pdb.Options{})
+//	fmt.Println(res.BoolProb())
+package pdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/inference"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/sqlgen"
+	"repro/internal/topk"
+	"repro/internal/tuple"
+)
+
+// Value is a typed scalar stored in a relation: an int64, float64 or string.
+type Value = tuple.Value
+
+// Convenience constructors for values.
+var (
+	Int    = tuple.Int
+	Float  = tuple.Float
+	String = tuple.String
+)
+
+// Strategy selects the evaluation method.
+type Strategy = core.Strategy
+
+// Evaluation strategies.
+const (
+	// PartialLineage (the default) is the paper's hybrid method.
+	PartialLineage = core.PartialLineage
+	// SafePlanOnly evaluates purely extensionally and fails when the plan is
+	// not data-safe on the instance.
+	SafePlanOnly = core.SafePlanOnly
+	// FullNetwork builds the complete intensional AND-OR network
+	// (the factor-graph method of Sen & Deshpande).
+	FullNetwork = core.FullNetwork
+	// DNFLineage computes full DNF lineage and exact confidence
+	// (the MayBMS method).
+	DNFLineage = core.DNFLineage
+	// MonteCarlo computes full DNF lineage and a Karp–Luby estimate.
+	MonteCarlo = core.MonteCarlo
+)
+
+// ParseStrategy resolves a strategy name: partial, safe, network, dnf or mc.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
+
+// Stats reports what an evaluation did; see core.Stats for field docs.
+type Stats = core.Stats
+
+// Options configures Evaluate.
+type Options struct {
+	// Strategy defaults to PartialLineage.
+	Strategy Strategy
+	// MaxWidth caps the exact-inference elimination width (in variables);
+	// zero means the engine default (22). Past the cap the engine falls
+	// back to sampling unless NoFallback is set.
+	MaxWidth int
+	// Samples for MonteCarlo and the sampling fallback (default 100000).
+	Samples int
+	// Seed for the samplers.
+	Seed int64
+	// NoFallback turns the sampling fallback into an error.
+	NoFallback bool
+	// Parallelism is the number of goroutines computing per-answer
+	// probabilities (0 or 1 = sequential). Results are identical either way.
+	Parallelism int
+	// Trace records a per-operator execution trace into Stats.Operators
+	// (network strategies only).
+	Trace bool
+	// Evidence conditions the evaluation on observations about base tuples:
+	// answer probabilities become P(answer | evidence). Network strategies
+	// only; zero-probability evidence is an error.
+	Evidence []Evidence
+}
+
+// Evidence is one observation: the named base tuple (full arity values) is
+// known present or absent.
+type Evidence struct {
+	Relation string
+	Vals     []Value
+	Present  bool
+}
+
+func (o Options) engineOptions() engine.Options {
+	out := engine.Options{
+		Strategy:    o.Strategy,
+		Inference:   inference.Options{MaxFactorVars: o.MaxWidth},
+		Samples:     o.Samples,
+		Seed:        o.Seed,
+		NoFallback:  o.NoFallback,
+		Parallelism: o.Parallelism,
+		Trace:       o.Trace,
+	}
+	for _, ev := range o.Evidence {
+		out.Evidence = append(out.Evidence, engine.Evidence{
+			Rel:     ev.Relation,
+			Vals:    tuple.Tuple(ev.Vals),
+			Present: ev.Present,
+		})
+	}
+	return out
+}
+
+// Database is a tuple-independent probabilistic database: a set of named
+// relations whose tuples carry independent presence probabilities.
+type Database struct {
+	db *relation.Database
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{db: relation.NewDatabase()}
+}
+
+// LoadDatabase reads a database from a directory of <name>.csv files as
+// written by SaveDir (header row naming the attributes plus a final "p"
+// probability column).
+func LoadDatabase(dir string) (*Database, error) {
+	db, err := relation.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// SaveDir writes every relation to dir as <name>.csv.
+func (d *Database) SaveDir(dir string) error { return d.db.SaveDir(dir) }
+
+// Relation provides access to one relation for loading tuples.
+type Relation struct {
+	r *relation.Relation
+}
+
+// CreateRelation registers an empty relation with the given attribute names
+// and returns a handle for adding tuples. Predicate names in queries must
+// start with an uppercase letter to parse.
+func (d *Database) CreateRelation(name string, attrs ...string) *Relation {
+	r := relation.New(name, attrs...)
+	d.db.AddRelation(r)
+	return &Relation{r: r}
+}
+
+// Relation returns a handle to an existing relation.
+func (d *Database) Relation(name string) (*Relation, error) {
+	r, err := d.db.Relation(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{r: r}, nil
+}
+
+// Names lists the relation names in insertion order.
+func (d *Database) Names() []string { return d.db.Names() }
+
+// Add appends a tuple with presence probability p.
+func (r *Relation) Add(p float64, vals ...Value) error {
+	return r.r.Add(tuple.Tuple(vals), p)
+}
+
+// AddInts appends a tuple of integer values with presence probability p.
+func (r *Relation) AddInts(p float64, vals ...int64) error {
+	return r.r.AddInts(p, vals...)
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return r.r.Len() }
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.r.Name }
+
+// Attrs returns the attribute names.
+func (r *Relation) Attrs() []string { return append([]string(nil), r.r.Attrs...) }
+
+// Tuple is one stored tuple with its presence probability.
+type Tuple struct {
+	Vals []Value
+	P    float64
+}
+
+// Tuples returns a copy of the relation's contents.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.r.Rows))
+	for i, row := range r.r.Rows {
+		out[i] = Tuple{Vals: append([]Value(nil), row.Tuple...), P: row.P}
+	}
+	return out
+}
+
+// Query is a parsed conjunctive query.
+type Query struct {
+	q *query.Query
+}
+
+// ParseQuery parses datalog syntax, e.g. "q(h) :- R(h, x), S(h, x, y)".
+// Head variables group the answers; a query without head variables is
+// Boolean. Self-joins are not supported.
+func ParseQuery(text string) (*Query, error) {
+	q, err := query.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// String renders the query back in input syntax.
+func (q *Query) String() string { return q.q.String() }
+
+// IsSafe reports whether the query is safe (hierarchical): evaluable purely
+// extensionally on every instance.
+func (q *Query) IsSafe() bool { return q.q.IsSafe() }
+
+// IsStrictlyHierarchical reports whether the query's lineage has bounded
+// treewidth on all instances (Theorem 4.2 of the paper).
+func (q *Query) IsStrictlyHierarchical() bool { return q.q.IsStrictlyHierarchical() }
+
+// Plan is a physical query plan.
+type Plan struct {
+	p *query.Plan
+}
+
+// String renders the plan as a relational-algebra expression.
+func (p *Plan) String() string { return p.p.String() }
+
+// SafePlan synthesizes a plan whose joins are 1-1 on every instance. It
+// fails for unsafe queries.
+func SafePlan(q *Query) (*Plan, error) {
+	p, err := query.SafePlan(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{p: p}, nil
+}
+
+// LeftDeepPlan builds the left-deep plan joining atoms in the given
+// predicate order, with projections onto the still-needed variables after
+// each join.
+func LeftDeepPlan(q *Query, order ...string) (*Plan, error) {
+	p, err := query.LeftDeepPlan(q.q, order)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{p: p}, nil
+}
+
+// PlanChoice reports one costed join order from OptimizePlan.
+type PlanChoice struct {
+	Order     []string
+	Plan      *Plan
+	Offending int
+	Nodes     int
+}
+
+// OptimizePlan performs data-aware plan selection (the paper's Section 8
+// open question): it dry-runs candidate left-deep join orders against this
+// database and returns the plan minimizing offending tuples and network
+// size, plus the full ranking. sampleGroups > 0 restricts costing to that
+// many answer groups for queries with head variables.
+func (d *Database) OptimizePlan(q *Query, sampleGroups int) (*PlanChoice, []PlanChoice, error) {
+	best, all, err := planner.Choose(d.db, q.q, planner.Options{SampleGroups: sampleGroups})
+	if err != nil {
+		return nil, nil, err
+	}
+	wrap := func(c planner.Candidate) PlanChoice {
+		return PlanChoice{
+			Order:     c.Order,
+			Plan:      &Plan{p: c.Plan},
+			Offending: c.Offending,
+			Nodes:     c.Nodes,
+		}
+	}
+	ranked := make([]PlanChoice, len(all))
+	for i, c := range all {
+		ranked[i] = wrap(c)
+	}
+	b := wrap(*best)
+	return &b, ranked, nil
+}
+
+// Row is one answer with its probability.
+type Row struct {
+	Vals []Value
+	P    float64
+}
+
+// Result holds the answers and run statistics of one evaluation.
+type Result struct {
+	Attrs []string
+	Rows  []Row
+	Stats Stats
+
+	res *engine.Result
+}
+
+// BoolProb returns the probability of a Boolean query (0 when there is no
+// satisfying grounding).
+func (r *Result) BoolProb() float64 { return r.res.BoolProb() }
+
+// Top returns the k most probable answers, ties broken by head values, in
+// descending probability order. k <= 0 or k beyond the answer count returns
+// all answers.
+func (r *Result) Top(k int) []Row {
+	rows := append([]Row(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].P != rows[j].P {
+			return rows[i].P > rows[j].P
+		}
+		return tuple.Tuple(rows[i].Vals).Compare(tuple.Tuple(rows[j].Vals)) < 0
+	})
+	if k > 0 && k < len(rows) {
+		rows = rows[:k]
+	}
+	return rows
+}
+
+// Prob returns the probability of the answer with the given head values.
+func (r *Result) Prob(vals ...Value) float64 { return r.res.Prob(tuple.Tuple(vals)) }
+
+// WriteNetworkDOT writes the evaluation's AND-OR network in Graphviz DOT
+// format. It fails for the lineage strategies, which build no network.
+func (r *Result) WriteNetworkDOT(w io.Writer) error {
+	if r.res.Net == nil {
+		return fmt.Errorf("pdb: strategy %v builds no AND-OR network", r.Stats.Strategy)
+	}
+	return r.res.Net.WriteDOT(w, nil)
+}
+
+// GenerateSQL renders the batch of SQL statements that implement the
+// query's left-deep plan in the paper's in-database style: per-operator
+// temporary tables, cSet computation, conditioning, probability arithmetic,
+// and AND-OR network edges materialized into a table L(v, w, p). order is
+// the join order; empty order means the query's body order. The script is
+// documentation-grade (SQL Server-flavored), showing how the method maps
+// onto a DBMS; the in-process engine remains the system of record.
+func GenerateSQL(q *Query, order []string) (string, error) {
+	if len(order) == 0 || (len(order) == 1 && order[0] == "") {
+		order = make([]string, len(q.q.Atoms))
+		for i := range q.q.Atoms {
+			order[i] = q.q.Atoms[i].Pred
+		}
+	}
+	plan, err := query.LeftDeepPlan(q.q, order)
+	if err != nil {
+		return "", err
+	}
+	return sqlgen.Generate(q.q, plan)
+}
+
+// TopAnswer is one answer of a top-k query with its probability bounds
+// (Lo == Hi when computed exactly).
+type TopAnswer struct {
+	Vals   []Value
+	Lo, Hi float64
+	Exact  bool
+}
+
+// TopK returns the k most probable answers of q using the multisimulation
+// method of Ré, Dalvi & Suciu: per-answer Karp–Luby confidence intervals
+// are refined only where needed to separate the top-k set, so most answers
+// are never computed precisely. The boolean result reports whether the
+// separation is provable at the estimators' confidence; false means the
+// boundary ranking used interval midpoints. Small lineages are computed
+// exactly. seed drives the samplers.
+func (d *Database) TopK(q *Query, k int, seed int64) ([]TopAnswer, bool, error) {
+	plan, err := query.SafePlan(q.q)
+	if err != nil {
+		order := make([]string, len(q.q.Atoms))
+		for i := range q.q.Atoms {
+			order[i] = q.q.Atoms[i].Pred
+		}
+		plan, err = query.LeftDeepPlan(q.q, order)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	g, err := engine.Ground(d.db, q.q, plan)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := topk.FromGrounding(g, topk.Options{K: k, Seed: seed})
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]TopAnswer, len(res.Top))
+	for i, a := range res.Top {
+		out[i] = TopAnswer{Vals: a.Vals, Lo: a.Lo, Hi: a.Hi, Exact: a.Exact}
+	}
+	return out, res.Separated, nil
+}
+
+// Evaluate runs the query with an automatically chosen plan: the safe plan
+// when the query is safe, otherwise the left-deep plan in body order.
+func (d *Database) Evaluate(q *Query, opts Options) (*Result, error) {
+	res, err := engine.EvaluateQuery(d.db, q.q, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+// CrossCheck evaluates the query with both the partial-lineage engine and
+// the independent DNF-lineage path and verifies the answers agree within
+// tol (default 1e-9 when tol <= 0). It returns the partial-lineage result.
+// Useful as a belt-and-braces mode for correctness-critical applications;
+// it costs roughly the sum of both strategies. Approximate fallbacks are
+// disabled, so intractable instances return an error rather than a
+// non-comparable estimate.
+func (d *Database) CrossCheck(q *Query, tol float64) (*Result, error) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	partial, err := d.Evaluate(q, Options{Strategy: PartialLineage, NoFallback: true})
+	if err != nil {
+		return nil, fmt.Errorf("pdb: cross-check partial lineage: %w", err)
+	}
+	dnf, err := d.Evaluate(q, Options{Strategy: DNFLineage, NoFallback: true})
+	if err != nil {
+		return nil, fmt.Errorf("pdb: cross-check DNF lineage: %w", err)
+	}
+	if len(partial.Rows) != len(dnf.Rows) {
+		return nil, fmt.Errorf("pdb: cross-check failed: %d vs %d answers", len(partial.Rows), len(dnf.Rows))
+	}
+	for _, row := range partial.Rows {
+		ref := dnf.Prob(row.Vals...)
+		if diff := row.P - ref; diff > tol || diff < -tol {
+			return nil, fmt.Errorf("pdb: cross-check failed on answer %v: %.12f vs %.12f", row.Vals, row.P, ref)
+		}
+	}
+	return partial, nil
+}
+
+// EvaluateWithPlan runs the query with an explicit plan.
+func (d *Database) EvaluateWithPlan(q *Query, p *Plan, opts Options) (*Result, error) {
+	res, err := engine.Evaluate(d.db, q.q, p.p, opts.engineOptions())
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+func wrapResult(res *engine.Result) *Result {
+	out := &Result{Attrs: res.Attrs, Stats: res.Stats, res: res}
+	for _, row := range res.Rows {
+		out.Rows = append(out.Rows, Row{Vals: row.Vals, P: row.P})
+	}
+	return out
+}

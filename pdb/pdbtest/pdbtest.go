@@ -1,0 +1,215 @@
+// Package pdbtest provides exhaustive reference implementations for
+// validating code built on pdb: possible-world enumeration and naive query
+// matching. They are exponential in the number of uncertain tuples and
+// intended for small test fixtures — the same methodology this repository's
+// own test suite uses to validate the engine.
+package pdbtest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/pdb"
+)
+
+// MaxUncertain bounds world enumeration (2^n worlds).
+const MaxUncertain = 22
+
+// Answers computes every answer's exact probability by enumerating the
+// database's possible worlds and matching the query naively in each world.
+// Keys are the answers' head values rendered with Key. The Boolean query's
+// single answer has the empty key.
+func Answers(db *pdb.Database, q *pdb.Query) (map[string]float64, error) {
+	text := q.String()
+	parsed, err := parseForMatching(text)
+	if err != nil {
+		return nil, err
+	}
+	type slot struct {
+		rel string
+		idx int
+		p   float64
+	}
+	rels := make(map[string][]pdb.Tuple)
+	var uncertain []slot
+	present := make(map[string][]bool)
+	for _, name := range db.Names() {
+		rel, err := db.Relation(name)
+		if err != nil {
+			return nil, err
+		}
+		ts := rel.Tuples()
+		rels[name] = ts
+		present[name] = make([]bool, len(ts))
+		for i, t := range ts {
+			switch {
+			case t.P >= 1:
+				present[name][i] = true
+			case t.P <= 0:
+				// never present
+			default:
+				uncertain = append(uncertain, slot{rel: name, idx: i, p: t.P})
+			}
+		}
+	}
+	if len(uncertain) > MaxUncertain {
+		return nil, fmt.Errorf("pdbtest: %d uncertain tuples exceeds limit %d", len(uncertain), MaxUncertain)
+	}
+	out := make(map[string]float64)
+	for mask := 0; mask < 1<<uint(len(uncertain)); mask++ {
+		w := 1.0
+		for b, s := range uncertain {
+			on := mask&(1<<uint(b)) != 0
+			present[s.rel][s.idx] = on
+			if on {
+				w *= s.p
+			} else {
+				w *= 1 - s.p
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		for _, key := range matchWorld(parsed, rels, present) {
+			out[key] += w
+		}
+	}
+	return out, nil
+}
+
+// BoolProb computes the exact probability of a Boolean query by world
+// enumeration.
+func BoolProb(db *pdb.Database, q *pdb.Query) (float64, error) {
+	answers, err := Answers(db, q)
+	if err != nil {
+		return 0, err
+	}
+	return answers[""], nil
+}
+
+// Key renders head values the way Answers keys its result map.
+func Key(vals ...pdb.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// parsed is a minimal query representation sufficient for naive matching.
+type parsed struct {
+	head  []string
+	atoms []atom
+}
+
+type atom struct {
+	pred string
+	args []term
+}
+
+type term struct {
+	varName string
+	lit     string // rendered constant when varName == ""
+}
+
+// parseForMatching re-parses the canonical query text emitted by
+// pdb.Query.String (already validated by pdb.ParseQuery).
+func parseForMatching(text string) (*parsed, error) {
+	headBody := strings.SplitN(text, ":-", 2)
+	if len(headBody) != 2 {
+		return nil, fmt.Errorf("pdbtest: malformed query %q", text)
+	}
+	p := &parsed{}
+	head := strings.TrimSpace(headBody[0])
+	if open := strings.IndexByte(head, '('); open >= 0 {
+		inner := strings.TrimSuffix(head[open+1:], ")")
+		for _, h := range strings.Split(inner, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				p.head = append(p.head, h)
+			}
+		}
+	}
+	body := strings.TrimSpace(headBody[1])
+	for len(body) > 0 {
+		open := strings.IndexByte(body, '(')
+		closeIdx := strings.IndexByte(body, ')')
+		if open < 0 || closeIdx < open {
+			return nil, fmt.Errorf("pdbtest: malformed body %q", body)
+		}
+		a := atom{pred: strings.TrimSpace(strings.TrimPrefix(body[:open], ","))}
+		for _, arg := range strings.Split(body[open+1:closeIdx], ",") {
+			arg = strings.TrimSpace(arg)
+			if arg == "" {
+				continue
+			}
+			if arg[0] == '_' || (arg[0] >= 'a' && arg[0] <= 'z') {
+				a.args = append(a.args, term{varName: arg})
+			} else {
+				a.args = append(a.args, term{lit: strings.Trim(arg, "'")})
+			}
+		}
+		p.atoms = append(p.atoms, a)
+		body = strings.TrimSpace(body[closeIdx+1:])
+		body = strings.TrimSpace(strings.TrimPrefix(body, ","))
+	}
+	return p, nil
+}
+
+// matchWorld returns the distinct head keys satisfied in the world.
+func matchWorld(p *parsed, rels map[string][]pdb.Tuple, present map[string][]bool) []string {
+	found := make(map[string]bool)
+	binding := make(map[string]string)
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(p.atoms) {
+			vals := make([]string, len(p.head))
+			for i, h := range p.head {
+				vals[i] = binding[h]
+			}
+			found[strings.Join(vals, " ")] = true
+			return
+		}
+		a := p.atoms[depth]
+		ts := rels[a.pred]
+		on := present[a.pred]
+		for i, t := range ts {
+			if !on[i] || len(t.Vals) != len(a.args) {
+				continue
+			}
+			ok := true
+			var newly []string
+			for j, arg := range a.args {
+				rendered := t.Vals[j].String()
+				if arg.varName == "" {
+					if rendered != arg.lit {
+						ok = false
+					}
+				} else if bound, has := binding[arg.varName]; has {
+					if bound != rendered {
+						ok = false
+					}
+				} else {
+					binding[arg.varName] = rendered
+					newly = append(newly, arg.varName)
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				rec(depth + 1)
+			}
+			for _, v := range newly {
+				delete(binding, v)
+			}
+		}
+	}
+	rec(0)
+	keys := make([]string, 0, len(found))
+	for k := range found {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

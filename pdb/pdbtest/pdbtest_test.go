@@ -1,0 +1,142 @@
+package pdbtest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/pdb"
+)
+
+// randomDB builds a small random triangle database through the public API.
+func randomDB(t *testing.T, rng *rand.Rand) *pdb.Database {
+	t.Helper()
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "a")
+	s := db.CreateRelation("S", "a", "b")
+	tt := db.CreateRelation("T", "b")
+	randP := func() float64 {
+		switch rng.Intn(4) {
+		case 0:
+			return 1
+		default:
+			return rng.Float64()
+		}
+	}
+	for x := int64(1); x <= 3; x++ {
+		if rng.Intn(3) > 0 {
+			if err := r.AddInts(randP(), x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(3) > 0 {
+			if err := tt.AddInts(randP(), x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for y := int64(1); y <= 3; y++ {
+			if rng.Intn(2) == 0 {
+				if err := s.AddInts(randP(), x, y); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return db
+}
+
+// TestAnswersMatchEngine is the package's purpose: the reference
+// implementation agrees with every engine strategy.
+func TestAnswersMatchEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, text := range []string{
+		"q :- R(a), S(a, b), T(b)",
+		"q(a) :- R(a), S(a, b), T(b)",
+		"q(b) :- S(a, b)",
+	} {
+		q, err := pdb.ParseQuery(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			db := randomDB(t, rng)
+			want, err := Answers(db, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, strat := range []pdb.Strategy{pdb.PartialLineage, pdb.DNFLineage} {
+				res, err := db.Evaluate(q, pdb.Options{Strategy: strat})
+				if err != nil {
+					t.Fatalf("%s trial %d: %v", text, trial, err)
+				}
+				if len(res.Rows) != len(want) {
+					t.Fatalf("%s trial %d (%v): %d answers, reference has %d",
+						text, trial, strat, len(res.Rows), len(want))
+				}
+				for _, row := range res.Rows {
+					ref := want[Key(row.Vals...)]
+					if math.Abs(row.P-ref) > 1e-9 {
+						t.Errorf("%s trial %d (%v): answer %v = %.12f, reference %.12f",
+							text, trial, strat, row.Vals, row.P, ref)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoolProb(t *testing.T) {
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "a")
+	if err := r.AddInts(0.25, 1); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := pdb.ParseQuery("q :- R(x)")
+	p, err := BoolProb(db, q)
+	if err != nil || math.Abs(p-0.25) > 1e-12 {
+		t.Errorf("BoolProb = %g, %v", p, err)
+	}
+}
+
+func TestConstantsInQueries(t *testing.T) {
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "a", "name")
+	if err := r.Add(0.5, pdb.Int(1), pdb.String("paris")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(0.5, pdb.Int(2), pdb.String("oslo")); err != nil {
+		t.Fatal(err)
+	}
+	q, err := pdb.ParseQuery("q(a) :- R(a, 'paris')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Answers(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 1 || math.Abs(want["1"]-0.5) > 1e-12 {
+		t.Errorf("Answers = %v", want)
+	}
+	res, err := db.Evaluate(q, pdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Prob(pdb.Int(1))-want["1"]) > 1e-12 {
+		t.Error("engine disagrees with reference on constant selection")
+	}
+}
+
+func TestUncertainLimit(t *testing.T) {
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "a")
+	for i := int64(0); i <= MaxUncertain; i++ {
+		if err := r.AddInts(0.5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, _ := pdb.ParseQuery("q :- R(x)")
+	if _, err := Answers(db, q); err == nil {
+		t.Error("oversized database accepted")
+	}
+}
