@@ -23,15 +23,20 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1, fig5, fig6, fig7 or all")
-		scaleName  = flag.String("scale", "small", "small or paper")
-		asJSON     = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline or all")
+		scaleName   = flag.String("scale", "small", "small or paper")
+		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget per evaluation, e.g. 30s (0 = none)")
+		benchOut    = flag.String("bench-out", "BENCH_pipeline.json", "file for the pipeline benchmark artifact")
 	)
 	flag.Parse()
 	sc, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
 		fatal(err)
 	}
+	sc.Parallelism = *parallelism
+	sc.Timeout = *timeout
 	emitJSON := func(ms []experiments.Measurement) {
 		type record struct {
 			Experiment string  `json:"experiment"`
@@ -101,12 +106,38 @@ func main() {
 			experiments.Print(os.Stdout,
 				fmt.Sprintf("Figure 7: varying the fraction of deterministic tuples, r_f=1 (scale=%s, per-group ms)", sc.Name), "r_d", ms)
 			fmt.Println()
+		case "pipeline":
+			points, err := experiments.PipelineBench(sc, *parallelism)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WritePipelineJSON(f, points); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Pipeline: serial vs parallel partial-lineage evaluation (scale=%s) ==\n", sc.Name)
+			fmt.Printf("%-6s %14s %14s %8s\n", "query", "serial (ns)", "parallel (ns)", "speedup")
+			for _, pt := range points {
+				if pt.Err != "" {
+					fmt.Printf("%-6s err: %s\n", pt.Query, pt.Err)
+					continue
+				}
+				fmt.Printf("%-6s %14d %14d %7.2fx\n", pt.Query, pt.SerialNs, pt.ParallelNs, pt.Speedup)
+			}
+			fmt.Println("pipeline benchmark written to", *benchOut)
+			fmt.Println()
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7"} {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline"} {
 			run(name)
 		}
 		return

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,9 @@ func main() {
 		order     = flag.String("order", "", "comma-separated left-deep join order (default: safe plan if the query is safe, else body order)")
 		strategy  = flag.String("strategy", "partial", "evaluation strategy: partial, safe, network, dnf, mc")
 		samples   = flag.Int("samples", 100000, "samples for mc and the approximate fallback")
-		parallel  = flag.Int("parallel", 1, "goroutines for per-answer probability computation")
+		parallel  = flag.Int("parallel", 1, "deprecated alias for -parallelism")
+		workers   = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 = use -parallel; results are identical to sequential)")
+		timeout   = flag.Duration("timeout", 0, "abort the evaluation after this wall-clock duration, e.g. 30s (0 = none)")
 		width     = flag.Int("width", 0, "exact-inference width cap (0 = default)")
 		seed      = flag.Int64("seed", 1, "sampler seed")
 		showPlan  = flag.Bool("plan", false, "print the physical plan before running")
@@ -59,7 +62,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: *parallel, Trace: *trace}
+	par := *workers
+	if par == 0 {
+		par = *parallel
+	}
+	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *sqlOut != "" {
 		text, err := pdb.GenerateSQL(q, strings.Split(*order, ","))
@@ -84,7 +97,7 @@ func main() {
 		if *showPlan {
 			fmt.Println("plan:", best.Plan)
 		}
-		res, err = db.EvaluateWithPlan(q, best.Plan, opts)
+		res, err = db.EvaluateWithPlanContext(ctx, q, best.Plan, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +109,7 @@ func main() {
 		if *showPlan {
 			fmt.Println("plan:", plan)
 		}
-		res, err = db.EvaluateWithPlan(q, plan, opts)
+		res, err = db.EvaluateWithPlanContext(ctx, q, plan, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -108,7 +121,7 @@ func main() {
 				fmt.Println("plan: left-deep in body order (query is unsafe:", err, ")")
 			}
 		}
-		res, err = db.Evaluate(q, opts)
+		res, err = db.EvaluateContext(ctx, q, opts)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file defines ExecContext, the execution context threaded through the
+// whole evaluation stack (pl operators, engine executor, inference, lineage
+// solvers). It bundles four concerns that previously lived in ad-hoc fields
+// scattered across layers:
+//
+//   - cancellation: a context.Context polled at operator boundaries and,
+//     cheaply, inside inner loops (CheckInterval);
+//   - budgets: caps on emitted rows, network growth and wall time, so a
+//     phase-transition instance degrades with a typed error instead of
+//     wedging the process;
+//   - parallelism: the worker count intra-operator pipelines (partitioned
+//     Join/Dedup) and per-answer inference fan-out may use;
+//   - statistics: the per-operator trace sink (OpStat) with nested own-time
+//     accounting, replacing the executor's childTime/childNodes fields.
+//
+// All methods are safe on a nil receiver and behave like an unbounded
+// background context, so deep layers can accept an *ExecContext
+// unconditionally and legacy entry points can pass nil.
+
+// Budget caps the resources one evaluation may consume. Zero fields mean
+// unlimited.
+type Budget struct {
+	// Rows bounds the total number of tuples emitted by relational
+	// operators (an anti-blow-up guard for wide joins).
+	Rows int64
+	// Nodes bounds the number of AND-OR network nodes grown during plan
+	// execution.
+	Nodes int64
+	// Time bounds the evaluation's wall time, measured from the
+	// ExecContext's construction.
+	Time time.Duration
+}
+
+// Unlimited reports whether every budget dimension is unbounded.
+func (b Budget) Unlimited() bool { return b.Rows <= 0 && b.Nodes <= 0 && b.Time <= 0 }
+
+// ErrRowBudget is returned (wrapped) when an evaluation exceeds Budget.Rows.
+var ErrRowBudget = errors.New("core: row budget exceeded")
+
+// ErrNodeBudget is returned (wrapped) when an evaluation exceeds
+// Budget.Nodes.
+var ErrNodeBudget = errors.New("core: network-node budget exceeded")
+
+// CheckInterval is the stride at which tight inner loops (join probes,
+// elimination steps, Shannon expansions, Monte-Carlo samples) poll
+// cancellation: cheap enough to be negligible, frequent enough that a
+// cancelled evaluation returns promptly.
+const CheckInterval = 1024
+
+// ExecContext carries cancellation, budgets, the parallelism grant and the
+// operator-statistics sink of one evaluation. Construct with NewExecContext;
+// the zero value is not usable but a nil *ExecContext is (it behaves as an
+// unbounded background context).
+//
+// Charge and Err are safe for concurrent use; the operator-trace methods
+// (StartOp/FinishOp) are not — operators nest, they do not interleave.
+type ExecContext struct {
+	ctx         context.Context
+	budget      Budget
+	start       time.Time
+	deadline    time.Time // zero when Budget.Time is unlimited
+	parallelism int
+
+	rows  atomic.Int64
+	nodes atomic.Int64
+
+	mu  sync.Mutex
+	ops []OpStat
+	// Trace accumulators: total own time and network growth of completed
+	// operators within the currently executing subtree, so FinishOp can
+	// subtract children from the enclosing operator's totals.
+	childTime  time.Duration
+	childNodes int
+
+	tracing bool
+}
+
+// ExecConfig parameterizes NewExecContext.
+type ExecConfig struct {
+	// Budget caps rows, network nodes and wall time (zero = unlimited).
+	Budget Budget
+	// Parallelism is the worker count granted to parallel operator
+	// pipelines and per-answer inference (<= 1 means sequential).
+	Parallelism int
+	// Trace enables the per-operator statistics sink.
+	Trace bool
+}
+
+// NewExecContext wraps ctx for one evaluation. A nil ctx means
+// context.Background().
+func NewExecContext(ctx context.Context, cfg ExecConfig) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := &ExecContext{
+		ctx:         ctx,
+		budget:      cfg.Budget,
+		start:       time.Now(),
+		parallelism: cfg.Parallelism,
+		tracing:     cfg.Trace,
+	}
+	if cfg.Budget.Time > 0 {
+		e.deadline = e.start.Add(cfg.Budget.Time)
+	}
+	return e
+}
+
+// Context returns the wrapped context.Context (context.Background() on a
+// nil receiver).
+func (e *ExecContext) Context() context.Context {
+	if e == nil || e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// Parallelism returns the granted worker count, never below 1.
+func (e *ExecContext) Parallelism() int {
+	if e == nil || e.parallelism < 1 {
+		return 1
+	}
+	return e.parallelism
+}
+
+// Tracing reports whether the per-operator statistics sink is enabled.
+func (e *ExecContext) Tracing() bool { return e != nil && e.tracing }
+
+// Err reports why the evaluation should stop: the wrapped context's error,
+// or context.DeadlineExceeded past the time budget. It is cheap (one atomic
+// context poll, one clock read when a time budget is set) and safe to call
+// from concurrent workers.
+func (e *ExecContext) Err() error {
+	if e == nil {
+		return nil
+	}
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// ChargeRows adds n emitted rows against the row budget, returning a wrapped
+// ErrRowBudget once the total exceeds it.
+func (e *ExecContext) ChargeRows(n int) error {
+	if e == nil || e.budget.Rows <= 0 {
+		return nil
+	}
+	if total := e.rows.Add(int64(n)); total > e.budget.Rows {
+		return fmt.Errorf("%w (%d rows emitted, budget %d)", ErrRowBudget, total, e.budget.Rows)
+	}
+	return nil
+}
+
+// ChargeNodes adds n grown network nodes against the node budget, returning
+// a wrapped ErrNodeBudget once the total exceeds it.
+func (e *ExecContext) ChargeNodes(n int) error {
+	if e == nil || e.budget.Nodes <= 0 {
+		return nil
+	}
+	if total := e.nodes.Add(int64(n)); total > e.budget.Nodes {
+		return fmt.Errorf("%w (%d nodes grown, budget %d)", ErrNodeBudget, total, e.budget.Nodes)
+	}
+	return nil
+}
+
+// RowsCharged returns the rows charged so far.
+func (e *ExecContext) RowsCharged() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.rows.Load()
+}
+
+// NodesCharged returns the network nodes charged so far.
+func (e *ExecContext) NodesCharged() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.nodes.Load()
+}
+
+// RecordOp appends one operator's statistics to the trace sink. It is a
+// no-op when tracing is disabled.
+func (e *ExecContext) RecordOp(s OpStat) {
+	if e == nil || !e.tracing {
+		return
+	}
+	e.mu.Lock()
+	e.ops = append(e.ops, s)
+	e.mu.Unlock()
+}
+
+// Ops returns the recorded operator trace in completion (post-) order.
+func (e *ExecContext) Ops() []OpStat {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]OpStat(nil), e.ops...)
+}
+
+// OpSpan is the token returned by StartOp, closed by FinishOp.
+type OpSpan struct {
+	start       time.Time
+	nodes0      int
+	parentTime  time.Duration
+	parentNodes int
+}
+
+// StartOp opens a trace span for one operator about to run; nodesNow is the
+// network size before it. Spans nest (an operator's children open and close
+// their spans inside it) and must not interleave across goroutines. On a
+// nil receiver or with tracing disabled the span is inert.
+func (e *ExecContext) StartOp(nodesNow int) OpSpan {
+	if e == nil || !e.tracing {
+		return OpSpan{}
+	}
+	span := OpSpan{
+		start:       time.Now(),
+		nodes0:      nodesNow,
+		parentTime:  e.childTime,
+		parentNodes: e.childNodes,
+	}
+	e.childTime, e.childNodes = 0, 0
+	return span
+}
+
+// FinishOp closes a span, recording an OpStat whose time and network growth
+// exclude the operator's children (which reported their totals through the
+// accumulators while the span was open). op renders the operator and rows is
+// its output cardinality; when failed is true nothing is recorded but the
+// accumulators are still restored.
+func (e *ExecContext) FinishOp(span OpSpan, nodesNow int, op string, rows int, failed bool) {
+	if e == nil || !e.tracing {
+		return
+	}
+	total := time.Since(span.start)
+	grown := nodesNow - span.nodes0
+	if !failed {
+		e.RecordOp(OpStat{
+			Op:            op,
+			Rows:          rows,
+			NetworkGrowth: grown - e.childNodes,
+			Time:          total - e.childTime,
+		})
+	}
+	e.childTime = span.parentTime + total
+	e.childNodes = span.parentNodes + grown
+}
+
+// Check is a stride counter for tight inner loops: Tick returns a non-nil
+// error at most once every CheckInterval calls (and always reports the
+// first error it saw). The zero value is ready to use with the enclosing
+// ExecContext:
+//
+//	chk := core.Check{EC: ec}
+//	for ... {
+//		if err := chk.Tick(); err != nil { return err }
+//		...
+//	}
+type Check struct {
+	EC *ExecContext
+	n  int
+	// Every overrides the polling stride (0 = CheckInterval).
+	Every int
+}
+
+// Tick counts one loop iteration, polling the context every stride-th call.
+func (c *Check) Tick() error {
+	c.n++
+	every := c.Every
+	if every <= 0 {
+		every = CheckInterval
+	}
+	if c.n%every != 0 {
+		return nil
+	}
+	return c.EC.Err()
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilExecContextIsUnbounded(t *testing.T) {
+	var ec *ExecContext
+	if err := ec.Err(); err != nil {
+		t.Errorf("nil Err = %v", err)
+	}
+	if err := ec.ChargeRows(1 << 30); err != nil {
+		t.Errorf("nil ChargeRows = %v", err)
+	}
+	if err := ec.ChargeNodes(1 << 30); err != nil {
+		t.Errorf("nil ChargeNodes = %v", err)
+	}
+	if got := ec.Parallelism(); got != 1 {
+		t.Errorf("nil Parallelism = %d, want 1", got)
+	}
+	if ec.Tracing() {
+		t.Error("nil Tracing = true")
+	}
+	if ec.Context() == nil {
+		t.Error("nil Context = nil")
+	}
+	ec.RecordOp(OpStat{Op: "x"})
+	if ops := ec.Ops(); ops != nil {
+		t.Errorf("nil Ops = %v", ops)
+	}
+	span := ec.StartOp(0)
+	ec.FinishOp(span, 0, "x", 0, false)
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ec := NewExecContext(ctx, ExecConfig{})
+	if err := ec.Err(); err != nil {
+		t.Fatalf("Err before cancel = %v", err)
+	}
+	cancel()
+	if err := ec.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecContextTimeBudget(t *testing.T) {
+	ec := NewExecContext(context.Background(), ExecConfig{Budget: Budget{Time: time.Nanosecond}})
+	time.Sleep(time.Millisecond)
+	if err := ec.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err past time budget = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestExecContextRowBudget(t *testing.T) {
+	ec := NewExecContext(context.Background(), ExecConfig{Budget: Budget{Rows: 10}})
+	if err := ec.ChargeRows(10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := ec.ChargeRows(1)
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("over budget err = %v, want ErrRowBudget", err)
+	}
+	if got := ec.RowsCharged(); got != 11 {
+		t.Errorf("RowsCharged = %d, want 11", got)
+	}
+}
+
+func TestExecContextNodeBudget(t *testing.T) {
+	ec := NewExecContext(context.Background(), ExecConfig{Budget: Budget{Nodes: 2}})
+	if err := ec.ChargeNodes(2); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := ec.ChargeNodes(1); !errors.Is(err, ErrNodeBudget) {
+		t.Fatalf("over budget err = %v, want ErrNodeBudget", err)
+	}
+}
+
+func TestExecContextTraceNesting(t *testing.T) {
+	ec := NewExecContext(context.Background(), ExecConfig{Trace: true})
+	nodes := 0
+	outer := ec.StartOp(nodes)
+	{
+		inner := ec.StartOp(nodes)
+		nodes += 3 // the child grows the network by 3
+		ec.FinishOp(inner, nodes, "child", 5, false)
+	}
+	nodes += 2 // the parent grows it by 2 more
+	ec.FinishOp(outer, nodes, "parent", 7, false)
+
+	ops := ec.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("recorded %d ops, want 2", len(ops))
+	}
+	if ops[0].Op != "child" || ops[0].Rows != 5 || ops[0].NetworkGrowth != 3 {
+		t.Errorf("child stat = %+v", ops[0])
+	}
+	// The parent's own growth excludes the child's.
+	if ops[1].Op != "parent" || ops[1].Rows != 7 || ops[1].NetworkGrowth != 2 {
+		t.Errorf("parent stat = %+v", ops[1])
+	}
+}
+
+func TestExecContextTraceFailedOp(t *testing.T) {
+	ec := NewExecContext(context.Background(), ExecConfig{Trace: true})
+	span := ec.StartOp(0)
+	ec.FinishOp(span, 1, "boom", 0, true)
+	if ops := ec.Ops(); len(ops) != 0 {
+		t.Errorf("failed op recorded: %v", ops)
+	}
+}
+
+func TestCheckTick(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ec := NewExecContext(ctx, ExecConfig{})
+	cancel()
+	chk := Check{EC: ec, Every: 8}
+	var err error
+	calls := 0
+	for err == nil && calls < 100 {
+		calls++
+		err = chk.Tick()
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Tick err = %v", err)
+	}
+	if calls != 8 {
+		t.Errorf("error surfaced after %d ticks, want 8 (the stride)", calls)
+	}
+}
+
+func TestBudgetUnlimited(t *testing.T) {
+	if !(Budget{}).Unlimited() {
+		t.Error("zero Budget not unlimited")
+	}
+	if (Budget{Rows: 1}).Unlimited() || (Budget{Nodes: 1}).Unlimited() || (Budget{Time: 1}).Unlimited() {
+		t.Error("bounded Budget reported unlimited")
+	}
+}

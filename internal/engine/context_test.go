@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Tests for the ExecContext plumbing: cancellation mid-plan, mid-VE and
+// mid-sampling, budget enforcement, and parallel-vs-serial determinism.
+
+// heavyDatabase builds R(x), S(x,y), T(y) with every tuple uncertain at
+// p = 0.5 — for dom around 14 this is the Fig. 6 phase-transition regime
+// where exact inference runs essentially forever, which is exactly what a
+// cancellation test needs.
+func heavyDatabase(dom int) *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	tt := relation.New("T", "b")
+	s := relation.New("S", "a", "b")
+	for x := 1; x <= dom; x++ {
+		r.MustAdd(tuple.Ints(int64(x)), 0.5)
+		tt.MustAdd(tuple.Ints(int64(x)), 0.5)
+		for y := 1; y <= dom; y++ {
+			s.MustAdd(tuple.Ints(int64(x), int64(y)), 0.5)
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	db.AddRelation(tt)
+	return db
+}
+
+func unsafePlan(t *testing.T) (*query.Query, *query.Plan) {
+	t.Helper()
+	q := query.MustParse("q :- R(a), S(a, b), T(b)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S", "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, plan
+}
+
+// TestEvaluateContextCancelledBeforeStart: a context cancelled before the
+// call surfaces context.Canceled from every strategy.
+func TestEvaluateContextCancelledBeforeStart(t *testing.T) {
+	db := heavyDatabase(4)
+	q, plan := unsafePlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, strat := range []core.Strategy{
+		core.PartialLineage, core.SafePlanOnly, core.FullNetwork,
+		core.DNFLineage, core.MonteCarlo,
+	} {
+		_, err := EvaluateContext(ctx, db, q, plan, Options{Strategy: strat})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", strat, err)
+		}
+	}
+}
+
+// TestEvaluateContextCancelMidInference: on a phase-transition instance,
+// exact inference would run essentially forever; cancelling shortly after
+// the start must return context.Canceled within one check interval, not
+// after the inference completes.
+func TestEvaluateContextCancelMidInference(t *testing.T) {
+	db := heavyDatabase(14)
+	q, plan := unsafePlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := EvaluateContext(ctx, db, q, plan, Options{
+		Strategy: core.PartialLineage,
+		Samples:  1 << 30, // the sampling fallback alone would take minutes
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEvaluateContextCancelMidSampling: the MonteCarlo strategy's Karp–Luby
+// loop polls cancellation every core.CheckInterval samples.
+func TestEvaluateContextCancelMidSampling(t *testing.T) {
+	db := heavyDatabase(6)
+	q, plan := unsafePlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := EvaluateContext(ctx, db, q, plan, Options{
+		Strategy: core.MonteCarlo,
+		Samples:  1 << 30,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEvaluateContextTimeBudget: Options.Budget.Time bounds the evaluation's
+// wall clock, surfacing context.DeadlineExceeded.
+func TestEvaluateContextTimeBudget(t *testing.T) {
+	db := heavyDatabase(14)
+	q, plan := unsafePlan(t)
+	start := time.Now()
+	_, err := Evaluate(db, q, plan, Options{
+		Strategy: core.PartialLineage,
+		Samples:  1 << 30,
+		Budget:   core.Budget{Time: 50 * time.Millisecond},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("time budget enforced after %v, want prompt return", elapsed)
+	}
+}
+
+// TestEvaluateContextRowBudget: a join blow-up is stopped by Budget.Rows
+// instead of materializing.
+func TestEvaluateContextRowBudget(t *testing.T) {
+	db := heavyDatabase(10)
+	q, plan := unsafePlan(t)
+	_, err := Evaluate(db, q, plan, Options{
+		Strategy: core.PartialLineage,
+		Budget:   core.Budget{Rows: 20},
+	})
+	if !errors.Is(err, core.ErrRowBudget) {
+		t.Fatalf("err = %v, want core.ErrRowBudget", err)
+	}
+}
+
+// TestEvaluateContextNodeBudget: network growth is stopped by Budget.Nodes.
+func TestEvaluateContextNodeBudget(t *testing.T) {
+	db := heavyDatabase(10)
+	q, plan := unsafePlan(t)
+	_, err := Evaluate(db, q, plan, Options{
+		Strategy: core.FullNetwork,
+		Budget:   core.Budget{Nodes: 10},
+	})
+	if !errors.Is(err, core.ErrNodeBudget) {
+		t.Fatalf("err = %v, want core.ErrNodeBudget", err)
+	}
+}
+
+// TestEvaluateParallelMatchesSerial: Parallelism changes neither answers nor
+// the network — probabilities are bit-identical (exact paths) and the
+// deterministic per-answer seeding keeps approximate paths identical too.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	q, plan := unsafePlan(t)
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 5; trial++ {
+		db := randomDatabase(rng, 3)
+		for _, strat := range []core.Strategy{core.PartialLineage, core.FullNetwork, core.DNFLineage, core.MonteCarlo} {
+			serial, err := Evaluate(db, q, plan, Options{Strategy: strat, Samples: 2000})
+			if err != nil {
+				t.Fatalf("trial %d (%v) serial: %v", trial, strat, err)
+			}
+			par, err := Evaluate(db, q, plan, Options{Strategy: strat, Samples: 2000, Parallelism: 4})
+			if err != nil {
+				t.Fatalf("trial %d (%v) parallel: %v", trial, strat, err)
+			}
+			if len(serial.Rows) != len(par.Rows) {
+				t.Fatalf("trial %d (%v): %d rows serial, %d parallel", trial, strat, len(serial.Rows), len(par.Rows))
+			}
+			for i := range serial.Rows {
+				if !serial.Rows[i].Vals.Equal(par.Rows[i].Vals) || serial.Rows[i].P != par.Rows[i].P {
+					t.Errorf("trial %d (%v): row %d serial %v=%v, parallel %v=%v",
+						trial, strat, i, serial.Rows[i].Vals, serial.Rows[i].P, par.Rows[i].Vals, par.Rows[i].P)
+				}
+			}
+			if serial.Net != nil && par.Net != nil && serial.Net.Len() != par.Net.Len() {
+				t.Errorf("trial %d (%v): network %d nodes serial, %d parallel", trial, strat, serial.Net.Len(), par.Net.Len())
+			}
+		}
+	}
+}
+
+// TestTraceThroughExecContext: Options.Trace still yields the per-operator
+// trace, now recorded through the ExecContext's sink.
+func TestTraceThroughExecContext(t *testing.T) {
+	db := heavyDatabase(3)
+	q, plan := unsafePlan(t)
+	res, err := Evaluate(db, q, plan, Options{Strategy: core.PartialLineage, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Operators) == 0 {
+		t.Fatal("no operator trace recorded")
+	}
+	// The plan has 3 scans, 2 joins and (for a Boolean query) projections:
+	// at least 5 operators, in post-order, with non-negative own stats.
+	if len(res.Stats.Operators) < 5 {
+		t.Errorf("trace has %d operators, want >= 5", len(res.Stats.Operators))
+	}
+	for _, op := range res.Stats.Operators {
+		if op.Time < 0 || op.NetworkGrowth < 0 {
+			t.Errorf("operator %q has negative own stats: %+v", op.Op, op)
+		}
+	}
+}

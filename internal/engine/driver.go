@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the strategy-independent pipeline driver. All five strategies
+// evaluate in the same shape — a build stage that executes the plan (over
+// pL-relations or by full grounding) and yields n independent answer jobs,
+// an inference stage that computes each job's confidence on the execution
+// context's worker pool, and an assemble stage that folds the confidences
+// into result rows. runPipeline owns the timing and error discipline of that
+// shape; evalNetwork and evalLineage supply only the strategy-specific
+// stages instead of each carrying its own worker-pool and bookkeeping loops.
+
+// confidence is the outcome of one answer job: a probability plus the
+// inference-cost metadata the statistics track.
+type confidence struct {
+	p           float64
+	width, vars int
+	approx      bool
+	err         error
+}
+
+// runPipeline drives one evaluation: build (timed into Stats.PlanTime)
+// returns the number of independent inference jobs; infer computes job i
+// (timed into Stats.InferenceTime, fanned out on ec's workers); assemble
+// folds the job outcomes into res. A build returning 0 jobs skips straight
+// to assemble with an empty slice (e.g. SkipInference, or every answer
+// extensional).
+func runPipeline(ec *core.ExecContext, res *Result,
+	build func() (int, error),
+	infer func(i int) confidence,
+	assemble func(conf []confidence) error) error {
+	var n int
+	if err := timed(&res.Stats.PlanTime, func() error {
+		var err error
+		n, err = build()
+		return err
+	}); err != nil {
+		return err
+	}
+	conf := make([]confidence, n)
+	if n > 0 {
+		if err := timed(&res.Stats.InferenceTime, func() error {
+			return forEach(ec, n, func(i int) { conf[i] = infer(i) })
+		}); err != nil {
+			return err
+		}
+	}
+	for i := range conf {
+		if conf[i].err != nil {
+			return conf[i].err
+		}
+	}
+	return assemble(conf)
+}
+
+// forEach runs f(0..n-1) on min(ec.Parallelism(), n) workers, polling
+// cancellation between jobs so a cancelled evaluation stops feeding work.
+// f must handle its own errors (confidence.err); forEach only reports the
+// context's.
+func forEach(ec *core.ExecContext, n int, f func(i int)) error {
+	workers := ec.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ec.Err(); err != nil {
+				return err
+			}
+			f(i)
+		}
+		return nil
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		if err = ec.Err(); err != nil {
+			break
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return err
+}
+
+// timed runs f and adds its duration to *d.
+func timed(d *time.Duration, f func() error) error {
+	start := time.Now()
+	err := f()
+	*d += time.Since(start)
+	return err
+}

@@ -7,11 +7,10 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
-	"time"
 
 	"repro/internal/aonet"
 	"repro/internal/core"
@@ -41,12 +40,19 @@ type Options struct {
 	// answer before the sampling fallback engages. Zero means the default
 	// of 500000; negative means unlimited.
 	ExactBudget int
-	// Parallelism is the number of goroutines computing per-answer
-	// probabilities (inference or lineage confidence). Answers are
-	// independent, so this scales near-linearly. 0 or 1 means sequential;
-	// results are deterministic either way (approximate paths derive their
-	// seed from Seed and the answer identity).
+	// Parallelism is the number of goroutines granted to the evaluation:
+	// per-answer probability computations (inference or lineage confidence)
+	// fan out across it, and the pL Join/Dedup operators partition their
+	// hash tables over it. Answers are independent, so inference scales
+	// near-linearly; the parallel operators are byte-identical to serial.
+	// 0 or 1 means sequential; results are deterministic either way
+	// (approximate paths derive their seed from Seed and the answer
+	// identity).
 	Parallelism int
+	// Budget caps the rows emitted, network nodes grown and wall time of
+	// one evaluation (zero fields = unlimited); exceeding it surfaces
+	// core.ErrRowBudget, core.ErrNodeBudget or context.DeadlineExceeded.
+	Budget core.Budget
 	// SkipInference stops the network strategies after plan execution: the
 	// result carries statistics (offending tuples, network size) but no
 	// rows. Used by the data-aware plan optimizer to cost candidate plans.
@@ -144,18 +150,32 @@ func (r *Result) Prob(vals tuple.Tuple) float64 {
 
 // Evaluate runs the plan (which must be a plan for q) against db under the
 // chosen strategy. The plan's scans identify relations by predicate name.
+// It is EvaluateContext with a background context.
 func Evaluate(db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
+	return EvaluateContext(context.Background(), db, q, plan, opts)
+}
+
+// EvaluateContext is Evaluate under a context: cancelling ctx (or exceeding
+// Options.Budget) aborts the evaluation promptly — operators, exact
+// inference and sampling all poll it at least every core.CheckInterval
+// steps.
+func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	ec := core.NewExecContext(ctx, core.ExecConfig{
+		Budget:      opts.Budget,
+		Parallelism: opts.Parallelism,
+		Trace:       opts.Trace,
+	})
 	switch opts.Strategy {
 	case core.PartialLineage, core.SafePlanOnly, core.FullNetwork:
-		return evalNetwork(db, plan, opts)
+		return evalNetwork(ec, db, plan, opts)
 	case core.DNFLineage, core.MonteCarlo:
 		if len(opts.Evidence) > 0 {
 			return nil, fmt.Errorf("engine: evidence conditioning requires a network strategy")
 		}
-		return evalLineage(db, q, plan, opts)
+		return evalLineage(ec, db, q, plan, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
 	}
@@ -164,6 +184,11 @@ func Evaluate(db *relation.Database, q *query.Query, plan *query.Plan, opts Opti
 // EvaluateQuery is Evaluate with a plan derived from the query: the safe
 // plan when one exists, otherwise the left-deep plan in body order.
 func EvaluateQuery(db *relation.Database, q *query.Query, opts Options) (*Result, error) {
+	return EvaluateQueryContext(context.Background(), db, q, opts)
+}
+
+// EvaluateQueryContext is EvaluateQuery under a context.
+func EvaluateQueryContext(ctx context.Context, db *relation.Database, q *query.Query, opts Options) (*Result, error) {
 	plan, err := query.SafePlan(q)
 	if err != nil {
 		order := make([]string, len(q.Atoms))
@@ -175,91 +200,7 @@ func EvaluateQuery(db *relation.Database, q *query.Query, opts Options) (*Result
 			return nil, err
 		}
 	}
-	return Evaluate(db, q, plan, opts)
-}
-
-// marginals computes the answer probability of every row of the final
-// pL-relation. Distinct lineage nodes are computed once each — in parallel
-// when Options.Parallelism > 1 — and the rows are assembled in input order.
-func marginals(res *Result, final []finalTuple, opts Options, evidence map[aonet.NodeID]bool) error {
-	var distinct []aonet.NodeID
-	seen := make(map[aonet.NodeID]bool)
-	for _, ft := range final {
-		if ft.lin != aonet.Epsilon && !seen[ft.lin] {
-			seen[ft.lin] = true
-			distinct = append(distinct, ft.lin)
-		}
-	}
-	results := make(map[aonet.NodeID]marginalResult, len(distinct))
-	compute := func(lin aonet.NodeID) marginalResult {
-		return answerMarginal(res.Net, lin, opts, evidence)
-	}
-	if opts.Parallelism > 1 && len(distinct) > 1 {
-		type job struct {
-			lin aonet.NodeID
-			res marginalResult
-		}
-		jobs := make(chan aonet.NodeID)
-		out := make(chan job, len(distinct))
-		var wg sync.WaitGroup
-		workers := opts.Parallelism
-		if workers > len(distinct) {
-			workers = len(distinct)
-		}
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for lin := range jobs {
-					out <- job{lin: lin, res: compute(lin)}
-				}
-			}()
-		}
-		for _, lin := range distinct {
-			jobs <- lin
-		}
-		close(jobs)
-		wg.Wait()
-		close(out)
-		for j := range out {
-			results[j.lin] = j.res
-		}
-	} else {
-		for _, lin := range distinct {
-			results[lin] = compute(lin)
-		}
-	}
-	for _, lin := range distinct {
-		r := results[lin]
-		if r.err != nil {
-			return r.err
-		}
-		if r.width > res.Stats.InferenceWidth {
-			res.Stats.InferenceWidth = r.width
-		}
-		if r.vars > res.Stats.InferenceVars {
-			res.Stats.InferenceVars = r.vars
-		}
-		if r.approx {
-			res.Stats.Approximate = true
-		}
-	}
-	for _, ft := range final {
-		p := ft.p
-		if ft.lin != aonet.Epsilon {
-			p *= results[ft.lin].p
-		}
-		res.Rows = append(res.Rows, Row{Vals: ft.vals, P: p})
-	}
-	return nil
-}
-
-// marginalResult is the outcome of one lineage node's marginal computation.
-type marginalResult struct {
-	p           float64
-	width, vars int
-	approx      bool
-	err         error
+	return EvaluateContext(ctx, db, q, plan, opts)
 }
 
 // answerMarginal computes one lineage node's marginal. Exact paths, in
@@ -271,67 +212,67 @@ type marginalResult struct {
 // unless NoFallback is set, in which case the tractability error surfaces.
 // It only reads the network, so it is safe to run concurrently; the
 // approximate paths seed deterministically from Options.Seed and the node.
-func answerMarginal(net *aonet.Network, lin aonet.NodeID, opts Options, evidence map[aonet.NodeID]bool) marginalResult {
+// Cancellation and budget errors from ec surface through confidence.err.
+func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, opts Options, evidence map[aonet.NodeID]bool) confidence {
 	var expanded *lineage.DNF
 	var expandedProbs []float64
 	if len(evidence) > 0 {
 		// Conditional marginals go through the network backends: variable
 		// elimination with the evidence pinned, then rejection sampling.
-		r, err := inference.ExactGiven(net, lin, evidence, opts.Inference)
+		r, err := inference.ExactGivenCtx(ec, net, lin, evidence, opts.Inference)
 		if err == nil {
-			return marginalResult{p: r.P, width: r.Width, vars: r.Vars}
+			return confidence{p: r.P, width: r.Width, vars: r.Vars}
 		}
 		if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
-			return marginalResult{err: err}
+			return confidence{err: err}
 		}
 		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
-		p, err := inference.MonteCarloGiven(net, lin, evidence, opts.samples(), rng)
+		p, err := inference.MonteCarloGivenCtx(ec, net, lin, evidence, opts.samples(), rng)
 		if err != nil {
-			return marginalResult{err: err}
+			return confidence{err: err}
 		}
-		return marginalResult{p: p, approx: true}
+		return confidence{p: p, approx: true}
 	}
 	if !opts.NoExpansion {
 		f, probs, err := inference.ExpandDNF(net, lin, 0)
 		switch {
 		case err == nil:
-			p, err := lineage.ProbBudget(f, func(v lineage.Var) float64 { return probs[v] }, opts.exactBudget())
+			p, err := lineage.ProbBudgetCtx(ec, f, func(v lineage.Var) float64 { return probs[v] }, opts.exactBudget())
 			if err == nil {
-				return marginalResult{p: p}
+				return confidence{p: p}
 			}
 			if !errors.Is(err, lineage.ErrBudget) {
-				return marginalResult{err: err}
+				return confidence{err: err}
 			}
 			expanded, expandedProbs = f, probs
 		case !errors.Is(err, inference.ErrExpansion):
-			return marginalResult{err: err}
+			return confidence{err: err}
 		}
 	}
-	r, err := inference.Exact(net, lin, opts.Inference)
+	r, err := inference.ExactCtx(ec, net, lin, opts.Inference)
 	if err == nil {
-		return marginalResult{p: r.P, width: r.Width, vars: r.Vars}
+		return confidence{p: r.P, width: r.Width, vars: r.Vars}
 	}
 	if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
-		return marginalResult{err: err}
+		return confidence{err: err}
 	}
 	rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
 	if expanded != nil {
-		p := lineage.KarpLuby(expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.samples(), rng)
-		return marginalResult{p: p, approx: true}
+		p, err := lineage.KarpLubyCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.samples(), rng)
+		if err != nil {
+			return confidence{err: err}
+		}
+		return confidence{p: p, approx: true}
 	}
-	return marginalResult{p: inference.MonteCarlo(net, lin, opts.samples(), rng), approx: true}
+	p, err := inference.MonteCarloCtx(ec, net, lin, opts.samples(), rng)
+	if err != nil {
+		return confidence{err: err}
+	}
+	return confidence{p: p, approx: true}
 }
 
 type finalTuple struct {
 	vals tuple.Tuple
 	p    float64
 	lin  aonet.NodeID
-}
-
-// timed runs f and adds its duration to *d.
-func timed(d *time.Duration, f func() error) error {
-	start := time.Now()
-	err := f()
-	*d += time.Since(start)
-	return err
 }

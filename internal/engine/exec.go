@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/aonet"
 	"repro/internal/core"
@@ -14,11 +13,13 @@ import (
 
 // evalNetwork executes the plan over pL-relations (the SafePlanOnly,
 // PartialLineage and FullNetwork strategies) and runs inference on the
-// resulting partial-lineage network.
-func evalNetwork(db *relation.Database, plan *query.Plan, opts Options) (*Result, error) {
+// resulting partial-lineage network, through the shared pipeline driver:
+// build = plan execution, one inference job per distinct lineage node,
+// assemble = row materialization in plan-output order.
+func evalNetwork(ec *core.ExecContext, db *relation.Database, plan *query.Plan, opts Options) (*Result, error) {
 	res := &Result{Attrs: plan.Attrs(), Net: aonet.New()}
 	res.Stats.Strategy = opts.Strategy
-	ex := &executor{db: db, net: res.Net, opts: opts, stats: &res.Stats}
+	ex := &executor{db: db, net: res.Net, opts: opts, stats: &res.Stats, ec: ec}
 	if len(opts.Evidence) > 0 {
 		ex.evidenceByRel = make(map[string][]int)
 		ex.evidenceMatched = make([]bool, len(opts.Evidence))
@@ -28,41 +29,73 @@ func evalNetwork(db *relation.Database, plan *query.Plan, opts Options) (*Result
 		}
 	}
 
-	var out *pl.Relation
-	err := timed(&res.Stats.PlanTime, func() error {
-		var err error
-		out, err = ex.exec(plan)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, matched := range ex.evidenceMatched {
-		if !matched {
-			ev := opts.Evidence[i]
-			return nil, fmt.Errorf("engine: evidence tuple %v not found in relation %s (or the relation is not scanned by the plan)", ev.Vals, ev.Rel)
+	var final []finalTuple
+	var distinct []aonet.NodeID
+	build := func() (int, error) {
+		out, err := ex.exec(plan)
+		if err != nil {
+			return 0, err
 		}
+		for i, matched := range ex.evidenceMatched {
+			if !matched {
+				ev := opts.Evidence[i]
+				return 0, fmt.Errorf("engine: evidence tuple %v not found in relation %s (or the relation is not scanned by the plan)", ev.Vals, ev.Rel)
+			}
+		}
+		res.Stats.NetworkNodes = res.Net.Len()
+		res.Stats.NetworkEdges = res.Net.EdgeCount()
+		res.Stats.Operators = ec.Ops()
+		if opts.MeasureWidth {
+			res.Stats.NetworkWidthBound = res.Net.TreewidthBound(nil)
+		}
+		if opts.SkipInference {
+			res.Stats.Answers = out.Len()
+			return 0, nil
+		}
+		final = make([]finalTuple, 0, out.Len())
+		seen := make(map[aonet.NodeID]bool)
+		for _, t := range out.Tuples {
+			final = append(final, finalTuple{vals: t.Vals, p: t.P, lin: t.Lin})
+			if t.Lin != aonet.Epsilon && !seen[t.Lin] {
+				seen[t.Lin] = true
+				distinct = append(distinct, t.Lin)
+			}
+		}
+		return len(distinct), nil
 	}
-	res.Stats.NetworkNodes = res.Net.Len()
-	res.Stats.NetworkEdges = res.Net.EdgeCount()
-	if opts.MeasureWidth {
-		res.Stats.NetworkWidthBound = res.Net.TreewidthBound(nil)
+	infer := func(i int) confidence {
+		return answerMarginal(ec, res.Net, distinct[i], opts, ex.evidenceNodes)
 	}
-	if opts.SkipInference {
-		res.Stats.Answers = out.Len()
-		return res, nil
+	assemble := func(conf []confidence) error {
+		if opts.SkipInference {
+			return nil
+		}
+		byNode := make(map[aonet.NodeID]confidence, len(conf))
+		for i, lin := range distinct {
+			byNode[lin] = conf[i]
+			if conf[i].width > res.Stats.InferenceWidth {
+				res.Stats.InferenceWidth = conf[i].width
+			}
+			if conf[i].vars > res.Stats.InferenceVars {
+				res.Stats.InferenceVars = conf[i].vars
+			}
+			if conf[i].approx {
+				res.Stats.Approximate = true
+			}
+		}
+		for _, ft := range final {
+			p := ft.p
+			if ft.lin != aonet.Epsilon {
+				p *= byNode[ft.lin].p
+			}
+			res.Rows = append(res.Rows, Row{Vals: ft.vals, P: p})
+		}
+		res.Stats.Answers = len(res.Rows)
+		return nil
 	}
-
-	final := make([]finalTuple, 0, out.Len())
-	for _, t := range out.Tuples {
-		final = append(final, finalTuple{vals: t.Vals, p: t.P, lin: t.Lin})
-	}
-	if err := timed(&res.Stats.InferenceTime, func() error {
-		return marginals(res, final, opts, ex.evidenceNodes)
-	}); err != nil {
+	if err := runPipeline(ec, res, build, infer, assemble); err != nil {
 		return nil, err
 	}
-	res.Stats.Answers = len(res.Rows)
 	return res, nil
 }
 
@@ -72,11 +105,7 @@ type executor struct {
 	net   *aonet.Network
 	opts  Options
 	stats *core.Stats
-
-	// trace accumulators (Options.Trace): total time and network growth of
-	// the operators already completed within the current subtree.
-	childTime  time.Duration
-	childNodes int
+	ec    *core.ExecContext
 
 	// evidence bookkeeping (Options.Evidence).
 	evidenceByRel   map[string][]int
@@ -85,28 +114,19 @@ type executor struct {
 }
 
 func (ex *executor) exec(p *query.Plan) (*pl.Relation, error) {
-	if !ex.opts.Trace {
+	if err := ex.ec.Err(); err != nil {
+		return nil, err
+	}
+	if !ex.ec.Tracing() {
 		return ex.execChecked(p)
 	}
-	// Trace bookkeeping: own time and own network growth exclude the
-	// children, which report their totals through the accumulators.
-	start := time.Now()
-	nodesBefore := ex.net.Len()
-	parentTime, parentNodes := ex.childTime, ex.childNodes
-	ex.childTime, ex.childNodes = 0, 0
+	span := ex.ec.StartOp(ex.net.Len())
 	out, err := ex.execChecked(p)
-	total := time.Since(start)
-	grown := ex.net.Len() - nodesBefore
-	if err == nil {
-		ex.stats.Operators = append(ex.stats.Operators, core.OpStat{
-			Op:            p.String(),
-			Rows:          out.Len(),
-			NetworkGrowth: grown - ex.childNodes,
-			Time:          total - ex.childTime,
-		})
+	rows := 0
+	if out != nil {
+		rows = out.Len()
 	}
-	ex.childTime = parentTime + total
-	ex.childNodes = parentNodes + grown
+	ex.ec.FinishOp(span, ex.net.Len(), p.String(), rows, err != nil)
 	return out, err
 }
 
@@ -137,7 +157,7 @@ func (ex *executor) execOp(p *query.Plan) (*pl.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return pl.Project(in, p.Cols, ex.net)
+		return pl.ProjectCtx(ex.ec, in, p.Cols, ex.net)
 	case query.OpJoin:
 		left, err := ex.exec(p.Left)
 		if err != nil {
@@ -147,7 +167,7 @@ func (ex *executor) execOp(p *query.Plan) (*pl.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		joined, conditioned, err := pl.SafeJoin(left, right, ex.net)
+		joined, conditioned, err := pl.SafeJoinCtx(ex.ec, left, right, ex.net)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +224,11 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, error) {
 	}
 	out := &pl.Relation{Attrs: outCols}
 	outRow := make([]int, len(rel.Rows))
+	chk := core.Check{EC: ex.ec}
 	for ri, row := range rel.Rows {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
 		outRow[ri] = -1
 		if row.P == 0 {
 			continue
@@ -234,10 +258,15 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, error) {
 			Lin:  aonet.Epsilon,
 		})
 	}
+	if err := ex.ec.ChargeRows(out.Len()); err != nil {
+		return nil, err
+	}
 	if ex.opts.Strategy == core.FullNetwork {
 		for i := range out.Tuples {
 			if out.Tuples[i].P < 1 {
-				pl.Cond(out, i, ex.net)
+				if err := pl.CondCtx(ex.ec, out, i, ex.net); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -285,7 +314,9 @@ func (ex *executor) applyEvidence(pred string, rel *relation.Relation, outRow []
 		if oi < 0 {
 			continue // filtered out by the atom's selections: independent of the answers
 		}
-		pl.Cond(out, oi, ex.net)
+		if err := pl.CondCtx(ex.ec, out, oi, ex.net); err != nil {
+			return err
+		}
 		ex.evidenceNodes[out.Tuples[oi].Lin] = ev.Present
 	}
 	return nil

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/lineage"
@@ -42,8 +41,16 @@ func (g *Grounding) ClauseCount() int {
 }
 
 // Ground computes the full lineage of q over db, matching atoms in the
-// order the plan scans them (left-deep join order).
+// order the plan scans them (left-deep join order). GroundCtx is the
+// cancellable variant.
 func Ground(db *relation.Database, q *query.Query, plan *query.Plan) (*Grounding, error) {
+	return GroundCtx(nil, db, q, plan)
+}
+
+// GroundCtx is Ground under an ExecContext: the grounding recursion polls
+// cancellation every core.CheckInterval extensions and charges each clause
+// against the row budget, so a combinatorial grounding aborts cleanly.
+func GroundCtx(ec *core.ExecContext, db *relation.Database, q *query.Query, plan *query.Plan) (*Grounding, error) {
 	var atoms []*query.Atom
 	plan.Walk(func(p *query.Plan) {
 		if p.Op == query.OpScan {
@@ -59,11 +66,15 @@ func Ground(db *relation.Database, q *query.Query, plan *query.Plan) (*Grounding
 		atoms:  atoms,
 		varID:  make(map[varKey]lineage.Var),
 		byHead: make(map[string]int),
+		chk:    core.Check{EC: ec},
+		ec:     ec,
 	}
 	if err := g.prepare(); err != nil {
 		return nil, err
 	}
-	g.recurse(0, make(map[string]tuple.Value), make([]lineage.Var, 0, len(atoms)))
+	if err := g.recurse(0, make(map[string]tuple.Value), make([]lineage.Var, 0, len(atoms))); err != nil {
+		return nil, err
+	}
 	out := &Grounding{Attrs: q.Head, Answers: g.answers, Probs: g.probs}
 	return out, nil
 }
@@ -91,6 +102,8 @@ type grounder struct {
 	probs   []float64
 	answers []GroundedAnswer
 	byHead  map[string]int
+	chk     core.Check
+	ec      *core.ExecContext
 }
 
 // prepare compiles the binding pattern of each atom and builds a hash index
@@ -166,8 +179,11 @@ func (g *grounder) prepare() error {
 
 // recurse extends the partial grounding at atom depth with every matching
 // row. clause carries the lineage variables of uncertain matched rows.
-func (g *grounder) recurse(depth int, binding map[string]tuple.Value, clause []lineage.Var) {
+func (g *grounder) recurse(depth int, binding map[string]tuple.Value, clause []lineage.Var) error {
 	if depth == len(g.plans) {
+		if err := g.ec.ChargeRows(1); err != nil {
+			return err
+		}
 		vals := make(tuple.Tuple, len(g.q.Head))
 		for i, h := range g.q.Head {
 			vals[i] = binding[h]
@@ -180,7 +196,7 @@ func (g *grounder) recurse(depth int, binding map[string]tuple.Value, clause []l
 			g.answers = append(g.answers, GroundedAnswer{Vals: vals, F: &lineage.DNF{}})
 		}
 		g.answers[ai].F.Add(lineage.NewClause(clause...))
-		return
+		return nil
 	}
 	ap := &g.plans[depth]
 	key := make(tuple.Tuple, len(ap.boundPos))
@@ -188,6 +204,9 @@ func (g *grounder) recurse(depth int, binding map[string]tuple.Value, clause []l
 		key[i] = binding[v]
 	}
 	for _, ri := range ap.index[key.Key()] {
+		if err := g.chk.Tick(); err != nil {
+			return err
+		}
 		row := ap.rel.Rows[ri]
 		for v, pos := range ap.newVarPos {
 			binding[v] = row.Tuple[pos]
@@ -196,11 +215,14 @@ func (g *grounder) recurse(depth int, binding map[string]tuple.Value, clause []l
 		if row.P < 1 {
 			next = append(clause, g.varFor(ap.rel.Name, ri, row.P))
 		}
-		g.recurse(depth+1, binding, next)
+		if err := g.recurse(depth+1, binding, next); err != nil {
+			return err
+		}
 	}
 	for v := range ap.newVarPos {
 		delete(binding, v)
 	}
+	return nil
 }
 
 func (g *grounder) varFor(pred string, row int, p float64) lineage.Var {
@@ -214,94 +236,62 @@ func (g *grounder) varFor(pred string, row int, p float64) lineage.Var {
 	return v
 }
 
-// evalLineage implements the DNFLineage and MonteCarlo strategies: ground
-// the full lineage, then compute each answer's confidence.
-func evalLineage(db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
+// evalLineage implements the DNFLineage and MonteCarlo strategies through
+// the shared pipeline driver: build = full grounding, one inference job per
+// answer, assemble = row materialization in answer order. Approximate paths
+// seed deterministically per answer, so parallel and sequential runs agree.
+func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
 	res := &Result{Attrs: plan.Attrs()}
 	res.Stats.Strategy = opts.Strategy
-	var g *Grounding
-	err := timed(&res.Stats.PlanTime, func() error {
-		var err error
-		g, err = Ground(db, q, plan)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Stats.LineageClauses = g.ClauseCount()
-	res.Stats.LineageVars = g.VarCount()
-	probOf := func(v lineage.Var) float64 { return g.Probs[v] }
 	if opts.Strategy == core.MonteCarlo {
 		res.Stats.Approximate = true
 	}
-	err = timed(&res.Stats.InferenceTime, func() error {
-		type confidence struct {
-			p      float64
-			approx bool
-			err    error
+	var g *Grounding
+	build := func() (int, error) {
+		var err error
+		g, err = GroundCtx(ec, db, q, plan)
+		if err != nil {
+			return 0, err
 		}
-		// confidenceOf computes one answer's probability; approximate paths
-		// seed deterministically per answer so parallel and sequential runs
-		// agree.
-		confidenceOf := func(i int) confidence {
-			f := g.Answers[i].F
-			sample := func() float64 {
-				rng := rand.New(rand.NewSource(opts.Seed ^ (int64(i)+1)*0x7f4a7c15))
-				return lineage.KarpLuby(f, probOf, opts.samples(), rng)
-			}
-			if opts.Strategy == core.MonteCarlo {
-				return confidence{p: sample(), approx: true}
-			}
-			p, err := lineage.ProbBudget(f, probOf, opts.exactBudget())
-			if errors.Is(err, lineage.ErrBudget) && !opts.NoFallback {
-				return confidence{p: sample(), approx: true}
-			}
+		res.Stats.LineageClauses = g.ClauseCount()
+		res.Stats.LineageVars = g.VarCount()
+		return len(g.Answers), nil
+	}
+	infer := func(i int) confidence {
+		probOf := func(v lineage.Var) float64 { return g.Probs[v] }
+		f := g.Answers[i].F
+		sample := func() confidence {
+			rng := rand.New(rand.NewSource(opts.Seed ^ (int64(i)+1)*0x7f4a7c15))
+			p, err := lineage.KarpLubyCtx(ec, f, probOf, opts.samples(), rng)
 			if err != nil {
 				return confidence{err: err}
 			}
-			return confidence{p: p}
+			return confidence{p: p, approx: true}
 		}
-		out := make([]confidence, len(g.Answers))
-		if opts.Parallelism > 1 && len(g.Answers) > 1 {
-			jobs := make(chan int)
-			var wg sync.WaitGroup
-			workers := opts.Parallelism
-			if workers > len(g.Answers) {
-				workers = len(g.Answers)
-			}
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := range jobs {
-						out[i] = confidenceOf(i)
-					}
-				}()
-			}
-			for i := range g.Answers {
-				jobs <- i
-			}
-			close(jobs)
-			wg.Wait()
-		} else {
-			for i := range g.Answers {
-				out[i] = confidenceOf(i)
-			}
+		if opts.Strategy == core.MonteCarlo {
+			return sample()
 		}
+		p, err := lineage.ProbBudgetCtx(ec, f, probOf, opts.exactBudget())
+		if errors.Is(err, lineage.ErrBudget) && !opts.NoFallback {
+			return sample()
+		}
+		if err != nil {
+			return confidence{err: err}
+		}
+		return confidence{p: p}
+	}
+	assemble := func(conf []confidence) error {
 		for i, ans := range g.Answers {
-			if out[i].err != nil {
-				return out[i].err
-			}
-			if out[i].approx {
+			if conf[i].approx {
 				res.Stats.Approximate = true
 			}
-			res.Rows = append(res.Rows, Row{Vals: ans.Vals, P: out[i].p})
+			res.Rows = append(res.Rows, Row{Vals: ans.Vals, P: conf[i].p})
 		}
+		res.Stats.Answers = len(res.Rows)
 		return nil
-	})
-	if err != nil {
+	}
+	if err := runPipeline(ec, res, build, infer, assemble); err != nil {
 		return nil, err
 	}
-	res.Stats.Answers = len(res.Rows)
 	return res, nil
 }

@@ -43,6 +43,12 @@ type Scale struct {
 	Samples int
 	// MaxWidth caps exact inference before the fallback engages.
 	MaxWidth int
+	// Parallelism is the worker count for the operator pipeline and
+	// per-answer inference (0 or 1 = sequential; results are identical).
+	Parallelism int
+	// Timeout bounds each individual evaluation's wall clock (0 = none);
+	// a timed-out point reports its error instead of a measurement.
+	Timeout time.Duration
 }
 
 // Small returns a laptop-scale configuration preserving the experiments'
@@ -120,8 +126,9 @@ func runOne(spec workload.Spec, p workload.Params, strat core.Strategy, sc Scale
 		m.Err = err.Error()
 		return m
 	}
-	opts := engine.Options{Strategy: strat, Samples: sc.Samples, Seed: p.Seed}
+	opts := engine.Options{Strategy: strat, Samples: sc.Samples, Seed: p.Seed, Parallelism: sc.Parallelism}
 	opts.Inference.MaxFactorVars = sc.MaxWidth
+	opts.Budget.Time = sc.Timeout
 	start := time.Now()
 	res, err := engine.Evaluate(db, spec.Query(), plan, opts)
 	elapsed := time.Since(start)

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// PipelinePoint times one Table 1 query through the partial-lineage pipeline
+// serially and with a parallel ExecContext, for the BENCH_pipeline.json
+// artifact. Parallelism changes wall clock only — answers and the AND-OR
+// network are identical by construction.
+type PipelinePoint struct {
+	Experiment  string  `json:"experiment"`
+	Query       string  `json:"query"`
+	Parallelism int     `json:"parallelism"`
+	SerialNs    int64   `json:"serial_ns_per_op"`
+	ParallelNs  int64   `json:"parallel_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
+	Err         string  `json:"error,omitempty"`
+}
+
+// PipelineBench evaluates every Table 1 query on the scale's Fig5 instance
+// twice — Parallelism 0 and the given worker count — and reports both times.
+// The scale's Samples/MaxWidth/Timeout settings apply to both runs.
+func PipelineBench(sc Scale, workers int) ([]PipelinePoint, error) {
+	if workers <= 1 {
+		workers = 4
+	}
+	var out []PipelinePoint
+	for _, qname := range sc.Queries {
+		spec, err := workload.SpecByName(qname)
+		if err != nil {
+			return nil, err
+		}
+		pt := PipelinePoint{Experiment: "pipeline", Query: spec.Name, Parallelism: workers}
+		serial, err := timeOne(spec, sc, 0)
+		if err != nil {
+			pt.Err = err.Error()
+			out = append(out, pt)
+			continue
+		}
+		parallel, err := timeOne(spec, sc, workers)
+		if err != nil {
+			pt.Err = err.Error()
+			out = append(out, pt)
+			continue
+		}
+		pt.SerialNs = serial.Nanoseconds()
+		pt.ParallelNs = parallel.Nanoseconds()
+		if parallel > 0 {
+			pt.Speedup = float64(serial) / float64(parallel)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// timeOne runs one partial-lineage evaluation at the given parallelism and
+// returns its wall time.
+func timeOne(spec workload.Spec, sc Scale, workers int) (time.Duration, error) {
+	db, err := workload.GenerateFor(spec, sc.Fig5)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := spec.Plan()
+	if err != nil {
+		return 0, err
+	}
+	opts := engine.Options{
+		Strategy:    core.PartialLineage,
+		Samples:     sc.Samples,
+		Seed:        sc.Fig5.Seed,
+		Parallelism: workers,
+	}
+	opts.Inference.MaxFactorVars = sc.MaxWidth
+	opts.Budget.Time = sc.Timeout
+	start := time.Now()
+	_, err = engine.Evaluate(db, spec.Query(), plan, opts)
+	return time.Since(start), err
+}
+
+// WritePipelineJSON renders the benchmark points as indented JSON.
+func WritePipelineJSON(w io.Writer, points []PipelinePoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}

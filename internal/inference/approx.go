@@ -6,18 +6,34 @@ import (
 	"sort"
 
 	"repro/internal/aonet"
+	"repro/internal/core"
 )
 
 // MonteCarlo estimates N⁰(x_target = 1) by forward sampling: leaves are
 // drawn from their priors, gate nodes are computed from their sampled
 // parents with each edge firing independently with its edge probability.
 // Sampling is restricted to the ancestors of target. The estimator is
-// unbiased with standard error at most 1/(2·sqrt(samples)).
+// unbiased with standard error at most 1/(2·sqrt(samples)). MonteCarloCtx
+// is the cancellable variant.
 func MonteCarlo(n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Rand) float64 {
+	p, err := MonteCarloCtx(nil, n, target, samples, rng)
+	if err != nil {
+		panic("inference: MonteCarloCtx failed without a context: " + err.Error())
+	}
+	return p
+}
+
+// MonteCarloCtx is MonteCarlo under an ExecContext, polling cancellation
+// every core.CheckInterval samples.
+func MonteCarloCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Rand) (float64, error) {
 	nodes := n.Ancestors(target) // sorted ascending = topological order
 	x := make(map[aonet.NodeID]bool, len(nodes))
+	chk := core.Check{EC: ec}
 	hits := 0
 	for s := 0; s < samples; s++ {
+		if err := chk.Tick(); err != nil {
+			return 0, err
+		}
 		for _, v := range nodes {
 			switch n.Label(v) {
 			case aonet.Leaf:
@@ -46,7 +62,7 @@ func MonteCarlo(n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Ra
 			hits++
 		}
 	}
-	return float64(hits) / float64(samples)
+	return float64(hits) / float64(samples), nil
 }
 
 // BruteForce computes N⁰(x_target = 1) by enumerating assignments over the
@@ -96,8 +112,15 @@ func BruteForce(n *aonet.Network, target aonet.NodeID) (float64, error) {
 // P(x_target = 1 | evidence) by rejection sampling: forward samples over the
 // ancestors of the target and the evidence nodes, discarding samples
 // inconsistent with the evidence. It errors when no sample is accepted
-// (evidence too unlikely for the sample budget).
+// (evidence too unlikely for the sample budget). MonteCarloGivenCtx is the
+// cancellable variant.
 func MonteCarloGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, samples int, rng *rand.Rand) (float64, error) {
+	return MonteCarloGivenCtx(nil, n, target, evidence, samples, rng)
+}
+
+// MonteCarloGivenCtx is MonteCarloGiven under an ExecContext, polling
+// cancellation every core.CheckInterval samples.
+func MonteCarloGivenCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, samples int, rng *rand.Rand) (float64, error) {
 	roots := []aonet.NodeID{target}
 	for v := range evidence {
 		roots = append(roots, v)
@@ -115,8 +138,12 @@ func MonteCarloGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.N
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	x := make(map[aonet.NodeID]bool, len(nodes))
+	chk := core.Check{EC: ec}
 	accepted, hits := 0, 0
 	for s := 0; s < samples; s++ {
+		if err := chk.Tick(); err != nil {
+			return 0, err
+		}
 		for _, v := range nodes {
 			switch n.Label(v) {
 			case aonet.Leaf:

@@ -3,6 +3,7 @@ package inference
 import (
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/treewidth"
 )
 
@@ -48,7 +49,8 @@ func restrict(f *factor, v int, val bool) *factor {
 type recSolver struct {
 	opts     Options
 	splits   int
-	maxWidth int // largest elimination width performed (for stats)
+	maxWidth int               // largest elimination width performed (for stats)
+	ec       *core.ExecContext // polled at every component and elimination step
 }
 
 // splitBudget bounds the total number of conditioning branches explored.
@@ -123,6 +125,9 @@ func resultMul(a, b measure) measure {
 // solveComponent solves one connected component: by elimination when narrow
 // enough, otherwise by conditioning on a max-degree variable.
 func (s *recSolver) solveComponent(factors []*factor, target int) (measure, error) {
+	if err := s.ec.Err(); err != nil {
+		return measure{}, err
+	}
 	// Constant factors (empty scope) multiply directly.
 	constant := 1.0
 	live := factors[:0]
@@ -154,7 +159,7 @@ func (s *recSolver) solveComponent(factors []*factor, target int) (measure, erro
 		if width > s.maxWidth {
 			s.maxWidth = width
 		}
-		vec, err := eliminateMeasure(live, vars, order, target, limit)
+		vec, err := eliminateMeasure(s.ec, live, vars, order, target, limit)
 		if err != nil {
 			return measure{}, err
 		}
@@ -178,7 +183,7 @@ func (s *recSolver) solveComponent(factors []*factor, target int) (measure, erro
 	}
 	if cut < 0 {
 		// Only the target remains; eliminate directly.
-		vec, err := eliminateMeasure(live, vars, order, target, limit)
+		vec, err := eliminateMeasure(s.ec, live, vars, order, target, limit)
 		if err != nil {
 			return measure{}, err
 		}

@@ -1,0 +1,69 @@
+package inference
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+	"repro/internal/core"
+)
+
+func cancelledEC() *core.ExecContext {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return core.NewExecContext(ctx, core.ExecConfig{})
+}
+
+// TestExactCtxCancelled: a cancelled context aborts variable elimination at
+// the first component/elimination-step poll — deterministically, without any
+// timing dependence.
+func TestExactCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := randomNetwork(rng, 8, 10, 4)
+	target := aonet.NodeID(n.Len() - 1)
+	_, err := ExactCtx(cancelledEC(), n, target, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExactCtx = %v, want context.Canceled", err)
+	}
+	_, err = ExactGivenCtx(cancelledEC(), n, target, map[aonet.NodeID]bool{0: true}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExactGivenCtx = %v, want context.Canceled", err)
+	}
+}
+
+// TestExactCtxNilUnbounded: a nil ExecContext behaves like Exact.
+func TestExactCtxNilUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := randomNetwork(rng, 6, 8, 3)
+	target := aonet.NodeID(n.Len() - 1)
+	want, err := Exact(n, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExactCtx(nil, n, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.P != want.P {
+		t.Errorf("ExactCtx(nil) = %v, Exact = %v", got.P, want.P)
+	}
+}
+
+// TestMonteCarloCtxCancelled: the sampling loop polls every
+// core.CheckInterval samples, so a cancelled context aborts a huge sample
+// budget almost immediately.
+func TestMonteCarloCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := randomNetwork(rng, 8, 10, 4)
+	target := aonet.NodeID(n.Len() - 1)
+	_, err := MonteCarloCtx(cancelledEC(), n, target, 1<<30, rng)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MonteCarloCtx = %v, want context.Canceled", err)
+	}
+	_, err = MonteCarloGivenCtx(cancelledEC(), n, target, map[aonet.NodeID]bool{0: true}, 1<<30, rng)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MonteCarloGivenCtx = %v, want context.Canceled", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/aonet"
+	"repro/internal/core"
 	"repro/internal/treewidth"
 )
 
@@ -61,9 +62,16 @@ type Result struct {
 // elimination: components narrow enough are eliminated directly; wide
 // components are case-split on high-degree variables (cutset conditioning),
 // which shrinks factor scopes and decouples sub-components, until the split
-// budget runs out (then ErrTooWide).
+// budget runs out (then ErrTooWide). ExactCtx is the cancellable variant.
 func Exact(n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) {
-	return ExactGiven(n, target, nil, opts)
+	return ExactGivenCtx(nil, n, target, nil, opts)
+}
+
+// ExactCtx is Exact under an ExecContext: the solver polls cancellation at
+// every conditioning branch and every core.CheckInterval elimination steps,
+// so a width blow-up cancels promptly instead of running to completion.
+func ExactCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) {
+	return ExactGivenCtx(ec, n, target, nil, opts)
 }
 
 // ExactGiven computes the conditional marginal P(x_target = 1 | evidence),
@@ -71,8 +79,13 @@ func Exact(n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) 
 // zero out inconsistent assignments and the normalized result is the
 // conditional. The variable scope is extended with the evidence nodes'
 // ancestors. Evidence of probability zero is an error. With nil evidence it
-// equals Exact.
+// equals Exact. ExactGivenCtx is the cancellable variant.
 func ExactGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, opts Options) (Result, error) {
+	return ExactGivenCtx(nil, n, target, evidence, opts)
+}
+
+// ExactGivenCtx is ExactGiven under an ExecContext (see ExactCtx).
+func ExactGivenCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, opts Options) (Result, error) {
 	b := builder{net: n, opts: opts}
 	extra := make([]aonet.NodeID, 0, len(evidence))
 	for v := range evidence {
@@ -96,7 +109,7 @@ func ExactGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID
 		}
 		factors = append(factors, f)
 	}
-	s := &recSolver{opts: opts, splits: splitBudget}
+	s := &recSolver{opts: opts, splits: splitBudget, ec: ec}
 	m, err := s.solve(factors, targetVar)
 	if err != nil {
 		return Result{}, err
@@ -321,8 +334,9 @@ func (b *builder) wideGateFactor(label aonet.Label, out int, ins []int, qs []flo
 // summing out every variable except target (all variables when target < 0),
 // following the supplied elimination order (indexes into vars). It returns
 // the unnormalized measure over the target. Any elimination step whose
-// union scope exceeds limit variables aborts with ErrTooWide.
-func eliminateMeasure(factors []*factor, vars []int, order []int, target, limit int) (measure, error) {
+// union scope exceeds limit variables aborts with ErrTooWide; cancellation
+// of ec aborts between elimination steps.
+func eliminateMeasure(ec *core.ExecContext, factors []*factor, vars []int, order []int, target, limit int) (measure, error) {
 	maxVar := 0
 	for _, v := range vars {
 		if v > maxVar {
@@ -341,6 +355,11 @@ func eliminateMeasure(factors []*factor, vars []int, order []int, target, limit 
 	}
 	inScope := make([]bool, maxVar+1)
 	for _, gi := range order {
+		// One elimination step can multiply factors of up to 2^limit entries,
+		// so a per-step poll is negligible next to the work it gates.
+		if err := ec.Err(); err != nil {
+			return measure{}, err
+		}
 		v := vars[gi]
 		if v == target {
 			continue

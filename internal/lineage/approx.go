@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/core"
 )
 
 // MonteCarlo estimates the probability of f by naive sampling: draw worlds
@@ -33,13 +35,23 @@ func MonteCarlo(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float6
 //
 // The estimator's relative error depends on the number of clauses rather
 // than on P(F), which makes it the standard choice for small query
-// probabilities [21, 13].
+// probabilities [21, 13]. KarpLubyCtx is the cancellable variant.
 func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 {
+	est, err := KarpLubyCtx(nil, f, p, samples, rng)
+	if err != nil {
+		panic("lineage: KarpLubyCtx failed without a context: " + err.Error())
+	}
+	return est
+}
+
+// KarpLubyCtx is KarpLuby under an ExecContext, polling cancellation every
+// core.CheckInterval samples.
+func KarpLubyCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, samples int, rng *rand.Rand) (float64, error) {
 	if len(f.Clauses) == 0 {
-		return 0
+		return 0, nil
 	}
 	if f.IsTrue() {
-		return 1
+		return 1, nil
 	}
 	// Clause weights and the cumulative distribution for sampling.
 	weights := make([]float64, len(f.Clauses))
@@ -53,7 +65,7 @@ func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 
 		total += w
 	}
 	if total == 0 {
-		return 0
+		return 0, nil
 	}
 	cum := make([]float64, len(weights))
 	acc := 0.0
@@ -63,8 +75,12 @@ func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 
 	}
 	vars := f.Vars()
 	assign := make(map[Var]bool, len(vars))
+	chk := core.Check{EC: ec}
 	hits := 0
 	for s := 0; s < samples; s++ {
+		if err := chk.Tick(); err != nil {
+			return 0, err
+		}
 		// Sample a clause proportional to its weight.
 		x := rng.Float64() * total
 		i := sort.SearchFloat64s(cum, x)
@@ -105,7 +121,7 @@ func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 
 	if est > 1 {
 		est = 1
 	}
-	return est
+	return est, nil
 }
 
 // KarpLubyGuarantee estimates the probability of the monotone DNF f with a

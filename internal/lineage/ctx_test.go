@@ -1,0 +1,75 @@
+package lineage
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func cancelledEC() *core.ExecContext {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return core.NewExecContext(ctx, core.ExecConfig{})
+}
+
+// chainDNF builds x_0x_1 ∨ x_1x_2 ∨ … with m clauses: not read-once (the
+// co-occurrence graph is a long induced path), over 512 variables it also
+// skips the read-once recognition limit, and its Shannon recursion performs
+// on the order of m expansions — plenty for the strided cancellation poll.
+func chainDNF(m int) *DNF {
+	f := &DNF{}
+	for i := 0; i < m; i++ {
+		f.Add(NewClause(Var(i), Var(i+1)))
+	}
+	return f
+}
+
+// TestProbBudgetCtxCancelled: a cancelled context unwinds the Shannon
+// recursion promptly via the panic sentinel instead of running an
+// exponential expansion (or exhausting the budget first).
+func TestProbBudgetCtxCancelled(t *testing.T) {
+	f := chainDNF(1200)
+	p := func(Var) float64 { return 0.5 }
+	start := time.Now()
+	_, err := ProbBudgetCtx(cancelledEC(), f, p, 1<<30)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProbBudgetCtx = %v, want context.Canceled", err)
+	}
+	// One strided check interval of Shannon expansions; the full solve has
+	// millions of them. Generous bound for the race detector's overhead.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestProbBudgetCtxNilMatchesProbBudget: a nil ExecContext preserves the
+// original semantics, including ErrBudget.
+func TestProbBudgetCtxNilMatchesProbBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := randomDNF(rng, 8, 8, 3)
+	p := func(Var) float64 { return 0.4 }
+	want, errWant := ProbBudget(f, p, 100000)
+	got, errGot := ProbBudgetCtx(nil, f, p, 100000)
+	if want != got || !errors.Is(errGot, errWant) {
+		t.Errorf("ProbBudgetCtx(nil) = (%v, %v), ProbBudget = (%v, %v)", got, errGot, want, errWant)
+	}
+	if _, err := ProbBudgetCtx(nil, chainDNF(2000), p, 10); !errors.Is(err, ErrBudget) {
+		t.Errorf("tiny budget: err = %v, want ErrBudget", err)
+	}
+}
+
+// TestKarpLubyCtxCancelled: the sampling loop polls every core.CheckInterval
+// samples.
+func TestKarpLubyCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	f := randomDNF(rng, 10, 8, 3)
+	p := func(Var) float64 { return 0.3 }
+	_, err := KarpLubyCtx(cancelledEC(), f, p, 1<<30, rng)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("KarpLubyCtx = %v, want context.Canceled", err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sort"
 	"strconv"
+
+	"repro/internal/core"
 )
 
 // ErrBudget is returned by ProbBudget when the exact solver exceeds its
@@ -39,8 +41,16 @@ func Prob(f *DNF, p func(Var) float64) float64 {
 
 // ProbBudget is Prob with a bound on the number of Shannon expansions. It
 // returns ErrBudget when the bound is exhausted; budget <= 0 means
-// unlimited.
+// unlimited. ProbBudgetCtx is the cancellable variant.
 func ProbBudget(f *DNF, p func(Var) float64, budget int) (float64, error) {
+	return ProbBudgetCtx(nil, f, p, budget)
+}
+
+// ProbBudgetCtx is ProbBudget under an ExecContext: the Shannon-expansion
+// recursion polls cancellation every core.CheckInterval subproblems, so an
+// intractable formula aborts promptly when the evaluation is cancelled or
+// times out.
+func ProbBudgetCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, budget int) (float64, error) {
 	if budget <= 0 {
 		budget = -1
 	}
@@ -53,7 +63,7 @@ func ProbBudget(f *DNF, p func(Var) float64, budget int) (float64, error) {
 			return fact.Prob(p), nil
 		}
 	}
-	s := &solver{p: p, memo: make(map[string]float64), budget: budget}
+	s := &solver{p: p, memo: make(map[string]float64), budget: budget, chk: core.Check{EC: ec}}
 	return s.probChecked(simplified.Clauses)
 }
 
@@ -64,15 +74,21 @@ const readOnceLimit = 512
 type solver struct {
 	p      func(Var) float64
 	memo   map[string]float64
-	budget int // remaining Shannon expansions; -1 = unlimited
+	budget int        // remaining Shannon expansions; -1 = unlimited
+	chk    core.Check // strided cancellation poll over the recursion
 }
 
-// probChecked wraps prob, converting the budget panic into ErrBudget.
+// probChecked wraps prob, converting the budget panic into ErrBudget and the
+// cancellation panic into its context error.
 func (s *solver) probChecked(clauses []Clause) (v float64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if r == errBudgetSentinel {
 				err = ErrBudget
+				return
+			}
+			if c, ok := r.(ctxSentinel); ok {
+				err = c.err
 				return
 			}
 			panic(r)
@@ -83,6 +99,10 @@ func (s *solver) probChecked(clauses []Clause) (v float64, err error) {
 
 // errBudgetSentinel unwinds the deep recursion when the budget runs out.
 var errBudgetSentinel = new(int)
+
+// ctxSentinel unwinds the deep recursion when the execution context is
+// cancelled or over budget.
+type ctxSentinel struct{ err error }
 
 // memoLimit caps the memo table; beyond it, entries are no longer added
 // (correctness is unaffected).
@@ -143,6 +163,9 @@ func (s *solver) shannon(clauses []Clause) float64 {
 	}
 	if s.budget > 0 {
 		s.budget--
+	}
+	if err := s.chk.Tick(); err != nil {
+		panic(ctxSentinel{err: err})
 	}
 	counts := make(map[Var]int)
 	for _, c := range clauses {

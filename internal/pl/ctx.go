@@ -1,0 +1,582 @@
+package pl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/aonet"
+	"repro/internal/core"
+	"repro/internal/tuple"
+)
+
+// This file provides the context-aware variants of the pL operators: the
+// same algebra as pl.go, threaded through a core.ExecContext for
+// cancellation, row/node budgets, and — for Join and Dedup — intra-operator
+// parallelism. The legacy entry points (Select, Join, Dedup, ...) delegate
+// here with a nil context, which is unbounded and sequential.
+//
+// Parallel Join and Dedup partition their hash tables by a hash of the
+// grouping key and process partitions on a bounded worker pool
+// (ec.Parallelism() workers). Every output-order- or network-mutating step
+// stays in a serial merge phase that walks the probe/input side in its
+// original order, so the output relation and every allocated network node
+// ID are byte-identical to the sequential operator — asserted by
+// TestQuickJoinParallelIdentical/TestQuickDedupParallelIdentical against
+// aonet's canonical encoding. Workers never touch the shared network
+// (aonet.Network is not goroutine-safe); they only bucket, probe and
+// materialize value tuples.
+
+// parallelMinRows is the input size below which the parallel paths fall
+// back to the serial loop: partitioning costs more than it saves on tiny
+// relations.
+const parallelMinRows = 128
+
+// workersFor picks the worker count for an input of n rows.
+func workersFor(ec *core.ExecContext, n int) int {
+	w := ec.Parallelism()
+	if n < parallelMinRows {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// hashPart assigns a grouping key to one of w partitions (FNV-1a).
+func hashPart(s string, w int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return int(h % uint64(w))
+}
+
+// runWorkers runs f(0..w-1) concurrently and returns the first error.
+func runWorkers(w int, f func(p int) error) error {
+	if w == 1 {
+		return f(0)
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = f(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowCharger batches ChargeRows calls so tight loops pay one atomic per
+// core.CheckInterval rows instead of one per row.
+type rowCharger struct {
+	ec      *core.ExecContext
+	pending int
+}
+
+func (c *rowCharger) add(n int) error {
+	c.pending += n
+	if c.pending >= core.CheckInterval {
+		return c.flush()
+	}
+	return nil
+}
+
+func (c *rowCharger) flush() error {
+	if c.pending == 0 {
+		return nil
+	}
+	err := c.ec.ChargeRows(c.pending)
+	c.pending = 0
+	return err
+}
+
+// SelectCtx is Select with cancellation and row-budget checks.
+func SelectCtx(ec *core.ExecContext, r *Relation, pred func(tuple.Tuple) bool) (*Relation, error) {
+	out := &Relation{Attrs: r.Attrs.Clone()}
+	chk := core.Check{EC: ec}
+	charge := rowCharger{ec: ec}
+	for _, t := range r.Tuples {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		if pred(t.Vals) {
+			if err := charge.add(1); err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	if err := charge.flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IndProjectCtx is IndProject with cancellation and row-budget checks. The
+// independent-project stage allocates no network nodes and groups on
+// (values, lineage), so it runs sequentially; its cost is one hash pass.
+func IndProjectCtx(ec *core.ExecContext, r *Relation, cols []string) (*Relation, error) {
+	idx, err := r.Attrs.Indexes(cols)
+	if err != nil {
+		return nil, fmt.Errorf("pl: IndProject: %w", err)
+	}
+	out := &Relation{Attrs: tuple.Schema(cols).Clone()}
+	type groupKey struct {
+		vals string
+		lin  aonet.NodeID
+	}
+	pos := make(map[groupKey]int)
+	chk := core.Check{EC: ec}
+	charge := rowCharger{ec: ec}
+	for _, t := range r.Tuples {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		k := groupKey{vals: t.Vals.KeyAt(idx), lin: t.Lin}
+		if i, ok := pos[k]; ok {
+			out.Tuples[i].P = 1 - (1-out.Tuples[i].P)*(1-t.P)
+			continue
+		}
+		if err := charge.add(1); err != nil {
+			return nil, err
+		}
+		pos[k] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, Tuple{Vals: t.Vals.Project(idx), P: t.P, Lin: t.Lin})
+	}
+	if err := charge.flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CondCtx is Cond with node-budget accounting.
+func CondCtx(ec *core.ExecContext, r *Relation, i int, net *aonet.Network) error {
+	before := net.Len()
+	Cond(r, i, net)
+	return ec.ChargeNodes(net.Len() - before)
+}
+
+// CSetCtx is CSet with cancellation checks over both scans.
+func CSetCtx(ec *core.ExecContext, r1, r2 *Relation, joinCols []string) ([]int, error) {
+	idx1, err := r1.Attrs.Indexes(joinCols)
+	if err != nil {
+		return nil, fmt.Errorf("pl: CSet: %w", err)
+	}
+	idx2, err := r2.Attrs.Indexes(joinCols)
+	if err != nil {
+		return nil, fmt.Errorf("pl: CSet: %w", err)
+	}
+	chk := core.Check{EC: ec}
+	fanout := make(map[string]int, len(r2.Tuples))
+	for _, t := range r2.Tuples {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		fanout[t.Vals.KeyAt(idx2)]++
+	}
+	var out []int
+	for i, t := range r1.Tuples {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		if t.P < 1 && fanout[t.Vals.KeyAt(idx1)] >= 2 {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// joinShape is the compiled schema arithmetic shared by the serial and
+// parallel join paths.
+type joinShape struct {
+	idx1, idx2 []int
+	outAttrs   tuple.Schema
+	rest2      []int
+}
+
+func compileJoin(r1, r2 *Relation) (joinShape, error) {
+	shared := r1.Attrs.Shared(r2.Attrs)
+	idx1, err := r1.Attrs.Indexes(shared)
+	if err != nil {
+		return joinShape{}, err
+	}
+	idx2, err := r2.Attrs.Indexes(shared)
+	if err != nil {
+		return joinShape{}, err
+	}
+	outAttrs := r1.Attrs.Clone()
+	var rest2 []int
+	for j, a := range r2.Attrs {
+		if r1.Attrs.Index(a) < 0 {
+			outAttrs = append(outAttrs, a)
+			rest2 = append(rest2, j)
+		}
+	}
+	return joinShape{idx1: idx1, idx2: idx2, outAttrs: outAttrs, rest2: rest2}, nil
+}
+
+// joinTuple combines one matching pair per Definition 5.13; needGate is true
+// for symbolic×symbolic pairs, whose And node the (serial) caller must
+// allocate.
+func joinTuple(t1, t2 Tuple, rest2 []int) (nt Tuple, needGate bool) {
+	vals := t1.Vals.Concat(t2.Vals.Project(rest2))
+	switch {
+	case t1.Lin == aonet.Epsilon && t2.Lin == aonet.Epsilon:
+		return Tuple{Vals: vals, P: t1.P * t2.P, Lin: aonet.Epsilon}, false
+	case t2.Lin == aonet.Epsilon:
+		return Tuple{Vals: vals, P: t1.P * t2.P, Lin: t1.Lin}, false
+	case t1.Lin == aonet.Epsilon:
+		return Tuple{Vals: vals, P: t1.P * t2.P, Lin: t2.Lin}, false
+	default:
+		return Tuple{Vals: vals, P: 1}, true
+	}
+}
+
+// andEdges returns the And-gate edges of a symbolic×symbolic join pair.
+func andEdges(t1, t2 Tuple) []aonet.Edge {
+	return []aonet.Edge{
+		{From: t1.Lin, P: t1.P},
+		{From: t2.Lin, P: t2.P},
+	}
+}
+
+// JoinCtx is Join with cancellation and budget checks; with an ExecContext
+// granting parallelism > 1 the hash table is partitioned by join-key hash
+// and built/probed on a worker pool, with a deterministic serial merge that
+// allocates And nodes in probe order. The result is identical to the serial
+// join, node IDs included.
+func JoinCtx(ec *core.ExecContext, r1, r2 *Relation, net *aonet.Network) (*Relation, error) {
+	sh, err := compileJoin(r1, r2)
+	if err != nil {
+		return nil, err
+	}
+	nodes0 := net.Len()
+	var out *Relation
+	if w := workersFor(ec, len(r1.Tuples)+len(r2.Tuples)); w > 1 {
+		out, err = joinParallel(ec, w, r1, r2, net, sh)
+	} else {
+		out, err = joinSerial(ec, r1, r2, net, sh)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ec.ChargeNodes(net.Len() - nodes0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func joinSerial(ec *core.ExecContext, r1, r2 *Relation, net *aonet.Network, sh joinShape) (*Relation, error) {
+	chk := core.Check{EC: ec}
+	charge := rowCharger{ec: ec}
+	buckets := make(map[string][]int32, len(r2.Tuples))
+	for j, t := range r2.Tuples {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		k := t.Vals.KeyAt(sh.idx2)
+		buckets[k] = append(buckets[k], int32(j))
+	}
+	out := &Relation{Attrs: sh.outAttrs}
+	for _, t1 := range r1.Tuples {
+		for _, j := range buckets[t1.Vals.KeyAt(sh.idx1)] {
+			if err := chk.Tick(); err != nil {
+				return nil, err
+			}
+			t2 := r2.Tuples[j]
+			nt, needGate := joinTuple(t1, t2, sh.rest2)
+			if needGate {
+				nt.Lin = net.AddGate(aonet.And, andEdges(t1, t2))
+			}
+			if err := charge.add(1); err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	if err := charge.flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pendingJoin is one matched pair materialized by a worker, waiting for the
+// serial merge to (possibly) allocate its And node.
+type pendingJoin struct {
+	t        Tuple
+	j        int32 // r2 index, for gate edges
+	needGate bool
+}
+
+func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Network, sh joinShape) (*Relation, error) {
+	keys1, err := parallelKeys(ec, w, r1.Tuples, sh.idx1)
+	if err != nil {
+		return nil, err
+	}
+	keys2, err := parallelKeys(ec, w, r2.Tuples, sh.idx2)
+	if err != nil {
+		return nil, err
+	}
+	// Each partition owns the keys hashing to it: it builds that slice of
+	// the hash table from r2 and probes it with its share of r1. pending is
+	// indexed by r1 position; each entry is written by exactly one worker.
+	pending := make([][]pendingJoin, len(r1.Tuples))
+	err = runWorkers(w, func(p int) error {
+		chk := core.Check{EC: ec}
+		buckets := make(map[string][]int32)
+		for j, k := range keys2 {
+			if hashPart(k, w) != p {
+				continue
+			}
+			if err := chk.Tick(); err != nil {
+				return err
+			}
+			buckets[k] = append(buckets[k], int32(j))
+		}
+		for i, k := range keys1 {
+			if hashPart(k, w) != p {
+				continue
+			}
+			if err := chk.Tick(); err != nil {
+				return err
+			}
+			matches := buckets[k]
+			if len(matches) == 0 {
+				continue
+			}
+			t1 := r1.Tuples[i]
+			row := make([]pendingJoin, 0, len(matches))
+			for _, j := range matches {
+				nt, needGate := joinTuple(t1, r2.Tuples[j], sh.rest2)
+				row = append(row, pendingJoin{t: nt, j: j, needGate: needGate})
+			}
+			pending[i] = row
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Serial merge in probe order: identical tuple order and And-node
+	// allocation order to joinSerial.
+	out := &Relation{Attrs: sh.outAttrs}
+	charge := rowCharger{ec: ec}
+	for i := range r1.Tuples {
+		for _, pj := range pending[i] {
+			nt := pj.t
+			if pj.needGate {
+				nt.Lin = net.AddGate(aonet.And, andEdges(r1.Tuples[i], r2.Tuples[pj.j]))
+			}
+			if err := charge.add(1); err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	if err := charge.flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parallelKeys materializes the grouping key of every tuple (KeyAt(idx), or
+// the full Key when idx is nil) on w workers over contiguous chunks.
+func parallelKeys(ec *core.ExecContext, w int, tuples []Tuple, idx []int) ([]string, error) {
+	keys := make([]string, len(tuples))
+	if len(tuples) == 0 {
+		return keys, nil
+	}
+	chunk := (len(tuples) + w - 1) / w
+	err := runWorkers(w, func(p int) error {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		chk := core.Check{EC: ec}
+		for i := lo; i < hi; i++ {
+			if err := chk.Tick(); err != nil {
+				return err
+			}
+			if idx == nil {
+				keys[i] = tuples[i].Vals.Key()
+			} else {
+				keys[i] = tuples[i].Vals.KeyAt(idx)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// DedupCtx is Dedup with cancellation and budget checks; with parallelism
+// the value-grouping hash table is partitioned by key hash across a worker
+// pool, and a serial merge walks the input in first-occurrence order,
+// allocating Or nodes exactly as the sequential operator does.
+func DedupCtx(ec *core.ExecContext, r *Relation, net *aonet.Network) (*Relation, error) {
+	nodes0 := net.Len()
+	var out *Relation
+	var err error
+	if w := workersFor(ec, len(r.Tuples)); w > 1 {
+		out, err = dedupParallel(ec, w, r, net)
+	} else {
+		out, err = dedupSerial(ec, r, net)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := ec.ChargeNodes(net.Len() - nodes0); err != nil {
+		return nil, err
+	}
+	if err := ec.ChargeRows(out.Len()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func dedupSerial(ec *core.ExecContext, r *Relation, net *aonet.Network) (*Relation, error) {
+	out := &Relation{Attrs: r.Attrs.Clone()}
+	groups := make(map[string][]int, len(r.Tuples))
+	var order []string
+	chk := core.Check{EC: ec}
+	for i, t := range r.Tuples {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		k := t.Vals.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		emitDedupGroup(out, r, groups[k], net)
+	}
+	return out, nil
+}
+
+// emitDedupGroup appends one deduplicated group per Section 5.3.2.
+func emitDedupGroup(out *Relation, r *Relation, members []int, net *aonet.Network) {
+	if len(members) == 1 {
+		out.Tuples = append(out.Tuples, r.Tuples[members[0]])
+		return
+	}
+	edges := make([]aonet.Edge, 0, len(members))
+	for _, i := range members {
+		edges = append(edges, aonet.Edge{From: r.Tuples[i].Lin, P: r.Tuples[i].P})
+	}
+	lin := net.AddGate(aonet.Or, edges)
+	out.Tuples = append(out.Tuples, Tuple{Vals: r.Tuples[members[0]].Vals, P: 1, Lin: lin})
+}
+
+func dedupParallel(ec *core.ExecContext, w int, r *Relation, net *aonet.Network) (*Relation, error) {
+	keys, err := parallelKeys(ec, w, r.Tuples, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Each partition groups the tuples whose key hashes to it. A group's
+	// members are recorded (ascending) under the group's first input index,
+	// so the merge can walk the input once in order: firstOf[i] is non-nil
+	// iff tuple i opens a group. Groups are wholly owned by one partition,
+	// so workers write disjoint entries.
+	firstOf := make([][]int, len(r.Tuples))
+	err = runWorkers(w, func(p int) error {
+		chk := core.Check{EC: ec}
+		groups := make(map[string]int) // key -> first index
+		for i, k := range keys {
+			if hashPart(k, w) != p {
+				continue
+			}
+			if err := chk.Tick(); err != nil {
+				return err
+			}
+			first, ok := groups[k]
+			if !ok {
+				groups[k] = i
+				first = i
+			}
+			firstOf[first] = append(firstOf[first], i)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Attrs: r.Attrs.Clone()}
+	chk := core.Check{EC: ec}
+	for i := range r.Tuples {
+		if firstOf[i] == nil {
+			continue
+		}
+		if err := chk.Tick(); err != nil {
+			return nil, err
+		}
+		emitDedupGroup(out, r, firstOf[i], net)
+	}
+	return out, nil
+}
+
+// ProjectCtx is Project (IndProject then Dedup) over an ExecContext.
+func ProjectCtx(ec *core.ExecContext, r *Relation, cols []string, net *aonet.Network) (*Relation, error) {
+	ind, err := IndProjectCtx(ec, r, cols)
+	if err != nil {
+		return nil, err
+	}
+	return DedupCtx(ec, ind, net)
+}
+
+// SafeJoinCtx is SafeJoin over an ExecContext: cSets and conditioning are
+// checked and charged, and the join runs through JoinCtx (parallel when the
+// context grants workers).
+func SafeJoinCtx(ec *core.ExecContext, r1, r2 *Relation, net *aonet.Network) (*Relation, int, error) {
+	shared := r1.Attrs.Shared(r2.Attrs)
+	c1, err := CSetCtx(ec, r1, r2, shared)
+	if err != nil {
+		return nil, 0, err
+	}
+	c2, err := CSetCtx(ec, r2, r1, shared)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(c1) > 0 {
+		r1 = r1.Clone()
+		for _, i := range c1 {
+			if err := CondCtx(ec, r1, i, net); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if len(c2) > 0 {
+		r2 = r2.Clone()
+		for _, i := range c2 {
+			if err := CondCtx(ec, r2, i, net); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	joined, err := JoinCtx(ec, r1, r2, net)
+	if err != nil {
+		return nil, 0, err
+	}
+	return joined, len(c1) + len(c2), nil
+}

@@ -71,13 +71,11 @@ func (r *Relation) Clone() *Relation {
 }
 
 // Select returns the tuples satisfying pred. Selection over pL-relations is
-// always safe (Section 5.3.1).
+// always safe (Section 5.3.1). SelectCtx is the cancellable variant.
 func Select(r *Relation, pred func(tuple.Tuple) bool) *Relation {
-	out := &Relation{Attrs: r.Attrs.Clone()}
-	for _, t := range r.Tuples {
-		if pred(t.Vals) {
-			out.Tuples = append(out.Tuples, t)
-		}
+	out, err := SelectCtx(nil, r, pred)
+	if err != nil {
+		panic("pl: SelectCtx failed without a context: " + err.Error())
 	}
 	return out
 }
@@ -85,88 +83,54 @@ func Select(r *Relation, pred func(tuple.Tuple) bool) *Relation {
 // IndProject performs the independent-project stage of Section 5.3.2:
 // project onto cols but merge only tuples that share the same lineage node
 // (projecting on A ∪ {l}), combining probabilities as
-// p = 1 - ∏(1 - p_i). The network is not modified.
+// p = 1 - ∏(1 - p_i). The network is not modified. IndProjectCtx is the
+// cancellable variant.
 func IndProject(r *Relation, cols []string) (*Relation, error) {
-	idx, err := r.Attrs.Indexes(cols)
-	if err != nil {
-		return nil, fmt.Errorf("pl: IndProject: %w", err)
-	}
-	out := &Relation{Attrs: tuple.Schema(cols).Clone()}
-	type groupKey struct {
-		vals string
-		lin  aonet.NodeID
-	}
-	pos := make(map[groupKey]int)
-	for _, t := range r.Tuples {
-		k := groupKey{vals: t.Vals.KeyAt(idx), lin: t.Lin}
-		if i, ok := pos[k]; ok {
-			out.Tuples[i].P = 1 - (1-out.Tuples[i].P)*(1-t.P)
-			continue
-		}
-		pos[k] = len(out.Tuples)
-		out.Tuples = append(out.Tuples, Tuple{Vals: t.Vals.Project(idx), P: t.P, Lin: t.Lin})
-	}
-	return out, nil
+	return IndProjectCtx(nil, r, cols)
 }
 
 // Dedup performs the deduplication stage of Section 5.3.2: tuples with equal
 // values are replaced by a single tuple with probability 1 whose lineage is
 // a new Or node over the group members' (lineage, probability) pairs. Groups
 // of size one pass through unchanged. Theorem 5.10 shows IndProject followed
-// by Dedup equals the possible-worlds projection.
+// by Dedup equals the possible-worlds projection. DedupCtx is the
+// cancellable, optionally parallel variant.
 func Dedup(r *Relation, net *aonet.Network) *Relation {
-	out := &Relation{Attrs: r.Attrs.Clone()}
-	groups := make(map[string][]int)
-	var order []string
-	for i, t := range r.Tuples {
-		k := t.Vals.Key()
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], i)
-	}
-	for _, k := range order {
-		members := groups[k]
-		if len(members) == 1 {
-			out.Tuples = append(out.Tuples, r.Tuples[members[0]])
-			continue
-		}
-		edges := make([]aonet.Edge, 0, len(members))
-		for _, i := range members {
-			edges = append(edges, aonet.Edge{From: r.Tuples[i].Lin, P: r.Tuples[i].P})
-		}
-		lin := net.AddGate(aonet.Or, edges)
-		out.Tuples = append(out.Tuples, Tuple{Vals: r.Tuples[members[0]].Vals, P: 1, Lin: lin})
+	out, err := DedupCtx(nil, r, net)
+	if err != nil {
+		panic("pl: DedupCtx failed without a context: " + err.Error())
 	}
 	return out
 }
 
 // Project is the full projection of Section 5.3.2: IndProject then Dedup.
+// ProjectCtx is the cancellable variant.
 func Project(r *Relation, cols []string, net *aonet.Network) (*Relation, error) {
-	ind, err := IndProject(r, cols)
-	if err != nil {
-		return nil, err
-	}
-	return Dedup(ind, net), nil
+	return ProjectCtx(nil, r, cols, net)
 }
 
 // Cond conditions the relation on the tuple at index i (Section 5.3.3): its
-// probability becomes 1 and its lineage a fresh leaf carrying the old
-// probability. Lemma 5.12 shows the distribution is unchanged. When the
-// tuple already carries non-trivial lineage, the fresh leaf is combined with
-// it through a deterministic And node, which preserves the represented
-// factor z_l(t)·p(t) exactly. Conditioning a tuple whose probability is
-// already 1 is a no-op. The relation is modified in place.
+// probability becomes 1 and its lineage a node carrying the old probability.
+// Lemma 5.12 shows the distribution is unchanged. For trivial lineage the
+// node is a fresh leaf with P = p(t); for non-trivial lineage it is a single
+// And gate with the one edge (l(t), p(t)), whose CPD φ(v=1 | x_l) = x_l·p(t)
+// is exactly the represented factor z_l(t)·p(t). The one-edge encoding
+// matters: a leaf-plus-And encoding costs two nodes per conditioned tuple,
+// which doubles the network growth of conditioning-heavy joins (and pushed
+// the possible-worlds cross-checks past their enumeration limit).
+// Sub-unit edge probabilities keep the gate out of the hash-consing table,
+// so repeated conditionings stay independent coins. Conditioning a tuple
+// whose probability is already 1 is a no-op. The relation is modified in
+// place.
 func Cond(r *Relation, i int, net *aonet.Network) {
 	t := &r.Tuples[i]
 	if t.P == 1 {
 		return
 	}
-	leaf := net.AddLeaf(t.P)
 	if t.Lin == aonet.Epsilon {
-		t.Lin = leaf
+		t.Lin = net.AddLeaf(t.P)
 	} else {
-		t.Lin = net.AddGate(aonet.And, []aonet.Edge{{From: t.Lin, P: 1}, {From: leaf, P: 1}})
+		t.Lin = net.AddGate(aonet.And, []aonet.Edge{{From: t.Lin, P: t.P}})
 	}
 	t.P = 1
 }
@@ -174,27 +138,9 @@ func Cond(r *Relation, i int, net *aonet.Network) {
 // CSet returns the indexes in r1 of the offending tuples with respect to a
 // join with r2 (Definition 5.14): uncertain tuples (p < 1) that join two or
 // more tuples of r2. joinCols names the join attributes (shared attribute
-// names).
+// names). CSetCtx is the cancellable variant.
 func CSet(r1, r2 *Relation, joinCols []string) ([]int, error) {
-	idx1, err := r1.Attrs.Indexes(joinCols)
-	if err != nil {
-		return nil, fmt.Errorf("pl: CSet: %w", err)
-	}
-	idx2, err := r2.Attrs.Indexes(joinCols)
-	if err != nil {
-		return nil, fmt.Errorf("pl: CSet: %w", err)
-	}
-	fanout := make(map[string]int, len(r2.Tuples))
-	for _, t := range r2.Tuples {
-		fanout[t.Vals.KeyAt(idx2)]++
-	}
-	var out []int
-	for i, t := range r1.Tuples {
-		if t.P < 1 && fanout[t.Vals.KeyAt(idx1)] >= 2 {
-			out = append(out, i)
-		}
-	}
-	return out, nil
+	return CSetCtx(nil, r1, r2, joinCols)
 }
 
 // Join computes r1 ⋈_pL r2 (Definition 5.13), the natural join on the shared
@@ -206,88 +152,18 @@ func CSet(r1, r2 *Relation, joinCols []string) ([]int, error) {
 // Join does NOT condition its inputs; per Theorem 5.16 the caller must first
 // condition both sides on their cSets for the result to obey the
 // possible-worlds semantics. Use SafeJoin for the conditioned combination.
+// JoinCtx is the cancellable, optionally parallel variant.
 func Join(r1, r2 *Relation, net *aonet.Network) (*Relation, error) {
-	shared := r1.Attrs.Shared(r2.Attrs)
-	idx1, err := r1.Attrs.Indexes(shared)
-	if err != nil {
-		return nil, err
-	}
-	idx2, err := r2.Attrs.Indexes(shared)
-	if err != nil {
-		return nil, err
-	}
-	// Output schema: r1's attributes, then r2's non-shared attributes.
-	outAttrs := r1.Attrs.Clone()
-	var rest2 []int
-	for j, a := range r2.Attrs {
-		if r1.Attrs.Index(a) < 0 {
-			outAttrs = append(outAttrs, a)
-			rest2 = append(rest2, j)
-		}
-	}
-	// Hash join: bucket r2 by join key.
-	buckets := make(map[string][]int, len(r2.Tuples))
-	for j, t := range r2.Tuples {
-		k := t.Vals.KeyAt(idx2)
-		buckets[k] = append(buckets[k], j)
-	}
-	out := &Relation{Attrs: outAttrs}
-	for _, t1 := range r1.Tuples {
-		for _, j := range buckets[t1.Vals.KeyAt(idx1)] {
-			t2 := r2.Tuples[j]
-			vals := t1.Vals.Concat(t2.Vals.Project(rest2))
-			var nt Tuple
-			switch {
-			case t1.Lin == aonet.Epsilon && t2.Lin == aonet.Epsilon:
-				nt = Tuple{Vals: vals, P: t1.P * t2.P, Lin: aonet.Epsilon}
-			case t2.Lin == aonet.Epsilon:
-				nt = Tuple{Vals: vals, P: t1.P * t2.P, Lin: t1.Lin}
-			case t1.Lin == aonet.Epsilon:
-				nt = Tuple{Vals: vals, P: t1.P * t2.P, Lin: t2.Lin}
-			default:
-				lin := net.AddGate(aonet.And, []aonet.Edge{
-					{From: t1.Lin, P: t1.P},
-					{From: t2.Lin, P: t2.P},
-				})
-				nt = Tuple{Vals: vals, P: 1, Lin: lin}
-			}
-			out.Tuples = append(out.Tuples, nt)
-		}
-	}
-	return out, nil
+	return JoinCtx(nil, r1, r2, net)
 }
 
 // SafeJoin conditions both inputs on their cSets (Theorem 5.16) and then
 // joins them. It returns the join result and the number of offending tuples
 // conditioned, the per-operator distance from data-safety (Definition 3.4).
-// The inputs are cloned, not modified.
+// The inputs are cloned, not modified. SafeJoinCtx is the cancellable
+// variant.
 func SafeJoin(r1, r2 *Relation, net *aonet.Network) (*Relation, int, error) {
-	shared := r1.Attrs.Shared(r2.Attrs)
-	c1, err := CSet(r1, r2, shared)
-	if err != nil {
-		return nil, 0, err
-	}
-	c2, err := CSet(r2, r1, shared)
-	if err != nil {
-		return nil, 0, err
-	}
-	if len(c1) > 0 {
-		r1 = r1.Clone()
-		for _, i := range c1 {
-			Cond(r1, i, net)
-		}
-	}
-	if len(c2) > 0 {
-		r2 = r2.Clone()
-		for _, i := range c2 {
-			Cond(r2, i, net)
-		}
-	}
-	joined, err := Join(r1, r2, net)
-	if err != nil {
-		return nil, 0, err
-	}
-	return joined, len(c1) + len(c2), nil
+	return SafeJoinCtx(nil, r1, r2, net)
 }
 
 // Validate checks structural invariants: probabilities in [0,1], lineage

@@ -1,0 +1,103 @@
+package pdb
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// bigTriangle builds R(x), S(x,y), T(y) with dom² uncertain S tuples — large
+// enough for budgets to bite.
+func bigTriangle(t *testing.T, dom int) *Database {
+	t.Helper()
+	db := NewDatabase()
+	r := db.CreateRelation("R", "x")
+	s := db.CreateRelation("S", "x", "y")
+	tt := db.CreateRelation("T", "y")
+	for x := 1; x <= dom; x++ {
+		if err := r.AddInts(0.5, int64(x)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tt.AddInts(0.5, int64(x)); err != nil {
+			t.Fatal(err)
+		}
+		for y := 1; y <= dom; y++ {
+			if err := s.AddInts(0.5, int64(x), int64(y)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestEvaluateContextThroughFacade(t *testing.T) {
+	db := buildTriangle(t)
+	q, err := ParseQuery("q :- R(a), S(a, b), T(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.EvaluateContext(context.Background(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.BoolProb(), triangleExact(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BoolProb = %.12f, want %.12f", got, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.EvaluateContext(ctx, q, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context: err = %v, want context.Canceled", err)
+	}
+	plan, err := LeftDeepPlan(q, "R", "S", "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EvaluateWithPlanContext(ctx, q, plan, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context with plan: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBudgetsThroughFacade(t *testing.T) {
+	db := bigTriangle(t, 10)
+	q, err := ParseQuery("q :- R(a), S(a, b), T(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Evaluate(q, Options{Budget: Budget{Rows: 20}}); !errors.Is(err, ErrRowBudget) {
+		t.Errorf("row budget: err = %v, want ErrRowBudget", err)
+	}
+	if _, err := db.Evaluate(q, Options{Strategy: FullNetwork, Budget: Budget{Nodes: 10}}); !errors.Is(err, ErrNodeBudget) {
+		t.Errorf("node budget: err = %v, want ErrNodeBudget", err)
+	}
+	heavy := bigTriangle(t, 14)
+	if _, err := heavy.Evaluate(q, Options{Budget: Budget{Time: 30 * time.Millisecond}, Samples: 1 << 30}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("time budget: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestParallelismThroughFacade(t *testing.T) {
+	db := bigTriangle(t, 8)
+	q, err := ParseQuery("q(a) :- R(a), S(a, b), T(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := db.Evaluate(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.Evaluate(q, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("%d rows serial, %d parallel", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i].P != par.Rows[i].P {
+			t.Errorf("row %d: serial P = %v, parallel P = %v", i, serial.Rows[i].P, par.Rows[i].P)
+		}
+	}
+}

@@ -23,6 +23,7 @@
 package pdb
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -74,6 +75,18 @@ func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(na
 // Stats reports what an evaluation did; see core.Stats for field docs.
 type Stats = core.Stats
 
+// Budget caps an evaluation's resources: Rows bounds the tuples flowing
+// through the operator pipeline, Nodes bounds AND-OR network growth, and
+// Time bounds wall clock. Zero fields are unlimited.
+type Budget = core.Budget
+
+// Budget-exhaustion errors, matchable with errors.Is. Time exhaustion
+// surfaces as context.DeadlineExceeded, cancellation as context.Canceled.
+var (
+	ErrRowBudget  = core.ErrRowBudget
+	ErrNodeBudget = core.ErrNodeBudget
+)
+
 // Options configures Evaluate.
 type Options struct {
 	// Strategy defaults to PartialLineage.
@@ -88,9 +101,15 @@ type Options struct {
 	Seed int64
 	// NoFallback turns the sampling fallback into an error.
 	NoFallback bool
-	// Parallelism is the number of goroutines computing per-answer
-	// probabilities (0 or 1 = sequential). Results are identical either way.
+	// Parallelism is the number of worker goroutines for per-answer
+	// inference and for partitioned join/dedup operators (0 or 1 =
+	// sequential). Results are identical either way, down to network node
+	// identity.
 	Parallelism int
+	// Budget caps rows, network nodes and wall clock; exceeding it aborts
+	// the evaluation with ErrRowBudget, ErrNodeBudget or
+	// context.DeadlineExceeded.
+	Budget Budget
 	// Trace records a per-operator execution trace into Stats.Operators
 	// (network strategies only).
 	Trace bool
@@ -117,6 +136,7 @@ func (o Options) engineOptions() engine.Options {
 		NoFallback:  o.NoFallback,
 		Parallelism: o.Parallelism,
 		Trace:       o.Trace,
+		Budget:      o.Budget,
 	}
 	for _, ev := range o.Evidence {
 		out.Evidence = append(out.Evidence, engine.Evidence{
@@ -417,7 +437,14 @@ func (d *Database) TopK(q *Query, k int, seed int64) ([]TopAnswer, bool, error) 
 // Evaluate runs the query with an automatically chosen plan: the safe plan
 // when the query is safe, otherwise the left-deep plan in body order.
 func (d *Database) Evaluate(q *Query, opts Options) (*Result, error) {
-	res, err := engine.EvaluateQuery(d.db, q.q, opts.engineOptions())
+	return d.EvaluateContext(context.Background(), q, opts)
+}
+
+// EvaluateContext is Evaluate under a context: cancellation and deadlines
+// propagate into every layer of the pipeline — operators, grounding, exact
+// inference and sampling — which abort promptly with ctx's error.
+func (d *Database) EvaluateContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	res, err := engine.EvaluateQueryContext(ctx, d.db, q.q, opts.engineOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -457,7 +484,13 @@ func (d *Database) CrossCheck(q *Query, tol float64) (*Result, error) {
 
 // EvaluateWithPlan runs the query with an explicit plan.
 func (d *Database) EvaluateWithPlan(q *Query, p *Plan, opts Options) (*Result, error) {
-	res, err := engine.Evaluate(d.db, q.q, p.p, opts.engineOptions())
+	return d.EvaluateWithPlanContext(context.Background(), q, p, opts)
+}
+
+// EvaluateWithPlanContext is EvaluateWithPlan under a context; see
+// EvaluateContext.
+func (d *Database) EvaluateWithPlanContext(ctx context.Context, q *Query, p *Plan, opts Options) (*Result, error) {
+	res, err := engine.EvaluateContext(ctx, d.db, q.q, p.p, opts.engineOptions())
 	if err != nil {
 		return nil, err
 	}
