@@ -86,6 +86,43 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPdbfuzzCLI: a clean sweep exits 0; an injected divergence exits 1 with
+// a minimized, loadable reproducer that pdbrun can replay.
+func TestPdbfuzzCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test rebuilds binaries; skipped in -short mode")
+	}
+	out := run(t, "./cmd/pdbfuzz", "-n", "40", "-seed", "1")
+	if !strings.Contains(out, "40 instances ok") {
+		t.Fatalf("pdbfuzz clean run output:\n%s", out)
+	}
+
+	dir := filepath.Join(t.TempDir(), "repro")
+	cmd := exec.Command("go", "run", "./cmd/pdbfuzz",
+		"-n", "20", "-seed", "1", "-inject", "dnf:0.3", "-dump", dir)
+	cmd.Dir = ".."
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("pdbfuzz with injected divergence exited 0:\n%s", b)
+	}
+	outInj := string(b)
+	for _, want := range []string{"DIVERGED", "minimized reproducer", "query:", "pdbrun -data"} {
+		if !strings.Contains(outInj, want) {
+			t.Fatalf("pdbfuzz reproducer output missing %q:\n%s", want, outInj)
+		}
+	}
+	// The dumped reproducer must load and evaluate.
+	queryText, err := os.ReadFile(filepath.Join(dir, "query.txt"))
+	if err != nil {
+		t.Fatalf("dumped reproducer has no query.txt: %v", err)
+	}
+	replay := run(t, "./cmd/pdbrun", "-data", dir,
+		"-query", strings.TrimSpace(string(queryText)), "-strategy", "dnf")
+	if !strings.Contains(replay, "strategy=dnf") {
+		t.Fatalf("replaying dumped reproducer:\n%s", replay)
+	}
+}
+
 func TestPdbbenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI smoke test rebuilds binaries; skipped in -short mode")

@@ -1,0 +1,143 @@
+// Command pdbfuzz runs the differential crosscheck harness from the command
+// line: it generates seeded random databases and conjunctive queries,
+// evaluates them under every requested strategy, and compares the answers
+// against a brute-force possible-worlds oracle. On divergence it greedily
+// shrinks the instance and prints a minimized, loadable reproducer.
+//
+// Usage:
+//
+//	pdbfuzz -n 1000 -seed 1 -strategies partial,safe,network,dnf,mc
+//
+// On failure the reproducer is printed as one CSV block per relation (save
+// each as <name>.csv, or pass -dump to have pdbfuzz write the directory) plus
+// the query and a ready-to-run pdbrun replay command. Exit status is 1 when
+// any instance diverges, 0 otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crosscheck"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 200, "number of instances to check")
+		seed       = flag.Int64("seed", 1, "first instance seed (instance i uses seed+i)")
+		strategies = flag.String("strategies", "", "comma-separated strategies to compare (default all: partial,safe,network,dnf,mc)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-instance evaluation timeout (0 = none)")
+		samples    = flag.Int("samples", 5000, "Karp–Luby samples for the mc strategy")
+		dump       = flag.String("dump", "", "write the minimized reproducer to this directory as <relation>.csv files plus query.txt")
+		inject     = flag.String("inject", "", "self-test hook: inject an artificial divergence, e.g. dnf:0.25 shifts every dnf answer by 0.25")
+		relations  = flag.Int("relations", 3, "generator: max relations (= query atoms)")
+		arity      = flag.Int("arity", 2, "generator: max relation arity")
+		tuples     = flag.Int("tuples", 4, "generator: max tuples per relation")
+		domain     = flag.Int("domain", 3, "generator: constant domain size")
+		uncertain  = flag.Int("uncertain", 10, "generator: max uncertain rows (oracle enumerates 2^uncertain worlds)")
+		verbose    = flag.Bool("v", false, "log every instance")
+	)
+	flag.Parse()
+
+	opts := crosscheck.Options{Samples: *samples}
+	if *strategies != "" {
+		for _, name := range strings.Split(*strategies, ",") {
+			s, err := core.ParseStrategy(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Strategies = append(opts.Strategies, s)
+		}
+	}
+	if *inject != "" {
+		name, amount, ok := strings.Cut(*inject, ":")
+		s, err := core.ParseStrategy(strings.TrimSpace(name))
+		if err != nil || !ok {
+			fatal(fmt.Errorf("bad -inject %q (want strategy:amount, e.g. dnf:0.25)", *inject))
+		}
+		var eps float64
+		if _, err := fmt.Sscanf(amount, "%g", &eps); err != nil {
+			fatal(fmt.Errorf("bad -inject amount %q: %v", amount, err))
+		}
+		opts.Perturb = map[core.Strategy]float64{s: eps}
+	}
+	cfg := crosscheck.GenConfig{
+		MaxRelations: *relations,
+		MaxArity:     *arity,
+		MaxTuples:    *tuples,
+		Domain:       *domain,
+		MaxUncertain: *uncertain,
+	}
+
+	start := time.Now()
+	skips := 0
+	for i := 0; i < *n; i++ {
+		s := *seed + int64(i)
+		in := crosscheck.Generate(s, cfg)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		rep, err := crosscheck.Check(ctx, in, opts)
+		if err != nil {
+			cancel()
+			fmt.Fprintf(os.Stderr, "pdbfuzz: seed %d: evaluation error: %v\ninstance:\n%s", s, err, in)
+			os.Exit(1)
+		}
+		if rep.Failed() {
+			reportFailure(ctx, in, rep, opts, *dump)
+			cancel()
+			os.Exit(1)
+		}
+		if len(rep.Skipped) > 0 {
+			skips++
+		}
+		if *verbose {
+			fmt.Printf("seed %d ok: %d worlds, %d answers, %d strategies skipped\n",
+				s, rep.Oracle.Worlds, len(rep.Oracle.Probs), len(rep.Skipped))
+		}
+		cancel()
+	}
+	fmt.Printf("pdbfuzz: %d instances ok in %v (%d with safe-plan skips, seeds %d..%d)\n",
+		*n, time.Since(start).Round(time.Millisecond), skips, *seed, *seed+int64(*n)-1)
+}
+
+// reportFailure shrinks the failing instance and prints the minimized
+// reproducer in a form that loads straight back into the tools.
+func reportFailure(ctx context.Context, in *crosscheck.Instance, rep *crosscheck.Report, opts crosscheck.Options, dump string) {
+	fmt.Printf("pdbfuzz: seed %d DIVERGED:\n", in.Seed)
+	for _, d := range rep.Divergences {
+		fmt.Printf("  %v\n", d)
+	}
+	min := crosscheck.Minimize(ctx, in, opts)
+	fmt.Printf("minimized reproducer (%d tuples, %d atoms):\n%s", min.TupleCount(), min.AtomCount(), min)
+	dir := dump
+	if dir == "" {
+		dir = "<dir>"
+		fmt.Printf("save each CSV block above as <dir>/<relation>.csv, then replay with:\n")
+	} else {
+		if err := min.WriteDir(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "pdbfuzz: writing reproducer: %v\n", err)
+		} else {
+			fmt.Printf("reproducer written to %s; replay with:\n", dir)
+		}
+	}
+	diverged := map[core.Strategy]bool{}
+	for _, d := range rep.Divergences {
+		diverged[d.Strategy] = true
+	}
+	for s := range diverged {
+		fmt.Printf("  pdbrun -data %s -query '%s' -strategy %s\n", dir, min.Q.String(), s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbfuzz:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,249 @@
+// Package crosscheck is a differential and metamorphic testing harness for
+// the query engine: it generates random tuple-independent databases and
+// conjunctive queries, computes a ground-truth answer distribution by
+// brute-force possible-world enumeration (Definition 2.1), runs every
+// evaluation strategy of core.Strategy through the public pdb API, and
+// reports any divergence.
+//
+// The paper's central claim is that the extensional, partial-lineage and
+// fully intensional paths compute the same probabilities (Sections 3–5);
+// this package enforces that invariant end to end. Exact strategies must
+// agree with the oracle to within Options.Tol (~1e-9, limited only by
+// floating-point summation order); the Karp–Luby sampler must land inside a
+// Hoeffding confidence band derived from its clause weights.
+//
+// When a divergence is found, Shrink greedily drops query atoms and database
+// tuples while the failure persists, so the reported reproducer is minimal.
+// The harness is exposed three ways: the package's own go test suite, native
+// fuzz targets reusing the generator, and the cmd/pdbfuzz CLI, which prints
+// minimized reproducers as loadable CSV plus query text.
+package crosscheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// Instance is one generated test case: a database plus a query over it.
+type Instance struct {
+	// Seed reproduces the instance via Generate (0 for hand-built or shrunk
+	// instances, which are no longer a pure function of a seed).
+	Seed int64
+	DB   *relation.Database
+	Q    *query.Query
+}
+
+// GenConfig bounds the random instance generator. The zero value selects
+// defaults sized so the possible-world oracle stays cheap: the uncertain-row
+// cap is the log2 of the number of worlds enumerated per instance.
+type GenConfig struct {
+	// MaxRelations bounds the relation count (and thus query atoms, one atom
+	// per relation — self-joins are unsupported). Default 3.
+	MaxRelations int
+	// MaxArity bounds relation width. Default 2.
+	MaxArity int
+	// MaxTuples bounds rows per relation (relations may also be empty).
+	// Default 4.
+	MaxTuples int
+	// Domain is the number of distinct constants. Small domains force joins
+	// to actually match and produce duplicate tuples. Default 3.
+	Domain int
+	// MaxVars bounds the query's variable pool. Default 3.
+	MaxVars int
+	// MaxUncertain caps rows with probability strictly in (0,1) across the
+	// database; the oracle enumerates 2^MaxUncertain worlds. Default 10.
+	MaxUncertain int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.MaxRelations <= 0 {
+		c.MaxRelations = 3
+	}
+	if c.MaxArity <= 0 {
+		c.MaxArity = 2
+	}
+	if c.MaxTuples <= 0 {
+		c.MaxTuples = 4
+	}
+	if c.Domain <= 0 {
+		c.Domain = 3
+	}
+	if c.MaxVars <= 0 {
+		c.MaxVars = 3
+	}
+	if c.MaxUncertain <= 0 {
+		c.MaxUncertain = 10
+	}
+	return c
+}
+
+// varNames is the query variable pool; MaxVars indexes into it.
+var varNames = []string{"a", "b", "c", "d", "e", "f"}
+
+// Generate builds a pseudo-random instance. The same (seed, cfg) pair always
+// yields the same instance, so failures replay from the seed alone.
+//
+// The generator is biased toward the regimes where strategies are most
+// likely to drift apart: tiny domains (joins match, answers group, duplicate
+// tuples occur), probabilities exactly 0 and 1 (rows the engine must prune
+// or treat as certain), probabilities near the float boundaries, repeated
+// variables inside an atom, constants (selections), and a mix of Boolean and
+// group-by heads.
+func Generate(seed int64, cfg GenConfig) *Instance {
+	cfg = cfg.withDefaults()
+	if cfg.MaxVars > len(varNames) {
+		cfg.MaxVars = len(varNames)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nrel := 1 + rng.Intn(cfg.MaxRelations)
+
+	db := relation.NewDatabase()
+	uncertain := 0
+	type relSpec struct {
+		name  string
+		arity int
+	}
+	specs := make([]relSpec, nrel)
+	for i := range specs {
+		specs[i] = relSpec{name: fmt.Sprintf("R%d", i), arity: 1 + rng.Intn(cfg.MaxArity)}
+		attrs := make([]string, specs[i].arity)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("c%d", j)
+		}
+		r := relation.New(specs[i].name, attrs...)
+		ntup := rng.Intn(cfg.MaxTuples + 1)
+		for t := 0; t < ntup; t++ {
+			row := make([]int64, specs[i].arity)
+			if t > 0 && rng.Float64() < 0.15 {
+				// Duplicate the previous tuple verbatim (with a fresh,
+				// independent probability): tuple-independent semantics treat
+				// the copies as distinct events, which every path must honor.
+				prev := r.Rows[len(r.Rows)-1].Tuple
+				for j := range row {
+					row[j] = prev[j].AsInt()
+				}
+			} else {
+				for j := range row {
+					row[j] = int64(rng.Intn(cfg.Domain))
+				}
+			}
+			p := randProb(rng)
+			if p > 0 && p < 1 {
+				if uncertain >= cfg.MaxUncertain {
+					p = float64(rng.Intn(2)) // cap reached: only certain rows
+				} else {
+					uncertain++
+				}
+			}
+			if err := r.AddInts(p, row...); err != nil {
+				panic("crosscheck: generator produced invalid row: " + err.Error())
+			}
+		}
+		db.AddRelation(r)
+	}
+
+	// One atom per relation, arguments drawn from a small variable pool with
+	// occasional constants and naturally repeated variables.
+	used := make(map[string]bool)
+	var atoms []string
+	for _, sp := range specs {
+		args := make([]string, sp.arity)
+		for j := range args {
+			if rng.Float64() < 0.12 {
+				args[j] = fmt.Sprint(rng.Intn(cfg.Domain))
+			} else {
+				v := varNames[rng.Intn(cfg.MaxVars)]
+				args[j] = v
+				used[v] = true
+			}
+		}
+		atoms = append(atoms, sp.name+"("+strings.Join(args, ", ")+")")
+	}
+	var head []string
+	for _, v := range varNames[:cfg.MaxVars] {
+		if used[v] && rng.Float64() < 0.3 {
+			head = append(head, v)
+		}
+	}
+	text := "q(" + strings.Join(head, ", ") + ") :- " + strings.Join(atoms, ", ")
+	q, err := query.Parse(text)
+	if err != nil {
+		panic("crosscheck: generator produced unparsable query " + text + ": " + err.Error())
+	}
+	if err := q.Validate(); err != nil {
+		panic("crosscheck: generator produced invalid query " + text + ": " + err.Error())
+	}
+	return &Instance{Seed: seed, DB: db, Q: q}
+}
+
+// randProb draws a presence probability from a palette weighted toward the
+// adversarial edges of [0,1]: exact 0 and 1, one half (offending tuples at
+// the conditioning phase transition), and near-boundary magnitudes that
+// stress summation accuracy.
+func randProb(rng *rand.Rand) float64 {
+	switch x := rng.Float64(); {
+	case x < 0.10:
+		return 0
+	case x < 0.22:
+		return 1
+	case x < 0.34:
+		return 0.5
+	case x < 0.40:
+		return 1e-3
+	case x < 0.46:
+		return 0.999
+	default:
+		return rng.Float64()
+	}
+}
+
+// Clone deep-copies the instance (rows copied; immutable tuples shared) so a
+// shrink candidate can be mutated without touching the original.
+func (in *Instance) Clone() *Instance {
+	db := relation.NewDatabase()
+	for _, name := range in.DB.Names() {
+		r, err := in.DB.Relation(name)
+		if err != nil {
+			panic("crosscheck: " + err.Error())
+		}
+		db.AddRelation(r.Clone())
+	}
+	q := &query.Query{
+		Name:  in.Q.Name,
+		Head:  append([]string(nil), in.Q.Head...),
+		Atoms: append([]query.Atom(nil), in.Q.Atoms...),
+	}
+	return &Instance{Seed: in.Seed, DB: db, Q: q}
+}
+
+// String renders the instance as a replayable reproducer: the query in parse
+// syntax followed by one CSV block per relation in WriteCSV format. Saving
+// each block as <name>.csv yields a directory loadable by pdbrun -data.
+func (in *Instance) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", in.Q.String())
+	for _, name := range in.DB.Names() {
+		r, err := in.DB.Relation(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "-- %s.csv\n", name)
+		if err := r.WriteCSV(&b); err != nil {
+			fmt.Fprintf(&b, "(write error: %v)\n", err)
+		}
+	}
+	return b.String()
+}
+
+// WriteDir saves the instance as a pdbrun-loadable directory: one <name>.csv
+// per relation plus query.txt.
+func (in *Instance) WriteDir(dir string) error {
+	if err := in.DB.SaveDir(dir); err != nil {
+		return err
+	}
+	return writeQueryFile(dir, in.Q.String())
+}

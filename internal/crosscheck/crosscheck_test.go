@@ -1,0 +1,198 @@
+package crosscheck
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// numInstances is the seeded-sweep size; CI and the acceptance criteria
+// require at least 200.
+const numInstances = 200
+
+// TestOracleHandComputed pins the oracle to hand-computed probabilities on
+// the paper's running two-relation join.
+func TestOracleHandComputed(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "x")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	r.MustAdd(tuple.Ints(2), 0.9)
+	s := relation.New("S", "x", "y")
+	s.MustAdd(tuple.Ints(1, 1), 0.8)
+	s.MustAdd(tuple.Ints(2, 1), 0.4)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	q := query.MustParse("q :- R(a), S(a, b)")
+	in := &Instance{DB: db, Q: q}
+	o, err := ComputeOracle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(∃a,b) = 1 - (1 - 0.5·0.8)(1 - 0.9·0.4) = 1 - 0.6·0.64.
+	want := 1 - 0.6*0.64
+	got := o.Probs[tuple.Tuple{}.Key()]
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("oracle Boolean prob = %.12f, want %.12f", got, want)
+	}
+	if o.Worlds != 16 {
+		t.Fatalf("oracle enumerated %d worlds, want 16", o.Worlds)
+	}
+
+	// Group-by head: P(a=1) = 0.5·0.8, P(a=2) = 0.9·0.4.
+	in.Q = query.MustParse("q(a) :- R(a), S(a, b)")
+	o, err = ComputeOracle(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Probs[tuple.Ints(1).Key()]; math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("P(a=1) = %.12f, want 0.4", got)
+	}
+	if got := o.Probs[tuple.Ints(2).Key()]; math.Abs(got-0.36) > 1e-12 {
+		t.Fatalf("P(a=2) = %.12f, want 0.36", got)
+	}
+}
+
+// TestGeneratorDeterministic: the same seed must reproduce the same
+// instance, byte for byte — seeds are the replay handle pdbfuzz prints.
+func TestGeneratorDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		a := Generate(seed, GenConfig{})
+		b := Generate(seed, GenConfig{})
+		if a.String() != b.String() {
+			t.Fatalf("seed %d not deterministic:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestRandomInstancesAgree is the harness's main sweep: numInstances seeded
+// random instances, all five strategies against the possible-worlds oracle.
+// Exact paths must agree to 1e-9; the Karp–Luby sampler must land inside its
+// Hoeffding band. Any divergence fails with a minimized reproducer.
+func TestRandomInstancesAgree(t *testing.T) {
+	ctx := context.Background()
+	opts := Options{}
+	skips, worlds := 0, 0
+	for seed := int64(1); seed <= numInstances; seed++ {
+		in := Generate(seed, GenConfig{})
+		rep, err := Check(ctx, in, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ninstance:\n%s", seed, err, in)
+		}
+		if rep.Failed() {
+			min := Minimize(ctx, in, opts)
+			t.Fatalf("seed %d diverged: %v\nminimized reproducer (%d tuples, %d atoms):\n%s",
+				seed, rep.Divergences[0], min.TupleCount(), min.AtomCount(), min)
+		}
+		if _, ok := rep.Skipped[core.SafePlanOnly]; ok {
+			skips++
+		}
+		worlds += rep.Oracle.Worlds
+	}
+	t.Logf("%d instances, %d worlds enumerated, %d safe-plan skips", int64(numInstances), worlds, skips)
+}
+
+// TestInjectedDivergenceCaughtAndShrunk validates the harness itself: a
+// deliberately perturbed strategy must be caught, and the shrinker must
+// return a smaller (or equal) instance that still fails.
+func TestInjectedDivergenceCaughtAndShrunk(t *testing.T) {
+	ctx := context.Background()
+	opts := Options{
+		Strategies: ExactStrategies(),
+		Perturb:    map[core.Strategy]float64{core.DNFLineage: 0.25},
+	}
+	found := false
+	for seed := int64(1); seed <= 50; seed++ {
+		in := Generate(seed, GenConfig{})
+		rep, err := Check(ctx, in, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Failed() {
+			// Instances with no answers at all cannot show the perturbation.
+			continue
+		}
+		found = true
+		min := Minimize(ctx, in, opts)
+		if min.TupleCount() > in.TupleCount() || min.AtomCount() > in.AtomCount() {
+			t.Fatalf("seed %d: shrinker grew the instance: %d/%d tuples, %d/%d atoms",
+				seed, min.TupleCount(), in.TupleCount(), min.AtomCount(), in.AtomCount())
+		}
+		repMin, err := Check(ctx, min, opts)
+		if err != nil {
+			t.Fatalf("seed %d: minimized instance errors: %v\n%s", seed, err, min)
+		}
+		if !repMin.Failed() {
+			t.Fatalf("seed %d: minimized instance no longer fails:\n%s", seed, min)
+		}
+		if min.String() == "" {
+			t.Fatal("empty reproducer rendering")
+		}
+		break
+	}
+	if !found {
+		t.Fatal("no instance exercised the injected divergence")
+	}
+}
+
+// TestShrinkIsMinimal: on a hand-built failing instance, the shrinker must
+// remove every tuple and atom that is not needed to reproduce the failure.
+func TestShrinkIsMinimal(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "x")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	r.MustAdd(tuple.Ints(2), 0.5) // irrelevant to the failure below
+	s := relation.New("S", "x")
+	s.MustAdd(tuple.Ints(1), 0.5)
+	u := relation.New("U", "x")
+	u.MustAdd(tuple.Ints(1), 1)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	db.AddRelation(u)
+	in := &Instance{DB: db, Q: query.MustParse("q :- R(a), S(b), U(c)")}
+
+	// Synthetic failure: "fails" whenever R still contains tuple (1).
+	failing := func(c *Instance) bool {
+		rel, err := c.DB.Relation("R")
+		if err != nil {
+			return false
+		}
+		for _, row := range rel.Rows {
+			if row.Tuple.Key() == tuple.Ints(1).Key() {
+				return true
+			}
+		}
+		return false
+	}
+	min := Shrink(in, failing)
+	if min.AtomCount() != 1 {
+		t.Fatalf("shrunk query has %d atoms, want 1: %s", min.AtomCount(), min.Q)
+	}
+	if min.TupleCount() != 1 {
+		t.Fatalf("shrunk database has %d tuples, want 1:\n%s", min.TupleCount(), min)
+	}
+	if !failing(min) {
+		t.Fatal("shrunk instance no longer fails")
+	}
+}
+
+// TestCheckPerAnswerBounds: the Monte-Carlo band must be per answer — a
+// certain answer (lineage true) gets a zero-width band.
+func TestMCCertainAnswerExact(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "x")
+	r.MustAdd(tuple.Ints(1), 1)
+	db.AddRelation(r)
+	in := &Instance{DB: db, Q: query.MustParse("q :- R(a)")}
+	rep, err := Check(context.Background(), in, Options{Strategies: []core.Strategy{core.MonteCarlo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("certain answer diverged under MC: %v", rep.Divergences)
+	}
+}

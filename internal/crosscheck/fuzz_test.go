@@ -1,0 +1,54 @@
+package crosscheck
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzCheckExact drives the differential harness from a fuzzed seed: every
+// generated instance must evaluate without error under the exact strategies
+// and agree with the possible-worlds oracle to 1e-9. The generator maps any
+// int64 to a valid instance, so the whole seed space is searchable.
+func FuzzCheckExact(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(0))
+	f.Add(int64(-1))
+	f.Add(int64(1) << 62)
+	opts := Options{Strategies: ExactStrategies()}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		in := Generate(seed, GenConfig{})
+		rep, err := Check(context.Background(), in, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ninstance:\n%s", seed, err, in)
+		}
+		if rep.Failed() {
+			min := Minimize(context.Background(), in, opts)
+			t.Fatalf("seed %d diverged: %v\nminimized reproducer:\n%s", seed, rep.Divergences[0], min)
+		}
+	})
+}
+
+// FuzzCheckMonteCarlo additionally runs the Karp–Luby sampler with a small
+// sample budget against its Hoeffding band. Kept separate from the exact
+// target so the cheap invariant gets most of the fuzzing throughput.
+func FuzzCheckMonteCarlo(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	opts := Options{Strategies: []core.Strategy{core.MonteCarlo}, Samples: 1000}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		in := Generate(seed, GenConfig{MaxUncertain: 8})
+		rep, err := Check(context.Background(), in, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v\ninstance:\n%s", seed, err, in)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: sampler left its confidence band: %v\ninstance:\n%s",
+				seed, rep.Divergences[0], in)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package crosscheck
+
+import (
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// Oracle is the ground-truth answer distribution of an instance, computed by
+// exhaustive possible-world enumeration: for every world (Eq. 1's product
+// space, via relation.Database.Worlds) the query is evaluated as an ordinary
+// deterministic conjunctive query, and each answer tuple accumulates the
+// world's probability. This path shares no evaluation code with the engine —
+// no plans, no lineage, no networks — so agreement with it is meaningful.
+type Oracle struct {
+	// Probs maps each answer's tuple key to its marginal probability; Vals
+	// recovers the tuple behind a key. A Boolean query uses the empty tuple.
+	Probs map[string]float64
+	Vals  map[string]tuple.Tuple
+	// Worlds is the number of possible worlds enumerated.
+	Worlds int
+}
+
+// ComputeOracle enumerates the instance's possible worlds and sums each
+// answer's probability with Kahan compensation. Per-answer sums range over
+// up to 2^MaxWorldRows terms of wildly mixed magnitudes (world probabilities
+// multiply up to 22 factors, so terms span many orders of magnitude); naive
+// summation could lose enough precision to eat into the harness's 1e-9
+// agreement tolerance, while compensated summation keeps the oracle's own
+// error at a few ulps.
+func ComputeOracle(in *Instance) (*Oracle, error) {
+	worlds, err := in.DB.Worlds()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newWorldEvaluator(in.DB, in.Q)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]*kahanSum)
+	vals := make(map[string]tuple.Tuple)
+	answers := make(map[string]tuple.Tuple)
+	for i := range worlds {
+		w := &worlds[i]
+		if w.P == 0 {
+			continue
+		}
+		clear(answers)
+		ev.answers(w, answers)
+		for k, v := range answers {
+			s, ok := sums[k]
+			if !ok {
+				s = &kahanSum{}
+				sums[k] = s
+				vals[k] = v
+			}
+			s.Add(w.P)
+		}
+	}
+	out := &Oracle{Probs: make(map[string]float64, len(sums)), Vals: vals, Worlds: len(worlds)}
+	for k, s := range sums {
+		out.Probs[k] = s.Sum()
+	}
+	return out, nil
+}
+
+// kahanSum is a compensated accumulator: Add folds in one term, tracking the
+// low-order bits lost by each floating-point addition.
+type kahanSum struct{ sum, c float64 }
+
+func (k *kahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+func (k *kahanSum) Sum() float64 { return k.sum }
+
+// worldEvaluator evaluates the query on single deterministic worlds by plain
+// backtracking over the atoms in body order.
+type worldEvaluator struct {
+	q     *query.Query
+	rels  []*relation.Relation
+	atoms []*query.Atom
+}
+
+func newWorldEvaluator(db *relation.Database, q *query.Query) (*worldEvaluator, error) {
+	ev := &worldEvaluator{q: q}
+	for i := range q.Atoms {
+		a := &q.Atoms[i]
+		r, err := db.Relation(a.Pred)
+		if err != nil {
+			return nil, err
+		}
+		ev.rels = append(ev.rels, r)
+		ev.atoms = append(ev.atoms, a)
+	}
+	return ev, nil
+}
+
+// answers collects the query's answer tuples in world w, keyed by tuple key.
+func (ev *worldEvaluator) answers(w *relation.World, out map[string]tuple.Tuple) {
+	binding := make(map[string]tuple.Value)
+	ev.recurse(0, w, binding, out)
+}
+
+func (ev *worldEvaluator) recurse(depth int, w *relation.World, binding map[string]tuple.Value, out map[string]tuple.Tuple) {
+	if depth == len(ev.atoms) {
+		vals := make(tuple.Tuple, len(ev.q.Head))
+		for i, h := range ev.q.Head {
+			vals[i] = binding[h]
+		}
+		out[vals.Key()] = vals
+		return
+	}
+	a := ev.atoms[depth]
+	rel := ev.rels[depth]
+	for _, ri := range w.Present[a.Pred] {
+		row := rel.Rows[ri]
+		var bound []string
+		ok := true
+		for pos, arg := range a.Args {
+			v := row.Tuple[pos]
+			if !arg.IsVar() {
+				if v != arg.Const {
+					ok = false
+					break
+				}
+				continue
+			}
+			if old, exists := binding[arg.Var]; exists {
+				if old != v {
+					ok = false
+					break
+				}
+				continue
+			}
+			binding[arg.Var] = v
+			bound = append(bound, arg.Var)
+		}
+		if ok {
+			ev.recurse(depth+1, w, binding, out)
+		}
+		for _, v := range bound {
+			delete(binding, v)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package crosscheck
+
+import (
+	"context"
+
+	"repro/internal/relation"
+)
+
+// Shrink greedily minimizes a failing instance: it repeatedly tries to drop
+// a query atom (with its now-unreferenced relation and any head variables it
+// alone bound) or a single database tuple, keeping each candidate only if
+// failing still reports it as failing, until no single removal preserves the
+// failure. The result is 1-minimal — every remaining atom and tuple is
+// necessary — which is what a human wants to stare at in a bug report.
+//
+// failing must be deterministic for the minimization to make sense; Check
+// with a fixed Options.Seed is.
+func Shrink(in *Instance, failing func(*Instance) bool) *Instance {
+	cur := in
+	for changed := true; changed; {
+		changed = false
+		// Atoms first: dropping one removes a whole relation's worth of
+		// tuples at once.
+		for i := 0; i < len(cur.Q.Atoms); i++ {
+			cand := dropAtom(cur, i)
+			if cand != nil && failing(cand) {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+		for _, name := range cur.DB.Names() {
+			r, err := cur.DB.Relation(name)
+			if err != nil {
+				continue
+			}
+			for i := 0; i < r.Len(); i++ {
+				cand := dropTuple(cur, name, i)
+				if failing(cand) {
+					cur = cand
+					r, _ = cur.DB.Relation(name)
+					changed = true
+					i--
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// Minimize shrinks in under the failure predicate "Check(opts) reports a
+// divergence". If the instance does not fail to begin with it is returned
+// unchanged. Candidates whose evaluation errors (rather than diverges) are
+// rejected, so shrinking never trades a divergence for a crash.
+func Minimize(ctx context.Context, in *Instance, opts Options) *Instance {
+	failing := func(c *Instance) bool {
+		rep, err := Check(ctx, c, opts)
+		return err == nil && rep.Failed()
+	}
+	if !failing(in) {
+		return in
+	}
+	return Shrink(in, failing)
+}
+
+// dropAtom removes atom i from the query, prunes head variables that no
+// longer occur in the body, and drops relations the query no longer
+// references. It returns nil when the query would become empty.
+func dropAtom(in *Instance, i int) *Instance {
+	if len(in.Q.Atoms) <= 1 {
+		return nil
+	}
+	out := in.Clone()
+	out.Seed = 0
+	out.Q.Atoms = append(out.Q.Atoms[:i], out.Q.Atoms[i+1:]...)
+	remaining := make(map[string]bool)
+	for j := range out.Q.Atoms {
+		for _, v := range out.Q.Atoms[j].Vars() {
+			remaining[v] = true
+		}
+	}
+	head := out.Q.Head[:0]
+	for _, h := range out.Q.Head {
+		if remaining[h] {
+			head = append(head, h)
+		}
+	}
+	out.Q.Head = head
+	used := make(map[string]bool, len(out.Q.Atoms))
+	for j := range out.Q.Atoms {
+		used[out.Q.Atoms[j].Pred] = true
+	}
+	db := relation.NewDatabase()
+	for _, name := range out.DB.Names() {
+		if !used[name] {
+			continue
+		}
+		r, err := out.DB.Relation(name)
+		if err != nil {
+			continue
+		}
+		db.AddRelation(r)
+	}
+	out.DB = db
+	if err := out.Q.Validate(); err != nil {
+		return nil
+	}
+	return out
+}
+
+// dropTuple removes row i of the named relation.
+func dropTuple(in *Instance, name string, i int) *Instance {
+	out := in.Clone()
+	out.Seed = 0
+	r, err := out.DB.Relation(name)
+	if err != nil || i >= r.Len() {
+		return in
+	}
+	r.Rows = append(r.Rows[:i], r.Rows[i+1:]...)
+	return out
+}
+
+// TupleCount is the total number of database rows — the shrinker's size
+// metric, reported by pdbfuzz.
+func (in *Instance) TupleCount() int { return in.DB.TotalRows() }
+
+// AtomCount is the number of query atoms.
+func (in *Instance) AtomCount() int { return len(in.Q.Atoms) }

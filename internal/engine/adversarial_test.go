@@ -1,0 +1,230 @@
+// Adversarial differential tests: hand-built and generated instances in the
+// regimes where the five strategies are most likely to drift apart, each
+// checked against the crosscheck possible-world oracle.
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crosscheck"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// h0DB builds the classic unsafe query q :- R(a), S(a,b), T(b) over a 2×2
+// instance with k uncertain R rows. The R rows are exactly the offending
+// tuples of the left-deep plan, so k is the instance's distance from
+// data-safety: k = 0 is extensionally exact, k = 1 is one conditioning step
+// past the phase transition.
+func h0DB(t *testing.T, k int) *crosscheck.Instance {
+	t.Helper()
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	s := relation.New("S", "a", "b")
+	tt := relation.New("T", "b")
+	for x := int64(1); x <= 2; x++ {
+		p := 1.0
+		if int(x) <= k {
+			p = 0.5
+		}
+		r.MustAdd(tuple.Ints(x), p)
+		tt.MustAdd(tuple.Ints(x), 0.5)
+		for y := int64(1); y <= 2; y++ {
+			s.MustAdd(tuple.Ints(x, y), 0.5)
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	db.AddRelation(tt)
+	return &crosscheck.Instance{DB: db, Q: query.MustParse("q :- R(a), S(a, b), T(b)")}
+}
+
+// TestOffendingTupleBoundary walks the data-safety phase transition: with no
+// uncertain R rows the extensional plan is exact and SafePlanOnly must
+// succeed; the first uncertain R row makes it decline with ErrNotDataSafe
+// while the conditioning strategies stay correct, conditioning exactly the
+// k offending tuples.
+func TestOffendingTupleBoundary(t *testing.T) {
+	for k := 0; k <= 2; k++ {
+		in := h0DB(t, k)
+		rep, err := crosscheck.Check(context.Background(), in, crosscheck.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if rep.Failed() {
+			t.Errorf("k=%d diverged:\n%v", k, rep.Divergences)
+		}
+		skip, skipped := rep.Skipped[core.SafePlanOnly]
+		if k == 0 && skipped {
+			t.Errorf("k=0: data-safe instance skipped by SafePlanOnly: %v", skip)
+		}
+		if k > 0 {
+			if !skipped {
+				t.Errorf("k=%d: SafePlanOnly accepted a non-data-safe instance", k)
+			} else if !errors.Is(skip, engine.ErrNotDataSafe) {
+				t.Errorf("k=%d: skip reason = %v, want ErrNotDataSafe", k, skip)
+			}
+		}
+		res, err := engine.EvaluateQuery(in.DB, in.Q, engine.Options{Strategy: core.PartialLineage})
+		if err != nil {
+			t.Fatalf("k=%d partial: %v", k, err)
+		}
+		if res.Stats.OffendingTuples != k {
+			t.Errorf("k=%d: conditioned %d offending tuples", k, res.Stats.OffendingTuples)
+		}
+	}
+}
+
+// TestZeroOneProbabilityTuples pins the degenerate edges of [0,1]: rows with
+// probability 0 must be unable to contribute an answer, rows with
+// probability 1 must make answers certain, and on a fully deterministic
+// database even the Monte-Carlo sampler has a zero-width confidence band, so
+// all five strategies must agree exactly.
+func TestZeroOneProbabilityTuples(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0)
+	r.MustAdd(tuple.Ints(2), 1)
+	s := relation.New("S", "a")
+	s.MustAdd(tuple.Ints(1), 1)
+	s.MustAdd(tuple.Ints(2), 1)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	in := &crosscheck.Instance{DB: db, Q: query.MustParse("q(a) :- R(a), S(a)")}
+	rep, err := crosscheck.Check(context.Background(), in, crosscheck.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("0/1-probability instance diverged:\n%v", rep.Divergences)
+	}
+	if got := len(rep.Oracle.Probs); got != 1 {
+		t.Fatalf("oracle found %d answers, want 1 (the p=0 row must not answer)", got)
+	}
+	for key, p := range rep.Oracle.Probs {
+		if p != 1 {
+			t.Errorf("answer %s has probability %v, want exactly 1", key, p)
+		}
+	}
+
+	// Generated sweep: MaxUncertain 1 forces almost every row to exactly 0
+	// or 1, so the engine's pruning of impossible rows and shortcutting of
+	// certain ones is exercised across many shapes.
+	for seed := int64(1); seed <= 40; seed++ {
+		in := crosscheck.Generate(seed, crosscheck.GenConfig{MaxUncertain: 1})
+		rep, err := crosscheck.Check(context.Background(), in, crosscheck.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d diverged:\n%v\n%s", seed, rep.Divergences, in)
+		}
+	}
+}
+
+// TestDuplicateTuplesAgreement covers repeated tuple values: duplicate rows
+// inside one relation are distinct independent events that every path must
+// combine identically, and a one-constant domain makes every join match and
+// every projection group collide.
+func TestDuplicateTuplesAgreement(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.3)
+	r.MustAdd(tuple.Ints(1), 0.6) // same tuple, independent second event
+	s := relation.New("S", "a")
+	s.MustAdd(tuple.Ints(1), 0.5)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	in := &crosscheck.Instance{DB: db, Q: query.MustParse("q :- R(a), S(a)")}
+	rep, err := crosscheck.Check(context.Background(), in, crosscheck.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("duplicate-row instance diverged:\n%v", rep.Divergences)
+	}
+	// P(q) = P(S(1)) · P(R(1) present at least once) = 0.5 · (1 − 0.7·0.4).
+	want := 0.5 * (1 - 0.7*0.4)
+	if got := rep.Oracle.Probs[tuple.Tuple(nil).Key()]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("oracle = %v, want %v", got, want)
+	}
+
+	for seed := int64(1); seed <= 40; seed++ {
+		in := crosscheck.Generate(seed, crosscheck.GenConfig{Domain: 1, MaxTuples: 5})
+		rep, err := crosscheck.Check(context.Background(), in, crosscheck.Options{
+			Strategies: crosscheck.ExactStrategies(),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Errorf("seed %d diverged:\n%v\n%s", seed, rep.Divergences, in)
+		}
+	}
+}
+
+// Regression (found by the crosscheck harness): a head whose variable order
+// differs from the plan's output order — q(a, b) :- R0(b, a) — used to be
+// answered in plan-output order by the network strategies, so the same
+// answer carried different tuples under different strategies and
+// Result.Prob(headVals) silently returned 0.
+func TestHeadOrderMatchesQueryHead(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R0", "c0", "c1")
+	r.MustAdd(tuple.Ints(0, 1), 0.7)
+	db.AddRelation(r)
+	q := query.MustParse("q(a, b) :- R0(b, a)")
+	for _, s := range core.Strategies() {
+		res, err := engine.EvaluateQuery(db, q, engine.Options{Strategy: s, Seed: 1, Samples: 20000})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(res.Attrs) != 2 || res.Attrs[0] != "a" || res.Attrs[1] != "b" {
+			t.Errorf("%v: attrs = %v, want [a b]", s, res.Attrs)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("%v: %d rows, want 1", s, len(res.Rows))
+		}
+		// R0(b, a) binds b=0, a=1, so the head tuple is (1, 0).
+		p := res.Prob(tuple.Ints(1, 0))
+		tol := 1e-12
+		if s == core.MonteCarlo {
+			tol = 0.05
+		}
+		if math.Abs(p-0.7) > tol {
+			t.Errorf("%v: Prob(1,0) = %v, want 0.7 (row %v)", s, p, res.Rows[0].Vals)
+		}
+	}
+}
+
+// Regression: probabilities outside [0,1] written directly into Rows
+// (bypassing Relation.Add) used to crash deep inside the solvers; the
+// evaluation boundary must reject them with the relation, tuple and value.
+func TestBadProbabilityIsDescriptiveError(t *testing.T) {
+	for _, bad := range []float64{1.5, -0.1, math.NaN()} {
+		db := relation.NewDatabase()
+		r := relation.New("R0", "c0")
+		r.MustAdd(tuple.Ints(7), 0.5)
+		r.Rows[0].P = bad
+		db.AddRelation(r)
+		q := query.MustParse("q :- R0(a)")
+		for _, s := range core.Strategies() {
+			_, err := engine.EvaluateQuery(db, q, engine.Options{Strategy: s})
+			if err == nil {
+				t.Fatalf("strategy %v accepted probability %v", s, bad)
+			}
+			for _, want := range []string{"R0", "(7)", "probability"} {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("strategy %v, p=%v: error %q does not mention %q", s, bad, err, want)
+				}
+			}
+		}
+	}
+}

@@ -163,6 +163,9 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if err := validateBaseProbs(db, q); err != nil {
+		return nil, err
+	}
 	ec := core.NewExecContext(ctx, core.ExecConfig{
 		Budget:      opts.Budget,
 		Parallelism: opts.Parallelism,
@@ -170,7 +173,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 	})
 	switch opts.Strategy {
 	case core.PartialLineage, core.SafePlanOnly, core.FullNetwork:
-		return evalNetwork(ec, db, plan, opts)
+		return evalNetwork(ec, db, q, plan, opts)
 	case core.DNFLineage, core.MonteCarlo:
 		if len(opts.Evidence) > 0 {
 			return nil, fmt.Errorf("engine: evidence conditioning requires a network strategy")
@@ -201,6 +204,26 @@ func EvaluateQueryContext(ctx context.Context, db *relation.Database, q *query.Q
 		}
 	}
 	return EvaluateContext(ctx, db, q, plan, opts)
+}
+
+// validateBaseProbs checks, once at the evaluation boundary, that every
+// relation the query touches carries only probabilities in [0,1]. Relations
+// built through the validated entry points (Relation.Add, the CSV loader,
+// the pdb facade) always pass; the check exists for callers that fill
+// relation.Rows directly, whose bad values would otherwise surface as
+// panics deep inside the exact solvers. Relations missing from the database
+// are skipped here — the executor reports them with better context.
+func validateBaseProbs(db *relation.Database, q *query.Query) error {
+	for i := range q.Atoms {
+		rel, err := db.Relation(q.Atoms[i].Pred)
+		if err != nil {
+			continue
+		}
+		if err := rel.ValidateProbs(); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+	}
+	return nil
 }
 
 // answerMarginal computes one lineage node's marginal. Exact paths, in

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/aonet"
@@ -11,13 +12,26 @@ import (
 	"repro/internal/tuple"
 )
 
+// ErrNotDataSafe reports that a SafePlanOnly evaluation hit a join requiring
+// conditioning: the plan is not data-safe on this instance (Definition 3.4).
+// Matchable with errors.Is; callers like the crosscheck harness use it to
+// distinguish the strategy legitimately declining an instance from a bug.
+var ErrNotDataSafe = errors.New("engine: plan is not data-safe on this instance")
+
 // evalNetwork executes the plan over pL-relations (the SafePlanOnly,
 // PartialLineage and FullNetwork strategies) and runs inference on the
 // resulting partial-lineage network, through the shared pipeline driver:
 // build = plan execution, one inference job per distinct lineage node,
-// assemble = row materialization in plan-output order.
-func evalNetwork(ec *core.ExecContext, db *relation.Database, plan *query.Plan, opts Options) (*Result, error) {
-	res := &Result{Attrs: plan.Attrs(), Net: aonet.New()}
+// assemble = row materialization. Answer tuples are emitted in head-variable
+// order — the plan's output column order can differ (e.g. q(a, b) :- R(b, a)),
+// and every strategy must present answers identically for results to be
+// comparable.
+func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
+	perm, err := headPermutation(q, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Attrs: append([]string(nil), q.Head...), Net: aonet.New()}
 	res.Stats.Strategy = opts.Strategy
 	ex := &executor{db: db, net: res.Net, opts: opts, stats: &res.Stats, ec: ec}
 	if len(opts.Evidence) > 0 {
@@ -55,7 +69,11 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, plan *query.Plan, 
 		final = make([]finalTuple, 0, out.Len())
 		seen := make(map[aonet.NodeID]bool)
 		for _, t := range out.Tuples {
-			final = append(final, finalTuple{vals: t.Vals, p: t.P, lin: t.Lin})
+			vals := t.Vals
+			if perm != nil {
+				vals = vals.Project(perm)
+			}
+			final = append(final, finalTuple{vals: vals, p: t.P, lin: t.Lin})
 			if t.Lin != aonet.Epsilon && !seen[t.Lin] {
 				seen[t.Lin] = true
 				distinct = append(distinct, t.Lin)
@@ -97,6 +115,35 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, plan *query.Plan, 
 		return nil, err
 	}
 	return res, nil
+}
+
+// headPermutation maps head positions to plan output columns: nil when the
+// plan already emits exactly the head order (the common case — no copy
+// needed), otherwise an index slice for tuple.Project. A head variable
+// missing from the plan output is an internal plan-construction error.
+func headPermutation(q *query.Query, plan *query.Plan) ([]int, error) {
+	attrs := tuple.Schema(plan.Attrs())
+	if len(attrs) == len(q.Head) {
+		same := true
+		for i, h := range q.Head {
+			if attrs[i] != h {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil, nil
+		}
+	}
+	perm := make([]int, len(q.Head))
+	for i, h := range q.Head {
+		j := attrs.Index(h)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: plan output %v is missing head variable %s", plan.Attrs(), h)
+		}
+		perm[i] = j
+	}
+	return perm, nil
 }
 
 // executor runs one plan over a shared network.
@@ -177,8 +224,8 @@ func (ex *executor) execOp(p *query.Plan) (*pl.Relation, error) {
 			Conditioned: conditioned,
 		})
 		if conditioned > 0 && ex.opts.Strategy == core.SafePlanOnly {
-			return nil, fmt.Errorf("engine: plan is not data-safe on this instance: join %s ⋈ %s required conditioning %d offending tuples",
-				p.Left.String(), p.Right.String(), conditioned)
+			return nil, fmt.Errorf("%w: join %s ⋈ %s required conditioning %d offending tuples",
+				ErrNotDataSafe, p.Left.String(), p.Right.String(), conditioned)
 		}
 		return joined, nil
 	default:

@@ -1,4 +1,7 @@
-package engine
+// External test package so these tests can use internal/crosscheck, which
+// itself imports engine (adversarial tests below build on its generator and
+// possible-world oracle).
+package engine_test
 
 import (
 	"errors"
@@ -6,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/inference"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -41,13 +45,13 @@ func hardDB(t *testing.T, n int) (*relation.Database, *query.Query, *query.Plan)
 
 func TestNoFallbackSurfacesTooWide(t *testing.T) {
 	db, q, plan := hardDB(t, 10)
-	opts := Options{
+	opts := engine.Options{
 		Strategy:    core.PartialLineage,
 		NoFallback:  true,
 		NoExpansion: true,
 		Inference:   inference.Options{MaxFactorVars: 4, NoConditioning: true},
 	}
-	_, err := Evaluate(db, q, plan, opts)
+	_, err := engine.Evaluate(db, q, plan, opts)
 	if !errors.Is(err, inference.ErrTooWide) {
 		t.Errorf("expected ErrTooWide, got %v", err)
 	}
@@ -55,12 +59,12 @@ func TestNoFallbackSurfacesTooWide(t *testing.T) {
 
 func TestSamplingFallbackApproximates(t *testing.T) {
 	db, q, plan := hardDB(t, 9)
-	exact, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage})
+	exact, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Forward-sampling fallback: expansion disabled, VE too narrow.
-	approx, err := Evaluate(db, q, plan, Options{
+	approx, err := engine.Evaluate(db, q, plan, engine.Options{
 		Strategy:    core.PartialLineage,
 		NoExpansion: true,
 		Inference:   inference.Options{MaxFactorVars: 4, NoConditioning: true},
@@ -78,7 +82,7 @@ func TestSamplingFallbackApproximates(t *testing.T) {
 	}
 	// Karp–Luby-on-expansion fallback: expansion succeeds, solver budget
 	// trips, VE too narrow.
-	kl, err := Evaluate(db, q, plan, Options{
+	kl, err := engine.Evaluate(db, q, plan, engine.Options{
 		Strategy:    core.PartialLineage,
 		ExactBudget: 1,
 		Inference:   inference.Options{MaxFactorVars: 4, NoConditioning: true},
@@ -98,11 +102,11 @@ func TestSamplingFallbackApproximates(t *testing.T) {
 
 func TestDNFBudgetFallback(t *testing.T) {
 	db, q, plan := hardDB(t, 9)
-	exact, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage})
+	exact, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage})
 	if err != nil {
 		t.Fatal(err)
 	}
-	limited, err := Evaluate(db, q, plan, Options{
+	limited, err := engine.Evaluate(db, q, plan, engine.Options{
 		Strategy:    core.DNFLineage,
 		ExactBudget: 1,
 		Samples:     200000,
@@ -118,7 +122,7 @@ func TestDNFBudgetFallback(t *testing.T) {
 		t.Errorf("budgeted %g vs exact %g", limited.BoolProb(), exact.BoolProb())
 	}
 	// With NoFallback the budget error surfaces instead.
-	_, err = Evaluate(db, q, plan, Options{Strategy: core.DNFLineage, ExactBudget: 1, NoFallback: true})
+	_, err = engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage, ExactBudget: 1, NoFallback: true})
 	if err == nil {
 		t.Error("expected budget error with NoFallback")
 	}
@@ -126,7 +130,7 @@ func TestDNFBudgetFallback(t *testing.T) {
 
 func TestSkipInference(t *testing.T) {
 	db, q, plan := hardDB(t, 6)
-	res, err := Evaluate(db, q, plan, Options{Strategy: core.PartialLineage, SkipInference: true})
+	res, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.PartialLineage, SkipInference: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,24 +150,24 @@ func TestEvaluateErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Missing relation.
-	if _, err := Evaluate(db, q, plan, Options{}); err == nil {
+	if _, err := engine.Evaluate(db, q, plan, engine.Options{}); err == nil {
 		t.Error("missing relation accepted")
 	}
-	if _, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage}); err == nil {
+	if _, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage}); err == nil {
 		t.Error("missing relation accepted by grounding")
 	}
 	// Arity mismatch.
 	r := relation.New("R", "a", "b")
 	r.MustAdd(tuple.Ints(1, 2), 0.5)
 	db.AddRelation(r)
-	if _, err := Evaluate(db, q, plan, Options{}); err == nil {
+	if _, err := engine.Evaluate(db, q, plan, engine.Options{}); err == nil {
 		t.Error("arity mismatch accepted")
 	}
-	if _, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage}); err == nil {
+	if _, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage}); err == nil {
 		t.Error("arity mismatch accepted by grounding")
 	}
 	// Unknown strategy value.
-	if _, err := Evaluate(db, q, plan, Options{Strategy: core.Strategy(99)}); err == nil {
+	if _, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.Strategy(99)}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }

@@ -241,7 +241,9 @@ func (g *grounder) varFor(pred string, row int, p float64) lineage.Var {
 // answer, assemble = row materialization in answer order. Approximate paths
 // seed deterministically per answer, so parallel and sequential runs agree.
 func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
-	res := &Result{Attrs: plan.Attrs()}
+	// Grounded answers are built in head-variable order; Attrs must say so
+	// (plan.Attrs() can be a permutation of the head, e.g. q(a,b) :- R(b,a)).
+	res := &Result{Attrs: append([]string(nil), q.Head...)}
 	res.Stats.Strategy = opts.Strategy
 	if opts.Strategy == core.MonteCarlo {
 		res.Stats.Approximate = true

@@ -1,6 +1,7 @@
 package inference
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,13 +10,22 @@ import (
 	"repro/internal/core"
 )
 
+// ErrSamples reports a non-positive sample count passed to a sampler. The
+// error-returning variants return it (wrapped with the offending value)
+// instead of dividing by zero into a NaN estimate; matchable with errors.Is.
+var ErrSamples = errors.New("inference: sample count must be positive")
+
 // MonteCarlo estimates N⁰(x_target = 1) by forward sampling: leaves are
 // drawn from their priors, gate nodes are computed from their sampled
 // parents with each edge firing independently with its edge probability.
 // Sampling is restricted to the ancestors of target. The estimator is
-// unbiased with standard error at most 1/(2·sqrt(samples)). MonteCarloCtx
-// is the cancellable variant.
+// unbiased with standard error at most 1/(2·sqrt(samples)). A non-positive
+// sample count is clamped to one draw; MonteCarloCtx is the cancellable
+// variant and rejects it instead.
 func MonteCarlo(n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Rand) float64 {
+	if samples < 1 {
+		samples = 1
+	}
 	p, err := MonteCarloCtx(nil, n, target, samples, rng)
 	if err != nil {
 		panic("inference: MonteCarloCtx failed without a context: " + err.Error())
@@ -24,8 +34,12 @@ func MonteCarlo(n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Ra
 }
 
 // MonteCarloCtx is MonteCarlo under an ExecContext, polling cancellation
-// every core.CheckInterval samples.
+// every core.CheckInterval samples. samples must be positive (ErrSamples
+// otherwise — hits/samples would be NaN).
 func MonteCarloCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, samples int, rng *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("%w: got %d", ErrSamples, samples)
+	}
 	nodes := n.Ancestors(target) // sorted ascending = topological order
 	x := make(map[aonet.NodeID]bool, len(nodes))
 	chk := core.Check{EC: ec}
@@ -119,8 +133,12 @@ func MonteCarloGiven(n *aonet.Network, target aonet.NodeID, evidence map[aonet.N
 }
 
 // MonteCarloGivenCtx is MonteCarloGiven under an ExecContext, polling
-// cancellation every core.CheckInterval samples.
+// cancellation every core.CheckInterval samples. samples must be positive
+// (ErrSamples otherwise).
 func MonteCarloGivenCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, evidence map[aonet.NodeID]bool, samples int, rng *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("%w: got %d", ErrSamples, samples)
+	}
 	roots := []aonet.NodeID{target}
 	for v := range evidence {
 		roots = append(roots, v)

@@ -1,0 +1,30 @@
+package inference
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aonet"
+)
+
+// Regression: samples <= 0 used to flow into hits/samples and return NaN.
+// The error-returning variants must reject it with ErrSamples; the legacy
+// MonteCarlo wrapper clamps to one draw.
+func TestForwardSamplersRejectNonPositiveSamples(t *testing.T) {
+	n := aonet.New()
+	leaf := n.AddLeaf(0.5)
+	rng := rand.New(rand.NewSource(1))
+	for _, samples := range []int{0, -3} {
+		if _, err := MonteCarloCtx(nil, n, leaf, samples, rng); !errors.Is(err, ErrSamples) {
+			t.Errorf("MonteCarloCtx(samples=%d) err = %v, want ErrSamples", samples, err)
+		}
+		ev := map[aonet.NodeID]bool{leaf: true}
+		if _, err := MonteCarloGivenCtx(nil, n, leaf, ev, samples, rng); !errors.Is(err, ErrSamples) {
+			t.Errorf("MonteCarloGivenCtx(samples=%d) err = %v, want ErrSamples", samples, err)
+		}
+		if p := MonteCarlo(n, leaf, samples, rng); p != 0 && p != 1 {
+			t.Errorf("MonteCarlo(samples=%d) = %v, want a single-draw estimate", samples, p)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package lineage
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -8,14 +10,48 @@ import (
 	"repro/internal/core"
 )
 
+// ErrSamples reports a non-positive sample count passed to a sampler. The
+// Ctx variants return it (wrapped with the offending value) instead of
+// dividing by zero into a NaN estimate; matchable with errors.Is.
+var ErrSamples = errors.New("lineage: sample count must be positive")
+
+// clampSamples is the legacy-wrapper policy: the non-error sampling entry
+// points round a non-positive count up to one draw rather than return NaN.
+func clampSamples(samples int) int {
+	if samples < 1 {
+		return 1
+	}
+	return samples
+}
+
 // MonteCarlo estimates the probability of f by naive sampling: draw worlds
 // from the product distribution and count satisfying ones. Its relative
-// error is poor for small probabilities; prefer KarpLuby.
+// error is poor for small probabilities; prefer KarpLuby. A non-positive
+// sample count is clamped to one draw; MonteCarloCtx is the cancellable
+// variant and rejects it instead.
 func MonteCarlo(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 {
+	est, err := MonteCarloCtx(nil, f, p, clampSamples(samples), rng)
+	if err != nil {
+		panic("lineage: MonteCarloCtx failed without a context: " + err.Error())
+	}
+	return est
+}
+
+// MonteCarloCtx is MonteCarlo under an ExecContext, polling cancellation
+// every core.CheckInterval samples. samples must be positive (ErrSamples
+// otherwise — hits/samples would be NaN).
+func MonteCarloCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, samples int, rng *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("%w: got %d", ErrSamples, samples)
+	}
 	vars := f.Vars()
 	assign := make(map[Var]bool, len(vars))
+	chk := core.Check{EC: ec}
 	hits := 0
 	for s := 0; s < samples; s++ {
+		if err := chk.Tick(); err != nil {
+			return 0, err
+		}
 		for _, v := range vars {
 			assign[v] = rng.Float64() < validateProb(p(v), v)
 		}
@@ -23,7 +59,7 @@ func MonteCarlo(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float6
 			hits++
 		}
 	}
-	return float64(hits) / float64(samples)
+	return float64(hits) / float64(samples), nil
 }
 
 // KarpLuby estimates the probability of the monotone DNF f with the
@@ -35,9 +71,10 @@ func MonteCarlo(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float6
 //
 // The estimator's relative error depends on the number of clauses rather
 // than on P(F), which makes it the standard choice for small query
-// probabilities [21, 13]. KarpLubyCtx is the cancellable variant.
+// probabilities [21, 13]. A non-positive sample count is clamped to one
+// draw; KarpLubyCtx is the cancellable variant and rejects it instead.
 func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 {
-	est, err := KarpLubyCtx(nil, f, p, samples, rng)
+	est, err := KarpLubyCtx(nil, f, p, clampSamples(samples), rng)
 	if err != nil {
 		panic("lineage: KarpLubyCtx failed without a context: " + err.Error())
 	}
@@ -45,8 +82,12 @@ func KarpLuby(f *DNF, p func(Var) float64, samples int, rng *rand.Rand) float64 
 }
 
 // KarpLubyCtx is KarpLuby under an ExecContext, polling cancellation every
-// core.CheckInterval samples.
+// core.CheckInterval samples. samples must be positive (ErrSamples
+// otherwise — hits/samples would be NaN).
 func KarpLubyCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, samples int, rng *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("%w: got %d", ErrSamples, samples)
+	}
 	if len(f.Clauses) == 0 {
 		return 0, nil
 	}

@@ -1,0 +1,43 @@
+package lineage
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Regression: samples <= 0 used to flow into hits/samples and return NaN
+// (found by the crosscheck hardening pass). The Ctx variants must reject it
+// with ErrSamples; the legacy wrappers clamp to one draw.
+func TestSamplersRejectNonPositiveSamples(t *testing.T) {
+	f := &DNF{Clauses: []Clause{NewClause(0)}}
+	p := func(Var) float64 { return 0.5 }
+	for _, samples := range []int{0, -7} {
+		rng := rand.New(rand.NewSource(1))
+		if _, err := KarpLubyCtx(nil, f, p, samples, rng); !errors.Is(err, ErrSamples) {
+			t.Errorf("KarpLubyCtx(samples=%d) err = %v, want ErrSamples", samples, err)
+		}
+		if _, err := MonteCarloCtx(nil, f, p, samples, rng); !errors.Is(err, ErrSamples) {
+			t.Errorf("MonteCarloCtx(samples=%d) err = %v, want ErrSamples", samples, err)
+		}
+		if est := KarpLuby(f, p, samples, rng); math.IsNaN(est) || est < 0 || est > 1 {
+			t.Errorf("KarpLuby(samples=%d) = %v, want a probability", samples, est)
+		}
+		if est := MonteCarlo(f, p, samples, rng); math.IsNaN(est) || est < 0 || est > 1 {
+			t.Errorf("MonteCarlo(samples=%d) = %v, want a probability", samples, est)
+		}
+	}
+}
+
+// The validation must precede the trivial-formula shortcuts so a bad sample
+// count is never masked by an empty or tautological formula.
+func TestSamplersRejectBeforeShortcuts(t *testing.T) {
+	p := func(Var) float64 { return 0.5 }
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []*DNF{{}, {Clauses: []Clause{NewClause()}}} {
+		if _, err := KarpLubyCtx(nil, f, p, 0, rng); !errors.Is(err, ErrSamples) {
+			t.Errorf("KarpLubyCtx(trivial %q, samples=0) err = %v, want ErrSamples", f, err)
+		}
+	}
+}

@@ -140,14 +140,20 @@ func (f *DNF) TreewidthUpperBound() int {
 }
 
 // ProbBruteForce computes the exact probability of f by enumerating all
-// assignments of its variables; for validating Prob on small formulas.
+// assignments of its variables; for validating Prob on small formulas. The
+// variable limit of 22 caps the enumeration at 2^22 ≈ 4M assignments — a few
+// hundred milliseconds of work — past which the oracle is slower than the
+// solvers it is meant to validate. Assignment weights are accumulated with
+// Kahan compensated summation: the 2^n tiny products would otherwise lose
+// enough low-order bits for the oracle itself to drift beyond the 1e-9
+// agreement tolerance the crosscheck harness holds the solvers to.
 func ProbBruteForce(f *DNF, p func(Var) float64) (float64, error) {
 	vars := f.Vars()
 	if len(vars) > 22 {
 		return 0, fmt.Errorf("lineage: %d variables exceeds brute-force limit", len(vars))
 	}
 	assign := make(map[Var]bool, len(vars))
-	total := 0.0
+	total, comp := 0.0, 0.0
 	for mask := 0; mask < 1<<uint(len(vars)); mask++ {
 		w := 1.0
 		for i, v := range vars {
@@ -163,7 +169,10 @@ func ProbBruteForce(f *DNF, p func(Var) float64) (float64, error) {
 			continue
 		}
 		if f.Eval(func(v Var) bool { return assign[v] }) {
-			total += w
+			y := w - comp
+			t := total + y
+			comp = (t - total) - y
+			total = t
 		}
 	}
 	return total, nil

@@ -46,9 +46,24 @@ func (r *Relation) Add(t tuple.Tuple, p float64) error {
 		return fmt.Errorf("relation %s: tuple %v has width %d, schema has %d", r.Name, t, len(t), len(r.Attrs))
 	}
 	if math.IsNaN(p) || p < 0 || p > 1 {
-		return fmt.Errorf("relation %s: probability %v outside [0,1]", r.Name, p)
+		return fmt.Errorf("relation %s: tuple %v: probability %v outside [0,1]", r.Name, t, p)
 	}
 	r.Rows = append(r.Rows, Row{Tuple: t, P: p})
+	return nil
+}
+
+// ValidateProbs checks every row's probability is a number in [0,1],
+// reporting the relation, tuple and offending value. Add enforces this on
+// entry, but Rows is an exported field: callers that build relations
+// directly (or mutate probabilities in place) bypass Add, and the engine
+// validates at its evaluation boundary so bad data surfaces as a
+// descriptive error there instead of a panic deep inside a solver.
+func (r *Relation) ValidateProbs() error {
+	for _, row := range r.Rows {
+		if math.IsNaN(row.P) || row.P < 0 || row.P > 1 {
+			return fmt.Errorf("relation %s: tuple %v: probability %v outside [0,1]", r.Name, row.Tuple, row.P)
+		}
+	}
 	return nil
 }
 

@@ -24,7 +24,10 @@ func (w *World) Has(name string, i int) bool {
 }
 
 // MaxWorldRows bounds exhaustive world enumeration: databases with more than
-// this many uncertain rows are rejected by Worlds.
+// this many uncertain rows are rejected by Worlds. 2^22 ≈ 4M worlds keeps a
+// full enumeration within a few hundred milliseconds and the world slice
+// within memory; beyond that the oracle costs more than the evaluation paths
+// it exists to validate.
 const MaxWorldRows = 22
 
 // Worlds enumerates every possible world of the database together with its

@@ -87,6 +87,10 @@ var (
 	ErrNodeBudget = core.ErrNodeBudget
 )
 
+// ErrNotDataSafe is returned by the SafePlanOnly strategy when the plan
+// needs conditioning on this instance; matchable with errors.Is.
+var ErrNotDataSafe = engine.ErrNotDataSafe
+
 // Options configures Evaluate.
 type Options struct {
 	// Strategy defaults to PartialLineage.
