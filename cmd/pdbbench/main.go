@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,8 +30,16 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per evaluation, e.g. 30s (0 = none)")
 		benchOut    = flag.String("bench-out", "BENCH_pipeline.json", "file for the pipeline benchmark artifact")
+		metrics     = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdbbench: metrics at http://%s/metrics\n", addr)
+	}
 	sc, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
 		fatal(err)

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/crosscheck"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -41,8 +42,16 @@ func main() {
 		domain     = flag.Int("domain", 3, "generator: constant domain size")
 		uncertain  = flag.Int("uncertain", 10, "generator: max uncertain rows (oracle enumerates 2^uncertain worlds)")
 		verbose    = flag.Bool("v", false, "log every instance")
+		metrics    = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdbfuzz: metrics at http://%s/metrics\n", addr)
+	}
 
 	opts := crosscheck.Options{Samples: *samples}
 	if *strategies != "" {

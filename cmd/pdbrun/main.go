@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pdb"
 )
 
@@ -43,8 +44,17 @@ func main() {
 		sample    = flag.Int("optimize-sample", 4, "answer groups used to cost plans with -optimize (0 = all)")
 		sqlOut    = flag.String("sql", "", "write the paper-style SQL batch implementing the plan to this file ('-' for stdout)")
 		trace     = flag.Bool("trace", false, "print a per-operator execution trace (network strategies)")
+		explain   = flag.Bool("explain", false, "print an EXPLAIN ANALYZE operator tree after the run (implies tracing)")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
 	)
 	flag.Parse()
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pdbrun: metrics at http://%s/metrics\n", addr)
+	}
 	if *dataDir == "" || *queryText == "" {
 		fmt.Fprintln(os.Stderr, "pdbrun: -data and -query are required")
 		flag.Usage()
@@ -66,7 +76,7 @@ func main() {
 	if par == 0 {
 		par = *parallel
 	}
-	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace}
+	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace || *explain}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -152,6 +162,12 @@ func main() {
 		s.LineageClauses, s.LineageVars, s.PlanTime, s.InferenceTime)
 	for _, js := range s.PerJoin {
 		fmt.Printf("       join %s: conditioned %d offending tuples\n", js.Join, js.Conditioned)
+	}
+	if *explain {
+		fmt.Println("\nexplain analyze:")
+		if err := res.Explain(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 	if *trace {
 		fmt.Println("\noperator trace (post-order):")

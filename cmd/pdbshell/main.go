@@ -11,13 +11,25 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/shell"
 )
 
 func main() {
+	metrics := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
+	flag.Parse()
+	if *metrics != "" {
+		addr, err := obs.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdbshell:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pdbshell: metrics at http://%s/metrics\n", addr)
+	}
 	if err := shell.New().Run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pdbshell:", err)
 		os.Exit(1)

@@ -82,6 +82,10 @@ type ExecContext struct {
 	// subtract children from the enclosing operator's totals.
 	childTime  time.Duration
 	childNodes int
+	// depth is the nesting level of the currently open span (the number of
+	// StartOp calls without a matching FinishOp). Maintained by the single
+	// recording goroutine; read by RecordSubOp.
+	depth int
 
 	tracing bool
 }
@@ -156,24 +160,29 @@ func (e *ExecContext) Err() error {
 }
 
 // ChargeRows adds n emitted rows against the row budget, returning a wrapped
-// ErrRowBudget once the total exceeds it.
+// ErrRowBudget once the total exceeds it. The total accumulates even when no
+// row budget is set, so RowsCharged is a meaningful work measure (and a
+// process metric, via internal/obs) on unbudgeted evaluations too.
 func (e *ExecContext) ChargeRows(n int) error {
-	if e == nil || e.budget.Rows <= 0 {
+	if e == nil {
 		return nil
 	}
-	if total := e.rows.Add(int64(n)); total > e.budget.Rows {
+	total := e.rows.Add(int64(n))
+	if e.budget.Rows > 0 && total > e.budget.Rows {
 		return fmt.Errorf("%w (%d rows emitted, budget %d)", ErrRowBudget, total, e.budget.Rows)
 	}
 	return nil
 }
 
 // ChargeNodes adds n grown network nodes against the node budget, returning
-// a wrapped ErrNodeBudget once the total exceeds it.
+// a wrapped ErrNodeBudget once the total exceeds it. Like ChargeRows, the
+// total accumulates with or without a budget.
 func (e *ExecContext) ChargeNodes(n int) error {
-	if e == nil || e.budget.Nodes <= 0 {
+	if e == nil {
 		return nil
 	}
-	if total := e.nodes.Add(int64(n)); total > e.budget.Nodes {
+	total := e.nodes.Add(int64(n))
+	if e.budget.Nodes > 0 && total > e.budget.Nodes {
 		return fmt.Errorf("%w (%d nodes grown, budget %d)", ErrNodeBudget, total, e.budget.Nodes)
 	}
 	return nil
@@ -195,8 +204,16 @@ func (e *ExecContext) NodesCharged() int64 {
 	return e.nodes.Load()
 }
 
-// RecordOp appends one operator's statistics to the trace sink. It is a
-// no-op when tracing is disabled.
+// RecordOp appends one operator's statistics to the trace sink, with the
+// caller's OpStat taken verbatim (Depth included). It is safe for
+// concurrent use.
+//
+// Dropped-op contract: on a nil receiver, or when the context was
+// constructed without ExecConfig.Trace, the op is deliberately discarded —
+// tracing is a per-evaluation decision made once at NewExecContext and
+// never toggled mid-query, so a dropped op always means "this evaluation
+// is untraced", never "part of the trace went missing". Callers that need
+// to know can consult Tracing() first.
 func (e *ExecContext) RecordOp(s OpStat) {
 	if e == nil || !e.tracing {
 		return
@@ -206,7 +223,35 @@ func (e *ExecContext) RecordOp(s OpStat) {
 	e.mu.Unlock()
 }
 
-// Ops returns the recorded operator trace in completion (post-) order.
+// RecordSubOp records a detail span as a child of the currently open
+// StartOp span: the OpStat's Depth is set to the current nesting level (one
+// below the open span's own recording depth). It must be called from the
+// recording goroutine — the one that called StartOp — which is how the
+// parallel pl operators keep their partition sub-spans deterministic: the
+// workers measure, the coordinating goroutine records in partition order.
+func (e *ExecContext) RecordSubOp(s OpStat) {
+	if e == nil || !e.tracing {
+		return
+	}
+	s.Depth = e.depth
+	e.RecordOp(s)
+}
+
+// Ops returns the recorded operator trace.
+//
+// Ordering guarantees: ops appear in exactly the order they were recorded,
+// and every producer in this repository records deterministically —
+// FinishOp spans arrive in post-order (children before parents) from the
+// single-goroutine plan executor; partition sub-spans of the parallel
+// Join/Dedup operators are recorded by the coordinating goroutine in
+// ascending partition order after the workers finish (never from the
+// workers themselves); and the engine records inference spans after the
+// parallel inference stage completes, in answer order. The trace is
+// therefore fully deterministic for a fixed Parallelism (byte for byte once
+// wall times are masked), and identical across Parallelism settings except
+// for the partition sub-spans, whose count equals the worker count actually
+// used. Each OpStat's Depth reconstructs the
+// span tree from this flat post-order list (see internal/obs.BuildTrace).
 func (e *ExecContext) Ops() []OpStat {
 	if e == nil {
 		return nil
@@ -239,27 +284,31 @@ func (e *ExecContext) StartOp(nodesNow int) OpSpan {
 		parentNodes: e.childNodes,
 	}
 	e.childTime, e.childNodes = 0, 0
+	e.depth++
 	return span
 }
 
-// FinishOp closes a span, recording an OpStat whose time and network growth
-// exclude the operator's children (which reported their totals through the
-// accumulators while the span was open). op renders the operator and rows is
-// its output cardinality; when failed is true nothing is recorded but the
+// FinishOp closes a span, recording the given OpStat with its Time,
+// NetworkGrowth and Depth filled in: time and network growth exclude the
+// operator's children (which reported their totals through the accumulators
+// while the span was open), and Depth is the span's nesting level. The
+// caller supplies the descriptive fields (Op, Kind, Rows, RowsIn,
+// Conditioned, Detail). When failed is true nothing is recorded but the
 // accumulators are still restored.
-func (e *ExecContext) FinishOp(span OpSpan, nodesNow int, op string, rows int, failed bool) {
+func (e *ExecContext) FinishOp(span OpSpan, nodesNow int, s OpStat, failed bool) {
 	if e == nil || !e.tracing {
 		return
 	}
 	total := time.Since(span.start)
 	grown := nodesNow - span.nodes0
+	if e.depth > 0 {
+		e.depth--
+	}
 	if !failed {
-		e.RecordOp(OpStat{
-			Op:            op,
-			Rows:          rows,
-			NetworkGrowth: grown - e.childNodes,
-			Time:          total - e.childTime,
-		})
+		s.NetworkGrowth = grown - e.childNodes
+		s.Time = total - e.childTime
+		s.Depth = e.depth
+		e.RecordOp(s)
 	}
 	e.childTime = span.parentTime + total
 	e.childNodes = span.parentNodes + grown

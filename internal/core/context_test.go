@@ -32,7 +32,11 @@ func TestNilExecContextIsUnbounded(t *testing.T) {
 		t.Errorf("nil Ops = %v", ops)
 	}
 	span := ec.StartOp(0)
-	ec.FinishOp(span, 0, "x", 0, false)
+	ec.FinishOp(span, 0, OpStat{Op: "x"}, false)
+	ec.RecordSubOp(OpStat{Op: "sub"})
+	if ops := ec.Ops(); ops != nil {
+		t.Errorf("nil Ops after span = %v", ops)
+	}
 }
 
 func TestExecContextCancellation(t *testing.T) {
@@ -86,28 +90,32 @@ func TestExecContextTraceNesting(t *testing.T) {
 	{
 		inner := ec.StartOp(nodes)
 		nodes += 3 // the child grows the network by 3
-		ec.FinishOp(inner, nodes, "child", 5, false)
+		ec.RecordSubOp(OpStat{Op: "grandchild"})
+		ec.FinishOp(inner, nodes, OpStat{Op: "child", Rows: 5}, false)
 	}
 	nodes += 2 // the parent grows it by 2 more
-	ec.FinishOp(outer, nodes, "parent", 7, false)
+	ec.FinishOp(outer, nodes, OpStat{Op: "parent", Rows: 7}, false)
 
 	ops := ec.Ops()
-	if len(ops) != 2 {
-		t.Fatalf("recorded %d ops, want 2", len(ops))
+	if len(ops) != 3 {
+		t.Fatalf("recorded %d ops, want 3", len(ops))
 	}
-	if ops[0].Op != "child" || ops[0].Rows != 5 || ops[0].NetworkGrowth != 3 {
-		t.Errorf("child stat = %+v", ops[0])
+	if ops[0].Op != "grandchild" || ops[0].Depth != 2 {
+		t.Errorf("grandchild stat = %+v, want depth 2", ops[0])
+	}
+	if ops[1].Op != "child" || ops[1].Rows != 5 || ops[1].NetworkGrowth != 3 || ops[1].Depth != 1 {
+		t.Errorf("child stat = %+v", ops[1])
 	}
 	// The parent's own growth excludes the child's.
-	if ops[1].Op != "parent" || ops[1].Rows != 7 || ops[1].NetworkGrowth != 2 {
-		t.Errorf("parent stat = %+v", ops[1])
+	if ops[2].Op != "parent" || ops[2].Rows != 7 || ops[2].NetworkGrowth != 2 || ops[2].Depth != 0 {
+		t.Errorf("parent stat = %+v", ops[2])
 	}
 }
 
 func TestExecContextTraceFailedOp(t *testing.T) {
 	ec := NewExecContext(context.Background(), ExecConfig{Trace: true})
 	span := ec.StartOp(0)
-	ec.FinishOp(span, 1, "boom", 0, true)
+	ec.FinishOp(span, 1, OpStat{Op: "boom"}, true)
 	if ops := ec.Ops(); len(ops) != 0 {
 		t.Errorf("failed op recorded: %v", ops)
 	}

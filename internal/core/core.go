@@ -1,5 +1,22 @@
-// Package core holds the evaluation-strategy and statistics types shared by
-// the engine, the public API, the tools and the benchmark harness.
+// Package core holds the types shared by every layer of the query engine:
+// the evaluation strategies (Strategy), the per-evaluation statistics
+// (Stats, OpStat, JoinStat), and the execution context (ExecContext) that
+// threads cancellation, resource budgets, the parallelism grant and the
+// operator-trace sink through the pl operators, the relational executor,
+// the lineage solvers and the inference backends.
+//
+// core sits at the bottom of the dependency graph — it imports nothing from
+// the rest of the repository — so that internal/pl, internal/engine,
+// internal/lineage, internal/inference, internal/obs and the public pdb
+// facade can all agree on one vocabulary for strategies, budgets and
+// traces. See docs/ARCHITECTURE.md for the full package map.
+//
+// The tracing model: operators open spans with ExecContext.StartOp and
+// close them with FinishOp, which appends a core.OpStat charging the span
+// its own wall time and network growth (children excluded). Spans nest
+// strictly, so Ops returns a post-order, depth-annotated flat list from
+// which internal/obs reconstructs the operator tree for EXPLAIN ANALYZE
+// rendering and JSON export.
 package core
 
 import (
@@ -64,16 +81,36 @@ func Strategies() []Strategy {
 
 // OpStat is one operator's line in the execution trace (engine Options
 // with Trace enabled): output cardinality, network growth attributable to
-// the operator, and wall time including its inputs' construction excluded.
+// the operator, and wall time with its inputs' construction excluded.
+//
+// The trace is flat: ExecContext.Ops returns OpStats in post-order
+// (children before their parent) with Depth recording each span's nesting
+// level, which is enough to reconstruct the operator tree —
+// internal/obs.BuildTrace does exactly that.
 type OpStat struct {
 	// Op renders the operator.
 	Op string
+	// Kind classifies the span for tooling: "scan", "join", "project",
+	// "join.partition", "ground", "infer", "infer.answer".
+	Kind string
+	// Depth is the span's nesting level (0 = a root of the trace forest).
+	Depth int
 	// Rows is the operator's output cardinality.
 	Rows int
+	// RowsIn is the operator's input cardinality: the base-relation size for
+	// scans, the summed input sizes for joins and projections. Zero for
+	// spans with no meaningful input (e.g. inference aggregates).
+	RowsIn int
+	// Conditioned is the number of offending tuples conditioned at this
+	// operator (joins only; Definition 5.14's cSets of both sides).
+	Conditioned int
 	// NetworkGrowth is the number of AND-OR nodes the operator added.
 	NetworkGrowth int
 	// Time is the operator's own wall time (children excluded).
 	Time time.Duration
+	// Detail is optional human-readable extra context, e.g. the inference
+	// backend used by an answer span, or a fallback reason.
+	Detail string
 }
 
 // JoinStat reports one join operator's conditioning work.
@@ -112,6 +149,12 @@ type Stats struct {
 	// the engine fell back to sampling.
 	Approximate bool
 
+	// FallbackReason explains why the evaluation became approximate (or, for
+	// the MonteCarlo strategy, that sampling was requested): the first
+	// fallback reason encountered across answers. Empty for fully exact
+	// evaluations.
+	FallbackReason string
+
 	// LineageClauses/LineageVars size the DNF lineage (intensional
 	// strategies).
 	LineageClauses int
@@ -132,4 +175,11 @@ type Stats struct {
 	// covers probability computation.
 	PlanTime      time.Duration
 	InferenceTime time.Duration
+
+	// RowsCharged/NodesCharged are the totals the evaluation charged against
+	// its ExecContext — rows emitted by relational operators (or lineage
+	// clauses grounded) and AND-OR network nodes grown. Accumulated whether
+	// or not a budget was set; exported as process counters by internal/obs.
+	RowsCharged  int64
+	NodesCharged int64
 }

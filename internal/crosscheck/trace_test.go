@@ -1,0 +1,77 @@
+package crosscheck
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/pdb"
+)
+
+// TestTracingIsObservationOnly runs every strategy over generated instances
+// with tracing on and off and asserts (1) tracing never changes an answer
+// probability — not even in the last bit, since the trace sink is outside
+// the numeric path — and (2) a traced evaluation records a non-empty,
+// tree-consistent operator trace for all five strategies.
+func TestTracingIsObservationOnly(t *testing.T) {
+	traced := make(map[core.Strategy]bool)
+	for seed := int64(1); seed <= 40; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range core.Strategies() {
+			opts := pdb.Options{Strategy: s, Seed: 1, Samples: 200}
+			plain, errPlain := db.Evaluate(q, opts)
+			opts.Trace = true
+			withTrace, errTrace := db.Evaluate(q, opts)
+			if (errPlain == nil) != (errTrace == nil) {
+				t.Fatalf("seed %d strategy %v: tracing changed the outcome: %v vs %v",
+					seed, s, errPlain, errTrace)
+			}
+			if errPlain != nil {
+				continue // e.g. safe declining a non-data-safe instance
+			}
+			if len(plain.Rows) != len(withTrace.Rows) {
+				t.Fatalf("seed %d strategy %v: tracing changed the answer count: %d vs %d",
+					seed, s, len(plain.Rows), len(withTrace.Rows))
+			}
+			for _, row := range plain.Rows {
+				if p := withTrace.Prob(row.Vals...); p != row.P && !(math.IsNaN(p) && math.IsNaN(row.P)) {
+					t.Fatalf("seed %d strategy %v: tracing changed answer %v: %v vs %v",
+						seed, s, row.Vals, row.P, p)
+				}
+			}
+			if len(plain.Stats.Operators) != 0 {
+				t.Fatalf("seed %d strategy %v: untraced evaluation recorded %d operators",
+					seed, s, len(plain.Stats.Operators))
+			}
+			if len(withTrace.Stats.Operators) == 0 {
+				t.Fatalf("seed %d strategy %v: traced evaluation recorded no operators", seed, s)
+			}
+			tr := withTrace.Trace()
+			if len(tr.Roots) == 0 {
+				t.Fatalf("seed %d strategy %v: trace reconstructed no roots", seed, s)
+			}
+			for _, root := range tr.Roots {
+				if root == nil {
+					t.Fatalf("seed %d strategy %v: nil trace root", seed, s)
+				}
+			}
+			if tr.Strategy != s.String() {
+				t.Fatalf("seed %d strategy %v: trace header says %q", seed, s, tr.Strategy)
+			}
+			traced[s] = true
+		}
+	}
+	for _, s := range core.Strategies() {
+		if !traced[s] {
+			t.Errorf("no generated instance exercised tracing under strategy %v", s)
+		}
+	}
+}

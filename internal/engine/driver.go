@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -17,12 +18,19 @@ import (
 // stages instead of each carrying its own worker-pool and bookkeeping loops.
 
 // confidence is the outcome of one answer job: a probability plus the
-// inference-cost metadata the statistics track.
+// inference-cost metadata the statistics and the trace track.
 type confidence struct {
 	p           float64
 	width, vars int
 	approx      bool
 	err         error
+	// backend names the inference path that produced p ("shannon", "ve",
+	// "karp-luby", ...); reason explains a sampling fallback (empty when the
+	// computation stayed exact); dur is the job's wall time, stamped by
+	// runPipeline for the trace's per-answer spans.
+	backend string
+	reason  string
+	dur     time.Duration
 }
 
 // runPipeline drives one evaluation: build (timed into Stats.PlanTime)
@@ -46,7 +54,11 @@ func runPipeline(ec *core.ExecContext, res *Result,
 	conf := make([]confidence, n)
 	if n > 0 {
 		if err := timed(&res.Stats.InferenceTime, func() error {
-			return forEach(ec, n, func(i int) { conf[i] = infer(i) })
+			return forEach(ec, n, func(i int) {
+				start := time.Now()
+				conf[i] = infer(i)
+				conf[i].dur = time.Since(start)
+			})
 		}); err != nil {
 			return err
 		}
@@ -56,7 +68,46 @@ func runPipeline(ec *core.ExecContext, res *Result,
 			return conf[i].err
 		}
 	}
+	for i := range conf {
+		if conf[i].reason != "" {
+			res.Stats.FallbackReason = conf[i].reason
+			break
+		}
+	}
 	return assemble(conf)
+}
+
+// recordInference appends the inference stage's spans to the trace: one
+// "infer.answer" span per job in job order (backend and fallback reason in
+// Detail), then a closing "infer" aggregate span carrying the stage's wall
+// time. Everything is recorded here, after the parallel fan-out has
+// completed, never from the workers — so the trace is identical for any
+// Parallelism setting. Per-answer times are the jobs' own durations and may
+// sum to more than the aggregate's wall time when workers overlap.
+func recordInference(ec *core.ExecContext, wall time.Duration, conf []confidence, label func(i int) string) {
+	if !ec.Tracing() || len(conf) == 0 {
+		return
+	}
+	for i := range conf {
+		detail := conf[i].backend
+		if conf[i].reason != "" {
+			detail += "; fallback: " + conf[i].reason
+		}
+		ec.RecordOp(core.OpStat{
+			Op:     label(i),
+			Kind:   "infer.answer",
+			Depth:  1,
+			Rows:   1,
+			Time:   conf[i].dur,
+			Detail: detail,
+		})
+	}
+	ec.RecordOp(core.OpStat{
+		Op:   fmt.Sprintf("inference (%d jobs)", len(conf)),
+		Kind: "infer",
+		Rows: len(conf),
+		Time: wall,
+	})
 }
 
 // forEach runs f(0..n-1) on min(ec.Parallelism(), n) workers, polling

@@ -171,17 +171,25 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 		Parallelism: opts.Parallelism,
 		Trace:       opts.Trace,
 	})
+	var res *Result
+	var err error
 	switch opts.Strategy {
 	case core.PartialLineage, core.SafePlanOnly, core.FullNetwork:
-		return evalNetwork(ec, db, q, plan, opts)
+		res, err = evalNetwork(ec, db, q, plan, opts)
 	case core.DNFLineage, core.MonteCarlo:
 		if len(opts.Evidence) > 0 {
 			return nil, fmt.Errorf("engine: evidence conditioning requires a network strategy")
 		}
-		return evalLineage(ec, db, q, plan, opts)
+		res, err = evalLineage(ec, db, q, plan, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
 	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.RowsCharged = ec.RowsCharged()
+	res.Stats.NodesCharged = ec.NodesCharged()
+	return res, nil
 }
 
 // EvaluateQuery is Evaluate with a plan derived from the query: the safe
@@ -244,7 +252,7 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		// elimination with the evidence pinned, then rejection sampling.
 		r, err := inference.ExactGivenCtx(ec, net, lin, evidence, opts.Inference)
 		if err == nil {
-			return confidence{p: r.P, width: r.Width, vars: r.Vars}
+			return confidence{p: r.P, width: r.Width, vars: r.Vars, backend: "ve+evidence"}
 		}
 		if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
 			return confidence{err: err}
@@ -254,7 +262,8 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		if err != nil {
 			return confidence{err: err}
 		}
-		return confidence{p: p, approx: true}
+		return confidence{p: p, approx: true, backend: "rejection-sampling",
+			reason: "conditional exact inference exceeded the width cap; rejection sampling"}
 	}
 	if !opts.NoExpansion {
 		f, probs, err := inference.ExpandDNF(net, lin, 0)
@@ -262,7 +271,7 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		case err == nil:
 			p, err := lineage.ProbBudgetCtx(ec, f, func(v lineage.Var) float64 { return probs[v] }, opts.exactBudget())
 			if err == nil {
-				return confidence{p: p}
+				return confidence{p: p, backend: "expand+shannon"}
 			}
 			if !errors.Is(err, lineage.ErrBudget) {
 				return confidence{err: err}
@@ -274,7 +283,7 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 	}
 	r, err := inference.ExactCtx(ec, net, lin, opts.Inference)
 	if err == nil {
-		return confidence{p: r.P, width: r.Width, vars: r.Vars}
+		return confidence{p: r.P, width: r.Width, vars: r.Vars, backend: "ve"}
 	}
 	if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
 		return confidence{err: err}
@@ -285,13 +294,15 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		if err != nil {
 			return confidence{err: err}
 		}
-		return confidence{p: p, approx: true}
+		return confidence{p: p, approx: true, backend: "karp-luby",
+			reason: "Shannon budget exhausted and variable elimination exceeded the width cap; Karp–Luby sampling on the expanded lineage"}
 	}
 	p, err := inference.MonteCarloCtx(ec, net, lin, opts.samples(), rng)
 	if err != nil {
 		return confidence{err: err}
 	}
-	return confidence{p: p, approx: true}
+	return confidence{p: p, approx: true, backend: "forward-sampling",
+		reason: "exact inference exceeded the width cap on an unexpandable network; forward sampling"}
 }
 
 type finalTuple struct {

@@ -58,7 +58,6 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		}
 		res.Stats.NetworkNodes = res.Net.Len()
 		res.Stats.NetworkEdges = res.Net.EdgeCount()
-		res.Stats.Operators = ec.Ops()
 		if opts.MeasureWidth {
 			res.Stats.NetworkWidthBound = res.Net.TreewidthBound(nil)
 		}
@@ -88,6 +87,9 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		if opts.SkipInference {
 			return nil
 		}
+		recordInference(ec, res.Stats.InferenceTime, conf, func(i int) string {
+			return fmt.Sprintf("lineage node %d", distinct[i])
+		})
 		byNode := make(map[aonet.NodeID]confidence, len(conf))
 		for i, lin := range distinct {
 			byNode[lin] = conf[i]
@@ -114,6 +116,7 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	if err := runPipeline(ec, res, build, infer, assemble); err != nil {
 		return nil, err
 	}
+	res.Stats.Operators = ec.Ops()
 	return res, nil
 }
 
@@ -160,90 +163,111 @@ type executor struct {
 	evidenceNodes   map[aonet.NodeID]bool
 }
 
+// opMeta carries the descriptive trace fields only the operator itself
+// knows: its span kind, input cardinality and conditioning work.
+type opMeta struct {
+	kind        string
+	rowsIn      int
+	conditioned int
+}
+
 func (ex *executor) exec(p *query.Plan) (*pl.Relation, error) {
 	if err := ex.ec.Err(); err != nil {
 		return nil, err
 	}
 	if !ex.ec.Tracing() {
-		return ex.execChecked(p)
+		out, _, err := ex.execChecked(p)
+		return out, err
 	}
 	span := ex.ec.StartOp(ex.net.Len())
-	out, err := ex.execChecked(p)
+	out, meta, err := ex.execChecked(p)
 	rows := 0
 	if out != nil {
 		rows = out.Len()
 	}
-	ex.ec.FinishOp(span, ex.net.Len(), p.String(), rows, err != nil)
+	ex.ec.FinishOp(span, ex.net.Len(), core.OpStat{
+		Op:          p.String(),
+		Kind:        meta.kind,
+		Rows:        rows,
+		RowsIn:      meta.rowsIn,
+		Conditioned: meta.conditioned,
+	}, err != nil)
 	return out, err
 }
 
 // execChecked runs the operator and, when requested, validates the output
 // invariants.
-func (ex *executor) execChecked(p *query.Plan) (*pl.Relation, error) {
-	out, err := ex.execOp(p)
+func (ex *executor) execChecked(p *query.Plan) (*pl.Relation, opMeta, error) {
+	out, meta, err := ex.execOp(p)
 	if err != nil {
-		return nil, err
+		return nil, meta, err
 	}
 	if ex.opts.Validate {
 		if err := out.Validate(ex.net); err != nil {
-			return nil, fmt.Errorf("engine: invariant violation after %s: %w", p.String(), err)
+			return nil, meta, fmt.Errorf("engine: invariant violation after %s: %w", p.String(), err)
 		}
 		if err := ex.net.Validate(); err != nil {
-			return nil, fmt.Errorf("engine: network invariant violation after %s: %w", p.String(), err)
+			return nil, meta, fmt.Errorf("engine: network invariant violation after %s: %w", p.String(), err)
 		}
 	}
-	return out, nil
+	return out, meta, nil
 }
 
-func (ex *executor) execOp(p *query.Plan) (*pl.Relation, error) {
+func (ex *executor) execOp(p *query.Plan) (*pl.Relation, opMeta, error) {
 	switch p.Op {
 	case query.OpScan:
-		return ex.scan(p.Atom)
+		out, base, err := ex.scan(p.Atom)
+		return out, opMeta{kind: "scan", rowsIn: base}, err
 	case query.OpProject:
 		in, err := ex.exec(p.Left)
 		if err != nil {
-			return nil, err
+			return nil, opMeta{kind: "project"}, err
 		}
-		return pl.ProjectCtx(ex.ec, in, p.Cols, ex.net)
+		out, err := pl.ProjectCtx(ex.ec, in, p.Cols, ex.net)
+		return out, opMeta{kind: "project", rowsIn: in.Len()}, err
 	case query.OpJoin:
+		meta := opMeta{kind: "join"}
 		left, err := ex.exec(p.Left)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
 		right, err := ex.exec(p.Right)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
+		meta.rowsIn = left.Len() + right.Len()
 		joined, conditioned, err := pl.SafeJoinCtx(ex.ec, left, right, ex.net)
 		if err != nil {
-			return nil, err
+			return nil, meta, err
 		}
+		meta.conditioned = conditioned
 		ex.stats.OffendingTuples += conditioned
 		ex.stats.PerJoin = append(ex.stats.PerJoin, core.JoinStat{
 			Join:        fmt.Sprintf("%s ⋈ %s", p.Left.String(), p.Right.String()),
 			Conditioned: conditioned,
 		})
 		if conditioned > 0 && ex.opts.Strategy == core.SafePlanOnly {
-			return nil, fmt.Errorf("%w: join %s ⋈ %s required conditioning %d offending tuples",
+			return nil, meta, fmt.Errorf("%w: join %s ⋈ %s required conditioning %d offending tuples",
 				ErrNotDataSafe, p.Left.String(), p.Right.String(), conditioned)
 		}
-		return joined, nil
+		return joined, meta, nil
 	default:
-		return nil, fmt.Errorf("engine: unknown plan operator %d", p.Op)
+		return nil, opMeta{}, fmt.Errorf("engine: unknown plan operator %d", p.Op)
 	}
 }
 
 // scan reads the atom's relation, applies the selections implied by constant
 // arguments and repeated variables, and projects onto the atom's distinct
 // variables. Under FullNetwork every uncertain tuple is conditioned
-// immediately, making the whole evaluation intensional.
-func (ex *executor) scan(a *query.Atom) (*pl.Relation, error) {
+// immediately, making the whole evaluation intensional. The int result is
+// the base relation's cardinality (the scan's rows-in).
+func (ex *executor) scan(a *query.Atom) (*pl.Relation, int, error) {
 	rel, err := ex.db.Relation(a.Pred)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(rel.Attrs) != len(a.Args) {
-		return nil, fmt.Errorf("engine: atom %s has %d arguments, relation has %d attributes", a.String(), len(a.Args), len(rel.Attrs))
+		return nil, 0, fmt.Errorf("engine: atom %s has %d arguments, relation has %d attributes", a.String(), len(a.Args), len(rel.Attrs))
 	}
 	// Compile the binding pattern.
 	type eqCheck struct{ pos, with int }
@@ -274,7 +298,7 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, error) {
 	chk := core.Check{EC: ex.ec}
 	for ri, row := range rel.Rows {
 		if err := chk.Tick(); err != nil {
-			return nil, err
+			return nil, len(rel.Rows), err
 		}
 		outRow[ri] = -1
 		if row.P == 0 {
@@ -306,21 +330,21 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, error) {
 		})
 	}
 	if err := ex.ec.ChargeRows(out.Len()); err != nil {
-		return nil, err
+		return nil, len(rel.Rows), err
 	}
 	if ex.opts.Strategy == core.FullNetwork {
 		for i := range out.Tuples {
 			if out.Tuples[i].P < 1 {
 				if err := pl.CondCtx(ex.ec, out, i, ex.net); err != nil {
-					return nil, err
+					return nil, len(rel.Rows), err
 				}
 			}
 		}
 	}
 	if err := ex.applyEvidence(a.Pred, rel, outRow, out); err != nil {
-		return nil, err
+		return nil, len(rel.Rows), err
 	}
-	return out, nil
+	return out, len(rel.Rows), nil
 }
 
 // applyEvidence conditions the scanned relation on the observations for

@@ -250,39 +250,53 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	}
 	var g *Grounding
 	build := func() (int, error) {
+		span := ec.StartOp(0)
 		var err error
 		g, err = GroundCtx(ec, db, q, plan)
 		if err != nil {
+			ec.FinishOp(span, 0, core.OpStat{}, true)
 			return 0, err
 		}
 		res.Stats.LineageClauses = g.ClauseCount()
 		res.Stats.LineageVars = g.VarCount()
+		ec.FinishOp(span, 0, core.OpStat{
+			Op:     "ground " + plan.String(),
+			Kind:   "ground",
+			Rows:   len(g.Answers),
+			Detail: fmt.Sprintf("%d clauses over %d variables", g.ClauseCount(), g.VarCount()),
+		}, false)
 		return len(g.Answers), nil
 	}
 	infer := func(i int) confidence {
 		probOf := func(v lineage.Var) float64 { return g.Probs[v] }
 		f := g.Answers[i].F
-		sample := func() confidence {
+		sample := func(reason string) confidence {
 			rng := rand.New(rand.NewSource(opts.Seed ^ (int64(i)+1)*0x7f4a7c15))
 			p, err := lineage.KarpLubyCtx(ec, f, probOf, opts.samples(), rng)
 			if err != nil {
 				return confidence{err: err}
 			}
-			return confidence{p: p, approx: true}
+			return confidence{p: p, approx: true, backend: "karp-luby", reason: reason}
 		}
 		if opts.Strategy == core.MonteCarlo {
-			return sample()
+			return sample("Karp–Luby sampling requested (mc strategy)")
 		}
 		p, err := lineage.ProbBudgetCtx(ec, f, probOf, opts.exactBudget())
 		if errors.Is(err, lineage.ErrBudget) && !opts.NoFallback {
-			return sample()
+			return sample("exact Shannon-expansion budget exhausted on the DNF lineage; Karp–Luby sampling")
 		}
 		if err != nil {
 			return confidence{err: err}
 		}
-		return confidence{p: p}
+		return confidence{p: p, backend: "shannon"}
 	}
 	assemble := func(conf []confidence) error {
+		recordInference(ec, res.Stats.InferenceTime, conf, func(i int) string {
+			if len(g.Answers[i].Vals) == 0 {
+				return "answer q()"
+			}
+			return "answer " + g.Answers[i].Vals.String()
+		})
 		for i, ans := range g.Answers {
 			if conf[i].approx {
 				res.Stats.Approximate = true
@@ -295,5 +309,6 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	if err := runPipeline(ec, res, build, infer, assemble); err != nil {
 		return nil, err
 	}
+	res.Stats.Operators = ec.Ops()
 	return res, nil
 }

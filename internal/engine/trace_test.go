@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// traceDB builds an instance large enough (≥ parallelMinRows per join
+// input) that the partitioned Join and Dedup paths actually engage, with
+// fanout so some tuples are offending and the network is non-trivial.
+func traceDB(t *testing.T) (*relation.Database, *query.Query, *query.Plan) {
+	t.Helper()
+	db := relation.NewDatabase()
+	r := relation.New("R", "x")
+	s := relation.New("S", "x", "y")
+	for i := 0; i < 200; i++ {
+		if err := r.AddInts(0.5, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Fanout 2 per x: uncertain R tuples become offending at the join.
+		if err := s.AddInts(0.7, int64(i), int64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddInts(0.6, int64(i), int64((i+1)%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	q, err := query.Parse("q(y) :- R(x), S(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, q, plan
+}
+
+func tracedEval(t *testing.T, parallelism int) *Result {
+	t.Helper()
+	db, q, plan := traceDB(t)
+	res, err := Evaluate(db, q, plan, Options{
+		Strategy:    core.PartialLineage,
+		Trace:       true,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// maskTimes zeroes wall times so traces compare structurally.
+func maskTimes(ops []core.OpStat) []core.OpStat {
+	out := append([]core.OpStat(nil), ops...)
+	for i := range out {
+		out[i].Time = 0
+	}
+	return out
+}
+
+func dropPartitions(ops []core.OpStat) []core.OpStat {
+	var out []core.OpStat
+	for _, op := range ops {
+		if strings.HasSuffix(op.Kind, ".partition") {
+			continue
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// TestParallelJoinSpansDeterministic asserts the Ops ordering contract: for
+// a fixed Parallelism the recorded trace is identical run to run (the
+// workers measure, the coordinator records in partition order), and
+// stripping the partition sub-spans yields exactly the serial trace.
+func TestParallelJoinSpansDeterministic(t *testing.T) {
+	serial := maskTimes(tracedEval(t, 1).Stats.Operators)
+	if len(serial) == 0 {
+		t.Fatal("serial evaluation recorded no operators")
+	}
+	for _, op := range serial {
+		if strings.HasSuffix(op.Kind, ".partition") {
+			t.Fatalf("serial trace contains partition sub-span %+v", op)
+		}
+	}
+
+	first := maskTimes(tracedEval(t, 4).Stats.Operators)
+	for run := 0; run < 3; run++ {
+		again := maskTimes(tracedEval(t, 4).Stats.Operators)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d ops vs %d", run, len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d: op %d differs:\n%+v\nvs\n%+v", run, i, first[i], again[i])
+			}
+		}
+	}
+
+	// Partition sub-spans must exist, sit under their operator (depth one
+	// below is recorded as Depth = parent depth + 1), and appear in
+	// ascending partition order.
+	var partitions int
+	lastIdx := -1
+	for i, op := range first {
+		if !strings.HasSuffix(op.Kind, ".partition") {
+			continue
+		}
+		partitions++
+		if i > 0 && lastIdx == i-1 {
+			prev := first[i-1]
+			if strings.HasSuffix(prev.Kind, ".partition") && prev.Kind == op.Kind && prev.Op >= op.Op {
+				t.Errorf("partition sub-spans out of order: %q then %q", prev.Op, op.Op)
+			}
+		}
+		lastIdx = i
+	}
+	if partitions == 0 {
+		t.Fatal("parallel evaluation recorded no partition sub-spans — did the parallel path engage?")
+	}
+
+	stripped := dropPartitions(first)
+	if len(stripped) != len(serial) {
+		t.Fatalf("parallel trace minus partitions has %d ops, serial has %d", len(stripped), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != stripped[i] {
+			t.Errorf("op %d: serial %+v vs parallel %+v", i, serial[i], stripped[i])
+		}
+	}
+}
+
+// TestTraceChargesRecorded asserts the always-on work counters surface in
+// Stats regardless of budgets.
+func TestTraceChargesRecorded(t *testing.T) {
+	res := tracedEval(t, 1)
+	if res.Stats.RowsCharged == 0 {
+		t.Error("RowsCharged not accumulated")
+	}
+	if res.Stats.NodesCharged == 0 {
+		t.Error("NodesCharged not accumulated")
+	}
+}

@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DurationBuckets are the upper bounds (seconds) of the per-strategy query
+// latency histogram, chosen to resolve both the sub-millisecond safe-plan
+// regime and the multi-second sampling-fallback regime.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative bucket counts
+// are computed at exposition time; counts here are per-bucket).
+type histogram struct {
+	counts []uint64 // one per bucket label; last slot = +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+var durationBucketLabels = func() []string {
+	labels := make([]string, 0, len(DurationBuckets)+1)
+	for _, ub := range DurationBuckets {
+		labels = append(labels, strconv.FormatFloat(ub, 'g', -1, 64))
+	}
+	return append(labels, "+Inf")
+}()
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, len(durationBucketLabels))
+	}
+	i := sort.SearchFloat64s(DurationBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+}
+
+// Registry accumulates process-level metrics across query evaluations. The
+// zero value is ready to use; all methods are safe for concurrent use. The
+// package-level Default registry is the one the pdb facade feeds and the
+// one /metrics serves; tests construct their own so observations do not
+// leak across tests.
+type Registry struct {
+	mu sync.Mutex
+
+	queries   map[string]uint64 // by strategy
+	errors    map[string]uint64 // by strategy
+	answers   map[string]uint64 // by strategy
+	durations map[string]*histogram
+
+	budgetExhausted map[string]uint64 // by budget dimension: rows, nodes, time
+	cancellations   uint64
+
+	offendingTuples    uint64
+	inferenceFallbacks uint64
+	rowsCharged        uint64
+	nodesCharged       uint64
+}
+
+// Default is the process-wide registry: fed by pdb on every evaluation,
+// published on expvar under "pdb", served by Serve's /metrics endpoint.
+var Default = &Registry{}
+
+func init() {
+	expvar.Publish("pdb", expvar.Func(func() any { return Default.snapshot() }))
+}
+
+// QueryObservation is one evaluation's contribution to the registry.
+type QueryObservation struct {
+	// Strategy the evaluation ran under.
+	Strategy core.Strategy
+	// Duration is the evaluation's wall time.
+	Duration time.Duration
+	// Stats is the evaluation's statistics; nil when it failed.
+	Stats *core.Stats
+	// Err is the evaluation's error, nil on success. Budget and
+	// cancellation errors are classified into their own counters.
+	Err error
+}
+
+// ObserveQuery folds one evaluation into the registry: the query counter
+// and latency histogram always; the answer/offending/fallback/charged
+// counters from Stats when present; the error, budget-exhaustion and
+// cancellation counters classified from Err.
+func (r *Registry) ObserveQuery(o QueryObservation) {
+	strategy := o.Strategy.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.queries == nil {
+		r.queries = make(map[string]uint64)
+		r.errors = make(map[string]uint64)
+		r.answers = make(map[string]uint64)
+		r.durations = make(map[string]*histogram)
+		r.budgetExhausted = make(map[string]uint64)
+	}
+	r.queries[strategy]++
+	h := r.durations[strategy]
+	if h == nil {
+		h = &histogram{}
+		r.durations[strategy] = h
+	}
+	h.observe(o.Duration.Seconds())
+	if o.Stats != nil {
+		r.answers[strategy] += uint64(o.Stats.Answers)
+		r.offendingTuples += uint64(o.Stats.OffendingTuples)
+		if o.Stats.Approximate {
+			r.inferenceFallbacks++
+		}
+		r.rowsCharged += uint64(o.Stats.RowsCharged)
+		r.nodesCharged += uint64(o.Stats.NodesCharged)
+	}
+	if o.Err != nil {
+		r.errors[strategy]++
+		switch {
+		case errors.Is(o.Err, core.ErrRowBudget):
+			r.budgetExhausted["rows"]++
+		case errors.Is(o.Err, core.ErrNodeBudget):
+			r.budgetExhausted["nodes"]++
+		case errors.Is(o.Err, context.DeadlineExceeded):
+			r.budgetExhausted["time"]++
+		case errors.Is(o.Err, context.Canceled):
+			r.cancellations++
+		}
+	}
+}
+
+// snapshot renders the registry as a plain map for expvar.
+func (r *Registry) snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := map[string]any{
+		"queries_total":               copyMap(r.queries),
+		"query_errors_total":          copyMap(r.errors),
+		"answers_total":               copyMap(r.answers),
+		"budget_exhausted_total":      copyMap(r.budgetExhausted),
+		"cancellations_total":         r.cancellations,
+		"offending_tuples_total":      r.offendingTuples,
+		"inference_fallbacks_total":   r.inferenceFallbacks,
+		"rows_charged_total":          r.rowsCharged,
+		"network_nodes_charged_total": r.nodesCharged,
+	}
+	return m
+}
+
+func copyMap(src map[string]uint64) map[string]uint64 {
+	dst := make(map[string]uint64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// MetricNames lists every metric family WriteProm can emit, in exposition
+// order. docs/OBSERVABILITY.md must document each one — enforced by the
+// internal/docscheck test.
+func MetricNames() []string {
+	return []string{
+		"pdb_queries_total",
+		"pdb_query_errors_total",
+		"pdb_answers_total",
+		"pdb_query_duration_seconds",
+		"pdb_budget_exhausted_total",
+		"pdb_cancellations_total",
+		"pdb_offending_tuples_total",
+		"pdb_inference_fallbacks_total",
+		"pdb_rows_charged_total",
+		"pdb_network_nodes_charged_total",
+	}
+}
+
+// WriteProm writes the registry in Prometheus text exposition format
+// (version 0.0.4): counters and one histogram family, each with # HELP and
+// # TYPE lines. Output is deterministic — label values are sorted, nothing
+// carries a timestamp — so scrapes diff cleanly and golden tests are
+// stable. Zero-valued families are emitted with their HELP/TYPE header and
+// no samples, keeping the set of families constant over the process's life.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+
+	promLabeled(&b, "pdb_queries_total", "counter",
+		"Queries evaluated, by strategy.", "strategy", r.queries)
+	promLabeled(&b, "pdb_query_errors_total", "counter",
+		"Queries that returned an error (budget, cancellation or otherwise), by strategy.", "strategy", r.errors)
+	promLabeled(&b, "pdb_answers_total", "counter",
+		"Answer rows produced by successful queries, by strategy.", "strategy", r.answers)
+
+	promHeader(&b, "pdb_query_duration_seconds", "histogram",
+		"Query evaluation latency, by strategy.")
+	for _, strategy := range sortedKeysH(r.durations) {
+		h := r.durations[strategy]
+		var cum uint64
+		for i, le := range durationBucketLabels {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "pdb_query_duration_seconds_bucket{strategy=%q,le=%q} %d\n",
+				strategy, le, cum)
+		}
+		fmt.Fprintf(&b, "pdb_query_duration_seconds_sum{strategy=%q} %s\n",
+			strategy, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "pdb_query_duration_seconds_count{strategy=%q} %d\n",
+			strategy, h.total)
+	}
+
+	promLabeled(&b, "pdb_budget_exhausted_total", "counter",
+		"Evaluations aborted by a resource budget, by exhausted dimension (rows, nodes, time).", "budget", r.budgetExhausted)
+	promScalar(&b, "pdb_cancellations_total", "counter",
+		"Evaluations aborted by caller cancellation.", r.cancellations)
+	promScalar(&b, "pdb_offending_tuples_total", "counter",
+		"Offending tuples conditioned across all evaluations (the cumulative distance from data-safety).", r.offendingTuples)
+	promScalar(&b, "pdb_inference_fallbacks_total", "counter",
+		"Evaluations whose exact inference fell back to sampling.", r.inferenceFallbacks)
+	promScalar(&b, "pdb_rows_charged_total", "counter",
+		"Rows emitted by relational operators (or lineage clauses grounded) across all evaluations.", r.rowsCharged)
+	promScalar(&b, "pdb_network_nodes_charged_total", "counter",
+		"AND-OR network nodes grown across all evaluations.", r.nodesCharged)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promHeader(b *strings.Builder, name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+func promScalar(b *strings.Builder, name, typ, help string, v uint64) {
+	promHeader(b, name, typ, help)
+	fmt.Fprintf(b, "%s %d\n", name, v)
+}
+
+func promLabeled(b *strings.Builder, name, typ, help, label string, m map[string]uint64) {
+	promHeader(b, name, typ, help)
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(b, "%s{%s=%q} %d\n", name, label, k, m[k])
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysH(m map[string]*histogram) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

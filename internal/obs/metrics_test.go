@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// feed populates a fresh registry with a deterministic mix of outcomes:
+// successes across three strategies, one of them approximate, plus one of
+// each classified failure.
+func feed(r *Registry) {
+	r.ObserveQuery(QueryObservation{
+		Strategy: core.PartialLineage,
+		Duration: 800 * time.Microsecond,
+		Stats:    &core.Stats{Answers: 3, OffendingTuples: 2, RowsCharged: 23, NodesCharged: 5},
+	})
+	r.ObserveQuery(QueryObservation{
+		Strategy: core.PartialLineage,
+		Duration: 40 * time.Millisecond,
+		Stats:    &core.Stats{Answers: 1, Approximate: true, RowsCharged: 100, NodesCharged: 60},
+	})
+	r.ObserveQuery(QueryObservation{
+		Strategy: core.DNFLineage,
+		Duration: 3 * time.Millisecond,
+		Stats:    &core.Stats{Answers: 2, RowsCharged: 7},
+	})
+	r.ObserveQuery(QueryObservation{
+		Strategy: core.MonteCarlo,
+		Duration: 12 * time.Second, // beyond the last bucket: +Inf only
+		Stats:    &core.Stats{Answers: 1, Approximate: true},
+	})
+	r.ObserveQuery(QueryObservation{Strategy: core.PartialLineage, Duration: time.Millisecond,
+		Err: fmt.Errorf("wrap: %w", core.ErrRowBudget)})
+	r.ObserveQuery(QueryObservation{Strategy: core.FullNetwork, Duration: time.Millisecond,
+		Err: fmt.Errorf("wrap: %w", core.ErrNodeBudget)})
+	r.ObserveQuery(QueryObservation{Strategy: core.DNFLineage, Duration: time.Second,
+		Err: context.DeadlineExceeded})
+	r.ObserveQuery(QueryObservation{Strategy: core.SafePlanOnly, Duration: time.Millisecond,
+		Err: context.Canceled})
+}
+
+func TestWritePromGolden(t *testing.T) {
+	r := &Registry{}
+	feed(r)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prom.golden", buf.Bytes())
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	render := func() string {
+		r := &Registry{}
+		feed(r)
+		var buf bytes.Buffer
+		if err := r.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("WriteProm is not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func TestWritePromEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Registry{}).WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range MetricNames() {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("empty scrape missing family %s", name)
+		}
+	}
+}
+
+func TestMetricNamesMatchExposition(t *testing.T) {
+	r := &Registry{}
+	feed(r)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	declared := make(map[string]bool)
+	for _, name := range MetricNames() {
+		declared[name] = true
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("MetricNames lists %s but WriteProm never emits it", name)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if !declared[name] {
+			t.Errorf("WriteProm emits family %s missing from MetricNames", name)
+		}
+	}
+}
+
+func TestErrorClassification(t *testing.T) {
+	r := &Registry{}
+	feed(r)
+	if got := r.budgetExhausted["rows"]; got != 1 {
+		t.Errorf("rows budget count = %d, want 1", got)
+	}
+	if got := r.budgetExhausted["nodes"]; got != 1 {
+		t.Errorf("nodes budget count = %d, want 1", got)
+	}
+	if got := r.budgetExhausted["time"]; got != 1 {
+		t.Errorf("time budget count = %d, want 1", got)
+	}
+	if r.cancellations != 1 {
+		t.Errorf("cancellations = %d, want 1", r.cancellations)
+	}
+	if got := r.errors["partial"] + r.errors["network"] + r.errors["dnf"] + r.errors["safe"]; got != 4 {
+		t.Errorf("total errors = %d, want 4", got)
+	}
+	if r.inferenceFallbacks != 2 {
+		t.Errorf("fallbacks = %d, want 2", r.inferenceFallbacks)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &histogram{}
+	h.observe(0.0009) // below first bound
+	h.observe(0.001)  // exactly a bound counts in that bucket
+	h.observe(11)     // beyond the last bound: +Inf slot
+	if h.counts[0] != 2 {
+		t.Errorf("first bucket = %d, want 2", h.counts[0])
+	}
+	if h.counts[len(h.counts)-1] != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", h.counts[len(h.counts)-1])
+	}
+	if h.total != 3 {
+		t.Errorf("total = %d, want 3", h.total)
+	}
+}

@@ -1,0 +1,34 @@
+// Package obs is the engine's observability layer: structured query traces
+// and process-level metrics, layered on the per-operator statistics that
+// core.ExecContext collects during evaluation.
+//
+// It has three faces:
+//
+//   - Query tracing. BuildTrace reconstructs the operator tree of one
+//     evaluation from the flat, post-order, depth-annotated core.OpStat
+//     list in core.Stats.Operators, annotated with rows in/out, AND-OR
+//     network growth, offending tuples conditioned, the inference backend
+//     used per answer, and the sampling-fallback reason. Trace.WriteTree
+//     renders it EXPLAIN ANALYZE-style; Trace.WriteJSON emits the same
+//     structure for machine consumption. The public entry points are
+//     pdb.Result.Trace and pdb.Result.Explain, the `-explain` flag of
+//     cmd/pdbrun, and the shell's `explain analyze` command.
+//
+//   - Process metrics. Registry accumulates cumulative counters across
+//     evaluations — queries, errors, answers and latency histograms by
+//     strategy; budget exhaustions by dimension; cancellations; rows and
+//     network nodes charged; offending tuples; sampling fallbacks. The
+//     package-level Default registry is fed by the pdb facade on every
+//     evaluation and published on expvar under "pdb"; WriteProm dumps any
+//     registry in Prometheus text exposition format with stable ordering
+//     and no timestamps, so scrapes (and golden tests) are deterministic.
+//
+//   - Serving. Serve starts an HTTP server exposing /metrics (Prometheus
+//     text), /debug/vars (expvar JSON) and /debug/pprof (net/http/pprof)
+//     — wired to the `-metrics-addr` flag of cmd/pdbrun, cmd/pdbbench,
+//     cmd/pdbshell and cmd/pdbfuzz.
+//
+// Every metric name is documented in docs/OBSERVABILITY.md (enforced by
+// the internal/docscheck test), and the trace format is documented there
+// alongside a worked example.
+package obs

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the observability HTTP mux:
+//
+//	/metrics      – the Default registry in Prometheus text format
+//	/debug/vars   – expvar JSON (includes the "pdb" snapshot)
+//	/debug/pprof  – the standard net/http/pprof profile endpoints
+//
+// Exposed separately from Serve so embedders can mount it on an existing
+// server.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default.WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability server on addr (e.g. "localhost:6060", or
+// "localhost:0" to pick a free port) in a background goroutine and returns
+// the bound address. The server lives for the remainder of the process —
+// the CLI tools start it from a `-metrics-addr` flag and never need to stop
+// it. Errors binding the listener are returned; errors after that are
+// ignored (the process's real work does not depend on the debug server).
+func Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

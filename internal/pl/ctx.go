@@ -3,6 +3,7 @@ package pl
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/aonet"
 	"repro/internal/core"
@@ -322,6 +323,34 @@ type pendingJoin struct {
 	needGate bool
 }
 
+// partStat is one partition's trace measurement, filled by the owning
+// worker and recorded afterwards by the coordinating goroutine — workers
+// never touch the trace sink, so span order is deterministic (ascending
+// partition index) regardless of scheduling.
+type partStat struct {
+	rows int
+	dur  time.Duration
+}
+
+// recordPartitions emits one sub-span per partition under the currently
+// open operator span, in partition order. kind is "join.partition" or
+// "project.partition"; the sub-spans are measurements nested inside the
+// parent operator (their time is included in the parent's own time, unlike
+// FinishOp children).
+func recordPartitions(ec *core.ExecContext, kind string, parts []partStat) {
+	if !ec.Tracing() {
+		return
+	}
+	for p := range parts {
+		ec.RecordSubOp(core.OpStat{
+			Op:   fmt.Sprintf("partition %d/%d", p, len(parts)),
+			Kind: kind,
+			Rows: parts[p].rows,
+			Time: parts[p].dur,
+		})
+	}
+}
+
 func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Network, sh joinShape) (*Relation, error) {
 	keys1, err := parallelKeys(ec, w, r1.Tuples, sh.idx1)
 	if err != nil {
@@ -335,7 +364,9 @@ func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Netw
 	// the hash table from r2 and probes it with its share of r1. pending is
 	// indexed by r1 position; each entry is written by exactly one worker.
 	pending := make([][]pendingJoin, len(r1.Tuples))
+	parts := make([]partStat, w)
 	err = runWorkers(w, func(p int) error {
+		start := time.Now()
 		chk := core.Check{EC: ec}
 		buckets := make(map[string][]int32)
 		for j, k := range keys2 {
@@ -365,12 +396,15 @@ func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Netw
 				row = append(row, pendingJoin{t: nt, j: j, needGate: needGate})
 			}
 			pending[i] = row
+			parts[p].rows += len(row)
 		}
+		parts[p].dur = time.Since(start)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	recordPartitions(ec, "join.partition", parts)
 	// Serial merge in probe order: identical tuple order and And-node
 	// allocation order to joinSerial.
 	out := &Relation{Attrs: sh.outAttrs}
@@ -500,7 +534,9 @@ func dedupParallel(ec *core.ExecContext, w int, r *Relation, net *aonet.Network)
 	// iff tuple i opens a group. Groups are wholly owned by one partition,
 	// so workers write disjoint entries.
 	firstOf := make([][]int, len(r.Tuples))
+	parts := make([]partStat, w)
 	err = runWorkers(w, func(p int) error {
+		start := time.Now()
 		chk := core.Check{EC: ec}
 		groups := make(map[string]int) // key -> first index
 		for i, k := range keys {
@@ -517,11 +553,14 @@ func dedupParallel(ec *core.ExecContext, w int, r *Relation, net *aonet.Network)
 			}
 			firstOf[first] = append(firstOf[first], i)
 		}
+		parts[p].rows = len(groups)
+		parts[p].dur = time.Since(start)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	recordPartitions(ec, "project.partition", parts)
 	out := &Relation{Attrs: r.Attrs.Clone()}
 	chk := core.Check{EC: ec}
 	for i := range r.Tuples {

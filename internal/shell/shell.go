@@ -262,6 +262,35 @@ func (s *Shell) exec(line string, w io.Writer) (quit bool, err error) {
 			return false, err
 		}
 		s.printResult(w, res)
+	case "explain":
+		if len(args) == 0 || args[0] != "analyze" {
+			return false, fmt.Errorf("usage: explain analyze [<query text>]")
+		}
+		q, plan := s.query, s.plan
+		if len(args) > 1 {
+			var err error
+			if q, err = pdb.ParseQuery(strings.Join(args[1:], " ")); err != nil {
+				return false, err
+			}
+			plan = nil
+		}
+		if q == nil {
+			return false, fmt.Errorf("set a query first, or: explain analyze <query text>")
+		}
+		opts := pdb.Options{Strategy: s.strategy, Samples: s.samples, Trace: true}
+		var res *pdb.Result
+		var err error
+		if plan != nil {
+			res, err = s.db.EvaluateWithPlan(q, plan, opts)
+		} else {
+			res, err = s.db.Evaluate(q, opts)
+		}
+		if err != nil {
+			return false, err
+		}
+		if err := res.Explain(w); err != nil {
+			return false, err
+		}
 	default:
 		return false, fmt.Errorf("unknown command %q (try 'help')", cmd)
 	}
@@ -306,6 +335,7 @@ func (s *Shell) help(w io.Writer) {
   optimize                  data-aware plan selection
   plan                      show the current plan
   run                       evaluate and print answers + statistics
+  explain analyze [<text>]  evaluate with tracing and print the operator tree
   quit
 `)
 }

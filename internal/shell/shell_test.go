@@ -217,3 +217,30 @@ func TestStrategyAndSamplesValidation(t *testing.T) {
 		t.Errorf("valid strategy rejected:\n%s", out)
 	}
 }
+
+func TestExplainAnalyzeCommand(t *testing.T) {
+	out := runScript(t, `
+rel R x
+add R 0.5 1
+rel S x y
+add S 0.6 1 1
+add S 0.4 1 2
+rel T y
+add T 0.8 1
+add T 0.3 2
+explain analyze q :- R(x), S(x, y), T(y)
+explain
+explain analyze
+`)
+	for _, want := range []string{
+		"strategy: partial",
+		"offending tuples:",
+		"└─",
+		"usage: explain analyze",
+		"set a query first",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in explain transcript:\n%s", want, out)
+		}
+	}
+}

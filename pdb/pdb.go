@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/inference"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -339,7 +341,8 @@ type Result struct {
 	Rows  []Row
 	Stats Stats
 
-	res *engine.Result
+	res   *engine.Result
+	query string
 }
 
 // BoolProb returns the probability of a Boolean query (0 when there is no
@@ -365,6 +368,27 @@ func (r *Result) Top(k int) []Row {
 
 // Prob returns the probability of the answer with the given head values.
 func (r *Result) Prob(vals ...Value) float64 { return r.res.Prob(tuple.Tuple(vals)) }
+
+// Trace is the hierarchical execution trace of one evaluation; see
+// internal/obs.Trace for field docs and docs/OBSERVABILITY.md for the
+// rendered format.
+type Trace = obs.Trace
+
+// TraceSpan is one operator in a Trace.
+type TraceSpan = obs.Span
+
+// Trace reconstructs the evaluation's operator tree from its statistics.
+// It is only populated when the evaluation ran with Options.Trace set (the
+// header summary is filled either way). Render it with Trace.WriteTree or
+// Trace.WriteJSON, or use Explain directly.
+func (r *Result) Trace() *Trace { return obs.BuildTrace(r.query, r.Stats) }
+
+// Explain writes the evaluation's EXPLAIN ANALYZE tree — per-operator rows
+// in/out, offending tuples conditioned, AND-OR network growth, own wall
+// time, the inference backend per answer and any sampling-fallback reason —
+// to w. Evaluate with Options.Trace set to get the operator tree; without
+// it only the summary header is printed.
+func (r *Result) Explain(w io.Writer) error { return r.Trace().WriteTree(w) }
 
 // WriteNetworkDOT writes the evaluation's AND-OR network in Graphviz DOT
 // format. It fails for the lineage strategies, which build no network.
@@ -448,11 +472,15 @@ func (d *Database) Evaluate(q *Query, opts Options) (*Result, error) {
 // propagate into every layer of the pipeline — operators, grounding, exact
 // inference and sampling — which abort promptly with ctx's error.
 func (d *Database) EvaluateContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	start := time.Now()
 	res, err := engine.EvaluateQueryContext(ctx, d.db, q.q, opts.engineOptions())
 	if err != nil {
+		observe(opts.Strategy, start, nil, err)
 		return nil, err
 	}
-	return wrapResult(res), nil
+	out := wrapResult(res, q)
+	observe(opts.Strategy, start, out, nil)
+	return out, nil
 }
 
 // CrossCheck evaluates the query with both the partial-lineage engine and
@@ -494,15 +522,34 @@ func (d *Database) EvaluateWithPlan(q *Query, p *Plan, opts Options) (*Result, e
 // EvaluateWithPlanContext is EvaluateWithPlan under a context; see
 // EvaluateContext.
 func (d *Database) EvaluateWithPlanContext(ctx context.Context, q *Query, p *Plan, opts Options) (*Result, error) {
+	start := time.Now()
 	res, err := engine.EvaluateContext(ctx, d.db, q.q, p.p, opts.engineOptions())
 	if err != nil {
+		observe(opts.Strategy, start, nil, err)
 		return nil, err
 	}
-	return wrapResult(res), nil
+	out := wrapResult(res, q)
+	observe(opts.Strategy, start, out, nil)
+	return out, nil
 }
 
-func wrapResult(res *engine.Result) *Result {
-	out := &Result{Attrs: res.Attrs, Stats: res.Stats, res: res}
+// observe folds one facade-level evaluation into the process metrics
+// registry (obs.Default): query count, latency histogram, per-strategy
+// answer counts, budget-exhaustion and cancellation classification.
+func observe(strategy Strategy, start time.Time, res *Result, err error) {
+	o := obs.QueryObservation{
+		Strategy: strategy,
+		Duration: time.Since(start),
+		Err:      err,
+	}
+	if res != nil {
+		o.Stats = &res.Stats
+	}
+	obs.Default.ObserveQuery(o)
+}
+
+func wrapResult(res *engine.Result, q *Query) *Result {
+	out := &Result{Attrs: res.Attrs, Stats: res.Stats, res: res, query: q.String()}
 	for _, row := range res.Rows {
 		out.Rows = append(out.Rows, Row{Vals: row.Vals, P: row.P})
 	}

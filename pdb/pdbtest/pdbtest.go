@@ -1,8 +1,17 @@
 // Package pdbtest provides exhaustive reference implementations for
 // validating code built on pdb: possible-world enumeration and naive query
-// matching. They are exponential in the number of uncertain tuples and
-// intended for small test fixtures — the same methodology this repository's
-// own test suite uses to validate the engine.
+// matching, computing Definition 2.1 literally. They are exponential in the
+// number of uncertain tuples (MaxUncertain bounds the blow-up) and intended
+// for small test fixtures — the same methodology this repository's own
+// differential harness (internal/crosscheck) uses to validate the engine.
+//
+// Typical use in a downstream test:
+//
+//	want, _ := pdbtest.Answers(db, q)
+//	got, _ := db.Evaluate(q, pdb.Options{})
+//	for _, row := range got.Rows {
+//		assertClose(t, want[pdbtest.Key(row.Vals...)], row.P)
+//	}
 package pdbtest
 
 import (
