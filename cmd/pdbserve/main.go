@@ -1,0 +1,97 @@
+// Command pdbserve is the long-lived HTTP/JSON query server: it loads a
+// probabilistic database once from a directory of CSV files and serves
+// POST /query with admission control, per-request deadlines and optional
+// degradation to Karp–Luby sampling, plus /healthz, /metrics and
+// /debug/pprof on the same address.
+//
+// Usage:
+//
+//	pdbserve -data data/p1 -addr :8080 -max-inflight 8 -max-queue 32
+//
+// See docs/SERVER.md for the request/response schema, status codes and
+// operational envelope. The server drains in-flight queries on SIGINT or
+// SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/pdb"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address")
+		dataDir     = flag.String("data", "", "directory of <relation>.csv files (required)")
+		maxInFlight = flag.Int("max-inflight", 0, "concurrent evaluations (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "requests queued beyond the in-flight limit before 503 (0 = 4×in-flight)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		maxDeadline = flag.Duration("max-deadline", 5*time.Minute, "cap on requested deadlines")
+		maxParallel = flag.Int("max-parallelism", 0, "cap on per-request parallelism (0 = GOMAXPROCS)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "backoff hint attached to 503 responses")
+		noDegrade   = flag.Bool("no-degrade", false, "refuse per-request degradation to Karp–Luby sampling")
+		drain       = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight queries")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "pdbserve: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	db, err := pdb.LoadDatabase(*dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		DB:              db,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxParallelism:  *maxParallel,
+		RetryAfter:      *retryAfter,
+		DisableDegrade:  *noDegrade,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		fmt.Fprintln(os.Stderr, "pdbserve: draining in-flight queries...")
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pdbserve:", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "pdbserve:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "pdbserve: serving %s on http://%s (POST /query, /healthz, /metrics)\n",
+		*dataDir, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-done
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pdbserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,249 @@
+package crosscheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/pdb"
+)
+
+// ServeDivergence is one disagreement between a served answer and the same
+// evaluation run directly through pdb.EvaluateContext.
+type ServeDivergence struct {
+	Strategy core.Strategy
+	// Key names the diverging answer: its head values joined with '/',
+	// "<bool>" for Boolean queries, or a description for structural
+	// mismatches (differing error classification, row count).
+	Key string
+	// Served is the probability that came back over HTTP, Direct the one the
+	// in-process evaluation produced, Bound the tolerance exceeded.
+	Served, Direct, Bound float64
+	// Detail carries structural mismatches that have no number to compare.
+	Detail string
+}
+
+func (d ServeDivergence) String() string {
+	if d.Detail != "" {
+		return fmt.Sprintf("strategy %v answer %s: %s", d.Strategy, d.Key, d.Detail)
+	}
+	return fmt.Sprintf("strategy %v answer %s: served %.12g, direct %.12g (|diff| %.3g > %.3g)",
+		d.Strategy, d.Key, d.Served, d.Direct, math.Abs(d.Served-d.Direct), d.Bound)
+}
+
+// ServeReport is the outcome of one served-vs-direct check.
+type ServeReport struct {
+	Divergences []ServeDivergence
+	// Skipped records strategies both sides declined for the same legitimate
+	// reason (SafePlanOnly on instances that are not data-safe).
+	Skipped map[core.Strategy]error
+}
+
+// Failed reports whether any strategy diverged.
+func (r *ServeReport) Failed() bool { return len(r.Divergences) > 0 }
+
+// CheckServed compares the HTTP query service against direct
+// pdb.EvaluateContext evaluation of the same instance: for every requested
+// strategy it posts the query to url (a Server's base URL serving the same
+// database) and evaluates in process with the options the server derives
+// from that request, then diffs the answer sets. JSON round-trips float64
+// exactly, so with a shared seed the exact strategies — and the Karp–Luby
+// sampler — must agree bit for bit; the bound still allows Options.Tol for
+// the exact paths and the Hoeffding band (as in Check) for Monte Carlo, so
+// the oracle also catches a server that silently re-derives options.
+//
+// Both sides declining an instance the same way (SafePlanOnly on a
+// non-data-safe instance: HTTP 422 not_data_safe vs engine.ErrNotDataSafe)
+// counts as agreement and is recorded in Skipped.
+func CheckServed(ctx context.Context, in *Instance, url string, opts Options) (*ServeReport, error) {
+	opts = opts.withDefaults()
+	db, err := toPDB(in)
+	if err != nil {
+		return nil, fmt.Errorf("crosscheck: %w", err)
+	}
+	q, err := pdb.ParseQuery(in.Q.String())
+	if err != nil {
+		return nil, fmt.Errorf("crosscheck: re-parsing query %q: %w", in.Q.String(), err)
+	}
+	rep := &ServeReport{Skipped: make(map[core.Strategy]error)}
+	for _, s := range opts.Strategies {
+		// Mirror exactly what server.evaluate builds from the request: no
+		// NoFallback, no budgets — the served path must be the public path.
+		popts := pdb.Options{
+			Strategy:    s,
+			Seed:        opts.Seed,
+			Samples:     opts.Samples,
+			Parallelism: opts.Parallelism,
+		}
+		res, directErr := db.EvaluateContext(ctx, q, popts)
+
+		served, code, servedErr := postServed(ctx, url, server.QueryRequest{
+			Query:       in.Q.String(),
+			Strategy:    s.String(),
+			Seed:        opts.Seed,
+			Samples:     opts.Samples,
+			Parallelism: opts.Parallelism,
+		})
+		if servedErr != nil {
+			return nil, fmt.Errorf("crosscheck: serving strategy %v: %w", s, servedErr)
+		}
+
+		switch {
+		case directErr != nil && code != http.StatusOK:
+			// Both sides declined: a divergence only if they disagree on why.
+			if s == core.SafePlanOnly && errors.Is(directErr, engine.ErrNotDataSafe) && served.errCode == "not_data_safe" {
+				rep.Skipped[s] = directErr
+				continue
+			}
+			return nil, fmt.Errorf("crosscheck: strategy %v failed on both sides: direct %v, served %d %s",
+				s, directErr, code, served.errCode)
+		case directErr != nil:
+			rep.Divergences = append(rep.Divergences, ServeDivergence{
+				Strategy: s, Key: "<whole answer>",
+				Detail: fmt.Sprintf("direct evaluation failed (%v) but the server answered %d", directErr, code),
+			})
+			continue
+		case code != http.StatusOK:
+			rep.Divergences = append(rep.Divergences, ServeDivergence{
+				Strategy: s, Key: "<whole answer>",
+				Detail: fmt.Sprintf("server answered %d (%s) but direct evaluation succeeded", code, served.errCode),
+			})
+			continue
+		}
+
+		bound := func(key string) float64 { return opts.Tol }
+		if s == core.MonteCarlo {
+			bounds, err := mcBounds(in, opts)
+			if err != nil {
+				return nil, fmt.Errorf("crosscheck: Monte-Carlo bounds: %w", err)
+			}
+			// mcBounds keys by tuple key; re-key by the served string form.
+			byServed := make(map[string]float64, len(bounds))
+			for _, row := range res.Rows {
+				byServed[servedKeyOfRow(row)] = bounds[tuple.Tuple(row.Vals).Key()]
+			}
+			if len(res.Attrs) == 0 {
+				byServed["<bool>"] = bounds[""]
+			}
+			bound = func(key string) float64 {
+				// Twice the band: served and direct each sit within one band
+				// of the truth with overwhelming probability.
+				return 2*byServed[key] + opts.Tol
+			}
+		}
+		rep.Divergences = append(rep.Divergences, compareServed(s, served, res, len(res.Attrs) == 0, bound)...)
+	}
+	return rep, nil
+}
+
+// servedAnswer is the decoded POST /query outcome, normalized for diffing.
+type servedAnswer struct {
+	rows    map[string]float64
+	boolP   *float64
+	errCode string
+}
+
+func servedKey(vals []string) string { return strings.Join(vals, "/") }
+
+func servedKeyOfRow(row pdb.Row) string {
+	vals := make([]string, len(row.Vals))
+	for i, v := range row.Vals {
+		vals[i] = v.String()
+	}
+	return servedKey(vals)
+}
+
+// postServed posts one query request and decodes either response shape.
+func postServed(ctx context.Context, url string, qr server.QueryRequest) (*servedAnswer, int, error) {
+	body, err := json.Marshal(qr)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			return nil, resp.StatusCode, fmt.Errorf("undecodable %d error body %q: %w", resp.StatusCode, data, err)
+		}
+		return &servedAnswer{errCode: er.Code}, resp.StatusCode, nil
+	}
+	var ok server.QueryResponse
+	if err := json.Unmarshal(data, &ok); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("undecodable response body %q: %w", data, err)
+	}
+	ans := &servedAnswer{rows: make(map[string]float64, len(ok.Rows)), boolP: ok.BoolP}
+	for _, row := range ok.Rows {
+		ans.rows[servedKey(row.Vals)] = row.P
+	}
+	return ans, resp.StatusCode, nil
+}
+
+// compareServed diffs a served answer set against the direct result over the
+// union of both (an answer present on one side only counts as probability 0
+// on the other and is reported with a structural detail).
+func compareServed(s core.Strategy, served *servedAnswer, direct *pdb.Result, boolean bool, bound func(key string) float64) []ServeDivergence {
+	var out []ServeDivergence
+	if boolean {
+		d := direct.BoolProb()
+		switch {
+		case served.boolP == nil:
+			out = append(out, ServeDivergence{Strategy: s, Key: "<bool>", Detail: "served response has no bool_p"})
+		case math.Abs(*served.boolP-d) > bound("<bool>") || math.IsNaN(*served.boolP):
+			out = append(out, ServeDivergence{Strategy: s, Key: "<bool>", Served: *served.boolP, Direct: d, Bound: bound("<bool>")})
+		}
+		return out
+	}
+	directRows := make(map[string]float64, len(direct.Rows))
+	for _, row := range direct.Rows {
+		directRows[servedKeyOfRow(row)] = row.P
+	}
+	keys := make(map[string]bool, len(directRows)+len(served.rows))
+	for k := range directRows {
+		keys[k] = true
+	}
+	for k := range served.rows {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		sv, inServed := served.rows[k]
+		dv, inDirect := directRows[k]
+		switch {
+		case !inServed:
+			out = append(out, ServeDivergence{Strategy: s, Key: k, Direct: dv, Detail: "answer missing from the served response"})
+		case !inDirect:
+			out = append(out, ServeDivergence{Strategy: s, Key: k, Served: sv, Detail: "answer absent from the direct result"})
+		case math.Abs(sv-dv) > bound(k) || math.IsNaN(sv):
+			out = append(out, ServeDivergence{Strategy: s, Key: k, Served: sv, Direct: dv, Bound: bound(k)})
+		}
+	}
+	return out
+}

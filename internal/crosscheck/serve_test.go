@@ -1,0 +1,96 @@
+package crosscheck
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// serveFor stands up the HTTP query service over the instance's database.
+func serveFor(t *testing.T, in *Instance) *httptest.Server {
+	t.Helper()
+	db, err := toPDB(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{DB: db, MaxInFlight: 4, Metrics: &obs.Registry{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestServedMatchesDirect is the served-vs-direct oracle: over a sweep of
+// seeded random instances, every strategy's HTTP answer must match the same
+// evaluation run in process through pdb.EvaluateContext — within 1e-9 for
+// the exact paths, within the doubled Hoeffding band for Karp–Luby (in
+// practice both are bit-identical: the seed is shared and JSON round-trips
+// float64 exactly).
+func TestServedMatchesDirect(t *testing.T) {
+	ctx := context.Background()
+	skips := 0
+	for seed := int64(1); seed <= 60; seed++ {
+		in := Generate(seed, GenConfig{})
+		ts := serveFor(t, in)
+		rep, err := CheckServed(ctx, in, ts.URL, Options{Samples: 4000, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v\ninstance:\n%s", seed, err, in)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: served diverged: %v\ninstance:\n%s", seed, rep.Divergences[0], in)
+		}
+		if _, ok := rep.Skipped[core.SafePlanOnly]; ok {
+			skips++
+		}
+		ts.Close()
+	}
+	t.Logf("60 instances served and matched, %d safe-plan skips", skips)
+}
+
+// TestServedDivergenceCaught validates the serve oracle itself: a server
+// holding a perturbed copy of the database must be reported as diverging.
+func TestServedDivergenceCaught(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "c0")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	r.MustAdd(tuple.Ints(2), 0.9)
+	s := relation.New("S", "c0", "c1")
+	s.MustAdd(tuple.Ints(1, 1), 0.8)
+	s.MustAdd(tuple.Ints(2, 1), 0.4)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	in := &Instance{DB: db, Q: query.MustParse("q :- R(a), S(a, b)")}
+
+	skewed := in.Clone()
+	sr, err := skewed.DB.Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr.Rows[0].P = 0.25 // the served copy disagrees with the checked instance
+
+	ts := serveFor(t, skewed)
+	rep, err := CheckServed(context.Background(), in, ts.URL, Options{Strategies: ExactStrategies()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("perturbed served database not reported as divergence")
+	}
+	for _, d := range rep.Divergences {
+		if d.Strategy == core.SafePlanOnly {
+			continue
+		}
+		if d.Served == d.Direct {
+			t.Errorf("divergence with equal values: %v", d)
+		}
+	}
+}

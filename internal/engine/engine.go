@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/aonet"
@@ -30,7 +31,18 @@ type Options struct {
 	// sampling fallback when exact inference exceeds its width limit.
 	// Zero means the default of 100000.
 	Samples int
-	// Seed seeds the sampler (approximate paths only).
+	// Epsilon and Delta request an (ε, δ) accuracy guarantee from the
+	// Karp–Luby sampler instead of a fixed sample count: when both are set
+	// (each in (0,1)), every sampled answer uses the zero-one estimator
+	// theorem's count n = ⌈4·m·ln(2/δ)/ε²⌉ for its m-clause DNF, which
+	// bounds the relative error by ε with probability at least 1−δ (see
+	// lineage.KarpLubyGuarantee). Samples is ignored on the Karp–Luby paths
+	// while both are set. Setting exactly one of the two is an error.
+	Epsilon, Delta float64
+	// Seed seeds the sampler (approximate paths only). Approximate answers
+	// derive a per-answer RNG from Seed and the answer identity, so a fixed
+	// Seed makes Karp–Luby and the sampling fallbacks fully reproducible,
+	// at any Parallelism.
 	Seed int64
 	// NoFallback makes the engine return inference.ErrTooWide (network
 	// strategies) or lineage.ErrBudget (DNFLineage) instead of falling back
@@ -90,6 +102,27 @@ func (o Options) samples() int {
 		return 100000
 	}
 	return o.Samples
+}
+
+// klSamples returns the Karp–Luby sample count for an answer whose DNF has
+// the given clause count: the (ε, δ)-derived count when Epsilon/Delta are
+// set, Options.Samples otherwise.
+func (o Options) klSamples(clauses int) int {
+	if o.Epsilon > 0 && o.Delta > 0 && clauses > 0 {
+		return int(math.Ceil(4 * float64(clauses) * math.Log(2/o.Delta) / (o.Epsilon * o.Epsilon)))
+	}
+	return o.samples()
+}
+
+// validateEpsDelta rejects half-set or out-of-range (ε, δ) pairs.
+func (o Options) validateEpsDelta() error {
+	if o.Epsilon == 0 && o.Delta == 0 {
+		return nil
+	}
+	if o.Epsilon <= 0 || o.Epsilon >= 1 || o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("engine: Epsilon and Delta must both be in (0,1), got ε=%v δ=%v", o.Epsilon, o.Delta)
+	}
+	return nil
 }
 
 func (o Options) exactBudget() int {
@@ -166,6 +199,9 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 	if err := validateBaseProbs(db, q); err != nil {
 		return nil, err
 	}
+	if err := opts.validateEpsDelta(); err != nil {
+		return nil, err
+	}
 	ec := core.NewExecContext(ctx, core.ExecConfig{
 		Budget:      opts.Budget,
 		Parallelism: opts.Parallelism,
@@ -185,7 +221,17 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 		return nil, fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
 	}
 	if err != nil {
-		return nil, err
+		// Aborted evaluations (cancellation, deadline, budget exhaustion)
+		// still return a Result carrying the work done so far — the partial
+		// operator trace and the charged totals — alongside the error, so
+		// callers like the query server can report where the time went. The
+		// partial Result has no rows; only its Stats are meaningful.
+		partial := &Result{}
+		partial.Stats.Strategy = opts.Strategy
+		partial.Stats.Operators = ec.Ops()
+		partial.Stats.RowsCharged = ec.RowsCharged()
+		partial.Stats.NodesCharged = ec.NodesCharged()
+		return partial, err
 	}
 	res.Stats.RowsCharged = ec.RowsCharged()
 	res.Stats.NodesCharged = ec.NodesCharged()
@@ -290,7 +336,7 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 	}
 	rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
 	if expanded != nil {
-		p, err := lineage.KarpLubyCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.samples(), rng)
+		p, err := lineage.KarpLubyCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.klSamples(len(expanded.Clauses)), rng)
 		if err != nil {
 			return confidence{err: err}
 		}

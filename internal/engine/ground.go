@@ -272,7 +272,7 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		f := g.Answers[i].F
 		sample := func(reason string) confidence {
 			rng := rand.New(rand.NewSource(opts.Seed ^ (int64(i)+1)*0x7f4a7c15))
-			p, err := lineage.KarpLubyCtx(ec, f, probOf, opts.samples(), rng)
+			p, err := lineage.KarpLubyCtx(ec, f, probOf, opts.klSamples(len(f.Clauses)), rng)
 			if err != nil {
 				return confidence{err: err}
 			}

@@ -68,6 +68,17 @@ type Registry struct {
 	inferenceFallbacks uint64
 	rowsCharged        uint64
 	nodesCharged       uint64
+
+	// Server-side metrics, fed by internal/server. The gauges track the
+	// admission controller's instantaneous state; the counters and per-route
+	// histograms accumulate over the server's life.
+	serverInFlight  int64             // gauge: requests holding a worker slot
+	serverQueued    int64             // gauge: requests waiting for a slot
+	serverRequests  map[string]uint64 // by route
+	serverResponses map[string]uint64 // by HTTP status code
+	serverRejected  map[string]uint64 // by reason: overload, shutdown
+	serverDegraded  uint64
+	serverDurations map[string]*histogram // by route
 }
 
 // Default is the process-wide registry: fed by pdb on every evaluation,
@@ -137,6 +148,71 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 	}
 }
 
+// ServerRequest counts one request admitted to the named route.
+func (r *Registry) ServerRequest(route string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.serverRequests == nil {
+		r.serverRequests = make(map[string]uint64)
+	}
+	r.serverRequests[route]++
+}
+
+// ServerInFlightAdd moves the in-flight gauge by delta (+1 when a request
+// acquires a worker slot, -1 when it releases it).
+func (r *Registry) ServerInFlightAdd(delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverInFlight += int64(delta)
+}
+
+// ServerQueuedAdd moves the queued gauge by delta (+1 when a request starts
+// waiting for a worker slot, -1 when it stops waiting).
+func (r *Registry) ServerQueuedAdd(delta int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverQueued += int64(delta)
+}
+
+// ServerResponse counts one completed request: the status-code counter and
+// the route's latency histogram.
+func (r *Registry) ServerResponse(route string, code int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.serverResponses == nil {
+		r.serverResponses = make(map[string]uint64)
+	}
+	r.serverResponses[strconv.Itoa(code)]++
+	if r.serverDurations == nil {
+		r.serverDurations = make(map[string]*histogram)
+	}
+	h := r.serverDurations[route]
+	if h == nil {
+		h = &histogram{}
+		r.serverDurations[route] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// ServerRejected counts one request shed by admission control, by reason
+// ("overload" when the queue is full, "shutdown" while draining).
+func (r *Registry) ServerRejected(reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.serverRejected == nil {
+		r.serverRejected = make(map[string]uint64)
+	}
+	r.serverRejected[reason]++
+}
+
+// ServerDegraded counts one request whose exact evaluation exhausted its
+// budget and was retried with the Karp–Luby sampler.
+func (r *Registry) ServerDegraded() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverDegraded++
+}
+
 // snapshot renders the registry as a plain map for expvar.
 func (r *Registry) snapshot() map[string]any {
 	r.mu.Lock()
@@ -151,6 +227,12 @@ func (r *Registry) snapshot() map[string]any {
 		"inference_fallbacks_total":   r.inferenceFallbacks,
 		"rows_charged_total":          r.rowsCharged,
 		"network_nodes_charged_total": r.nodesCharged,
+		"server_in_flight":            r.serverInFlight,
+		"server_queued":               r.serverQueued,
+		"server_requests_total":       copyMap(r.serverRequests),
+		"server_responses_total":      copyMap(r.serverResponses),
+		"server_rejected_total":       copyMap(r.serverRejected),
+		"server_degraded_total":       r.serverDegraded,
 	}
 	return m
 }
@@ -178,6 +260,13 @@ func MetricNames() []string {
 		"pdb_inference_fallbacks_total",
 		"pdb_rows_charged_total",
 		"pdb_network_nodes_charged_total",
+		"pdb_server_in_flight",
+		"pdb_server_queued",
+		"pdb_server_requests_total",
+		"pdb_server_responses_total",
+		"pdb_server_rejected_total",
+		"pdb_server_degraded_total",
+		"pdb_server_request_duration_seconds",
 	}
 }
 
@@ -228,8 +317,40 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	promScalar(&b, "pdb_network_nodes_charged_total", "counter",
 		"AND-OR network nodes grown across all evaluations.", r.nodesCharged)
 
+	promGauge(&b, "pdb_server_in_flight", "Query-server requests currently holding a worker slot.", r.serverInFlight)
+	promGauge(&b, "pdb_server_queued", "Query-server requests currently waiting for a worker slot.", r.serverQueued)
+	promLabeled(&b, "pdb_server_requests_total", "counter",
+		"Query-server requests admitted, by route.", "route", r.serverRequests)
+	promLabeled(&b, "pdb_server_responses_total", "counter",
+		"Query-server responses sent, by HTTP status code.", "code", r.serverResponses)
+	promLabeled(&b, "pdb_server_rejected_total", "counter",
+		"Query-server requests shed by admission control, by reason (overload, shutdown).", "reason", r.serverRejected)
+	promScalar(&b, "pdb_server_degraded_total", "counter",
+		"Query-server requests degraded from exact evaluation to Karp–Luby sampling after budget exhaustion.", r.serverDegraded)
+
+	promHeader(&b, "pdb_server_request_duration_seconds", "histogram",
+		"Query-server request latency, by route.")
+	for _, route := range sortedKeysH(r.serverDurations) {
+		h := r.serverDurations[route]
+		var cum uint64
+		for i, le := range durationBucketLabels {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "pdb_server_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				route, le, cum)
+		}
+		fmt.Fprintf(&b, "pdb_server_request_duration_seconds_sum{route=%q} %s\n",
+			route, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		fmt.Fprintf(&b, "pdb_server_request_duration_seconds_count{route=%q} %d\n",
+			route, h.total)
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+func promGauge(b *strings.Builder, name, help string, v int64) {
+	promHeader(b, name, "gauge", help)
+	fmt.Fprintf(b, "%s %d\n", name, v)
 }
 
 func promHeader(b *strings.Builder, name, typ, help string) {

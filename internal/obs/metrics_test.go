@@ -43,6 +43,21 @@ func feed(r *Registry) {
 		Err: context.DeadlineExceeded})
 	r.ObserveQuery(QueryObservation{Strategy: core.SafePlanOnly, Duration: time.Millisecond,
 		Err: context.Canceled})
+
+	// Server-side observations: two admitted requests (one still in flight,
+	// one completed), a queued request, a shed request and a degradation.
+	r.ServerRequest("/query")
+	r.ServerRequest("/query")
+	r.ServerRequest("/healthz")
+	r.ServerInFlightAdd(2)
+	r.ServerInFlightAdd(-1)
+	r.ServerQueuedAdd(1)
+	r.ServerResponse("/query", 200, 7*time.Millisecond)
+	r.ServerResponse("/healthz", 200, 100*time.Microsecond)
+	r.ServerResponse("/query", 504, 2*time.Second)
+	r.ServerRejected("overload")
+	r.ServerRejected("shutdown")
+	r.ServerDegraded()
 }
 
 func TestWritePromGolden(t *testing.T) {
@@ -132,6 +147,35 @@ func TestErrorClassification(t *testing.T) {
 	}
 	if r.inferenceFallbacks != 2 {
 		t.Errorf("fallbacks = %d, want 2", r.inferenceFallbacks)
+	}
+}
+
+func TestServerMetrics(t *testing.T) {
+	r := &Registry{}
+	feed(r)
+	if r.serverInFlight != 1 {
+		t.Errorf("in-flight gauge = %d, want 1", r.serverInFlight)
+	}
+	if r.serverQueued != 1 {
+		t.Errorf("queued gauge = %d, want 1", r.serverQueued)
+	}
+	if got := r.serverRequests["/query"]; got != 2 {
+		t.Errorf("/query requests = %d, want 2", got)
+	}
+	if got := r.serverResponses["200"]; got != 2 {
+		t.Errorf("200 responses = %d, want 2", got)
+	}
+	if got := r.serverResponses["504"]; got != 1 {
+		t.Errorf("504 responses = %d, want 1", got)
+	}
+	if got := r.serverRejected["overload"] + r.serverRejected["shutdown"]; got != 2 {
+		t.Errorf("rejected = %d, want 2", got)
+	}
+	if r.serverDegraded != 1 {
+		t.Errorf("degraded = %d, want 1", r.serverDegraded)
+	}
+	if h := r.serverDurations["/query"]; h == nil || h.total != 2 {
+		t.Errorf("/query histogram = %+v, want 2 observations", h)
 	}
 }
 

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// benchServer stands up the served triangle instance used by both the
+// benchmark and the BENCH_serve.json recorder: the paper's running query
+// over the fixed seven-tuple database, exact partial-lineage evaluation.
+func benchBody(t testing.TB) []byte {
+	t.Helper()
+	body, err := json.Marshal(QueryRequest{Query: triangleQuery, Strategy: "partial"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// BenchmarkServeConcurrency measures served throughput and tail latency of
+// the running query at 1, 4 and 16 closed-loop clients.
+func BenchmarkServeConcurrency(b *testing.B) {
+	db := triangleDB(b)
+	_, ts := newTestServer(b, Config{DB: db, MaxInFlight: 8, MaxQueue: 64})
+	body := benchBody(b)
+
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "clients=1", 4: "clients=4", 16: "clients=16"}[clients], func(b *testing.B) {
+			perClient := b.N/clients + 1
+			b.ResetTimer()
+			rep, err := RunLoad(ts.URL+"/query", body, clients, perClient)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if rep.Errors > 0 {
+				b.Fatalf("%d/%d requests failed", rep.Errors, rep.Requests)
+			}
+			b.ReportMetric(rep.Throughput, "req/s")
+			b.ReportMetric(float64(rep.P50NS), "p50-ns")
+			b.ReportMetric(float64(rep.P99NS), "p99-ns")
+		})
+	}
+}
+
+// TestRecordServeBench regenerates BENCH_serve.json at the repo root. Gated
+// behind RECORD_SERVE_BENCH so routine test runs don't churn the artifact:
+//
+//	RECORD_SERVE_BENCH=1 go test -run TestRecordServeBench ./internal/server/
+func TestRecordServeBench(t *testing.T) {
+	if os.Getenv("RECORD_SERVE_BENCH") == "" {
+		t.Skip("set RECORD_SERVE_BENCH=1 to regenerate BENCH_serve.json")
+	}
+	db := triangleDB(t)
+	_, ts := newTestServer(t, Config{DB: db, MaxInFlight: 8, MaxQueue: 64, RetryAfter: time.Second})
+	body := benchBody(t)
+
+	var reports []*LoadReport
+	for _, clients := range []int{1, 4, 16} {
+		rep, err := RunLoad(ts.URL+"/query", body, clients, 2000/clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			t.Fatalf("clients=%d: %d/%d requests failed", clients, rep.Errors, rep.Requests)
+		}
+		reports = append(reports, rep)
+	}
+	f, err := os.Create("../../BENCH_serve.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := WriteLoadJSON(f, triangleQuery, reports); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadReport is the outcome of one RunLoad: throughput and latency
+// quantiles for a fixed client count, in the shape recorded into
+// BENCH_serve.json.
+type LoadReport struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	DurationNS int64   `json:"duration_ns"`
+	Throughput float64 `json:"throughput_rps"`
+	P50NS      int64   `json:"p50_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	MaxNS      int64   `json:"max_ns"`
+}
+
+// RunLoad drives the query endpoint at url with the given request body from
+// `clients` concurrent closed-loop clients, `perClient` requests each, and
+// reports throughput and latency quantiles. Any non-200 response counts as
+// an error (the first one is returned in the report's error counter, not as
+// a Go error — load tests care about the rate, not the first failure).
+func RunLoad(url string, body []byte, clients, perClient int) (*LoadReport, error) {
+	if clients < 1 || perClient < 1 {
+		return nil, fmt.Errorf("server: RunLoad needs clients and perClient >= 1, got %d/%d", clients, perClient)
+	}
+	latencies := make([][]time.Duration, clients)
+	errCounts := make([]int, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCounts[c]++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCounts[c]++
+					continue
+				}
+				latencies[c] = append(latencies[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+		errs += errCounts[c]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep := &LoadReport{
+		Clients:    clients,
+		Requests:   clients * perClient,
+		Errors:     errs,
+		DurationNS: elapsed.Nanoseconds(),
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(all)) / elapsed.Seconds()
+	}
+	if n := len(all); n > 0 {
+		rep.P50NS = all[n/2].Nanoseconds()
+		rep.P99NS = all[min(n-1, n*99/100)].Nanoseconds()
+		rep.MaxNS = all[n-1].Nanoseconds()
+	}
+	return rep, nil
+}
+
+// WriteLoadJSON renders load reports as the indented-JSON benchmark
+// artifact (BENCH_serve.json).
+func WriteLoadJSON(w io.Writer, query string, reports []*LoadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Experiment string        `json:"experiment"`
+		Query      string        `json:"query"`
+		Reports    []*LoadReport `json:"reports"`
+	}{Experiment: "serve", Query: query, Reports: reports})
+}

@@ -1,0 +1,567 @@
+// Package server is the long-lived HTTP/JSON query service over the pdb
+// engine: it loads a database once and serves POST /query through a bounded
+// worker pool with admission control, per-request deadlines and an opt-in
+// degradation path from exact inference to Karp–Luby sampling.
+//
+// The paper's evaluation profile is bimodal — most answers are cheap and
+// extensional, a few offending-tuple answers are expensive and intensional —
+// which is exactly the load shape that needs backpressure: a request stuck
+// past the phase transition must not wedge the pool, and a burst of cheap
+// queries must not queue behind it unboundedly. The server therefore:
+//
+//   - caps concurrent evaluations at Config.MaxInFlight; excess requests
+//     queue up to Config.MaxQueue deep, and beyond that are shed with
+//     503 + Retry-After;
+//   - maps per-request deadlines onto context cancellation, which the
+//     ExecContext propagates into every operator and sampler; an expired
+//     deadline returns 504 carrying the partial execution trace;
+//   - optionally (request opt-in, Config gate) retries a budget-exhausted
+//     exact evaluation with the Karp–Luby sampler, labelling the answer
+//     approximate and degraded;
+//   - drains in-flight and queued requests on Shutdown without dropping any;
+//   - feeds the internal/obs registry (in-flight/queued gauges, admission
+//     and degradation counters, per-route latency histograms) and mounts
+//     /metrics, /debug/vars and /debug/pprof on the same mux.
+//
+// See docs/SERVER.md for the API reference and operational envelope.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pdb"
+)
+
+// Config parameterizes a Server. The zero value of every field except DB is
+// usable; defaults are documented per field.
+type Config struct {
+	// DB is the database served. Required.
+	DB *pdb.Database
+	// MaxInFlight caps concurrently evaluating requests. Default:
+	// runtime.GOMAXPROCS(0).
+	MaxInFlight int
+	// MaxQueue caps requests waiting for a worker slot; a request arriving
+	// with the queue full is shed with 503. Default: 4 × MaxInFlight.
+	MaxQueue int
+	// DefaultDeadline applies when a request specifies no deadline_ms.
+	// Default 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the deadline any request may ask for. Default 5m.
+	MaxDeadline time.Duration
+	// MaxParallelism caps the per-request parallelism grant. Default:
+	// runtime.GOMAXPROCS(0).
+	MaxParallelism int
+	// RetryAfter is the backoff hint attached to 503 responses. Default 1s.
+	RetryAfter time.Duration
+	// DisableDegrade refuses the per-request degrade flag: budget-exhausted
+	// exact evaluations fail with 422 instead of retrying approximately.
+	DisableDegrade bool
+	// Metrics is the registry fed by the server. Default obs.Default.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
+	}
+	return c
+}
+
+// Server is the HTTP query service. Construct with New; it implements
+// http.Handler (the full mux: /query, /healthz, /metrics, /debug/...).
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	sem      chan struct{} // worker slots; len == in-flight
+	queued   atomic.Int64  // requests waiting for a slot
+	inFlight atomic.Int64  // requests holding a slot
+
+	mu       sync.Mutex // guards draining and admitted against wg.Add
+	draining bool
+	admitted int            // requests past admission: queued + in flight
+	wg       sync.WaitGroup // admitted /query requests
+}
+
+// New builds a Server over the database in cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	debug := obs.Handler()
+	s.mux.Handle("/metrics", debug)
+	s.mux.Handle("/debug/", debug)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the server's mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// InFlight returns the number of requests currently holding a worker slot.
+func (s *Server) InFlight() int { return int(s.inFlight.Load()) }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (s *Server) Queued() int { return int(s.queued.Load()) }
+
+// Shutdown stops admitting new queries (they are shed with 503 + Retry-After)
+// and waits until every admitted request — in flight or queued — has
+// completed, or until ctx expires. It is idempotent; concurrent calls all
+// wait. The caller still owns the http.Server and closes its listener
+// afterwards.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown drain: %w", ctx.Err())
+	}
+}
+
+// admit reserves a place for one /query request: it rejects while draining
+// or once MaxInFlight + MaxQueue requests are already admitted, otherwise
+// registers the request with the drain group. The bound is exact — the
+// check and the reservation share one critical section. The returned
+// release function must be called exactly once.
+func (s *Server) admit() (release func(), reject string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, "shutdown"
+	}
+	if s.admitted >= s.cfg.MaxInFlight+s.cfg.MaxQueue {
+		return nil, "overload"
+	}
+	s.admitted++
+	s.wg.Add(1)
+	return func() {
+		s.mu.Lock()
+		s.admitted--
+		s.mu.Unlock()
+		s.wg.Done()
+	}, ""
+}
+
+// acquireSlot blocks until a worker slot is free or ctx is done, accounting
+// the wait in the queued gauge. It returns false when ctx expired first.
+func (s *Server) acquireSlot(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	s.queued.Add(1)
+	s.cfg.Metrics.ServerQueuedAdd(1)
+	defer func() {
+		s.queued.Add(-1)
+		s.cfg.Metrics.ServerQueuedAdd(-1)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() {
+	<-s.sem
+	s.inFlight.Add(-1)
+	s.cfg.Metrics.ServerInFlightAdd(-1)
+}
+
+// BudgetSpec is the request's resource budget, mirroring pdb.Budget with
+// wall time in milliseconds.
+type BudgetSpec struct {
+	Rows   int64 `json:"rows,omitempty"`
+	Nodes  int64 `json:"nodes,omitempty"`
+	TimeMS int64 `json:"time_ms,omitempty"`
+}
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Query is the conjunctive query in datalog syntax. Required.
+	Query string `json:"query"`
+	// Strategy is partial, safe, network, dnf or mc (default partial).
+	Strategy string `json:"strategy,omitempty"`
+	// Samples for the mc strategy and sampling fallbacks.
+	Samples int `json:"samples,omitempty"`
+	// Epsilon/Delta request an (ε, δ) Karp–Luby guarantee; see pdb.Options.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+	// Seed drives the samplers; a fixed seed makes approximate answers
+	// reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxWidth caps the exact-inference elimination width (0 = engine
+	// default).
+	MaxWidth int `json:"max_width,omitempty"`
+	// Parallelism is the worker grant for this evaluation, clamped to the
+	// server's MaxParallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	// DeadlineMS bounds the request's wall time (0 = server default,
+	// clamped to the server's maximum).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Budget caps rows, network nodes and wall time inside the engine.
+	Budget *BudgetSpec `json:"budget,omitempty"`
+	// Degrade opts into retrying a budget-exhausted exact evaluation with
+	// the Karp–Luby sampler (answer labelled approximate + degraded).
+	Degrade bool `json:"degrade,omitempty"`
+	// Trace includes the execution trace in the response.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// AnswerRow is one answer: head values (rendered as strings) and its
+// probability.
+type AnswerRow struct {
+	Vals []string `json:"vals"`
+	P    float64  `json:"p"`
+}
+
+// StatsSummary is the subset of evaluation statistics exposed per response.
+type StatsSummary struct {
+	Answers         int   `json:"answers"`
+	OffendingTuples int   `json:"offending_tuples"`
+	NetworkNodes    int   `json:"network_nodes"`
+	LineageClauses  int   `json:"lineage_clauses"`
+	RowsCharged     int64 `json:"rows_charged"`
+	NodesCharged    int64 `json:"nodes_charged"`
+	PlanNS          int64 `json:"plan_ns"`
+	InferenceNS     int64 `json:"inference_ns"`
+}
+
+// QueryResponse is the 200 body of POST /query.
+type QueryResponse struct {
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+	// RequestedStrategy is set when the response was degraded: the strategy
+	// the client asked for, while Strategy names the one that answered (mc).
+	RequestedStrategy string          `json:"requested_strategy,omitempty"`
+	Attrs             []string        `json:"attrs"`
+	Rows              []AnswerRow     `json:"rows"`
+	BoolP             *float64        `json:"bool_p,omitempty"`
+	Approximate       bool            `json:"approximate"`
+	Degraded          bool            `json:"degraded"`
+	FallbackReason    string          `json:"fallback_reason,omitempty"`
+	Stats             StatsSummary    `json:"stats"`
+	ElapsedNS         int64           `json:"elapsed_ns"`
+	Trace             json.RawMessage `json:"trace,omitempty"`
+}
+
+// ErrorResponse is the body of every non-200 /query response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Code classifies the failure: bad_request, overload, shutdown,
+	// deadline, canceled, budget_rows, budget_nodes, not_data_safe,
+	// internal.
+	Code string `json:"code"`
+	// RetryAfterMS mirrors the Retry-After header on 503 responses.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// PartialTrace is the execution trace recorded before the evaluation
+	// was cut off (504 and budget-exhaustion responses with trace enabled).
+	PartialTrace json.RawMessage `json:"partial_trace,omitempty"`
+}
+
+// statusClientClosedRequest is nginx's conventional status for a client
+// that disconnected before the response; there is no standard code.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.cfg.Metrics.ServerRequest("/query")
+	status := func(code int, v any) {
+		writeJSON(w, code, v)
+		s.cfg.Metrics.ServerResponse("/query", code, time.Since(start))
+	}
+
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status(http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	if req.Query == "" {
+		status(http.StatusBadRequest, ErrorResponse{Error: "query is required", Code: "bad_request"})
+		return
+	}
+
+	// The deadline covers the request's whole stay — queue wait included —
+	// so a queued request whose deadline expires is answered 504 instead of
+	// occupying a slot it can no longer use.
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	release, rejected := s.admit()
+	if rejected != "" {
+		s.cfg.Metrics.ServerRejected(rejected)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		status(http.StatusServiceUnavailable, ErrorResponse{
+			Error:        "server " + map[string]string{"shutdown": "is shutting down", "overload": "is at capacity"}[rejected],
+			Code:         rejected,
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	defer release()
+
+	if !s.acquireSlot(ctx) {
+		// The request's context died while queued: deadline or disconnect.
+		code, resp := statusClientClosedRequest, ErrorResponse{Error: "client went away while queued", Code: "canceled"}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			code, resp = http.StatusGatewayTimeout, ErrorResponse{Error: "deadline expired while queued", Code: "deadline"}
+		}
+		status(code, resp)
+		return
+	}
+	s.inFlight.Add(1)
+	s.cfg.Metrics.ServerInFlightAdd(1)
+	defer s.releaseSlot()
+
+	resp, errResp, code := s.evaluate(ctx, &req, start)
+	if errResp != nil {
+		status(code, *errResp)
+		return
+	}
+	status(http.StatusOK, resp)
+}
+
+// evaluate runs one admitted query request under its already-deadlined
+// context, including the degradation retry, and maps the outcome onto a
+// response + HTTP status.
+func (s *Server) evaluate(ctx context.Context, req *QueryRequest, start time.Time) (*QueryResponse, *ErrorResponse, int) {
+	q, err := pdb.ParseQuery(req.Query)
+	if err != nil {
+		return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest
+	}
+	strategy := pdb.PartialLineage
+	if req.Strategy != "" {
+		strategy, err = pdb.ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest
+		}
+	}
+	if req.Degrade && s.cfg.DisableDegrade {
+		return nil, &ErrorResponse{Error: "degradation is disabled on this server", Code: "bad_request"}, http.StatusBadRequest
+	}
+
+	opts := pdb.Options{
+		Strategy:    strategy,
+		Samples:     req.Samples,
+		Epsilon:     req.Epsilon,
+		Delta:       req.Delta,
+		Seed:        req.Seed,
+		MaxWidth:    req.MaxWidth,
+		Parallelism: min(req.Parallelism, s.cfg.MaxParallelism),
+		Trace:       req.Trace,
+	}
+	if req.Budget != nil {
+		opts.Budget = pdb.Budget{
+			Rows:  req.Budget.Rows,
+			Nodes: req.Budget.Nodes,
+			Time:  time.Duration(req.Budget.TimeMS) * time.Millisecond,
+		}
+	}
+
+	res, err := s.cfg.DB.EvaluateContext(ctx, q, opts)
+	degraded := false
+	if err != nil && req.Degrade && strategy != pdb.MonteCarlo && budgetExhausted(err) {
+		// Graceful degradation: the exact evaluation ran out of its
+		// rows/nodes budget; retry with the Karp–Luby sampler under the
+		// same deadline. The sampler builds no AND-OR network and its
+		// grounding is the cheap part of the original run, so the exhausted
+		// dimensions are lifted for the retry — the deadline is the
+		// envelope that still binds.
+		s.cfg.Metrics.ServerDegraded()
+		degraded = true
+		dopts := opts
+		dopts.Strategy = pdb.MonteCarlo
+		dopts.Budget.Rows = 0
+		dopts.Budget.Nodes = 0
+		res, err = s.cfg.DB.EvaluateContext(ctx, q, dopts)
+		opts = dopts
+	}
+	if err != nil {
+		return nil, errorResponse(err, res, req.Trace), errorStatus(err)
+	}
+
+	resp := &QueryResponse{
+		Query:          q.String(),
+		Strategy:       res.Stats.Strategy.String(),
+		Attrs:          append([]string{}, res.Attrs...),
+		Rows:           make([]AnswerRow, 0, len(res.Rows)),
+		Approximate:    res.Stats.Approximate,
+		Degraded:       degraded,
+		FallbackReason: res.Stats.FallbackReason,
+		Stats: StatsSummary{
+			Answers:         res.Stats.Answers,
+			OffendingTuples: res.Stats.OffendingTuples,
+			NetworkNodes:    res.Stats.NetworkNodes,
+			LineageClauses:  res.Stats.LineageClauses,
+			RowsCharged:     res.Stats.RowsCharged,
+			NodesCharged:    res.Stats.NodesCharged,
+			PlanNS:          res.Stats.PlanTime.Nanoseconds(),
+			InferenceNS:     res.Stats.InferenceTime.Nanoseconds(),
+		},
+		ElapsedNS: time.Since(start).Nanoseconds(),
+	}
+	if degraded {
+		resp.RequestedStrategy = strategy.String()
+	}
+	for _, row := range res.Rows {
+		vals := make([]string, len(row.Vals))
+		for i, v := range row.Vals {
+			vals[i] = v.String()
+		}
+		resp.Rows = append(resp.Rows, AnswerRow{Vals: vals, P: row.P})
+	}
+	if len(res.Attrs) == 0 {
+		p := res.BoolProb()
+		resp.BoolP = &p
+	}
+	if req.Trace {
+		resp.Trace = traceJSON(res)
+	}
+	return resp, nil, http.StatusOK
+}
+
+// budgetExhausted reports whether the evaluation died on a rows/nodes
+// budget — the degradable failures. Deadline expiry is not degradable: the
+// retry would start with the same dead clock.
+func budgetExhausted(err error) bool {
+	return errors.Is(err, pdb.ErrRowBudget) || errors.Is(err, pdb.ErrNodeBudget)
+}
+
+// errorResponse classifies an evaluation error, attaching the partial trace
+// recorded before the cut when the request asked for tracing.
+func errorResponse(err error, partial *pdb.Result, traced bool) *ErrorResponse {
+	resp := &ErrorResponse{Error: err.Error(), Code: "internal"}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Code = "deadline"
+	case errors.Is(err, context.Canceled):
+		resp.Code = "canceled"
+	case errors.Is(err, pdb.ErrRowBudget):
+		resp.Code = "budget_rows"
+	case errors.Is(err, pdb.ErrNodeBudget):
+		resp.Code = "budget_nodes"
+	case errors.Is(err, pdb.ErrNotDataSafe):
+		resp.Code = "not_data_safe"
+	}
+	if traced && partial != nil {
+		resp.PartialTrace = traceJSON(partial)
+	}
+	return resp
+}
+
+// errorStatus maps an evaluation error to its HTTP status.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, pdb.ErrRowBudget), errors.Is(err, pdb.ErrNodeBudget),
+		errors.Is(err, pdb.ErrNotDataSafe):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// traceJSON renders a result's execution trace as embeddable JSON.
+func traceJSON(res *pdb.Result) json.RawMessage {
+	var buf bytes.Buffer
+	if err := res.Trace().WriteJSON(&buf); err != nil {
+		return nil
+	}
+	return json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.cfg.Metrics.ServerRequest("/healthz")
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := HealthResponse{Status: "ok", InFlight: s.InFlight(), Queued: s.Queued()}
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+	s.cfg.Metrics.ServerResponse("/healthz", code, time.Since(start))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

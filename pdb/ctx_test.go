@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -75,6 +76,84 @@ func TestBudgetsThroughFacade(t *testing.T) {
 	heavy := bigTriangle(t, 14)
 	if _, err := heavy.Evaluate(q, Options{Budget: Budget{Time: 30 * time.Millisecond}, Samples: 1 << 30}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("time budget: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestPartialResultOnAbort(t *testing.T) {
+	db := bigTriangle(t, 10)
+	q, err := ParseQuery("q :- R(a), S(a, b), T(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Evaluate(q, Options{Budget: Budget{Rows: 20}, Trace: true})
+	if !errors.Is(err, ErrRowBudget) {
+		t.Fatalf("err = %v, want ErrRowBudget", err)
+	}
+	if res == nil {
+		t.Fatal("aborted evaluation returned no partial result")
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("partial result has %d rows, want 0", len(res.Rows))
+	}
+	if res.Stats.RowsCharged <= 20 {
+		t.Errorf("partial RowsCharged = %d, want > budget", res.Stats.RowsCharged)
+	}
+	// The partial trace renders: Explain must succeed and name the query.
+	var buf strings.Builder
+	if err := res.Explain(&buf); err != nil {
+		t.Fatalf("Explain on partial result: %v", err)
+	}
+	if !strings.Contains(buf.String(), "q() :- R(a), S(a, b), T(b)") {
+		t.Errorf("partial explain missing query:\n%s", buf.String())
+	}
+
+	// Pre-evaluation failures (options rejected before anything runs) carry
+	// no partial work and keep returning a nil result.
+	if res, err := db.Evaluate(q, Options{Epsilon: 0.5}); err == nil || res != nil {
+		t.Errorf("half-set (ε, δ): res = %v, err = %v; want nil result + error", res, err)
+	}
+}
+
+func TestEpsilonDeltaOptions(t *testing.T) {
+	db := bigTriangle(t, 4)
+	q, err := ParseQuery("q(a) :- R(a), S(a, b), T(b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-set pairs are rejected.
+	if _, err := db.Evaluate(q, Options{Strategy: MonteCarlo, Epsilon: 0.1}); err == nil {
+		t.Error("Epsilon without Delta: want error")
+	}
+	if _, err := db.Evaluate(q, Options{Strategy: MonteCarlo, Delta: 0.1}); err == nil {
+		t.Error("Delta without Epsilon: want error")
+	}
+	// A fixed seed makes the (ε, δ) Karp–Luby run exactly reproducible, and
+	// ε=0.05, δ=0.01 lands within relative error ε of the exact answer (the
+	// guarantee holds with probability 1−δ; a failure here is a 1-in-100
+	// flake at worst, and the fixed seed makes it deterministic in practice).
+	exact, err := db.Evaluate(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.Evaluate(q, Options{Strategy: MonteCarlo, Epsilon: 0.05, Delta: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Evaluate(q, Options{Strategy: MonteCarlo, Epsilon: 0.05, Delta: 0.01, Seed: 7, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) || len(a.Rows) == 0 {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i].P != b.Rows[i].P {
+			t.Errorf("row %d: same seed gave %v vs %v", i, a.Rows[i].P, b.Rows[i].P)
+		}
+		want := exact.Prob(a.Rows[i].Vals...)
+		if want > 0 && math.Abs(a.Rows[i].P-want)/want > 0.05 {
+			t.Errorf("row %d: relative error %.4f beyond ε", i, math.Abs(a.Rows[i].P-want)/want)
+		}
 	}
 }
 

@@ -103,7 +103,16 @@ type Options struct {
 	MaxWidth int
 	// Samples for MonteCarlo and the sampling fallback (default 100000).
 	Samples int
-	// Seed for the samplers.
+	// Epsilon and Delta request an (ε, δ) accuracy guarantee from the
+	// Karp–Luby sampler instead of a fixed sample count: when both are set
+	// (each in (0,1)), every sampled answer uses n = ⌈4·m·ln(2/δ)/ε²⌉
+	// samples for its m-clause lineage, bounding the relative error by ε
+	// with probability at least 1−δ. Samples is ignored on the Karp–Luby
+	// paths while both are set; setting exactly one of the two is an error.
+	Epsilon, Delta float64
+	// Seed for the samplers. Approximate paths derive a per-answer RNG from
+	// Seed and the answer identity, so a fixed Seed makes Karp–Luby results
+	// fully reproducible at any Parallelism.
 	Seed int64
 	// NoFallback turns the sampling fallback into an error.
 	NoFallback bool
@@ -138,6 +147,8 @@ func (o Options) engineOptions() engine.Options {
 		Strategy:    o.Strategy,
 		Inference:   inference.Options{MaxFactorVars: o.MaxWidth},
 		Samples:     o.Samples,
+		Epsilon:     o.Epsilon,
+		Delta:       o.Delta,
 		Seed:        o.Seed,
 		NoFallback:  o.NoFallback,
 		Parallelism: o.Parallelism,
@@ -471,12 +482,18 @@ func (d *Database) Evaluate(q *Query, opts Options) (*Result, error) {
 // EvaluateContext is Evaluate under a context: cancellation and deadlines
 // propagate into every layer of the pipeline — operators, grounding, exact
 // inference and sampling — which abort promptly with ctx's error.
+//
+// When the evaluation is aborted mid-flight (cancellation, deadline or a
+// Budget dimension), the non-nil error is accompanied by a partial Result:
+// it has no rows, but its Stats carry the operator trace recorded so far
+// and the rows/nodes charged, so Trace/Explain show where the time went.
 func (d *Database) EvaluateContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
 	start := time.Now()
 	res, err := engine.EvaluateQueryContext(ctx, d.db, q.q, opts.engineOptions())
 	if err != nil {
-		observe(opts.Strategy, start, nil, err)
-		return nil, err
+		partial := wrapPartial(res, q)
+		observe(opts.Strategy, start, partial, err)
+		return partial, err
 	}
 	out := wrapResult(res, q)
 	observe(opts.Strategy, start, out, nil)
@@ -520,13 +537,14 @@ func (d *Database) EvaluateWithPlan(q *Query, p *Plan, opts Options) (*Result, e
 }
 
 // EvaluateWithPlanContext is EvaluateWithPlan under a context; see
-// EvaluateContext.
+// EvaluateContext (including the partial Result accompanying abort errors).
 func (d *Database) EvaluateWithPlanContext(ctx context.Context, q *Query, p *Plan, opts Options) (*Result, error) {
 	start := time.Now()
 	res, err := engine.EvaluateContext(ctx, d.db, q.q, p.p, opts.engineOptions())
 	if err != nil {
-		observe(opts.Strategy, start, nil, err)
-		return nil, err
+		partial := wrapPartial(res, q)
+		observe(opts.Strategy, start, partial, err)
+		return partial, err
 	}
 	out := wrapResult(res, q)
 	observe(opts.Strategy, start, out, nil)
@@ -554,4 +572,14 @@ func wrapResult(res *engine.Result, q *Query) *Result {
 		out.Rows = append(out.Rows, Row{Vals: row.Vals, P: row.P})
 	}
 	return out
+}
+
+// wrapPartial wraps the rowless partial result the engine returns alongside
+// abort errors (nil in the pre-evaluation error cases, where there is no
+// partial work to report).
+func wrapPartial(res *engine.Result, q *Query) *Result {
+	if res == nil {
+		return nil
+	}
+	return wrapResult(res, q)
 }
