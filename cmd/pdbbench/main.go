@@ -24,12 +24,15 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline or all")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache or all")
 		scaleName   = flag.String("scale", "small", "small or paper")
 		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per evaluation, e.g. 30s (0 = none)")
 		benchOut    = flag.String("bench-out", "BENCH_pipeline.json", "file for the pipeline benchmark artifact")
+		cacheOut    = flag.String("cache-out", "BENCH_cache.json", "file for the cache benchmark artifact")
+		withMemo    = flag.Bool("memo", true, "cache experiment: include the memoized-inference comparison")
+		withCache   = flag.Bool("cache", true, "cache experiment: include the server result-cache comparison")
 		metrics     = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
 	)
 	flag.Parse()
@@ -141,12 +144,51 @@ func main() {
 			}
 			fmt.Println("pipeline benchmark written to", *benchOut)
 			fmt.Println()
+		case "cache":
+			rep, err := experiments.CacheBench(sc, experiments.CacheOptions{Memo: *withMemo, Cache: *withCache})
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*cacheOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteCacheJSON(f, rep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Cache levels: memoized inference, hash-consing, server result cache (scale=%s) ==\n", sc.Name)
+			for _, pt := range rep.Memo {
+				if pt.Err != "" {
+					fmt.Printf("memo    %-24s err: %s\n", pt.Query, pt.Err)
+					continue
+				}
+				fmt.Printf("memo    %-24s %14d %14d %7.2fx  hits=%d\n", pt.Query, pt.OffNs, pt.OnNs, pt.Speedup, pt.MemoHits)
+			}
+			for _, pt := range rep.Cons {
+				if pt.Err != "" {
+					fmt.Printf("consing %-24s err: %s\n", pt.Query, pt.Err)
+					continue
+				}
+				fmt.Printf("consing %-24s %8d nodes %8d nodes %6.2fx\n", pt.Query, pt.NodesOff, pt.NodesOn, pt.Reduction)
+			}
+			for _, pt := range rep.Serve {
+				if pt.Err != "" {
+					fmt.Printf("server  %-24s err: %s\n", pt.Query, pt.Err)
+					continue
+				}
+				fmt.Printf("server  %-24s %14d %14d %7.2fx\n", pt.Query, pt.ColdNs, pt.WarmNs, pt.Speedup)
+			}
+			fmt.Println("cache benchmark written to", *cacheOut)
+			fmt.Println()
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline"} {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache"} {
 			run(name)
 		}
 		return

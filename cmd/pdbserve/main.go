@@ -40,6 +40,8 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", time.Second, "backoff hint attached to 503 responses")
 		noDegrade   = flag.Bool("no-degrade", false, "refuse per-request degradation to Karp–Luby sampling")
 		drain       = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight queries")
+		cacheSize   = flag.Int("cache-entries", 0, "result cache capacity in entries (0 = 1024)")
+		noCache     = flag.Bool("no-cache", false, "disable the snapshot-versioned result cache")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -60,6 +62,8 @@ func main() {
 		MaxParallelism:  *maxParallel,
 		RetryAfter:      *retryAfter,
 		DisableDegrade:  *noDegrade,
+		CacheEntries:    *cacheSize,
+		DisableCache:    *noCache,
 	})
 	if err != nil {
 		fatal(err)

@@ -31,7 +31,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strconv"
 )
 
 // NodeID identifies a node of a network. IDs are dense, start at 0, and are
@@ -75,11 +74,16 @@ type Edge struct {
 // Network is a mutable AND-OR network. The zero value is not usable; create
 // networks with New.
 type Network struct {
-	labels     []Label
-	leafP      []float64 // indexed by NodeID; meaningful for leaves only
-	parents    [][]Edge  // indexed by NodeID; nil for leaves
-	consing    map[string]NodeID
+	labels  []Label
+	leafP   []float64 // indexed by NodeID; meaningful for leaves only
+	parents [][]Edge  // indexed by NodeID; nil for leaves
+	// consing buckets deterministic gates by the structural fingerprint of
+	// (label, sorted parent IDs); bucket entries are verified field by field
+	// before reuse, so a 64-bit hash collision can never merge two distinct
+	// gates.
+	consing    map[uint64][]NodeID
 	consingOff bool
+	consHits   int
 }
 
 // SetHashConsing enables or disables deterministic-gate hash-consing.
@@ -89,9 +93,13 @@ type Network struct {
 // low on instances like the deterministic complete-bipartite S example.
 func (n *Network) SetHashConsing(enabled bool) { n.consingOff = !enabled }
 
+// ConsHits returns how many AddGate calls were answered from the consing
+// table instead of allocating a node — the network's structure-sharing win.
+func (n *Network) ConsHits() int { return n.consHits }
+
 // New creates a network containing only the ε node.
 func New() *Network {
-	n := &Network{consing: make(map[string]NodeID)}
+	n := &Network{consing: make(map[uint64][]NodeID)}
 	id := n.AddLeaf(1)
 	if id != Epsilon {
 		panic("aonet: ε allocation broken")
@@ -173,11 +181,14 @@ func (n *Network) AddGate(label Label, parents []Edge) NodeID {
 		}
 	}
 	deterministic = deterministic && !n.consingOff
-	var key string
+	var key uint64
 	if deterministic {
-		key = consKey(label, es)
-		if id, ok := n.consing[key]; ok {
-			return id
+		key = consFingerprint(label, es)
+		for _, cand := range n.consing[key] {
+			if n.sameGate(cand, label, es) {
+				n.consHits++
+				return cand
+			}
 		}
 	}
 	id := NodeID(len(n.labels))
@@ -185,19 +196,48 @@ func (n *Network) AddGate(label Label, parents []Edge) NodeID {
 	n.leafP = append(n.leafP, 0)
 	n.parents = append(n.parents, es)
 	if deterministic {
-		n.consing[key] = id
+		n.consing[key] = append(n.consing[key], id)
 	}
 	return id
 }
 
-func consKey(label Label, sorted []Edge) string {
-	b := make([]byte, 0, 4+8*len(sorted))
-	b = append(b, byte(label))
+// consFingerprint hashes (label, sorted parent IDs) with FNV-1a. Edge
+// probabilities are omitted: only deterministic gates (all P == 1) reach the
+// consing table.
+func consFingerprint(label Label, sorted []Edge) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= uint64(label)
+	h *= prime64
 	for _, e := range sorted {
-		b = strconv.AppendInt(b, int64(e.From), 10)
-		b = append(b, ',')
+		v := uint32(e.From)
+		for i := 0; i < 4; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
 	}
-	return string(b)
+	return h
+}
+
+// sameGate reports whether existing node id is a deterministic gate with
+// exactly the given label and sorted parent edges.
+func (n *Network) sameGate(id NodeID, label Label, sorted []Edge) bool {
+	if n.labels[id] != label {
+		return false
+	}
+	ps := n.parents[id]
+	if len(ps) != len(sorted) {
+		return false
+	}
+	for i, e := range ps {
+		if e.From != sorted[i].From || e.P != sorted[i].P {
+			return false
+		}
+	}
+	return true
 }
 
 // CondProbTrue evaluates φ(x_v = 1 | x_par(v)) under the Boolean assignment

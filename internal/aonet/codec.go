@@ -82,7 +82,7 @@ func Decode(r io.Reader) (*Network, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("aonet: node count %d (the ε node is mandatory)", count)
 	}
-	n := &Network{consing: make(map[string]NodeID)}
+	n := &Network{consing: make(map[uint64][]NodeID)}
 	for v := 0; v < count; v++ {
 		l, err := line()
 		if err != nil {
@@ -140,7 +140,8 @@ func Decode(r io.Reader) (*Network, error) {
 			n.leafP = append(n.leafP, 0)
 			n.parents = append(n.parents, edges)
 			if deterministic {
-				n.consing[consKey(lab, edges)] = NodeID(v)
+				key := consFingerprint(lab, edges)
+				n.consing[key] = append(n.consing[key], NodeID(v))
 			}
 		default:
 			return nil, fmt.Errorf("aonet: node %d: unknown kind %q", v, fields[0])

@@ -71,6 +71,7 @@ type ExecContext struct {
 	start       time.Time
 	deadline    time.Time // zero when Budget.Time is unlimited
 	parallelism int
+	pooling     bool
 
 	rows  atomic.Int64
 	nodes atomic.Int64
@@ -99,6 +100,10 @@ type ExecConfig struct {
 	Parallelism int
 	// Trace enables the per-operator statistics sink.
 	Trace bool
+	// Pooling lets hot operators reuse scratch allocations (hash-join
+	// buckets, dedup group tables) through package-level sync.Pools. Purely
+	// an allocation optimization: outputs are byte-identical either way.
+	Pooling bool
 }
 
 // NewExecContext wraps ctx for one evaluation. A nil ctx means
@@ -113,6 +118,7 @@ func NewExecContext(ctx context.Context, cfg ExecConfig) *ExecContext {
 		start:       time.Now(),
 		parallelism: cfg.Parallelism,
 		tracing:     cfg.Trace,
+		pooling:     cfg.Pooling,
 	}
 	if cfg.Budget.Time > 0 {
 		e.deadline = e.start.Add(cfg.Budget.Time)
@@ -139,6 +145,10 @@ func (e *ExecContext) Parallelism() int {
 
 // Tracing reports whether the per-operator statistics sink is enabled.
 func (e *ExecContext) Tracing() bool { return e != nil && e.tracing }
+
+// Pooling reports whether operators may reuse pooled scratch allocations.
+// False on a nil receiver: legacy entry points get plain allocation.
+func (e *ExecContext) Pooling() bool { return e != nil && e.pooling }
 
 // Err reports why the evaluation should stop: the wrapped context's error,
 // or context.DeadlineExceeded past the time budget. It is cheap (one atomic
@@ -186,6 +196,27 @@ func (e *ExecContext) ChargeNodes(n int) error {
 		return fmt.Errorf("%w (%d nodes grown, budget %d)", ErrNodeBudget, total, e.budget.Nodes)
 	}
 	return nil
+}
+
+// TryChargeNodes charges n nodes only when they fit under the node budget:
+// once the charge would exceed it, TryChargeNodes returns false and leaves
+// the total unchanged. Opportunistic consumers — memo-table inserts, caches —
+// use it to stop growing when the budget runs out instead of failing the
+// evaluation the way ChargeNodes callers do.
+func (e *ExecContext) TryChargeNodes(n int) bool {
+	if e == nil {
+		return true
+	}
+	for {
+		cur := e.nodes.Load()
+		total := cur + int64(n)
+		if e.budget.Nodes > 0 && total > e.budget.Nodes {
+			return false
+		}
+		if e.nodes.CompareAndSwap(cur, total) {
+			return true
+		}
+	}
 }
 
 // RowsCharged returns the rows charged so far.

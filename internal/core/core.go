@@ -182,4 +182,16 @@ type Stats struct {
 	// or not a budget was set; exported as process counters by internal/obs.
 	RowsCharged  int64
 	NodesCharged int64
+
+	// Memo counters (performance layer, PR 5): hits/misses/evictions across
+	// the evaluation's shared inference memo tables (lineage Shannon
+	// subproblems and VE component solves combined), InternHits the number
+	// of canonical-fingerprint reuses in the lineage interner, ConsHits the
+	// number of AddGate calls answered by the network's hash-consing table
+	// instead of allocating a node. All zero when memoization is disabled.
+	MemoHits      int64
+	MemoMisses    int64
+	MemoEvictions int64
+	InternHits    int64
+	ConsHits      int
 }

@@ -1,0 +1,188 @@
+package crosscheck
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/pdb"
+)
+
+// memoAblations are the option sets whose answers must be bit-identical to
+// the default configuration: memoization, key interning and scratch pooling
+// are pure work-avoidance and may not shift a single float bit. (NoCons is
+// deliberately absent — disabling hash-consing changes the network *shape*,
+// which is a benchmark dimension, not an equivalence.)
+var memoAblations = []struct {
+	name string
+	set  func(*pdb.Options)
+}{
+	{"no-memo", func(o *pdb.Options) { o.NoMemo = true }},
+	{"no-intern", func(o *pdb.Options) { o.NoIntern = true }},
+	{"no-pool", func(o *pdb.Options) { o.NoPool = true }},
+	{"all-off", func(o *pdb.Options) { o.NoMemo, o.NoIntern, o.NoPool = true, true, true }},
+}
+
+// TestMemoBitIdentical sweeps seeded random instances and asserts that every
+// exact strategy computes bit-identical answer probabilities with the
+// memo/interning/pooling levels on and off — a comparison to ±0, not to a
+// tolerance. Both serial and parallel evaluations are held to it.
+func TestMemoBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range ExactStrategies() {
+			for _, par := range []int{0, 4} {
+				base := pdb.Options{Strategy: s, Parallelism: par, NoFallback: true}
+				ref, errRef := db.Evaluate(q, base)
+				for _, ab := range memoAblations {
+					opts := base
+					ab.set(&opts)
+					got, errGot := db.Evaluate(q, opts)
+					if (errRef == nil) != (errGot == nil) {
+						t.Fatalf("seed %d strategy %v par %d %s: outcome changed: %v vs %v",
+							seed, s, par, ab.name, errRef, errGot)
+					}
+					if errRef != nil {
+						continue // e.g. safe declining a non-data-safe instance
+					}
+					if len(ref.Rows) != len(got.Rows) {
+						t.Fatalf("seed %d strategy %v par %d %s: answer count %d vs %d",
+							seed, s, par, ab.name, len(ref.Rows), len(got.Rows))
+					}
+					for _, row := range ref.Rows {
+						if p := got.Prob(row.Vals...); p != row.P {
+							t.Fatalf("seed %d strategy %v par %d %s: answer %v: %v vs %v (must be bit-identical)",
+								seed, s, par, ab.name, row.Vals, row.P, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKarpLubySeedReproducibleWithMemo: the sampler's answer is a function
+// of the seed alone — repeated runs, memo-ablated runs and parallel runs all
+// reproduce it bit for bit.
+func TestKarpLubySeedReproducibleWithMemo(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base := pdb.Options{Strategy: core.MonteCarlo, Seed: seed, Samples: 500}
+		ref, err := db.Evaluate(q, base)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		variants := []pdb.Options{
+			base, // plain repeat
+			{Strategy: core.MonteCarlo, Seed: seed, Samples: 500, NoMemo: true, NoIntern: true, NoPool: true},
+			{Strategy: core.MonteCarlo, Seed: seed, Samples: 500, Parallelism: 4},
+		}
+		for i, opts := range variants {
+			got, err := db.Evaluate(q, opts)
+			if err != nil {
+				t.Fatalf("seed %d variant %d: %v", seed, i, err)
+			}
+			for _, row := range ref.Rows {
+				if p := got.Prob(row.Vals...); p != row.P {
+					t.Fatalf("seed %d variant %d: answer %v: %v vs %v (same seed must be bit-identical)",
+						seed, i, row.Vals, row.P, p)
+				}
+			}
+		}
+	}
+}
+
+// TestServedCacheHitMatchesCold extends the served-vs-direct oracle to the
+// result cache: the same sweep posted twice against one server — the second
+// pass served from cache — must match direct evaluation both times.
+func TestServedCacheHitMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 20; seed++ {
+		in := Generate(seed, GenConfig{})
+		ts := serveFor(t, in)
+		for pass := 0; pass < 2; pass++ {
+			rep, err := CheckServed(ctx, in, ts.URL, Options{Samples: 2000, Seed: seed})
+			if err != nil {
+				t.Fatalf("seed %d pass %d: %v\ninstance:\n%s", seed, pass, err, in)
+			}
+			if rep.Failed() {
+				t.Fatalf("seed %d pass %d: served diverged: %v\ninstance:\n%s",
+					seed, pass, rep.Divergences[0], in)
+			}
+		}
+		ts.Close()
+	}
+}
+
+// zeroTimes strips wall-clock measurements from a trace so that two runs of
+// the same evaluation can be compared byte for byte.
+func zeroTimes(tr *obs.Trace) {
+	tr.PlanTime, tr.InferenceTime = 0, 0
+	var walk func([]*obs.Span)
+	walk = func(spans []*obs.Span) {
+		for _, sp := range spans {
+			sp.Time = 0
+			walk(sp.Children)
+		}
+	}
+	walk(tr.Roots)
+}
+
+// TestTraceDeterministicWithMemo is the map-iteration-order regression
+// check: two same-seed evaluations with memoization on must produce
+// byte-identical execution traces (wall times masked) — any nondeterministic
+// iteration over a memo table or pooled map would scramble span order,
+// network growth attribution or answer ordering.
+func TestTraceDeterministicWithMemo(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range []core.Strategy{core.PartialLineage, core.FullNetwork, core.DNFLineage} {
+			for _, par := range []int{0, 4} {
+				render := func() []byte {
+					res, err := db.Evaluate(q, pdb.Options{Strategy: s, Parallelism: par, Trace: true, NoFallback: true})
+					if err != nil {
+						t.Fatalf("seed %d strategy %v par %d: %v", seed, s, par, err)
+					}
+					tr := res.Trace()
+					zeroTimes(tr)
+					data, err := json.Marshal(tr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return data
+				}
+				first := render()
+				if second := render(); string(first) != string(second) {
+					t.Fatalf("seed %d strategy %v par %d: trace not deterministic:\n%s\nvs\n%s",
+						seed, s, par, first, second)
+				}
+			}
+		}
+	}
+}

@@ -95,6 +95,24 @@ type Options struct {
 	// variable elimination with cutset conditioning instead. For the
 	// inference-backend ablation benchmark.
 	NoExpansion bool
+	// NoMemo disables the per-evaluation shared inference memo tables
+	// (Shannon subproblems keyed on canonical clause fingerprints, VE
+	// component solves keyed on factor fingerprints). Exact results are
+	// bit-identical with and without them; the flag exists for the
+	// performance ablation and the crosscheck equivalence tests.
+	NoMemo bool
+	// NoIntern disables canonical-fingerprint interning inside the shared
+	// lineage memo (keys stay per-call strings). Observable only through
+	// Stats.InternHits and memory footprint.
+	NoIntern bool
+	// NoCons disables AND-OR network hash-consing of deterministic gates.
+	// Always sound (fresh nodes are never wrong, only more numerous); for
+	// the node-count benchmark and the Section 5.4 ablation.
+	NoCons bool
+	// NoPool disables sync.Pool reuse of the hash-join/dedup partition
+	// tables in internal/pl. Outputs are byte-identical either way; the
+	// flag exists for the allocation benchmark.
+	NoPool bool
 }
 
 func (o Options) samples() int {
@@ -206,6 +224,7 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 		Budget:      opts.Budget,
 		Parallelism: opts.Parallelism,
 		Trace:       opts.Trace,
+		Pooling:     !opts.NoPool,
 	})
 	var res *Result
 	var err error
@@ -280,17 +299,30 @@ func validateBaseProbs(db *relation.Database, q *query.Query) error {
 	return nil
 }
 
+// expansion is one answer's pre-expanded partial lineage: the DNF over the
+// evaluation's shared variable space, or the error expansion hit. The
+// engine expands all answers serially (in answer order) before the parallel
+// inference stage, so variable numbering is deterministic and identical at
+// every Parallelism and memo setting.
+type expansion struct {
+	f     *lineage.DNF
+	probs []float64
+	err   error
+}
+
 // answerMarginal computes one lineage node's marginal. Exact paths, in
-// order: (1) expand the partial lineage into a DNF and run the Shannon
-// solver (Section 4.2's "run any general-purpose inference algorithm" on the
+// order: (1) run the Shannon solver on the pre-expanded partial-lineage DNF
+// (Section 4.2's "run any general-purpose inference algorithm" on the
 // partial lineage); (2) variable elimination with cutset conditioning. Past
 // both budgets it approximates — by Karp–Luby on the expanded formula when
 // the expansion succeeded, otherwise by forward sampling on the network —
 // unless NoFallback is set, in which case the tractability error surfaces.
-// It only reads the network, so it is safe to run concurrently; the
-// approximate paths seed deterministically from Options.Seed and the node.
-// Cancellation and budget errors from ec surface through confidence.err.
-func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, opts Options, evidence map[aonet.NodeID]bool) confidence {
+// It only reads the network (pre carries this answer's expansion; lm and
+// opts.Inference.Memo are internally synchronized), so it is safe to run
+// concurrently; the approximate paths seed deterministically from
+// Options.Seed and the node. Cancellation and budget errors from ec surface
+// through confidence.err.
+func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, opts Options, evidence map[aonet.NodeID]bool, pre *expansion, lm *lineage.Memo) confidence {
 	var expanded *lineage.DNF
 	var expandedProbs []float64
 	if len(evidence) > 0 {
@@ -311,11 +343,11 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		return confidence{p: p, approx: true, backend: "rejection-sampling",
 			reason: "conditional exact inference exceeded the width cap; rejection sampling"}
 	}
-	if !opts.NoExpansion {
-		f, probs, err := inference.ExpandDNF(net, lin, 0)
+	if pre != nil {
+		f, probs, err := pre.f, pre.probs, pre.err
 		switch {
 		case err == nil:
-			p, err := lineage.ProbBudgetCtx(ec, f, func(v lineage.Var) float64 { return probs[v] }, opts.exactBudget())
+			p, err := lineage.ProbMemoCtx(ec, f, func(v lineage.Var) float64 { return probs[v] }, opts.exactBudget(), lm)
 			if err == nil {
 				return confidence{p: p, backend: "expand+shannon"}
 			}

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/aonet"
 	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/lineage"
 	"repro/internal/pl"
 	"repro/internal/query"
 	"repro/internal/relation"
@@ -33,6 +35,16 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	}
 	res := &Result{Attrs: append([]string(nil), q.Head...), Net: aonet.New()}
 	res.Stats.Strategy = opts.Strategy
+	if opts.NoCons {
+		res.Net.SetHashConsing(false)
+	}
+	// Per-evaluation shared memo tables (disabled by NoMemo): exact results
+	// are bit-identical either way, only the work repeats.
+	var lm *lineage.Memo
+	if !opts.NoMemo {
+		lm = lineage.NewMemo(lineage.MemoConfig{NoIntern: opts.NoIntern})
+		opts.Inference.Memo = inference.NewMemo()
+	}
 	ex := &executor{db: db, net: res.Net, opts: opts, stats: &res.Stats, ec: ec}
 	if len(opts.Evidence) > 0 {
 		ex.evidenceByRel = make(map[string][]int)
@@ -45,6 +57,7 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 
 	var final []finalTuple
 	var distinct []aonet.NodeID
+	var expansions []expansion
 	build := func() (int, error) {
 		out, err := ex.exec(plan)
 		if err != nil {
@@ -78,10 +91,35 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 				distinct = append(distinct, t.Lin)
 			}
 		}
+		// Pre-expand every answer's partial lineage serially, sharing one
+		// expander: gate nodes common to several answers expand once and
+		// keep the same variables, and the serial answer-order pass makes
+		// the variable numbering deterministic — identical at every
+		// Parallelism and memo setting, which is what keeps memo-on and
+		// memo-off results bit-identical.
+		if len(ex.evidenceNodes) == 0 && !opts.NoExpansion {
+			xp := inference.NewExpander(res.Net, 0)
+			expansions = make([]expansion, len(distinct))
+			for i, lin := range distinct {
+				f, probs, err := xp.Expand(lin)
+				expansions[i] = expansion{f: f, probs: probs, err: err}
+			}
+		}
+		// The shared tables only pay for themselves across answers: with a
+		// single inference job the solver's per-call memo already catches
+		// every repeat, so drop them and skip their synchronization cost.
+		if len(distinct) <= 1 {
+			lm = nil
+			opts.Inference.Memo = nil
+		}
 		return len(distinct), nil
 	}
 	infer := func(i int) confidence {
-		return answerMarginal(ec, res.Net, distinct[i], opts, ex.evidenceNodes)
+		var pre *expansion
+		if expansions != nil {
+			pre = &expansions[i]
+		}
+		return answerMarginal(ec, res.Net, distinct[i], opts, ex.evidenceNodes, pre, lm)
 	}
 	assemble := func(conf []confidence) error {
 		if opts.SkipInference {
@@ -117,6 +155,13 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		return nil, err
 	}
 	res.Stats.Operators = ec.Ops()
+	res.Stats.ConsHits = res.Net.ConsHits()
+	ms := lm.Stats()
+	veHits, veMisses, veEvictions, _, _ := opts.Inference.Memo.Stats()
+	res.Stats.MemoHits = ms.Hits + veHits
+	res.Stats.MemoMisses = ms.Misses + veMisses
+	res.Stats.MemoEvictions = ms.Evictions + veEvictions
+	res.Stats.InternHits = ms.InternHits
 	return res, nil
 }
 

@@ -248,6 +248,13 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	if opts.Strategy == core.MonteCarlo {
 		res.Stats.Approximate = true
 	}
+	// All answers share one variable space (Grounding.Probs), so the exact
+	// solver can share Shannon subproblems across answers through one memo
+	// table; results are bit-identical with and without it.
+	var lm *lineage.Memo
+	if !opts.NoMemo && opts.Strategy == core.DNFLineage {
+		lm = lineage.NewMemo(lineage.MemoConfig{NoIntern: opts.NoIntern})
+	}
 	var g *Grounding
 	build := func() (int, error) {
 		span := ec.StartOp(0)
@@ -265,6 +272,11 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 			Rows:   len(g.Answers),
 			Detail: fmt.Sprintf("%d clauses over %d variables", g.ClauseCount(), g.VarCount()),
 		}, false)
+		// A single answer cannot share subproblems across answers; the
+		// solver's per-call memo already covers repeats within it.
+		if len(g.Answers) <= 1 {
+			lm = nil
+		}
 		return len(g.Answers), nil
 	}
 	infer := func(i int) confidence {
@@ -281,7 +293,7 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		if opts.Strategy == core.MonteCarlo {
 			return sample("Karp–Luby sampling requested (mc strategy)")
 		}
-		p, err := lineage.ProbBudgetCtx(ec, f, probOf, opts.exactBudget())
+		p, err := lineage.ProbMemoCtx(ec, f, probOf, opts.exactBudget(), lm)
 		if errors.Is(err, lineage.ErrBudget) && !opts.NoFallback {
 			return sample("exact Shannon-expansion budget exhausted on the DNF lineage; Karp–Luby sampling")
 		}
@@ -310,5 +322,10 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		return nil, err
 	}
 	res.Stats.Operators = ec.Ops()
+	ms := lm.Stats()
+	res.Stats.MemoHits = ms.Hits
+	res.Stats.MemoMisses = ms.Misses
+	res.Stats.MemoEvictions = ms.Evictions
+	res.Stats.InternHits = ms.InternHits
 	return res, nil
 }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCachePerfSmoke guards the committed BENCH_cache.json against silent
+// regressions: it re-runs the cache benchmark at the small scale and fails
+// when a measured ratio drops below half of the committed improvement.
+// Ratios near 1 in the committed artifact are not gated (nothing to lose),
+// and the server ratio is gated against a capped floor because its absolute
+// value (hundreds of x) varies with the host's network stack, while "warm
+// hits are at least an order of magnitude cheaper than evaluation" must
+// always hold. Skips when the artifact is absent (e.g. fresh checkout
+// pruned of benchmark outputs).
+func TestCachePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke is not a -short test")
+	}
+	data, err := os.ReadFile("../../BENCH_cache.json")
+	if os.IsNotExist(err) {
+		t.Skip("BENCH_cache.json not committed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed CacheReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatalf("parsing committed BENCH_cache.json: %v", err)
+	}
+
+	got, err := CacheBench(Small(), CacheOptions{Memo: true, Cache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memoBy := map[string]MemoPoint{}
+	for _, pt := range got.Memo {
+		memoBy[pt.Query] = pt
+	}
+	for _, want := range committed.Memo {
+		if want.Err != "" || want.Speedup < 1.5 {
+			continue
+		}
+		pt, ok := memoBy[want.Query]
+		if !ok || pt.Err != "" {
+			t.Errorf("memo %s: missing or failed in rerun (%+v)", want.Query, pt)
+			continue
+		}
+		if floor := want.Speedup / 2; pt.Speedup < floor {
+			t.Errorf("memo %s: speedup %.2fx regressed below %.2fx (committed %.2fx)",
+				want.Query, pt.Speedup, floor, want.Speedup)
+		}
+		if pt.MemoHits == 0 {
+			t.Errorf("memo %s: no shared-memo hits; the cross-answer table is not engaging", want.Query)
+		}
+	}
+
+	consBy := map[string]ConsPoint{}
+	for _, pt := range got.Cons {
+		consBy[pt.Query] = pt
+	}
+	for _, want := range committed.Cons {
+		if want.Err != "" || want.Reduction < 1.1 {
+			continue
+		}
+		pt, ok := consBy[want.Query]
+		if !ok || pt.Err != "" {
+			t.Errorf("consing %s: missing or failed in rerun (%+v)", want.Query, pt)
+			continue
+		}
+		// Node counts are deterministic; allow only the committed sharing to
+		// shrink by half (e.g. a consing-table change), not to vanish.
+		if floor := 1 + (want.Reduction-1)/2; pt.Reduction < floor {
+			t.Errorf("consing %s: node reduction %.3fx regressed below %.3fx (committed %.3fx)",
+				want.Query, pt.Reduction, floor, want.Reduction)
+		}
+	}
+
+	serveBy := map[string]ServePoint{}
+	for _, pt := range got.Serve {
+		serveBy[pt.Query] = pt
+	}
+	for _, want := range committed.Serve {
+		if want.Err != "" || want.Speedup < 1.5 {
+			continue
+		}
+		pt, ok := serveBy[want.Query]
+		if !ok || pt.Err != "" {
+			t.Errorf("server %s: missing or failed in rerun (%+v)", want.Query, pt)
+			continue
+		}
+		floor := want.Speedup / 2
+		if floor > 25 {
+			floor = 25
+		}
+		if pt.Speedup < floor {
+			t.Errorf("server %s: warm speedup %.1fx regressed below %.1fx (committed %.1fx)",
+				want.Query, pt.Speedup, floor, want.Speedup)
+		}
+	}
+}

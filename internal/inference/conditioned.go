@@ -51,6 +51,12 @@ type recSolver struct {
 	splits   int
 	maxWidth int               // largest elimination width performed (for stats)
 	ec       *core.ExecContext // polled at every component and elimination step
+	memo     *Memo             // optional shared component-solve memo
+	// sawExhausted records that a decision point in the current component
+	// solve observed an exhausted split budget and its control flow depended
+	// on it; such solves are not memoized (replaying them from the memo
+	// under a different budget could diverge).
+	sawExhausted bool
 }
 
 // splitBudget bounds the total number of conditioning branches explored.
@@ -123,11 +129,49 @@ func resultMul(a, b measure) measure {
 }
 
 // solveComponent solves one connected component: by elimination when narrow
-// enough, otherwise by conditioning on a max-degree variable.
+// enough, otherwise by conditioning on a max-degree variable. It is the memo
+// boundary: the factor list is canonically sorted once, then both the
+// fingerprint and the solve run over the sorted list, so the memoized
+// measure is a pure function of the fingerprint and a hit is bit-identical
+// to recomputation.
 func (s *recSolver) solveComponent(factors []*factor, target int) (measure, error) {
 	if err := s.ec.Err(); err != nil {
 		return measure{}, err
 	}
+	factors = sortFactors(factors)
+	if s.memo == nil {
+		return s.solveComponentBody(factors, target)
+	}
+	key, keyable := veMemoKey(factors, target)
+	if !keyable {
+		return s.solveComponentBody(factors, target)
+	}
+	if e, ok := s.memo.lookup(key, s.splits); ok {
+		// Replay the recorded solve's side effects exactly: charge the
+		// split budget it consumed and fold in the width it reached.
+		s.splits -= e.splitsUsed
+		if e.width > s.maxWidth {
+			s.maxWidth = e.width
+		}
+		return e.m, nil
+	}
+	prevWidth, prevExhausted := s.maxWidth, s.sawExhausted
+	splitsBefore := s.splits
+	s.maxWidth, s.sawExhausted = 0, false
+	m, err := s.solveComponentBody(factors, target)
+	compWidth, compExhausted := s.maxWidth, s.sawExhausted
+	if prevWidth > s.maxWidth {
+		s.maxWidth = prevWidth
+	}
+	s.sawExhausted = prevExhausted || compExhausted
+	if err == nil && !compExhausted {
+		s.memo.store(s.ec, key, m, compWidth, splitsBefore-s.splits)
+	}
+	return m, err
+}
+
+// solveComponentBody is the uncached component solve.
+func (s *recSolver) solveComponentBody(factors []*factor, target int) (measure, error) {
 	// Constant factors (empty scope) multiply directly.
 	constant := 1.0
 	live := factors[:0]
@@ -154,6 +198,12 @@ func (s *recSolver) solveComponent(factors []*factor, target int) (measure, erro
 	threshold := condWidth
 	if threshold > limit {
 		threshold = limit
+	}
+	// The branch taken below depends on the sign of the split budget only
+	// when the component is past the conditioning threshold; mark the solve
+	// unmemoizable when that dependency is live.
+	if s.splits <= 0 && !s.opts.NoConditioning && width+1 > threshold {
+		s.sawExhausted = true
 	}
 	if width+1 <= threshold || (s.splits <= 0 && width+1 <= limit) || s.opts.NoConditioning {
 		if width > s.maxWidth {

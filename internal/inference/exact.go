@@ -38,6 +38,10 @@ type Options struct {
 	// plain variable elimination up to the width limit; it exists for the
 	// cutset-conditioning ablation benchmark.
 	NoConditioning bool
+	// Memo, when non-nil, shares component-solve results across queries of
+	// one evaluation (see Memo). Results are bit-identical with and without
+	// it.
+	Memo *Memo
 }
 
 func (o Options) maxFactorVars() int {
@@ -109,7 +113,7 @@ func ExactGivenCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, 
 		}
 		factors = append(factors, f)
 	}
-	s := &recSolver{opts: opts, splits: splitBudget, ec: ec}
+	s := &recSolver{opts: opts, splits: splitBudget, ec: ec, memo: opts.Memo}
 	m, err := s.solve(factors, targetVar)
 	if err != nil {
 		return Result{}, err

@@ -46,6 +46,48 @@ func ExpandDNF(n *aonet.Network, target aonet.NodeID, maxClauses int) (*lineage.
 	return &lineage.DNF{Clauses: out}, e.probs, nil
 }
 
+// Expander expands several targets of one network into DNFs over a single
+// shared variable space, reusing node expansions across targets: gate nodes
+// shared between answers are expanded once, keep the same clause sets and
+// the same variables everywhere. Expansion is stateful and NOT safe for
+// concurrent use — expand all targets serially (in a deterministic order),
+// then read the results from anywhere.
+//
+// The clause budget applies per target: each Expand call charges from zero,
+// but memoized nodes are returned without re-charging, so a target sharing
+// structure with earlier ones may succeed where a cold expansion would not.
+type Expander struct {
+	e *expander
+}
+
+// NewExpander prepares a shared expansion over n. maxClauses bounds each
+// target's expansion (0 means 100000).
+func NewExpander(n *aonet.Network, maxClauses int) *Expander {
+	if maxClauses <= 0 {
+		maxClauses = 100000
+	}
+	return &Expander{e: &expander{
+		net:        n,
+		maxClauses: maxClauses,
+		memo:       make(map[aonet.NodeID][]lineage.Clause),
+	}}
+}
+
+// Expand returns target's DNF over the shared variable space together with
+// the current probability table (indexed by lineage.Var; it may grow on
+// later Expand calls, but the entries a returned formula mentions never
+// change).
+func (x *Expander) Expand(target aonet.NodeID) (*lineage.DNF, []float64, error) {
+	x.e.total = 0
+	clauses, err := x.e.expand(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]lineage.Clause, len(clauses))
+	copy(out, clauses)
+	return &lineage.DNF{Clauses: out}, x.e.probs, nil
+}
+
 type expander struct {
 	net        *aonet.Network
 	maxClauses int

@@ -1,0 +1,238 @@
+package inference
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Memo is a bounded, thread-safe memo table for variable-elimination
+// subproblems, shared across the per-answer marginal computations of one
+// evaluation. Keys are canonical fingerprints of a component's factor set
+// (sorted factors, exact float bits) plus the target variable, so answers
+// whose ancestor networks build identical factor components reuse one
+// solve.
+//
+// Exactness contract: solveComponent canonically sorts its factor list
+// before both fingerprinting and solving, so a stored measure is a pure
+// function of its key and a hit returns bit-identical floats to
+// recomputation. Conditioning side effects are replayed exactly: an entry
+// records the split budget its solve consumed and the elimination width it
+// reached; a hit is taken only when enough budget remains for the recorded
+// solve to have run identically (see solveComponent), then charges that
+// budget and folds the width into the solver's high-water mark. Entries are
+// only written for "clean" solves whose control flow never depended on an
+// exhausted split budget.
+//
+// Like lineage.Memo, capacity is bounded by an entry cap, a byte cap (LRU
+// eviction) and the evaluation's node budget (one node per insert via
+// TryChargeNodes; exhaustion stops growth, never fails the query). All
+// methods are nil-receiver safe.
+type Memo struct {
+	mu         sync.Mutex
+	table      map[string]*veEntry
+	head, tail *veEntry
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+
+	hits, misses, evictions int64
+}
+
+// veEntry is one memoized component solve.
+type veEntry struct {
+	key string
+	m   measure
+	// width is the maximum elimination width the solve performed;
+	// splitsUsed the number of conditioning branches it consumed.
+	width, splitsUsed int
+	prev, next        *veEntry
+}
+
+const veEntryOverhead = 96
+
+// veMemoEntryLimit and veMemoByteLimit bound the table (defaults).
+const (
+	veMemoEntryLimit = 1 << 14
+	veMemoByteLimit  = 32 << 20
+)
+
+// NewMemo builds an empty VE memo table with default bounds.
+func NewMemo() *Memo {
+	return &Memo{
+		table:      make(map[string]*veEntry),
+		maxEntries: veMemoEntryLimit,
+		maxBytes:   veMemoByteLimit,
+	}
+}
+
+// lookup returns the entry for key when present AND usable under the given
+// remaining split budget: replaying the recorded solve is only guaranteed
+// bit-identical when strictly more budget remains than it consumed. An
+// unusable entry counts as a miss.
+func (m *Memo) lookup(key string, splitsAvail int) (veEntry, bool) {
+	if m == nil {
+		return veEntry{}, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.table[key]
+	if !ok || splitsAvail <= e.splitsUsed {
+		m.misses++
+		return veEntry{}, false
+	}
+	m.hits++
+	m.moveToFront(e)
+	return *e, true
+}
+
+// store memoizes one clean component solve, charging a node against ec.
+func (m *Memo) store(ec *core.ExecContext, key string, val measure, width, splitsUsed int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.table[key]; ok {
+		return
+	}
+	if !ec.TryChargeNodes(1) {
+		return
+	}
+	e := &veEntry{key: key, m: val, width: width, splitsUsed: splitsUsed}
+	m.table[key] = e
+	m.pushFront(e)
+	m.bytes += int64(len(key)) + veEntryOverhead
+	for len(m.table) > m.maxEntries || m.bytes > m.maxBytes {
+		m.evictOldest()
+	}
+}
+
+// Stats snapshots the hit/miss/eviction counters and current footprint.
+func (m *Memo) Stats() (hits, misses, evictions int64, entries int, bytes int64) {
+	if m == nil {
+		return 0, 0, 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.evictions, len(m.table), m.bytes
+}
+
+func (m *Memo) pushFront(e *veEntry) {
+	e.prev, e.next = nil, m.head
+	if m.head != nil {
+		m.head.prev = e
+	}
+	m.head = e
+	if m.tail == nil {
+		m.tail = e
+	}
+}
+
+func (m *Memo) moveToFront(e *veEntry) {
+	if m.head == e {
+		return
+	}
+	m.unlink(e)
+	m.pushFront(e)
+}
+
+func (m *Memo) unlink(e *veEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		m.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		m.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (m *Memo) evictOldest() {
+	e := m.tail
+	if e == nil {
+		return
+	}
+	m.unlink(e)
+	delete(m.table, e.key)
+	m.bytes -= int64(len(e.key)) + veEntryOverhead
+	m.evictions++
+}
+
+// veKeyFactorLimit and veKeyDataLimit cap the subproblem size worth
+// fingerprinting: serializing a huge factor set costs more than the solve
+// it would save, and oversized keys would blow the byte cap anyway.
+// veKeyMinFactors gates the other end: components of a handful of factors
+// solve faster than the table's mutex-plus-fingerprint round trip.
+const (
+	veKeyMinFactors  = 6
+	veKeyFactorLimit = 64
+	veKeyDataLimit   = 4096
+)
+
+// veMemoKey fingerprints a canonically sorted factor list and target
+// variable: variable ids in decimal, table entries as exact little-endian
+// float64 bits. It reports false for subproblems outside the size window.
+func veMemoKey(factors []*factor, target int) (string, bool) {
+	if len(factors) < veKeyMinFactors || len(factors) > veKeyFactorLimit {
+		return "", false
+	}
+	total := 0
+	for _, f := range factors {
+		total += len(f.data)
+	}
+	if total > veKeyDataLimit {
+		return "", false
+	}
+	b := make([]byte, 0, 16+16*len(factors)+8*total)
+	b = strconv.AppendInt(b, int64(target), 10)
+	b = append(b, '|')
+	var tmp [8]byte
+	for _, f := range factors {
+		for _, v := range f.vars {
+			b = strconv.AppendInt(b, int64(v), 10)
+			b = append(b, ',')
+		}
+		b = append(b, ':')
+		for _, d := range f.data {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(d))
+			b = append(b, tmp[:]...)
+		}
+		b = append(b, ';')
+	}
+	return string(b), true
+}
+
+// sortFactors returns the factor list in canonical order: by scope, then by
+// exact table bits. solveComponent solves the sorted list, making every
+// component solve a pure function of its fingerprint.
+func sortFactors(factors []*factor) []*factor {
+	sorted := append([]*factor(nil), factors...)
+	sort.SliceStable(sorted, func(i, j int) bool { return factorLess(sorted[i], sorted[j]) })
+	return sorted
+}
+
+func factorLess(a, b *factor) bool {
+	if len(a.vars) != len(b.vars) {
+		return len(a.vars) < len(b.vars)
+	}
+	for i := range a.vars {
+		if a.vars[i] != b.vars[i] {
+			return a.vars[i] < b.vars[i]
+		}
+	}
+	for i := range a.data {
+		ab, bb := math.Float64bits(a.data[i]), math.Float64bits(b.data[i])
+		if ab != bb {
+			return ab < bb
+		}
+	}
+	return false
+}

@@ -51,6 +51,17 @@ func ProbBudget(f *DNF, p func(Var) float64, budget int) (float64, error) {
 // intractable formula aborts promptly when the evaluation is cancelled or
 // times out.
 func ProbBudgetCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, budget int) (float64, error) {
+	return ProbMemoCtx(ec, f, p, budget, nil)
+}
+
+// ProbMemoCtx is ProbBudgetCtx with an optional shared memo table: Shannon
+// subproblems are keyed on their canonical clause-set fingerprint in memo as
+// well as the solver's per-call table, so cofactors recurring across the
+// answers of one evaluation are solved once. A nil memo degrades to
+// ProbBudgetCtx. Results are bit-identical with and without the shared
+// table (see Memo's exactness contract); only the number of Shannon
+// expansions charged against budget can shrink on hits.
+func ProbMemoCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, budget int, memo *Memo) (float64, error) {
 	if budget <= 0 {
 		budget = -1
 	}
@@ -63,7 +74,7 @@ func ProbBudgetCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, budget int
 			return fact.Prob(p), nil
 		}
 	}
-	s := &solver{p: p, memo: make(map[string]float64), budget: budget, chk: core.Check{EC: ec}}
+	s := &solver{p: p, memo: make(map[string]float64), budget: budget, chk: core.Check{EC: ec}, ec: ec, shared: memo}
 	return s.probChecked(simplified.Clauses)
 }
 
@@ -76,6 +87,8 @@ type solver struct {
 	memo   map[string]float64
 	budget int        // remaining Shannon expansions; -1 = unlimited
 	chk    core.Check // strided cancellation poll over the recursion
+	ec     *core.ExecContext
+	shared *Memo // optional cross-call memo (nil = per-call memo only)
 }
 
 // probChecked wraps prob, converting the budget panic into ErrBudget and the
@@ -108,6 +121,13 @@ type ctxSentinel struct{ err error }
 // (correctness is unaffected).
 const memoLimit = 1 << 20
 
+// sharedMemoMinClauses gates participation in the cross-answer shared memo:
+// subproblems below the floor cost more to fingerprint-hash and round-trip
+// through the table's mutex, interner and LRU than to re-solve from the
+// per-call memo, so only sizable cofactors — the ones whose reuse saves a
+// whole recursion subtree — are shared across answers.
+const sharedMemoMinClauses = 16
+
 func (s *solver) prob(clauses []Clause) float64 {
 	switch len(clauses) {
 	case 0:
@@ -125,15 +145,37 @@ func (s *solver) prob(clauses []Clause) float64 {
 			return 1
 		}
 	}
-	key := canonicalKey(clauses)
+	// Canonicalize once at the memo boundary: the key is serialized from,
+	// and the subproblem is solved on, the same sorted clause list, so a
+	// memoized value is a pure function of its key. That purity is what
+	// lets the shared cross-answer table return bit-identical floats to
+	// recomputation.
+	sorted := sortClauses(clauses)
+	key := serializeClauses(sorted)
 	if v, ok := s.memo[key]; ok {
 		return v
 	}
+	// Small subproblems are cheaper to recompute than to round-trip through
+	// the shared table's mutex, LRU and interner; only sizable cofactors are
+	// worth sharing across answers. The gate changes which subproblems
+	// consult the table, never a value.
+	useShared := s.shared != nil && len(sorted) >= sharedMemoMinClauses
+	if useShared {
+		if v, ok := s.shared.Lookup(key); ok {
+			if len(s.memo) < memoLimit {
+				s.memo[key] = v
+			}
+			return v
+		}
+	}
 
-	result := s.probComponents(clauses)
+	result := s.probComponents(sorted)
 
 	if len(s.memo) < memoLimit {
 		s.memo[key] = result
+	}
+	if useShared {
+		s.shared.Store(s.ec, key, result)
 	}
 	return result
 }
@@ -296,8 +338,20 @@ func components(clauses []Clause) [][]Clause {
 
 // canonicalKey serializes a clause set into a canonical string for memoing.
 func canonicalKey(clauses []Clause) string {
+	return serializeClauses(sortClauses(clauses))
+}
+
+// sortClauses returns a copy of the clause set in canonical (clauseLess)
+// order.
+func sortClauses(clauses []Clause) []Clause {
 	sorted := append([]Clause(nil), clauses...)
 	sort.Slice(sorted, func(i, j int) bool { return clauseLess(sorted[i], sorted[j]) })
+	return sorted
+}
+
+// serializeClauses renders an already-sorted clause set as the canonical
+// fingerprint string.
+func serializeClauses(sorted []Clause) string {
 	b := make([]byte, 0, 8*len(sorted))
 	for _, c := range sorted {
 		for _, v := range c {

@@ -69,6 +69,13 @@ type Registry struct {
 	rowsCharged        uint64
 	nodesCharged       uint64
 
+	// Performance-layer counters (PR 5): the evaluations' shared inference
+	// memo tables and the AND-OR network hash-consing table.
+	memoHits      uint64
+	memoMisses    uint64
+	memoEvictions uint64
+	consHits      uint64
+
 	// Server-side metrics, fed by internal/server. The gauges track the
 	// admission controller's instantaneous state; the counters and per-route
 	// histograms accumulate over the server's life.
@@ -79,6 +86,14 @@ type Registry struct {
 	serverRejected  map[string]uint64 // by reason: overload, shutdown
 	serverDegraded  uint64
 	serverDurations map[string]*histogram // by route
+
+	// Result-cache metrics, fed by the server's snapshot-versioned cache:
+	// cumulative hit/miss/eviction counters and instantaneous size gauges.
+	serverCacheHits      uint64
+	serverCacheMisses    uint64
+	serverCacheEvictions uint64
+	serverCacheEntries   int64 // gauge
+	serverCacheBytes     int64 // gauge
 }
 
 // Default is the process-wide registry: fed by pdb on every evaluation,
@@ -132,6 +147,10 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 		}
 		r.rowsCharged += uint64(o.Stats.RowsCharged)
 		r.nodesCharged += uint64(o.Stats.NodesCharged)
+		r.memoHits += uint64(o.Stats.MemoHits)
+		r.memoMisses += uint64(o.Stats.MemoMisses)
+		r.memoEvictions += uint64(o.Stats.MemoEvictions)
+		r.consHits += uint64(o.Stats.ConsHits)
 	}
 	if o.Err != nil {
 		r.errors[strategy]++
@@ -213,26 +232,67 @@ func (r *Registry) ServerDegraded() {
 	r.serverDegraded++
 }
 
+// ServerCacheHit counts one request answered from the result cache (or
+// reused from a concurrent identical evaluation).
+func (r *Registry) ServerCacheHit() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverCacheHits++
+}
+
+// ServerCacheMiss counts one cacheable request that had to evaluate.
+func (r *Registry) ServerCacheMiss() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverCacheMisses++
+}
+
+// ServerCacheEviction counts one entry evicted from the result cache by the
+// LRU size cap (version-bump purges are not evictions).
+func (r *Registry) ServerCacheEviction() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverCacheEvictions++
+}
+
+// ServerCacheSize sets the result cache's size gauges: live entries and
+// their estimated bytes.
+func (r *Registry) ServerCacheSize(entries int, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serverCacheEntries = int64(entries)
+	r.serverCacheBytes = bytes
+}
+
 // snapshot renders the registry as a plain map for expvar.
 func (r *Registry) snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := map[string]any{
-		"queries_total":               copyMap(r.queries),
-		"query_errors_total":          copyMap(r.errors),
-		"answers_total":               copyMap(r.answers),
-		"budget_exhausted_total":      copyMap(r.budgetExhausted),
-		"cancellations_total":         r.cancellations,
-		"offending_tuples_total":      r.offendingTuples,
-		"inference_fallbacks_total":   r.inferenceFallbacks,
-		"rows_charged_total":          r.rowsCharged,
-		"network_nodes_charged_total": r.nodesCharged,
-		"server_in_flight":            r.serverInFlight,
-		"server_queued":               r.serverQueued,
-		"server_requests_total":       copyMap(r.serverRequests),
-		"server_responses_total":      copyMap(r.serverResponses),
-		"server_rejected_total":       copyMap(r.serverRejected),
-		"server_degraded_total":       r.serverDegraded,
+		"queries_total":                copyMap(r.queries),
+		"query_errors_total":           copyMap(r.errors),
+		"answers_total":                copyMap(r.answers),
+		"budget_exhausted_total":       copyMap(r.budgetExhausted),
+		"cancellations_total":          r.cancellations,
+		"offending_tuples_total":       r.offendingTuples,
+		"inference_fallbacks_total":    r.inferenceFallbacks,
+		"rows_charged_total":           r.rowsCharged,
+		"network_nodes_charged_total":  r.nodesCharged,
+		"memo_hits_total":              r.memoHits,
+		"memo_misses_total":            r.memoMisses,
+		"memo_evictions_total":         r.memoEvictions,
+		"cons_hits_total":              r.consHits,
+		"server_in_flight":             r.serverInFlight,
+		"server_queued":                r.serverQueued,
+		"server_requests_total":        copyMap(r.serverRequests),
+		"server_responses_total":       copyMap(r.serverResponses),
+		"server_rejected_total":        copyMap(r.serverRejected),
+		"server_degraded_total":        r.serverDegraded,
+		"server_cache_hits_total":      r.serverCacheHits,
+		"server_cache_misses_total":    r.serverCacheMisses,
+		"server_cache_evictions_total": r.serverCacheEvictions,
+		"server_cache_entries":         r.serverCacheEntries,
+		"server_cache_bytes":           r.serverCacheBytes,
 	}
 	return m
 }
@@ -260,12 +320,21 @@ func MetricNames() []string {
 		"pdb_inference_fallbacks_total",
 		"pdb_rows_charged_total",
 		"pdb_network_nodes_charged_total",
+		"pdb_memo_hits_total",
+		"pdb_memo_misses_total",
+		"pdb_memo_evictions_total",
+		"pdb_cons_hits_total",
 		"pdb_server_in_flight",
 		"pdb_server_queued",
 		"pdb_server_requests_total",
 		"pdb_server_responses_total",
 		"pdb_server_rejected_total",
 		"pdb_server_degraded_total",
+		"pdb_server_cache_hits_total",
+		"pdb_server_cache_misses_total",
+		"pdb_server_cache_evictions_total",
+		"pdb_server_cache_entries",
+		"pdb_server_cache_bytes",
 		"pdb_server_request_duration_seconds",
 	}
 }
@@ -316,6 +385,14 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Rows emitted by relational operators (or lineage clauses grounded) across all evaluations.", r.rowsCharged)
 	promScalar(&b, "pdb_network_nodes_charged_total", "counter",
 		"AND-OR network nodes grown across all evaluations.", r.nodesCharged)
+	promScalar(&b, "pdb_memo_hits_total", "counter",
+		"Shared inference-memo hits (lineage Shannon subproblems and VE component solves) across all evaluations.", r.memoHits)
+	promScalar(&b, "pdb_memo_misses_total", "counter",
+		"Shared inference-memo misses across all evaluations.", r.memoMisses)
+	promScalar(&b, "pdb_memo_evictions_total", "counter",
+		"Entries evicted from the shared inference memo tables by their size caps.", r.memoEvictions)
+	promScalar(&b, "pdb_cons_hits_total", "counter",
+		"AddGate calls answered by the AND-OR network's hash-consing table instead of allocating a node.", r.consHits)
 
 	promGauge(&b, "pdb_server_in_flight", "Query-server requests currently holding a worker slot.", r.serverInFlight)
 	promGauge(&b, "pdb_server_queued", "Query-server requests currently waiting for a worker slot.", r.serverQueued)
@@ -327,6 +404,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Query-server requests shed by admission control, by reason (overload, shutdown).", "reason", r.serverRejected)
 	promScalar(&b, "pdb_server_degraded_total", "counter",
 		"Query-server requests degraded from exact evaluation to Karp–Luby sampling after budget exhaustion.", r.serverDegraded)
+	promScalar(&b, "pdb_server_cache_hits_total", "counter",
+		"Query-server requests answered from the snapshot-versioned result cache (including single-flight reuse).", r.serverCacheHits)
+	promScalar(&b, "pdb_server_cache_misses_total", "counter",
+		"Cacheable query-server requests that had to evaluate.", r.serverCacheMisses)
+	promScalar(&b, "pdb_server_cache_evictions_total", "counter",
+		"Result-cache entries evicted by the LRU size cap.", r.serverCacheEvictions)
+	promGauge(&b, "pdb_server_cache_entries",
+		"Result-cache entries currently live.", r.serverCacheEntries)
+	promGauge(&b, "pdb_server_cache_bytes",
+		"Estimated bytes held by live result-cache entries.", r.serverCacheBytes)
 
 	promHeader(&b, "pdb_server_request_duration_seconds", "histogram",
 		"Query-server request latency, by route.")

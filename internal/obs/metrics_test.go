@@ -18,7 +18,8 @@ func feed(r *Registry) {
 	r.ObserveQuery(QueryObservation{
 		Strategy: core.PartialLineage,
 		Duration: 800 * time.Microsecond,
-		Stats:    &core.Stats{Answers: 3, OffendingTuples: 2, RowsCharged: 23, NodesCharged: 5},
+		Stats: &core.Stats{Answers: 3, OffendingTuples: 2, RowsCharged: 23, NodesCharged: 5,
+			MemoHits: 12, MemoMisses: 30, MemoEvictions: 1, ConsHits: 4},
 	})
 	r.ObserveQuery(QueryObservation{
 		Strategy: core.PartialLineage,
@@ -58,6 +59,14 @@ func feed(r *Registry) {
 	r.ServerRejected("overload")
 	r.ServerRejected("shutdown")
 	r.ServerDegraded()
+
+	// Result-cache observations: a miss then two hits, one LRU eviction, and
+	// the cache's current size gauges.
+	r.ServerCacheMiss()
+	r.ServerCacheHit()
+	r.ServerCacheHit()
+	r.ServerCacheEviction()
+	r.ServerCacheSize(3, 2048)
 }
 
 func TestWritePromGolden(t *testing.T) {
@@ -176,6 +185,24 @@ func TestServerMetrics(t *testing.T) {
 	}
 	if h := r.serverDurations["/query"]; h == nil || h.total != 2 {
 		t.Errorf("/query histogram = %+v, want 2 observations", h)
+	}
+}
+
+func TestCacheAndMemoMetrics(t *testing.T) {
+	r := &Registry{}
+	feed(r)
+	if r.memoHits != 12 || r.memoMisses != 30 || r.memoEvictions != 1 {
+		t.Errorf("memo counters = %d/%d/%d, want 12/30/1", r.memoHits, r.memoMisses, r.memoEvictions)
+	}
+	if r.consHits != 4 {
+		t.Errorf("cons hits = %d, want 4", r.consHits)
+	}
+	if r.serverCacheHits != 2 || r.serverCacheMisses != 1 || r.serverCacheEvictions != 1 {
+		t.Errorf("cache counters = %d/%d/%d, want 2/1/1",
+			r.serverCacheHits, r.serverCacheMisses, r.serverCacheEvictions)
+	}
+	if r.serverCacheEntries != 3 || r.serverCacheBytes != 2048 {
+		t.Errorf("cache gauges = %d entries / %d bytes, want 3 / 2048", r.serverCacheEntries, r.serverCacheBytes)
 	}
 }
 

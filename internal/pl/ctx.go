@@ -284,7 +284,8 @@ func JoinCtx(ec *core.ExecContext, r1, r2 *Relation, net *aonet.Network) (*Relat
 func joinSerial(ec *core.ExecContext, r1, r2 *Relation, net *aonet.Network, sh joinShape) (*Relation, error) {
 	chk := core.Check{EC: ec}
 	charge := rowCharger{ec: ec}
-	buckets := make(map[string][]int32, len(r2.Tuples))
+	buckets := getJoinBuckets(ec)
+	defer putJoinBuckets(ec, buckets)
 	for j, t := range r2.Tuples {
 		if err := chk.Tick(); err != nil {
 			return nil, err
@@ -356,10 +357,12 @@ func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Netw
 	if err != nil {
 		return nil, err
 	}
+	defer putKeySlice(ec, keys1)
 	keys2, err := parallelKeys(ec, w, r2.Tuples, sh.idx2)
 	if err != nil {
 		return nil, err
 	}
+	defer putKeySlice(ec, keys2)
 	// Each partition owns the keys hashing to it: it builds that slice of
 	// the hash table from r2 and probes it with its share of r1. pending is
 	// indexed by r1 position; each entry is written by exactly one worker.
@@ -368,7 +371,8 @@ func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Netw
 	err = runWorkers(w, func(p int) error {
 		start := time.Now()
 		chk := core.Check{EC: ec}
-		buckets := make(map[string][]int32)
+		buckets := getJoinBuckets(ec)
+		defer putJoinBuckets(ec, buckets)
 		for j, k := range keys2 {
 			if hashPart(k, w) != p {
 				continue
@@ -430,7 +434,7 @@ func joinParallel(ec *core.ExecContext, w int, r1, r2 *Relation, net *aonet.Netw
 // parallelKeys materializes the grouping key of every tuple (KeyAt(idx), or
 // the full Key when idx is nil) on w workers over contiguous chunks.
 func parallelKeys(ec *core.ExecContext, w int, tuples []Tuple, idx []int) ([]string, error) {
-	keys := make([]string, len(tuples))
+	keys := getKeySlice(ec, len(tuples))
 	if len(tuples) == 0 {
 		return keys, nil
 	}
@@ -487,7 +491,8 @@ func DedupCtx(ec *core.ExecContext, r *Relation, net *aonet.Network) (*Relation,
 
 func dedupSerial(ec *core.ExecContext, r *Relation, net *aonet.Network) (*Relation, error) {
 	out := &Relation{Attrs: r.Attrs.Clone()}
-	groups := make(map[string][]int, len(r.Tuples))
+	groups := getDedupGroups(ec)
+	defer putDedupGroups(ec, groups)
 	var order []string
 	chk := core.Check{EC: ec}
 	for i, t := range r.Tuples {
@@ -528,6 +533,7 @@ func dedupParallel(ec *core.ExecContext, w int, r *Relation, net *aonet.Network)
 	if err != nil {
 		return nil, err
 	}
+	defer putKeySlice(ec, keys)
 	// Each partition groups the tuples whose key hashes to it. A group's
 	// members are recorded (ascending) under the group's first input index,
 	// so the merge can walk the input once in order: firstOf[i] is non-nil
@@ -538,7 +544,8 @@ func dedupParallel(ec *core.ExecContext, w int, r *Relation, net *aonet.Network)
 	err = runWorkers(w, func(p int) error {
 		start := time.Now()
 		chk := core.Check{EC: ec}
-		groups := make(map[string]int) // key -> first index
+		groups := getPartGroups(ec) // key -> first index
+		defer putPartGroups(ec, groups)
 		for i, k := range keys {
 			if hashPart(k, w) != p {
 				continue

@@ -1,0 +1,97 @@
+package pl
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Scratch pools for the hot hash-join/dedup paths. Every operator run
+// allocates a grouping-key slice plus one hash table per partition; under a
+// serving workload those allocations dominate the operator's cost for small
+// and medium inputs. When the ExecContext grants pooling (engine Options
+// NoPool unset), the maps and slices are drawn from package-level sync.Pools
+// and returned cleared, so repeated evaluations reuse the grown bucket
+// arrays. Outputs are byte-identical with pooling on or off — the pools only
+// change where the scratch memory comes from.
+//
+// The pools hold the maps' internal bucket arrays, not their contents:
+// every put clears the map/slice first, so no tuple data outlives its
+// evaluation.
+
+var (
+	joinBucketPool = sync.Pool{New: func() any { return make(map[string][]int32) }}
+	dedupGroupPool = sync.Pool{New: func() any { return make(map[string][]int) }}
+	partGroupPool  = sync.Pool{New: func() any { return make(map[string]int) }}
+	keySlicePool   = sync.Pool{New: func() any { return new([]string) }}
+)
+
+func getJoinBuckets(ec *core.ExecContext) map[string][]int32 {
+	if ec.Pooling() {
+		return joinBucketPool.Get().(map[string][]int32)
+	}
+	return make(map[string][]int32)
+}
+
+func putJoinBuckets(ec *core.ExecContext, m map[string][]int32) {
+	if ec.Pooling() {
+		clear(m)
+		joinBucketPool.Put(m)
+	}
+}
+
+func getDedupGroups(ec *core.ExecContext) map[string][]int {
+	if ec.Pooling() {
+		return dedupGroupPool.Get().(map[string][]int)
+	}
+	return make(map[string][]int)
+}
+
+func putDedupGroups(ec *core.ExecContext, m map[string][]int) {
+	if ec.Pooling() {
+		clear(m)
+		dedupGroupPool.Put(m)
+	}
+}
+
+func getPartGroups(ec *core.ExecContext) map[string]int {
+	if ec.Pooling() {
+		return partGroupPool.Get().(map[string]int)
+	}
+	return make(map[string]int)
+}
+
+func putPartGroups(ec *core.ExecContext, m map[string]int) {
+	if ec.Pooling() {
+		clear(m)
+		partGroupPool.Put(m)
+	}
+}
+
+// getKeySlice returns a string slice of length n. Pooled slices are reused
+// when their capacity suffices; callers overwrite every index before reading,
+// so stale entries past the previous length are never observed.
+func getKeySlice(ec *core.ExecContext, n int) []string {
+	if ec.Pooling() {
+		sp := keySlicePool.Get().(*[]string)
+		if cap(*sp) >= n {
+			s := (*sp)[:n]
+			*sp = nil
+			keySlicePool.Put(sp)
+			return s
+		}
+		*sp = nil
+		keySlicePool.Put(sp)
+	}
+	return make([]string, n)
+}
+
+func putKeySlice(ec *core.ExecContext, s []string) {
+	if !ec.Pooling() || s == nil {
+		return
+	}
+	clear(s)
+	sp := keySlicePool.Get().(*[]string)
+	*sp = s
+	keySlicePool.Put(sp)
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/pdb"
+)
+
+// The serving-layer result cache: answers to repeated identical queries are
+// returned from memory instead of re-evaluated, as long as the database has
+// not changed underneath them.
+//
+// Correctness rests on the snapshot version of pdb.Database: every mutation
+// bumps it, and cache keys embed the version observed before the evaluation
+// started. A lookup therefore can only hit an entry computed against the
+// exact same database state, and an insert is performed only when the version
+// is unchanged after the evaluation finished (the double check below) — a
+// result computed while a writer raced the reader is discarded, never served.
+// A version change observed at lookup time purges the whole cache: stale
+// entries could never hit again (their keys embed the old version) but would
+// otherwise linger until evicted.
+//
+// Concurrent identical requests collapse through a single-flight table: the
+// first request (the leader) evaluates and publishes its response; waiters
+// block on the flight (or their deadline) and reuse it. When the leader fails
+// or declines to publish, waiters evaluate independently — an error is never
+// broadcast, so one poisoned request cannot fail its whole cohort.
+
+// cacheEntry is one cached response on the LRU list (head = most recent).
+type cacheEntry struct {
+	key        string
+	resp       *QueryResponse
+	bytes      int64
+	prev, next *cacheEntry
+}
+
+// flight is one in-progress evaluation that identical requests wait on.
+// done is closed by the leader; resp is non-nil only when the leader
+// published a cacheable response.
+type flight struct {
+	done chan struct{}
+	resp *QueryResponse
+}
+
+type resultCache struct {
+	metrics *obs.Registry
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	head    *cacheEntry
+	tail    *cacheEntry
+	max     int
+	bytes   int64
+	version int64
+	flights map[string]*flight
+}
+
+func newResultCache(maxEntries int, metrics *obs.Registry) *resultCache {
+	return &resultCache{
+		metrics: metrics,
+		entries: make(map[string]*cacheEntry),
+		max:     maxEntries,
+		flights: make(map[string]*flight),
+	}
+}
+
+// cacheKey is the version-free identity of a request: the canonical (parsed
+// and re-rendered) query plus every option that changes the answer bytes.
+// Parallelism is deliberately excluded — results are byte-identical at any
+// worker count — so differently-parallel clients share entries.
+func cacheKey(q *pdb.Query, strategy pdb.Strategy, req *QueryRequest) string {
+	return fmt.Sprintf("%s|%s|%d|%g|%g|%d|%d",
+		q.String(), strategy, req.Samples, req.Epsilon, req.Delta, req.Seed, req.MaxWidth)
+}
+
+// versioned prefixes a key with the snapshot version it was computed at.
+func versioned(version int64, key string) string {
+	return fmt.Sprintf("%d|%s", version, key)
+}
+
+// get returns the cached response for key at the given snapshot version. A
+// version change since the last call purges every entry first.
+func (c *resultCache) get(version int64, key string) (*QueryResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version != c.version {
+		c.purgeLocked()
+		c.version = version
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		c.metrics.ServerCacheMiss()
+		return nil, false
+	}
+	c.moveToFront(e)
+	c.metrics.ServerCacheHit()
+	return e.resp, true
+}
+
+// put inserts a response computed at the given version, evicting from the
+// LRU tail past the entry cap. A response for a superseded version is
+// dropped.
+func (c *resultCache) put(version int64, key string, resp *QueryResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if version != c.version {
+		// The cache has already moved on to a newer snapshot.
+		return
+	}
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	e := &cacheEntry{key: key, resp: resp, bytes: responseBytes(key, resp)}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.bytes += e.bytes
+	for len(c.entries) > c.max && c.tail != nil {
+		c.evictLocked(c.tail)
+		c.metrics.ServerCacheEviction()
+	}
+	c.metrics.ServerCacheSize(len(c.entries), c.bytes)
+}
+
+// join returns the in-progress flight for key, or registers the caller as
+// its leader. The bool reports leadership.
+func (c *resultCache) join(key string) (*flight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	return f, true
+}
+
+// finish closes a flight, publishing resp (nil when the evaluation failed or
+// its result was not cacheable) to any waiters.
+func (c *resultCache) finish(key string, f *flight, resp *QueryResponse) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	f.resp = resp
+	close(f.done)
+}
+
+// Entries returns the current entry count (for tests).
+func (c *resultCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *resultCache) purgeLocked() {
+	clear(c.entries)
+	c.head, c.tail, c.bytes = nil, nil, 0
+	c.metrics.ServerCacheSize(0, 0)
+}
+
+func (c *resultCache) evictLocked(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.unlink(e)
+	c.bytes -= e.bytes
+}
+
+func (c *resultCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *resultCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *resultCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// responseBytes estimates one entry's memory footprint for the cache-bytes
+// gauge: key and payload strings plus fixed per-row and per-entry overheads.
+func responseBytes(key string, resp *QueryResponse) int64 {
+	n := int64(len(key)) + int64(len(resp.Query)) + int64(len(resp.FallbackReason)) + 160
+	for i := range resp.Attrs {
+		n += int64(len(resp.Attrs[i])) + 16
+	}
+	for i := range resp.Rows {
+		n += 32
+		for _, v := range resp.Rows[i].Vals {
+			n += int64(len(v)) + 16
+		}
+	}
+	return n
+}

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/pdb"
+)
+
+// TestCacheWarmHitIsIdentical pins the serving cache's contract: a repeated
+// request is served from cache (flagged `cached`) and its answer is byte for
+// byte the cold answer.
+func TestCacheWarmHitIsIdentical(t *testing.T) {
+	db := triangleDB(t)
+	reg := &obs.Registry{}
+	srv, ts := newTestServer(t, Config{DB: db, Metrics: reg})
+
+	req := QueryRequest{Query: triangleQuery, Strategy: "partial"}
+	status, body := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold status = %d: %s", status, body)
+	}
+	cold := decodeResponse(t, body)
+	if cold.Cached {
+		t.Error("cold answer flagged cached")
+	}
+
+	status, body = postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm status = %d: %s", status, body)
+	}
+	warm := decodeResponse(t, body)
+	if !warm.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if warm.BoolP == nil || *warm.BoolP != *cold.BoolP {
+		t.Errorf("warm bool_p = %v, cold = %v: must be identical", warm.BoolP, cold.BoolP)
+	}
+	if warm.Strategy != cold.Strategy || warm.Approximate != cold.Approximate {
+		t.Errorf("warm metadata diverged: %+v vs %+v", warm, cold)
+	}
+	if srv.cache.Entries() != 1 {
+		t.Errorf("cache entries = %d, want 1", srv.cache.Entries())
+	}
+
+	// A textual variant of the same query canonicalizes to the same key.
+	status, body = postQuery(t, ts.URL, QueryRequest{Query: "q :- R(a),S(a,b),  T(b)", Strategy: "partial"})
+	if status != http.StatusOK {
+		t.Fatalf("variant status = %d: %s", status, body)
+	}
+	if qr := decodeResponse(t, body); !qr.Cached {
+		t.Error("reformatted query missed the cache: key not canonical")
+	}
+
+	// Parallelism is excluded from the key: results are byte-identical at
+	// any worker count, so a different parallelism still hits.
+	status, body = postQuery(t, ts.URL, QueryRequest{Query: triangleQuery, Strategy: "partial", Parallelism: 4})
+	if status != http.StatusOK {
+		t.Fatalf("parallel status = %d: %s", status, body)
+	}
+	if qr := decodeResponse(t, body); !qr.Cached {
+		t.Error("different parallelism missed the cache")
+	}
+
+	snap := promSnapshot(t, reg)
+	if !strings.Contains(snap, "pdb_server_cache_hits_total 3") {
+		t.Errorf("cache hits not counted:\n%s", snap)
+	}
+}
+
+// TestCacheKeyDiscriminates: requests that may legitimately differ in
+// outcome must not share an entry.
+func TestCacheKeyDiscriminates(t *testing.T) {
+	db := triangleDB(t)
+	srv, ts := newTestServer(t, Config{DB: db})
+
+	post := func(req QueryRequest) *QueryResponse {
+		t.Helper()
+		status, body := postQuery(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d: %s", status, body)
+		}
+		return decodeResponse(t, body)
+	}
+	post(QueryRequest{Query: triangleQuery, Strategy: "partial"})
+	if qr := post(QueryRequest{Query: triangleQuery, Strategy: "dnf"}); qr.Cached {
+		t.Error("different strategy hit the partial entry")
+	}
+	post(QueryRequest{Query: triangleQuery, Strategy: "mc", Samples: 2000, Seed: 1})
+	if qr := post(QueryRequest{Query: triangleQuery, Strategy: "mc", Samples: 2000, Seed: 2}); qr.Cached {
+		t.Error("different seed hit the seed-1 entry")
+	}
+	if qr := post(QueryRequest{Query: triangleQuery, Strategy: "mc", Samples: 2000, Seed: 1}); !qr.Cached {
+		t.Error("identical mc request missed")
+	}
+	if got := srv.cache.Entries(); got != 4 {
+		t.Errorf("cache entries = %d, want 4 (partial, dnf, mc seed 1, mc seed 2)", got)
+	}
+}
+
+// TestCacheBypasses: no_cache requests, traced requests and budgeted
+// requests are evaluated fresh and never stored.
+func TestCacheBypasses(t *testing.T) {
+	db := triangleDB(t)
+	srv, ts := newTestServer(t, Config{DB: db})
+
+	reqs := []QueryRequest{
+		{Query: triangleQuery, NoCache: true},
+		{Query: triangleQuery, Trace: true},
+		{Query: triangleQuery, Budget: &BudgetSpec{Nodes: 1_000_000}},
+	}
+	for _, req := range reqs {
+		for i := 0; i < 2; i++ {
+			status, body := postQuery(t, ts.URL, req)
+			if status != http.StatusOK {
+				t.Fatalf("%+v: status = %d: %s", req, status, body)
+			}
+			if qr := decodeResponse(t, body); qr.Cached {
+				t.Errorf("%+v: served from cache", req)
+			}
+		}
+	}
+	if got := srv.cache.Entries(); got != 0 {
+		t.Errorf("bypassing requests left %d cache entries", got)
+	}
+
+	// DisableCache removes the cache wholesale.
+	srvOff, tsOff := newTestServer(t, Config{DB: triangleDB(t), DisableCache: true})
+	if srvOff.cache != nil {
+		t.Error("DisableCache left a cache allocated")
+	}
+	for i := 0; i < 2; i++ {
+		status, body := postQuery(t, tsOff.URL, QueryRequest{Query: triangleQuery})
+		if status != http.StatusOK {
+			t.Fatalf("status = %d: %s", status, body)
+		}
+		if qr := decodeResponse(t, body); qr.Cached {
+			t.Error("DisableCache server served from cache")
+		}
+	}
+}
+
+// TestCacheInvalidatedByMutation is the stale-read check: any mutation bumps
+// the snapshot version, so a cached answer computed before it can never be
+// served after it.
+func TestCacheInvalidatedByMutation(t *testing.T) {
+	db := triangleDB(t)
+	reg := &obs.Registry{}
+	_, ts := newTestServer(t, Config{DB: db, Metrics: reg})
+
+	req := QueryRequest{Query: triangleQuery, Strategy: "partial"}
+	status, body := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	before := decodeResponse(t, body)
+
+	// Warm the entry, then change the database: T gains a certain tuple
+	// that raises the probability.
+	postQuery(t, ts.URL, req)
+	tr, err := db.Relation("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddInts(1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := db.Relation("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.AddInts(1.0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body = postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("post-mutation status = %d: %s", status, body)
+	}
+	after := decodeResponse(t, body)
+	if after.Cached {
+		t.Fatal("stale cache read: answer served from cache across a mutation")
+	}
+	q, err := pdb.ParseQuery(triangleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := db.Evaluate(q, pdb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.BoolP == nil || *after.BoolP != direct.BoolProb() {
+		t.Errorf("post-mutation bool_p = %v, direct = %v", after.BoolP, direct.BoolProb())
+	}
+	if *after.BoolP == *before.BoolP {
+		t.Error("mutation did not change the answer: the staleness check is vacuous")
+	}
+
+	// And the new answer is cacheable at the new version.
+	status, body = postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("re-warm status = %d: %s", status, body)
+	}
+	if qr := decodeResponse(t, body); !qr.Cached || *qr.BoolP != *after.BoolP {
+		t.Errorf("re-warm: cached=%v bool_p=%v, want cached copy of %v", qr.Cached, qr.BoolP, after.BoolP)
+	}
+}
+
+// TestCacheConcurrentMutation hammers the same query from several clients
+// while a writer keeps mutating the database. Between mutations the writer
+// asserts the served answer matches a direct evaluation of the current
+// snapshot — a stale cache read across a version bump would fail it. The
+// concurrent readers give the race detector something to find.
+func TestCacheConcurrentMutation(t *testing.T) {
+	db := triangleDB(t)
+	_, ts := newTestServer(t, Config{DB: db, MaxInFlight: 8, MaxQueue: 64})
+
+	q, err := pdb.ParseQuery(triangleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := QueryRequest{Query: triangleQuery, Strategy: "partial"}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, body := postQuery(t, ts.URL, req)
+				if status != http.StatusOK {
+					t.Errorf("reader: status %d: %s", status, body)
+					return
+				}
+				decodeResponse(t, body)
+			}
+		}()
+	}
+
+	tr, err := db.Relation("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		if err := tr.AddInts(0.5, int64(100+round)); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := db.Relation("S")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sr.AddInts(0.5, 1, int64(100+round)); err != nil {
+			t.Fatal(err)
+		}
+		direct, err := db.Evaluate(q, pdb.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, body := postQuery(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, status, body)
+		}
+		qr := decodeResponse(t, body)
+		if qr.BoolP == nil || math.Abs(*qr.BoolP-direct.BoolProb()) != 0 {
+			t.Fatalf("round %d: served %v after mutation, direct says %v (stale cache read)",
+				round, qr.BoolP, direct.BoolProb())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCacheSingleFlight: concurrent identical requests collapse onto one
+// evaluation; everyone else receives the leader's published answer.
+func TestCacheSingleFlight(t *testing.T) {
+	db := heavyDB(t, 6)
+	_, ts := newTestServer(t, Config{DB: db, MaxInFlight: 8, MaxQueue: 64})
+
+	// Slow enough (hundreds of ms of sampling) that all clients overlap the
+	// leader's evaluation.
+	req := QueryRequest{Query: triangleQuery, Strategy: "mc", Samples: 300_000, Seed: 9, DeadlineMS: 120_000}
+	const clients = 6
+	type outcome struct {
+		cached bool
+		p      float64
+	}
+	results := make(chan outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := postQuery(t, ts.URL, req)
+			if status != http.StatusOK {
+				t.Errorf("status %d: %s", status, body)
+				return
+			}
+			qr := decodeResponse(t, body)
+			if qr.BoolP == nil {
+				t.Error("no bool_p")
+				return
+			}
+			results <- outcome{qr.Cached, *qr.BoolP}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	var uncached int
+	var first float64
+	n := 0
+	for out := range results {
+		if !out.cached {
+			uncached++
+		}
+		if n == 0 {
+			first = out.p
+		} else if out.p != first {
+			t.Errorf("diverging answers under single flight: %v vs %v", out.p, first)
+		}
+		n++
+	}
+	if n != clients {
+		t.Fatalf("only %d/%d clients returned", n, clients)
+	}
+	if uncached != 1 {
+		t.Errorf("%d evaluations for %d identical concurrent requests, want 1", uncached, clients)
+	}
+}
+
+// TestCacheEviction: the LRU respects its entry cap and counts evictions.
+func TestCacheEviction(t *testing.T) {
+	db := triangleDB(t)
+	reg := &obs.Registry{}
+	srv, ts := newTestServer(t, Config{DB: db, CacheEntries: 2, Metrics: reg})
+
+	queries := []string{
+		"q :- R(a), S(a, b), T(b)",
+		"q :- R(a), S(a, b)",
+		"q :- S(a, b), T(b)",
+	}
+	for _, qs := range queries {
+		status, body := postQuery(t, ts.URL, QueryRequest{Query: qs})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", qs, status, body)
+		}
+	}
+	if got := srv.cache.Entries(); got != 2 {
+		t.Errorf("entries = %d, want cap 2", got)
+	}
+	// The oldest entry (the triangle) was evicted: it must re-evaluate.
+	status, body := postQuery(t, ts.URL, QueryRequest{Query: queries[0]})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if qr := decodeResponse(t, body); qr.Cached {
+		t.Error("evicted entry still served from cache")
+	}
+	if snap := promSnapshot(t, reg); !strings.Contains(snap, "pdb_server_cache_evictions_total 2") {
+		t.Errorf("evictions not counted (want 2: one for the cap, one for the refill):\n%s", snap)
+	}
+}

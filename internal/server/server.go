@@ -66,6 +66,13 @@ type Config struct {
 	// DisableDegrade refuses the per-request degrade flag: budget-exhausted
 	// exact evaluations fail with 422 instead of retrying approximately.
 	DisableDegrade bool
+	// CacheEntries caps the snapshot-versioned result cache (entries, LRU).
+	// Default 1024. The cache serves repeated identical requests from memory
+	// until the database's snapshot version changes; see cache.go.
+	CacheEntries int
+	// DisableCache turns the result cache off entirely: every request
+	// evaluates, as before the cache existed.
+	DisableCache bool
 	// Metrics is the registry fed by the server. Default obs.Default.
 	Metrics *obs.Registry
 }
@@ -89,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default
 	}
@@ -98,8 +108,9 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP query service. Construct with New; it implements
 // http.Handler (the full mux: /query, /healthz, /metrics, /debug/...).
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache // nil when Config.DisableCache is set
 
 	sem      chan struct{} // worker slots; len == in-flight
 	queued   atomic.Int64  // requests waiting for a slot
@@ -120,6 +131,9 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	if !cfg.DisableCache {
+		s.cache = newResultCache(cfg.CacheEntries, cfg.Metrics)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
@@ -251,6 +265,9 @@ type QueryRequest struct {
 	Degrade bool `json:"degrade,omitempty"`
 	// Trace includes the execution trace in the response.
 	Trace bool `json:"trace,omitempty"`
+	// NoCache bypasses the server's result cache for this request: the
+	// query always evaluates, and the result is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // AnswerRow is one answer: head values (rendered as strings) and its
@@ -287,7 +304,11 @@ type QueryResponse struct {
 	FallbackReason    string          `json:"fallback_reason,omitempty"`
 	Stats             StatsSummary    `json:"stats"`
 	ElapsedNS         int64           `json:"elapsed_ns"`
-	Trace             json.RawMessage `json:"trace,omitempty"`
+	// Cached marks a response served from the result cache (or reused from
+	// a concurrent identical evaluation) instead of evaluated; ElapsedNS is
+	// this request's own wall time either way.
+	Cached bool            `json:"cached,omitempty"`
+	Trace  json.RawMessage `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 /query response.
@@ -373,10 +394,78 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	status(http.StatusOK, resp)
 }
 
-// evaluate runs one admitted query request under its already-deadlined
-// context, including the degradation retry, and maps the outcome onto a
-// response + HTTP status.
+// evaluate serves one admitted query request: through the snapshot-versioned
+// result cache when the request is cacheable, falling through to a real
+// evaluation otherwise.
+//
+// Cacheability: tracing requests are excluded (traces carry timings unique
+// to their run), budgeted and degradable requests are excluded (their
+// outcome depends on resource headroom, not just the query), and the client
+// can opt out per request with no_cache.
 func (s *Server) evaluate(ctx context.Context, req *QueryRequest, start time.Time) (*QueryResponse, *ErrorResponse, int) {
+	if s.cache == nil || req.Trace || req.Budget != nil || req.Degrade || req.NoCache {
+		return s.evaluateUncached(ctx, req, start)
+	}
+	q, err := pdb.ParseQuery(req.Query)
+	if err != nil {
+		return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest
+	}
+	strategy := pdb.PartialLineage
+	if req.Strategy != "" {
+		strategy, err = pdb.ParseStrategy(req.Strategy)
+		if err != nil {
+			return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest
+		}
+	}
+	// The key embeds the snapshot version observed before evaluating; the
+	// insert below re-checks the version so a result computed while a writer
+	// raced in is never stored.
+	v1 := s.cfg.DB.Version()
+	vkey := versioned(v1, cacheKey(q, strategy, req))
+	if resp, ok := s.cache.get(v1, vkey); ok {
+		return cachedCopy(resp, start), nil, http.StatusOK
+	}
+	f, leader := s.cache.join(vkey)
+	if !leader {
+		// An identical request is already evaluating: wait for its answer
+		// instead of duplicating the work.
+		select {
+		case <-f.done:
+			if f.resp != nil {
+				s.cfg.Metrics.ServerCacheHit()
+				return cachedCopy(f.resp, start), nil, http.StatusOK
+			}
+			// The leader failed or declined to publish; evaluate alone so
+			// its error is not broadcast to the whole cohort.
+			return s.evaluateUncached(ctx, req, start)
+		case <-ctx.Done():
+			err := ctx.Err()
+			return nil, errorResponse(err, nil, false), errorStatus(err)
+		}
+	}
+	resp, errResp, code := s.evaluateUncached(ctx, req, start)
+	var published *QueryResponse
+	if errResp == nil && s.cfg.DB.Version() == v1 {
+		s.cache.put(v1, vkey, resp)
+		published = resp
+	}
+	s.cache.finish(vkey, f, published)
+	return resp, errResp, code
+}
+
+// cachedCopy returns a shallow copy of a cached response carrying this
+// request's own wall time and the cached marker.
+func cachedCopy(resp *QueryResponse, start time.Time) *QueryResponse {
+	cp := *resp
+	cp.ElapsedNS = time.Since(start).Nanoseconds()
+	cp.Cached = true
+	return &cp
+}
+
+// evaluateUncached runs one admitted query request under its
+// already-deadlined context, including the degradation retry, and maps the
+// outcome onto a response + HTTP status.
+func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start time.Time) (*QueryResponse, *ErrorResponse, int) {
 	q, err := pdb.ParseQuery(req.Query)
 	if err != nil {
 		return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest

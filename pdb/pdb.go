@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -132,6 +134,19 @@ type Options struct {
 	// answer probabilities become P(answer | evidence). Network strategies
 	// only; zero-probability evidence is an error.
 	Evidence []Evidence
+	// NoMemo disables the per-evaluation shared inference memo tables.
+	// Exact answers are bit-identical with and without them; the flag exists
+	// for ablation and the crosscheck equivalence tests.
+	NoMemo bool
+	// NoIntern disables key interning inside the lineage memo (observable
+	// only through Stats.InternHits and memory footprint).
+	NoIntern bool
+	// NoCons disables AND-OR network hash-consing of deterministic gates
+	// (for the node-count ablation; always sound either way).
+	NoCons bool
+	// NoPool disables sync.Pool scratch reuse in the hash-join/dedup
+	// operators (for the allocation ablation; outputs are byte-identical).
+	NoPool bool
 }
 
 // Evidence is one observation: the named base tuple (full arity values) is
@@ -154,6 +169,10 @@ func (o Options) engineOptions() engine.Options {
 		Parallelism: o.Parallelism,
 		Trace:       o.Trace,
 		Budget:      o.Budget,
+		NoMemo:      o.NoMemo,
+		NoIntern:    o.NoIntern,
+		NoCons:      o.NoCons,
+		NoPool:      o.NoPool,
 	}
 	for _, ev := range o.Evidence {
 		out.Evidence = append(out.Evidence, engine.Evidence{
@@ -167,8 +186,20 @@ func (o Options) engineOptions() engine.Options {
 
 // Database is a tuple-independent probabilistic database: a set of named
 // relations whose tuples carry independent presence probabilities.
+//
+// A Database is safe for concurrent use through this facade: mutations
+// (CreateRelation, Relation.Add/AddInts) take a write lock and bump the
+// snapshot version; evaluations and reads run under a read lock. The version
+// is what the query server's result cache keys on — a cached answer is valid
+// exactly as long as Version is unchanged.
 type Database struct {
 	db *relation.Database
+
+	// mu guards the underlying relations: mutators hold it exclusively,
+	// evaluations and readers share it.
+	mu sync.RWMutex
+	// version counts mutations; monotonically increasing, never reused.
+	version atomic.Int64
 }
 
 // NewDatabase creates an empty database.
@@ -188,46 +219,84 @@ func LoadDatabase(dir string) (*Database, error) {
 }
 
 // SaveDir writes every relation to dir as <name>.csv.
-func (d *Database) SaveDir(dir string) error { return d.db.SaveDir(dir) }
+func (d *Database) SaveDir(dir string) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db.SaveDir(dir)
+}
+
+// Version returns the database's snapshot version: a monotonic counter
+// bumped by every mutation (CreateRelation, Add, AddInts). Two reads
+// returning the same version bracket an unchanged database, which is the
+// invalidation rule of the query server's result cache.
+func (d *Database) Version() int64 { return d.version.Load() }
 
 // Relation provides access to one relation for loading tuples.
 type Relation struct {
 	r *relation.Relation
+	d *Database
 }
 
 // CreateRelation registers an empty relation with the given attribute names
 // and returns a handle for adding tuples. Predicate names in queries must
 // start with an uppercase letter to parse.
 func (d *Database) CreateRelation(name string, attrs ...string) *Relation {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	r := relation.New(name, attrs...)
 	d.db.AddRelation(r)
-	return &Relation{r: r}
+	d.version.Add(1)
+	return &Relation{r: r, d: d}
 }
 
 // Relation returns a handle to an existing relation.
 func (d *Database) Relation(name string) (*Relation, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	r, err := d.db.Relation(name)
 	if err != nil {
 		return nil, err
 	}
-	return &Relation{r: r}, nil
+	return &Relation{r: r, d: d}, nil
 }
 
 // Names lists the relation names in insertion order.
-func (d *Database) Names() []string { return d.db.Names() }
-
-// Add appends a tuple with presence probability p.
-func (r *Relation) Add(p float64, vals ...Value) error {
-	return r.r.Add(tuple.Tuple(vals), p)
+func (d *Database) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.db.Names()
 }
 
-// AddInts appends a tuple of integer values with presence probability p.
+// Add appends a tuple with presence probability p and bumps the database's
+// snapshot version.
+func (r *Relation) Add(p float64, vals ...Value) error {
+	r.d.mu.Lock()
+	defer r.d.mu.Unlock()
+	if err := r.r.Add(tuple.Tuple(vals), p); err != nil {
+		return err
+	}
+	r.d.version.Add(1)
+	return nil
+}
+
+// AddInts appends a tuple of integer values with presence probability p and
+// bumps the database's snapshot version.
 func (r *Relation) AddInts(p float64, vals ...int64) error {
-	return r.r.AddInts(p, vals...)
+	r.d.mu.Lock()
+	defer r.d.mu.Unlock()
+	if err := r.r.AddInts(p, vals...); err != nil {
+		return err
+	}
+	r.d.version.Add(1)
+	return nil
 }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return r.r.Len() }
+func (r *Relation) Len() int {
+	r.d.mu.RLock()
+	defer r.d.mu.RUnlock()
+	return r.r.Len()
+}
 
 // Name returns the relation name.
 func (r *Relation) Name() string { return r.r.Name }
@@ -243,6 +312,8 @@ type Tuple struct {
 
 // Tuples returns a copy of the relation's contents.
 func (r *Relation) Tuples() []Tuple {
+	r.d.mu.RLock()
+	defer r.d.mu.RUnlock()
 	out := make([]Tuple, len(r.r.Rows))
 	for i, row := range r.r.Rows {
 		out[i] = Tuple{Vals: append([]Value(nil), row.Tuple...), P: row.P}
@@ -320,6 +391,8 @@ type PlanChoice struct {
 // size, plus the full ranking. sampleGroups > 0 restricts costing to that
 // many answer groups for queries with head variables.
 func (d *Database) OptimizePlan(q *Query, sampleGroups int) (*PlanChoice, []PlanChoice, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	best, all, err := planner.Choose(d.db, q.q, planner.Options{SampleGroups: sampleGroups})
 	if err != nil {
 		return nil, nil, err
@@ -458,7 +531,9 @@ func (d *Database) TopK(q *Query, k int, seed int64) ([]TopAnswer, bool, error) 
 			return nil, false, err
 		}
 	}
+	d.mu.RLock()
 	g, err := engine.Ground(d.db, q.q, plan)
+	d.mu.RUnlock()
 	if err != nil {
 		return nil, false, err
 	}
@@ -489,7 +564,9 @@ func (d *Database) Evaluate(q *Query, opts Options) (*Result, error) {
 // and the rows/nodes charged, so Trace/Explain show where the time went.
 func (d *Database) EvaluateContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
 	start := time.Now()
+	d.mu.RLock()
 	res, err := engine.EvaluateQueryContext(ctx, d.db, q.q, opts.engineOptions())
+	d.mu.RUnlock()
 	if err != nil {
 		partial := wrapPartial(res, q)
 		observe(opts.Strategy, start, partial, err)
@@ -540,7 +617,9 @@ func (d *Database) EvaluateWithPlan(q *Query, p *Plan, opts Options) (*Result, e
 // EvaluateContext (including the partial Result accompanying abort errors).
 func (d *Database) EvaluateWithPlanContext(ctx context.Context, q *Query, p *Plan, opts Options) (*Result, error) {
 	start := time.Now()
+	d.mu.RLock()
 	res, err := engine.EvaluateContext(ctx, d.db, q.q, p.p, opts.engineOptions())
+	d.mu.RUnlock()
 	if err != nil {
 		partial := wrapPartial(res, q)
 		observe(opts.Strategy, start, partial, err)
