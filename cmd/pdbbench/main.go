@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache or all")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner or all")
 		scaleName   = flag.String("scale", "small", "small or paper")
 		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
 		timeout     = flag.Duration("timeout", 0, "wall-clock budget per evaluation, e.g. 30s (0 = none)")
 		benchOut    = flag.String("bench-out", "BENCH_pipeline.json", "file for the pipeline benchmark artifact")
 		cacheOut    = flag.String("cache-out", "BENCH_cache.json", "file for the cache benchmark artifact")
+		plannerOut  = flag.String("planner-out", "BENCH_planner.json", "file for the planner benchmark artifact")
 		withMemo    = flag.Bool("memo", true, "cache experiment: include the memoized-inference comparison")
 		withCache   = flag.Bool("cache", true, "cache experiment: include the server result-cache comparison")
 		metrics     = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
@@ -183,12 +184,44 @@ func main() {
 			}
 			fmt.Println("cache benchmark written to", *cacheOut)
 			fmt.Println()
+		case "planner":
+			rep, err := experiments.PlannerBench(sc)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*plannerOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WritePlannerJSON(f, rep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Planner: adaptive cost-aware planning vs legacy pipeline (scale=%s) ==\n", sc.Name)
+			fmt.Printf("%-22s %14s %14s %8s %18s %s\n", "workload", "legacy (ns)", "adaptive (ns)", "speedup", "offending (l/a)", "plan")
+			for _, pt := range rep.Workloads {
+				if pt.Err != "" {
+					fmt.Printf("%-22s err: %s\n", pt.Query, pt.Err)
+					continue
+				}
+				fmt.Printf("%-22s %14d %14d %7.2fx %10d/%-7d %s [%s]\n",
+					pt.Query, pt.LegacyNs, pt.AdaptiveNs, pt.Speedup,
+					pt.LegacyOffending, pt.AdaptiveOffending, pt.PlanSource, pt.PlanOrder)
+			}
+			for _, c := range rep.Backends {
+				fmt.Printf("backend %-16s attempts=%d wins=%d fallbacks=%d mean=%dns\n",
+					c.Backend, c.Attempts, c.Wins, c.Fallbacks, c.MeanNs)
+			}
+			fmt.Println("planner benchmark written to", *plannerOut)
+			fmt.Println()
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache"} {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner"} {
 			run(name)
 		}
 		return

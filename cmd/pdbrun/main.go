@@ -40,8 +40,8 @@ func main() {
 		showPlan  = flag.Bool("plan", false, "print the physical plan before running")
 		dotOut    = flag.String("dot", "", "write the AND-OR network to this file (network strategies)")
 		topK      = flag.Int("top", 20, "print at most this many answers (0 = all)")
-		optimize  = flag.Bool("optimize", false, "data-aware plan selection: cost candidate join orders and use the best")
-		sample    = flag.Int("optimize-sample", 4, "answer groups used to cost plans with -optimize (0 = all)")
+		optimize  = flag.Bool("optimize", false, "data-aware plan selection: cost candidate join orders and use the best (the default evaluation path already does this; -optimize additionally prints the ranking)")
+		noAdapt   = flag.Bool("no-adaptive-plan", false, "disable the cost-aware planner: safe-plan-else-body-order plans and the fixed legacy inference backend order")
 		sqlOut    = flag.String("sql", "", "write the paper-style SQL batch implementing the plan to this file ('-' for stdout)")
 		trace     = flag.Bool("trace", false, "print a per-operator execution trace (network strategies)")
 		explain   = flag.Bool("explain", false, "print an EXPLAIN ANALYZE operator tree after the run (implies tracing)")
@@ -76,7 +76,7 @@ func main() {
 	if par == 0 {
 		par = *parallel
 	}
-	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace || *explain}
+	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace || *explain, NoAdaptivePlan: *noAdapt}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -98,12 +98,12 @@ func main() {
 
 	var res *pdb.Result
 	if *optimize {
-		best, ranked, err := db.OptimizePlan(q, *sample)
+		best, ranked, err := db.OptimizePlan(q)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("optimizer ranked %d join orders; best: %s (offending=%d, network=%d nodes)\n",
-			len(ranked), strings.Join(best.Order, ","), best.Offending, best.Nodes)
+		fmt.Printf("optimizer ranked %d join orders; best: %s (est offending=%d, est rows=%.0f)\n",
+			len(ranked), strings.Join(best.Order, ","), best.EstOffending, best.EstRows)
 		if *showPlan {
 			fmt.Println("plan:", best.Plan)
 		}

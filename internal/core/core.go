@@ -194,4 +194,28 @@ type Stats struct {
 	MemoEvictions int64
 	InternHits    int64
 	ConsHits      int
+
+	// Planner fields (adaptive planning layer). PlanSource labels how the
+	// physical plan was chosen ("safe", "greedy" or "body"); PlanOrder is
+	// the comma-joined join order behind it (empty for safe plans);
+	// PlanEstOffending and PlanCandidates are the estimator's offending
+	// prediction for the chosen order and the number of orders it scored;
+	// PlanSelectTime is the wall time spent choosing (PlanTime, by contrast,
+	// covers executing the plan). All empty/zero when the engine was handed
+	// an explicit plan.
+	PlanSource       string
+	PlanOrder        string
+	PlanEstOffending int
+	PlanCandidates   int
+	PlanSelectTime   time.Duration
+
+	// Backend-choice fields. BackendChoices counts answers by the inference
+	// backend that produced them; BackendFallbacks counts ranked attempts
+	// that failed deterministically (expansion budget, elimination width)
+	// and fell through to the next backend; BackendPredictionMisses counts
+	// answers whose first-ranked backend was not the one that succeeded —
+	// the cost model's miss rate.
+	BackendChoices          map[string]int
+	BackendFallbacks        map[string]int
+	BackendPredictionMisses int
 }

@@ -31,6 +31,11 @@ type confidence struct {
 	backend string
 	reason  string
 	dur     time.Duration
+	// fallbacks names the ranked backends that failed deterministically
+	// before backend succeeded (adaptive dispatch only); predictMiss marks
+	// an answer whose first-ranked backend was not the one that produced p.
+	fallbacks   []string
+	predictMiss bool
 }
 
 // runPipeline drives one evaluation: build (timed into Stats.PlanTime)
@@ -72,6 +77,26 @@ func runPipeline(ec *core.ExecContext, res *Result,
 		if conf[i].reason != "" {
 			res.Stats.FallbackReason = conf[i].reason
 			break
+		}
+	}
+	// Fold the backend-choice bookkeeping here, after the fan-out, so the
+	// maps are built single-threaded and in job order.
+	for i := range conf {
+		c := &conf[i]
+		if c.backend != "" {
+			if res.Stats.BackendChoices == nil {
+				res.Stats.BackendChoices = make(map[string]int)
+			}
+			res.Stats.BackendChoices[c.backend]++
+		}
+		for _, f := range c.fallbacks {
+			if res.Stats.BackendFallbacks == nil {
+				res.Stats.BackendFallbacks = make(map[string]int)
+			}
+			res.Stats.BackendFallbacks[f]++
+		}
+		if c.predictMiss {
+			res.Stats.BackendPredictionMisses++
 		}
 	}
 	return assemble(conf)

@@ -12,11 +12,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
+	"time"
 
 	"repro/internal/aonet"
 	"repro/internal/core"
 	"repro/internal/inference"
 	"repro/internal/lineage"
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/tuple"
@@ -113,6 +116,19 @@ type Options struct {
 	// tables in internal/pl. Outputs are byte-identical either way; the
 	// flag exists for the allocation benchmark.
 	NoPool bool
+	// NoAdaptivePlan disables the cost-aware planner: EvaluateQuery falls
+	// back to the legacy safe-plan-else-body-order plan choice, and the
+	// per-answer inference dispatch uses the fixed legacy try-order
+	// (Shannon on the expanded lineage, then variable elimination, then
+	// sampling) instead of the planner cost model's ranking. The ablation
+	// knob for the adaptive-planning layer; results are equivalent either
+	// way — see docs/PLANNER.md.
+	NoAdaptivePlan bool
+	// PlannerSink, when set, accumulates per-backend attempt outcomes from
+	// the ranked inference dispatch (adaptive mode only). The sink feeds
+	// observability exclusively — metrics, EXPLAIN, calibration reports —
+	// and never influences backend ranking; see planner.Sink.
+	PlannerSink *planner.Sink
 }
 
 func (o Options) samples() int {
@@ -257,26 +273,44 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 	return res, nil
 }
 
-// EvaluateQuery is Evaluate with a plan derived from the query: the safe
-// plan when one exists, otherwise the left-deep plan in body order.
+// EvaluateQuery is Evaluate with a plan chosen for the query: the safe plan
+// when one exists, otherwise the join order the cost-aware planner estimates
+// to condition the fewest offending tuples (planner.Plan). With
+// Options.NoAdaptivePlan the legacy choice applies instead — safe plan else
+// the left-deep plan in body order.
 func EvaluateQuery(db *relation.Database, q *query.Query, opts Options) (*Result, error) {
 	return EvaluateQueryContext(context.Background(), db, q, opts)
 }
 
 // EvaluateQueryContext is EvaluateQuery under a context.
 func EvaluateQueryContext(ctx context.Context, db *relation.Database, q *query.Query, opts Options) (*Result, error) {
-	plan, err := query.SafePlan(q)
-	if err != nil {
-		order := make([]string, len(q.Atoms))
-		for i := range q.Atoms {
-			order[i] = q.Atoms[i].Pred
-		}
-		plan, err = query.LeftDeepPlan(q, order)
-		if err != nil {
-			return nil, err
-		}
+	if err := q.Validate(); err != nil {
+		return nil, err
 	}
-	return EvaluateContext(ctx, db, q, plan, opts)
+	ir, err := planQuery(db, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := EvaluateContext(ctx, db, q, ir.Physical, opts)
+	if res != nil {
+		res.Stats.PlanSource = ir.Source
+		res.Stats.PlanOrder = strings.Join(ir.Order, ",")
+		res.Stats.PlanEstOffending = ir.EstOffending
+		res.Stats.PlanCandidates = ir.Candidates
+		res.Stats.PlanSelectTime = ir.SelectTime
+	}
+	return res, err
+}
+
+// planQuery picks the physical plan for a query-level evaluation.
+func planQuery(db *relation.Database, q *query.Query, opts Options) (*planner.IR, error) {
+	if opts.NoAdaptivePlan {
+		if plan, err := query.SafePlan(q); err == nil {
+			return &planner.IR{Source: planner.SourceSafe, Physical: plan}, nil
+		}
+		return planner.BodyIR(q)
+	}
+	return planner.Plan(db, q, planner.Options{})
 }
 
 // validateBaseProbs checks, once at the evaluation boundary, that every
@@ -310,21 +344,19 @@ type expansion struct {
 	err   error
 }
 
-// answerMarginal computes one lineage node's marginal. Exact paths, in
-// order: (1) run the Shannon solver on the pre-expanded partial-lineage DNF
-// (Section 4.2's "run any general-purpose inference algorithm" on the
-// partial lineage); (2) variable elimination with cutset conditioning. Past
-// both budgets it approximates — by Karp–Luby on the expanded formula when
-// the expansion succeeded, otherwise by forward sampling on the network —
-// unless NoFallback is set, in which case the tractability error surfaces.
-// It only reads the network (pre carries this answer's expansion; lm and
-// opts.Inference.Memo are internally synchronized), so it is safe to run
-// concurrently; the approximate paths seed deterministically from
-// Options.Seed and the node. Cancellation and budget errors from ec surface
-// through confidence.err.
+// answerMarginal computes one lineage node's marginal. With evidence it goes
+// through the conditional network backends; otherwise it dispatches across
+// the exact backends — in adaptive mode in the order the planner cost model
+// ranks for this answer's profile, in legacy mode (NoAdaptivePlan) in the
+// fixed historical order — and past every exact budget it approximates, by
+// Karp–Luby on the expanded formula when the expansion succeeded, otherwise
+// by forward sampling on the network, unless NoFallback is set, in which
+// case the tractability error surfaces. It only reads the network (pre
+// carries this answer's expansion; lm and opts.Inference.Memo are internally
+// synchronized), so it is safe to run concurrently; the approximate paths
+// seed deterministically from Options.Seed and the node. Cancellation and
+// budget errors from ec surface through confidence.err.
 func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, opts Options, evidence map[aonet.NodeID]bool, pre *expansion, lm *lineage.Memo) confidence {
-	var expanded *lineage.DNF
-	var expandedProbs []float64
 	if len(evidence) > 0 {
 		// Conditional marginals go through the network backends: variable
 		// elimination with the evidence pinned, then rejection sampling.
@@ -335,7 +367,7 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
 			return confidence{err: err}
 		}
-		rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
+		rng := answerRNG(opts, lin)
 		p, err := inference.MonteCarloGivenCtx(ec, net, lin, evidence, opts.samples(), rng)
 		if err != nil {
 			return confidence{err: err}
@@ -343,6 +375,27 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 		return confidence{p: p, approx: true, backend: "rejection-sampling",
 			reason: "conditional exact inference exceeded the width cap; rejection sampling"}
 	}
+	if opts.NoAdaptivePlan {
+		return answerMarginalFixed(ec, net, lin, opts, pre, lm)
+	}
+	return answerMarginalRanked(ec, net, lin, opts, pre, lm)
+}
+
+// answerRNG derives the per-answer sampling RNG from the evaluation seed and
+// the answer's lineage node, so approximate paths are reproducible at any
+// Parallelism.
+func answerRNG(opts Options, lin aonet.NodeID) *rand.Rand {
+	return rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
+}
+
+// answerMarginalFixed is the legacy dispatch, preserved verbatim for the
+// NoAdaptivePlan ablation: (1) the Shannon solver on the pre-expanded
+// partial-lineage DNF (Section 4.2's "run any general-purpose inference
+// algorithm" on the partial lineage); (2) variable elimination with cutset
+// conditioning; (3) sampling.
+func answerMarginalFixed(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, opts Options, pre *expansion, lm *lineage.Memo) confidence {
+	var expanded *lineage.DNF
+	var expandedProbs []float64
 	if pre != nil {
 		f, probs, err := pre.f, pre.probs, pre.err
 		switch {
@@ -366,7 +419,7 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 	if !errors.Is(err, inference.ErrTooWide) || opts.NoFallback {
 		return confidence{err: err}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed ^ (int64(lin)+1)*0x7f4a7c15))
+	rng := answerRNG(opts, lin)
 	if expanded != nil {
 		p, err := lineage.KarpLubyCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.klSamples(len(expanded.Clauses)), rng)
 		if err != nil {
@@ -381,6 +434,115 @@ func answerMarginal(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, 
 	}
 	return confidence{p: p, approx: true, backend: "forward-sampling",
 		reason: "exact inference exceeded the width cap on an unexpandable network; forward sampling"}
+}
+
+// answerMarginalRanked is the adaptive dispatch: it builds the answer's cost
+// profile (expanded-lineage size; a treewidth estimate computed lazily, only
+// when the profile is not trivially Shannon-first), asks the planner cost
+// model for the backend attempt order, and walks it. Deterministic
+// tractability failures — lineage.ErrBudget from the Shannon solver,
+// inference.ErrTooWide from the elimination backends — fall through to the
+// next attempt; every other error surfaces immediately. The ranking always
+// ends in sampling; with NoFallback the last deterministic failure surfaces
+// instead. Attempt outcomes are recorded into opts.PlannerSink
+// (observability only) and into the confidence for the per-query stats.
+func answerMarginalRanked(ec *core.ExecContext, net *aonet.Network, lin aonet.NodeID, opts Options, pre *expansion, lm *lineage.Memo) confidence {
+	model := planner.DefaultCostModel()
+	if opts.Inference.MaxFactorVars > 0 {
+		model.MaxFactorVars = opts.Inference.MaxFactorVars
+	}
+	prof := planner.Profile{SharedMemo: opts.Inference.Memo != nil}
+	var expanded *lineage.DNF
+	var expandedProbs []float64
+	if pre != nil {
+		switch {
+		case pre.err == nil:
+			expanded, expandedProbs = pre.f, pre.probs
+			prof.Expanded = true
+			prof.Clauses = len(expanded.Clauses)
+			prof.Vars = len(expandedProbs)
+		case !errors.Is(pre.err, inference.ErrExpansion):
+			return confidence{err: pre.err}
+		}
+	}
+	if model.NeedsWidth(prof) {
+		// The estimate costs one greedy elimination ordering over the
+		// answer's ancestor factors — cheap next to the elimination it
+		// predicts, and skipped entirely for small expanded lineages.
+		if w, nv, err := inference.WidthEstimate(net, lin, opts.Inference); err == nil {
+			prof.HasWidth, prof.Width, prof.NetVars = true, w, nv
+		}
+	}
+	var fallbacks []string
+	var lastErr error
+	fail := func(b planner.Backend, start time.Time, err error) {
+		opts.PlannerSink.Record(b.String(), false, time.Since(start))
+		fallbacks = append(fallbacks, b.String())
+		lastErr = err
+	}
+	win := func(b planner.Backend, start time.Time, c confidence) confidence {
+		opts.PlannerSink.Record(b.String(), true, time.Since(start))
+		c.fallbacks = fallbacks
+		c.predictMiss = len(fallbacks) > 0
+		return c
+	}
+	for _, b := range model.Rank(prof) {
+		start := time.Now()
+		switch b {
+		case planner.BackendShannon:
+			p, err := lineage.ProbMemoCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.exactBudget(), lm)
+			if err == nil {
+				return win(b, start, confidence{p: p, backend: b.String()})
+			}
+			if !errors.Is(err, lineage.ErrBudget) {
+				return confidence{err: err}
+			}
+			fail(b, start, err)
+		case planner.BackendJTree:
+			r, err := inference.ExactJTCtx(ec, net, lin, opts.Inference)
+			if err == nil {
+				return win(b, start, confidence{p: r.P, width: r.Width, vars: r.Vars, backend: b.String()})
+			}
+			if !errors.Is(err, inference.ErrTooWide) {
+				return confidence{err: err}
+			}
+			fail(b, start, err)
+		case planner.BackendVE:
+			r, err := inference.ExactCtx(ec, net, lin, opts.Inference)
+			if err == nil {
+				return win(b, start, confidence{p: r.P, width: r.Width, vars: r.Vars, backend: b.String()})
+			}
+			if !errors.Is(err, inference.ErrTooWide) {
+				return confidence{err: err}
+			}
+			fail(b, start, err)
+		case planner.BackendSample:
+			// Every ranking puts at least one exact backend first, so
+			// reaching the sampling slot means lastErr is a tractability
+			// error — the one NoFallback surfaces.
+			if opts.NoFallback {
+				return confidence{err: lastErr}
+			}
+			rng := answerRNG(opts, lin)
+			if expanded != nil {
+				p, err := lineage.KarpLubyCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.klSamples(len(expanded.Clauses)), rng)
+				if err != nil {
+					return confidence{err: err}
+				}
+				opts.PlannerSink.Record("karp-luby", true, time.Since(start))
+				return confidence{p: p, approx: true, backend: "karp-luby", fallbacks: fallbacks, predictMiss: true,
+					reason: fmt.Sprintf("exact backends exhausted (%s); Karp–Luby sampling on the expanded lineage", strings.Join(fallbacks, ", "))}
+			}
+			p, err := inference.MonteCarloCtx(ec, net, lin, opts.samples(), rng)
+			if err != nil {
+				return confidence{err: err}
+			}
+			opts.PlannerSink.Record("forward-sampling", true, time.Since(start))
+			return confidence{p: p, approx: true, backend: "forward-sampling", fallbacks: fallbacks, predictMiss: true,
+				reason: fmt.Sprintf("exact backends exhausted (%s); forward sampling on the network", strings.Join(fallbacks, ", "))}
+		}
+	}
+	return confidence{err: lastErr}
 }
 
 type finalTuple struct {

@@ -1,0 +1,87 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/planner"
+)
+
+// These tests pin the adaptive backend dispatch itself: which backend the
+// cost model routes an answer to, and how fallthrough attempts surface in
+// the per-query stats and the observability sink.
+
+// TestAdaptiveRoutesJTree drives an answer down the junction-tree route: with
+// expansion disabled the profile has no DNF, the evaluation is Boolean (a
+// single answer, so no cross-answer memo), and the ancestor network is
+// narrow — exactly the profile for which the model ranks the one-sweep
+// junction tree ahead of conditioned variable elimination.
+func TestAdaptiveRoutesJTree(t *testing.T) {
+	db, q, plan := hardDB(t, 3)
+	exact, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Evaluate(db, q, plan, engine.Options{
+		Strategy:    core.PartialLineage,
+		NoExpansion: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.BackendChoices["jtree"]; got != 1 {
+		t.Errorf("BackendChoices[jtree] = %d, want 1 (choices: %v)", got, res.Stats.BackendChoices)
+	}
+	if res.Stats.BackendPredictionMisses != 0 {
+		t.Errorf("prediction misses = %d on a first-choice win", res.Stats.BackendPredictionMisses)
+	}
+	if math.Abs(res.BoolProb()-exact.BoolProb()) > 1e-9 {
+		t.Errorf("jtree route: %g vs exact %g", res.BoolProb(), exact.BoolProb())
+	}
+}
+
+// TestAdaptiveFallbackStats exhausts the first-ranked backend and checks the
+// fallthrough bookkeeping: a small expanded DNF ranks Shannon first, an
+// ExactBudget of 1 makes it fail deterministically, and conditioned VE picks
+// the answer up. The miss must be visible in the result stats and in the
+// planner sink, and must not change the answer.
+func TestAdaptiveFallbackStats(t *testing.T) {
+	db, q, plan := hardDB(t, 4)
+	exact, err := engine.Evaluate(db, q, plan, engine.Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := planner.NewSink()
+	res, err := engine.Evaluate(db, q, plan, engine.Options{
+		Strategy:    core.PartialLineage,
+		ExactBudget: 1,
+		PlannerSink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Stats.BackendChoices["ve"]; got != 1 {
+		t.Errorf("BackendChoices[ve] = %d, want 1 (choices: %v)", got, res.Stats.BackendChoices)
+	}
+	if got := res.Stats.BackendFallbacks["expand+shannon"]; got != 1 {
+		t.Errorf("BackendFallbacks[expand+shannon] = %d, want 1 (fallbacks: %v)", got, res.Stats.BackendFallbacks)
+	}
+	if res.Stats.BackendPredictionMisses != 1 {
+		t.Errorf("prediction misses = %d, want 1", res.Stats.BackendPredictionMisses)
+	}
+	snap := sink.Snapshot()
+	if st := snap["expand+shannon"]; st.Fallbacks != 1 || st.Wins != 0 {
+		t.Errorf("sink[expand+shannon] = %+v, want 1 fallback, 0 wins", st)
+	}
+	if st := snap["ve"]; st.Wins != 1 {
+		t.Errorf("sink[ve] = %+v, want 1 win", st)
+	}
+	if res.Stats.Approximate {
+		t.Error("VE rescue flagged approximate")
+	}
+	if math.Abs(res.BoolProb()-exact.BoolProb()) > 1e-9 {
+		t.Errorf("fallback route: %g vs exact %g", res.BoolProb(), exact.BoolProb())
+	}
+}

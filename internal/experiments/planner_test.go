@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestPlannerPerfSmoke guards the committed BENCH_planner.json: it re-runs
+// the planner benchmark at the small scale and fails when a measured speedup
+// drops below half of the committed improvement. Points committed below 1.5x
+// are not gated (the fd-good-order point deliberately measures planning
+// overhead and sits below 1), but the planner's qualitative win — fewer
+// offending tuples than the legacy plan on every workload — is always
+// checked. Skips when the artifact is absent.
+func TestPlannerPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke is not a -short test")
+	}
+	data, err := os.ReadFile("../../BENCH_planner.json")
+	if os.IsNotExist(err) {
+		t.Skip("BENCH_planner.json not committed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed PlannerReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatalf("parsing committed BENCH_planner.json: %v", err)
+	}
+
+	got, err := PlannerBench(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PlannerPoint{}
+	for _, pt := range got.Workloads {
+		byName[pt.Query] = pt
+	}
+
+	for _, want := range committed.Workloads {
+		if want.Err != "" {
+			continue
+		}
+		pt, ok := byName[want.Query]
+		if !ok || pt.Err != "" {
+			t.Errorf("planner %s: missing or failed in rerun (%+v)", want.Query, pt)
+			continue
+		}
+		// Offending counts are deterministic properties of the chosen plans;
+		// the adaptive plan must never condition more than the legacy one.
+		if pt.AdaptiveOffending > pt.LegacyOffending {
+			t.Errorf("planner %s: adaptive plan conditions %d tuples, legacy %d — the planner made the query worse",
+				want.Query, pt.AdaptiveOffending, pt.LegacyOffending)
+		}
+		if want.Speedup < 1.5 {
+			continue
+		}
+		if floor := want.Speedup / 2; pt.Speedup < floor {
+			t.Errorf("planner %s: speedup %.2fx regressed below %.2fx (committed %.2fx)",
+				want.Query, pt.Speedup, floor, want.Speedup)
+		}
+	}
+}

@@ -189,11 +189,7 @@ func (s *recSolver) solveComponentBody(factors []*factor, target int) (measure, 
 		return measure{m: [2]float64{constant}, scalar: true}, nil
 	}
 	g, vars := interactionGraph(live)
-	heuristic := s.opts.Heuristic
-	if len(vars) > 400 && heuristic == treewidth.MinFill {
-		heuristic = treewidth.MinDegree
-	}
-	order, width := treewidth.Order(g, heuristic)
+	order, width := treewidth.Order(g, s.opts.elimHeuristic(len(vars)))
 	limit := s.opts.maxFactorVars()
 	threshold := condWidth
 	if threshold > limit {

@@ -1,0 +1,30 @@
+package inference
+
+import (
+	"repro/internal/aonet"
+	"repro/internal/treewidth"
+)
+
+// WidthEstimate predicts the elimination width of an exact query on target
+// without performing any elimination: it builds the same ancestor-pruned,
+// decomposed factor set as Exact/ExactJT, forms the interaction graph, and
+// runs the greedy ordering heuristic. The returned width is the ordering's
+// induced width (an upper bound on the treewidth of the moralized decomposed
+// ancestor graph); vars is the number of variables the elimination would run
+// over. The cost is one greedy ordering — no factor tables are materialized —
+// so the planner can afford it per answer before committing to a backend.
+//
+// The estimate is exactly the width Exact would start from, but recursive
+// conditioning can finish below it (cutset splits shrink scopes) and the
+// elimination itself can exceed it only transiently; treat it as a ranking
+// signal, not a guarantee.
+func WidthEstimate(n *aonet.Network, target aonet.NodeID, opts Options) (width, vars int, err error) {
+	b := builder{net: n, opts: opts}
+	factors, _, err := b.build(target)
+	if err != nil {
+		return 0, 0, err
+	}
+	g, gvars := interactionGraph(factors)
+	_, w := treewidth.Order(g, opts.elimHeuristic(len(gvars)))
+	return w, b.nextVar, nil
+}

@@ -16,6 +16,21 @@ import (
 // fall back to approximate inference.
 var ErrTooWide = errors.New("inference: elimination width exceeds limit; use approximate inference")
 
+// DefaultMaxFactorVars is the default cap on the scope of any intermediate
+// elimination factor. A factor over k variables stores 2^k float64s, so 22
+// bounds a single factor at 32 MiB. Exported so the planner's cost model can
+// reason about the same tractability frontier the solvers enforce.
+const DefaultMaxFactorVars = 22
+
+// MinFillVarCutoff is the interaction-graph size above which the min-fill
+// elimination heuristic is downgraded to min-degree. Min-fill is O(n·d²) per
+// eliminated vertex and dominates solve time on very large sparse components,
+// while min-degree stays near-linear and gives comparable widths there. The
+// same cutoff governs recursive conditioning, the junction-tree backend, and
+// the planner's width estimator, so all three predict and pay the same
+// ordering cost. Override per call with Options.MinFillCutoff.
+const MinFillVarCutoff = 400
+
 // Options configures exact inference.
 type Options struct {
 	// MaxFactorVars caps the scope of any intermediate factor. A factor over
@@ -25,6 +40,10 @@ type Options struct {
 	// Heuristic selects the elimination ordering heuristic
 	// (default min-fill).
 	Heuristic treewidth.Heuristic
+	// MinFillCutoff is the interaction-graph size above which a requested
+	// min-fill ordering is downgraded to min-degree (see MinFillVarCutoff,
+	// the default when zero). Negative disables the downgrade.
+	MinFillCutoff int
 	// NoAncestorPrune disables restricting inference to the ancestors of the
 	// queried node. Pruning is always sound (descendants and unrelated nodes
 	// marginalize to 1); the flag exists for the ablation benchmark.
@@ -46,9 +65,22 @@ type Options struct {
 
 func (o Options) maxFactorVars() int {
 	if o.MaxFactorVars <= 0 {
-		return 22
+		return DefaultMaxFactorVars
 	}
 	return o.MaxFactorVars
+}
+
+// elimHeuristic resolves the elimination heuristic for a component of nvars
+// variables, applying the min-fill size cutoff.
+func (o Options) elimHeuristic(nvars int) treewidth.Heuristic {
+	cutoff := o.MinFillCutoff
+	if cutoff == 0 {
+		cutoff = MinFillVarCutoff
+	}
+	if cutoff > 0 && nvars > cutoff && o.Heuristic == treewidth.MinFill {
+		return treewidth.MinDegree
+	}
+	return o.Heuristic
 }
 
 // Result carries the marginal and the work statistics of one exact query.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/aonet"
+	"repro/internal/core"
 	"repro/internal/treewidth"
 )
 
@@ -18,12 +19,19 @@ import (
 // paper-faithful backend and for the inference-backend ablation. Exact's
 // recursive conditioning usually wins beyond small treewidths.
 func ExactJT(n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) {
+	return ExactJTCtx(nil, n, target, opts)
+}
+
+// ExactJTCtx is ExactJT under an ExecContext: cancellation is polled at every
+// bag of the upward pass, so a deadline or budget abort cuts the sweep short
+// instead of running it to completion. A nil ExecContext never cancels.
+func ExactJTCtx(ec *core.ExecContext, n *aonet.Network, target aonet.NodeID, opts Options) (Result, error) {
 	b := builder{net: n, opts: opts}
 	factors, targetVar, err := b.build(target)
 	if err != nil {
 		return Result{}, err
 	}
-	p, width, err := junctionTree(factors, targetVar, opts)
+	p, width, err := junctionTree(ec, factors, targetVar, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -31,7 +39,7 @@ func ExactJT(n *aonet.Network, target aonet.NodeID, opts Options) (Result, error
 }
 
 // junctionTree runs one upward message-passing sweep.
-func junctionTree(factors []*factor, target int, opts Options) (float64, int, error) {
+func junctionTree(ec *core.ExecContext, factors []*factor, target int, opts Options) (float64, int, error) {
 	g, vars := interactionGraph(factors)
 	idx := make(map[int]int, len(vars))
 	for i, v := range vars {
@@ -41,11 +49,7 @@ func junctionTree(factors []*factor, target int, opts Options) (float64, int, er
 	if !ok {
 		return 0, 0, fmt.Errorf("inference: target variable %d not in any factor", target)
 	}
-	heuristic := opts.Heuristic
-	if len(vars) > 400 && heuristic == treewidth.MinFill {
-		heuristic = treewidth.MinDegree
-	}
-	order, _ := treewidth.Order(g, heuristic)
+	order, _ := treewidth.Order(g, opts.elimHeuristic(len(vars)))
 	// Move the target to the end of the elimination order so its bag is a
 	// root of the decomposition tree and one upward pass suffices.
 	reordered := make([]int, 0, len(order))
@@ -88,6 +92,11 @@ func junctionTree(factors []*factor, target int, opts Options) (float64, int, er
 	var rootTables []*factor
 	width := dec.Width()
 	for i := range dec.Bags {
+		// One bag can multiply tables of up to 2^limit entries, so a per-bag
+		// poll is negligible next to the work it gates.
+		if err := ec.Err(); err != nil {
+			return 0, 0, err
+		}
 		group := append(append([]*factor(nil), assigned[i]...), messages[i]...)
 		elim := vars[reordered[i]]
 		if len(group) == 0 {

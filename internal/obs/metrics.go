@@ -76,6 +76,15 @@ type Registry struct {
 	memoEvictions uint64
 	consHits      uint64
 
+	// Adaptive-planner counters: plan choices by source ("safe", "greedy",
+	// "body"), per-answer inference-backend choices and deterministic
+	// fallthroughs by backend label, and answers whose first-ranked backend
+	// was not the one that succeeded.
+	plannerPlans            map[string]uint64 // by plan source
+	plannerBackendChosen    map[string]uint64 // by backend label
+	plannerBackendFallbacks map[string]uint64 // by backend label
+	plannerPredictionMisses uint64
+
 	// Server-side metrics, fed by internal/server. The gauges track the
 	// admission controller's instantaneous state; the counters and per-route
 	// histograms accumulate over the server's life.
@@ -151,6 +160,25 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 		r.memoMisses += uint64(o.Stats.MemoMisses)
 		r.memoEvictions += uint64(o.Stats.MemoEvictions)
 		r.consHits += uint64(o.Stats.ConsHits)
+		if o.Stats.PlanSource != "" {
+			if r.plannerPlans == nil {
+				r.plannerPlans = make(map[string]uint64)
+			}
+			r.plannerPlans[o.Stats.PlanSource]++
+		}
+		for backend, n := range o.Stats.BackendChoices {
+			if r.plannerBackendChosen == nil {
+				r.plannerBackendChosen = make(map[string]uint64)
+			}
+			r.plannerBackendChosen[backend] += uint64(n)
+		}
+		for backend, n := range o.Stats.BackendFallbacks {
+			if r.plannerBackendFallbacks == nil {
+				r.plannerBackendFallbacks = make(map[string]uint64)
+			}
+			r.plannerBackendFallbacks[backend] += uint64(n)
+		}
+		r.plannerPredictionMisses += uint64(o.Stats.BackendPredictionMisses)
 	}
 	if o.Err != nil {
 		r.errors[strategy]++
@@ -269,30 +297,34 @@ func (r *Registry) snapshot() map[string]any {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m := map[string]any{
-		"queries_total":                copyMap(r.queries),
-		"query_errors_total":           copyMap(r.errors),
-		"answers_total":                copyMap(r.answers),
-		"budget_exhausted_total":       copyMap(r.budgetExhausted),
-		"cancellations_total":          r.cancellations,
-		"offending_tuples_total":       r.offendingTuples,
-		"inference_fallbacks_total":    r.inferenceFallbacks,
-		"rows_charged_total":           r.rowsCharged,
-		"network_nodes_charged_total":  r.nodesCharged,
-		"memo_hits_total":              r.memoHits,
-		"memo_misses_total":            r.memoMisses,
-		"memo_evictions_total":         r.memoEvictions,
-		"cons_hits_total":              r.consHits,
-		"server_in_flight":             r.serverInFlight,
-		"server_queued":                r.serverQueued,
-		"server_requests_total":        copyMap(r.serverRequests),
-		"server_responses_total":       copyMap(r.serverResponses),
-		"server_rejected_total":        copyMap(r.serverRejected),
-		"server_degraded_total":        r.serverDegraded,
-		"server_cache_hits_total":      r.serverCacheHits,
-		"server_cache_misses_total":    r.serverCacheMisses,
-		"server_cache_evictions_total": r.serverCacheEvictions,
-		"server_cache_entries":         r.serverCacheEntries,
-		"server_cache_bytes":           r.serverCacheBytes,
+		"queries_total":                   copyMap(r.queries),
+		"query_errors_total":              copyMap(r.errors),
+		"answers_total":                   copyMap(r.answers),
+		"budget_exhausted_total":          copyMap(r.budgetExhausted),
+		"cancellations_total":             r.cancellations,
+		"offending_tuples_total":          r.offendingTuples,
+		"inference_fallbacks_total":       r.inferenceFallbacks,
+		"rows_charged_total":              r.rowsCharged,
+		"network_nodes_charged_total":     r.nodesCharged,
+		"memo_hits_total":                 r.memoHits,
+		"memo_misses_total":               r.memoMisses,
+		"memo_evictions_total":            r.memoEvictions,
+		"cons_hits_total":                 r.consHits,
+		"planner_plans_total":             copyMap(r.plannerPlans),
+		"planner_backend_chosen_total":    copyMap(r.plannerBackendChosen),
+		"planner_backend_fallbacks_total": copyMap(r.plannerBackendFallbacks),
+		"planner_prediction_misses_total": r.plannerPredictionMisses,
+		"server_in_flight":                r.serverInFlight,
+		"server_queued":                   r.serverQueued,
+		"server_requests_total":           copyMap(r.serverRequests),
+		"server_responses_total":          copyMap(r.serverResponses),
+		"server_rejected_total":           copyMap(r.serverRejected),
+		"server_degraded_total":           r.serverDegraded,
+		"server_cache_hits_total":         r.serverCacheHits,
+		"server_cache_misses_total":       r.serverCacheMisses,
+		"server_cache_evictions_total":    r.serverCacheEvictions,
+		"server_cache_entries":            r.serverCacheEntries,
+		"server_cache_bytes":              r.serverCacheBytes,
 	}
 	return m
 }
@@ -324,6 +356,10 @@ func MetricNames() []string {
 		"pdb_memo_misses_total",
 		"pdb_memo_evictions_total",
 		"pdb_cons_hits_total",
+		"pdb_planner_plans_total",
+		"pdb_planner_backend_chosen_total",
+		"pdb_planner_backend_fallbacks_total",
+		"pdb_planner_prediction_misses_total",
 		"pdb_server_in_flight",
 		"pdb_server_queued",
 		"pdb_server_requests_total",
@@ -393,6 +429,15 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Entries evicted from the shared inference memo tables by their size caps.", r.memoEvictions)
 	promScalar(&b, "pdb_cons_hits_total", "counter",
 		"AddGate calls answered by the AND-OR network's hash-consing table instead of allocating a node.", r.consHits)
+
+	promLabeled(&b, "pdb_planner_plans_total", "counter",
+		"Query-level plan choices by the adaptive planner, by source (safe, greedy, body).", "source", r.plannerPlans)
+	promLabeled(&b, "pdb_planner_backend_chosen_total", "counter",
+		"Answers produced per inference backend.", "backend", r.plannerBackendChosen)
+	promLabeled(&b, "pdb_planner_backend_fallbacks_total", "counter",
+		"Ranked inference attempts that failed deterministically and fell through, by backend.", "backend", r.plannerBackendFallbacks)
+	promScalar(&b, "pdb_planner_prediction_misses_total", "counter",
+		"Answers whose first-ranked inference backend was not the one that succeeded.", r.plannerPredictionMisses)
 
 	promGauge(&b, "pdb_server_in_flight", "Query-server requests currently holding a worker slot.", r.serverInFlight)
 	promGauge(&b, "pdb_server_queued", "Query-server requests currently waiting for a worker slot.", r.serverQueued)

@@ -43,6 +43,11 @@ type Trace struct {
 	LineageVars     int           `json:"lineage_vars,omitempty"`
 	Approximate     bool          `json:"approximate"`
 	FallbackReason  string        `json:"fallback_reason,omitempty"`
+	PlanSource      string        `json:"plan_source,omitempty"`
+	PlanOrder       string        `json:"plan_order,omitempty"`
+	PlanEstOffend   int           `json:"plan_est_offending,omitempty"`
+	PlanCandidates  int           `json:"plan_candidates,omitempty"`
+	PredictionMiss  int           `json:"backend_prediction_misses,omitempty"`
 	RowsCharged     int64         `json:"rows_charged"`
 	NodesCharged    int64         `json:"nodes_charged"`
 	PlanTime        time.Duration `json:"plan_time_ns"`
@@ -72,6 +77,11 @@ func BuildTrace(query string, s core.Stats) *Trace {
 		LineageVars:     s.LineageVars,
 		Approximate:     s.Approximate,
 		FallbackReason:  s.FallbackReason,
+		PlanSource:      s.PlanSource,
+		PlanOrder:       s.PlanOrder,
+		PlanEstOffend:   s.PlanEstOffending,
+		PlanCandidates:  s.PlanCandidates,
+		PredictionMiss:  s.BackendPredictionMisses,
 		RowsCharged:     s.RowsCharged,
 		NodesCharged:    s.NodesCharged,
 		PlanTime:        s.PlanTime,
@@ -122,6 +132,16 @@ func (t *Trace) WriteTree(w io.Writer) error {
 	}
 	fmt.Fprintf(&b, "strategy: %s   answers: %d   offending tuples: %d\n",
 		t.Strategy, t.Answers, t.OffendingTuples)
+	if t.PlanSource != "" {
+		fmt.Fprintf(&b, "plan: %s", t.PlanSource)
+		if t.PlanOrder != "" {
+			fmt.Fprintf(&b, " [%s]", t.PlanOrder)
+		}
+		if t.PlanCandidates > 0 {
+			fmt.Fprintf(&b, " (est offending %d, %d candidates)", t.PlanEstOffend, t.PlanCandidates)
+		}
+		b.WriteByte('\n')
+	}
 	if t.NetworkNodes > 0 || t.NetworkEdges > 0 {
 		fmt.Fprintf(&b, "network: %d nodes, %d edges\n", t.NetworkNodes, t.NetworkEdges)
 	}

@@ -1,0 +1,231 @@
+package planner
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/inference"
+)
+
+// The inference-backend cost model. For every answer the engine builds a
+// Profile (lineage size if expansion succeeded, a lazy treewidth estimate
+// when it matters) and asks Rank for the attempt order over the exact
+// backends; deterministic failures (expansion budget, elimination width)
+// fall through to the next attempt, and sampling ends every ranking. The
+// ranking is a pure function of the profile and the model's constants — see
+// the Sink comment for why observed history deliberately stays out of it.
+
+// Backend identifies an inference backend the engine can route an answer to.
+type Backend int
+
+// The rankable backends.
+const (
+	// BackendShannon is Shannon expansion over the expanded DNF lineage
+	// (engine label "expand+shannon").
+	BackendShannon Backend = iota
+	// BackendVE is variable elimination with recursive cutset conditioning
+	// (engine label "ve").
+	BackendVE
+	// BackendJTree is junction-tree message passing over the decomposed
+	// network (engine label "jtree").
+	BackendJTree
+	// BackendSample is the sampling fallback: Karp–Luby when the lineage
+	// expanded, forward sampling otherwise.
+	BackendSample
+)
+
+// String names the backend with the engine's trace label.
+func (b Backend) String() string {
+	switch b {
+	case BackendShannon:
+		return "expand+shannon"
+	case BackendVE:
+		return "ve"
+	case BackendJTree:
+		return "jtree"
+	default:
+		return "sample"
+	}
+}
+
+// Profile is what the engine knows about one answer before inference.
+type Profile struct {
+	// Expanded reports whether DNF expansion of the partial lineage
+	// succeeded within the expansion budget.
+	Expanded bool
+	// Clauses and Vars size the expanded DNF (valid when Expanded).
+	Clauses, Vars int
+	// HasWidth reports whether Width carries a treewidth estimate.
+	HasWidth bool
+	// Width is the greedy elimination width estimate for the answer's
+	// ancestor network (inference.WidthEstimate).
+	Width int
+	// NetVars is the variable count of the elimination (valid with
+	// HasWidth).
+	NetVars int
+	// SharedMemo reports that the evaluation carries a cross-answer VE
+	// memo table. The conditioned-VE backend reuses component solves
+	// across answers through it; the junction tree has no memoization, so
+	// a narrow width estimate alone does not justify ranking it first.
+	SharedMemo bool
+}
+
+// CostModel holds the thresholds that drive backend ranking. The zero value
+// is NOT usable; use DefaultCostModel.
+type CostModel struct {
+	// ShannonMaxClauses and ShannonMaxVars bound the expanded-DNF size for
+	// which Shannon expansion is ranked first: below them the DNF is small
+	// enough that the memoized Shannon recursion beats building network
+	// factors, and no width estimate is needed at all.
+	ShannonMaxClauses int
+	ShannonMaxVars    int
+	// JTreeMaxWidth is the width estimate at or below which the one-sweep
+	// junction tree is ranked ahead of conditioned variable elimination:
+	// with a narrow decomposition a single upward pass wins, while wider
+	// networks need the conditioning that only the VE backend performs.
+	JTreeMaxWidth int
+	// MaxFactorVars mirrors the solvers' elimination cap
+	// (inference.DefaultMaxFactorVars): a width estimate past it predicts
+	// ErrTooWide, so exact attempts rank after cheaper options.
+	MaxFactorVars int
+}
+
+// DefaultCostModel returns the thresholds the engine uses.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ShannonMaxClauses: 256,
+		ShannonMaxVars:    24,
+		JTreeMaxWidth:     8,
+		MaxFactorVars:     inference.DefaultMaxFactorVars,
+	}
+}
+
+// shannonFirst reports whether the Shannon solver on the expanded lineage
+// leads the ranking: when the DNF stayed small, or whenever a cross-answer
+// memo is active — the memoized Shannon recursion shares subproblems across
+// answers (the shared-core effect), which the elimination backends cannot.
+func (m CostModel) shannonFirst(p Profile) bool {
+	return p.Expanded && (p.SharedMemo || (p.Clauses <= m.ShannonMaxClauses && p.Vars <= m.ShannonMaxVars))
+}
+
+// NeedsWidth reports whether Rank would consult a treewidth estimate for
+// this profile: only when Shannon expansion is not ranked first. The engine
+// uses this to compute the estimate lazily — answers with small expanded
+// lineage (the common case) never pay for a greedy ordering.
+func (m CostModel) NeedsWidth(p Profile) bool {
+	return !m.shannonFirst(p)
+}
+
+// Rank returns the backend attempt order for the profile, most promising
+// first. The last element is always BackendSample. The ranking is a pure
+// function of (p, m).
+func (m CostModel) Rank(p Profile) []Backend {
+	shannonFirst := m.shannonFirst(p)
+	var exact []Backend
+	if !p.SharedMemo && p.HasWidth && p.Width+1 <= m.JTreeMaxWidth && p.Width+1 <= m.MaxFactorVars {
+		// Narrow network: one junction-tree sweep, VE as the safety net for
+		// transient width overshoot during message products. With a shared
+		// memo in play, memoized VE wins instead (see Profile.SharedMemo).
+		exact = []Backend{BackendJTree, BackendVE}
+	} else {
+		// Wide or unknown width: recursive conditioning is the only exact
+		// backend that can finish past the raw decomposition width; a
+		// junction-tree attempt after a VE ErrTooWide cannot succeed.
+		exact = []Backend{BackendVE}
+	}
+	var rank []Backend
+	if shannonFirst {
+		rank = append([]Backend{BackendShannon}, exact...)
+	} else {
+		rank = exact
+		if p.Expanded {
+			rank = append(rank, BackendShannon)
+		}
+	}
+	return append(rank, BackendSample)
+}
+
+// BackendStats is one backend's accumulated attempt history.
+type BackendStats struct {
+	// Attempts counts ranked attempts routed to the backend.
+	Attempts int64
+	// Wins counts attempts that produced the answer.
+	Wins int64
+	// Fallbacks counts deterministic failures that fell through to the next
+	// ranked backend.
+	Fallbacks int64
+	// Nanos is the total wall time spent in the backend's attempts.
+	Nanos int64
+}
+
+// Sink accumulates backend attempt outcomes across queries. It feeds
+// observability only: the pdb_planner_* metrics, EXPLAIN output, and the
+// calibration report in pdbbench.
+//
+// The sink is deliberately NOT an input to Rank. Exact backends agree on
+// every answer's probability but may differ in final-ulp rounding on
+// non-dyadic inputs, so any history-driven re-ranking would make answer
+// bytes depend on what the process evaluated earlier — violating the
+// engine's reproducibility contract (and the result cache's assumption that
+// identical requests produce identical bytes). Keeping the ranking pure
+// makes "the sink never changes results, only speed" true by construction;
+// the regression test in internal/crosscheck pins it.
+type Sink struct {
+	mu sync.Mutex
+	m  map[string]*BackendStats
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{m: make(map[string]*BackendStats)} }
+
+// DefaultSink is the process-wide sink the pdb layer records into.
+var DefaultSink = NewSink()
+
+// Record logs one attempt outcome. A nil sink ignores the call.
+func (s *Sink) Record(backend string, won bool, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*BackendStats)
+	}
+	st := s.m[backend]
+	if st == nil {
+		st = &BackendStats{}
+		s.m[backend] = st
+	}
+	st.Attempts++
+	if won {
+		st.Wins++
+	} else {
+		st.Fallbacks++
+	}
+	st.Nanos += d.Nanoseconds()
+}
+
+// Snapshot copies the accumulated per-backend history. A nil sink returns
+// nil.
+func (s *Sink) Snapshot() map[string]BackendStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BackendStats, len(s.m))
+	for k, v := range s.m {
+		out[k] = *v
+	}
+	return out
+}
+
+// Reset clears the history (for tests and benchmarks).
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string]*BackendStats)
+}

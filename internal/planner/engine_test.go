@@ -1,0 +1,117 @@
+// Black-box tests that validate the estimator against ground truth from the
+// engine. They live in an external test package because engine imports
+// planner: a white-box test file could not import engine back.
+package planner_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/internal/workload"
+)
+
+func asymmetricDB(t testing.TB) *relation.Database {
+	t.Helper()
+	db := relation.NewDatabase()
+	a := relation.New("A", "x")
+	b := relation.New("B", "x", "y")
+	c := relation.New("C", "y")
+	for x := 1; x <= 12; x++ {
+		a.MustAdd(tuple.Ints(int64(x)), 0.5)
+		b.MustAdd(tuple.Ints(int64(x), int64(x%3)), 0.5)
+	}
+	for y := 0; y < 3; y++ {
+		c.MustAdd(tuple.Ints(int64(y)), 0.5)
+	}
+	db.AddRelation(a)
+	db.AddRelation(b)
+	db.AddRelation(c)
+	return db
+}
+
+// dryRunOffending measures the true offending-tuple count of a plan.
+func dryRunOffending(t *testing.T, db *relation.Database, q *query.Query, plan *query.Plan) int {
+	t.Helper()
+	res, err := engine.Evaluate(db, q, plan, engine.Options{
+		Strategy:      core.PartialLineage,
+		SkipInference: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Stats.OffendingTuples
+}
+
+// TestEstimateAgreesWithDryRun checks the estimator against measured
+// offending counts: a candidate estimated safe must be safe, and the chosen
+// plan must be no worse than any other candidate.
+func TestEstimateAgreesWithDryRun(t *testing.T) {
+	db := asymmetricDB(t)
+	q := query.MustParse("q :- A(x), B(x, y), C(y)")
+	best, all, err := planner.Choose(db, q, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestTrue := dryRunOffending(t, db, q, best.Plan)
+	if bestTrue != 0 {
+		t.Errorf("chosen plan %v has %d true offending tuples, want 0", best.Order, bestTrue)
+	}
+	for _, c := range all {
+		measured := dryRunOffending(t, db, q, c.Plan)
+		if c.EstOffending == 0 && measured != 0 {
+			t.Errorf("order %v estimated safe but measured %d offending", c.Order, measured)
+		}
+		if measured < bestTrue {
+			t.Errorf("order %v measures %d offending, beats chosen plan's %d", c.Order, measured, bestTrue)
+		}
+	}
+	// All candidates compute the same probability.
+	var probs []float64
+	for _, c := range all {
+		res, err := engine.Evaluate(db, q, c.Plan, engine.Options{Strategy: core.PartialLineage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs = append(probs, res.BoolProb())
+	}
+	for _, p := range probs[1:] {
+		if math.Abs(p-probs[0]) > 1e-9 {
+			t.Errorf("candidate plans disagree: %v", probs)
+		}
+	}
+}
+
+func TestChooseOnWorkloadQuery(t *testing.T) {
+	spec, err := workload.SpecByName("P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.Params{N: 6, M: 40, Fanout: 3, RF: 0.2, RD: 1, Seed: 31}
+	db, err := workload.GenerateFor(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := spec.Query()
+	best, all, err := planner.Choose(db, q, planner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 2 {
+		t.Fatalf("expected multiple candidates, got %d", len(all))
+	}
+	// The estimator's pick must be no worse than the paper's default order
+	// when both are measured on the full instance.
+	def, err := query.LeftDeepPlan(q, spec.JoinOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dryRunOffending(t, db, q, best.Plan), dryRunOffending(t, db, q, def); got > want {
+		t.Errorf("optimizer pick %v measures %d offending, default order measures %d", best.Order, got, want)
+	}
+}

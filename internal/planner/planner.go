@@ -1,4 +1,4 @@
-// Package planner implements data-aware plan selection — the paper's open
+// Package planner implements cost-aware plan selection — the paper's open
 // question (i) in Section 8: "how to choose a query plan that minimizes the
 // size ... of the output network".
 //
@@ -6,41 +6,89 @@
 // width of the partial-lineage network, depends heavily on the join order:
 // a join direction along a functional dependency that the instance satisfies
 // is data-safe, while the reverse direction of the same join may condition
-// thousands of tuples. The planner enumerates left-deep join orders whose
-// prefixes stay connected (no cross products), dry-runs the partial-lineage
-// pipeline on each (relational work only, no inference), and ranks the
-// candidates by the exact statistics of the run: offending tuples first,
-// then network size.
+// thousands of tuples. The planner estimates each candidate order's offending
+// count from pattern-visible selectivity alone — concrete constants in the
+// query pattern, shared-variable connectivity, and per-variable distinct
+// counts computed in one pass over the relations — with no statistics tables
+// and no dry-run executions. Candidates are the connected left-deep orders
+// (plus greedy completions when enumeration truncates), ranked by estimated
+// offending tuples first, then estimated intermediate rows.
 //
-// Dry-running every order is exact but costs one relational execution per
-// candidate; Options.MaxOrders bounds the search and Options.SampleGroups
-// restricts the costing runs to a sample of answer groups when the query has
-// head variables.
+// The same package hosts the inference-backend cost model (see backend.go):
+// the engine asks Rank for a per-answer attempt order over the exact and
+// sampling backends, driven by the answer's lineage profile and treewidth
+// estimate. Plan selection and backend ranking together form the Plan IR
+// (type IR) that a single evaluation commits to up front.
 package planner
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/query"
 	"repro/internal/relation"
-	"repro/internal/tuple"
 )
+
+// Source labels how an IR's physical plan was chosen.
+const (
+	// SourceSafe marks a safe plan from the hierarchy dichotomy: structurally
+	// zero offending tuples, no ordering search needed.
+	SourceSafe = "safe"
+	// SourceGreedy marks a plan picked by the selectivity estimator among the
+	// connected left-deep orders.
+	SourceGreedy = "greedy"
+	// SourceBody marks the static fallback: atoms joined in body order
+	// (the legacy behavior, kept for the -no-adaptive-plan ablation).
+	SourceBody = "body"
+)
+
+// IR is the plan intermediate representation an evaluation commits to once,
+// up front: the physical plan, how it was chosen, and the estimator's cost
+// figures for the chosen order. The engine threads the IR through execution
+// so traces, EXPLAIN and metrics can report the planning decision.
+type IR struct {
+	// Source is SourceSafe, SourceGreedy or SourceBody.
+	Source string
+	// Order is the join order behind Physical (nil for safe plans, whose
+	// shape is dictated by the hierarchy rather than an order).
+	Order []string
+	// Physical is the plan the engine executes.
+	Physical *query.Plan
+	// EstOffending is the estimator's offending-tuple count for Order
+	// (0 for safe plans, which are structurally offending-free).
+	EstOffending int
+	// EstRows is the estimated total intermediate row count, the tie-break
+	// cost proxy.
+	EstRows float64
+	// Candidates is the number of orders the estimator scored (0 when no
+	// search ran).
+	Candidates int
+	// SelectTime is the wall time spent choosing the plan.
+	SelectTime time.Duration
+}
+
+// Describe renders the IR for traces and EXPLAIN.
+func (ir *IR) Describe() string {
+	if ir == nil {
+		return ""
+	}
+	s := ir.Source
+	if len(ir.Order) > 0 {
+		s += " " + strings.Join(ir.Order, ",")
+	}
+	if ir.Source == SourceGreedy {
+		s += fmt.Sprintf(" (est offending=%d, candidates=%d)", ir.EstOffending, ir.Candidates)
+	}
+	return s
+}
 
 // Options bounds the search.
 type Options struct {
-	// MaxOrders caps the number of candidate join orders costed
+	// MaxOrders caps the number of candidate join orders scored
 	// (0 = default 64). Orders are enumerated deterministically.
 	MaxOrders int
-	// SampleGroups, when positive and the query has head variables,
-	// restricts costing to the answer groups whose first head attribute
-	// falls in the SampleGroups smallest values present — a cheap stand-in
-	// for sampling since group structure is homogeneous in the paper's
-	// workloads. Zero costs the full instance.
-	SampleGroups int
 }
 
 func (o Options) maxOrders() int {
@@ -50,36 +98,96 @@ func (o Options) maxOrders() int {
 	return o.MaxOrders
 }
 
-// Candidate is one costed join order.
+// Candidate is one scored join order.
 type Candidate struct {
-	Order     []string
-	Plan      *query.Plan
-	Offending int
-	Nodes     int
-	Edges     int
+	Order []string
+	Plan  *query.Plan
+	// EstOffending is the estimated number of offending tuples the order
+	// produces (rounded); the primary ranking key.
+	EstOffending int
+	// EstRows is the estimated total intermediate row count; the tie-break.
+	EstRows float64
 }
 
 // String renders the candidate for reports.
 func (c Candidate) String() string {
-	return fmt.Sprintf("%s: offending=%d network=%d nodes/%d edges",
-		strings.Join(c.Order, ","), c.Offending, c.Nodes, c.Edges)
+	return fmt.Sprintf("%s: est offending=%d, est rows=%.0f",
+		strings.Join(c.Order, ","), c.EstOffending, c.EstRows)
 }
 
-// Choose costs the candidate left-deep orders of q against db and returns
+// Plan chooses the IR for q on db: the safe plan when the query is
+// hierarchical (structurally zero offending tuples — no order can beat it),
+// otherwise the connected left-deep order with the smallest estimated
+// offending-tuple count.
+func Plan(db *relation.Database, q *query.Query, opts Options) (*IR, error) {
+	start := time.Now()
+	if sp, err := query.SafePlan(q); err == nil {
+		return &IR{Source: SourceSafe, Physical: sp, SelectTime: time.Since(start)}, nil
+	}
+	best, all, err := Choose(db, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &IR{
+		Source:       SourceGreedy,
+		Order:        best.Order,
+		Physical:     best.Plan,
+		EstOffending: best.EstOffending,
+		EstRows:      best.EstRows,
+		Candidates:   len(all),
+		SelectTime:   time.Since(start),
+	}, nil
+}
+
+// BodyIR is the static fallback IR: atoms joined in body order, no search.
+// It exists so the ablation path reports through the same IR plumbing.
+func BodyIR(q *query.Query) (*IR, error) {
+	start := time.Now()
+	order := make([]string, len(q.Atoms))
+	for i := range q.Atoms {
+		order[i] = q.Atoms[i].Pred
+	}
+	plan, err := query.LeftDeepPlan(q, order)
+	if err != nil {
+		return nil, err
+	}
+	return &IR{Source: SourceBody, Order: order, Physical: plan, SelectTime: time.Since(start)}, nil
+}
+
+// Choose scores the candidate left-deep orders of q against db and returns
 // the best candidate plus the full ranking (best first). The best candidate
-// minimizes offending tuples, breaking ties by network node count, then
-// edge count, then lexicographic order (for determinism).
+// minimizes estimated offending tuples, breaking ties by estimated
+// intermediate rows, then lexicographic order (for determinism). Candidates
+// are the connected orders up to Options.MaxOrders plus, when enumeration
+// truncates, the greedy completion from every start atom — so very wide
+// queries still consider an order built step-by-step by the estimator.
 func Choose(db *relation.Database, q *query.Query, opts Options) (*Candidate, []Candidate, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
-	orders := connectedOrders(q, opts.maxOrders())
-	if len(orders) == 0 {
-		return nil, nil, fmt.Errorf("planner: no connected join order for %s", q.Name)
-	}
-	costDB, err := sampleDatabase(db, q, opts.SampleGroups)
+	est, err := newEstimator(db, q)
 	if err != nil {
 		return nil, nil, err
+	}
+	limit := opts.maxOrders()
+	orders := connectedOrders(q, limit)
+	if len(orders) == 0 {
+		return nil, nil, fmt.Errorf("planner: no join order for %s", q.Name)
+	}
+	if len(orders) >= limit {
+		// Enumeration truncated: add the greedy completions so at least one
+		// estimator-guided order is always in the pool.
+		seen := make(map[string]bool, len(orders))
+		for _, o := range orders {
+			seen[strings.Join(o, ",")] = true
+		}
+		for start := range q.Atoms {
+			g := est.greedyOrder(start)
+			if g != nil && !seen[strings.Join(g, ",")] {
+				seen[strings.Join(g, ",")] = true
+				orders = append(orders, g)
+			}
+		}
 	}
 	cands := make([]Candidate, 0, len(orders))
 	for _, order := range orders {
@@ -87,31 +195,21 @@ func Choose(db *relation.Database, q *query.Query, opts Options) (*Candidate, []
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := engine.Evaluate(costDB, q, plan, engine.Options{
-			Strategy:      core.PartialLineage,
-			SkipInference: true,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
+		off, rows := est.estimateOrder(order)
 		cands = append(cands, Candidate{
-			Order:     order,
-			Plan:      plan,
-			Offending: res.Stats.OffendingTuples,
-			Nodes:     res.Stats.NetworkNodes,
-			Edges:     res.Stats.NetworkEdges,
+			Order:        order,
+			Plan:         plan,
+			EstOffending: off,
+			EstRows:      rows,
 		})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
-		if a.Offending != b.Offending {
-			return a.Offending < b.Offending
+		if a.EstOffending != b.EstOffending {
+			return a.EstOffending < b.EstOffending
 		}
-		if a.Nodes != b.Nodes {
-			return a.Nodes < b.Nodes
-		}
-		if a.Edges != b.Edges {
-			return a.Edges < b.Edges
+		if a.EstRows != b.EstRows {
+			return a.EstRows < b.EstRows
 		}
 		return strings.Join(a.Order, ",") < strings.Join(b.Order, ",")
 	})
@@ -123,6 +221,13 @@ func Choose(db *relation.Database, q *query.Query, opts Options) (*Candidate, []
 // a variable with the next atom (no cross products), up to limit orders.
 // When the query is variable-disconnected, orders fall back to unrestricted
 // permutations.
+//
+// The enumeration order is deterministic and part of the package contract
+// (covered by a golden test): depth-first over atom indexes in ascending body
+// position, so for q :- A(..), B(..), C(..) the first emitted order starts
+// with A whenever A can start a connected order. Plan choice is therefore
+// reproducible run-to-run at any parallelism — ties in the ranking resolve
+// identically because the candidate list itself never reorders.
 func connectedOrders(q *query.Query, limit int) [][]string {
 	n := len(q.Atoms)
 	varsOf := make([]map[string]bool, n)
@@ -182,68 +287,4 @@ func connectedOrders(q *query.Query, limit int) [][]string {
 		rec(false)
 	}
 	return out
-}
-
-// sampleDatabase restricts every relation to the rows whose first-head-
-// attribute value is among the k smallest head values, to cost plans on a
-// sample of answer groups. It returns db unchanged when k <= 0 or the query
-// is Boolean or the head attribute cannot be located positionally.
-func sampleDatabase(db *relation.Database, q *query.Query, k int) (*relation.Database, error) {
-	if k <= 0 || len(q.Head) == 0 {
-		return db, nil
-	}
-	head := q.Head[0]
-	// Find, per predicate, the position of the head variable.
-	headPos := make(map[string]int)
-	for i := range q.Atoms {
-		a := &q.Atoms[i]
-		for j, t := range a.Args {
-			if t.IsVar() && t.Var == head {
-				headPos[a.Pred] = j
-				break
-			}
-		}
-	}
-	if len(headPos) != len(q.Atoms) {
-		return db, nil // head variable not in every atom: sample unsound
-	}
-	// Collect the k smallest distinct head values from the first atom.
-	first, err := db.Relation(q.Atoms[0].Pred)
-	if err != nil {
-		return nil, err
-	}
-	pos := headPos[q.Atoms[0].Pred]
-	distinct := make(map[string]tuple.Value)
-	for _, row := range first.Rows {
-		distinct[row.Tuple[pos].String()] = row.Tuple[pos]
-	}
-	values := make([]tuple.Value, 0, len(distinct))
-	for _, v := range distinct {
-		values = append(values, v)
-	}
-	sort.Slice(values, func(i, j int) bool { return values[i].Compare(values[j]) < 0 })
-	if k < len(values) {
-		values = values[:k]
-	}
-	keep := make(map[tuple.Value]bool, len(values))
-	for _, v := range values {
-		keep[v] = true
-	}
-	out := relation.NewDatabase()
-	for i := range q.Atoms {
-		pred := q.Atoms[i].Pred
-		rel, err := db.Relation(pred)
-		if err != nil {
-			return nil, err
-		}
-		sampled := relation.New(rel.Name, rel.Attrs...)
-		p := headPos[pred]
-		for _, row := range rel.Rows {
-			if keep[row.Tuple[p]] {
-				sampled.Rows = append(sampled.Rows, row)
-			}
-		}
-		out.AddRelation(sampled)
-	}
-	return out, nil
 }

@@ -70,9 +70,12 @@ func newResultCache(maxEntries int, metrics *obs.Registry) *resultCache {
 // and re-rendered) query plus every option that changes the answer bytes.
 // Parallelism is deliberately excluded — results are byte-identical at any
 // worker count — so differently-parallel clients share entries.
+// NoAdaptivePlan is included: exact answers agree between the two planning
+// modes only up to final-ulp rounding, and the response also carries
+// mode-dependent statistics (offending tuples, plan/inference split).
 func cacheKey(q *pdb.Query, strategy pdb.Strategy, req *QueryRequest) string {
-	return fmt.Sprintf("%s|%s|%d|%g|%g|%d|%d",
-		q.String(), strategy, req.Samples, req.Epsilon, req.Delta, req.Seed, req.MaxWidth)
+	return fmt.Sprintf("%s|%s|%d|%g|%g|%d|%d|%t",
+		q.String(), strategy, req.Samples, req.Epsilon, req.Delta, req.Seed, req.MaxWidth, req.NoAdaptivePlan)
 }
 
 // versioned prefixes a key with the snapshot version it was computed at.

@@ -268,6 +268,10 @@ type QueryRequest struct {
 	// NoCache bypasses the server's result cache for this request: the
 	// query always evaluates, and the result is not stored.
 	NoCache bool `json:"no_cache,omitempty"`
+	// NoAdaptivePlan disables the cost-aware planner for this request:
+	// safe-plan-else-body-order plans and the fixed legacy inference
+	// backend order. Ablation knob; answers are equivalent either way.
+	NoAdaptivePlan bool `json:"no_adaptive_plan,omitempty"`
 }
 
 // AnswerRow is one answer: head values (rendered as strings) and its
@@ -490,6 +494,8 @@ func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start 
 		MaxWidth:    req.MaxWidth,
 		Parallelism: min(req.Parallelism, s.cfg.MaxParallelism),
 		Trace:       req.Trace,
+
+		NoAdaptivePlan: req.NoAdaptivePlan,
 	}
 	if req.Budget != nil {
 		opts.Budget = pdb.Budget{

@@ -225,14 +225,14 @@ func (s *Shell) exec(line string, w io.Writer) (quit bool, err error) {
 		if s.query == nil {
 			return false, fmt.Errorf("set a query first")
 		}
-		best, ranked, err := s.db.OptimizePlan(s.query, 0)
+		best, ranked, err := s.db.OptimizePlan(s.query)
 		if err != nil {
 			return false, err
 		}
 		s.plan = best.Plan
 		s.planDesc = "optimized order " + strings.Join(best.Order, ",")
-		fmt.Fprintf(w, "ranked %d orders; best %s (offending=%d, network=%d nodes)\n",
-			len(ranked), strings.Join(best.Order, ","), best.Offending, best.Nodes)
+		fmt.Fprintf(w, "ranked %d orders; best %s (est offending=%d, est rows=%.0f)\n",
+			len(ranked), strings.Join(best.Order, ","), best.EstOffending, best.EstRows)
 	case "plan":
 		switch {
 		case s.plan != nil:

@@ -7,8 +7,10 @@ import (
 )
 
 // The canonical unsafe query of the paper's Section 4.1 evaluated with
-// partial lineage: only the single FD-violating tuple is treated
-// symbolically.
+// partial lineage. In body order the single FD-violating tuple is treated
+// symbolically; the cost-aware planner (on by default) instead picks a join
+// order that is data-safe on this instance, conditioning nothing — the
+// probability is identical either way.
 func ExampleDatabase_Evaluate() {
 	db := pdb.NewDatabase()
 	r := db.CreateRelation("R", "x")
@@ -21,10 +23,14 @@ func ExampleDatabase_Evaluate() {
 	t.AddInts(0.3, 2)
 
 	q, _ := pdb.ParseQuery("q :- R(x), S(x, y), T(y)")
-	res, _ := db.Evaluate(q, pdb.Options{Strategy: pdb.PartialLineage})
-	fmt.Printf("Pr(q) = %.4f, offending tuples = %d\n", res.BoolProb(), res.Stats.OffendingTuples)
+	legacy, _ := db.Evaluate(q, pdb.Options{Strategy: pdb.PartialLineage, NoAdaptivePlan: true})
+	fmt.Printf("body order:   Pr(q) = %.4f, offending tuples = %d\n", legacy.BoolProb(), legacy.Stats.OffendingTuples)
+	adaptive, _ := db.Evaluate(q, pdb.Options{Strategy: pdb.PartialLineage})
+	fmt.Printf("planned (%s): Pr(q) = %.4f, offending tuples = %d\n",
+		adaptive.Stats.PlanOrder, adaptive.BoolProb(), adaptive.Stats.OffendingTuples)
 	// Output:
-	// Pr(q) = 0.2712, offending tuples = 1
+	// body order:   Pr(q) = 0.2712, offending tuples = 1
+	// planned (S,T,R): Pr(q) = 0.2712, offending tuples = 0
 }
 
 // Safe queries are recognized by the dichotomy and evaluated purely

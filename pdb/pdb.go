@@ -147,6 +147,11 @@ type Options struct {
 	// NoPool disables sync.Pool scratch reuse in the hash-join/dedup
 	// operators (for the allocation ablation; outputs are byte-identical).
 	NoPool bool
+	// NoAdaptivePlan disables the cost-aware planner: plan choice reverts
+	// to safe-plan-else-body-order and per-answer inference uses the fixed
+	// legacy backend order. Ablation knob; answers are equivalent either
+	// way (see docs/PLANNER.md).
+	NoAdaptivePlan bool
 }
 
 // Evidence is one observation: the named base tuple (full arity values) is
@@ -173,6 +178,12 @@ func (o Options) engineOptions() engine.Options {
 		NoIntern:    o.NoIntern,
 		NoCons:      o.NoCons,
 		NoPool:      o.NoPool,
+
+		NoAdaptivePlan: o.NoAdaptivePlan,
+		// The process-wide sink: backend attempt telemetry for metrics and
+		// the pdbbench calibration report. Observability only — never an
+		// input to planning (see planner.Sink).
+		PlannerSink: planner.DefaultSink,
 	}
 	for _, ev := range o.Evidence {
 		out.Evidence = append(out.Evidence, engine.Evidence{
@@ -379,30 +390,35 @@ func LeftDeepPlan(q *Query, order ...string) (*Plan, error) {
 
 // PlanChoice reports one costed join order from OptimizePlan.
 type PlanChoice struct {
-	Order     []string
-	Plan      *Plan
-	Offending int
-	Nodes     int
+	Order []string
+	Plan  *Plan
+	// EstOffending is the estimator's predicted offending-tuple count for
+	// the order; EstRows its predicted total intermediate cardinality
+	// (the ranking's tiebreaker).
+	EstOffending int
+	EstRows      float64
 }
 
 // OptimizePlan performs data-aware plan selection (the paper's Section 8
-// open question): it dry-runs candidate left-deep join orders against this
-// database and returns the plan minimizing offending tuples and network
-// size, plus the full ranking. sampleGroups > 0 restricts costing to that
-// many answer groups for queries with head variables.
-func (d *Database) OptimizePlan(q *Query, sampleGroups int) (*PlanChoice, []PlanChoice, error) {
+// open question): it costs candidate left-deep join orders with the
+// pattern-visible selectivity estimator — concrete constants, shared
+// variables and relation key profiles, no dry-runs — and returns the plan
+// estimated to condition the fewest offending tuples, plus the full
+// ranking. This is the same estimator EvaluateQuery consults by default;
+// see docs/PLANNER.md.
+func (d *Database) OptimizePlan(q *Query) (*PlanChoice, []PlanChoice, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	best, all, err := planner.Choose(d.db, q.q, planner.Options{SampleGroups: sampleGroups})
+	best, all, err := planner.Choose(d.db, q.q, planner.Options{})
 	if err != nil {
 		return nil, nil, err
 	}
 	wrap := func(c planner.Candidate) PlanChoice {
 		return PlanChoice{
-			Order:     c.Order,
-			Plan:      &Plan{p: c.Plan},
-			Offending: c.Offending,
-			Nodes:     c.Nodes,
+			Order:        c.Order,
+			Plan:         &Plan{p: c.Plan},
+			EstOffending: c.EstOffending,
+			EstRows:      c.EstRows,
 		}
 	}
 	ranked := make([]PlanChoice, len(all))

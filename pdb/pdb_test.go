@@ -250,14 +250,14 @@ func TestOptimizePlan(t *testing.T) {
 		}
 	}
 	q := mustQuery(t, "q :- A(x), B(x, y), C(y)")
-	best, ranked, err := db.OptimizePlan(q, 0)
+	best, ranked, err := db.OptimizePlan(q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if best.Offending != 0 {
-		t.Errorf("best order %v has %d offending tuples", best.Order, best.Offending)
+	if best.EstOffending != 0 {
+		t.Errorf("best order %v has %d estimated offending tuples", best.Order, best.EstOffending)
 	}
-	if len(ranked) < 2 || ranked[len(ranked)-1].Offending < best.Offending {
+	if len(ranked) < 2 || ranked[len(ranked)-1].EstOffending < best.EstOffending {
 		t.Errorf("ranking not ordered: %+v", ranked)
 	}
 	res, err := db.EvaluateWithPlan(q, best.Plan, Options{Strategy: SafePlanOnly})
