@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner or all")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental or all")
 		scaleName   = flag.String("scale", "small", "small or paper")
 		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
@@ -32,6 +32,7 @@ func main() {
 		benchOut    = flag.String("bench-out", "BENCH_pipeline.json", "file for the pipeline benchmark artifact")
 		cacheOut    = flag.String("cache-out", "BENCH_cache.json", "file for the cache benchmark artifact")
 		plannerOut  = flag.String("planner-out", "BENCH_planner.json", "file for the planner benchmark artifact")
+		incrOut     = flag.String("incremental-out", "BENCH_incremental.json", "file for the incremental benchmark artifact")
 		withMemo    = flag.Bool("memo", true, "cache experiment: include the memoized-inference comparison")
 		withCache   = flag.Bool("cache", true, "cache experiment: include the server result-cache comparison")
 		metrics     = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
@@ -216,12 +217,45 @@ func main() {
 			}
 			fmt.Println("planner benchmark written to", *plannerOut)
 			fmt.Println()
+		case "incremental":
+			rep, err := experiments.IncrementalBench(sc)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*incrOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteIncrementalJSON(f, rep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Incremental: cache retention under churn, patch vs recompute refresh (scale=%s) ==\n", sc.Name)
+			for _, pt := range rep.Retention {
+				if pt.Err != "" {
+					fmt.Printf("retention %-16s err: %s\n", pt.Workload, pt.Err)
+					continue
+				}
+				fmt.Printf("retention %-16s %4d/%-4d warm hits  ratio %.2f\n", pt.Workload, pt.WarmHits, pt.Requests, pt.HitRatio)
+			}
+			for _, pt := range rep.Refresh {
+				if pt.Err != "" {
+					fmt.Printf("refresh   %-16s err: %s\n", pt.Kind, pt.Err)
+					continue
+				}
+				fmt.Printf("refresh   %-16s %12d ns mean over %d rounds (%d answers)\n", pt.Kind, pt.MeanNs, pt.Rounds, pt.Answers)
+			}
+			fmt.Printf("patch speedup %.2fx\n", rep.PatchSpeedup)
+			fmt.Println("incremental benchmark written to", *incrOut)
+			fmt.Println()
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner"} {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental"} {
 			run(name)
 		}
 		return

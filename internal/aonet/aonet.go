@@ -134,6 +134,28 @@ func (n *Network) LeafP(v NodeID) float64 {
 // modified.
 func (n *Network) Parents(v NodeID) []Edge { return n.parents[v] }
 
+// SetLeafP re-weights leaf v to probability p in place, returning the
+// previous value. It panics if v is not a leaf or p is outside [0,1].
+//
+// Re-weighting is the network half of incremental maintenance under
+// prob-updates: the network's structure (gates, edges, hash-consing
+// identities) encodes only *which* tuples combine, never their
+// probabilities, so changing a base tuple's probability maps to re-weighting
+// its leaf and re-running inference — no rebuild, and the deterministic-gate
+// intern table stays valid because leaves are never consed. Concurrent use
+// requires external synchronization, like every other mutator.
+func (n *Network) SetLeafP(v NodeID, p float64) float64 {
+	if n.labels[v] != Leaf {
+		panic("aonet: SetLeafP on " + n.labels[v].String())
+	}
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		panic(fmt.Sprintf("aonet: leaf probability %v outside [0,1]", p))
+	}
+	old := n.leafP[v]
+	n.leafP[v] = p
+	return old
+}
+
 // AddLeaf appends a new leaf with probability p and returns its ID.
 // Leaves are never hash-consed: each leaf is an independent variable.
 func (n *Network) AddLeaf(p float64) NodeID {

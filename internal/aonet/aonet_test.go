@@ -371,3 +371,59 @@ func TestUndirectedAdjacency(t *testing.T) {
 		t.Errorf("full adjacency = %v %v", ids2, adj2)
 	}
 }
+
+// TestSetLeafP proves the re-weighting contract of incremental maintenance:
+// changing a leaf's probability in place yields bit-identical marginals to
+// rebuilding the whole network with the new probability, and leaves gate
+// structure (including hash-consing identities) untouched.
+func TestSetLeafP(t *testing.T) {
+	build := func(pu float64) (*Network, NodeID) {
+		n := New()
+		u := n.AddLeaf(pu)
+		v := n.AddLeaf(0.8)
+		a := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}})
+		b := n.AddGate(And, []Edge{{From: u, P: 1}, {From: v, P: 1}}) // consed onto a
+		w := n.AddGate(Or, []Edge{{From: a, P: 1}, {From: b, P: 0.5}})
+		return n, w
+	}
+	patched, w := build(0.3)
+	nodesBefore, edgesBefore := patched.Len(), patched.EdgeCount()
+	if old := patched.SetLeafP(NodeID(1), 0.7); old != 0.3 {
+		t.Fatalf("SetLeafP returned old=%v, want 0.3", old)
+	}
+	if err := patched.Validate(); err != nil {
+		t.Fatalf("patched network invalid: %v", err)
+	}
+	if patched.Len() != nodesBefore || patched.EdgeCount() != edgesBefore {
+		t.Error("SetLeafP changed network structure")
+	}
+	rebuilt, w2 := build(0.7)
+	got, err := patched.MarginalBruteForce(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rebuilt.MarginalBruteForce(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("patched marginal %v != rebuilt marginal %v", got, want)
+	}
+
+	// Consing stays live after a re-weight: the intern table keys on
+	// structure, which SetLeafP never touches.
+	hits := patched.ConsHits()
+	u2 := NodeID(1)
+	v2 := NodeID(2)
+	patched.AddGate(And, []Edge{{From: u2, P: 1}, {From: v2, P: 1}})
+	if patched.ConsHits() != hits+1 {
+		t.Error("deterministic gate not consed after SetLeafP")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLeafP on a gate did not panic")
+		}
+	}()
+	patched.SetLeafP(w, 0.5)
+}

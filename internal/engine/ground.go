@@ -20,6 +20,17 @@ type Grounding struct {
 	Attrs   []string
 	Answers []GroundedAnswer
 	Probs   []float64 // probability of each lineage variable
+	// Sources maps each lineage variable back to the base tuple it stands
+	// for: Sources[v] is the relation name and row index whose presence
+	// event variable v encodes. Incremental maintenance uses it to translate
+	// a (relation, row) prob-update into a variable re-weight.
+	Sources []VarSource
+}
+
+// VarSource identifies the base tuple behind one lineage variable.
+type VarSource struct {
+	Rel string
+	Row int
 }
 
 // GroundedAnswer pairs one head binding with its lineage.
@@ -75,7 +86,11 @@ func GroundCtx(ec *core.ExecContext, db *relation.Database, q *query.Query, plan
 	if err := g.recurse(0, make(map[string]tuple.Value), make([]lineage.Var, 0, len(atoms))); err != nil {
 		return nil, err
 	}
-	out := &Grounding{Attrs: q.Head, Answers: g.answers, Probs: g.probs}
+	sources := make([]VarSource, len(g.probs))
+	for k, v := range g.varID {
+		sources[v] = VarSource{Rel: k.pred, Row: k.row}
+	}
+	out := &Grounding{Attrs: q.Head, Answers: g.answers, Probs: g.probs, Sources: sources}
 	return out, nil
 }
 

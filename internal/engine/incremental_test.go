@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+)
+
+// incrTestDB builds a two-relation instance whose join query is unsafe, so
+// the grounded lineage has shared variables across answers.
+func incrTestDB() *relation.Database {
+	db := relation.NewDatabase()
+	r := relation.New("R", "x", "y")
+	r.MustAdd(tuple.Ints(1, 1), 0.5)
+	r.MustAdd(tuple.Ints(1, 2), 0.7)
+	r.MustAdd(tuple.Ints(2, 2), 0.9)
+	s := relation.New("S", "y")
+	s.MustAdd(tuple.Ints(1), 0.4)
+	s.MustAdd(tuple.Ints(2), 0.6)
+	db.AddRelation(r)
+	db.AddRelation(s)
+	return db
+}
+
+func incrPlan(t *testing.T, q *query.Query) *query.Plan {
+	t.Helper()
+	order := make([]string, len(q.Atoms))
+	for i := range q.Atoms {
+		order[i] = q.Atoms[i].Pred
+	}
+	plan, err := query.LeftDeepPlan(q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func mustParse(t *testing.T, text string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestMaterializePatchBitIdentical: a (0,1)->(0,1) prob-update patched into
+// a materialized view gives bit-identical answers to materializing from
+// scratch on the mutated database — for the exact path and for the seeded
+// Karp–Luby path.
+func TestMaterializePatchBitIdentical(t *testing.T) {
+	for _, strategy := range []core.Strategy{core.DNFLineage, core.MonteCarlo} {
+		db := incrTestDB()
+		q := mustParse(t, "q(x) :- R(x, y), S(y)")
+		plan := incrPlan(t, q)
+		opts := Options{Strategy: strategy, Samples: 2000, Seed: 42}
+		m, err := Materialize(db, q, plan, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := db.Relation("R")
+		row, old, err := rel.SetProb(tuple.Ints(1, 2), 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := m.PatchProbs([]ProbPatch{{Rel: "R", Row: row, OldP: old, NewP: 0.25}})
+		if err != nil || !ok {
+			t.Fatalf("PatchProbs: ok=%v err=%v", ok, err)
+		}
+		fresh, err := Materialize(db, q, plan, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := m.Result(), fresh.Result()
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%v: %d vs %d answers", strategy, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			if got.Rows[i].P != want.Rows[i].P {
+				t.Errorf("%v answer %v: patched %v != fresh %v (diff %g)",
+					strategy, got.Rows[i].Vals, got.Rows[i].P, want.Rows[i].P,
+					math.Abs(got.Rows[i].P-want.Rows[i].P))
+			}
+		}
+	}
+}
+
+// TestMaterializePatchRejectsStructural: endpoint-at-boundary updates and
+// stale OldP values are refused without touching the view.
+func TestMaterializePatchRejectsStructural(t *testing.T) {
+	db := incrTestDB()
+	q := mustParse(t, "q(x) :- R(x, y), S(y)")
+	m, err := Materialize(db, q, incrPlan(t, q), Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Result()
+	cases := []ProbPatch{
+		{Rel: "R", Row: 0, OldP: 0.5, NewP: 1},   // crosses to certain
+		{Rel: "R", Row: 0, OldP: 0.5, NewP: 0},   // crosses to impossible
+		{Rel: "R", Row: 0, OldP: 0.9, NewP: 0.4}, // OldP disagrees with view
+	}
+	for _, p := range cases {
+		ok, err := m.PatchProbs([]ProbPatch{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("patch %+v accepted, want structural rejection", p)
+		}
+	}
+	after := m.Result()
+	for i := range before.Rows {
+		if before.Rows[i].P != after.Rows[i].P {
+			t.Error("rejected patches mutated the view")
+		}
+	}
+}
+
+// TestMaterializeRecomputeAfterInsert: structural changes flow through
+// Recompute and match a fresh materialization bit-for-bit.
+func TestMaterializeRecomputeAfterInsert(t *testing.T) {
+	db := incrTestDB()
+	q := mustParse(t, "q(x) :- R(x, y), S(y)")
+	plan := incrPlan(t, q)
+	opts := Options{Strategy: core.DNFLineage}
+	m, err := Materialize(db, q, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := db.Relation("R")
+	rel.MustAdd(tuple.Ints(3, 1), 0.2)
+	if err := m.Recompute(db); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Materialize(db, q, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := m.Result(), fresh.Result()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%d vs %d answers", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if got.Rows[i].P != want.Rows[i].P {
+			t.Errorf("answer %v: recomputed %v != fresh %v", got.Rows[i].Vals, got.Rows[i].P, want.Rows[i].P)
+		}
+	}
+	if m.RecomputedAll != 1 {
+		t.Errorf("RecomputedAll = %d, want 1", m.RecomputedAll)
+	}
+}
+
+// TestMaterializeMatchesEvaluate: the materialized exact result agrees with
+// the engine's DNFLineage evaluation of the same plan.
+func TestMaterializeMatchesEvaluate(t *testing.T) {
+	db := incrTestDB()
+	q := mustParse(t, "q(x) :- R(x, y), S(y)")
+	plan := incrPlan(t, q)
+	m, err := Materialize(db, q, plan, Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(db, q, plan, Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Result()
+	if len(got.Rows) != len(res.Rows) {
+		t.Fatalf("%d vs %d answers", len(got.Rows), len(res.Rows))
+	}
+	for i := range got.Rows {
+		if got.Rows[i].P != res.Rows[i].P {
+			t.Errorf("answer %v: materialized %v != evaluated %v", got.Rows[i].Vals, got.Rows[i].P, res.Rows[i].P)
+		}
+	}
+}

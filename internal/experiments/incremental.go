@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/pdb"
+)
+
+// The incremental benchmark measures the two halves of the write path fix:
+//
+//   - retention: with per-relation cache versioning, a workload that churns
+//     one relation must keep serving warm hits for queries reading only the
+//     others. The full-purge baseline is reproduced by churning the queried
+//     relation itself — under whole-database versioning every write purged
+//     every entry, so the self-churn hit ratio is exactly what all queries
+//     used to get.
+//   - refresh: patching a materialized view in place after a
+//     structure-preserving prob-update, versus the full recompute a
+//     structural write forces, on an instance with many answers of which a
+//     single-tuple write dirties one.
+
+// RetentionPoint is one serving workload: interleaved writes and queries,
+// counting how many query responses were still served from the cache.
+type RetentionPoint struct {
+	// Workload is "unrelated-churn" (writes hit a relation the measured
+	// query does not read) or "self-churn" (writes hit the queried relation;
+	// the full-purge baseline).
+	Workload string  `json:"workload"`
+	Requests int     `json:"requests"`
+	WarmHits int     `json:"warm_hits"`
+	HitRatio float64 `json:"hit_ratio"`
+	Err      string  `json:"error,omitempty"`
+}
+
+// RefreshPoint times materialized-view refresh for one kind of write.
+type RefreshPoint struct {
+	// Kind is "patched" (prob-update inside (0,1)) or "recomputed"
+	// (structural delete+insert pair).
+	Kind    string `json:"kind"`
+	Rounds  int    `json:"rounds"`
+	MeanNs  int64  `json:"mean_ns"`
+	Answers int    `json:"answers"`
+	Err     string `json:"error,omitempty"`
+}
+
+// IncrementalReport is the BENCH_incremental.json artifact.
+type IncrementalReport struct {
+	Retention []RetentionPoint `json:"retention"`
+	Refresh   []RefreshPoint   `json:"refresh"`
+	// PatchSpeedup is recomputed mean over patched mean: how much cheaper a
+	// structure-preserving refresh is than the recompute every write used to
+	// pay.
+	PatchSpeedup float64 `json:"patch_speedup"`
+}
+
+// retentionRounds is the number of write+query rounds per workload;
+// refreshRounds the number of timed refreshes per kind.
+const (
+	retentionRounds = 60
+	refreshRounds   = 30
+)
+
+// IncrementalBench runs both measurements and assembles the report.
+func IncrementalBench(sc Scale) (*IncrementalReport, error) {
+	rep := &IncrementalReport{}
+	for _, self := range []bool{false, true} {
+		pt, err := retentionBench(sc, self)
+		if err != nil {
+			return nil, err
+		}
+		rep.Retention = append(rep.Retention, pt)
+	}
+	patched, recomputed, err := refreshBench()
+	if err != nil {
+		return nil, err
+	}
+	rep.Refresh = []RefreshPoint{patched, recomputed}
+	if patched.MeanNs > 0 && patched.Err == "" && recomputed.Err == "" {
+		rep.PatchSpeedup = float64(recomputed.MeanNs) / float64(patched.MeanNs)
+	}
+	return rep, nil
+}
+
+// retentionDB builds two independent join pairs: the measured query reads
+// B/B2 only, the churned relation is A (or B itself for the baseline).
+func retentionDB() (*pdb.Database, error) {
+	db := pdb.NewDatabase()
+	for _, pair := range []struct{ one, two string }{{"A", "A2"}, {"B", "B2"}} {
+		r := db.CreateRelation(pair.one, "x")
+		r2 := db.CreateRelation(pair.two, "x", "y")
+		for x := int64(1); x <= 12; x++ {
+			if err := r.AddInts(0.5, x); err != nil {
+				return nil, err
+			}
+			for y := int64(1); y <= 4; y++ {
+				if err := r2.AddInts(0.5, x, y); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return db, nil
+}
+
+// retentionBench interleaves one write and one query per round and counts
+// cache-served responses. The measured query always reads B/B2; self
+// selects whether the writes churn B (baseline) or A (unrelated).
+func retentionBench(sc Scale, self bool) (RetentionPoint, error) {
+	pt := RetentionPoint{Workload: "unrelated-churn"}
+	churn := "A"
+	if self {
+		pt.Workload, churn = "self-churn", "B"
+	}
+	db, err := retentionDB()
+	if err != nil {
+		return pt, err
+	}
+	srv, err := server.New(server.Config{DB: db, MaxInFlight: 4, Metrics: &obs.Registry{}})
+	if err != nil {
+		return pt, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, err := json.Marshal(server.QueryRequest{
+		Query:       "q(x) :- B(x), B2(x, y)",
+		Strategy:    core.DNFLineage.String(),
+		Parallelism: sc.Parallelism,
+	})
+	if err != nil {
+		return pt, err
+	}
+	ask := func() (bool, error) {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			return false, fmt.Errorf("experiments: query status %d: %s", resp.StatusCode, b)
+		}
+		var qr server.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			return false, err
+		}
+		return qr.Cached, nil
+	}
+	// Warm the entry; the first evaluation is not part of the measurement.
+	if _, err := ask(); err != nil {
+		return pt, err
+	}
+	rel, err := db.Relation(churn)
+	if err != nil {
+		return pt, err
+	}
+	probs := []float64{0.3, 0.7, 0.4, 0.6}
+	for round := 0; round < retentionRounds; round++ {
+		p := probs[round%len(probs)]
+		if err := rel.SetProb(p, pdb.Int(int64(round%12)+1)); err != nil {
+			return pt, err
+		}
+		hit, err := ask()
+		if err != nil {
+			return pt, err
+		}
+		pt.Requests++
+		if hit {
+			pt.WarmHits++
+		}
+	}
+	if pt.Requests > 0 {
+		pt.HitRatio = float64(pt.WarmHits) / float64(pt.Requests)
+	}
+	return pt, nil
+}
+
+// refreshDB builds the many-answer instance for the refresh timing: a safe
+// join q(x) :- R(x, y), S(y) with refreshAnswers answer groups, so a
+// single-tuple prob-update dirties exactly one of them.
+const refreshAnswers = 300
+
+func refreshDB() (*pdb.Database, error) {
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "x", "y")
+	s := db.CreateRelation("S", "y")
+	for y := int64(1); y <= 4; y++ {
+		if err := s.AddInts(0.5, y); err != nil {
+			return nil, err
+		}
+	}
+	for x := int64(1); x <= refreshAnswers; x++ {
+		for y := int64(1); y <= 4; y++ {
+			if err := r.AddInts(0.5, x, y); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// refreshBench times patched refreshes (prob-update on one R tuple) against
+// recomputed refreshes (delete+reinsert of the same tuple) on one view.
+func refreshBench() (RefreshPoint, RefreshPoint, error) {
+	patched := RefreshPoint{Kind: "patched", Rounds: refreshRounds, Answers: refreshAnswers}
+	recomputed := RefreshPoint{Kind: "recomputed", Rounds: refreshRounds, Answers: refreshAnswers}
+	db, err := refreshDB()
+	if err != nil {
+		return patched, recomputed, err
+	}
+	q, err := pdb.ParseQuery("q(x) :- R(x, y), S(y)")
+	if err != nil {
+		return patched, recomputed, err
+	}
+	view, err := db.Materialize(q, pdb.Options{Strategy: core.DNFLineage})
+	if err != nil {
+		return patched, recomputed, err
+	}
+	rel, err := db.Relation("R")
+	if err != nil {
+		return patched, recomputed, err
+	}
+	refresh := func(want pdb.RefreshKind) (time.Duration, error) {
+		start := time.Now()
+		kind, err := view.Refresh()
+		if err != nil {
+			return 0, err
+		}
+		if kind != want {
+			return 0, fmt.Errorf("experiments: refresh kind %v, want %v", kind, want)
+		}
+		return time.Since(start), nil
+	}
+	var patchTotal, recompTotal time.Duration
+	probs := []float64{0.3, 0.7, 0.4, 0.6}
+	for i := 0; i < refreshRounds; i++ {
+		x := int64(i%refreshAnswers) + 1
+		// Structure-preserving write: patch in place.
+		if err := rel.SetProb(probs[i%len(probs)], pdb.Int(x), pdb.Int(1)); err != nil {
+			return patched, recomputed, err
+		}
+		d, err := refresh(pdb.RefreshPatched)
+		if err != nil {
+			return patched, recomputed, err
+		}
+		patchTotal += d
+		// Structural write: delete and reinsert the same tuple.
+		if err := rel.Delete(pdb.Int(x), pdb.Int(2)); err != nil {
+			return patched, recomputed, err
+		}
+		if err := rel.AddInts(0.5, x, 2); err != nil {
+			return patched, recomputed, err
+		}
+		d, err = refresh(pdb.RefreshRecomputed)
+		if err != nil {
+			return patched, recomputed, err
+		}
+		recompTotal += d
+	}
+	patched.MeanNs = patchTotal.Nanoseconds() / refreshRounds
+	recomputed.MeanNs = recompTotal.Nanoseconds() / refreshRounds
+	return patched, recomputed, nil
+}
+
+// WriteIncrementalJSON renders the benchmark report as indented JSON.
+func WriteIncrementalJSON(w io.Writer, rep *IncrementalReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -148,6 +148,23 @@ func (m *Memo) internKey(key string) string {
 	return key
 }
 
+// Reset drops every memoized value while keeping the interned fingerprint
+// table. Memoized values are pure functions of (key, probability table); when
+// the probability table changes — a prob-update patch replayed through an
+// incremental refresh — the values are stale but the canonical keys are not,
+// so the refresh re-solves through the same interned fingerprints instead of
+// re-allocating them. Counters keep accumulating across resets.
+func (m *Memo) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.table = make(map[string]*memoEntry)
+	m.head, m.tail = nil, nil
+	m.bytes = 0
+}
+
 // MemoStats is a point-in-time snapshot of a Memo's counters.
 type MemoStats struct {
 	Hits, Misses, Evictions, InternHits int64

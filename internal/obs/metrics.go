@@ -85,6 +85,13 @@ type Registry struct {
 	plannerBackendFallbacks map[string]uint64 // by backend label
 	plannerPredictionMisses uint64
 
+	// Incremental-maintenance counters: logged mutation deltas by kind
+	// (insert, delete, prob_update), and materialized-view refreshes split
+	// into prob-update patches vs structural full recomputes.
+	deltas          map[string]uint64 // by kind
+	deltaPatches    uint64
+	deltaRecomputes uint64
+
 	// Server-side metrics, fed by internal/server. The gauges track the
 	// admission controller's instantaneous state; the counters and per-route
 	// histograms accumulate over the server's life.
@@ -103,6 +110,13 @@ type Registry struct {
 	serverCacheEvictions uint64
 	serverCacheEntries   int64 // gauge
 	serverCacheBytes     int64 // gauge
+
+	// Fine-grained invalidation counters: sweeps are write-observations that
+	// scanned the cache for dependents of a mutated relation; entries are the
+	// stale entries those sweeps dropped. A sweep dropping zero entries means
+	// the write touched nothing any cached answer reads.
+	cacheInvalidationSweeps  uint64
+	cacheInvalidationEntries uint64
 }
 
 // Default is the process-wide registry: fed by pdb on every evaluation,
@@ -193,6 +207,39 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 			r.cancellations++
 		}
 	}
+}
+
+// ObserveDelta counts one logged mutation delta of the given kind
+// ("insert", "delete", "prob_update").
+func (r *Registry) ObserveDelta(kind string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.deltas == nil {
+		r.deltas = make(map[string]uint64)
+	}
+	r.deltas[kind]++
+}
+
+// ObserveRefresh counts one materialized-view refresh: patched=true when it
+// re-weighted the existing lineage in place (prob-update deltas only),
+// false when a structural delta forced a full recompute.
+func (r *Registry) ObserveRefresh(patched bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if patched {
+		r.deltaPatches++
+	} else {
+		r.deltaRecomputes++
+	}
+}
+
+// CacheInvalidation counts one fine-grained invalidation sweep that dropped
+// the given number of dependent result-cache entries.
+func (r *Registry) CacheInvalidation(entries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cacheInvalidationSweeps++
+	r.cacheInvalidationEntries += uint64(entries)
 }
 
 // ServerRequest counts one request admitted to the named route.
@@ -314,6 +361,9 @@ func (r *Registry) snapshot() map[string]any {
 		"planner_backend_chosen_total":    copyMap(r.plannerBackendChosen),
 		"planner_backend_fallbacks_total": copyMap(r.plannerBackendFallbacks),
 		"planner_prediction_misses_total": r.plannerPredictionMisses,
+		"deltas_total":                    copyMap(r.deltas),
+		"delta_patched_refreshes_total":   r.deltaPatches,
+		"delta_recompute_refreshes_total": r.deltaRecomputes,
 		"server_in_flight":                r.serverInFlight,
 		"server_queued":                   r.serverQueued,
 		"server_requests_total":           copyMap(r.serverRequests),
@@ -325,6 +375,9 @@ func (r *Registry) snapshot() map[string]any {
 		"server_cache_evictions_total":    r.serverCacheEvictions,
 		"server_cache_entries":            r.serverCacheEntries,
 		"server_cache_bytes":              r.serverCacheBytes,
+
+		"cache_invalidation_sweeps_total":  r.cacheInvalidationSweeps,
+		"cache_invalidation_entries_total": r.cacheInvalidationEntries,
 	}
 	return m
 }
@@ -360,6 +413,9 @@ func MetricNames() []string {
 		"pdb_planner_backend_chosen_total",
 		"pdb_planner_backend_fallbacks_total",
 		"pdb_planner_prediction_misses_total",
+		"pdb_deltas_total",
+		"pdb_delta_patched_refreshes_total",
+		"pdb_delta_recompute_refreshes_total",
 		"pdb_server_in_flight",
 		"pdb_server_queued",
 		"pdb_server_requests_total",
@@ -371,6 +427,8 @@ func MetricNames() []string {
 		"pdb_server_cache_evictions_total",
 		"pdb_server_cache_entries",
 		"pdb_server_cache_bytes",
+		"pdb_cache_invalidation_sweeps_total",
+		"pdb_cache_invalidation_entries_total",
 		"pdb_server_request_duration_seconds",
 	}
 }
@@ -439,6 +497,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	promScalar(&b, "pdb_planner_prediction_misses_total", "counter",
 		"Answers whose first-ranked inference backend was not the one that succeeded.", r.plannerPredictionMisses)
 
+	promLabeled(&b, "pdb_deltas_total", "counter",
+		"Mutation deltas logged by the database, by kind (insert, delete, prob_update).", "kind", r.deltas)
+	promScalar(&b, "pdb_delta_patched_refreshes_total", "counter",
+		"Materialized-view refreshes applied by re-weighting the existing lineage in place (prob-update deltas only).", r.deltaPatches)
+	promScalar(&b, "pdb_delta_recompute_refreshes_total", "counter",
+		"Materialized-view refreshes that fell back to a full recompute (structural deltas or a truncated delta log).", r.deltaRecomputes)
+
 	promGauge(&b, "pdb_server_in_flight", "Query-server requests currently holding a worker slot.", r.serverInFlight)
 	promGauge(&b, "pdb_server_queued", "Query-server requests currently waiting for a worker slot.", r.serverQueued)
 	promLabeled(&b, "pdb_server_requests_total", "counter",
@@ -459,6 +524,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Result-cache entries currently live.", r.serverCacheEntries)
 	promGauge(&b, "pdb_server_cache_bytes",
 		"Estimated bytes held by live result-cache entries.", r.serverCacheBytes)
+	promScalar(&b, "pdb_cache_invalidation_sweeps_total", "counter",
+		"Fine-grained invalidation sweeps: write-observations that scanned the result cache for entries reading a mutated relation.", r.cacheInvalidationSweeps)
+	promScalar(&b, "pdb_cache_invalidation_entries_total", "counter",
+		"Result-cache entries dropped by fine-grained invalidation sweeps (stale against a mutated relation they read).", r.cacheInvalidationEntries)
 
 	promHeader(&b, "pdb_server_request_duration_seconds", "histogram",
 		"Query-server request latency, by route.")

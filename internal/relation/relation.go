@@ -12,12 +12,29 @@
 package relation
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/tuple"
 )
+
+// ErrInvalidProb reports a presence probability outside [0,1] (including
+// NaN). It is the typed cause of every probability rejection in this
+// package — Add and SetProb return it at insert time, ValidateProbs returns
+// it from the engine-boundary backstop — so callers can match it with
+// errors.Is regardless of which layer caught the bad value.
+var ErrInvalidProb = errors.New("probability outside [0,1]")
+
+// ErrNoSuchTuple reports that SetProb or Delete named a tuple the relation
+// does not contain. Matchable with errors.Is.
+var ErrNoSuchTuple = errors.New("no such tuple")
+
+// validProb reports whether p is a usable presence probability.
+func validProb(p float64) bool {
+	return !math.IsNaN(p) && p >= 0 && p <= 1
+}
 
 // Row is one tuple of a probabilistic relation together with its independent
 // presence probability.
@@ -45,11 +62,57 @@ func (r *Relation) Add(t tuple.Tuple, p float64) error {
 	if len(t) != len(r.Attrs) {
 		return fmt.Errorf("relation %s: tuple %v has width %d, schema has %d", r.Name, t, len(t), len(r.Attrs))
 	}
-	if math.IsNaN(p) || p < 0 || p > 1 {
-		return fmt.Errorf("relation %s: tuple %v: probability %v outside [0,1]", r.Name, t, p)
+	if !validProb(p) {
+		return fmt.Errorf("relation %s: tuple %v: probability %v: %w", r.Name, t, p, ErrInvalidProb)
 	}
 	r.Rows = append(r.Rows, Row{Tuple: t, P: p})
 	return nil
+}
+
+// Find returns the index of the first row holding exactly t, or -1. With
+// duplicate tuples (distinct independent events sharing the same values)
+// the first occurrence wins; mutate Rows directly to address a specific
+// duplicate.
+func (r *Relation) Find(t tuple.Tuple) int {
+	for i, row := range r.Rows {
+		if row.Tuple.Equal(t) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetProb updates the presence probability of the first row holding exactly
+// t, returning the row index and the previous probability. It rejects
+// probabilities outside [0,1] with ErrInvalidProb and missing tuples with
+// ErrNoSuchTuple. Row order is untouched, so row indexes observed before the
+// call stay valid — the property delta-based incremental maintenance relies
+// on.
+func (r *Relation) SetProb(t tuple.Tuple, p float64) (row int, old float64, err error) {
+	if !validProb(p) {
+		return -1, 0, fmt.Errorf("relation %s: tuple %v: probability %v: %w", r.Name, t, p, ErrInvalidProb)
+	}
+	i := r.Find(t)
+	if i < 0 {
+		return -1, 0, fmt.Errorf("relation %s: tuple %v: %w", r.Name, t, ErrNoSuchTuple)
+	}
+	old = r.Rows[i].P
+	r.Rows[i].P = p
+	return i, old, nil
+}
+
+// Delete removes the first row holding exactly t, returning its former index
+// and probability, or ErrNoSuchTuple. Later rows shift down one index — a
+// structural change that invalidates any row-index bookkeeping derived from
+// the previous state.
+func (r *Relation) Delete(t tuple.Tuple) (row int, old float64, err error) {
+	i := r.Find(t)
+	if i < 0 {
+		return -1, 0, fmt.Errorf("relation %s: tuple %v: %w", r.Name, t, ErrNoSuchTuple)
+	}
+	old = r.Rows[i].P
+	r.Rows = append(r.Rows[:i], r.Rows[i+1:]...)
+	return i, old, nil
 }
 
 // ValidateProbs checks every row's probability is a number in [0,1],
@@ -60,8 +123,8 @@ func (r *Relation) Add(t tuple.Tuple, p float64) error {
 // descriptive error there instead of a panic deep inside a solver.
 func (r *Relation) ValidateProbs() error {
 	for _, row := range r.Rows {
-		if math.IsNaN(row.P) || row.P < 0 || row.P > 1 {
-			return fmt.Errorf("relation %s: tuple %v: probability %v outside [0,1]", r.Name, row.Tuple, row.P)
+		if !validProb(row.P) {
+			return fmt.Errorf("relation %s: tuple %v: probability %v: %w", r.Name, row.Tuple, row.P, ErrInvalidProb)
 		}
 	}
 	return nil

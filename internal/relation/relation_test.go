@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -232,5 +233,74 @@ func TestSaveLoadDir(t *testing.T) {
 	}
 	if _, err := LoadDir(filepath.Join(dir, "empty")); err == nil {
 		t.Error("empty dir accepted")
+	}
+}
+
+// TestAddRejectsInvalidProbTyped is the insert-time regression for the
+// typed probability error: NaN, -0.1 and 1.5 are all rejected by Add with
+// ErrInvalidProb, not deferred to the engine-boundary ValidateProbs backstop.
+func TestAddRejectsInvalidProbTyped(t *testing.T) {
+	for _, p := range []float64{math.NaN(), -0.1, 1.5} {
+		r := New("R", "a")
+		err := r.Add(tuple.Ints(1), p)
+		if err == nil {
+			t.Fatalf("Add accepted probability %v", p)
+		}
+		if !errors.Is(err, ErrInvalidProb) {
+			t.Errorf("Add(%v) error %v is not ErrInvalidProb", p, err)
+		}
+		if r.Len() != 0 {
+			t.Errorf("Add(%v) rejected the value but stored the row", p)
+		}
+		// The engine-boundary backstop reports the same typed cause for rows
+		// written directly into Rows.
+		r.Rows = append(r.Rows, Row{Tuple: tuple.Ints(1), P: p})
+		if err := r.ValidateProbs(); !errors.Is(err, ErrInvalidProb) {
+			t.Errorf("ValidateProbs(%v) error %v is not ErrInvalidProb", p, err)
+		}
+	}
+}
+
+func TestSetProb(t *testing.T) {
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	r.MustAdd(tuple.Ints(2), 0.7)
+	row, old, err := r.SetProb(tuple.Ints(2), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != 1 || old != 0.7 || r.Rows[1].P != 0.9 {
+		t.Errorf("SetProb: row=%d old=%v new=%v", row, old, r.Rows[1].P)
+	}
+	if _, _, err := r.SetProb(tuple.Ints(3), 0.5); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("SetProb on missing tuple: %v", err)
+	}
+	for _, p := range []float64{math.NaN(), -0.1, 1.5} {
+		if _, _, err := r.SetProb(tuple.Ints(1), p); !errors.Is(err, ErrInvalidProb) {
+			t.Errorf("SetProb(%v): %v, want ErrInvalidProb", p, err)
+		}
+	}
+	if r.Rows[0].P != 0.5 {
+		t.Error("rejected SetProb mutated the row")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := New("R", "a")
+	r.MustAdd(tuple.Ints(1), 0.5)
+	r.MustAdd(tuple.Ints(2), 0.7)
+	r.MustAdd(tuple.Ints(3), 0.9)
+	row, old, err := r.Delete(tuple.Ints(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != 1 || old != 0.7 || r.Len() != 2 {
+		t.Errorf("Delete: row=%d old=%v len=%d", row, old, r.Len())
+	}
+	if r.Rows[1].Tuple[0].AsInt() != 3 {
+		t.Error("Delete did not shift later rows down")
+	}
+	if _, _, err := r.Delete(tuple.Ints(2)); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("Delete on missing tuple: %v", err)
 	}
 }

@@ -3,9 +3,11 @@ package server
 import (
 	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 	"repro/pdb"
@@ -368,5 +370,183 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if snap := promSnapshot(t, reg); !strings.Contains(snap, "pdb_server_cache_evictions_total 2") {
 		t.Errorf("evictions not counted (want 2: one for the cap, one for the refill):\n%s", snap)
+	}
+}
+
+// TestExactFloatKey is the collision regression for the cache key's float
+// rendering: adjacent float64 values must produce distinct keys, and 0 / -0
+// (equal as numbers, identical to the engine) must share one.
+func TestExactFloatKey(t *testing.T) {
+	q, err := pdb.ParseQuery(triangleQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(eps, delta float64) string {
+		return cacheKey(q, pdb.MonteCarlo, &QueryRequest{Samples: 1000, Epsilon: eps, Delta: delta})
+	}
+	if key(0.1, 0.1) == key(math.Nextafter(0.1, 1), 0.1) {
+		t.Error("adjacent Epsilon values collide")
+	}
+	if key(0.1, 0.1) == key(0.1, math.Nextafter(0.1, 1)) {
+		t.Error("adjacent Delta values collide")
+	}
+	if key(0, 0.1) != key(math.Copysign(0, -1), 0.1) {
+		t.Error("0 and -0 Epsilon produce different keys: equal requests split entries")
+	}
+	// The exact renderer must round-trip: distinct bit patterns, distinct strings.
+	vals := []float64{0, 1, 0.1, 0.3, 1e-300, math.Nextafter(0.3, 1), math.MaxFloat64}
+	seen := make(map[string]float64)
+	for _, v := range vals {
+		s := exactFloat(v)
+		if prev, dup := seen[s]; dup {
+			t.Errorf("exactFloat collision: %v and %v both render %q", prev, v, s)
+		}
+		seen[s] = v
+		if got, err := strconv.ParseFloat(s, 64); err != nil || got != v {
+			t.Errorf("exactFloat(%v) = %q does not round-trip (%v, %v)", v, s, got, err)
+		}
+	}
+}
+
+// TestCacheRetainedAcrossUnrelatedMutation pins the tentpole contract: a
+// write to one relation invalidates only the entries whose queries read it.
+// The triangle query reads R,S,T; a second query reads only U. Writes to U
+// leave the triangle entry warm; a write to T drops the triangle entry but
+// leaves the U entry warm.
+func TestCacheRetainedAcrossUnrelatedMutation(t *testing.T) {
+	db := triangleDB(t)
+	u := db.CreateRelation("U", "z")
+	if err := u.AddInts(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := &obs.Registry{}
+	srv, ts := newTestServer(t, Config{DB: db, Metrics: reg})
+
+	triangleReq := QueryRequest{Query: triangleQuery, Strategy: "partial"}
+	uReq := QueryRequest{Query: "q :- U(z)", Strategy: "partial"}
+	post := func(req QueryRequest) *QueryResponse {
+		t.Helper()
+		status, body := postQuery(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d: %s", status, body)
+		}
+		return decodeResponse(t, body)
+	}
+	post(triangleReq)
+	post(uReq)
+	if got := srv.cache.Entries(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+
+	// Write to U: the triangle entry (reads R,S,T) must stay warm.
+	if err := u.AddInts(0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if qr := post(triangleReq); !qr.Cached {
+		t.Error("write to U cold-started the triangle query (reads only R,S,T)")
+	}
+	if qr := post(uReq); qr.Cached {
+		t.Error("write to U served a stale U answer")
+	}
+
+	// Write to T: the triangle entry goes, the U entry stays.
+	tr, err := db.Relation("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddInts(0.5, 77); err != nil {
+		t.Fatal(err)
+	}
+	if qr := post(uReq); !qr.Cached {
+		t.Error("write to T cold-started the U query")
+	}
+	if qr := post(triangleReq); qr.Cached {
+		t.Error("write to T served a stale triangle answer")
+	}
+
+	// The sweeps dropped exactly the stale entries, and the metrics say so.
+	snap := promSnapshot(t, reg)
+	if !strings.Contains(snap, "pdb_cache_invalidation_entries_total 2") {
+		t.Errorf("invalidation entries not counted (want 2: one stale U entry, one stale triangle entry):\n%s", snap)
+	}
+}
+
+// TestCacheConcurrentUnrelatedMutation extends the mutate-while-query
+// staleness audit to the satellite's case: a write to a relation OUTSIDE the
+// query's read set lands while the query is evaluating. The double-checked
+// insert compares the read-set version vector — not the whole-database
+// scalar — so the computed result must still be published and the next
+// identical request served warm.
+func TestCacheConcurrentUnrelatedMutation(t *testing.T) {
+	db := heavyDB(t, 6)
+	u := db.CreateRelation("U", "z")
+	if err := u.AddInts(0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{DB: db, MaxInFlight: 4, MaxQueue: 16})
+
+	// Slow enough (mc sampling) that the writer below lands mid-evaluation.
+	req := QueryRequest{Query: triangleQuery, Strategy: "mc", Samples: 300000, Seed: 7}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		status, body := postQuery(t, ts.URL, req)
+		if status != http.StatusOK {
+			t.Errorf("cold status = %d: %s", status, body)
+		}
+	}()
+	// Keep writing to U (not read by the query) until the evaluation ends.
+	for i := int64(2); ; i++ {
+		select {
+		case <-done:
+		default:
+			if err := u.AddInts(0.5, i); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	status, body := postQuery(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm status = %d: %s", status, body)
+	}
+	if qr := decodeResponse(t, body); !qr.Cached {
+		t.Error("result discarded: concurrent write to an unrelated relation must not fail the double-checked insert")
+	}
+
+	// Control: the same race on a relation the query DOES read must discard.
+	tr, err := db.Relation("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2 := QueryRequest{Query: triangleQuery, Strategy: "mc", Samples: 300000, Seed: 8}
+	done2 := make(chan struct{})
+	go func() {
+		defer close(done2)
+		status, body := postQuery(t, ts.URL, req2)
+		if status != http.StatusOK {
+			t.Errorf("cold status = %d: %s", status, body)
+		}
+	}()
+	for i := int64(200); ; i++ {
+		select {
+		case <-done2:
+		default:
+			if err := tr.AddInts(0.5, i); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	status, body = postQuery(t, ts.URL, req2)
+	if status != http.StatusOK {
+		t.Fatalf("post-race status = %d: %s", status, body)
+	}
+	if qr := decodeResponse(t, body); qr.Cached {
+		t.Error("stale publish: result computed while its read set mutated was served from cache")
 	}
 }

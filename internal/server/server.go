@@ -421,12 +421,15 @@ func (s *Server) evaluate(ctx context.Context, req *QueryRequest, start time.Tim
 			return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest
 		}
 	}
-	// The key embeds the snapshot version observed before evaluating; the
-	// insert below re-checks the version so a result computed while a writer
-	// raced in is never stored.
-	v1 := s.cfg.DB.Version()
-	vkey := versioned(v1, cacheKey(q, strategy, req))
-	if resp, ok := s.cache.get(v1, vkey); ok {
+	// The key embeds the version vector of the relations the query reads,
+	// observed before evaluating; the insert below re-checks the same vector
+	// so a result computed while a writer raced in is never stored. Writes
+	// to relations outside the read set move neither the key nor the check —
+	// they cannot change this answer, so they neither miss nor discard it.
+	rels := q.Relations()
+	v1 := s.cfg.DB.VersionVector(rels...)
+	vkey := versioned(rels, v1, cacheKey(q, strategy, req))
+	if resp, ok := s.cache.get(rels, v1, vkey); ok {
 		return cachedCopy(resp, start), nil, http.StatusOK
 	}
 	f, leader := s.cache.join(vkey)
@@ -449,8 +452,12 @@ func (s *Server) evaluate(ctx context.Context, req *QueryRequest, start time.Tim
 	}
 	resp, errResp, code := s.evaluateUncached(ctx, req, start)
 	var published *QueryResponse
-	if errResp == nil && s.cfg.DB.Version() == v1 {
-		s.cache.put(v1, vkey, resp)
+	// Double-check against the per-relation version *vector*, not the
+	// whole-database scalar: a concurrent write to a relation outside the
+	// read set bumps the scalar but cannot have influenced this result, so
+	// it must not discard it.
+	if errResp == nil && vecEqual(s.cfg.DB.VersionVector(rels...), v1) {
+		s.cache.put(rels, v1, vkey, resp)
 		published = resp
 	}
 	s.cache.finish(vkey, f, published)

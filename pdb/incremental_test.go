@@ -1,0 +1,202 @@
+package pdb
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// incrDB builds a two-relation database for the refresh tests.
+func incrDB(t *testing.T) (*Database, *Relation, *Relation) {
+	t.Helper()
+	db := NewDatabase()
+	r := db.CreateRelation("R", "x", "y")
+	for _, row := range [][3]int64{{1, 1, 0}, {1, 2, 0}, {2, 2, 0}} {
+		if err := r.AddInts(0.5, row[0], row[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.CreateRelation("S", "y")
+	if err := s.AddInts(0.4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInts(0.6, 2); err != nil {
+		t.Fatal(err)
+	}
+	return db, r, s
+}
+
+func TestPerRelationVersions(t *testing.T) {
+	db, r, _ := incrDB(t)
+	vR, vS := db.RelationVersion("R"), db.RelationVersion("S")
+	if vR == 0 || vS == 0 {
+		t.Fatalf("versions not initialized: R=%d S=%d", vR, vS)
+	}
+	if err := r.SetProb(0.9, Int(1), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.RelationVersion("R"); got != vR+1 {
+		t.Errorf("R version = %d, want %d", got, vR+1)
+	}
+	if got := db.RelationVersion("S"); got != vS {
+		t.Errorf("S version moved to %d on a write to R", got)
+	}
+	vec := db.VersionVector("R", "S", "missing")
+	if vec[0] != vR+1 || vec[1] != vS || vec[2] != 0 {
+		t.Errorf("VersionVector = %v", vec)
+	}
+}
+
+func TestFacadeMutationErrors(t *testing.T) {
+	_, r, _ := incrDB(t)
+	if err := r.Add(math.NaN(), Int(9), Int(9)); !errors.Is(err, ErrInvalidProb) {
+		t.Errorf("Add(NaN): %v", err)
+	}
+	if err := r.SetProb(1.5, Int(1), Int(1)); !errors.Is(err, ErrInvalidProb) {
+		t.Errorf("SetProb(1.5): %v", err)
+	}
+	if err := r.SetProb(0.5, Int(42), Int(42)); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("SetProb(missing): %v", err)
+	}
+	if err := r.Delete(Int(42), Int(42)); !errors.Is(err, ErrNoSuchTuple) {
+		t.Errorf("Delete(missing): %v", err)
+	}
+}
+
+func TestDeltaLog(t *testing.T) {
+	db, r, _ := incrDB(t)
+	seq := db.DeltaSeq()
+	if err := r.SetProb(0.8, Int(1), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete(Int(2), Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	deltas, ok := db.DeltasSince(seq)
+	if !ok || len(deltas) != 2 {
+		t.Fatalf("DeltasSince: ok=%v n=%d", ok, len(deltas))
+	}
+	if deltas[0].Kind != DeltaProbUpdate || deltas[0].OldP != 0.5 || deltas[0].NewP != 0.8 {
+		t.Errorf("first delta: %+v", deltas[0])
+	}
+	if deltas[1].Kind != DeltaDelete || deltas[1].Relation != "R" {
+		t.Errorf("second delta: %+v", deltas[1])
+	}
+	if _, ok := db.DeltasSince(-maxDeltaLog * 2); ok {
+		t.Error("DeltasSince before the log's birth reported ok")
+	}
+	if got, ok := db.DeltasSince(db.DeltaSeq()); !ok || len(got) != 0 {
+		t.Errorf("DeltasSince(head): ok=%v n=%d", ok, len(got))
+	}
+}
+
+func TestQueryRelations(t *testing.T) {
+	q, err := ParseQuery("q(x) :- R(x, y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.Relations()
+	if len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Errorf("Relations() = %v", got)
+	}
+}
+
+// TestMaterializedRefresh drives the three refresh outcomes through the
+// facade and checks each against a from-scratch evaluation.
+func TestMaterializedRefresh(t *testing.T) {
+	db, r, _ := incrDB(t)
+	q, err := ParseQuery("q(x) :- R(x, y), S(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := db.Materialize(q, Options{Strategy: DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(label string) {
+		t.Helper()
+		fresh, err := db.Materialize(q, Options{Strategy: DNFLineage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := view.Result(), fresh.Result()
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: %d vs %d answers", label, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			if got.Rows[i].P != want.Rows[i].P {
+				t.Errorf("%s: answer %v: refreshed %v != fresh %v", label, got.Rows[i].Vals, got.Rows[i].P, want.Rows[i].P)
+			}
+		}
+	}
+
+	// Unrelated relation: refresh is a no-op.
+	db.CreateRelation("T", "z")
+	tt, err := db.Relation("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.AddInts(0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	kind, err := view.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshNoop {
+		t.Errorf("unrelated write: refresh kind %v, want noop", kind)
+	}
+	check("noop")
+
+	// Prob-update inside (0,1): patched in place.
+	if err := r.SetProb(0.25, Int(1), Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	kind, err = view.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshPatched {
+		t.Errorf("prob-update: refresh kind %v, want patched", kind)
+	}
+	check("patched")
+
+	// Insert: structural, full recompute.
+	if err := r.AddInts(0.3, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	kind, err = view.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshRecomputed {
+		t.Errorf("insert: refresh kind %v, want recomputed", kind)
+	}
+	check("recomputed")
+
+	// Prob-update to an endpoint: structural, full recompute.
+	if err := r.SetProb(1, Int(1), Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	kind, err = view.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != RefreshRecomputed {
+		t.Errorf("prob-update to 1: refresh kind %v, want recomputed", kind)
+	}
+	check("endpoint")
+
+	// The refreshed view also matches a plain evaluation within exact
+	// tolerance (same strategy, same plan choice).
+	res, err := db.Evaluate(q, Options{Strategy: DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range view.Result().Rows {
+		if want := res.Prob(row.Vals...); math.Abs(row.P-want) > 1e-12 {
+			t.Errorf("view answer %v = %v, Evaluate says %v", row.Vals, row.P, want)
+		}
+	}
+}

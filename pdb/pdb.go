@@ -95,6 +95,15 @@ var (
 // needs conditioning on this instance; matchable with errors.Is.
 var ErrNotDataSafe = engine.ErrNotDataSafe
 
+// Mutation errors, matchable with errors.Is: ErrInvalidProb reports a
+// presence probability outside [0,1] (including NaN), rejected at insert
+// time by Add/AddInts/SetProb; ErrNoSuchTuple reports that SetProb or Delete
+// named a tuple the relation does not contain.
+var (
+	ErrInvalidProb = relation.ErrInvalidProb
+	ErrNoSuchTuple = relation.ErrNoSuchTuple
+)
+
 // Options configures Evaluate.
 type Options struct {
 	// Strategy defaults to PartialLineage.
@@ -199,23 +208,40 @@ func (o Options) engineOptions() engine.Options {
 // relations whose tuples carry independent presence probabilities.
 //
 // A Database is safe for concurrent use through this facade: mutations
-// (CreateRelation, Relation.Add/AddInts) take a write lock and bump the
-// snapshot version; evaluations and reads run under a read lock. The version
-// is what the query server's result cache keys on — a cached answer is valid
-// exactly as long as Version is unchanged.
+// (CreateRelation, Relation.Add/AddInts/SetProb/Delete) take a write lock,
+// bump the mutated relation's version (and the whole-database version) and
+// append a delta to the bounded mutation log; evaluations and reads run
+// under a read lock. The per-relation versions are what the query server's
+// result cache keys on — a cached answer is valid exactly as long as the
+// versions of the relations the query reads are unchanged, so a write to one
+// relation never invalidates answers over the others. The delta log is what
+// materialized views (Materialize) replay to refresh incrementally.
 type Database struct {
 	db *relation.Database
 
-	// mu guards the underlying relations: mutators hold it exclusively,
-	// evaluations and readers share it.
+	// mu guards the underlying relations, the per-relation versions and the
+	// delta log: mutators hold it exclusively, evaluations and readers share
+	// it.
 	mu sync.RWMutex
-	// version counts mutations; monotonically increasing, never reused.
+	// version counts mutations across the whole database; monotonically
+	// increasing, never reused. Retained as the cheap "anything changed?"
+	// signal; fine-grained consumers use relVersions.
 	version atomic.Int64
+	// relVersions counts mutations per relation (creation is mutation one).
+	relVersions map[string]int64
+	// deltas is the bounded mutation log; see Delta and DeltasSince.
+	deltas   []Delta
+	deltaSeq int64 // seq of the last appended delta
 }
+
+// maxDeltaLog bounds the retained mutation log. Refreshers that fall behind
+// by more than this many mutations see a truncated log (DeltasSince ok=false)
+// and recompute from scratch — bounded memory traded against patchability.
+const maxDeltaLog = 4096
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{db: relation.NewDatabase()}
+	return &Database{db: relation.NewDatabase(), relVersions: make(map[string]int64)}
 }
 
 // LoadDatabase reads a database from a directory of <name>.csv files as
@@ -226,7 +252,11 @@ func LoadDatabase(dir string) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Database{db: db}, nil
+	out := &Database{db: db, relVersions: make(map[string]int64)}
+	for _, name := range db.Names() {
+		out.relVersions[name] = 1
+	}
+	return out, nil
 }
 
 // SaveDir writes every relation to dir as <name>.csv.
@@ -236,11 +266,129 @@ func (d *Database) SaveDir(dir string) error {
 	return d.db.SaveDir(dir)
 }
 
-// Version returns the database's snapshot version: a monotonic counter
-// bumped by every mutation (CreateRelation, Add, AddInts). Two reads
-// returning the same version bracket an unchanged database, which is the
-// invalidation rule of the query server's result cache.
+// Version returns the database's whole-snapshot version: a monotonic counter
+// bumped by every mutation (CreateRelation, Add, AddInts, SetProb, Delete).
+// Two reads returning the same version bracket an unchanged database. The
+// query server's result cache keys on the finer-grained per-relation
+// versions (VersionVector) so unrelated writes don't invalidate it; Version
+// remains the coarse "did anything change at all?" signal.
 func (d *Database) Version() int64 { return d.version.Load() }
+
+// RelationVersion returns the named relation's mutation counter: 0 if the
+// relation was never created, otherwise 1 at creation plus 1 per mutation
+// (Add, AddInts, SetProb, Delete) since.
+func (d *Database) RelationVersion(name string) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.relVersions[name]
+}
+
+// VersionVector returns the versions of the named relations, aligned with
+// names (0 for relations that don't exist). Reading the vector is atomic
+// with respect to mutations: a single read lock covers all entries, so the
+// result is a consistent snapshot. Two equal vectors over a query's read set
+// bracket a period in which every relation the query reads is unchanged —
+// the invalidation rule of the query server's result cache.
+func (d *Database) VersionVector(names ...string) []int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]int64, len(names))
+	for i, n := range names {
+		out[i] = d.relVersions[n]
+	}
+	return out
+}
+
+// DeltaKind classifies one mutation in the delta log.
+type DeltaKind int
+
+// Delta kinds.
+const (
+	// DeltaInsert is a tuple insert (Add/AddInts): structural.
+	DeltaInsert DeltaKind = iota
+	// DeltaDelete is a tuple delete: structural (later rows shift down).
+	DeltaDelete
+	// DeltaProbUpdate re-weights an existing tuple in place: patchable by
+	// materialized views when both endpoints are strictly inside (0,1).
+	DeltaProbUpdate
+)
+
+// String names the kind for logs and metrics.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaInsert:
+		return "insert"
+	case DeltaDelete:
+		return "delete"
+	case DeltaProbUpdate:
+		return "prob_update"
+	}
+	return "unknown"
+}
+
+// Delta is one logged mutation: which relation, which row position, and the
+// probability transition. Row is the row index at the time of the mutation
+// (for DeltaInsert, the index the tuple landed at; for DeltaDelete, the
+// index it vacated). Seq is the database-wide mutation sequence number,
+// strictly increasing by one per logged mutation.
+type Delta struct {
+	Seq      int64
+	Kind     DeltaKind
+	Relation string
+	Row      int
+	Vals     []Value
+	OldP     float64
+	NewP     float64
+}
+
+// DeltaSeq returns the sequence number of the most recent logged mutation
+// (0 when nothing was ever logged). CreateRelation bumps versions but logs
+// no delta — a freshly created empty relation changes no query result.
+func (d *Database) DeltaSeq() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.deltaSeq
+}
+
+// DeltasSince returns every logged mutation with Seq > since, oldest first,
+// and whether the log still reaches back that far. ok=false means the
+// bounded log was truncated past since; the caller's snapshot is too old to
+// patch and must be recomputed from scratch.
+func (d *Database) DeltasSince(since int64) (deltas []Delta, ok bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.deltasSinceLocked(since)
+}
+
+// deltasSinceLocked is DeltasSince for callers already holding mu.
+func (d *Database) deltasSinceLocked(since int64) ([]Delta, bool) {
+	if since >= d.deltaSeq {
+		return nil, true
+	}
+	oldest := d.deltaSeq - int64(len(d.deltas)) // seq just before the log's first entry
+	if since < oldest {
+		return nil, false
+	}
+	out := make([]Delta, d.deltaSeq-since)
+	copy(out, d.deltas[int64(len(d.deltas))-(d.deltaSeq-since):])
+	return out, true
+}
+
+// recordLocked bumps the mutated relation's version (and the whole-database
+// version) and appends one delta to the bounded log. Callers hold mu.
+func (d *Database) recordLocked(delta Delta) {
+	d.version.Add(1)
+	d.relVersions[delta.Relation]++
+	d.deltaSeq++
+	delta.Seq = d.deltaSeq
+	d.deltas = append(d.deltas, delta)
+	if len(d.deltas) > maxDeltaLog {
+		// Drop the oldest half in one move so appends stay amortized O(1).
+		keep := len(d.deltas) - maxDeltaLog/2
+		d.deltas = append(d.deltas[:0:0], d.deltas[keep:]...)
+	}
+	obs.Default.ObserveDelta(delta.Kind.String())
+}
 
 // Relation provides access to one relation for loading tuples.
 type Relation struct {
@@ -257,6 +405,7 @@ func (d *Database) CreateRelation(name string, attrs ...string) *Relation {
 	r := relation.New(name, attrs...)
 	d.db.AddRelation(r)
 	d.version.Add(1)
+	d.relVersions[name]++
 	return &Relation{r: r, d: d}
 }
 
@@ -278,27 +427,75 @@ func (d *Database) Names() []string {
 	return d.db.Names()
 }
 
-// Add appends a tuple with presence probability p and bumps the database's
-// snapshot version.
+// Add appends a tuple with presence probability p, bumps the relation's
+// version and logs an insert delta. Probabilities outside [0,1] (including
+// NaN) are rejected at insert time with relation.ErrInvalidProb (re-exported
+// as ErrInvalidProb), matchable with errors.Is.
 func (r *Relation) Add(p float64, vals ...Value) error {
 	r.d.mu.Lock()
 	defer r.d.mu.Unlock()
 	if err := r.r.Add(tuple.Tuple(vals), p); err != nil {
 		return err
 	}
-	r.d.version.Add(1)
+	r.d.recordLocked(Delta{
+		Kind:     DeltaInsert,
+		Relation: r.r.Name,
+		Row:      r.r.Len() - 1,
+		Vals:     append([]Value(nil), vals...),
+		NewP:     p,
+	})
 	return nil
 }
 
-// AddInts appends a tuple of integer values with presence probability p and
-// bumps the database's snapshot version.
+// AddInts appends a tuple of integer values with presence probability p; see
+// Add.
 func (r *Relation) AddInts(p float64, vals ...int64) error {
+	t := tuple.Ints(vals...)
+	return r.Add(p, t...)
+}
+
+// SetProb re-weights the first stored tuple holding exactly vals to presence
+// probability p, bumps the relation's version and logs a prob-update delta.
+// It rejects probabilities outside [0,1] with ErrInvalidProb and missing
+// tuples with ErrNoSuchTuple. Row order is untouched, so a prob-update with
+// both endpoints strictly inside (0,1) preserves every grounding's structure
+// — the patchable case of incremental maintenance (see docs/INCREMENTAL.md).
+func (r *Relation) SetProb(p float64, vals ...Value) error {
 	r.d.mu.Lock()
 	defer r.d.mu.Unlock()
-	if err := r.r.AddInts(p, vals...); err != nil {
+	row, old, err := r.r.SetProb(tuple.Tuple(vals), p)
+	if err != nil {
 		return err
 	}
-	r.d.version.Add(1)
+	r.d.recordLocked(Delta{
+		Kind:     DeltaProbUpdate,
+		Relation: r.r.Name,
+		Row:      row,
+		Vals:     append([]Value(nil), vals...),
+		OldP:     old,
+		NewP:     p,
+	})
+	return nil
+}
+
+// Delete removes the first stored tuple holding exactly vals, bumps the
+// relation's version and logs a delete delta (a structural change: later
+// rows shift down one index). Missing tuples are rejected with
+// ErrNoSuchTuple.
+func (r *Relation) Delete(vals ...Value) error {
+	r.d.mu.Lock()
+	defer r.d.mu.Unlock()
+	row, old, err := r.r.Delete(tuple.Tuple(vals))
+	if err != nil {
+		return err
+	}
+	r.d.recordLocked(Delta{
+		Kind:     DeltaDelete,
+		Relation: r.r.Name,
+		Row:      row,
+		Vals:     append([]Value(nil), vals...),
+		OldP:     old,
+	})
 	return nil
 }
 
@@ -350,6 +547,23 @@ func ParseQuery(text string) (*Query, error) {
 
 // String renders the query back in input syntax.
 func (q *Query) String() string { return q.q.String() }
+
+// Relations returns the distinct relation names the query's body reads,
+// sorted. This is the query's dependency set: its answers can only change
+// when one of these relations mutates, which is what the query server's
+// cache keys on (VersionVector over exactly this set).
+func (q *Query) Relations() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range q.q.Atoms {
+		if p := q.q.Atoms[i].Pred; !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
 
 // IsSafe reports whether the query is safe (hierarchical): evaluable purely
 // extensionally on every instance.
