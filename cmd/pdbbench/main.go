@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental or all")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental, topk or all")
 		scaleName   = flag.String("scale", "small", "small or paper")
 		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
@@ -33,6 +33,7 @@ func main() {
 		cacheOut    = flag.String("cache-out", "BENCH_cache.json", "file for the cache benchmark artifact")
 		plannerOut  = flag.String("planner-out", "BENCH_planner.json", "file for the planner benchmark artifact")
 		incrOut     = flag.String("incremental-out", "BENCH_incremental.json", "file for the incremental benchmark artifact")
+		topkOut     = flag.String("topk-out", "BENCH_topk.json", "file for the top-k benchmark artifact")
 		withMemo    = flag.Bool("memo", true, "cache experiment: include the memoized-inference comparison")
 		withCache   = flag.Bool("cache", true, "cache experiment: include the server result-cache comparison")
 		metrics     = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
@@ -217,6 +218,34 @@ func main() {
 			}
 			fmt.Println("planner benchmark written to", *plannerOut)
 			fmt.Println()
+		case "topk":
+			rep, err := experiments.TopkBench(sc)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*topkOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteTopkJSON(f, rep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Top-k: dissociation-seeded vs cold multisimulation (scale=%s) ==\n", sc.Name)
+			fmt.Printf("%-16s %3s %14s %14s %8s %16s %12s\n", "workload", "k", "cold (ns)", "seeded (ns)", "speedup", "samples (c/s)", "seed-exact")
+			for _, pt := range rep.Points {
+				if pt.Err != "" {
+					fmt.Printf("%-16s err: %s\n", pt.Workload, pt.Err)
+					continue
+				}
+				fmt.Printf("%-16s %3d %14d %14d %7.2fx %9d/%-6d %12d\n",
+					pt.Workload, pt.K, pt.ColdNs, pt.SeededNs, pt.Speedup,
+					pt.ColdSamples, pt.SeededSamples, pt.SeededExact)
+			}
+			fmt.Println("top-k benchmark written to", *topkOut)
+			fmt.Println()
 		case "incremental":
 			rep, err := experiments.IncrementalBench(sc)
 			if err != nil {
@@ -255,7 +284,7 @@ func main() {
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental"} {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental", "topk"} {
 			run(name)
 		}
 		return

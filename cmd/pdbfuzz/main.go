@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pdbfuzz -n 1000 -seed 1 -strategies partial,safe,network,dnf,mc
+//	pdbfuzz -n 1000 -seed 1 -strategies partial,safe,network,dnf,mc,dissociation
 //
 // On failure the reproducer is printed as one CSV block per relation (save
 // each as <name>.csv, or pass -dump to have pdbfuzz write the directory) plus
@@ -31,7 +31,7 @@ func main() {
 	var (
 		n          = flag.Int("n", 200, "number of instances to check")
 		seed       = flag.Int64("seed", 1, "first instance seed (instance i uses seed+i)")
-		strategies = flag.String("strategies", "", "comma-separated strategies to compare (default all: partial,safe,network,dnf,mc)")
+		strategies = flag.String("strategies", "", "comma-separated strategies to compare (default all: partial,safe,network,dnf,mc,dissociation)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-instance evaluation timeout (0 = none)")
 		samples    = flag.Int("samples", 5000, "Karp–Luby samples for the mc strategy")
 		dump       = flag.String("dump", "", "write the minimized reproducer to this directory as <relation>.csv files plus query.txt")

@@ -30,7 +30,7 @@ func main() {
 		dataDir   = flag.String("data", "", "directory of <relation>.csv files (required)")
 		queryText = flag.String("query", "", "conjunctive query, e.g. 'q(h) :- R(h,x), S(h,x,y)' (required)")
 		order     = flag.String("order", "", "comma-separated left-deep join order (default: safe plan if the query is safe, else body order)")
-		strategy  = flag.String("strategy", "partial", "evaluation strategy: partial, safe, network, dnf, mc")
+		strategy  = flag.String("strategy", "partial", "evaluation strategy: partial, safe, network, dnf, mc or dissociation")
 		samples   = flag.Int("samples", 100000, "samples for mc and the approximate fallback")
 		parallel  = flag.Int("parallel", 1, "deprecated alias for -parallelism")
 		workers   = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 = use -parallel; results are identical to sequential)")

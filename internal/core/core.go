@@ -46,6 +46,13 @@ const (
 	// MonteCarlo computes the complete DNF lineage and estimates each
 	// answer probability with the Karp–Luby estimator.
 	MonteCarlo
+	// Dissociation computes the complete DNF lineage and bounds each answer
+	// probability by dissociating shared variables into independent copies
+	// (Gatterbauer & Suciu): read-once lineage factorizes exactly, anything
+	// else gets a guaranteed [lo, hi] interval in one extensional pass — no
+	// Shannon expansion, variable elimination or sampling. Results are
+	// bounds, not point estimates.
+	Dissociation
 )
 
 var strategyNames = map[Strategy]string{
@@ -54,6 +61,7 @@ var strategyNames = map[Strategy]string{
 	FullNetwork:    "network",
 	DNFLineage:     "dnf",
 	MonteCarlo:     "mc",
+	Dissociation:   "dissociation",
 }
 
 // String returns the short name used by the CLI tools.
@@ -71,12 +79,12 @@ func ParseStrategy(name string) (Strategy, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown strategy %q (want partial, safe, network, dnf or mc)", name)
+	return 0, fmt.Errorf("unknown strategy %q (want partial, safe, network, dnf, mc or dissociation)", name)
 }
 
 // Strategies lists all strategies in a stable order.
 func Strategies() []Strategy {
-	return []Strategy{PartialLineage, SafePlanOnly, FullNetwork, DNFLineage, MonteCarlo}
+	return []Strategy{PartialLineage, SafePlanOnly, FullNetwork, DNFLineage, MonteCarlo, Dissociation}
 }
 
 // OpStat is one operator's line in the execution trace (engine Options
@@ -208,6 +216,17 @@ type Stats struct {
 	PlanEstOffending int
 	PlanCandidates   int
 	PlanSelectTime   time.Duration
+
+	// Bounds fields (Dissociation strategy only). BoundsValued marks the
+	// result rows as carrying guaranteed [Lo, Hi] intervals rather than
+	// point estimates; BoundsExact counts answers whose interval collapsed
+	// (read-once lineage, factorized exactly); BoundsMaxWidth is the widest
+	// interval across answers; DissociatedVars totals the shared variables
+	// split into independent copies across all answers.
+	BoundsValued    bool
+	BoundsExact     int
+	BoundsMaxWidth  float64
+	DissociatedVars int
 
 	// Backend-choice fields. BackendChoices counts answers by the inference
 	// backend that produced them; BackendFallbacks counts ranked attempts

@@ -27,8 +27,8 @@ func TestStrategyStringRoundTrip(t *testing.T) {
 func TestStrategiesStableOrder(t *testing.T) {
 	a := Strategies()
 	b := Strategies()
-	if len(a) != 5 {
-		t.Fatalf("expected 5 strategies, got %d", len(a))
+	if len(a) != 6 {
+		t.Fatalf("expected 6 strategies, got %d", len(a))
 	}
 	for i := range a {
 		if a[i] != b[i] {

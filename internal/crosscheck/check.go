@@ -18,7 +18,9 @@ import (
 
 // Options configures one differential check.
 type Options struct {
-	// Strategies to compare against the oracle; nil means all five.
+	// Strategies to compare against the oracle; nil means all six. Point
+	// strategies must agree to within Tol (plus the Hoeffding band for mc);
+	// the bounds-valued dissociation strategy must bracket the oracle.
 	Strategies []core.Strategy
 	// Tol is the absolute agreement tolerance for the exact strategies
 	// (default 1e-9 — the strategies and the oracle compute the same reals,
@@ -135,6 +137,12 @@ func Check(ctx context.Context, in *Instance, opts Options) (*Report, error) {
 			}
 			return nil, fmt.Errorf("crosscheck: strategy %v: %w", s, err)
 		}
+		if s == core.Dissociation {
+			// Bounds-valued: the obligation is bracketing, not point
+			// agreement — the oracle must lie inside every [Lo, Hi].
+			rep.Divergences = append(rep.Divergences, compareBounds(s, res, oracle, opts.Tol, opts.Perturb[s])...)
+			continue
+		}
 		bound := func(key string) float64 { return opts.Tol }
 		if s == core.MonteCarlo {
 			bounds, err := mcBounds(in, opts)
@@ -151,6 +159,52 @@ func Check(ctx context.Context, in *Instance, opts Options) (*Report, error) {
 		rep.Divergences = append(rep.Divergences, compareAnswers(s, res, oracle, bound, opts.Perturb[s])...)
 	}
 	return rep, nil
+}
+
+// compareBounds checks a bounds-valued strategy against the oracle: the
+// answer sets must match and every oracle probability must fall inside the
+// answer's [Lo, Hi] interval (widened by tol for summation order). A missing
+// answer is a zero-width interval at 0, so it diverges unless the oracle
+// agrees it is absent.
+func compareBounds(s core.Strategy, res *pdb.Result, oracle *Oracle, tol, perturb float64) []Divergence {
+	type iv struct {
+		lo, hi float64
+		vals   tuple.Tuple
+	}
+	got := make(map[string]iv, len(res.Rows))
+	for _, row := range res.Rows {
+		got[tuple.Tuple(row.Vals).Key()] = iv{row.Lo + perturb, row.Hi + perturb, tuple.Tuple(row.Vals)}
+	}
+	keys := make(map[string]bool, len(got)+len(oracle.Probs))
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range oracle.Probs {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	var out []Divergence
+	for _, k := range ordered {
+		g, w := got[k], oracle.Probs[k]
+		if w < g.lo-tol || w > g.hi+tol || math.IsNaN(g.lo) || math.IsNaN(g.hi) {
+			v := g.vals
+			if v == nil {
+				v = oracle.Vals[k]
+			}
+			// Report the violated endpoint so the shrinker has a scalar diff
+			// to minimize against.
+			end := g.lo
+			if w > g.hi {
+				end = g.hi
+			}
+			out = append(out, Divergence{Strategy: s, Vals: v, Got: end, Want: w, Bound: tol})
+		}
+	}
+	return out
 }
 
 // compareAnswers diffs one strategy's answers against the oracle over the

@@ -1,0 +1,274 @@
+package crosscheck
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/tuple"
+	"repro/pdb"
+)
+
+// boundsTol absorbs float summation order between the oracle and the
+// dissociation evaluator; the bounds themselves are guaranteed, so anything
+// beyond a few ulps of slack is a real bug.
+const boundsTol = 1e-9
+
+// adversarialGen biases the generator toward non-read-once lineage: a tiny
+// domain over several wider relations makes join variables shared across
+// many clauses, which is exactly where dissociation has to produce a
+// genuine (non-collapsed) interval.
+var adversarialGen = GenConfig{
+	MaxRelations: 3,
+	MaxArity:     3,
+	MaxTuples:    8,
+	Domain:       2,
+	MaxVars:      4,
+	MaxUncertain: 12,
+}
+
+// hardInstance builds a seeded dense instance of the canonical unsafe
+// pattern q :- R(x), S(x, y), T(y): with every S pair present the lineage
+// ∨ r_x s_xy t_y shares each r_x across a row of clauses and each t_y
+// across a column, so it is provably not read-once and dissociation must
+// produce a genuine interval. Probabilities come from the same adversarial
+// palette as the generator.
+func hardInstance(seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	const dom = 3
+	db := relation.NewDatabase()
+	r := relation.New("R", "x")
+	s := relation.New("S", "x", "y")
+	tt := relation.New("T", "y")
+	for x := int64(0); x < dom; x++ {
+		r.MustAdd(tuple.Ints(x), 0.1+0.8*rng.Float64())
+		tt.MustAdd(tuple.Ints(x), 0.1+0.8*rng.Float64())
+		for y := int64(0); y < dom; y++ {
+			s.MustAdd(tuple.Ints(x, y), 0.1+0.8*rng.Float64())
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	db.AddRelation(tt)
+	return &Instance{DB: db, Q: query.MustParse("q :- R(x), S(x, y), T(y)")}
+}
+
+// TestDissociationBoundsBracketOracle is the tentpole's crosscheck
+// obligation: on every seeded adversarial instance, the dissociation
+// strategy's [lo, hi] interval must contain the possible-worlds marginal of
+// every answer, the answer sets must match exactly, and collapsed intervals
+// (lo == hi) must equal the oracle outright.
+func TestDissociationBoundsBracketOracle(t *testing.T) {
+	ctx := context.Background()
+	collapsed, total := 0, 0
+	// Each instance is checked twice: with the engine free to solve small
+	// lineage exactly (intervals collapse — the common serving path), and
+	// with the exact pass starved (ExactBudget 1) so non-read-once answers
+	// get genuine dissociation intervals. The bracket obligation holds for
+	// both; the starved pass is what makes it non-vacuous.
+	passes := []pdb.Options{
+		{Strategy: pdb.StrategyDissociation},
+		{Strategy: pdb.StrategyDissociation, ExactBudget: 1},
+	}
+	for seed := int64(1); seed <= numInstances; seed++ {
+		// Even seeds draw from the random generator (answer-set equality
+		// and collapse coverage); odd seeds use the constructed dense
+		// unsafe family (genuine-interval coverage).
+		in := Generate(seed, adversarialGen)
+		if seed%2 == 1 {
+			in = hardInstance(seed)
+		}
+		oracle, err := ComputeOracle(in)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, opts := range passes {
+			res, err := db.EvaluateContext(ctx, q, opts)
+			if err != nil {
+				t.Fatalf("seed %d: dissociation: %v\ninstance:\n%s", seed, err, in)
+			}
+			if !res.Stats.BoundsValued {
+				t.Fatalf("seed %d: dissociation result not marked bounds-valued", seed)
+			}
+			got := make(map[string]pdb.Row, len(res.Rows))
+			for _, row := range res.Rows {
+				got[tuple.Tuple(row.Vals).Key()] = row
+			}
+			if len(got) != len(oracle.Probs) {
+				t.Fatalf("seed %d: %d answers, oracle has %d\ninstance:\n%s",
+					seed, len(got), len(oracle.Probs), in)
+			}
+			for key, want := range oracle.Probs {
+				row, ok := got[key]
+				if !ok {
+					t.Fatalf("seed %d: answer %v missing\ninstance:\n%s", seed, oracle.Vals[key], in)
+				}
+				total++
+				if want < row.Lo-boundsTol || want > row.Hi+boundsTol {
+					t.Errorf("seed %d: answer %v: oracle %.12g outside [%.12g, %.12g]\ninstance:\n%s",
+						seed, oracle.Vals[key], want, row.Lo, row.Hi, in)
+				}
+				if row.Lo == row.Hi {
+					collapsed++
+					if math.Abs(row.Lo-want) > boundsTol {
+						t.Errorf("seed %d: answer %v: collapsed interval %.12g ≠ oracle %.12g",
+							seed, oracle.Vals[key], row.Lo, want)
+					}
+				}
+			}
+		}
+	}
+	if collapsed == 0 {
+		t.Error("no interval collapsed to exact across the sweep — read-once detection inert")
+	}
+	if collapsed == total {
+		t.Error("every interval collapsed — the sweep never exercised a genuine bound")
+	}
+	t.Logf("%d answer checks, %d exact collapses", total, collapsed)
+}
+
+// TestDissociationExactOnSafeInstances: on instances whose query is safe,
+// the lineage is read-once and every dissociation interval must collapse to
+// the oracle's exact probability.
+func TestDissociationExactOnSafeInstances(t *testing.T) {
+	ctx := context.Background()
+	safe := 0
+	for seed := int64(1); seed <= numInstances; seed++ {
+		in := Generate(seed, GenConfig{})
+		if !in.Q.IsSafe() {
+			continue
+		}
+		safe++
+		oracle, err := ComputeOracle(in)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := db.EvaluateContext(ctx, q, pdb.Options{Strategy: pdb.StrategyDissociation})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, row := range res.Rows {
+			want := oracle.Probs[tuple.Tuple(row.Vals).Key()]
+			if row.Lo != row.Hi {
+				t.Errorf("seed %d: safe query, answer %v did not collapse: [%.12g, %.12g]\ninstance:\n%s",
+					seed, row.Vals, row.Lo, row.Hi, in)
+			}
+			if math.Abs(row.P-want) > boundsTol {
+				t.Errorf("seed %d: safe answer %v: %.12g, oracle %.12g", seed, row.Vals, row.P, want)
+			}
+		}
+	}
+	if safe == 0 {
+		t.Fatal("sweep contained no safe instances")
+	}
+	t.Logf("%d safe instances checked", safe)
+}
+
+// TestTopKMatchesOracleRanking: the anytime top-k set must equal the exact
+// top-k by oracle probability on every seeded instance. Ties are handled by
+// comparing probability multisets: any answer set whose oracle
+// probabilities match the exact top-k's is a correct ranking.
+func TestTopKMatchesOracleRanking(t *testing.T) {
+	checked := 0
+	for seed := int64(1); seed <= numInstances; seed++ {
+		in := Generate(seed, adversarialGen)
+		oracle, err := ComputeOracle(in)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		if len(oracle.Probs) < 2 {
+			continue
+		}
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		k := 1 + int(seed)%3
+		if k > len(oracle.Probs) {
+			k = len(oracle.Probs)
+		}
+		res, err := db.TopKQuery(q, pdb.TopKOptions{K: k, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: top-k: %v\ninstance:\n%s", seed, err, in)
+		}
+		if len(res.Answers) != k {
+			t.Fatalf("seed %d: got %d answers, want %d", seed, len(res.Answers), k)
+		}
+		exact := make([]float64, 0, len(oracle.Probs))
+		for _, p := range oracle.Probs {
+			exact = append(exact, p)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(exact)))
+		chosen := make([]float64, 0, k)
+		for _, a := range res.Answers {
+			key := tuple.Tuple(a.Vals).Key()
+			p, ok := oracle.Probs[key]
+			if !ok {
+				t.Fatalf("seed %d: top-k returned non-answer %v", seed, a.Vals)
+			}
+			if p < a.Lo-boundsTol || p > a.Hi+boundsTol {
+				t.Errorf("seed %d: answer %v: oracle %.12g outside [%.12g, %.12g]",
+					seed, a.Vals, p, a.Lo, a.Hi)
+			}
+			chosen = append(chosen, p)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(chosen)))
+		for i := range chosen {
+			if math.Abs(chosen[i]-exact[i]) > boundsTol {
+				t.Errorf("seed %d: rank %d has oracle prob %.12g, exact ranking has %.12g\ninstance:\n%s",
+					seed, i, chosen[i], exact[i], in)
+				break
+			}
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d instances had ≥ 2 answers — sweep too thin", checked)
+	}
+	t.Logf("%d top-k rankings checked against the oracle", checked)
+}
+
+// Keep the core enum and the crosscheck harness in sync: dissociation is
+// deliberately NOT in ExactStrategies (its contract is bracketing, not
+// agreement), so this test documents the partition of all six strategies.
+func TestStrategyPartitionCoversDissociation(t *testing.T) {
+	exact := make(map[core.Strategy]bool)
+	for _, s := range ExactStrategies() {
+		exact[s] = true
+	}
+	for _, s := range core.Strategies() {
+		switch {
+		case exact[s]:
+		case s == core.MonteCarlo, s == core.Dissociation:
+			// Checked by their own harnesses: Hoeffding bands for mc,
+			// bracket + collapse obligations (this file) for dissociation.
+		default:
+			t.Errorf("strategy %v is in no crosscheck bucket", s)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package docscheck
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The inference and top-k packages are the two the strategy guide sends
+// readers into; every exported symbol there must carry a doc comment so
+// `go doc` answers the questions STRATEGIES.md raises. Struct fields are
+// exempt — the struct's own comment documents the group.
+
+var godocPackages = []string{"internal/inference", "internal/topk"}
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	root := repoRoot(t)
+	for _, pkg := range godocPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.Join(root, filepath.FromSlash(pkg)), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		seen := 0
+		for _, p := range pkgs {
+			if strings.HasSuffix(p.Name, "_test") {
+				continue
+			}
+			for name, file := range p.Files {
+				if strings.HasSuffix(name, "_test.go") {
+					continue
+				}
+				for _, decl := range file.Decls {
+					seen += checkDecl(t, fset, pkg, decl)
+				}
+			}
+		}
+		if seen == 0 {
+			t.Fatalf("%s: no exported symbols found — wrong directory?", pkg)
+		}
+	}
+}
+
+// checkDecl reports undocumented exported symbols in one top-level
+// declaration and returns how many exported symbols it examined.
+func checkDecl(t *testing.T, fset *token.FileSet, pkg string, decl ast.Decl) int {
+	seen := 0
+	missing := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		t.Errorf("%s: exported %s %s has no doc comment (%s:%d)",
+			pkg, kind, name, filepath.Base(p.Filename), p.Line)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return 0
+		}
+		// Methods on unexported types are not reachable via go doc.
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return 0
+		}
+		seen++
+		if d.Doc == nil {
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			missing(d.Pos(), kind, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				seen++
+				if d.Doc == nil && s.Doc == nil {
+					missing(s.Pos(), "type", s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, id := range s.Names {
+					if !id.IsExported() {
+						continue
+					}
+					seen++
+					// A const/var block comment or a grouped decl's doc
+					// covers all its members.
+					if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						missing(id.Pos(), "const/var", id.Name)
+					}
+				}
+			}
+		}
+	}
+	return seen
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

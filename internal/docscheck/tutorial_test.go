@@ -1,0 +1,185 @@
+package docscheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/pdb"
+)
+
+// The tutorial's serving walkthrough (docs/TUTORIAL.md section 10) promises
+// its curl transcripts are replayed verbatim by CI. This test is that
+// promise: it extracts the CSV dataset and every request/response pair from
+// the document, serves the dataset through internal/server, replays the
+// requests in order, and checks the actual responses against the documented
+// ones. Documented responses are subset-matched (the doc elides volatile
+// fields like elapsed_ns); numbers compare within 1e-9.
+
+// fencedBlock is one ``` block with its info string.
+type fencedBlock struct {
+	info string
+	body string
+}
+
+func fencedBlocks(doc string) []fencedBlock {
+	var out []fencedBlock
+	lines := strings.Split(doc, "\n")
+	for i := 0; i < len(lines); i++ {
+		trimmed := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(trimmed, "```") || trimmed == "```" {
+			continue
+		}
+		info := strings.TrimPrefix(trimmed, "```")
+		var body []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			body = append(body, lines[i])
+		}
+		out = append(out, fencedBlock{info: info, body: strings.Join(body, "\n")})
+	}
+	return out
+}
+
+// curlRe pulls the route and the JSON payload out of a transcript command.
+var curlRe = regexp.MustCompile(`(?s)curl -s localhost:8080(/\S+) -d '(.*)'`)
+
+func TestTutorialTranscripts(t *testing.T) {
+	root := repoRoot(t)
+	data, err := os.ReadFile(filepath.Join(root, "docs", "TUTORIAL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := fencedBlocks(string(data))
+
+	// 1. Materialize the documented dataset (```csv <File>.csv blocks).
+	dir := t.TempDir()
+	csvs := 0
+	for _, b := range blocks {
+		fields := strings.Fields(b.info)
+		if len(fields) == 2 && fields[0] == "csv" {
+			name := filepath.Base(fields[1])
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(b.body+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			csvs++
+		}
+	}
+	if csvs == 0 {
+		t.Fatal("tutorial contains no ```csv dataset blocks — walkthrough or parser broken")
+	}
+	db, err := pdb.LoadDatabase(dir)
+	if err != nil {
+		t.Fatalf("loading the tutorial dataset: %v", err)
+	}
+
+	// 2. Serve it exactly as pdbserve would.
+	srv, err := server.New(server.Config{DB: db, Metrics: &obs.Registry{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// 3. Replay every curl transcript in document order against the server
+	// and hold the actual response to the documented one.
+	replayed := 0
+	for i, b := range blocks {
+		if !strings.HasPrefix(b.info, "bash") {
+			continue
+		}
+		m := curlRe.FindStringSubmatch(b.body)
+		if m == nil {
+			continue // e.g. the pdbserve launch command
+		}
+		route, payload := m[1], m[2]
+		var reqBody any
+		if err := json.Unmarshal([]byte(payload), &reqBody); err != nil {
+			t.Fatalf("transcript %d: documented request payload is not valid JSON: %v\n%s", replayed, err, payload)
+		}
+		if i+1 >= len(blocks) || blocks[i+1].info != "json" {
+			t.Fatalf("transcript %d (%s): curl block not followed by a ```json response block", replayed, route)
+		}
+		var want any
+		if err := json.Unmarshal([]byte(blocks[i+1].body), &want); err != nil {
+			t.Fatalf("transcript %d: documented response is not valid JSON: %v", replayed, err)
+		}
+		resp, err := http.Post(ts.URL+route, "application/json", bytes.NewReader([]byte(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got any
+		err = json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("transcript %d (%s): decoding response: %v", replayed, route, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("transcript %d (%s): status %d: %v", replayed, route, resp.StatusCode, got)
+		}
+		if err := subsetMatch(want, got); err != nil {
+			actual, _ := json.MarshalIndent(got, "", "  ")
+			t.Errorf("transcript %d (%s): documented response does not match served response: %v\nserved:\n%s",
+				replayed, route, err, actual)
+		}
+		replayed++
+	}
+	if replayed < 4 {
+		t.Fatalf("only %d transcripts replayed — the walkthrough should have at least 4", replayed)
+	}
+}
+
+// subsetMatch requires everything stated in want to hold in got: every map
+// key present with a matching value, arrays of equal length matching
+// element-wise, numbers within 1e-9. Keys present only in got are fine —
+// the doc elides volatile fields.
+func subsetMatch(want, got any) error {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			return fmt.Errorf("want object, got %T", got)
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return fmt.Errorf("documented key %q missing from response", k)
+			}
+			if err := subsetMatch(wv, gv); err != nil {
+				return fmt.Errorf("%q: %w", k, err)
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			return fmt.Errorf("want array, got %T", got)
+		}
+		if len(w) != len(g) {
+			return fmt.Errorf("documented array has %d elements, response has %d", len(w), len(g))
+		}
+		for i := range w {
+			if err := subsetMatch(w[i], g[i]); err != nil {
+				return fmt.Errorf("[%d]: %w", i, err)
+			}
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok || math.Abs(w-g) > 1e-9 {
+			return fmt.Errorf("documented %v, response %v", want, got)
+		}
+	default:
+		if want != got {
+			return fmt.Errorf("documented %v, response %v", want, got)
+		}
+	}
+	return nil
+}

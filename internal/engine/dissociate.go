@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/lineage"
+	"repro/internal/planner"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// evalDissociation implements the Dissociation strategy through the shared
+// pipeline driver: build = full grounding (exactly like the other lineage
+// strategies), then one bounds job per answer. Each answer is routed by the
+// planner cost model with Profile.WantBounds set: small expanded lineage is
+// cheaper to solve exactly with the memoized Shannon recursion (the
+// interval collapses to a point), while larger lineage gets the one-pass
+// dissociation bounds — guaranteed [lo, hi], no Shannon expansion, variable
+// elimination or sampling. Attempt outcomes are recorded into
+// opts.PlannerSink like the exact strategies' ranked dispatch; the sink
+// remains observability-only (see planner.Sink and docs/PLANNER.md).
+//
+// Result rows carry [Lo, Hi] with P set to the interval midpoint; the
+// Stats are flagged BoundsValued so callers treat rows as intervals, not
+// point estimates.
+func evalDissociation(ec *core.ExecContext, db *relation.Database, q *query.Query, plan *query.Plan, opts Options) (*Result, error) {
+	res := &Result{Attrs: append([]string(nil), q.Head...)}
+	res.Stats.Strategy = opts.Strategy
+	res.Stats.BoundsValued = true
+	model := planner.DefaultCostModel()
+	var g *Grounding
+	build := func() (int, error) {
+		span := ec.StartOp(0)
+		var err error
+		g, err = GroundCtx(ec, db, q, plan)
+		if err != nil {
+			ec.FinishOp(span, 0, core.OpStat{}, true)
+			return 0, err
+		}
+		res.Stats.LineageClauses = g.ClauseCount()
+		res.Stats.LineageVars = g.VarCount()
+		ec.FinishOp(span, 0, core.OpStat{
+			Op:   "ground " + plan.String(),
+			Kind: "ground",
+			Rows: len(g.Answers),
+		}, false)
+		return len(g.Answers), nil
+	}
+	infer := func(i int) confidence {
+		probOf := func(v lineage.Var) float64 { return g.Probs[v] }
+		f := g.Answers[i].F
+		prof := planner.Profile{
+			Expanded:   true,
+			Clauses:    len(f.Clauses),
+			Vars:       len(f.Vars()),
+			WantBounds: true,
+		}
+		if !model.BoundsFirst(prof) {
+			// Small lineage: the exact Shannon pass is cheaper than the
+			// bounds gap is worth. A budget overrun falls through to the
+			// dissociation evaluator, which cannot fail.
+			start := time.Now()
+			p, err := lineage.ProbBudgetCtx(ec, f, probOf, opts.exactBudget())
+			if err == nil {
+				opts.PlannerSink.Record(planner.BackendShannon.String(), true, time.Since(start))
+				return confidence{p: p, lo: p, hi: p, backend: "shannon"}
+			}
+			if !errors.Is(err, lineage.ErrBudget) {
+				return confidence{err: err}
+			}
+			opts.PlannerSink.Record(planner.BackendShannon.String(), false, time.Since(start))
+			start = time.Now()
+			b, derr := inference.DissociateCtx(ec, f, probOf)
+			if derr != nil {
+				return confidence{err: derr}
+			}
+			opts.PlannerSink.Record(planner.BackendDissociation.String(), true, time.Since(start))
+			return confidence{
+				p: (b.Lo + b.Hi) / 2, lo: b.Lo, hi: b.Hi,
+				dissociated: b.Dissociated,
+				backend:     "dissociation",
+				fallbacks:   []string{planner.BackendShannon.String()},
+				predictMiss: true,
+				reason:      "exact Shannon-expansion budget exhausted on the DNF lineage; dissociation bounds",
+			}
+		}
+		start := time.Now()
+		b, err := inference.DissociateCtx(ec, f, probOf)
+		if err != nil {
+			return confidence{err: err}
+		}
+		opts.PlannerSink.Record(planner.BackendDissociation.String(), true, time.Since(start))
+		return confidence{
+			p: (b.Lo + b.Hi) / 2, lo: b.Lo, hi: b.Hi,
+			dissociated: b.Dissociated,
+			backend:     "dissociation",
+		}
+	}
+	assemble := func(conf []confidence) error {
+		recordInference(ec, res.Stats.InferenceTime, conf, func(i int) string {
+			if len(g.Answers[i].Vals) == 0 {
+				return "answer q()"
+			}
+			return "answer " + g.Answers[i].Vals.String()
+		})
+		for i, ans := range g.Answers {
+			c := conf[i]
+			if c.lo == c.hi {
+				res.Stats.BoundsExact++
+			}
+			if w := c.hi - c.lo; w > res.Stats.BoundsMaxWidth {
+				res.Stats.BoundsMaxWidth = w
+			}
+			res.Stats.DissociatedVars += c.dissociated
+			res.Rows = append(res.Rows, Row{Vals: ans.Vals, P: c.p, Lo: c.lo, Hi: c.hi})
+		}
+		res.Stats.Answers = len(res.Rows)
+		return nil
+	}
+	if err := runPipeline(ec, res, build, infer, assemble); err != nil {
+		return nil, err
+	}
+	res.Stats.Operators = ec.Ops()
+	return res, nil
+}

@@ -36,6 +36,11 @@ type confidence struct {
 	// an answer whose first-ranked backend was not the one that produced p.
 	fallbacks   []string
 	predictMiss bool
+	// Bounds fields (dissociation strategy): lo/hi bracket the answer
+	// probability, dissociated counts the shared variables split. p carries
+	// the interval midpoint so ordering and BoolProb stay meaningful.
+	lo, hi      float64
+	dissociated int
 }
 
 // runPipeline drives one evaluation: build (timed into Stats.PlanTime)

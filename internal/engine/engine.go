@@ -179,9 +179,14 @@ type Evidence struct {
 }
 
 // Row is one answer: the head-variable values and the answer probability.
+// Under the Dissociation strategy the row is bounds-valued: Lo and Hi
+// bracket the true probability (Lo == Hi when the answer's lineage was
+// read-once or solved exactly) and P is the interval midpoint; all other
+// strategies leave Lo == Hi == P.
 type Row struct {
-	Vals tuple.Tuple
-	P    float64
+	Vals   tuple.Tuple
+	P      float64
+	Lo, Hi float64
 }
 
 // Result is the outcome of one evaluation.
@@ -252,6 +257,11 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 			return nil, fmt.Errorf("engine: evidence conditioning requires a network strategy")
 		}
 		res, err = evalLineage(ec, db, q, plan, opts)
+	case core.Dissociation:
+		if len(opts.Evidence) > 0 {
+			return nil, fmt.Errorf("engine: evidence conditioning requires a network strategy")
+		}
+		res, err = evalDissociation(ec, db, q, plan, opts)
 	default:
 		return nil, fmt.Errorf("engine: unknown strategy %v", opts.Strategy)
 	}

@@ -146,7 +146,7 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 			if ft.lin != aonet.Epsilon {
 				p *= byNode[ft.lin].p
 			}
-			res.Rows = append(res.Rows, Row{Vals: ft.vals, P: p})
+			res.Rows = append(res.Rows, Row{Vals: ft.vals, P: p, Lo: p, Hi: p})
 		}
 		res.Stats.Answers = len(res.Rows)
 		return nil

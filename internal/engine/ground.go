@@ -328,7 +328,7 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 			if conf[i].approx {
 				res.Stats.Approximate = true
 			}
-			res.Rows = append(res.Rows, Row{Vals: ans.Vals, P: conf[i].p})
+			res.Rows = append(res.Rows, Row{Vals: ans.Vals, P: conf[i].p, Lo: conf[i].p, Hi: conf[i].p})
 		}
 		res.Stats.Answers = len(res.Rows)
 		return nil

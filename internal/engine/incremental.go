@@ -258,7 +258,7 @@ func (m *Materialized) Result() *Result {
 	res.Stats.LineageVars = m.g.VarCount()
 	res.Stats.Answers = len(m.g.Answers)
 	for i := range m.g.Answers {
-		res.Rows = append(res.Rows, Row{Vals: m.g.Answers[i].Vals, P: m.conf[i]})
+		res.Rows = append(res.Rows, Row{Vals: m.g.Answers[i].Vals, P: m.conf[i], Lo: m.conf[i], Hi: m.conf[i]})
 	}
 	return res
 }

@@ -42,6 +42,11 @@ type Scale struct {
 	// x-domain of the asymmetric B relation; the y-domain is fixed at 12).
 	PlannerXs int
 
+	// TopkGroups and TopkFanout size the top-k benchmark's graded-group
+	// instances: TopkGroups answers, each joining TopkFanout R tuples
+	// against two S tuples apiece.
+	TopkGroups, TopkFanout int
+
 	// Samples for the approximate fallback beyond the exact-inference
 	// phase transition.
 	Samples int
@@ -59,34 +64,38 @@ type Scale struct {
 // shape.
 func Small() Scale {
 	return Scale{
-		Name:      "small",
-		Fig5:      workload.Params{N: 10, M: 400, Fanout: 4, RF: 0.01, RD: 1, Seed: 1},
-		Fig5Ms:    []int{50, 100, 200, 400},
-		Queries:   []string{"P1", "P2", "P3", "S2", "S3"},
-		Fig6:      workload.Params{N: 3, M: 50, Fanout: 3, RD: 1, Seed: 2},
-		Fig6RFs:   []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1},
-		Fig7:      workload.Params{N: 3, M: 50, Fanout: 3, RF: 1, Seed: 3},
-		Fig7RDs:   []float64{0, 0.05, 0.1, 0.2, 0.3},
-		PlannerXs: 1200,
-		Samples:   10000,
-		MaxWidth:  18,
+		Name:       "small",
+		Fig5:       workload.Params{N: 10, M: 400, Fanout: 4, RF: 0.01, RD: 1, Seed: 1},
+		Fig5Ms:     []int{50, 100, 200, 400},
+		Queries:    []string{"P1", "P2", "P3", "S2", "S3"},
+		Fig6:       workload.Params{N: 3, M: 50, Fanout: 3, RD: 1, Seed: 2},
+		Fig6RFs:    []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1},
+		Fig7:       workload.Params{N: 3, M: 50, Fanout: 3, RF: 1, Seed: 3},
+		Fig7RDs:    []float64{0, 0.05, 0.1, 0.2, 0.3},
+		PlannerXs:  1200,
+		TopkGroups: 24,
+		TopkFanout: 12,
+		Samples:    10000,
+		MaxWidth:   18,
 	}
 }
 
 // Paper returns the paper's parameters (Section 6.3–6.5).
 func Paper() Scale {
 	return Scale{
-		Name:      "paper",
-		Fig5:      workload.Params{N: 100, M: 10000, Fanout: 4, RF: 0.01, RD: 1, Seed: 1},
-		Fig5Ms:    []int{1250, 2500, 5000, 10000},
-		Queries:   []string{"P1", "P2", "P3", "S2", "S3"},
-		Fig6:      workload.Params{N: 10, M: 1000, Fanout: 3, RD: 1, Seed: 2},
-		Fig6RFs:   []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1},
-		Fig7:      workload.Params{N: 10, M: 1000, Fanout: 3, RF: 1, Seed: 3},
-		Fig7RDs:   []float64{0, 0.05, 0.1, 0.2, 0.3},
-		PlannerXs: 4000,
-		Samples:   50000,
-		MaxWidth:  20,
+		Name:       "paper",
+		Fig5:       workload.Params{N: 100, M: 10000, Fanout: 4, RF: 0.01, RD: 1, Seed: 1},
+		Fig5Ms:     []int{1250, 2500, 5000, 10000},
+		Queries:    []string{"P1", "P2", "P3", "S2", "S3"},
+		Fig6:       workload.Params{N: 10, M: 1000, Fanout: 3, RD: 1, Seed: 2},
+		Fig6RFs:    []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1},
+		Fig7:       workload.Params{N: 10, M: 1000, Fanout: 3, RF: 1, Seed: 3},
+		Fig7RDs:    []float64{0, 0.05, 0.1, 0.2, 0.3},
+		PlannerXs:  4000,
+		TopkGroups: 48,
+		TopkFanout: 20,
+		Samples:    50000,
+		MaxWidth:   20,
 	}
 }
 

@@ -1,0 +1,183 @@
+package inference
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lineage"
+)
+
+// This file implements dissociation-based probability bounds (Gatterbauer &
+// Suciu, "Oblivious bounds on the probability of Boolean functions" /
+// "Approximate lifted inference with guarantees", PAPERS.md arXiv
+// 1412.1069, 1310.6257). A variable shared across clauses of a monotone
+// DNF is *dissociated*: each occurrence becomes a fresh independent copy,
+// after which every clause is variable-disjoint and the OR evaluates in one
+// extensional pass — no Shannon expansion, variable elimination or
+// sampling. The copy probabilities determine the direction of the bound:
+//
+//   - Upper bound: every copy keeps the original probability p. For a
+//     formula positive in x, P[f'] ≥ P[f] (the oblivious upper bound).
+//   - Lower bound: the k copies of a variable occurring in k clauses each
+//     get q = 1 − (1−p)^(1/k), so the copies jointly are as likely to all
+//     be false as the original; then P[f'] ≤ P[f] (the oblivious lower
+//     bound for disjunctive dissociation).
+//
+// Dissociating variables one at a time composes — each step moves the
+// probability further in the same direction — so the fully dissociated
+// formula brackets the true probability from both sides.
+//
+// Before dissociating anything the evaluator splits the clause set into
+// variable-disjoint components (exact OR-decomposition) and attempts a
+// read-once factorization of each component (lineage.ReadOnce): safe,
+// offending-free lineage is read-once and evaluates exactly, so the
+// interval collapses to a point and only genuinely shared structure pays
+// the bounds gap.
+
+// Bounds is a guaranteed probability interval: Lo ≤ P[f] ≤ Hi. Lo == Hi
+// exactly when the formula factorized without dissociating anything
+// (read-once components only).
+type Bounds struct {
+	// Lo and Hi bracket the true probability.
+	Lo, Hi float64
+	// Dissociated counts the shared variables that were split into
+	// independent copies (0 for read-once formulas).
+	Dissociated int
+}
+
+// Exact reports whether the interval collapsed to the exact probability.
+func (b Bounds) Exact() bool { return b.Lo == b.Hi }
+
+// Width returns the interval width Hi − Lo.
+func (b Bounds) Width() float64 { return b.Hi - b.Lo }
+
+// Dissociate bounds the probability of a monotone DNF over independent
+// variables in one pass. It never fails: read-once components evaluate
+// exactly, everything else is bracketed by oblivious dissociation bounds.
+func Dissociate(f *lineage.DNF, p func(lineage.Var) float64) Bounds {
+	b, err := DissociateCtx(nil, f, p)
+	if err != nil {
+		panic("inference: DissociateCtx failed without a context: " + err.Error())
+	}
+	return b
+}
+
+// DissociateCtx is Dissociate under an ExecContext, polling cancellation
+// between components and charging one node per clause processed.
+func DissociateCtx(ec *core.ExecContext, f *lineage.DNF, p func(lineage.Var) float64) (Bounds, error) {
+	s := f.Simplify()
+	if len(s.Clauses) == 0 {
+		return Bounds{Lo: 0, Hi: 0}, nil
+	}
+	if s.IsTrue() {
+		return Bounds{Lo: 1, Hi: 1}, nil
+	}
+	check := core.Check{EC: ec}
+	// notLo/notHi accumulate Π(1 − bound) across variable-disjoint
+	// components, which combine as an independent OR exactly.
+	notLo, notHi := 1.0, 1.0
+	out := Bounds{}
+	for _, comp := range varDisjointComponents(s.Clauses) {
+		if err := ec.ChargeNodes(len(comp)); err != nil {
+			return Bounds{}, err
+		}
+		if err := check.Tick(); err != nil {
+			return Bounds{}, err
+		}
+		lo, hi, dis := componentBounds(comp, p)
+		out.Dissociated += dis
+		notLo *= 1 - lo
+		notHi *= 1 - hi
+	}
+	out.Lo, out.Hi = 1-notLo, 1-notHi
+	if out.Hi < out.Lo {
+		// Float rounding only: mathematically Lo ≤ Hi by construction.
+		out.Hi = out.Lo
+	}
+	return out, nil
+}
+
+// componentBounds bounds one variable-connected clause group: exactly via
+// read-once factorization when possible, otherwise by dissociating every
+// shared variable.
+func componentBounds(clauses []lineage.Clause, p func(lineage.Var) float64) (lo, hi float64, dissociated int) {
+	comp := &lineage.DNF{Clauses: clauses}
+	if fact, ok := lineage.ReadOnce(comp); ok {
+		exact := fact.Prob(p)
+		return exact, exact, 0
+	}
+	// Occurrence counts: clauses are deduped sets (lineage.NewClause), so a
+	// variable's count is the number of clauses it appears in.
+	occ := make(map[lineage.Var]int)
+	for _, c := range clauses {
+		for _, v := range c {
+			occ[v]++
+		}
+	}
+	for _, n := range occ {
+		if n > 1 {
+			dissociated++
+		}
+	}
+	notLo, notHi := 1.0, 1.0
+	for _, c := range clauses {
+		wLo, wHi := 1.0, 1.0
+		for _, v := range c {
+			pv := p(v)
+			wHi *= pv
+			if k := occ[v]; k > 1 {
+				wLo *= 1 - math.Pow(1-pv, 1/float64(k))
+			} else {
+				wLo *= pv
+			}
+		}
+		notLo *= 1 - wLo
+		notHi *= 1 - wHi
+	}
+	return 1 - notLo, 1 - notHi, dissociated
+}
+
+// varDisjointComponents groups clauses into variable-connected components
+// (union-find over shared variables). Components are returned in order of
+// their first clause, preserving determinism.
+func varDisjointComponents(clauses []lineage.Clause) [][]lineage.Clause {
+	parent := make([]int, len(clauses))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	owner := make(map[lineage.Var]int)
+	for i, c := range clauses {
+		for _, v := range c {
+			if j, ok := owner[v]; ok {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			} else {
+				owner[v] = i
+			}
+		}
+	}
+	groups := make(map[int][]lineage.Clause)
+	var roots []int
+	for i, c := range clauses {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][]lineage.Clause, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package inference
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lineage"
+)
+
+// randDNF builds a random monotone DNF small enough for ProbBruteForce,
+// together with a probability assignment drawn from the adversarial palette
+// (certain, impossible, fair and near-boundary values included).
+func randDNF(rng *rand.Rand) (*lineage.DNF, []float64) {
+	nVars := 2 + rng.Intn(8)
+	probs := make([]float64, nVars)
+	palette := []float64{0, 1, 0.5, 1e-3, 0.999}
+	for i := range probs {
+		if rng.Intn(3) == 0 {
+			probs[i] = palette[rng.Intn(len(palette))]
+		} else {
+			probs[i] = rng.Float64()
+		}
+	}
+	f := &lineage.DNF{}
+	nClauses := 1 + rng.Intn(7)
+	for c := 0; c < nClauses; c++ {
+		width := 1 + rng.Intn(3)
+		vars := make([]lineage.Var, 0, width)
+		for w := 0; w < width; w++ {
+			vars = append(vars, lineage.Var(rng.Intn(nVars)))
+		}
+		f.Add(lineage.NewClause(vars...))
+	}
+	return f, probs
+}
+
+func TestDissociateBracketsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 1000; trial++ {
+		f, probs := randDNF(rng)
+		probOf := func(v lineage.Var) float64 { return probs[v] }
+		exact, err := lineage.ProbBruteForce(f, probOf)
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+		b := Dissociate(f, probOf)
+		if b.Lo > b.Hi {
+			t.Fatalf("trial %d: inverted interval [%g, %g] on %v", trial, b.Lo, b.Hi, f)
+		}
+		const tol = 1e-9
+		if b.Lo > exact+tol || b.Hi < exact-tol {
+			t.Fatalf("trial %d: [%g, %g] does not bracket exact %g on %v (probs %v)",
+				trial, b.Lo, b.Hi, exact, f, probs)
+		}
+		if b.Lo < -tol || b.Hi > 1+tol {
+			t.Fatalf("trial %d: interval [%g, %g] outside [0, 1]", trial, b.Lo, b.Hi)
+		}
+	}
+}
+
+// Read-once lineage — the shape safe (offending-free) answers ground to —
+// must factorize exactly: the interval collapses to the true probability
+// and nothing is dissociated.
+func TestDissociateExactOnReadOnce(t *testing.T) {
+	cases := []*lineage.DNF{
+		// x0 ∧ (x1 ∨ x2) in DNF.
+		{Clauses: []lineage.Clause{lineage.NewClause(0, 1), lineage.NewClause(0, 2)}},
+		// Variable-disjoint clauses (independent OR).
+		{Clauses: []lineage.Clause{lineage.NewClause(0, 1), lineage.NewClause(2, 3), lineage.NewClause(4)}},
+		// (x0 ∨ x1) ∧ (x2 ∨ x3) in DNF — and-decomposable, normal.
+		{Clauses: []lineage.Clause{
+			lineage.NewClause(0, 2), lineage.NewClause(0, 3),
+			lineage.NewClause(1, 2), lineage.NewClause(1, 3),
+		}},
+		// Single clause.
+		{Clauses: []lineage.Clause{lineage.NewClause(0, 1, 2)}},
+	}
+	rng := rand.New(rand.NewSource(9))
+	for ci, f := range cases {
+		probs := make([]float64, 8)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		probOf := func(v lineage.Var) float64 { return probs[v] }
+		b := Dissociate(f, probOf)
+		if !b.Exact() || b.Dissociated != 0 {
+			t.Fatalf("case %d: read-once formula got non-exact bounds [%g, %g] (%d dissociated)",
+				ci, b.Lo, b.Hi, b.Dissociated)
+		}
+		exact, err := lineage.ProbBruteForce(f, probOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := b.Lo - exact; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("case %d: exact-collapsed bound %g != brute force %g", ci, b.Lo, exact)
+		}
+	}
+	// And on random formulas: whenever the recognizer factorizes, the
+	// interval must have collapsed.
+	for trial := 0; trial < 500; trial++ {
+		f, probs := randDNF(rng)
+		if _, ok := lineage.ReadOnce(f); !ok {
+			continue
+		}
+		b := Dissociate(f, func(v lineage.Var) float64 { return probs[v] })
+		if !b.Exact() {
+			t.Fatalf("trial %d: read-once formula %v got width %g", trial, f, b.Width())
+		}
+	}
+}
+
+// Both bound directions are monotone in every variable probability: raising
+// p(v) can only raise Lo and Hi.
+func TestDissociateMonotoneUnderProbIncrease(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 500; trial++ {
+		f, probs := randDNF(rng)
+		probOf := func(v lineage.Var) float64 { return probs[v] }
+		base := Dissociate(f, probOf)
+		v := rng.Intn(len(probs))
+		bumped := append([]float64(nil), probs...)
+		bumped[v] = bumped[v] + (1-bumped[v])*rng.Float64()
+		next := Dissociate(f, func(x lineage.Var) float64 { return bumped[x] })
+		const slack = 1e-12
+		if next.Lo < base.Lo-slack || next.Hi < base.Hi-slack {
+			t.Fatalf("trial %d: raising p(x%d) %g→%g moved bounds [%g, %g] → [%g, %g] downward on %v",
+				trial, v, probs[v], bumped[v], base.Lo, base.Hi, next.Lo, next.Hi, f)
+		}
+	}
+}
+
+func TestDissociateTrivialFormulas(t *testing.T) {
+	probOf := func(lineage.Var) float64 { return 0.5 }
+	if b := Dissociate(&lineage.DNF{}, probOf); b.Lo != 0 || b.Hi != 0 {
+		t.Fatalf("empty DNF: got [%g, %g], want [0, 0]", b.Lo, b.Hi)
+	}
+	taut := &lineage.DNF{Clauses: []lineage.Clause{{}}}
+	if b := Dissociate(taut, probOf); b.Lo != 1 || b.Hi != 1 {
+		t.Fatalf("tautology: got [%g, %g], want [1, 1]", b.Lo, b.Hi)
+	}
+}
+
+// A shared variable across clauses produces a genuine gap that brackets the
+// exact value strictly: the triangle xy ∨ yz ∨ zx at p = 1/2 has
+// probability 1/2 with hi = 1 − (3/4)³ and a strictly smaller lo.
+func TestDissociateTriangleGap(t *testing.T) {
+	f := &lineage.DNF{Clauses: []lineage.Clause{
+		lineage.NewClause(0, 1), lineage.NewClause(1, 2), lineage.NewClause(2, 0),
+	}}
+	b := Dissociate(f, func(lineage.Var) float64 { return 0.5 })
+	if b.Dissociated != 3 {
+		t.Fatalf("triangle: dissociated %d vars, want 3", b.Dissociated)
+	}
+	if !(b.Lo < 0.5 && 0.5 < b.Hi) {
+		t.Fatalf("triangle: [%g, %g] should strictly bracket 0.5", b.Lo, b.Hi)
+	}
+	wantHi := 1 - 0.75*0.75*0.75
+	if diff := b.Hi - wantHi; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("triangle: hi = %g, want %g", b.Hi, wantHi)
+	}
+}
+
+func TestDissociateCtxHonorsBudget(t *testing.T) {
+	f := &lineage.DNF{Clauses: []lineage.Clause{
+		lineage.NewClause(0, 1), lineage.NewClause(1, 2), lineage.NewClause(2, 0),
+	}}
+	ec := core.NewExecContext(context.Background(), core.ExecConfig{Budget: core.Budget{Nodes: 1}})
+	_, err := DissociateCtx(ec, f, func(lineage.Var) float64 { return 0.5 })
+	if !errors.Is(err, core.ErrNodeBudget) {
+		t.Fatalf("node budget 1: got %v, want ErrNodeBudget", err)
+	}
+}

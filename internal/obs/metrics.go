@@ -85,6 +85,24 @@ type Registry struct {
 	plannerBackendFallbacks map[string]uint64 // by backend label
 	plannerPredictionMisses uint64
 
+	// Dissociation counters: bounds-valued answers produced by the
+	// dissociation strategy, how many of their intervals collapsed to the
+	// exact probability (read-once lineage), and the shared variables split
+	// into independent copies across all answers.
+	dissociationAnswers uint64
+	dissociationExact   uint64
+	dissociationVars    uint64
+
+	// Top-k counters, fed by pdb.TopKQuery: evaluations run, refinement
+	// rounds, answers ranked for free by a collapsed dissociation interval,
+	// answers that needed Karp–Luby samples, and evaluations that ended
+	// without provable separation.
+	topkQueries     uint64
+	topkRounds      uint64
+	topkSeededExact uint64
+	topkSampled     uint64
+	topkUnseparated uint64
+
 	// Incremental-maintenance counters: logged mutation deltas by kind
 	// (insert, delete, prob_update), and materialized-view refreshes split
 	// into prob-update patches vs structural full recomputes.
@@ -193,6 +211,11 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 			r.plannerBackendFallbacks[backend] += uint64(n)
 		}
 		r.plannerPredictionMisses += uint64(o.Stats.BackendPredictionMisses)
+		if o.Stats.BoundsValued {
+			r.dissociationAnswers += uint64(o.Stats.Answers)
+			r.dissociationExact += uint64(o.Stats.BoundsExact)
+			r.dissociationVars += uint64(o.Stats.DissociatedVars)
+		}
 	}
 	if o.Err != nil {
 		r.errors[strategy]++
@@ -206,6 +229,34 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 		case errors.Is(o.Err, context.Canceled):
 			r.cancellations++
 		}
+	}
+}
+
+// TopKObservation is one top-k evaluation's contribution to the registry.
+type TopKObservation struct {
+	// Answers is the total answer count the ranking was computed over.
+	Answers int
+	// Rounds is the number of multisimulation refinement rounds run.
+	Rounds int
+	// SeededExact counts answers whose dissociation interval collapsed to a
+	// point — ranked without sampling.
+	SeededExact int
+	// Sampled counts answers that drew Karp–Luby samples.
+	Sampled int
+	// Separated reports whether the top-k set provably separated.
+	Separated bool
+}
+
+// ObserveTopK folds one top-k evaluation into the pdb_topk_* counters.
+func (r *Registry) ObserveTopK(o TopKObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.topkQueries++
+	r.topkRounds += uint64(o.Rounds)
+	r.topkSeededExact += uint64(o.SeededExact)
+	r.topkSampled += uint64(o.Sampled)
+	if !o.Separated {
+		r.topkUnseparated++
 	}
 }
 
@@ -361,6 +412,14 @@ func (r *Registry) snapshot() map[string]any {
 		"planner_backend_chosen_total":    copyMap(r.plannerBackendChosen),
 		"planner_backend_fallbacks_total": copyMap(r.plannerBackendFallbacks),
 		"planner_prediction_misses_total": r.plannerPredictionMisses,
+		"dissociation_answers_total":      r.dissociationAnswers,
+		"dissociation_exact_total":        r.dissociationExact,
+		"dissociation_vars_total":         r.dissociationVars,
+		"topk_queries_total":              r.topkQueries,
+		"topk_rounds_total":               r.topkRounds,
+		"topk_seeded_exact_total":         r.topkSeededExact,
+		"topk_sampled_answers_total":      r.topkSampled,
+		"topk_unseparated_total":          r.topkUnseparated,
 		"deltas_total":                    copyMap(r.deltas),
 		"delta_patched_refreshes_total":   r.deltaPatches,
 		"delta_recompute_refreshes_total": r.deltaRecomputes,
@@ -413,6 +472,14 @@ func MetricNames() []string {
 		"pdb_planner_backend_chosen_total",
 		"pdb_planner_backend_fallbacks_total",
 		"pdb_planner_prediction_misses_total",
+		"pdb_dissociation_answers_total",
+		"pdb_dissociation_exact_total",
+		"pdb_dissociation_vars_total",
+		"pdb_topk_queries_total",
+		"pdb_topk_rounds_total",
+		"pdb_topk_seeded_exact_total",
+		"pdb_topk_sampled_answers_total",
+		"pdb_topk_unseparated_total",
 		"pdb_deltas_total",
 		"pdb_delta_patched_refreshes_total",
 		"pdb_delta_recompute_refreshes_total",
@@ -496,6 +563,24 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Ranked inference attempts that failed deterministically and fell through, by backend.", "backend", r.plannerBackendFallbacks)
 	promScalar(&b, "pdb_planner_prediction_misses_total", "counter",
 		"Answers whose first-ranked inference backend was not the one that succeeded.", r.plannerPredictionMisses)
+
+	promScalar(&b, "pdb_dissociation_answers_total", "counter",
+		"Bounds-valued answers produced by the dissociation strategy.", r.dissociationAnswers)
+	promScalar(&b, "pdb_dissociation_exact_total", "counter",
+		"Dissociation answers whose interval collapsed to the exact probability (read-once lineage).", r.dissociationExact)
+	promScalar(&b, "pdb_dissociation_vars_total", "counter",
+		"Shared lineage variables dissociated into independent copies across all bounds-valued answers.", r.dissociationVars)
+
+	promScalar(&b, "pdb_topk_queries_total", "counter",
+		"Top-k evaluations run through the pdb facade.", r.topkQueries)
+	promScalar(&b, "pdb_topk_rounds_total", "counter",
+		"Multisimulation refinement rounds across all top-k evaluations.", r.topkRounds)
+	promScalar(&b, "pdb_topk_seeded_exact_total", "counter",
+		"Top-k answers ranked for free by a collapsed dissociation interval (no sampling).", r.topkSeededExact)
+	promScalar(&b, "pdb_topk_sampled_answers_total", "counter",
+		"Top-k answers that needed Karp–Luby samples to separate.", r.topkSampled)
+	promScalar(&b, "pdb_topk_unseparated_total", "counter",
+		"Top-k evaluations that ended without provable separation (ranking used interval midpoints).", r.topkUnseparated)
 
 	promLabeled(&b, "pdb_deltas_total", "counter",
 		"Mutation deltas logged by the database, by kind (insert, delete, prob_update).", "kind", r.deltas)

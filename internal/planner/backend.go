@@ -32,6 +32,12 @@ const (
 	// BackendSample is the sampling fallback: Karp–Luby when the lineage
 	// expanded, forward sampling otherwise.
 	BackendSample
+	// BackendDissociation is the dissociation bounds evaluator (engine
+	// label "dissociation"): one extensional pass producing a guaranteed
+	// [lo, hi] interval, exact on read-once lineage. It is ranked only for
+	// bounds-valued evaluations (Profile.WantBounds) — interval results
+	// cannot substitute for the point estimates the other backends produce.
+	BackendDissociation
 )
 
 // String names the backend with the engine's trace label.
@@ -43,6 +49,8 @@ func (b Backend) String() string {
 		return "ve"
 	case BackendJTree:
 		return "jtree"
+	case BackendDissociation:
+		return "dissociation"
 	default:
 		return "sample"
 	}
@@ -68,6 +76,11 @@ type Profile struct {
 	// across answers through it; the junction tree has no memoization, so
 	// a narrow width estimate alone does not justify ranking it first.
 	SharedMemo bool
+	// WantBounds reports that the caller accepts bounds-valued answers
+	// (the dissociation strategy, and top-k interval seeding). Only then
+	// does Rank consider BackendDissociation; point-estimate evaluations
+	// never see it, so existing rankings are unchanged by construction.
+	WantBounds bool
 }
 
 // CostModel holds the thresholds that drive backend ranking. The zero value
@@ -116,10 +129,29 @@ func (m CostModel) NeedsWidth(p Profile) bool {
 	return !m.shannonFirst(p)
 }
 
+// BoundsFirst reports whether a bounds-accepting evaluation should run the
+// dissociation evaluator before any exact backend: the answer's lineage
+// expanded but is too large for the cheap Shannon pass — the unsafe shape
+// where exact inference pays Shannon/VE cost while dissociation brackets
+// the answer in one extensional pass. Small expanded lineage stays exact:
+// the Shannon solver is cheaper than the gap is worth.
+func (m CostModel) BoundsFirst(p Profile) bool {
+	return p.WantBounds && p.Expanded && !m.shannonFirst(p)
+}
+
 // Rank returns the backend attempt order for the profile, most promising
 // first. The last element is always BackendSample. The ranking is a pure
 // function of (p, m).
+//
+// With Profile.WantBounds set (bounds-valued evaluations only), the
+// dissociation evaluator leads the ranking for unsafe answers (BoundsFirst);
+// without it the ranking is identical to the point-estimate ranking.
 func (m CostModel) Rank(p Profile) []Backend {
+	if m.BoundsFirst(p) {
+		q := p
+		q.WantBounds = false
+		return append([]Backend{BackendDissociation}, m.Rank(q)...)
+	}
 	shannonFirst := m.shannonFirst(p)
 	var exact []Backend
 	if !p.SharedMemo && p.HasWidth && p.Width+1 <= m.JTreeMaxWidth && p.Width+1 <= m.MaxFactorVars {

@@ -137,6 +137,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /mutate", s.handleMutate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	debug := obs.Handler()
 	s.mux.Handle("/metrics", debug)
@@ -239,8 +240,21 @@ type BudgetSpec struct {
 type QueryRequest struct {
 	// Query is the conjunctive query in datalog syntax. Required.
 	Query string `json:"query"`
-	// Strategy is partial, safe, network, dnf or mc (default partial).
+	// Strategy is partial, safe, network, dnf, mc or dissociation (default
+	// partial). Under dissociation every answer row carries guaranteed
+	// [lo, hi] probability bounds with p as the interval midpoint.
 	Strategy string `json:"strategy,omitempty"`
+	// TopK, when ≥ 1, asks for the k most probable answers instead of a
+	// full evaluation: the response carries a top_k section (ranked answers
+	// with guaranteed intervals) and no rows. Strategy, budget, degrade and
+	// trace do not apply to top-k requests; epsilon tunes the refinement
+	// width and seed drives the samplers. Top-k requests bypass the result
+	// cache.
+	TopK int `json:"top_k,omitempty"`
+	// NoSeedBounds disables dissociation interval seeding for a top-k
+	// request: every non-exact answer is separated by cold multisimulation
+	// alone. Ablation knob; see docs/STRATEGIES.md.
+	NoSeedBounds bool `json:"no_seed_bounds,omitempty"`
 	// Samples for the mc strategy and sampling fallbacks.
 	Samples int `json:"samples,omitempty"`
 	// Epsilon/Delta request an (ε, δ) Karp–Luby guarantee; see pdb.Options.
@@ -279,6 +293,41 @@ type QueryRequest struct {
 type AnswerRow struct {
 	Vals []string `json:"vals"`
 	P    float64  `json:"p"`
+	// Lo/Hi are guaranteed probability bounds on this answer, present only
+	// for bounds-valued responses (the dissociation strategy), where P is
+	// the interval midpoint rather than a point estimate.
+	Lo *float64 `json:"lo,omitempty"`
+	Hi *float64 `json:"hi,omitempty"`
+}
+
+// TopKAnswer is one ranked answer of a top-k request: head values and the
+// guaranteed [lo, hi] probability interval that ranked it. Lo == Hi for
+// exactly computed answers; Seeded marks intervals initialized from
+// dissociation bounds.
+type TopKAnswer struct {
+	Vals   []string `json:"vals"`
+	Lo     float64  `json:"lo"`
+	Hi     float64  `json:"hi"`
+	Exact  bool     `json:"exact,omitempty"`
+	Seeded bool     `json:"seeded,omitempty"`
+}
+
+// TopKSection reports a top-k evaluation: the ranked set, most probable
+// first, plus how the ranking was earned.
+type TopKSection struct {
+	K       int          `json:"k"`
+	Answers []TopKAnswer `json:"answers"`
+	// Separated reports whether the top-k set was provably separated from
+	// the rest; false means the boundary ranking used interval midpoints.
+	Separated bool `json:"separated"`
+	// Rounds counts multisimulation refinement rounds (0 when seeding or
+	// exact evaluation separated the set without sampling).
+	Rounds int `json:"rounds"`
+	// SeededExact counts answers whose dissociation interval collapsed to
+	// an exact probability; Sampled counts answers that needed Karp–Luby
+	// samples.
+	SeededExact int `json:"seeded_exact"`
+	Sampled     int `json:"sampled"`
 }
 
 // StatsSummary is the subset of evaluation statistics exposed per response.
@@ -299,20 +348,22 @@ type QueryResponse struct {
 	Strategy string `json:"strategy"`
 	// RequestedStrategy is set when the response was degraded: the strategy
 	// the client asked for, while Strategy names the one that answered (mc).
-	RequestedStrategy string          `json:"requested_strategy,omitempty"`
-	Attrs             []string        `json:"attrs"`
-	Rows              []AnswerRow     `json:"rows"`
-	BoolP             *float64        `json:"bool_p,omitempty"`
-	Approximate       bool            `json:"approximate"`
-	Degraded          bool            `json:"degraded"`
-	FallbackReason    string          `json:"fallback_reason,omitempty"`
-	Stats             StatsSummary    `json:"stats"`
-	ElapsedNS         int64           `json:"elapsed_ns"`
+	RequestedStrategy string       `json:"requested_strategy,omitempty"`
+	Attrs             []string     `json:"attrs"`
+	Rows              []AnswerRow  `json:"rows"`
+	BoolP             *float64     `json:"bool_p,omitempty"`
+	Approximate       bool         `json:"approximate"`
+	Degraded          bool         `json:"degraded"`
+	FallbackReason    string       `json:"fallback_reason,omitempty"`
+	Stats             StatsSummary `json:"stats"`
+	ElapsedNS         int64        `json:"elapsed_ns"`
 	// Cached marks a response served from the result cache (or reused from
 	// a concurrent identical evaluation) instead of evaluated; ElapsedNS is
 	// this request's own wall time either way.
 	Cached bool            `json:"cached,omitempty"`
 	Trace  json.RawMessage `json:"trace,omitempty"`
+	// TopK is set instead of Rows when the request asked for top_k.
+	TopK *TopKSection `json:"top_k,omitempty"`
 }
 
 // ErrorResponse is the body of every non-200 /query response.
@@ -407,6 +458,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // outcome depends on resource headroom, not just the query), and the client
 // can opt out per request with no_cache.
 func (s *Server) evaluate(ctx context.Context, req *QueryRequest, start time.Time) (*QueryResponse, *ErrorResponse, int) {
+	if req.TopK != 0 {
+		// Top-k rankings depend on sampler state, not just the query, so
+		// they never enter the result cache.
+		return s.evaluateTopK(req, start)
+	}
 	if s.cache == nil || req.Trace || req.Budget != nil || req.Degrade || req.NoCache {
 		return s.evaluateUncached(ctx, req, start)
 	}
@@ -562,7 +618,12 @@ func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start 
 		for i, v := range row.Vals {
 			vals[i] = v.String()
 		}
-		resp.Rows = append(resp.Rows, AnswerRow{Vals: vals, P: row.P})
+		ar := AnswerRow{Vals: vals, P: row.P}
+		if res.Stats.BoundsValued {
+			lo, hi := row.Lo, row.Hi
+			ar.Lo, ar.Hi = &lo, &hi
+		}
+		resp.Rows = append(resp.Rows, ar)
 	}
 	if len(res.Attrs) == 0 {
 		p := res.BoolProb()
@@ -572,6 +633,64 @@ func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start 
 		resp.Trace = traceJSON(res)
 	}
 	return resp, nil, http.StatusOK
+}
+
+// evaluateTopK serves a top_k request: ranked answers with guaranteed
+// probability intervals via dissociation-seeded multisimulation, bypassing
+// the result cache.
+func (s *Server) evaluateTopK(req *QueryRequest, start time.Time) (*QueryResponse, *ErrorResponse, int) {
+	if req.TopK < 1 {
+		return nil, &ErrorResponse{Error: "top_k must be ≥ 1", Code: "bad_request"}, http.StatusBadRequest
+	}
+	q, err := pdb.ParseQuery(req.Query)
+	if err != nil {
+		return nil, &ErrorResponse{Error: err.Error(), Code: "bad_request"}, http.StatusBadRequest
+	}
+	if req.Strategy != "" || req.Budget != nil || req.Degrade || req.Trace {
+		return nil, &ErrorResponse{
+			Error: "top_k does not combine with strategy, budget, degrade or trace",
+			Code:  "bad_request",
+		}, http.StatusBadRequest
+	}
+	res, err := s.cfg.DB.TopKQuery(q, pdb.TopKOptions{
+		K:            req.TopK,
+		Seed:         req.Seed,
+		Eps:          req.Epsilon,
+		NoSeedBounds: req.NoSeedBounds,
+	})
+	if err != nil {
+		return nil, errorResponse(err, nil, false), errorStatus(err)
+	}
+	sec := &TopKSection{
+		K:           req.TopK,
+		Answers:     make([]TopKAnswer, 0, len(res.Answers)),
+		Separated:   res.Separated,
+		Rounds:      res.Rounds,
+		SeededExact: res.SeededExact,
+		Sampled:     res.Sampled,
+	}
+	approximate := false
+	for _, a := range res.Answers {
+		vals := make([]string, len(a.Vals))
+		for i, v := range a.Vals {
+			vals[i] = v.String()
+		}
+		if !a.Exact {
+			approximate = true
+		}
+		sec.Answers = append(sec.Answers, TopKAnswer{
+			Vals: vals, Lo: a.Lo, Hi: a.Hi, Exact: a.Exact, Seeded: a.Seeded,
+		})
+	}
+	return &QueryResponse{
+		Query:       q.String(),
+		Strategy:    "topk",
+		Attrs:       q.Head(),
+		Rows:        []AnswerRow{},
+		Approximate: approximate,
+		TopK:        sec,
+		ElapsedNS:   time.Since(start).Nanoseconds(),
+	}, nil, http.StatusOK
 }
 
 // budgetExhausted reports whether the evaluation died on a rows/nodes
@@ -625,6 +744,96 @@ func traceJSON(res *pdb.Result) json.RawMessage {
 		return nil
 	}
 	return json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+}
+
+// MutationOp is one tuple mutation inside a POST /mutate batch. Values
+// arrive as strings and are coerced the way the CSV loader coerces them:
+// int, then float, then string.
+type MutationOp struct {
+	// Op is add, set_prob or delete.
+	Op string `json:"op"`
+	// Relation names the target relation; it must already exist.
+	Relation string `json:"relation"`
+	// Vals are the tuple's values, one per relation attribute.
+	Vals []string `json:"vals"`
+	// P is the presence probability for add and set_prob (ignored by
+	// delete).
+	P float64 `json:"p,omitempty"`
+}
+
+// MutateRequest is the POST /mutate body: a batch of mutations applied in
+// order against the live database through the versioned write path — each
+// op bumps the relation's version (invalidating cached results that read
+// it) and logs a delta for incremental view maintenance.
+type MutateRequest struct {
+	Ops []MutationOp `json:"ops"`
+}
+
+// MutateResponse is the 200 body of POST /mutate.
+type MutateResponse struct {
+	// Applied counts the ops applied — always the full batch on 200.
+	Applied int `json:"applied"`
+	// Version is the database snapshot version after the batch.
+	Version int64 `json:"version"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.cfg.Metrics.ServerRequest("/mutate")
+	status := func(code int, v any) {
+		writeJSON(w, code, v)
+		s.cfg.Metrics.ServerResponse("/mutate", code, time.Since(start))
+	}
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		status(http.StatusBadRequest, ErrorResponse{Error: "invalid JSON body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	if len(req.Ops) == 0 {
+		status(http.StatusBadRequest, ErrorResponse{Error: "ops is required", Code: "bad_request"})
+		return
+	}
+	// Ops apply in order and stop at the first failure; Applied in the
+	// error path is implicit in the reported index. No rollback: the write
+	// path is append/update per tuple and each applied op is already
+	// durable in the version vector and delta log.
+	for i, op := range req.Ops {
+		if err := s.applyOp(op); err != nil {
+			code := http.StatusBadRequest
+			errCode := "bad_request"
+			if errors.Is(err, pdb.ErrNoSuchTuple) {
+				code, errCode = http.StatusUnprocessableEntity, "no_such_tuple"
+			}
+			status(code, ErrorResponse{
+				Error: fmt.Sprintf("ops[%d]: %v", i, err),
+				Code:  errCode,
+			})
+			return
+		}
+	}
+	status(http.StatusOK, MutateResponse{Applied: len(req.Ops), Version: s.cfg.DB.Version()})
+}
+
+// applyOp routes one mutation to the pdb write path.
+func (s *Server) applyOp(op MutationOp) error {
+	rel, err := s.cfg.DB.Relation(op.Relation)
+	if err != nil {
+		return err
+	}
+	vals := make([]pdb.Value, len(op.Vals))
+	for i, v := range op.Vals {
+		vals[i] = pdb.ParseValue(v)
+	}
+	switch op.Op {
+	case "add":
+		return rel.Add(op.P, vals...)
+	case "set_prob":
+		return rel.SetProb(op.P, vals...)
+	case "delete":
+		return rel.Delete(vals...)
+	default:
+		return fmt.Errorf("unknown op %q (want add, set_prob or delete)", op.Op)
+	}
 }
 
 // HealthResponse is the GET /healthz body.

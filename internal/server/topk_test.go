@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"testing"
+
+	"repro/pdb"
+)
+
+// groupDB builds a heterogeneous per-answer workload: answer h's lineage is
+// built from tuples with probability ≈ h/11, so the answers are well
+// separated and the exact ranking is by descending h.
+func groupDB(t testing.TB) *pdb.Database {
+	t.Helper()
+	db := pdb.NewDatabase()
+	r := db.CreateRelation("R", "h", "a")
+	s := db.CreateRelation("S", "h", "a", "b")
+	for h := int64(1); h <= 10; h++ {
+		base := float64(h) / 11
+		for a := int64(1); a <= 12; a++ {
+			if err := r.AddInts(base, h, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.AddInts(0.5, h, a, a%4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+const groupQuery = "q(h) :- R(h, a), S(h, a, b)"
+
+func postMutate(t testing.TB, url string, req MutateRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestTopKOverHTTP(t *testing.T) {
+	db := groupDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	code, data := postQuery(t, ts.URL, QueryRequest{Query: groupQuery, TopK: 3, Seed: 7})
+	if code != http.StatusOK {
+		t.Fatalf("top_k request: status %d: %s", code, data)
+	}
+	resp := decodeResponse(t, data)
+	if resp.TopK == nil {
+		t.Fatal("response has no top_k section")
+	}
+	if resp.Strategy != "topk" {
+		t.Errorf("strategy %q, want topk", resp.Strategy)
+	}
+	if len(resp.Rows) != 0 {
+		t.Errorf("top_k response carries %d rows, want none", len(resp.Rows))
+	}
+	if got := resp.TopK.K; got != 3 {
+		t.Errorf("k = %d, want 3", got)
+	}
+	if len(resp.TopK.Answers) != 3 {
+		t.Fatalf("got %d answers, want 3", len(resp.TopK.Answers))
+	}
+	// The workload is well separated: the ranking is h = 10, 9, 8 and the
+	// intervals must be ordered and consistent.
+	for i, a := range resp.TopK.Answers {
+		if want := fmt.Sprintf("%d", 10-i); len(a.Vals) != 1 || a.Vals[0] != want {
+			t.Errorf("rank %d: answer %v, want [%s]", i, a.Vals, want)
+		}
+		if a.Lo > a.Hi {
+			t.Errorf("rank %d: lo %g > hi %g", i, a.Lo, a.Hi)
+		}
+	}
+	if !resp.TopK.Separated {
+		t.Error("well-separated workload not reported separated")
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	db := triangleDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+	for _, req := range []QueryRequest{
+		{Query: triangleQuery, TopK: -1},
+		{Query: triangleQuery, TopK: 2, Strategy: "mc"},
+		{Query: triangleQuery, TopK: 2, Trace: true},
+		{Query: triangleQuery, TopK: 2, Degrade: true},
+		{Query: triangleQuery, TopK: 2, Budget: &BudgetSpec{Rows: 10}},
+	} {
+		code, data := postQuery(t, ts.URL, req)
+		if code != http.StatusBadRequest {
+			t.Errorf("request %+v: status %d (%s), want 400", req, code, data)
+		}
+	}
+}
+
+// Dissociation-strategy answers must arrive bounds-valued: every row
+// carries lo ≤ p ≤ hi, and the bounds bracket the exact probability.
+func TestDissociationRowsCarryBounds(t *testing.T) {
+	db := groupDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	code, data := postQuery(t, ts.URL, QueryRequest{Query: groupQuery, Strategy: "dissociation"})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	resp := decodeResponse(t, data)
+	if resp.Strategy != "dissociation" {
+		t.Fatalf("strategy %q", resp.Strategy)
+	}
+	exact, err := db.Evaluate(mustParse(t, groupQuery), pdb.Options{Strategy: pdb.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactByKey := make(map[string]float64)
+	for _, row := range exact.Rows {
+		exactByKey[fmt.Sprint(row.Vals)] = row.P
+	}
+	for _, row := range resp.Rows {
+		if row.Lo == nil || row.Hi == nil {
+			t.Fatalf("row %v has no bounds", row.Vals)
+		}
+		lo, hi := *row.Lo, *row.Hi
+		if lo > row.P+1e-12 || row.P > hi+1e-12 {
+			t.Errorf("row %v: p %g outside [%g, %g]", row.Vals, row.P, lo, hi)
+		}
+		want, ok := exactByKey[fmt.Sprintf("[%s]", row.Vals[0])]
+		if !ok {
+			t.Fatalf("row %v missing from exact evaluation", row.Vals)
+		}
+		if want < lo-1e-9 || want > hi+1e-9 {
+			t.Errorf("row %v: exact %g outside [%g, %g]", row.Vals, want, lo, hi)
+		}
+	}
+	// Point-estimate strategies must NOT carry bounds.
+	code, data = postQuery(t, ts.URL, QueryRequest{Query: groupQuery, Strategy: "dnf"})
+	if code != http.StatusOK {
+		t.Fatalf("dnf status %d: %s", code, data)
+	}
+	for _, row := range decodeResponse(t, data).Rows {
+		if row.Lo != nil || row.Hi != nil {
+			t.Errorf("dnf row %v carries bounds", row.Vals)
+		}
+	}
+}
+
+func mustParse(t testing.TB, text string) *pdb.Query {
+	t.Helper()
+	q, err := pdb.ParseQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// The tutorial's loop: query, mutate through the versioned write path,
+// re-query — the second answer must reflect the write, not the cache.
+func TestMutateOverHTTPInvalidatesCachedAnswers(t *testing.T) {
+	db := triangleDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	code, data := postQuery(t, ts.URL, QueryRequest{Query: triangleQuery})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	before := decodeResponse(t, data)
+
+	code, data = postMutate(t, ts.URL, MutateRequest{Ops: []MutationOp{
+		{Op: "set_prob", Relation: "R", Vals: []string{"1"}, P: 1},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mutate status %d: %s", code, data)
+	}
+	var mr MutateResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Applied != 1 || mr.Version != db.Version() {
+		t.Errorf("mutate response %+v, db version %d", mr, db.Version())
+	}
+
+	code, data = postQuery(t, ts.URL, QueryRequest{Query: triangleQuery})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	after := decodeResponse(t, data)
+	if after.Cached {
+		t.Error("post-mutation answer served from cache")
+	}
+	if *after.BoolP <= *before.BoolP {
+		t.Errorf("raising Pr[R(1)] to 1 moved the answer %g → %g", *before.BoolP, *after.BoolP)
+	}
+}
+
+func TestMutateBatchAndErrors(t *testing.T) {
+	db := triangleDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	// A batch: insert a tuple, then delete it again.
+	code, data := postMutate(t, ts.URL, MutateRequest{Ops: []MutationOp{
+		{Op: "add", Relation: "T", Vals: []string{"3"}, P: 0.25},
+		{Op: "delete", Relation: "T", Vals: []string{"3"}},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, data)
+	}
+
+	for _, tc := range []struct {
+		req  MutateRequest
+		code int
+		want string
+	}{
+		{MutateRequest{}, http.StatusBadRequest, "bad_request"},
+		{MutateRequest{Ops: []MutationOp{{Op: "frob", Relation: "R", Vals: []string{"1"}}}},
+			http.StatusBadRequest, "bad_request"},
+		{MutateRequest{Ops: []MutationOp{{Op: "add", Relation: "Nope", Vals: []string{"1"}, P: 0.5}}},
+			http.StatusBadRequest, "bad_request"},
+		{MutateRequest{Ops: []MutationOp{{Op: "add", Relation: "R", Vals: []string{"9"}, P: 1.5}}},
+			http.StatusBadRequest, "bad_request"},
+		{MutateRequest{Ops: []MutationOp{{Op: "set_prob", Relation: "R", Vals: []string{"42"}, P: 0.5}}},
+			http.StatusUnprocessableEntity, "no_such_tuple"},
+	} {
+		code, data := postMutate(t, ts.URL, tc.req)
+		if code != tc.code {
+			t.Errorf("%+v: status %d (%s), want %d", tc.req, code, data, tc.code)
+			continue
+		}
+		if er := decodeError(t, data); er.Code != tc.want {
+			t.Errorf("%+v: code %q, want %q", tc.req, er.Code, tc.want)
+		}
+	}
+}
+
+// Top-k over HTTP must agree with the exact ranking computed offline.
+func TestTopKOverHTTPMatchesExact(t *testing.T) {
+	db := groupDB(t)
+	_, ts := newTestServer(t, Config{DB: db})
+
+	exact, err := db.Evaluate(mustParse(t, groupQuery), pdb.Options{Strategy: pdb.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pv struct {
+		key string
+		p   float64
+	}
+	ranked := make([]pv, 0, len(exact.Rows))
+	for _, row := range exact.Rows {
+		ranked = append(ranked, pv{fmt.Sprintf("%v", row.Vals[0]), row.P})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].p > ranked[j].p })
+
+	const k = 5
+	code, data := postQuery(t, ts.URL, QueryRequest{Query: groupQuery, TopK: k, Seed: 11})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	resp := decodeResponse(t, data)
+	want := make(map[string]bool, k)
+	for _, r := range ranked[:k] {
+		want[r.key] = true
+	}
+	for _, a := range resp.TopK.Answers {
+		if !want[a.Vals[0]] {
+			t.Errorf("answer %v not in the exact top-%d", a.Vals, k)
+		}
+	}
+}

@@ -191,7 +191,7 @@ func (s *Shell) exec(line string, w io.Writer) (quit bool, err error) {
 			q, q.IsSafe(), q.IsStrictlyHierarchical())
 	case "strategy":
 		if len(args) != 1 {
-			return false, fmt.Errorf("usage: strategy partial|safe|network|dnf|mc")
+			return false, fmt.Errorf("usage: strategy partial|safe|network|dnf|mc|dissociation")
 		}
 		strat, err := pdb.ParseStrategy(args[0])
 		if err != nil {
@@ -262,6 +262,35 @@ func (s *Shell) exec(line string, w io.Writer) (quit bool, err error) {
 			return false, err
 		}
 		s.printResult(w, res)
+	case "topk":
+		if len(args) != 1 {
+			return false, fmt.Errorf("usage: topk <k>")
+		}
+		k, err := strconv.Atoi(args[0])
+		if err != nil || k <= 0 {
+			return false, fmt.Errorf("bad k %q", args[0])
+		}
+		if s.query == nil {
+			return false, fmt.Errorf("set a query first")
+		}
+		res, err := s.db.TopKQuery(s.query, pdb.TopKOptions{K: k, Seed: 1})
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(w, "rank  %s  [lo, hi]\n", strings.Join(s.query.Head(), ", "))
+		for i, a := range res.Answers {
+			parts := make([]string, len(a.Vals))
+			for j, v := range a.Vals {
+				parts[j] = v.String()
+			}
+			mark := ""
+			if a.Exact {
+				mark = " (exact)"
+			}
+			fmt.Fprintf(w, "%4d  %s  [%.6f, %.6f]%s\n", i+1, strings.Join(parts, ", "), a.Lo, a.Hi, mark)
+		}
+		fmt.Fprintf(w, "separated=%v rounds=%d seeded-exact=%d sampled=%d\n",
+			res.Separated, res.Rounds, res.SeededExact, res.Sampled)
 	case "explain":
 		if len(args) == 0 || args[0] != "analyze" {
 			return false, fmt.Errorf("usage: explain analyze [<query text>]")
@@ -303,7 +332,11 @@ func (s *Shell) printResult(w io.Writer, res *pdb.Result) {
 	} else {
 		rows := append([]pdb.Row(nil), res.Rows...)
 		sort.Slice(rows, func(i, j int) bool { return rows[i].P > rows[j].P })
-		fmt.Fprintf(w, "%s  probability\n", strings.Join(res.Attrs, ", "))
+		header := "probability"
+		if res.Stats.BoundsValued {
+			header = "probability [lo, hi]"
+		}
+		fmt.Fprintf(w, "%s  %s\n", strings.Join(res.Attrs, ", "), header)
 		for i, row := range rows {
 			if i >= 20 {
 				fmt.Fprintf(w, "... (%d more)\n", len(rows)-i)
@@ -313,7 +346,11 @@ func (s *Shell) printResult(w io.Writer, res *pdb.Result) {
 			for j, v := range row.Vals {
 				parts[j] = v.String()
 			}
-			fmt.Fprintf(w, "%s  %.9f\n", strings.Join(parts, ", "), row.P)
+			if res.Stats.BoundsValued {
+				fmt.Fprintf(w, "%s  %.9f [%.9f, %.9f]\n", strings.Join(parts, ", "), row.P, row.Lo, row.Hi)
+			} else {
+				fmt.Fprintf(w, "%s  %.9f\n", strings.Join(parts, ", "), row.P)
+			}
 		}
 	}
 	st := res.Stats
@@ -329,8 +366,9 @@ func (s *Shell) help(w io.Writer) {
   load <dir> | save <dir>   CSV persistence
   gen <Q> <n> <m> <f> <rf> <rd> <seed>  generate a Table 1 workload
   query <text>              set the query, e.g. query q(h) :- R(h,x), S(h,x,y)
-  strategy <name>           partial | safe | network | dnf | mc
+  strategy <name>           partial | safe | network | dnf | mc | dissociation
   samples <n>               sampling budget for approximate paths
+  topk <k>                  rank the k most probable answers (bounds-seeded)
   order R,S,T               explicit left-deep join order
   optimize                  data-aware plan selection
   plan                      show the current plan

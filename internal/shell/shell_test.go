@@ -244,3 +244,50 @@ explain analyze
 		}
 	}
 }
+
+func TestDissociationAndTopKInShell(t *testing.T) {
+	base := `
+rel R h a
+add R 0.8 1 1
+add R 0.8 1 2
+add R 0.3 2 1
+add R 0.3 2 2
+rel S h a b
+add S 0.5 1 1 0
+add S 0.5 1 2 0
+add S 0.5 2 1 0
+add S 0.5 2 2 0
+query q(h) :- R(h, a), S(h, a, b)
+`
+	out := runScript(t, base+"strategy dissociation\nrun\n")
+	for _, want := range []string{
+		"strategy: dissociation",
+		"probability [lo, hi]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runScript(t, base+"topk 1\n")
+	for _, want := range []string{
+		"rank  h  [lo, hi]",
+		"   1  1  [", // answer h=1 dominates h=2
+		"separated=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top-k transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTopKValidationInShell(t *testing.T) {
+	out := runScript(t, "topk 2\n")
+	if !strings.Contains(out, "set a query first") {
+		t.Errorf("topk without query did not error:\n%s", out)
+	}
+	out = runScript(t, "topk zero\n")
+	if !strings.Contains(out, "bad k") {
+		t.Errorf("topk with bad k did not error:\n%s", out)
+	}
+}

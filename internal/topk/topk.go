@@ -1,24 +1,36 @@
 // Package topk computes the k most probable answers of a query without
 // computing every answer probability exactly — the multisimulation approach
 // of Ré, Dalvi & Suciu, "Efficient top-k query evaluation on probabilistic
-// data" (ICDE 2007), reference [21] of the paper.
+// data" (ICDE 2007), reference [21] of the paper, seeded with guaranteed
+// dissociation bounds (Gatterbauer & Suciu; see internal/inference).
 //
-// Every answer holds a Karp–Luby estimator over its lineage together with a
-// Hoeffding confidence interval. Rounds of simulation refine only the
-// *critical* answers — those whose intervals still straddle the k-th
-// boundary — until the top-k set separates from the rest (or the interval
-// widths drop below a tolerance, or a round budget is hit). Answers with
-// small lineage are computed exactly up front and never simulated.
+// Every answer starts with a probability interval. Small lineage is
+// computed exactly up front; everything else is routed by the planner cost
+// model: answers the model sends to the dissociation evaluator are seeded
+// with its guaranteed [lo, hi] interval in one extensional pass (collapsing
+// to a point on read-once lineage), the rest get a cheap exact Shannon
+// attempt first. Only answers whose intervals still straddle the k-th
+// boundary pay for Karp–Luby sampling: rounds of simulation refine the
+// *critical* answers — intersecting each Hoeffding interval with the
+// answer's guaranteed bounds — until the top-k set separates from the rest
+// (or the interval widths drop below a tolerance, or a round budget is
+// hit). Seeding is the difference between "simulate every answer" and
+// "simulate the handful the ranking actually depends on"; disable it with
+// Options.NoSeedBounds to get the cold multisimulation for comparison
+// (pdbbench -experiment topk measures exactly that).
 package topk
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/inference"
 	"repro/internal/lineage"
+	"repro/internal/planner"
 	"repro/internal/tuple"
 )
 
@@ -39,6 +51,11 @@ type Options struct {
 	ExactClauseLimit int
 	// Seed drives the samplers.
 	Seed int64
+	// NoSeedBounds disables dissociation seeding: every non-exact answer
+	// starts from the cold [0, min(1, union bound)] interval and must be
+	// separated by sampling alone. Ablation knob for benchmarks; serving
+	// always seeds.
+	NoSeedBounds bool
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +74,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// shannonBudget bounds the exact Shannon attempt on answers the cost model
+// ranks ahead of the bounds evaluator (mirrors the engine's default exact
+// budget). Overruns fall back to dissociation seeding.
+const shannonBudget = 500000
+
 // Answer is one ranked answer with its probability bounds. Exact answers
 // have Lo == Hi.
 type Answer struct {
@@ -64,6 +86,9 @@ type Answer struct {
 	Lo, Hi  float64
 	Exact   bool
 	Samples int
+	// Seeded reports the interval was initialized from dissociation bounds
+	// (guaranteed, so refinement intersects with it).
+	Seeded bool
 }
 
 // mid returns the interval midpoint used for final ordering.
@@ -71,37 +96,48 @@ func (a Answer) mid() float64 { return (a.Lo + a.Hi) / 2 }
 
 // Result reports the chosen top-k plus the state of every answer.
 type Result struct {
+	// Top is the chosen k answers; All holds every answer's final state.
 	Top []Answer
 	All []Answer
 	// Separated reports whether the top-k set was provably separated from
 	// the rest (up to the estimators' confidence); false means the ranking
 	// at the boundary relied on interval midpoints after Eps/round budget.
 	Separated bool
-	Rounds    int
+	// Rounds is the number of refinement rounds run.
+	Rounds int
+	// SeededExact counts answers whose dissociation interval collapsed to a
+	// point (read-once lineage) — ranked for free, never simulated.
+	SeededExact int
+	// Sampled counts answers that drew at least one Karp–Luby sample.
+	Sampled int
 }
 
-// FromGrounding runs multisimulation over a query grounding.
+// FromGrounding runs bounds-seeded multisimulation over a query grounding.
 func FromGrounding(g *engine.Grounding, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.K < 1 {
 		return nil, fmt.Errorf("topk: K must be at least 1 (got %d)", opts.K)
 	}
 	probOf := func(v lineage.Var) float64 { return g.Probs[v] }
+	model := planner.DefaultCostModel()
 	states := make([]*state, len(g.Answers))
 	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
 	for i, ans := range g.Answers {
-		st := &state{vals: ans.Vals}
-		f := ans.F.Simplify()
-		if len(f.Clauses) <= opts.ExactClauseLimit {
-			p := lineage.Prob(f, probOf)
+		st := &state{vals: ans.Vals, probOf: probOf}
+		st.f = ans.F.Simplify()
+		st.seedRNG = rng.Int63()
+		switch {
+		case len(st.f.Clauses) <= opts.ExactClauseLimit:
+			p := lineage.Prob(st.f, probOf)
 			st.lo, st.hi, st.exact = p, p, true
-		} else {
-			st.sampler = newSampler(f, probOf, rand.New(rand.NewSource(rng.Int63())))
-			st.lo, st.hi = 0, math.Min(1, st.sampler.total)
+		case !opts.NoSeedBounds:
+			st.seed(model, res)
+		default:
+			st.cold()
 		}
 		states[i] = st
 	}
-	res := &Result{}
 	if len(states) <= opts.K {
 		// Everything is in the top-k; refine nothing.
 		res.Separated = true
@@ -125,23 +161,78 @@ func FromGrounding(g *engine.Grounding, opts Options) (*Result, error) {
 	sortAnswers(sorted)
 	res.Top = sorted[:opts.K]
 	res.Separated = separated(states, opts.K)
+	for _, s := range states {
+		if s.samples > 0 {
+			res.Sampled++
+		}
+	}
 	return res, nil
 }
 
 // state is one answer's simulation state.
 type state struct {
 	vals    tuple.Tuple
+	f       *lineage.DNF
+	probOf  func(lineage.Var) float64
+	seedRNG int64
 	sampler *sampler
-	lo, hi  float64
-	exact   bool
-	samples int
+	// seedLo/seedHi are the guaranteed dissociation bounds (valid only when
+	// seeded); sampled intervals are intersected with them.
+	seeded         bool
+	seedLo, seedHi float64
+	lo, hi         float64
+	exact          bool
+	samples        int
 }
 
-// refine adds a batch of samples and recomputes the Hoeffding interval.
+// seed initializes the interval along the cost model's ranking: a cheap
+// exact Shannon pass when the model ranks it first (mid-size lineage),
+// dissociation bounds otherwise — collapsing to exact on read-once lineage.
+func (s *state) seed(model planner.CostModel, res *Result) {
+	prof := planner.Profile{
+		Expanded:   true,
+		Clauses:    len(s.f.Clauses),
+		Vars:       len(s.f.Vars()),
+		WantBounds: true,
+	}
+	if !model.BoundsFirst(prof) {
+		if p, err := lineage.ProbBudget(s.f, s.probOf, shannonBudget); err == nil {
+			s.lo, s.hi, s.exact = p, p, true
+			return
+		} else if !errors.Is(err, lineage.ErrBudget) {
+			// Structural failure: fall through to bounds, which cannot fail.
+			_ = err
+		}
+	}
+	b := inference.Dissociate(s.f, s.probOf)
+	s.seeded = true
+	s.seedLo, s.seedHi = b.Lo, b.Hi
+	s.lo, s.hi = b.Lo, b.Hi
+	if b.Exact() {
+		s.exact = true
+		res.SeededExact++
+	}
+}
+
+// cold initializes the interval the pre-seeding way: [0, union bound].
+func (s *state) cold() {
+	s.ensureSampler()
+	s.lo, s.hi = 0, math.Min(1, s.sampler.total)
+}
+
+func (s *state) ensureSampler() {
+	if s.sampler == nil {
+		s.sampler = newSampler(s.f, s.probOf, rand.New(rand.NewSource(s.seedRNG)))
+	}
+}
+
+// refine adds a batch of samples and recomputes the Hoeffding interval,
+// intersected with the guaranteed dissociation bounds when seeded.
 func (s *state) refine(batch int) {
 	if s.exact {
 		return
 	}
+	s.ensureSampler()
 	s.sampler.draw(batch)
 	s.samples = s.sampler.n
 	mean := float64(s.sampler.hits) / float64(s.sampler.n)
@@ -149,34 +240,53 @@ func (s *state) refine(batch int) {
 	radius := math.Sqrt(math.Log(2/0.001) / (2 * float64(s.sampler.n)))
 	s.lo = math.Max(0, s.sampler.total*(mean-radius))
 	s.hi = math.Min(1, s.sampler.total*(mean+radius))
+	if s.seeded {
+		s.lo = math.Max(s.lo, s.seedLo)
+		s.hi = math.Min(s.hi, s.seedHi)
+	}
 	if s.hi < s.lo {
 		s.hi = s.lo
 	}
 }
 
-// criticalSet returns the indexes whose intervals straddle the k-th
-// boundary and are still wider than eps.
+// criticalSet returns the indexes whose top-k membership is still ambiguous
+// and whose intervals are wider than eps. Membership is judged against the
+// current candidate set T (the k largest lower bounds): a candidate is
+// ambiguous while some outsider's upper bound exceeds its lower bound, an
+// outsider while its upper bound exceeds the k-th lower bound. Once every
+// outsider's hi drops below every candidate's lo the set is empty — in
+// particular a provably-in k-th answer is NOT refined to eps just for
+// sitting on the boundary.
 func criticalSet(states []*state, k int, eps float64) []int {
-	los := make([]float64, len(states))
-	for i, s := range states {
-		los[i] = s.lo
+	idx := make([]int, len(states))
+	for i := range idx {
+		idx[i] = i
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(los)))
-	kthLo := los[k-1]
-	his := make([]float64, len(states))
-	for i, s := range states {
-		his[i] = s.hi
+	sort.Slice(idx, func(a, b int) bool {
+		if states[idx[a]].lo != states[idx[b]].lo {
+			return states[idx[a]].lo > states[idx[b]].lo
+		}
+		return idx[a] < idx[b]
+	})
+	member := make([]bool, len(states))
+	for _, i := range idx[:k] {
+		member[i] = true
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(his)))
-	kthHi := his[k-1]
+	boundaryLo := states[idx[k-1]].lo
+	outHiMax := math.Inf(-1)
+	for _, i := range idx[k:] {
+		if h := states[i].hi; h > outHiMax {
+			outHiMax = h
+		}
+	}
 	var out []int
 	for i, s := range states {
 		if s.exact || s.hi-s.lo <= eps {
 			continue
 		}
-		// Ambiguous: could be in (hi above the k-th lower bound) and could
-		// be out (lo below the k-th upper bound).
-		if s.hi >= kthLo && s.lo <= kthHi {
+		if member[i] && s.lo < outHiMax {
+			out = append(out, i)
+		} else if !member[i] && s.hi > boundaryLo {
 			out = append(out, i)
 		}
 	}
@@ -207,7 +317,7 @@ func separated(states []*state, k int) bool {
 func snapshot(states []*state) []Answer {
 	out := make([]Answer, len(states))
 	for i, s := range states {
-		out[i] = Answer{Vals: s.vals, Lo: s.lo, Hi: s.hi, Exact: s.exact, Samples: s.samples}
+		out[i] = Answer{Vals: s.vals, Lo: s.lo, Hi: s.hi, Exact: s.exact, Samples: s.samples, Seeded: s.seeded}
 	}
 	return out
 }

@@ -110,7 +110,9 @@ func TestTopKSimulationRefinesOnlyCritical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := FromGrounding(g, Options{K: 3, Seed: 5, ExactClauseLimit: 1, Batch: 512, MaxRounds: 200})
+	// NoSeedBounds: this test exercises the cold multisimulation machinery —
+	// with dissociation seeding the intervals separate without any sampling.
+	res, err := FromGrounding(g, Options{K: 3, Seed: 5, ExactClauseLimit: 1, Batch: 512, MaxRounds: 200, NoSeedBounds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +153,89 @@ func TestTopKValidation(t *testing.T) {
 	g, _ := groundSpec(t, "P1", workload.Params{N: 2, M: 5, Fanout: 2, RF: 0, RD: 1, Seed: 45})
 	if _, err := FromGrounding(g, Options{K: 0}); err == nil {
 		t.Error("K=0 accepted")
+	}
+}
+
+// Dissociation seeding must pick the same top-k set as the cold
+// multisimulation while spending strictly less sampling effort on a
+// well-separated workload.
+func TestTopKSeedingBeatsCold(t *testing.T) {
+	db := relation.NewDatabase()
+	r := relation.New("R", "h", "a")
+	s := relation.New("S", "h", "a", "b")
+	for h := int64(1); h <= 10; h++ {
+		base := float64(h) / 11
+		for a := int64(1); a <= 12; a++ {
+			r.MustAdd(tuple.Ints(h, a), base)
+			s.MustAdd(tuple.Ints(h, a, a%4), 0.5)
+		}
+	}
+	db.AddRelation(r)
+	db.AddRelation(s)
+	q := query.MustParse("q(h) :- R(h, a), S(h, a, b)")
+	plan, err := query.LeftDeepPlan(q, []string{"R", "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := engine.Ground(db, q, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 3, Seed: 5, ExactClauseLimit: 1, Batch: 512, MaxRounds: 200}
+	seeded, err := FromGrounding(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NoSeedBounds = true
+	cold, err := FromGrounding(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samplesOf := func(res *Result) int {
+		total := 0
+		for _, a := range res.All {
+			total += a.Samples
+		}
+		return total
+	}
+	if samplesOf(seeded) >= samplesOf(cold) {
+		t.Errorf("seeded run drew %d samples, cold %d: seeding should cut sampling",
+			samplesOf(seeded), samplesOf(cold))
+	}
+	for i := range seeded.Top {
+		if seeded.Top[i].Vals.Compare(cold.Top[i].Vals) != 0 {
+			t.Errorf("rank %d: seeded %v vs cold %v", i, seeded.Top[i].Vals, cold.Top[i].Vals)
+		}
+	}
+}
+
+// Regression: K at or beyond the answer count must return every answer —
+// equivalent to a full evaluation — with intervals that bracket the exact
+// probabilities.
+func TestTopKAllAnswersEqualsFullEvaluation(t *testing.T) {
+	g, exact := groundSpec(t, "P1", workload.Params{N: 8, M: 20, Fanout: 3, RF: 0.2, RD: 1, Seed: 47})
+	res, err := FromGrounding(g, Options{K: len(g.Answers) + 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != len(exact.Rows) {
+		t.Fatalf("K ≥ answers returned %d answers, full evaluation has %d", len(res.Top), len(exact.Rows))
+	}
+	if !res.Separated {
+		t.Error("K ≥ answers must report separation (nothing to separate)")
+	}
+	seen := make(map[string]bool)
+	for _, a := range res.Top {
+		seen[a.Vals.Key()] = true
+		want := exact.Prob(a.Vals)
+		if want < a.Lo-1e-9 || want > a.Hi+1e-9 {
+			t.Errorf("answer %v: exact %.9f outside [%.9f, %.9f]", a.Vals, want, a.Lo, a.Hi)
+		}
+	}
+	for _, row := range exact.Rows {
+		if !seen[row.Vals.Key()] {
+			t.Errorf("answer %v missing from K ≥ answers result", row.Vals)
+		}
 	}
 }
 

@@ -53,6 +53,12 @@ var (
 	String = tuple.String
 )
 
+// ParseValue interprets s as an int, then a float, then falls back to a
+// string — the same coercion the CSV loader applies. It is the inverse of
+// Value.String for the values the loaders produce, which makes it the right
+// decoder for values arriving as text (CLI arguments, HTTP bodies).
+var ParseValue = tuple.ParseValue
+
 // Strategy selects the evaluation method.
 type Strategy = core.Strategy
 
@@ -71,9 +77,16 @@ const (
 	DNFLineage = core.DNFLineage
 	// MonteCarlo computes full DNF lineage and a Karp–Luby estimate.
 	MonteCarlo = core.MonteCarlo
+	// StrategyDissociation computes full DNF lineage and guaranteed
+	// [Lo, Hi] probability bounds per answer by dissociating shared
+	// variables (Gatterbauer & Suciu), in one extensional pass. Result rows
+	// are bounds-valued — Row.Lo/Hi bracket the true probability, Row.P is
+	// the interval midpoint — and collapse to exact on read-once lineage.
+	StrategyDissociation = core.Dissociation
 )
 
-// ParseStrategy resolves a strategy name: partial, safe, network, dnf or mc.
+// ParseStrategy resolves a strategy name: partial, safe, network, dnf, mc
+// or dissociation.
 func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
 
 // Stats reports what an evaluation did; see core.Stats for field docs.
@@ -161,6 +174,12 @@ type Options struct {
 	// legacy backend order. Ablation knob; answers are equivalent either
 	// way (see docs/PLANNER.md).
 	NoAdaptivePlan bool
+	// ExactBudget caps the exact solver's Shannon expansions per answer
+	// before the strategy's fallback engages (0 = engine default 500000,
+	// < 0 = unlimited). Under StrategyDissociation a starved exact pass
+	// falls through to genuine dissociation bounds, which makes this the
+	// knob for forcing interval-valued answers on small instances.
+	ExactBudget int
 }
 
 // Evidence is one observation: the named base tuple (full arity values) is
@@ -189,6 +208,7 @@ func (o Options) engineOptions() engine.Options {
 		NoPool:      o.NoPool,
 
 		NoAdaptivePlan: o.NoAdaptivePlan,
+		ExactBudget:    o.ExactBudget,
 		// The process-wide sink: backend attempt telemetry for metrics and
 		// the pdbbench calibration report. Observability only — never an
 		// input to planning (see planner.Sink).
@@ -565,6 +585,11 @@ func (q *Query) Relations() []string {
 	return out
 }
 
+// Head returns the query's head (answer) variables in declaration order;
+// empty for a Boolean query. These are the attribute names of every answer
+// row the query produces.
+func (q *Query) Head() []string { return append([]string(nil), q.q.Head...) }
+
 // IsSafe reports whether the query is safe (hierarchical): evaluable purely
 // extensionally on every instance.
 func (q *Query) IsSafe() bool { return q.q.IsSafe() }
@@ -643,10 +668,14 @@ func (d *Database) OptimizePlan(q *Query) (*PlanChoice, []PlanChoice, error) {
 	return &b, ranked, nil
 }
 
-// Row is one answer with its probability.
+// Row is one answer with its probability. Under StrategyDissociation the
+// row is bounds-valued: Lo and Hi bracket the true probability (Lo == Hi
+// when the answer's lineage factorized exactly) and P is the interval
+// midpoint. All other strategies set Lo == Hi == P.
 type Row struct {
-	Vals []Value
-	P    float64
+	Vals   []Value
+	P      float64
+	Lo, Hi float64
 }
 
 // Result holds the answers and run statistics of one evaluation.
@@ -735,21 +764,65 @@ func GenerateSQL(q *Query, order []string) (string, error) {
 }
 
 // TopAnswer is one answer of a top-k query with its probability bounds
-// (Lo == Hi when computed exactly).
+// (Lo == Hi when computed exactly). Seeded marks intervals initialized from
+// guaranteed dissociation bounds.
 type TopAnswer struct {
 	Vals   []Value
 	Lo, Hi float64
 	Exact  bool
+	Seeded bool
 }
 
-// TopK returns the k most probable answers of q using the multisimulation
-// method of Ré, Dalvi & Suciu: per-answer Karp–Luby confidence intervals
-// are refined only where needed to separate the top-k set, so most answers
-// are never computed precisely. The boolean result reports whether the
-// separation is provable at the estimators' confidence; false means the
-// boundary ranking used interval midpoints. Small lineages are computed
-// exactly. seed drives the samplers.
+// TopKOptions tunes a top-k evaluation; the zero value of everything but K
+// is usable.
+type TopKOptions struct {
+	// K is the number of answers wanted (required, ≥ 1).
+	K int
+	// Seed drives the samplers.
+	Seed int64
+	// Eps stops refining intervals narrower than this (default 1e-3).
+	Eps float64
+	// NoSeedBounds disables dissociation interval seeding — every non-exact
+	// answer is separated by cold multisimulation alone. Ablation knob; see
+	// docs/STRATEGIES.md.
+	NoSeedBounds bool
+}
+
+// TopKResult is the ranked answer set of a top-k evaluation.
+type TopKResult struct {
+	// Answers is the chosen top-k, most probable first.
+	Answers []TopAnswer
+	// Separated reports whether the set was provably separated from the
+	// rest; false means the boundary ranking used interval midpoints.
+	Separated bool
+	// Rounds is the number of refinement rounds the multisimulation ran.
+	Rounds int
+	// SeededExact counts answers whose dissociation interval collapsed to a
+	// point (read-once lineage) — ranked without any sampling.
+	SeededExact int
+	// Sampled counts answers that needed Karp–Luby samples.
+	Sampled int
+}
+
+// TopK returns the k most probable answers of q using dissociation-seeded
+// multisimulation (Ré, Dalvi & Suciu): every answer starts with a
+// guaranteed [lo, hi] dissociation interval computed in one extensional
+// pass, and per-answer Karp–Luby refinement is spent only on answers whose
+// intervals still straddle the k-th boundary. The boolean result reports
+// whether the separation is provable at the estimators' confidence. Small
+// lineages are computed exactly. seed drives the samplers.
 func (d *Database) TopK(q *Query, k int, seed int64) ([]TopAnswer, bool, error) {
+	res, err := d.TopKQuery(q, TopKOptions{K: k, Seed: seed})
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Answers, res.Separated, nil
+}
+
+// TopKQuery is TopK with full options and a full result: ranked answers
+// plus how the ranking was earned (rounds, seeding, sampling). The
+// evaluation is recorded into the pdb_topk_* process metrics.
+func (d *Database) TopKQuery(q *Query, opts TopKOptions) (*TopKResult, error) {
 	plan, err := query.SafePlan(q.q)
 	if err != nil {
 		order := make([]string, len(q.q.Atoms))
@@ -758,24 +831,41 @@ func (d *Database) TopK(q *Query, k int, seed int64) ([]TopAnswer, bool, error) 
 		}
 		plan, err = query.LeftDeepPlan(q.q, order)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 	}
 	d.mu.RLock()
 	g, err := engine.Ground(d.db, q.q, plan)
 	d.mu.RUnlock()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	res, err := topk.FromGrounding(g, topk.Options{K: k, Seed: seed})
+	res, err := topk.FromGrounding(g, topk.Options{
+		K:            opts.K,
+		Seed:         opts.Seed,
+		Eps:          opts.Eps,
+		NoSeedBounds: opts.NoSeedBounds,
+	})
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	out := make([]TopAnswer, len(res.Top))
-	for i, a := range res.Top {
-		out[i] = TopAnswer{Vals: a.Vals, Lo: a.Lo, Hi: a.Hi, Exact: a.Exact}
+	out := &TopKResult{
+		Separated:   res.Separated,
+		Rounds:      res.Rounds,
+		SeededExact: res.SeededExact,
+		Sampled:     res.Sampled,
 	}
-	return out, res.Separated, nil
+	for _, a := range res.Top {
+		out.Answers = append(out.Answers, TopAnswer{Vals: a.Vals, Lo: a.Lo, Hi: a.Hi, Exact: a.Exact, Seeded: a.Seeded})
+	}
+	obs.Default.ObserveTopK(obs.TopKObservation{
+		Answers:     len(g.Answers),
+		Rounds:      res.Rounds,
+		SeededExact: res.SeededExact,
+		Sampled:     res.Sampled,
+		Separated:   res.Separated,
+	})
+	return out, nil
 }
 
 // Evaluate runs the query with an automatically chosen plan: the safe plan
@@ -878,7 +968,7 @@ func observe(strategy Strategy, start time.Time, res *Result, err error) {
 func wrapResult(res *engine.Result, q *Query) *Result {
 	out := &Result{Attrs: res.Attrs, Stats: res.Stats, res: res, query: q.String()}
 	for _, row := range res.Rows {
-		out.Rows = append(out.Rows, Row{Vals: row.Vals, P: row.P})
+		out.Rows = append(out.Rows, Row{Vals: row.Vals, P: row.P, Lo: row.Lo, Hi: row.Hi})
 	}
 	return out
 }
