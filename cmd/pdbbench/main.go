@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental, topk or all")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental, topk, spill or all")
 		scaleName   = flag.String("scale", "small", "small or paper")
 		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
@@ -34,6 +34,8 @@ func main() {
 		plannerOut  = flag.String("planner-out", "BENCH_planner.json", "file for the planner benchmark artifact")
 		incrOut     = flag.String("incremental-out", "BENCH_incremental.json", "file for the incremental benchmark artifact")
 		topkOut     = flag.String("topk-out", "BENCH_topk.json", "file for the top-k benchmark artifact")
+		spillOut    = flag.String("spill-out", "BENCH_spill.json", "file for the spill benchmark artifact")
+		memBudget   = flag.Int64("mem-budget", 0, "operator scratch memory budget in bytes for the fig/pipeline experiments; join/dedup spill to disk past it, results unchanged (0 = unlimited)")
 		withMemo    = flag.Bool("memo", true, "cache experiment: include the memoized-inference comparison")
 		withCache   = flag.Bool("cache", true, "cache experiment: include the server result-cache comparison")
 		metrics     = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the life of the process, e.g. localhost:6060")
@@ -52,6 +54,7 @@ func main() {
 	}
 	sc.Parallelism = *parallelism
 	sc.Timeout = *timeout
+	sc.MemBudget = *memBudget
 	emitJSON := func(ms []experiments.Measurement) {
 		type record struct {
 			Experiment string  `json:"experiment"`
@@ -246,6 +249,34 @@ func main() {
 			}
 			fmt.Println("top-k benchmark written to", *topkOut)
 			fmt.Println()
+		case "spill":
+			rep, err := experiments.SpillBench(sc)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*spillOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteSpillJSON(f, rep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Spill: in-memory vs 25%%-of-peak budgeted execution (scale=%s) ==\n", sc.Name)
+			fmt.Printf("%-14s %14s %14s %8s %12s %10s %12s\n", "workload", "in-mem (ns)", "spill (ns)", "ratio", "budget (B)", "spilled", "spill (B)")
+			for _, pt := range rep.Points {
+				if pt.Err != "" {
+					fmt.Printf("%-14s err: %s\n", pt.Workload, pt.Err)
+					continue
+				}
+				fmt.Printf("%-14s %14d %14d %7.2fx %12d %10d %12d\n",
+					pt.Workload, pt.InMemNs, pt.SpillNs, pt.Ratio,
+					pt.BudgetBytes, pt.SpilledPartitions, pt.SpillBytes)
+			}
+			fmt.Println("spill benchmark written to", *spillOut)
+			fmt.Println()
 		case "incremental":
 			rep, err := experiments.IncrementalBench(sc)
 			if err != nil {
@@ -284,7 +315,7 @@ func main() {
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental", "topk"} {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental", "topk", "spill"} {
 			run(name)
 		}
 		return

@@ -35,6 +35,7 @@ func main() {
 		parallel  = flag.Int("parallel", 1, "deprecated alias for -parallelism")
 		workers   = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 = use -parallel; results are identical to sequential)")
 		timeout   = flag.Duration("timeout", 0, "abort the evaluation after this wall-clock duration, e.g. 30s (0 = none)")
+		memBudget = flag.Int64("mem-budget", 0, "operator scratch memory budget in bytes; join/dedup partitions spill to disk past it, results unchanged (0 = unlimited)")
 		width     = flag.Int("width", 0, "exact-inference width cap (0 = default)")
 		seed      = flag.Int64("seed", 1, "sampler seed")
 		showPlan  = flag.Bool("plan", false, "print the physical plan before running")
@@ -77,6 +78,7 @@ func main() {
 		par = *parallel
 	}
 	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace || *explain, NoAdaptivePlan: *noAdapt}
+	opts.Budget.Mem = *memBudget
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -160,6 +162,10 @@ func main() {
 		s.Strategy, s.Answers, s.OffendingTuples, s.NetworkNodes, s.NetworkEdges, s.InferenceWidth, s.Approximate)
 	fmt.Printf("       lineage=%d clauses/%d vars plan=%v inference=%v\n",
 		s.LineageClauses, s.LineageVars, s.PlanTime, s.InferenceTime)
+	if s.SpilledPartitions > 0 {
+		fmt.Printf("       spill: %d partitions, %d bytes (mem peak %d / budget %d)\n",
+			s.SpilledPartitions, s.SpillBytes, s.MemPeakBytes, *memBudget)
+	}
 	for _, js := range s.PerJoin {
 		fmt.Printf("       join %s: conditioned %d offending tuples\n", js.Join, js.Conditioned)
 	}

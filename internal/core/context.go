@@ -40,9 +40,19 @@ type Budget struct {
 	// Time bounds the evaluation's wall time, measured from the
 	// ExecContext's construction.
 	Time time.Duration
+	// Mem bounds the bytes of operator scratch state (hash-join buckets,
+	// dedup group tables, pending-match buffers) resident at once, as
+	// accounted by the ChargeMem/ReleaseMem hooks. Unlike the other
+	// dimensions, exceeding Mem never fails the evaluation: the pl
+	// operators switch to Grace-style spill-to-disk partitions and keep
+	// results byte-identical to the in-memory path (see docs/SPILL.md).
+	Mem int64
 }
 
-// Unlimited reports whether every budget dimension is unbounded.
+// Unlimited reports whether every budget dimension is unbounded. Mem is
+// deliberately excluded: a memory budget changes where scratch state lives
+// (heap vs temp files), never whether the evaluation can complete, so it is
+// not a degradation trigger the way rows/nodes/time are.
 func (b Budget) Unlimited() bool { return b.Rows <= 0 && b.Nodes <= 0 && b.Time <= 0 }
 
 // ErrRowBudget is returned (wrapped) when an evaluation exceeds Budget.Rows.
@@ -75,6 +85,14 @@ type ExecContext struct {
 
 	rows  atomic.Int64
 	nodes atomic.Int64
+
+	// Memory accounting (Budget.Mem): mem is the bytes of operator scratch
+	// currently charged, memPeak its high-water mark, spillParts/spillBytes
+	// the spill activity counters surfaced through Stats.
+	mem        atomic.Int64
+	memPeak    atomic.Int64
+	spillParts atomic.Int64
+	spillBytes atomic.Int64
 
 	mu  sync.Mutex
 	ops []OpStat
@@ -233,6 +251,91 @@ func (e *ExecContext) NodesCharged() int64 {
 		return 0
 	}
 	return e.nodes.Load()
+}
+
+// MemBudget returns Budget.Mem: the byte budget for operator scratch state,
+// 0 when unlimited (in-memory execution, no charge accounting).
+func (e *ExecContext) MemBudget() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.budget.Mem
+}
+
+// ChargeMem adds n bytes of resident operator scratch and reports whether
+// the resident total now exceeds Budget.Mem. Unlike ChargeRows/ChargeNodes
+// this is a shed signal, not an error: the caller is expected to spill (or
+// seal) the structure it is growing and release the charge. With no memory
+// budget it accounts (for MemPeakBytes) and always reports false.
+func (e *ExecContext) ChargeMem(n int64) bool {
+	if e == nil {
+		return false
+	}
+	total := e.mem.Add(n)
+	for {
+		peak := e.memPeak.Load()
+		if total <= peak || e.memPeak.CompareAndSwap(peak, total) {
+			break
+		}
+	}
+	return e.budget.Mem > 0 && total > e.budget.Mem
+}
+
+// ReleaseMem returns n bytes previously charged with ChargeMem.
+func (e *ExecContext) ReleaseMem(n int64) {
+	if e == nil {
+		return
+	}
+	e.mem.Add(-n)
+}
+
+// MemCharged returns the bytes of operator scratch currently charged.
+func (e *ExecContext) MemCharged() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.mem.Load()
+}
+
+// MemPeakBytes returns the high-water mark of charged scratch bytes.
+func (e *ExecContext) MemPeakBytes() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.memPeak.Load()
+}
+
+// AddSpillPartitions counts n operator partitions that overflowed the memory
+// budget and moved to temp files.
+func (e *ExecContext) AddSpillPartitions(n int) {
+	if e == nil {
+		return
+	}
+	e.spillParts.Add(int64(n))
+}
+
+// AddSpillBytes counts n bytes written to spill temp files.
+func (e *ExecContext) AddSpillBytes(n int64) {
+	if e == nil {
+		return
+	}
+	e.spillBytes.Add(n)
+}
+
+// SpilledPartitions returns the number of partitions spilled so far.
+func (e *ExecContext) SpilledPartitions() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.spillParts.Load()
+}
+
+// SpillBytes returns the bytes written to spill temp files so far.
+func (e *ExecContext) SpillBytes() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.spillBytes.Load()
 }
 
 // RecordOp appends one operator's statistics to the trace sink, with the

@@ -99,7 +99,8 @@ type OpStat struct {
 	// Op renders the operator.
 	Op string
 	// Kind classifies the span for tooling: "scan", "join", "project",
-	// "join.partition", "ground", "infer", "infer.answer".
+	// "join.partition", "join.spill", "project.spill", "ground", "infer",
+	// "infer.answer".
 	Kind string
 	// Depth is the span's nesting level (0 = a root of the trace forest).
 	Depth int
@@ -190,6 +191,15 @@ type Stats struct {
 	// or not a budget was set; exported as process counters by internal/obs.
 	RowsCharged  int64
 	NodesCharged int64
+
+	// Spill fields (bounded-memory execution, Budget.Mem / docs/SPILL.md).
+	// SpilledPartitions counts operator hash partitions that overflowed the
+	// memory budget onto temp files; SpillBytes totals the bytes written to
+	// them; MemPeakBytes is the high-water mark of charged operator scratch.
+	// Results are byte-identical whether or not anything spilled.
+	SpilledPartitions int64
+	SpillBytes        int64
+	MemPeakBytes      int64
 
 	// Memo counters (performance layer, PR 5): hits/misses/evictions across
 	// the evaluation's shared inference memo tables (lineage Shannon

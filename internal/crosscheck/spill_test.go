@@ -1,0 +1,128 @@
+package crosscheck
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pl"
+	"repro/pdb"
+)
+
+// spillSeeds is the oracle sweep width for the spill dimension: every seed
+// that the main crosscheck sweep trusts must also be bit-identical between
+// unbounded and floor-budget execution.
+const spillSeeds = 60
+
+// TestSpillMatchesUnlimited is the crosscheck spill dimension: for 60 seeded
+// oracle instances and every exact strategy, an evaluation under the floor
+// memory budget (1 byte — everything that can spill, spills) must reproduce
+// the unbounded evaluation bit for bit: same outcome, same answer set, same
+// probability down to the last float bit. The sweep also asserts that the
+// constrained runs actually spilled at least one partition in aggregate —
+// a spill test whose spill path never fires proves nothing.
+func TestSpillMatchesUnlimited(t *testing.T) {
+	var spilled int64
+	for seed := int64(1); seed <= spillSeeds; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range ExactStrategies() {
+			base := pdb.Options{Strategy: s, NoFallback: true}
+			ref, errRef := db.Evaluate(q, base)
+
+			floor := base
+			floor.Budget.Mem = 1
+			got, errGot := db.Evaluate(q, floor)
+			if (errRef == nil) != (errGot == nil) {
+				t.Fatalf("seed %d strategy %v: outcome changed under floor budget: %v vs %v",
+					seed, s, errRef, errGot)
+			}
+			if errRef != nil {
+				continue // e.g. safe declining a non-data-safe instance
+			}
+			if len(ref.Rows) != len(got.Rows) {
+				t.Fatalf("seed %d strategy %v: answer count %d vs %d under floor budget",
+					seed, s, len(ref.Rows), len(got.Rows))
+			}
+			for _, row := range ref.Rows {
+				if p := got.Prob(row.Vals...); p != row.P {
+					t.Fatalf("seed %d strategy %v: answer %v: %v vs %v under floor budget (must be bit-identical)",
+						seed, s, row.Vals, row.P, p)
+				}
+			}
+			spilled += got.Stats.SpilledPartitions
+			if ref.Stats.SpilledPartitions != 0 {
+				t.Fatalf("seed %d strategy %v: unbounded run reported %d spilled partitions",
+					seed, s, ref.Stats.SpilledPartitions)
+			}
+		}
+	}
+	if spilled == 0 {
+		t.Fatalf("floor-budget sweep over %d seeds spilled no partitions: the spill path was never exercised", spillSeeds)
+	}
+}
+
+// TestSpillFaultInjection proves the failure semantics: when a spill write
+// fails mid-evaluation, the error surfaces as a typed pl.ErrSpill — never a
+// silently wrong result — and once the fault clears, the same database
+// evaluates cleanly and matches the unbounded answers again.
+func TestSpillFaultInjection(t *testing.T) {
+	defer pl.FailSpillAfter(0)
+
+	// Find a seeded instance whose floor-budget evaluation actually spills;
+	// without a spill write there is nothing to inject into.
+	for seed := int64(1); seed <= spillSeeds; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base := pdb.Options{Strategy: pdb.PartialLineage, NoFallback: true}
+		ref, err := db.Evaluate(q, base)
+		if err != nil {
+			continue
+		}
+		floor := base
+		floor.Budget.Mem = 1
+		probe, err := db.Evaluate(q, floor)
+		if err != nil {
+			t.Fatalf("seed %d: floor-budget evaluation failed: %v", seed, err)
+		}
+		if probe.Stats.SpilledPartitions == 0 {
+			continue
+		}
+
+		pl.FailSpillAfter(1) // fail the very first spill write
+		_, err = db.Evaluate(q, floor)
+		pl.FailSpillAfter(0)
+		if err == nil {
+			t.Fatalf("seed %d: injected spill fault produced no error", seed)
+		}
+		if !errors.Is(err, pl.ErrSpill) {
+			t.Fatalf("seed %d: injected spill fault surfaced as %v, want pl.ErrSpill", seed, err)
+		}
+
+		// With the fault cleared the same evaluation recovers completely.
+		got, err := db.Evaluate(q, floor)
+		if err != nil {
+			t.Fatalf("seed %d: evaluation after clearing fault: %v", seed, err)
+		}
+		for _, row := range ref.Rows {
+			if p := got.Prob(row.Vals...); p != row.P {
+				t.Fatalf("seed %d: answer %v after fault recovery: %v vs %v", seed, row.Vals, row.P, p)
+			}
+		}
+		return
+	}
+	t.Fatal("no seeded instance spilled under the floor budget; fault injection never exercised")
+}

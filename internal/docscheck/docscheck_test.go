@@ -117,3 +117,25 @@ func TestEveryMetricDocumented(t *testing.T) {
 		}
 	}
 }
+
+// TestMemBudgetFlagInventory keeps docs/SPILL.md's flag table honest from
+// the other direction: every CLI it names as carrying the bounded-memory
+// knob must actually define -mem-budget (TestDocumentedFlagsExist already
+// checks that documented flags exist; this check pins that the flag is
+// present on all three entry points even if the doc table is edited).
+func TestMemBudgetFlagInventory(t *testing.T) {
+	root := repoRoot(t)
+	flags := binaryFlags(t, root)
+	for _, cmd := range []string{"pdbrun", "pdbbench", "pdbserve"} {
+		if !flags[cmd]["mem-budget"] {
+			t.Errorf("cmd/%s does not define -mem-budget, but docs/SPILL.md documents it", cmd)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(root, "docs", "SPILL.md"))
+	if err != nil {
+		t.Fatalf("docs/SPILL.md must exist — it is the bounded-memory reference: %v", err)
+	}
+	if !strings.Contains(string(data), "`-mem-budget`") {
+		t.Error("docs/SPILL.md does not document the -mem-budget flag")
+	}
+}

@@ -67,6 +67,9 @@ type Options struct {
 	// Budget caps the rows emitted, network nodes grown and wall time of
 	// one evaluation (zero fields = unlimited); exceeding it surfaces
 	// core.ErrRowBudget, core.ErrNodeBudget or context.DeadlineExceeded.
+	// Budget.Mem instead degrades gracefully: join/dedup switch to
+	// partitioned spill-to-disk execution and stay byte-identical to the
+	// unbounded result at any positive budget (docs/SPILL.md).
 	Budget core.Budget
 	// SkipInference stops the network strategies after plan execution: the
 	// result carries statistics (offending tuples, network size) but no
@@ -276,10 +279,16 @@ func EvaluateContext(ctx context.Context, db *relation.Database, q *query.Query,
 		partial.Stats.Operators = ec.Ops()
 		partial.Stats.RowsCharged = ec.RowsCharged()
 		partial.Stats.NodesCharged = ec.NodesCharged()
+		partial.Stats.SpilledPartitions = ec.SpilledPartitions()
+		partial.Stats.SpillBytes = ec.SpillBytes()
+		partial.Stats.MemPeakBytes = ec.MemPeakBytes()
 		return partial, err
 	}
 	res.Stats.RowsCharged = ec.RowsCharged()
 	res.Stats.NodesCharged = ec.NodesCharged()
+	res.Stats.SpilledPartitions = ec.SpilledPartitions()
+	res.Stats.SpillBytes = ec.SpillBytes()
+	res.Stats.MemPeakBytes = ec.MemPeakBytes()
 	return res, nil
 }
 

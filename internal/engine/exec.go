@@ -264,6 +264,18 @@ func (ex *executor) execOp(p *query.Plan) (*pl.Relation, opMeta, error) {
 		out, base, err := ex.scan(p.Atom)
 		return out, opMeta{kind: "scan", rowsIn: base}, err
 	case query.OpProject:
+		if p.Left.Op == query.OpScan && ex.canStreamScan(p.Left.Atom) {
+			// Bounded-memory grounding: the scan drives the project as an
+			// iterator instead of materializing its output relation first.
+			// The project sees the same tuples in the same order, so the
+			// result is byte-identical to the materialized path.
+			attrs, it, rowsIn, err := ex.scanIter(p.Left.Atom)
+			if err != nil {
+				return nil, opMeta{kind: "project"}, err
+			}
+			out, err := pl.ProjectStreamCtx(ex.ec, attrs, it, p.Cols, ex.net)
+			return out, opMeta{kind: "project", rowsIn: *rowsIn}, err
+		}
 		in, err := ex.exec(p.Left)
 		if err != nil {
 			return nil, opMeta{kind: "project"}, err
@@ -301,6 +313,59 @@ func (ex *executor) execOp(p *query.Plan) (*pl.Relation, opMeta, error) {
 	}
 }
 
+// scanPattern is an atom's compiled binding pattern: the selections implied
+// by constant arguments and repeated variables, and the projection onto the
+// atom's distinct variables.
+type scanPattern struct {
+	eqs    []struct{ pos, with int }
+	consts []struct {
+		pos int
+		val tuple.Value
+	}
+	outCols tuple.Schema
+	outPos  []int
+}
+
+func compileScanPattern(a *query.Atom) scanPattern {
+	var sp scanPattern
+	firstPos := make(map[string]int)
+	for i, arg := range a.Args {
+		if !arg.IsVar() {
+			sp.consts = append(sp.consts, struct {
+				pos int
+				val tuple.Value
+			}{pos: i, val: arg.Const})
+			continue
+		}
+		if j, seen := firstPos[arg.Var]; seen {
+			sp.eqs = append(sp.eqs, struct{ pos, with int }{pos: i, with: j})
+			continue
+		}
+		firstPos[arg.Var] = i
+		sp.outCols = append(sp.outCols, arg.Var)
+		sp.outPos = append(sp.outPos, i)
+	}
+	return sp
+}
+
+// matches reports whether a base row passes the pattern's selections.
+func (sp *scanPattern) matches(row relation.Row) bool {
+	if row.P == 0 {
+		return false
+	}
+	for _, c := range sp.consts {
+		if row.Tuple[c.pos] != c.val {
+			return false
+		}
+	}
+	for _, e := range sp.eqs {
+		if row.Tuple[e.pos] != row.Tuple[e.with] {
+			return false
+		}
+	}
+	return true
+}
+
 // scan reads the atom's relation, applies the selections implied by constant
 // arguments and repeated variables, and projects onto the atom's distinct
 // variables. Under FullNetwork every uncertain tuple is conditioned
@@ -314,31 +379,8 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, int, error) {
 	if len(rel.Attrs) != len(a.Args) {
 		return nil, 0, fmt.Errorf("engine: atom %s has %d arguments, relation has %d attributes", a.String(), len(a.Args), len(rel.Attrs))
 	}
-	// Compile the binding pattern.
-	type eqCheck struct{ pos, with int }
-	type constCheck struct {
-		pos int
-		val tuple.Value
-	}
-	var eqs []eqCheck
-	var consts []constCheck
-	firstPos := make(map[string]int)
-	var outCols tuple.Schema
-	var outPos []int
-	for i, arg := range a.Args {
-		if !arg.IsVar() {
-			consts = append(consts, constCheck{pos: i, val: arg.Const})
-			continue
-		}
-		if j, seen := firstPos[arg.Var]; seen {
-			eqs = append(eqs, eqCheck{pos: i, with: j})
-			continue
-		}
-		firstPos[arg.Var] = i
-		outCols = append(outCols, arg.Var)
-		outPos = append(outPos, i)
-	}
-	out := &pl.Relation{Attrs: outCols}
+	sp := compileScanPattern(a)
+	out := &pl.Relation{Attrs: sp.outCols}
 	outRow := make([]int, len(rel.Rows))
 	chk := core.Check{EC: ex.ec}
 	for ri, row := range rel.Rows {
@@ -346,30 +388,12 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, int, error) {
 			return nil, len(rel.Rows), err
 		}
 		outRow[ri] = -1
-		if row.P == 0 {
-			continue
-		}
-		ok := true
-		for _, c := range consts {
-			if row.Tuple[c.pos] != c.val {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			for _, e := range eqs {
-				if row.Tuple[e.pos] != row.Tuple[e.with] {
-					ok = false
-					break
-				}
-			}
-		}
-		if !ok {
+		if !sp.matches(row) {
 			continue
 		}
 		outRow[ri] = len(out.Tuples)
 		out.Tuples = append(out.Tuples, pl.Tuple{
-			Vals: row.Tuple.Project(outPos),
+			Vals: row.Tuple.Project(sp.outPos),
 			P:    row.P,
 			Lin:  aonet.Epsilon,
 		})
@@ -390,6 +414,55 @@ func (ex *executor) scan(a *query.Atom) (*pl.Relation, int, error) {
 		return nil, len(rel.Rows), err
 	}
 	return out, len(rel.Rows), nil
+}
+
+// canStreamScan reports whether the scan of atom a may drive its consumer as
+// an iterator instead of a materialized relation: bounded-memory execution
+// only, and only when nothing needs to mutate the scanned tuples in place —
+// FullNetwork conditions every uncertain tuple at the scan, and evidence
+// pins lineage nodes onto specific scan rows.
+func (ex *executor) canStreamScan(a *query.Atom) bool {
+	return ex.ec.MemBudget() > 0 &&
+		ex.opts.Strategy != core.FullNetwork &&
+		len(ex.evidenceByRel[a.Pred]) == 0
+}
+
+// scanIter is scan as a stream: it yields the same tuples in the same base
+// row order without building the output relation. The returned counter
+// tracks rows emitted so far (the consumer's rows-in after the stream is
+// drained); rows are charged against the budget as they are emitted, so the
+// charged total matches the materialized scan's.
+func (ex *executor) scanIter(a *query.Atom) (tuple.Schema, pl.Iterator, *int, error) {
+	rel, err := ex.db.Relation(a.Pred)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(rel.Attrs) != len(a.Args) {
+		return nil, nil, nil, fmt.Errorf("engine: atom %s has %d arguments, relation has %d attributes", a.String(), len(a.Args), len(rel.Attrs))
+	}
+	sp := compileScanPattern(a)
+	rows := new(int)
+	ri := 0
+	chk := core.Check{EC: ex.ec}
+	it := pl.IterFunc(func() (pl.Tuple, bool, error) {
+		for ; ri < len(rel.Rows); ri++ {
+			if err := chk.Tick(); err != nil {
+				return pl.Tuple{}, false, err
+			}
+			row := rel.Rows[ri]
+			if !sp.matches(row) {
+				continue
+			}
+			if err := ex.ec.ChargeRows(1); err != nil {
+				return pl.Tuple{}, false, err
+			}
+			*rows++
+			ri++
+			return pl.Tuple{Vals: row.Tuple.Project(sp.outPos), P: row.P, Lin: aonet.Epsilon}, true, nil
+		}
+		return pl.Tuple{}, false, nil
+	})
+	return sp.outCols, it, rows, nil
 }
 
 // applyEvidence conditions the scanned relation on the observations for

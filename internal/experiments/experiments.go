@@ -58,6 +58,10 @@ type Scale struct {
 	// Timeout bounds each individual evaluation's wall clock (0 = none);
 	// a timed-out point reports its error instead of a measurement.
 	Timeout time.Duration
+	// MemBudget bounds operator scratch memory per evaluation in bytes
+	// (0 = unlimited): join/dedup spill partitions to disk past it and the
+	// measurements stay byte-identical, only slower (docs/SPILL.md).
+	MemBudget int64
 }
 
 // Small returns a laptop-scale configuration preserving the experiments'
@@ -144,6 +148,7 @@ func runOne(spec workload.Spec, p workload.Params, strat core.Strategy, sc Scale
 	opts := engine.Options{Strategy: strat, Samples: sc.Samples, Seed: p.Seed, Parallelism: sc.Parallelism}
 	opts.Inference.MaxFactorVars = sc.MaxWidth
 	opts.Budget.Time = sc.Timeout
+	opts.Budget.Mem = sc.MemBudget
 	start := time.Now()
 	res, err := engine.Evaluate(db, spec.Query(), plan, opts)
 	elapsed := time.Since(start)

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/relation"
+)
+
+// SpillPoint compares one grounding-heavy workload executed in memory
+// (no budget) against the same evaluation under a memory budget of a
+// quarter of its measured scratch peak, forcing join/dedup partitions to
+// spill to disk. Outputs are byte-identical either way (docs/SPILL.md);
+// the point records how much throughput the spilling costs.
+type SpillPoint struct {
+	Workload string `json:"workload"`
+	InMemNs  int64  `json:"in_memory_ns"`
+	SpillNs  int64  `json:"spill_ns"`
+	// Ratio is spill throughput relative to in-memory (in_memory_ns /
+	// spill_ns); 1.0 means spilling was free, 0.5 means it halved
+	// throughput.
+	Ratio             float64 `json:"throughput_ratio"`
+	BudgetBytes       int64   `json:"budget_bytes"`
+	PeakBytes         int64   `json:"mem_peak_bytes"`
+	SpilledPartitions int64   `json:"spilled_partitions"`
+	SpillBytes        int64   `json:"spill_bytes"`
+	Err               string  `json:"error,omitempty"`
+}
+
+// SpillReport is the BENCH_spill.json artifact.
+type SpillReport struct {
+	Points []SpillPoint `json:"spill"`
+}
+
+// Spill benchmark instance sizes. Fixed rather than scaled: the workloads
+// exist to push tens of thousands of rows through the join/dedup pipeline
+// (so partition scratch is worth bounding), while inference is skipped —
+// the benchmark isolates the operator pipeline the memory budget governs.
+const (
+	spillSharedDom   = 20
+	spillSharedHeads = 100
+	spillGridGroups  = 200
+	spillGridFanout  = 30
+)
+
+// SpillBench measures the in-memory pipeline against 25%-of-peak budgeted
+// execution on the shared-core and grid workloads: best-of-three
+// interleaved wall clocks per side, with an inline equivalence check on the
+// grounding statistics (the byte-level identity of spilled execution is
+// pinned separately by internal/pl's property suite and the crosscheck
+// spill dimension). A budgeted run that spills nothing is reported as an
+// error — the benchmark must exercise the spill path to mean anything.
+func SpillBench(sc Scale) (*SpillReport, error) {
+	type spillWorkload struct {
+		name  string
+		db    *relation.Database
+		query string
+		order []string
+	}
+	workloads := []spillWorkload{
+		{
+			name:  "shared-core",
+			db:    sharedCoreDB(spillSharedDom, spillSharedHeads),
+			query: "q(h) :- G(h), R(x), S(x, y), T(y)",
+			order: []string{"G", "R", "S", "T"},
+		},
+		{
+			name:  "grid-groups",
+			db:    gridGroupsDB(spillGridGroups, spillGridFanout),
+			query: "q(h) :- R(h, a), S(h, a, b), T(h, b)",
+			order: []string{"R", "S", "T"},
+		},
+	}
+
+	rep := &SpillReport{}
+	for _, w := range workloads {
+		pt := SpillPoint{Workload: w.name}
+		q := query.MustParse(w.query)
+		plan, err := query.LeftDeepPlan(q, w.order)
+		if err != nil {
+			return nil, err
+		}
+		opts := engine.Options{Strategy: core.PartialLineage, SkipInference: true}
+		opts.Budget.Time = sc.Timeout
+
+		run := func(mem int64) (time.Duration, *engine.Result, error) {
+			o := opts
+			o.Budget.Mem = mem
+			start := time.Now()
+			res, err := engine.Evaluate(w.db, q, plan, o)
+			return time.Since(start), res, err
+		}
+
+		// Probe with a budget too large to overflow: the spill executor
+		// runs, charges its scratch, and never spills — its recorded peak is
+		// the reference the 25% budget divides.
+		_, probe, err := run(1 << 30)
+		if err != nil {
+			pt.Err = err.Error()
+			rep.Points = append(rep.Points, pt)
+			continue
+		}
+		pt.PeakBytes = probe.Stats.MemPeakBytes
+		budget := pt.PeakBytes / 4
+		if budget < 1 {
+			budget = 1
+		}
+		pt.BudgetBytes = budget
+
+		var memBest, spillBest time.Duration
+		var memRes, spillRes *engine.Result
+		for i := 0; i < 3; i++ {
+			memDur, mr, errMem := run(0)
+			spillDur, sr, errSpill := run(budget)
+			if errMem != nil || errSpill != nil {
+				err := errMem
+				if err == nil {
+					err = errSpill
+				}
+				pt.Err = err.Error()
+				break
+			}
+			if i == 0 || memDur < memBest {
+				memBest, memRes = memDur, mr
+			}
+			if i == 0 || spillDur < spillBest {
+				spillBest, spillRes = spillDur, sr
+			}
+		}
+		if pt.Err == "" {
+			if err := sameGrounding(memRes, spillRes); err != nil {
+				pt.Err = err.Error()
+			} else if spillRes.Stats.SpilledPartitions == 0 {
+				pt.Err = fmt.Sprintf("budget %d spilled no partitions (peak %d): the benchmark did not exercise the spill path", budget, pt.PeakBytes)
+			}
+		}
+		if pt.Err == "" {
+			pt.InMemNs, pt.SpillNs = memBest.Nanoseconds(), spillBest.Nanoseconds()
+			if spillBest > 0 {
+				pt.Ratio = float64(memBest) / float64(spillBest)
+			}
+			pt.SpilledPartitions = spillRes.Stats.SpilledPartitions
+			pt.SpillBytes = spillRes.Stats.SpillBytes
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// sameGrounding checks that the budgeted run ground the identical result:
+// same answers, same AND-OR network shape, same conditioning work. The
+// byte-level row/network identity is pinned by internal/pl's property suite
+// and internal/crosscheck's spill dimension; this inline check catches a
+// divergence the benchmark itself would otherwise time as if it were valid.
+func sameGrounding(a, b *engine.Result) error {
+	as, bs := a.Stats, b.Stats
+	if as.Answers != bs.Answers || as.NetworkNodes != bs.NetworkNodes ||
+		as.NetworkEdges != bs.NetworkEdges || as.OffendingTuples != bs.OffendingTuples {
+		return fmt.Errorf("spill run diverged: answers %d/%d nodes %d/%d edges %d/%d offending %d/%d",
+			as.Answers, bs.Answers, as.NetworkNodes, bs.NetworkNodes,
+			as.NetworkEdges, bs.NetworkEdges, as.OffendingTuples, bs.OffendingTuples)
+	}
+	return nil
+}
+
+// WriteSpillJSON renders the benchmark report as indented JSON.
+func WriteSpillJSON(w io.Writer, rep *SpillReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -69,6 +69,12 @@ type Registry struct {
 	rowsCharged        uint64
 	nodesCharged       uint64
 
+	// Spill counters, fed by evaluations running under a memory budget:
+	// join/dedup partitions written to temp files and the bytes they wrote
+	// (docs/SPILL.md).
+	spillPartitions uint64
+	spillBytes      uint64
+
 	// Performance-layer counters (PR 5): the evaluations' shared inference
 	// memo tables and the AND-OR network hash-consing table.
 	memoHits      uint64
@@ -188,6 +194,8 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 		}
 		r.rowsCharged += uint64(o.Stats.RowsCharged)
 		r.nodesCharged += uint64(o.Stats.NodesCharged)
+		r.spillPartitions += uint64(o.Stats.SpilledPartitions)
+		r.spillBytes += uint64(o.Stats.SpillBytes)
 		r.memoHits += uint64(o.Stats.MemoHits)
 		r.memoMisses += uint64(o.Stats.MemoMisses)
 		r.memoEvictions += uint64(o.Stats.MemoEvictions)
@@ -404,6 +412,8 @@ func (r *Registry) snapshot() map[string]any {
 		"inference_fallbacks_total":       r.inferenceFallbacks,
 		"rows_charged_total":              r.rowsCharged,
 		"network_nodes_charged_total":     r.nodesCharged,
+		"spill_partitions_total":          r.spillPartitions,
+		"spill_bytes_total":               r.spillBytes,
 		"memo_hits_total":                 r.memoHits,
 		"memo_misses_total":               r.memoMisses,
 		"memo_evictions_total":            r.memoEvictions,
@@ -464,6 +474,8 @@ func MetricNames() []string {
 		"pdb_inference_fallbacks_total",
 		"pdb_rows_charged_total",
 		"pdb_network_nodes_charged_total",
+		"pdb_spill_partitions_total",
+		"pdb_spill_bytes_total",
 		"pdb_memo_hits_total",
 		"pdb_memo_misses_total",
 		"pdb_memo_evictions_total",
@@ -546,6 +558,10 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Rows emitted by relational operators (or lineage clauses grounded) across all evaluations.", r.rowsCharged)
 	promScalar(&b, "pdb_network_nodes_charged_total", "counter",
 		"AND-OR network nodes grown across all evaluations.", r.nodesCharged)
+	promScalar(&b, "pdb_spill_partitions_total", "counter",
+		"Join/dedup partitions spilled to temp files under a memory budget across all evaluations.", r.spillPartitions)
+	promScalar(&b, "pdb_spill_bytes_total", "counter",
+		"Bytes written to spill temp files under a memory budget across all evaluations.", r.spillBytes)
 	promScalar(&b, "pdb_memo_hits_total", "counter",
 		"Shared inference-memo hits (lineage Shannon subproblems and VE component solves) across all evaluations.", r.memoHits)
 	promScalar(&b, "pdb_memo_misses_total", "counter",

@@ -19,7 +19,8 @@ func feed(r *Registry) {
 		Strategy: core.PartialLineage,
 		Duration: 800 * time.Microsecond,
 		Stats: &core.Stats{Answers: 3, OffendingTuples: 2, RowsCharged: 23, NodesCharged: 5,
-			MemoHits: 12, MemoMisses: 30, MemoEvictions: 1, ConsHits: 4},
+			MemoHits: 12, MemoMisses: 30, MemoEvictions: 1, ConsHits: 4,
+			SpilledPartitions: 3, SpillBytes: 4096},
 	})
 	r.ObserveQuery(QueryObservation{
 		Strategy: core.PartialLineage,

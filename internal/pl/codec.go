@@ -1,0 +1,319 @@
+package pl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/aonet"
+	"repro/internal/tuple"
+)
+
+// The spill partition-file codec: a deterministic, self-delimiting binary
+// encoding of the records the bounded-memory operators (spill.go) move
+// between heap and temp files. Determinism matters because the spill paths
+// promise byte-identical results to in-memory execution — a record must
+// decode to exactly the value that was encoded, bit patterns included
+// (float64 payloads travel as raw IEEE-754 bits, never through text).
+//
+// Four record kinds, each a kind byte followed by its payload:
+//
+//	index  seq                              — one side of a join partition
+//	                                          (base tuples stay resident;
+//	                                          partitions store arrival
+//	                                          indexes, late-materialization
+//	                                          style)
+//	pair   i, j                             — one matched join pair, probe
+//	                                          index × build index
+//	tuple  seq, P, Lin, vals                — a full pL-tuple with its
+//	                                          arrival sequence (dedup input
+//	                                          partitions)
+//	group  first, vals, n, (P, Lin) × n     — one dedup group: first arrival
+//	                                          index, the common values, and
+//	                                          the members' (probability,
+//	                                          lineage) edges in arrival order
+//
+// Integers are unsigned varints (negative tuple ints zigzag via AppendVarint),
+// floats are 8 fixed bytes of math.Float64bits, strings are length-prefixed.
+// Decoding rejects truncated input with io.ErrUnexpectedEOF and oversized
+// length prefixes with errCodecCorrupt — a partial temp-file write can never
+// silently produce a short-but-plausible record stream. FuzzSpillCodec
+// round-trips arbitrary byte strings through decode→encode→decode.
+
+const (
+	recKindIndex = 0x01
+	recKindPair  = 0x02
+	recKindTuple = 0x03
+	recKindGroup = 0x04
+)
+
+// codecMax bounds decoded length prefixes (string bytes, tuple arity, group
+// members) so corrupt or adversarial input cannot demand absurd allocations.
+const codecMax = 1 << 24
+
+var errCodecCorrupt = errors.New("pl: corrupt spill record")
+
+// pairRec is one matched join pair: probe-side arrival index i, build-side
+// arrival index j. Streams of pairRecs are ordered ascending by (i, j).
+type pairRec struct {
+	i, j int32
+}
+
+// tupleRec is a full pL-tuple with its arrival sequence number.
+type tupleRec struct {
+	seq int32
+	t   Tuple
+}
+
+// groupRec is one dedup group: the arrival index of its first member, the
+// (shared) values, and every member's (P, Lin) in arrival order. Singleton
+// groups pass the member through unchanged; larger groups become one Or
+// gate over the member edges.
+type groupRec struct {
+	first   int32
+	vals    tuple.Tuple
+	members []aonet.Edge
+}
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendValue(b []byte, v tuple.Value) []byte {
+	switch v.Kind() {
+	case tuple.KindInt:
+		b = append(b, 'i')
+		b = binary.AppendVarint(b, v.AsInt())
+	case tuple.KindFloat:
+		b = append(b, 'f')
+		b = appendFloat(b, v.AsFloat())
+	default:
+		s := v.AsString()
+		b = append(b, 's')
+		b = appendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+func appendTupleVals(b []byte, t tuple.Tuple) []byte {
+	b = appendUvarint(b, uint64(len(t)))
+	for _, v := range t {
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+func appendIndexRec(b []byte, seq int32) []byte {
+	b = append(b, recKindIndex)
+	return appendUvarint(b, uint64(uint32(seq)))
+}
+
+func appendPairRec(b []byte, r pairRec) []byte {
+	b = append(b, recKindPair)
+	b = appendUvarint(b, uint64(uint32(r.i)))
+	return appendUvarint(b, uint64(uint32(r.j)))
+}
+
+func appendTupleRec(b []byte, r tupleRec) []byte {
+	b = append(b, recKindTuple)
+	b = appendUvarint(b, uint64(uint32(r.seq)))
+	b = appendFloat(b, r.t.P)
+	b = appendUvarint(b, uint64(uint32(r.t.Lin)))
+	return appendTupleVals(b, r.t.Vals)
+}
+
+func appendGroupRec(b []byte, r groupRec) []byte {
+	b = append(b, recKindGroup)
+	b = appendUvarint(b, uint64(uint32(r.first)))
+	b = appendTupleVals(b, r.vals)
+	b = appendUvarint(b, uint64(len(r.members)))
+	for _, e := range r.members {
+		b = appendFloat(b, e.P)
+		b = appendUvarint(b, uint64(uint32(e.From)))
+	}
+	return b
+}
+
+// recDecoder reads spill records off a buffered reader. A clean EOF at a
+// record boundary ends the stream; EOF inside a record is truncation and
+// surfaces as io.ErrUnexpectedEOF.
+type recDecoder struct {
+	br *bufio.Reader
+}
+
+// readKind returns the next record's kind byte, or ok == false at a clean
+// end of stream.
+func (d *recDecoder) readKind() (kind byte, ok bool, err error) {
+	b, err := d.br.ReadByte()
+	if err == io.EOF {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	switch b {
+	case recKindIndex, recKindPair, recKindTuple, recKindGroup:
+		return b, true, nil
+	default:
+		return 0, false, fmt.Errorf("%w: unknown record kind 0x%02x", errCodecCorrupt, b)
+	}
+}
+
+// inTruncated maps any EOF inside a record body to ErrUnexpectedEOF.
+func inTruncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func (d *recDecoder) readUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	return v, inTruncated(err)
+}
+
+func (d *recDecoder) readIndex32() (int32, error) {
+	v, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: index %d out of range", errCodecCorrupt, v)
+	}
+	return int32(uint32(v)), nil
+}
+
+func (d *recDecoder) readFloat() (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(d.br, buf[:]); err != nil {
+		return 0, inTruncated(err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (d *recDecoder) readValue() (tuple.Value, error) {
+	kind, err := d.br.ReadByte()
+	if err != nil {
+		return tuple.Value{}, inTruncated(err)
+	}
+	switch kind {
+	case 'i':
+		i, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return tuple.Value{}, inTruncated(err)
+		}
+		return tuple.Int(i), nil
+	case 'f':
+		f, err := d.readFloat()
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Float(f), nil
+	case 's':
+		n, err := d.readUvarint()
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		if n > codecMax {
+			return tuple.Value{}, fmt.Errorf("%w: string length %d", errCodecCorrupt, n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return tuple.Value{}, inTruncated(err)
+		}
+		return tuple.String(string(buf)), nil
+	default:
+		return tuple.Value{}, fmt.Errorf("%w: unknown value kind 0x%02x", errCodecCorrupt, kind)
+	}
+}
+
+func (d *recDecoder) readTupleVals() (tuple.Tuple, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > codecMax {
+		return nil, fmt.Errorf("%w: tuple arity %d", errCodecCorrupt, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	t := make(tuple.Tuple, n)
+	for i := range t {
+		if t[i], err = d.readValue(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func (d *recDecoder) readIndexRec() (int32, error) { return d.readIndex32() }
+
+func (d *recDecoder) readPairRec() (pairRec, error) {
+	i, err := d.readIndex32()
+	if err != nil {
+		return pairRec{}, err
+	}
+	j, err := d.readIndex32()
+	if err != nil {
+		return pairRec{}, err
+	}
+	return pairRec{i: i, j: j}, nil
+}
+
+func (d *recDecoder) readTupleRec() (tupleRec, error) {
+	seq, err := d.readIndex32()
+	if err != nil {
+		return tupleRec{}, err
+	}
+	p, err := d.readFloat()
+	if err != nil {
+		return tupleRec{}, err
+	}
+	lin, err := d.readIndex32()
+	if err != nil {
+		return tupleRec{}, err
+	}
+	vals, err := d.readTupleVals()
+	if err != nil {
+		return tupleRec{}, err
+	}
+	return tupleRec{seq: seq, t: Tuple{Vals: vals, P: p, Lin: aonet.NodeID(lin)}}, nil
+}
+
+func (d *recDecoder) readGroupRec() (groupRec, error) {
+	first, err := d.readIndex32()
+	if err != nil {
+		return groupRec{}, err
+	}
+	vals, err := d.readTupleVals()
+	if err != nil {
+		return groupRec{}, err
+	}
+	n, err := d.readUvarint()
+	if err != nil {
+		return groupRec{}, err
+	}
+	if n > codecMax {
+		return groupRec{}, fmt.Errorf("%w: group size %d", errCodecCorrupt, n)
+	}
+	members := make([]aonet.Edge, n)
+	for i := range members {
+		p, err := d.readFloat()
+		if err != nil {
+			return groupRec{}, err
+		}
+		from, err := d.readIndex32()
+		if err != nil {
+			return groupRec{}, err
+		}
+		members[i] = aonet.Edge{From: aonet.NodeID(from), P: p}
+	}
+	return groupRec{first: first, vals: vals, members: members}, nil
+}

@@ -131,7 +131,17 @@ func SelectCtx(ec *core.ExecContext, r *Relation, pred func(tuple.Tuple) bool) (
 // independent-project stage allocates no network nodes and groups on
 // (values, lineage), so it runs sequentially; its cost is one hash pass.
 func IndProjectCtx(ec *core.ExecContext, r *Relation, cols []string) (*Relation, error) {
-	idx, err := r.Attrs.Indexes(cols)
+	return IndProjectStreamCtx(ec, r.Attrs, r.Iter(), cols)
+}
+
+// IndProjectStreamCtx is IndProjectCtx over a tuple stream: the hash pass
+// consumes the iterator one tuple at a time, so a producer (the engine's
+// grounding scan under a memory budget) can drive it without materializing
+// its output first. The output is identical to IndProjectCtx on the
+// materialized input — the grouping sees the same tuples in the same order.
+func IndProjectStreamCtx(ec *core.ExecContext, attrs tuple.Schema, it Iterator, cols []string) (*Relation, error) {
+	defer it.Close()
+	idx, err := attrs.Indexes(cols)
 	if err != nil {
 		return nil, fmt.Errorf("pl: IndProject: %w", err)
 	}
@@ -143,7 +153,14 @@ func IndProjectCtx(ec *core.ExecContext, r *Relation, cols []string) (*Relation,
 	pos := make(map[groupKey]int)
 	chk := core.Check{EC: ec}
 	charge := rowCharger{ec: ec}
-	for _, t := range r.Tuples {
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		if err := chk.Tick(); err != nil {
 			return nil, err
 		}
@@ -267,7 +284,11 @@ func JoinCtx(ec *core.ExecContext, r1, r2 *Relation, net *aonet.Network) (*Relat
 	}
 	nodes0 := net.Len()
 	var out *Relation
-	if w := workersFor(ec, len(r1.Tuples)+len(r2.Tuples)); w > 1 {
+	if ec.MemBudget() > 0 {
+		// Bounded-memory execution (docs/SPILL.md): partitioned spill join,
+		// byte-identical to the serial join at any positive budget.
+		out, err = joinSpill(ec, r1, r2, net, sh)
+	} else if w := workersFor(ec, len(r1.Tuples)+len(r2.Tuples)); w > 1 {
 		out, err = joinParallel(ec, w, r1, r2, net, sh)
 	} else {
 		out, err = joinSerial(ec, r1, r2, net, sh)
@@ -459,6 +480,9 @@ func parallelKeys(ec *core.ExecContext, w int, tuples []Tuple, idx []int) ([]str
 		return nil
 	})
 	if err != nil {
+		// Return the pooled slice before surfacing the error — losing it
+		// here would leak a checkout (the caller only puts what it got).
+		putKeySlice(ec, keys)
 		return nil, err
 	}
 	return keys, nil
@@ -472,7 +496,11 @@ func DedupCtx(ec *core.ExecContext, r *Relation, net *aonet.Network) (*Relation,
 	nodes0 := net.Len()
 	var out *Relation
 	var err error
-	if w := workersFor(ec, len(r.Tuples)); w > 1 {
+	if ec.MemBudget() > 0 {
+		// Bounded-memory execution (docs/SPILL.md): partitioned spill dedup,
+		// byte-identical to the serial dedup at any positive budget.
+		out, err = dedupSpill(ec, r.Attrs, r.Iter(), net)
+	} else if w := workersFor(ec, len(r.Tuples)); w > 1 {
 		out, err = dedupParallel(ec, w, r, net)
 	} else {
 		out, err = dedupSerial(ec, r, net)
@@ -585,6 +613,18 @@ func dedupParallel(ec *core.ExecContext, w int, r *Relation, net *aonet.Network)
 // ProjectCtx is Project (IndProject then Dedup) over an ExecContext.
 func ProjectCtx(ec *core.ExecContext, r *Relation, cols []string, net *aonet.Network) (*Relation, error) {
 	ind, err := IndProjectCtx(ec, r, cols)
+	if err != nil {
+		return nil, err
+	}
+	return DedupCtx(ec, ind, net)
+}
+
+// ProjectStreamCtx is ProjectCtx over a tuple stream: independent project
+// consumes the iterator directly, then the deduplication stage runs on the
+// (already reduced) grouped output. Byte-identical to ProjectCtx on the
+// materialized input.
+func ProjectStreamCtx(ec *core.ExecContext, attrs tuple.Schema, it Iterator, cols []string, net *aonet.Network) (*Relation, error) {
+	ind, err := IndProjectStreamCtx(ec, attrs, it, cols)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package pl
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -26,8 +27,21 @@ var (
 	keySlicePool   = sync.Pool{New: func() any { return new([]string) }}
 )
 
+// poolCheckouts balances pooled scratch checkouts: every pooling get
+// increments it, the matching put decrements it. It exists so leak
+// regression tests can assert that every code path — including error and
+// cancellation exits — returns what it borrowed; it must read zero whenever
+// no operator is running.
+var poolCheckouts atomic.Int64
+
+// PoolCheckouts reports the number of pooled scratch objects currently
+// checked out. Test accounting only: zero between operator runs, or the
+// operators are leaking pool entries.
+func PoolCheckouts() int64 { return poolCheckouts.Load() }
+
 func getJoinBuckets(ec *core.ExecContext) map[string][]int32 {
 	if ec.Pooling() {
+		poolCheckouts.Add(1)
 		return joinBucketPool.Get().(map[string][]int32)
 	}
 	return make(map[string][]int32)
@@ -35,6 +49,7 @@ func getJoinBuckets(ec *core.ExecContext) map[string][]int32 {
 
 func putJoinBuckets(ec *core.ExecContext, m map[string][]int32) {
 	if ec.Pooling() {
+		poolCheckouts.Add(-1)
 		clear(m)
 		joinBucketPool.Put(m)
 	}
@@ -42,6 +57,7 @@ func putJoinBuckets(ec *core.ExecContext, m map[string][]int32) {
 
 func getDedupGroups(ec *core.ExecContext) map[string][]int {
 	if ec.Pooling() {
+		poolCheckouts.Add(1)
 		return dedupGroupPool.Get().(map[string][]int)
 	}
 	return make(map[string][]int)
@@ -49,6 +65,7 @@ func getDedupGroups(ec *core.ExecContext) map[string][]int {
 
 func putDedupGroups(ec *core.ExecContext, m map[string][]int) {
 	if ec.Pooling() {
+		poolCheckouts.Add(-1)
 		clear(m)
 		dedupGroupPool.Put(m)
 	}
@@ -56,6 +73,7 @@ func putDedupGroups(ec *core.ExecContext, m map[string][]int) {
 
 func getPartGroups(ec *core.ExecContext) map[string]int {
 	if ec.Pooling() {
+		poolCheckouts.Add(1)
 		return partGroupPool.Get().(map[string]int)
 	}
 	return make(map[string]int)
@@ -63,6 +81,7 @@ func getPartGroups(ec *core.ExecContext) map[string]int {
 
 func putPartGroups(ec *core.ExecContext, m map[string]int) {
 	if ec.Pooling() {
+		poolCheckouts.Add(-1)
 		clear(m)
 		partGroupPool.Put(m)
 	}
@@ -71,25 +90,34 @@ func putPartGroups(ec *core.ExecContext, m map[string]int) {
 // getKeySlice returns a string slice of length n. Pooled slices are reused
 // when their capacity suffices; callers overwrite every index before reading,
 // so stale entries past the previous length are never observed.
+//
+// The checkout counter tracks non-nil slices only: putKeySlice ignores nil,
+// and the n == 0 pooled path can hand back a nil slice (re-slicing a nil
+// backing array), which would otherwise never be balanced by a put.
 func getKeySlice(ec *core.ExecContext, n int) []string {
-	if ec.Pooling() {
-		sp := keySlicePool.Get().(*[]string)
-		if cap(*sp) >= n {
-			s := (*sp)[:n]
-			*sp = nil
-			keySlicePool.Put(sp)
-			return s
-		}
-		*sp = nil
-		keySlicePool.Put(sp)
+	if !ec.Pooling() {
+		return make([]string, n)
 	}
-	return make([]string, n)
+	sp := keySlicePool.Get().(*[]string)
+	var s []string
+	if cap(*sp) >= n {
+		s = (*sp)[:n]
+	} else {
+		s = make([]string, n)
+	}
+	*sp = nil
+	keySlicePool.Put(sp)
+	if s != nil {
+		poolCheckouts.Add(1)
+	}
+	return s
 }
 
 func putKeySlice(ec *core.ExecContext, s []string) {
 	if !ec.Pooling() || s == nil {
 		return
 	}
+	poolCheckouts.Add(-1)
 	clear(s)
 	sp := keySlicePool.Get().(*[]string)
 	*sp = s

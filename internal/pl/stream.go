@@ -1,0 +1,54 @@
+package pl
+
+// The streaming side of the pL operator layer: a pull-based iterator
+// protocol over pL-tuples. The bounded-memory execution paths (spill.go)
+// drain their inputs through iterators one tuple at a time instead of
+// indexing materialized slices, and the engine's grounding pipeline drives
+// its scans through the same protocol, so an operator's scratch state — not
+// its input representation — is the only thing the memory budget has to
+// bound.
+//
+// Iterators are single-consumer and not safe for concurrent use. Close is
+// idempotent and must be called even after an error from Next.
+
+// Iterator is a pull-based stream of pL-tuples.
+type Iterator interface {
+	// Next returns the next tuple; ok is false when the stream is
+	// exhausted (in which case the tuple is meaningless).
+	Next() (t Tuple, ok bool, err error)
+	// Close releases any resources backing the stream.
+	Close() error
+}
+
+// sliceIter streams a materialized tuple slice.
+type sliceIter struct {
+	tuples []Tuple
+	pos    int
+}
+
+func (s *sliceIter) Next() (Tuple, bool, error) {
+	if s.pos >= len(s.tuples) {
+		return Tuple{}, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// Iter streams the relation's tuples in order.
+func (r *Relation) Iter() Iterator { return &sliceIter{tuples: r.Tuples} }
+
+// funcIter adapts a closure to the Iterator protocol.
+type funcIter struct {
+	next func() (Tuple, bool, error)
+}
+
+func (f *funcIter) Next() (Tuple, bool, error) { return f.next() }
+func (f *funcIter) Close() error               { return nil }
+
+// IterFunc wraps next as an Iterator with a no-op Close. The engine's scan
+// uses it to stream filtered base rows into the operator pipeline without
+// an intermediate slice.
+func IterFunc(next func() (Tuple, bool, error)) Iterator { return &funcIter{next: next} }

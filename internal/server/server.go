@@ -73,6 +73,11 @@ type Config struct {
 	// DisableCache turns the result cache off entirely: every request
 	// evaluates, as before the cache existed.
 	DisableCache bool
+	// MemBudget bounds operator scratch memory per evaluation, in bytes:
+	// join/dedup partitions past it spill to temp files and the answers
+	// stay byte-identical (docs/SPILL.md). Zero means unlimited. A request
+	// budget's mem_bytes overrides it when positive.
+	MemBudget int64
 	// Metrics is the registry fed by the server. Default obs.Default.
 	Metrics *obs.Registry
 }
@@ -234,6 +239,11 @@ type BudgetSpec struct {
 	Rows   int64 `json:"rows,omitempty"`
 	Nodes  int64 `json:"nodes,omitempty"`
 	TimeMS int64 `json:"time_ms,omitempty"`
+	// MemBytes bounds operator scratch memory; unlike the other dimensions
+	// it never fails the request — execution spills to disk instead, with
+	// byte-identical answers. Overrides the server's configured MemBudget
+	// when positive.
+	MemBytes int64 `json:"mem_bytes,omitempty"`
 }
 
 // QueryRequest is the POST /query body.
@@ -340,6 +350,11 @@ type StatsSummary struct {
 	NodesCharged    int64 `json:"nodes_charged"`
 	PlanNS          int64 `json:"plan_ns"`
 	InferenceNS     int64 `json:"inference_ns"`
+	// Spill counters are non-zero only under a memory budget; see
+	// docs/SPILL.md.
+	SpilledPartitions int64 `json:"spilled_partitions,omitempty"`
+	SpillBytes        int64 `json:"spill_bytes,omitempty"`
+	MemPeakBytes      int64 `json:"mem_peak_bytes,omitempty"`
 }
 
 // QueryResponse is the 200 body of POST /query.
@@ -560,11 +575,13 @@ func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start 
 
 		NoAdaptivePlan: req.NoAdaptivePlan,
 	}
+	opts.Budget.Mem = s.cfg.MemBudget
 	if req.Budget != nil {
-		opts.Budget = pdb.Budget{
-			Rows:  req.Budget.Rows,
-			Nodes: req.Budget.Nodes,
-			Time:  time.Duration(req.Budget.TimeMS) * time.Millisecond,
+		opts.Budget.Rows = req.Budget.Rows
+		opts.Budget.Nodes = req.Budget.Nodes
+		opts.Budget.Time = time.Duration(req.Budget.TimeMS) * time.Millisecond
+		if req.Budget.MemBytes > 0 {
+			opts.Budget.Mem = req.Budget.MemBytes
 		}
 	}
 
@@ -607,6 +624,10 @@ func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start 
 			NodesCharged:    res.Stats.NodesCharged,
 			PlanNS:          res.Stats.PlanTime.Nanoseconds(),
 			InferenceNS:     res.Stats.InferenceTime.Nanoseconds(),
+
+			SpilledPartitions: res.Stats.SpilledPartitions,
+			SpillBytes:        res.Stats.SpillBytes,
+			MemPeakBytes:      res.Stats.MemPeakBytes,
 		},
 		ElapsedNS: time.Since(start).Nanoseconds(),
 	}

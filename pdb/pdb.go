@@ -93,8 +93,11 @@ func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(na
 type Stats = core.Stats
 
 // Budget caps an evaluation's resources: Rows bounds the tuples flowing
-// through the operator pipeline, Nodes bounds AND-OR network growth, and
-// Time bounds wall clock. Zero fields are unlimited.
+// through the operator pipeline, Nodes bounds AND-OR network growth, Time
+// bounds wall clock, and Mem bounds operator scratch memory in bytes —
+// join/dedup partitions that would exceed it spill to temp files and the
+// results stay byte-identical to unbounded execution (docs/SPILL.md). Zero
+// fields are unlimited.
 type Budget = core.Budget
 
 // Budget-exhaustion errors, matchable with errors.Is. Time exhaustion
@@ -147,7 +150,9 @@ type Options struct {
 	Parallelism int
 	// Budget caps rows, network nodes and wall clock; exceeding it aborts
 	// the evaluation with ErrRowBudget, ErrNodeBudget or
-	// context.DeadlineExceeded.
+	// context.DeadlineExceeded. Budget.Mem instead degrades gracefully:
+	// join/dedup spill partitions to disk and the answers stay
+	// byte-identical to unbounded execution (docs/SPILL.md).
 	Budget Budget
 	// Trace records a per-operator execution trace into Stats.Operators
 	// (network strategies only).
