@@ -123,6 +123,30 @@ func TestPdbfuzzCLI(t *testing.T) {
 	}
 }
 
+// TestPdbbenchUnknownExperiment: a bogus -experiment name must fail with an
+// error that lists every valid experiment name.
+func TestPdbbenchUnknownExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test rebuilds binaries; skipped in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/pdbbench", "-experiment", "bogus")
+	cmd.Dir = ".."
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("pdbbench -experiment bogus exited 0:\n%s", b)
+	}
+	out := string(b)
+	if !strings.Contains(out, `unknown experiment "bogus"`) {
+		t.Fatalf("error does not name the bad experiment:\n%s", out)
+	}
+	for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache",
+		"planner", "incremental", "topk", "spill", "compile"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("error does not list valid experiment %q:\n%s", name, out)
+		}
+	}
+}
+
 func TestPdbbenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI smoke test rebuilds binaries; skipped in -short mode")

@@ -17,14 +17,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
 
+// experimentNames lists every runnable experiment, in "all"'s execution
+// order; the unknown-experiment error enumerates it for the user.
+var experimentNames = []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental", "topk", "spill", "compile"}
+
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental, topk, spill or all")
+		experiment  = flag.String("experiment", "all", "table1, fig5, fig6, fig7, pipeline, cache, planner, incremental, topk, spill, compile or all")
 		scaleName   = flag.String("scale", "small", "small or paper")
 		asJSON      = flag.Bool("json", false, "emit measurements as JSON instead of tables (fig experiments)")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for operators and per-answer inference (0 or 1 = sequential; results are identical)")
@@ -35,6 +40,7 @@ func main() {
 		incrOut     = flag.String("incremental-out", "BENCH_incremental.json", "file for the incremental benchmark artifact")
 		topkOut     = flag.String("topk-out", "BENCH_topk.json", "file for the top-k benchmark artifact")
 		spillOut    = flag.String("spill-out", "BENCH_spill.json", "file for the spill benchmark artifact")
+		compileOut  = flag.String("compile-out", "BENCH_compile.json", "file for the compiled-circuit benchmark artifact")
 		memBudget   = flag.Int64("mem-budget", 0, "operator scratch memory budget in bytes for the fig/pipeline experiments; join/dedup spill to disk past it, results unchanged (0 = unlimited)")
 		withMemo    = flag.Bool("memo", true, "cache experiment: include the memoized-inference comparison")
 		withCache   = flag.Bool("cache", true, "cache experiment: include the server result-cache comparison")
@@ -310,12 +316,40 @@ func main() {
 			fmt.Printf("patch speedup %.2fx\n", rep.PatchSpeedup)
 			fmt.Println("incremental benchmark written to", *incrOut)
 			fmt.Println()
+		case "compile":
+			rep, err := experiments.CompileBench(sc)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*compileOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteCompileJSON(f, rep); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== Compile: cached d-DNNF circuit re-evaluation vs Shannon re-solve (scale=%s) ==\n", sc.Name)
+			fmt.Printf("%-14s %14s %14s %8s %22s\n", "workload", "shannon (ns)", "circuit (ns)", "speedup", "compiles/hits/evals")
+			for _, pt := range rep.Points {
+				if pt.Err != "" {
+					fmt.Printf("%-14s err: %s\n", pt.Workload, pt.Err)
+					continue
+				}
+				fmt.Printf("%-14s %14d %14d %7.2fx %10d/%d/%d\n",
+					pt.Workload, pt.ShannonNs, pt.CircuitNs, pt.Speedup,
+					pt.Compiles, pt.Hits, pt.Evals)
+			}
+			fmt.Println("compile benchmark written to", *compileOut)
+			fmt.Println()
 		default:
-			fatal(fmt.Errorf("unknown experiment %q", name))
+			fatal(fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(experimentNames, ", ")))
 		}
 	}
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "pipeline", "cache", "planner", "incremental", "topk", "spill"} {
+		for _, name := range experimentNames {
 			run(name)
 		}
 		return

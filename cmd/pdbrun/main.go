@@ -43,6 +43,7 @@ func main() {
 		topK      = flag.Int("top", 20, "print at most this many answers (0 = all)")
 		optimize  = flag.Bool("optimize", false, "data-aware plan selection: cost candidate join orders and use the best (the default evaluation path already does this; -optimize additionally prints the ranking)")
 		noAdapt   = flag.Bool("no-adaptive-plan", false, "disable the cost-aware planner: safe-plan-else-body-order plans and the fixed legacy inference backend order")
+		noCircuit = flag.Bool("no-circuit", false, "disable the compiled-circuit exact backend: exact inference reverts to the memoized Shannon solver (ablation; answers are bit-identical either way)")
 		sqlOut    = flag.String("sql", "", "write the paper-style SQL batch implementing the plan to this file ('-' for stdout)")
 		trace     = flag.Bool("trace", false, "print a per-operator execution trace (network strategies)")
 		explain   = flag.Bool("explain", false, "print an EXPLAIN ANALYZE operator tree after the run (implies tracing)")
@@ -77,7 +78,7 @@ func main() {
 	if par == 0 {
 		par = *parallel
 	}
-	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace || *explain, NoAdaptivePlan: *noAdapt}
+	opts := pdb.Options{Strategy: strat, Samples: *samples, MaxWidth: *width, Seed: *seed, Parallelism: par, Trace: *trace || *explain, NoAdaptivePlan: *noAdapt, NoCircuit: *noCircuit}
 	opts.Budget.Mem = *memBudget
 	ctx := context.Background()
 	if *timeout > 0 {

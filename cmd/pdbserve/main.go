@@ -42,6 +42,7 @@ func main() {
 		drain       = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for in-flight queries")
 		cacheSize   = flag.Int("cache-entries", 0, "result cache capacity in entries (0 = 1024)")
 		noCache     = flag.Bool("no-cache", false, "disable the snapshot-versioned result cache")
+		noCircuit   = flag.Bool("no-circuit", false, "disable the compiled-circuit exact backend for every request (ablation; answers are bit-identical either way)")
 		memBudget   = flag.Int64("mem-budget", 0, "per-evaluation operator scratch memory budget in bytes; join/dedup spill to disk past it, answers unchanged (0 = unlimited)")
 	)
 	flag.Parse()
@@ -65,6 +66,7 @@ func main() {
 		DisableDegrade:  *noDegrade,
 		CacheEntries:    *cacheSize,
 		DisableCache:    *noCache,
+		NoCircuit:       *noCircuit,
 		MemBudget:       *memBudget,
 	})
 	if err != nil {

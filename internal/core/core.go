@@ -213,6 +213,16 @@ type Stats struct {
 	InternHits    int64
 	ConsHits      int
 
+	// Compiled-circuit counters (knowledge-compilation layer).
+	// CircuitCompiles counts lineage formulas compiled to d-DNNF circuits
+	// during the evaluation, CircuitHits the answers served from
+	// already-compiled structure in the circuit cache, and CircuitEvals the
+	// linear re-evaluation passes run. All zero when the circuit backend is
+	// disabled (Options.NoCircuit or no cache attached).
+	CircuitCompiles int64
+	CircuitHits     int64
+	CircuitEvals    int64
+
 	// Planner fields (adaptive planning layer). PlanSource labels how the
 	// physical plan was chosen ("safe", "greedy" or "body"); PlanOrder is
 	// the comma-joined join order behind it (empty for safe plans);

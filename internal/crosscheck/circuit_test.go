@@ -1,0 +1,76 @@
+package crosscheck
+
+import (
+	"context"
+	"testing"
+
+	"repro/pdb"
+)
+
+// TestCircuitBitIdentical sweeps seeded random instances and asserts that
+// every exact strategy computes bit-identical answer probabilities with the
+// compiled-circuit backend on (the default — every pdb database carries a
+// shared circuit cache) and off (the NoCircuit ablation) — a comparison to
+// ±0, not to a tolerance. The circuit compiler replays the Shannon solver's
+// recursion, so enabling it may only change speed, never a float bit. Both
+// serial and parallel evaluations are held to it, and the circuit-enabled
+// pass runs twice per configuration so warm cache hits (the linear
+// re-evaluation path) are pinned to the same bits as cold compiles.
+func TestCircuitBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		in := Generate(seed, GenConfig{})
+		db, err := toPDB(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := pdb.ParseQuery(in.Q.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, s := range ExactStrategies() {
+			for _, par := range []int{0, 4} {
+				base := pdb.Options{Strategy: s, Parallelism: par, NoFallback: true}
+				ablated := base
+				ablated.NoCircuit = true
+				ref, errRef := db.Evaluate(q, ablated)
+				for pass := 0; pass < 2; pass++ {
+					got, errGot := db.Evaluate(q, base)
+					if (errRef == nil) != (errGot == nil) {
+						t.Fatalf("seed %d strategy %v par %d pass %d: outcome changed: %v vs %v",
+							seed, s, par, pass, errRef, errGot)
+					}
+					if errRef != nil {
+						continue // e.g. safe declining a non-data-safe instance
+					}
+					if len(ref.Rows) != len(got.Rows) {
+						t.Fatalf("seed %d strategy %v par %d pass %d: answer count %d vs %d",
+							seed, s, par, pass, len(ref.Rows), len(got.Rows))
+					}
+					for _, row := range ref.Rows {
+						if p := got.Prob(row.Vals...); p != row.P {
+							t.Fatalf("seed %d strategy %v par %d pass %d: answer %v: %v vs %v (must be bit-identical)",
+								seed, s, par, pass, row.Vals, row.P, p)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCircuitOracleAgreement pins the circuit-enabled engine (the default
+// configuration) to the possible-world oracle on seeded instances — the
+// same differential harness the strategies are held to, with the circuit
+// cache warm from repeated Check evaluations over the shared database.
+func TestCircuitOracleAgreement(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		in := Generate(seed, GenConfig{})
+		rep, err := Check(context.Background(), in, Options{Strategies: ExactStrategies()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Failed() {
+			t.Fatalf("seed %d: circuit-enabled engine diverged from the oracle: %v", seed, rep.Divergences)
+		}
+	}
+}

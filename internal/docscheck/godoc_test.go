@@ -9,12 +9,13 @@ import (
 	"testing"
 )
 
-// The inference and top-k packages are the two the strategy guide sends
-// readers into; every exported symbol there must carry a doc comment so
-// `go doc` answers the questions STRATEGIES.md raises. Struct fields are
-// exempt — the struct's own comment documents the group.
+// The inference, top-k, lineage and AND-OR-network packages are the ones the
+// strategy and architecture guides send readers into; every exported symbol
+// there must carry a doc comment so `go doc` answers the questions
+// STRATEGIES.md raises. Struct fields are exempt — the struct's own comment
+// documents the group.
 
-var godocPackages = []string{"internal/inference", "internal/topk"}
+var godocPackages = []string{"internal/inference", "internal/topk", "internal/lineage", "internal/aonet"}
 
 func TestExportedSymbolsDocumented(t *testing.T) {
 	root := repoRoot(t)

@@ -132,6 +132,34 @@ type Options struct {
 	// observability exclusively — metrics, EXPLAIN, calibration reports —
 	// and never influences backend ranking; see planner.Sink.
 	PlannerSink *planner.Sink
+	// Circuits, when set, enables the compiled-circuit inference backend:
+	// expanded DNF lineage is compiled once to a d-DNNF circuit cached in
+	// this table on its canonical fingerprint, and confidence becomes one
+	// linear bottom-up pass — repeated answers, cross-query shared cores and
+	// prob-update refreshes all reuse the compiled structure. The evaluator
+	// replays the Shannon solver's recursion exactly, so results are
+	// bit-identical with the backend on or off; as with the shared memo,
+	// only the number of Shannon expansions charged against ExactBudget can
+	// shrink on cache hits. The pdb layer attaches one cache per database;
+	// materialized views carry their own.
+	Circuits *lineage.CircuitCache
+	// NoCircuit disables the compiled-circuit backend even when a cache is
+	// attached — the ablation knob mirrored by pdb.Options.NoCircuit and the
+	// CLIs' -no-circuit flags.
+	NoCircuit bool
+	// circuitStats accumulates the evaluation's circuit compile/hit/eval
+	// counts for Stats; set internally at the evaluation boundary so
+	// concurrent queries sharing one cache never mix counters.
+	circuitStats *lineage.CircuitStats
+}
+
+// circuitCache returns the circuit cache the evaluation may use: nil when
+// none is attached or the ablation knob is set.
+func (o Options) circuitCache() *lineage.CircuitCache {
+	if o.NoCircuit {
+		return nil
+	}
+	return o.Circuits
 }
 
 func (o Options) samples() int {
@@ -470,7 +498,7 @@ func answerMarginalRanked(ec *core.ExecContext, net *aonet.Network, lin aonet.No
 	if opts.Inference.MaxFactorVars > 0 {
 		model.MaxFactorVars = opts.Inference.MaxFactorVars
 	}
-	prof := planner.Profile{SharedMemo: opts.Inference.Memo != nil}
+	prof := planner.Profile{SharedMemo: opts.Inference.Memo != nil, Circuits: opts.circuitCache() != nil}
 	var expanded *lineage.DNF
 	var expandedProbs []float64
 	if pre != nil {
@@ -510,6 +538,18 @@ func answerMarginalRanked(ec *core.ExecContext, net *aonet.Network, lin aonet.No
 		switch b {
 		case planner.BackendShannon:
 			p, err := lineage.ProbMemoCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.exactBudget(), lm)
+			if err == nil {
+				return win(b, start, confidence{p: p, backend: b.String()})
+			}
+			if !errors.Is(err, lineage.ErrBudget) {
+				return confidence{err: err}
+			}
+			fail(b, start, err)
+		case planner.BackendCircuit:
+			// The compiled-circuit evaluator in Shannon's ranking slot:
+			// same budget, same floats (the compiler replays the Shannon
+			// recursion), ErrBudget falls through identically.
+			p, err := lineage.CircuitProbCtx(ec, expanded, func(v lineage.Var) float64 { return expandedProbs[v] }, opts.exactBudget(), opts.circuitCache(), opts.circuitStats)
 			if err == nil {
 				return win(b, start, confidence{p: p, backend: b.String()})
 			}

@@ -45,6 +45,11 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		lm = lineage.NewMemo(lineage.MemoConfig{NoIntern: opts.NoIntern})
 		opts.Inference.Memo = inference.NewMemo()
 	}
+	// Per-evaluation circuit accumulator: the cache itself is shared across
+	// queries, so counters for this evaluation's stats live here.
+	if opts.circuitCache() != nil {
+		opts.circuitStats = &lineage.CircuitStats{}
+	}
 	ex := &executor{db: db, net: res.Net, opts: opts, stats: &res.Stats, ec: ec}
 	if len(opts.Evidence) > 0 {
 		ex.evidenceByRel = make(map[string][]int)
@@ -162,6 +167,7 @@ func evalNetwork(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	res.Stats.MemoMisses = ms.Misses + veMisses
 	res.Stats.MemoEvictions = ms.Evictions + veEvictions
 	res.Stats.InternHits = ms.InternHits
+	res.Stats.CircuitCompiles, res.Stats.CircuitHits, res.Stats.CircuitEvals = opts.circuitStats.Snapshot()
 	return res, nil
 }
 

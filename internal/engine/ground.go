@@ -265,10 +265,16 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	}
 	// All answers share one variable space (Grounding.Probs), so the exact
 	// solver can share Shannon subproblems across answers through one memo
-	// table; results are bit-identical with and without it.
+	// table; results are bit-identical with and without it. With a circuit
+	// cache attached the compiled-circuit evaluator replaces the memoized
+	// solver outright (also bit-identical — the compiler replays the same
+	// recursion), so the memo table would only duplicate work.
 	var lm *lineage.Memo
-	if !opts.NoMemo && opts.Strategy == core.DNFLineage {
+	if !opts.NoMemo && opts.Strategy == core.DNFLineage && opts.circuitCache() == nil {
 		lm = lineage.NewMemo(lineage.MemoConfig{NoIntern: opts.NoIntern})
+	}
+	if opts.circuitCache() != nil && opts.Strategy == core.DNFLineage {
+		opts.circuitStats = &lineage.CircuitStats{}
 	}
 	var g *Grounding
 	build := func() (int, error) {
@@ -308,14 +314,24 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 		if opts.Strategy == core.MonteCarlo {
 			return sample("Karp–Luby sampling requested (mc strategy)")
 		}
-		p, err := lineage.ProbMemoCtx(ec, f, probOf, opts.exactBudget(), lm)
+		var (
+			p       float64
+			err     error
+			backend = "shannon"
+		)
+		if cache := opts.circuitCache(); cache != nil {
+			p, err = lineage.CircuitProbCtx(ec, f, probOf, opts.exactBudget(), cache, opts.circuitStats)
+			backend = "circuit"
+		} else {
+			p, err = lineage.ProbMemoCtx(ec, f, probOf, opts.exactBudget(), lm)
+		}
 		if errors.Is(err, lineage.ErrBudget) && !opts.NoFallback {
 			return sample("exact Shannon-expansion budget exhausted on the DNF lineage; Karp–Luby sampling")
 		}
 		if err != nil {
 			return confidence{err: err}
 		}
-		return confidence{p: p, backend: "shannon"}
+		return confidence{p: p, backend: backend}
 	}
 	assemble := func(conf []confidence) error {
 		recordInference(ec, res.Stats.InferenceTime, conf, func(i int) string {
@@ -342,5 +358,6 @@ func evalLineage(ec *core.ExecContext, db *relation.Database, q *query.Query, pl
 	res.Stats.MemoMisses = ms.Misses
 	res.Stats.MemoEvictions = ms.Evictions
 	res.Stats.InternHits = ms.InternHits
+	res.Stats.CircuitCompiles, res.Stats.CircuitHits, res.Stats.CircuitEvals = opts.circuitStats.Snapshot()
 	return res, nil
 }

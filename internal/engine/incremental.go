@@ -36,11 +36,12 @@ type Materialized struct {
 	plan *query.Plan
 	opts Options
 
-	g     *Grounding
-	varOf map[VarSource]lineage.Var
-	deps  map[lineage.Var][]int // variable -> answer indexes mentioning it
-	conf  []float64             // solved probability per answer
-	memo  *lineage.Memo         // retained across refreshes; Reset on patch
+	g        *Grounding
+	varOf    map[VarSource]lineage.Var
+	deps     map[lineage.Var][]int // variable -> answer indexes mentioning it
+	conf     []float64             // solved probability per answer
+	memo     *lineage.Memo         // retained across refreshes; Reset on patch
+	circuits *lineage.CircuitCache // compiled answer circuits; Reset on rebuild only
 
 	// PatchedAnswers and RecomputedAll count what refreshes did, for the
 	// caller's metrics.
@@ -82,6 +83,15 @@ func Materialize(db *relation.Database, q *query.Query, plan *query.Plan, opts O
 	if !opts.NoMemo {
 		m.memo = lineage.NewMemo(lineage.MemoConfig{NoIntern: opts.NoIntern})
 	}
+	// A view always owns a private circuit cache (never the database-shared
+	// one from opts.Circuits): rebuild() must be free to drop compiled
+	// structure on structural change without evicting other queries' entries.
+	// Prob-update refreshes deliberately do NOT reset it — circuit structure
+	// depends only on the clause set, so a patched refresh re-evaluates the
+	// compiled circuits in linear time instead of re-running Shannon.
+	if !opts.NoCircuit {
+		m.circuits = lineage.NewCircuitCache(lineage.CircuitCacheConfig{})
+	}
 	if err := m.rebuild(db); err != nil {
 		return nil, err
 	}
@@ -116,6 +126,10 @@ func (m *Materialized) rebuild(db *relation.Database) error {
 		}
 	}
 	m.memo.Reset()
+	// Structural change: the clause sets (and hence the circuit-cache keys)
+	// may have changed, so compiled structure is dropped wholesale. Contrast
+	// PatchProbs, which keeps it — values are re-derived by Eval.
+	m.circuits.Reset()
 	m.conf = make([]float64, len(g.Answers))
 	for i := range g.Answers {
 		p, err := m.solve(ec, i)
@@ -154,8 +168,19 @@ func (m *Materialized) solve(ec *core.ExecContext, i int) (float64, error) {
 	}
 	// Single-answer groundings skip the shared memo in evalLineage; values
 	// are bit-identical either way, so the memo is threaded unconditionally
-	// here — sharing across refreshes is the point.
-	p, err := lineage.ProbMemoCtx(ec, f, probOf, m.opts.exactBudget(), m.memo)
+	// here — sharing across refreshes is the point. With the circuit cache
+	// enabled the compiled-circuit evaluator takes the solver's place
+	// (bit-identical floats), turning every refresh re-solve after the first
+	// into a linear evaluation pass.
+	var (
+		p   float64
+		err error
+	)
+	if m.circuits != nil {
+		p, err = lineage.CircuitProbCtx(ec, f, probOf, m.opts.exactBudget(), m.circuits, nil)
+	} else {
+		p, err = lineage.ProbMemoCtx(ec, f, probOf, m.opts.exactBudget(), m.memo)
+	}
 	if err == nil {
 		return p, nil
 	}
@@ -261,6 +286,14 @@ func (m *Materialized) Result() *Result {
 		res.Rows = append(res.Rows, Row{Vals: m.g.Answers[i].Vals, P: m.conf[i], Lo: m.conf[i], Hi: m.conf[i]})
 	}
 	return res
+}
+
+// CircuitStats reports the view's circuit-cache counters: compiles and
+// evictions grow on structural rebuilds, hits and evals on patched refreshes
+// that re-evaluated compiled structure. The zero value is returned when the
+// view was materialized with NoCircuit.
+func (m *Materialized) CircuitStats() lineage.CircuitCacheStats {
+	return m.circuits.Stats()
 }
 
 // Relations returns the distinct relation names the materialized query

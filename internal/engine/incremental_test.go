@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/lineage"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/tuple"
@@ -152,6 +153,71 @@ func TestMaterializeRecomputeAfterInsert(t *testing.T) {
 	}
 	if m.RecomputedAll != 1 {
 		t.Errorf("RecomputedAll = %d, want 1", m.RecomputedAll)
+	}
+}
+
+// TestMaterializeCircuitRetention pins the circuit cache's lifecycle against
+// the memo's: a value-only reset (PatchProbs re-weights probabilities and
+// Resets the Shannon memo) must NOT evict compiled circuit structure — the
+// dirty answers are served by hits against retained circuits — while a
+// structural rebuild (Recompute) must drop it and recompile.
+func TestMaterializeCircuitRetention(t *testing.T) {
+	db := incrTestDB()
+	q := mustParse(t, "q(x) :- R(x, y), S(y)")
+	plan := incrPlan(t, q)
+	m, err := Materialize(db, q, plan, Options{Strategy: core.DNFLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.CircuitStats()
+	if st.Compiles == 0 || st.Entries == 0 {
+		t.Fatalf("materialize compiled nothing: %+v", st)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("cold materialize recorded hits: %+v", st)
+	}
+	base := st
+
+	// Value-only reset: the prob-update path Resets the memo but keeps the
+	// circuit cache, so re-solving the dirty answer is a hit, not a compile.
+	rel, _ := db.Relation("R")
+	row, old, err := rel.SetProb(tuple.Ints(1, 2), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := m.PatchProbs([]ProbPatch{{Rel: "R", Row: row, OldP: old, NewP: 0.25}})
+	if err != nil || !ok {
+		t.Fatalf("PatchProbs: ok=%v err=%v", ok, err)
+	}
+	st = m.CircuitStats()
+	if st.Compiles != base.Compiles {
+		t.Errorf("patched refresh recompiled: %d compiles, want %d (structure must be retained)", st.Compiles, base.Compiles)
+	}
+	if st.Hits == 0 {
+		t.Errorf("patched refresh recorded no circuit hits: %+v", st)
+	}
+	if st.Entries != base.Entries {
+		t.Errorf("patched refresh changed resident entries: %d, want %d", st.Entries, base.Entries)
+	}
+
+	// Structural write: Recompute rebuilds the grounding, so the cache is
+	// dropped and every answer recompiles.
+	rel.MustAdd(tuple.Ints(3, 1), 0.2)
+	if err := m.Recompute(db); err != nil {
+		t.Fatal(err)
+	}
+	st = m.CircuitStats()
+	if st.Compiles <= base.Compiles {
+		t.Errorf("structural recompute did not recompile: %d compiles, want > %d", st.Compiles, base.Compiles)
+	}
+
+	// The ablation view carries no cache at all.
+	off, err := Materialize(db, q, plan, Options{Strategy: core.DNFLineage, NoCircuit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := off.CircuitStats(); st != (lineage.CircuitCacheStats{}) {
+		t.Errorf("NoCircuit view reports circuit activity: %+v", st)
 	}
 }
 

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCompilePerfSmoke re-runs the compile benchmark and gates each workload
+// at half the committed BENCH_compile.json speedup — loose enough for CI
+// noise, tight enough to catch the circuit path silently degrading into a
+// per-round Shannon re-solve. The issue's acceptance floors (2x on the
+// prob-update refresh workload, 1.5x on the shared-core workload) are far
+// below the committed ratios, so halving cannot mask a real regression past
+// them.
+func TestCompilePerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf smoke is not a -short test")
+	}
+	data, err := os.ReadFile("../../BENCH_compile.json")
+	if os.IsNotExist(err) {
+		t.Skip("BENCH_compile.json not committed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed CompileReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatalf("parsing committed BENCH_compile.json: %v", err)
+	}
+
+	got, err := CompileBench(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBy := map[string]CompilePoint{}
+	for _, pt := range got.Points {
+		gotBy[pt.Workload] = pt
+	}
+	floors := map[string]float64{"refresh": 2, "shared-core": 1.5}
+	for _, want := range committed.Points {
+		min := floors[want.Workload]
+		if want.Err != "" || want.Speedup < min {
+			continue
+		}
+		pt, ok := gotBy[want.Workload]
+		if !ok || pt.Err != "" {
+			t.Errorf("%s: missing or failed in rerun (%+v)", want.Workload, pt)
+			continue
+		}
+		if floor := want.Speedup / 2; pt.Speedup < floor {
+			t.Errorf("%s: speedup %.2fx regressed below %.2fx (committed %.2fx)",
+				want.Workload, pt.Speedup, floor, want.Speedup)
+		}
+		if pt.Hits == 0 {
+			t.Errorf("%s: no circuit-cache hits; compiled structure is not being reused", want.Workload)
+		}
+	}
+}

@@ -214,3 +214,19 @@ func ExactViaExpansion(n *aonet.Network, target aonet.NodeID, maxClauses, budget
 	}
 	return lineage.ProbBudget(f, func(v lineage.Var) float64 { return probs[v] }, budget)
 }
+
+// ExactViaCircuit computes N⁰(x_target = 1) like ExactViaExpansion but
+// through the compiled-circuit evaluator: the expanded DNF is compiled to a
+// d-DNNF circuit (cached on its canonical fingerprint when cache is non-nil)
+// and confidence is one linear bottom-up pass. The result is bit-identical
+// to ExactViaExpansion — the compiler replays the Shannon solver's recursion
+// — so the circuit path changes speed, never answer bytes. On a warm cache
+// only the lookup and the linear evaluation run; no Shannon expansions are
+// charged against budget.
+func ExactViaCircuit(n *aonet.Network, target aonet.NodeID, maxClauses, budget int, cache *lineage.CircuitCache) (float64, error) {
+	f, probs, err := ExpandDNF(n, target, maxClauses)
+	if err != nil {
+		return 0, err
+	}
+	return lineage.CircuitProbCtx(nil, f, func(v lineage.Var) float64 { return probs[v] }, budget, cache, nil)
+}

@@ -29,6 +29,43 @@ func TestExpandMatchesBruteForceOnRandomNetworks(t *testing.T) {
 	}
 }
 
+func TestExactViaCircuitBitIdenticalToExpansion(t *testing.T) {
+	// The circuit evaluator must reproduce the Shannon solver's floats
+	// exactly (not just within tolerance), cold and warm: a second pass over
+	// the same networks is served from the cache and must agree bit for bit.
+	rng := rand.New(rand.NewSource(83))
+	cache := lineage.NewCircuitCache(lineage.CircuitCacheConfig{})
+	type cse struct {
+		n      *aonet.Network
+		target aonet.NodeID
+		want   float64
+	}
+	var cases []cse
+	for trial := 0; trial < 40; trial++ {
+		n := randomNetwork(rng, 2+rng.Intn(4), 1+rng.Intn(6), 4)
+		target := aonet.NodeID(rng.Intn(n.Len()))
+		want, err := ExactViaExpansion(n, target, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, cse{n, target, want})
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, c := range cases {
+			got, err := ExactViaCircuit(c.n, c.target, 0, 0, cache)
+			if err != nil {
+				t.Fatalf("pass %d trial %d: %v", pass, i, err)
+			}
+			if got != c.want {
+				t.Errorf("pass %d trial %d: circuit = %v, expansion = %v", pass, i, got, c.want)
+			}
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Errorf("warm pass recorded no cache hits: %+v", st)
+	}
+}
+
 func TestExpandAgreesWithConditionedVE(t *testing.T) {
 	// Larger networks than brute force can handle: cross-check the two
 	// exact backends against each other.

@@ -1,0 +1,374 @@
+package lineage
+
+import (
+	"repro/internal/core"
+)
+
+// This file implements knowledge compilation of monotone DNF lineage into
+// d-DNNF circuits (deterministic decomposable negation normal form), the
+// compiled representation of Monet & Olteanu's work on lineage circuits:
+// compile the Shannon-expansion trace once, then confidence under any
+// probability assignment is a single linear bottom-up pass over the nodes.
+//
+// The compiler replays exactly the recursion of ProbMemoCtx — the same
+// read-once fast path, the same canonical sorting, the same independent-
+// component split and the same most-frequent-variable Shannon expansion —
+// but instead of folding probabilities it records the decomposition as
+// circuit nodes. Because every structural choice the solver makes (variable
+// order, component split, memoization keys) is a pure function of the clause
+// set and never of the probability table, Eval reproduces ProbMemoCtx's
+// result bit for bit under any probability assignment: the floating-point
+// operations happen in the same order on the same values. That is what lets
+// a circuit compiled once be re-evaluated after prob-updates (the
+// incremental write path) or shared across queries with identical lineage
+// cores.
+
+// CircuitNodeKind labels a node of a compiled d-DNNF circuit.
+type CircuitNodeKind uint8
+
+// Circuit node kinds. Children always precede parents in Circuit.Nodes.
+const (
+	// CFalse is the constant-false node (probability 0).
+	CFalse CircuitNodeKind = iota
+	// CTrue is the constant-true node (probability 1).
+	CTrue
+	// CLeaf is a variable leaf (probability p(Var)).
+	CLeaf
+	// CDecision is a Shannon decision on Var:
+	// p(Var)·value(Hi) + (1−p(Var))·value(Lo).
+	CDecision
+	// CAnd is a decomposable conjunction: the product of its children's
+	// values (the children share no variables).
+	CAnd
+	// CIOr is an independent disjunction: 1 − ∏(1 − value(child)) over
+	// variable-disjoint children.
+	CIOr
+)
+
+// String names the node kind for diagnostics.
+func (k CircuitNodeKind) String() string {
+	switch k {
+	case CFalse:
+		return "false"
+	case CTrue:
+		return "true"
+	case CLeaf:
+		return "leaf"
+	case CDecision:
+		return "decision"
+	case CAnd:
+		return "and"
+	case CIOr:
+		return "ior"
+	}
+	return "invalid"
+}
+
+// CircuitNode is one node of a compiled circuit. Which fields are meaningful
+// depends on Kind: Var for CLeaf and CDecision, Hi/Lo for CDecision,
+// Children for CAnd and CIOr.
+type CircuitNode struct {
+	Kind     CircuitNodeKind
+	Var      Var
+	Hi, Lo   int32
+	Children []int32
+}
+
+// Circuit is a compiled d-DNNF circuit: a flat node array in which every
+// child index is smaller than its parent's index, so Eval is one in-order
+// pass. Circuits are immutable after compilation and safe for concurrent
+// Eval calls.
+type Circuit struct {
+	// Nodes holds the circuit in bottom-up order (children before parents).
+	Nodes []CircuitNode
+	// Root indexes the output node in Nodes.
+	Root int32
+	// Decisions counts the Shannon decision nodes — the quantity the exact
+	// solver charges against its expansion budget, preserved here for
+	// observability.
+	Decisions int
+}
+
+// Eval computes the probability of the compiled formula when each variable v
+// is independently true with probability p(v): one linear bottom-up pass,
+// with the floating-point operations of each node mirroring the exact
+// solver's arithmetic exactly (see the compiler notes above).
+func (c *Circuit) Eval(p func(Var) float64) float64 {
+	vals := make([]float64, len(c.Nodes))
+	for i, n := range c.Nodes {
+		switch n.Kind {
+		case CFalse:
+			vals[i] = 0
+		case CTrue:
+			vals[i] = 1
+		case CLeaf:
+			vals[i] = validateProb(p(n.Var), n.Var)
+		case CDecision:
+			px := validateProb(p(n.Var), n.Var)
+			vals[i] = px*vals[n.Hi] + (1-px)*vals[n.Lo]
+		case CAnd:
+			w := 1.0
+			for _, ch := range n.Children {
+				w *= vals[ch]
+			}
+			vals[i] = w
+		default: // CIOr
+			notAny := 1.0
+			for _, ch := range n.Children {
+				notAny *= 1 - vals[ch]
+			}
+			vals[i] = 1 - notAny
+		}
+	}
+	return vals[c.Root]
+}
+
+// MemoryBytes estimates the heap footprint of the circuit for cache
+// accounting.
+func (c *Circuit) MemoryBytes() int64 {
+	const nodeOverhead = 40 // struct fields + slice header
+	total := int64(len(c.Nodes)) * nodeOverhead
+	for _, n := range c.Nodes {
+		total += int64(len(n.Children)) * 4
+	}
+	return total
+}
+
+// Compile compiles the monotone DNF f into a d-DNNF circuit with an
+// unlimited expansion budget. Like Prob, it is exponential in the worst case
+// but polynomial on read-once and low-treewidth lineage.
+func Compile(f *DNF) *Circuit {
+	c, err := CompileCtx(nil, f, 0)
+	if err != nil {
+		panic("lineage: unbounded compiler returned " + err.Error())
+	}
+	return c
+}
+
+// CompileCtx compiles f under an ExecContext and a Shannon-expansion budget
+// (budget <= 0 means unlimited; each decision node charges one expansion,
+// exactly as the exact solver does). It returns ErrBudget when the bound is
+// exhausted and the context's error when cancelled. The resulting circuit's
+// Eval is bit-identical to ProbMemoCtx on the same formula for every
+// probability assignment.
+func CompileCtx(ec *core.ExecContext, f *DNF, budget int) (*Circuit, error) {
+	return compileSimplified(ec, f.Simplify(), budget)
+}
+
+// compileSimplified is CompileCtx on an already absorption-simplified
+// formula; CircuitProbCtx uses it to avoid simplifying twice.
+func compileSimplified(ec *core.ExecContext, simplified *DNF, budget int) (*Circuit, error) {
+	if budget <= 0 {
+		budget = -1
+	}
+	b := &circuitCompiler{
+		memo:   make(map[string]int32),
+		leaves: make(map[Var]int32),
+		budget: budget,
+		chk:    core.Check{EC: ec},
+	}
+	// Same fast-path gate as ProbMemoCtx: read-once lineage compiles to its
+	// factorization tree, whose one-pass Prob the circuit mirrors node for
+	// node.
+	if vars := simplified.Vars(); len(vars) > 0 && len(vars) <= readOnceLimit && !simplified.IsTrue() {
+		if fact, ok := readOnce(simplified.Clauses); ok {
+			root := b.factor(fact)
+			return &Circuit{Nodes: b.nodes, Root: root, Decisions: b.decisions}, nil
+		}
+	}
+	root, err := b.compileChecked(simplified.Clauses)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{Nodes: b.nodes, Root: root, Decisions: b.decisions}, nil
+}
+
+// circuitCompiler replays the exact solver's recursion, emitting circuit
+// nodes instead of folding probabilities. The memo table plays the role of
+// the solver's per-call memo: a recurring canonical subproblem reuses its
+// node, turning the expansion tree into a DAG.
+type circuitCompiler struct {
+	nodes     []CircuitNode
+	memo      map[string]int32
+	leaves    map[Var]int32
+	constants [2]int32 // 1+index of the CFalse/CTrue node, 0 = not yet built
+	budget    int      // remaining Shannon expansions; -1 = unlimited
+	chk       core.Check
+	decisions int
+}
+
+// add appends a node and returns its index.
+func (b *circuitCompiler) add(n CircuitNode) int32 {
+	b.nodes = append(b.nodes, n)
+	return int32(len(b.nodes) - 1)
+}
+
+// constant returns the shared CFalse or CTrue node, creating it on first use.
+func (b *circuitCompiler) constant(kind CircuitNodeKind) int32 {
+	slot := 0
+	if kind == CTrue {
+		slot = 1
+	}
+	if b.constants[slot] == 0 {
+		b.constants[slot] = b.add(CircuitNode{Kind: kind}) + 1
+	}
+	return b.constants[slot] - 1
+}
+
+// leaf returns the shared leaf node for v, creating it on first use.
+func (b *circuitCompiler) leaf(v Var) int32 {
+	if idx, ok := b.leaves[v]; ok {
+		return idx
+	}
+	idx := b.add(CircuitNode{Kind: CLeaf, Var: v})
+	b.leaves[v] = idx
+	return idx
+}
+
+// factor compiles a read-once factorization tree; the node kinds map one to
+// one onto Factorization.Prob's arithmetic.
+func (b *circuitCompiler) factor(f *Factorization) int32 {
+	switch f.Kind {
+	case FVar:
+		return b.leaf(f.Var)
+	case FAnd:
+		children := make([]int32, len(f.Children))
+		for i, c := range f.Children {
+			children[i] = b.factor(c)
+		}
+		return b.add(CircuitNode{Kind: CAnd, Children: children})
+	default: // FOr
+		children := make([]int32, len(f.Children))
+		for i, c := range f.Children {
+			children[i] = b.factor(c)
+		}
+		return b.add(CircuitNode{Kind: CIOr, Children: children})
+	}
+}
+
+// compileChecked wraps compile, converting the budget panic into ErrBudget
+// and the cancellation panic into its context error — the same unwinding
+// protocol as solver.probChecked.
+func (b *circuitCompiler) compileChecked(clauses []Clause) (idx int32, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errBudgetSentinel {
+				err = ErrBudget
+				return
+			}
+			if c, ok := r.(ctxSentinel); ok {
+				err = c.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return b.compile(clauses), nil
+}
+
+// compile mirrors solver.prob: base cases, canonicalization at the memo
+// boundary, then the component split.
+func (b *circuitCompiler) compile(clauses []Clause) int32 {
+	switch len(clauses) {
+	case 0:
+		return b.constant(CFalse)
+	case 1:
+		return b.clause(clauses[0])
+	}
+	for _, c := range clauses {
+		if len(c) == 0 {
+			return b.constant(CTrue)
+		}
+	}
+	sorted := sortClauses(clauses)
+	key := serializeClauses(sorted)
+	if idx, ok := b.memo[key]; ok {
+		return idx
+	}
+	idx := b.compileComponents(sorted)
+	if len(b.memo) < memoLimit {
+		b.memo[key] = idx
+	}
+	return idx
+}
+
+// clause compiles a single conjunction: the product of its variable
+// probabilities, in clause order, exactly as the solver's single-clause
+// case multiplies them. A one-variable clause is the bare leaf (1·x ≡ x in
+// IEEE arithmetic), and the empty clause is true.
+func (b *circuitCompiler) clause(c Clause) int32 {
+	switch len(c) {
+	case 0:
+		return b.constant(CTrue)
+	case 1:
+		return b.leaf(c[0])
+	}
+	key := serializeClauses([]Clause{c})
+	if idx, ok := b.memo[key]; ok {
+		return idx
+	}
+	children := make([]int32, len(c))
+	for i, v := range c {
+		children[i] = b.leaf(v)
+	}
+	idx := b.add(CircuitNode{Kind: CAnd, Children: children})
+	if len(b.memo) < memoLimit {
+		b.memo[key] = idx
+	}
+	return idx
+}
+
+// compileComponents mirrors solver.probComponents: variable-disjoint clause
+// groups combine under an independent-or node. The solver's early break at a
+// zero partial product is a pure shortcut — 0·x stays 0 for the validated
+// probabilities Eval multiplies — so omitting it never changes the value.
+func (b *circuitCompiler) compileComponents(clauses []Clause) int32 {
+	comps := components(clauses)
+	if len(comps) == 1 {
+		return b.shannon(clauses)
+	}
+	children := make([]int32, len(comps))
+	for i, comp := range comps {
+		children[i] = b.compile(comp)
+	}
+	return b.add(CircuitNode{Kind: CIOr, Children: children})
+}
+
+// shannon mirrors solver.shannon: charge the budget, poll cancellation,
+// expand on the most frequent variable (ties to the smallest), and emit a
+// decision node over the cofactor circuits. A nil positive cofactor is the
+// tautology case: the hi child is constant true.
+func (b *circuitCompiler) shannon(clauses []Clause) int32 {
+	if b.budget == 0 {
+		panic(errBudgetSentinel)
+	}
+	if b.budget > 0 {
+		b.budget--
+	}
+	if err := b.chk.Tick(); err != nil {
+		panic(ctxSentinel{err: err})
+	}
+	counts := make(map[Var]int)
+	for _, c := range clauses {
+		for _, v := range c {
+			counts[v]++
+		}
+	}
+	var x Var
+	best := -1
+	for v, n := range counts {
+		if n > best || (n == best && v < x) {
+			x, best = v, n
+		}
+	}
+	pos, neg := cofactors(clauses, x)
+	var hi int32
+	if pos == nil {
+		hi = b.constant(CTrue) // some clause reduced to empty: F|x=1 is true
+	} else {
+		hi = b.compile(pos)
+	}
+	lo := b.compile(neg)
+	b.decisions++
+	return b.add(CircuitNode{Kind: CDecision, Var: x, Hi: hi, Lo: lo})
+}

@@ -1,0 +1,277 @@
+package lineage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// CircuitCache is a bounded, thread-safe LRU table of compiled d-DNNF
+// circuits keyed on the canonical fingerprint of their simplified clause
+// sets — the same serialization the exact solver memoizes on. Because a
+// circuit is a pure function of its key (probabilities are supplied at Eval
+// time, never baked in), entries need no invalidation on prob-updates: a
+// refresh re-evaluates the cached structure under the new probability
+// table. Structural writes change the fingerprints themselves, so stale
+// entries merely age out of the LRU.
+//
+// All methods are safe on a nil receiver, acting as an always-miss cache,
+// so callers thread an optional *CircuitCache without nil checks.
+type CircuitCache struct {
+	mu         sync.Mutex
+	table      map[string]*circuitEntry
+	head, tail *circuitEntry // LRU list, head most recently used
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+
+	compiles, hits, misses, evals, evictions int64
+}
+
+type circuitEntry struct {
+	key        string
+	circuit    *Circuit
+	bytes      int64
+	prev, next *circuitEntry
+}
+
+// circuitEntryOverhead approximates per-entry bookkeeping bytes (entry
+// struct, map slot) added to the key and circuit sizes for the byte cap.
+const circuitEntryOverhead = 96
+
+// CircuitCacheConfig bounds a CircuitCache. Zero fields take defaults.
+type CircuitCacheConfig struct {
+	// MaxEntries caps the number of cached circuits (default 1<<12).
+	MaxEntries int
+	// MaxBytes caps the approximate memory footprint (default 32 MiB).
+	MaxBytes int64
+}
+
+// NewCircuitCache builds an empty circuit cache with the given bounds.
+func NewCircuitCache(cfg CircuitCacheConfig) *CircuitCache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 1 << 12
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 32 << 20
+	}
+	return &CircuitCache{
+		table:      make(map[string]*circuitEntry),
+		maxEntries: cfg.MaxEntries,
+		maxBytes:   cfg.MaxBytes,
+	}
+}
+
+// Lookup returns the cached circuit for key and whether it was present,
+// promoting a hit to most-recently-used. On a nil receiver it reports a miss
+// without counting.
+func (c *CircuitCache) Lookup(key string) (*Circuit, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.table[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.circuit, true
+}
+
+// Store caches key -> circuit, counting one compile. An already-present key
+// leaves the cache unchanged; past the entry or byte cap the least recently
+// used circuits are evicted.
+func (c *CircuitCache) Store(key string, circuit *Circuit) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compiles++
+	if _, ok := c.table[key]; ok {
+		return
+	}
+	e := &circuitEntry{key: key, circuit: circuit, bytes: int64(len(key)) + circuit.MemoryBytes() + circuitEntryOverhead}
+	c.table[key] = e
+	c.pushFront(e)
+	c.bytes += e.bytes
+	for len(c.table) > c.maxEntries || c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// countEval counts one re-evaluation of a cached or freshly compiled
+// circuit.
+func (c *CircuitCache) countEval() {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.evals, 1)
+}
+
+// Reset drops every cached circuit: the structural analog of Memo.Reset for
+// rebuilds that change lineage structure. Counters keep accumulating across
+// resets.
+func (c *CircuitCache) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table = make(map[string]*circuitEntry)
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+}
+
+// CircuitCacheStats is a point-in-time snapshot of a CircuitCache's
+// counters.
+type CircuitCacheStats struct {
+	Compiles, Hits, Misses, Evals, Evictions int64
+	Entries                                  int
+	Bytes                                    int64
+}
+
+// Stats snapshots the counters (zero on a nil receiver).
+func (c *CircuitCache) Stats() CircuitCacheStats {
+	if c == nil {
+		return CircuitCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CircuitCacheStats{
+		Compiles:  c.compiles,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evals:     atomic.LoadInt64(&c.evals),
+		Evictions: c.evictions,
+		Entries:   len(c.table),
+		Bytes:     c.bytes,
+	}
+}
+
+// pushFront links e as the most recently used entry. Callers hold mu.
+func (c *CircuitCache) pushFront(e *circuitEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// moveToFront promotes an existing entry. Callers hold mu.
+func (c *CircuitCache) moveToFront(e *circuitEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// unlink removes e from the list without touching the table. Callers hold mu.
+func (c *CircuitCache) unlink(e *circuitEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evictOldest drops the least recently used entry. Callers hold mu.
+func (c *CircuitCache) evictOldest() {
+	e := c.tail
+	if e == nil {
+		return
+	}
+	c.unlink(e)
+	delete(c.table, e.key)
+	c.bytes -= e.bytes
+	c.evictions++
+}
+
+// CircuitStats accumulates compiled-circuit activity for one evaluation.
+// Per-answer inference updates it from worker goroutines, so the fields are
+// incremented atomically; read them after the evaluation completes. All
+// methods are safe on a nil receiver.
+type CircuitStats struct {
+	// Compiles counts lineage formulas compiled to circuits, Hits counts
+	// cache hits on already-compiled structure, and Evals counts linear
+	// re-evaluation passes.
+	Compiles, Hits, Evals int64
+}
+
+func (s *CircuitStats) compile() {
+	if s != nil {
+		atomic.AddInt64(&s.Compiles, 1)
+	}
+}
+
+func (s *CircuitStats) hit() {
+	if s != nil {
+		atomic.AddInt64(&s.Hits, 1)
+	}
+}
+
+func (s *CircuitStats) eval() {
+	if s != nil {
+		atomic.AddInt64(&s.Evals, 1)
+	}
+}
+
+// Snapshot reads the counters atomically (zero on a nil receiver).
+func (s *CircuitStats) Snapshot() (compiles, hits, evals int64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return atomic.LoadInt64(&s.Compiles), atomic.LoadInt64(&s.Hits), atomic.LoadInt64(&s.Evals)
+}
+
+// CircuitProbCtx computes the exact probability of f through the compiled-
+// circuit backend: it consults cache for a circuit matching f's canonical
+// fingerprint, compiles (and caches) one on a miss, and runs the linear Eval
+// pass. Results are bit-identical to ProbMemoCtx for every probability
+// assignment — the compiler replays the solver's recursion exactly — so
+// enabling the cache never perturbs query answers. Compilation charges the
+// same per-expansion budget as the solver and returns ErrBudget past it; a
+// cache hit charges nothing, mirroring the shared memo's convention that
+// only the number of expansions charged can shrink on hits. st, when
+// non-nil, accumulates per-evaluation compile/hit/eval counts.
+func CircuitProbCtx(ec *core.ExecContext, f *DNF, p func(Var) float64, budget int, cache *CircuitCache, st *CircuitStats) (float64, error) {
+	simplified := f.Simplify()
+	// Constants never reach the cache: false has no structure to share and
+	// a tautology evaluates to 1 under any assignment.
+	if len(simplified.Clauses) == 0 {
+		return 0, nil
+	}
+	if simplified.IsTrue() {
+		return 1, nil
+	}
+	key := serializeClauses(sortClauses(simplified.Clauses))
+	if circuit, ok := cache.Lookup(key); ok {
+		st.hit()
+		st.eval()
+		cache.countEval()
+		return circuit.Eval(p), nil
+	}
+	circuit, err := compileSimplified(ec, simplified, budget)
+	if err != nil {
+		return 0, err
+	}
+	cache.Store(key, circuit)
+	st.compile()
+	st.eval()
+	cache.countEval()
+	return circuit.Eval(p), nil
+}

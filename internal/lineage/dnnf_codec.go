@@ -1,0 +1,173 @@
+package lineage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for compiled circuits: a versioned varint encoding used to
+// snapshot compiled lineage (and as the fuzzing surface for the circuit
+// invariants). DecodeCircuit validates everything Eval relies on — node
+// kinds, bottom-up child order, in-range root — so a decoded circuit can be
+// evaluated without bounds checks beyond the slice accesses themselves.
+
+// circuitMagic versions the encoding.
+const circuitMagic = "dnnf1"
+
+// maxCodecNodes bounds decoded circuits so a short malicious header cannot
+// demand a huge allocation.
+const maxCodecNodes = 1 << 24
+
+// EncodeCircuit renders the circuit in the binary codec format.
+func EncodeCircuit(c *Circuit) []byte {
+	buf := append([]byte(nil), circuitMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Nodes)))
+	buf = binary.AppendUvarint(buf, uint64(c.Root))
+	buf = binary.AppendUvarint(buf, uint64(c.Decisions))
+	for _, n := range c.Nodes {
+		buf = append(buf, byte(n.Kind))
+		switch n.Kind {
+		case CLeaf:
+			buf = binary.AppendUvarint(buf, uint64(n.Var))
+		case CDecision:
+			buf = binary.AppendUvarint(buf, uint64(n.Var))
+			buf = binary.AppendUvarint(buf, uint64(n.Hi))
+			buf = binary.AppendUvarint(buf, uint64(n.Lo))
+		case CAnd, CIOr:
+			buf = binary.AppendUvarint(buf, uint64(len(n.Children)))
+			for _, ch := range n.Children {
+				buf = binary.AppendUvarint(buf, uint64(ch))
+			}
+		}
+	}
+	return buf
+}
+
+// circuitDecoder tracks the read position in the encoded byte stream.
+type circuitDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *circuitDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("lineage: circuit codec: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *circuitDecoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("lineage: circuit codec: truncated at offset %d", d.off)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// child decodes one child reference of the node being built at index i,
+// enforcing the bottom-up invariant: every child precedes its parent.
+func (d *circuitDecoder) child(i int) (int32, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v >= uint64(i) {
+		return 0, fmt.Errorf("lineage: circuit codec: node %d references child %d out of bottom-up order", i, v)
+	}
+	return int32(v), nil
+}
+
+// DecodeCircuit parses and validates a circuit from the binary codec
+// format. It rejects unknown node kinds, children that do not precede their
+// parents (dangling or forward references), out-of-range roots and
+// truncated input, so any circuit it returns satisfies Eval's invariants.
+func DecodeCircuit(buf []byte) (*Circuit, error) {
+	if len(buf) < len(circuitMagic) || string(buf[:len(circuitMagic)]) != circuitMagic {
+		return nil, fmt.Errorf("lineage: circuit codec: bad magic")
+	}
+	d := &circuitDecoder{buf: buf, off: len(circuitMagic)}
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > maxCodecNodes {
+		return nil, fmt.Errorf("lineage: circuit codec: node count %d out of range", count)
+	}
+	root, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if root >= count {
+		return nil, fmt.Errorf("lineage: circuit codec: root %d out of range (%d nodes)", root, count)
+	}
+	decisions, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if decisions > count {
+		return nil, fmt.Errorf("lineage: circuit codec: decision count %d exceeds node count %d", decisions, count)
+	}
+	c := &Circuit{Nodes: make([]CircuitNode, 0, count), Root: int32(root), Decisions: int(decisions)}
+	for i := 0; i < int(count); i++ {
+		kindByte, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		n := CircuitNode{Kind: CircuitNodeKind(kindByte)}
+		switch n.Kind {
+		case CFalse, CTrue:
+		case CLeaf:
+			v, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v > uint64(^uint32(0)>>1) {
+				return nil, fmt.Errorf("lineage: circuit codec: node %d variable %d overflows", i, v)
+			}
+			n.Var = Var(v)
+		case CDecision:
+			v, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if v > uint64(^uint32(0)>>1) {
+				return nil, fmt.Errorf("lineage: circuit codec: node %d variable %d overflows", i, v)
+			}
+			n.Var = Var(v)
+			if n.Hi, err = d.child(i); err != nil {
+				return nil, err
+			}
+			if n.Lo, err = d.child(i); err != nil {
+				return nil, err
+			}
+		case CAnd, CIOr:
+			arity, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			// A node can have at most i predecessors as distinct children,
+			// but repeated children are legal; bound the arity by the
+			// remaining input instead so a bogus length cannot allocate
+			// unboundedly.
+			if arity > uint64(len(d.buf)-d.off) {
+				return nil, fmt.Errorf("lineage: circuit codec: node %d arity %d exceeds remaining input", i, arity)
+			}
+			n.Children = make([]int32, arity)
+			for j := range n.Children {
+				if n.Children[j], err = d.child(i); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("lineage: circuit codec: node %d has unknown kind %d", i, kindByte)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("lineage: circuit codec: %d trailing bytes", len(buf)-d.off)
+	}
+	return c, nil
+}

@@ -1,0 +1,42 @@
+package lineage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzCircuitCodec exercises the circuit decoder on arbitrary bytes:
+// malformed input (bad node order, dangling children, truncations, bogus
+// arities) must be rejected with an error, never a panic, and anything that
+// does decode must satisfy Eval's invariants — we prove it by evaluating the
+// circuit and round-tripping it through the codec.
+func FuzzCircuitCodec(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		d := randomDNF(rng, 2+rng.Intn(8), 1+rng.Intn(8), 3)
+		f.Add(EncodeCircuit(Compile(d)))
+	}
+	f.Add([]byte(circuitMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		c, err := DecodeCircuit(buf)
+		if err != nil {
+			return
+		}
+		// Valid by the decoder's contract: Eval must not panic, and the
+		// result must be a probability for any probability assignment.
+		p := func(v Var) float64 { return float64(uint32(v)%97) / 96 }
+		if got := c.Eval(p); got < 0 || got > 1 {
+			t.Fatalf("Eval of decoded circuit = %v, want within [0,1]", got)
+		}
+		reencoded := EncodeCircuit(c)
+		c2, err := DecodeCircuit(reencoded)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(reencoded, EncodeCircuit(c2)) {
+			t.Fatal("encoding not stable across round trips")
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package lineage
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCircuitBitIdenticalToSolver: on random monotone DNFs, the compiled
+// circuit's Eval must reproduce ProbMemoCtx's float exactly (not within a
+// tolerance — the compiler replays the solver's arithmetic), including after
+// the probability table changes under a fixed circuit.
+func TestCircuitBitIdenticalToSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 200; trial++ {
+		nVars := 2 + rng.Intn(10)
+		f := randomDNF(rng, nVars, 1+rng.Intn(10), 3)
+		c, err := CompileCtx(nil, f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-evaluate the one compiled circuit under several probability
+		// tables, as a prob-update refresh would.
+		for round := 0; round < 3; round++ {
+			probs := make([]float64, nVars)
+			for i := range probs {
+				switch rng.Intn(5) {
+				case 0:
+					probs[i] = 1
+				case 1:
+					probs[i] = 0
+				default:
+					probs[i] = rng.Float64()
+				}
+			}
+			p := tableProbs(probs...)
+			want, err := ProbMemoCtx(nil, f, p, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Eval(p); got != want {
+				t.Fatalf("trial %d round %d: circuit Eval = %.17g, solver %.17g (%s)",
+					trial, round, got, want, f.String())
+			}
+		}
+	}
+}
+
+// TestCircuitReadOncePath: formulas on the read-once fast path compile to
+// factorization-shaped circuits (no decision nodes) and still match the
+// solver bit for bit.
+func TestCircuitReadOncePath(t *testing.T) {
+	// (x0 ∧ x1) ∨ (x2 ∧ x3): read-once by or-decomposition.
+	f := &DNF{}
+	f.Add(NewClause(0, 1))
+	f.Add(NewClause(2, 3))
+	c := Compile(f)
+	if c.Decisions != 0 {
+		t.Errorf("read-once circuit has %d decision nodes, want 0", c.Decisions)
+	}
+	p := tableProbs(0.3, 0.7, 0.2, 0.9)
+	want, err := ProbMemoCtx(nil, f, p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(p); got != want {
+		t.Errorf("Eval = %.17g, solver %.17g", got, want)
+	}
+}
+
+// TestCircuitConstants: the degenerate formulas evaluate to their constants
+// through CircuitProbCtx without consulting the cache.
+func TestCircuitConstants(t *testing.T) {
+	cache := NewCircuitCache(CircuitCacheConfig{})
+	p := func(Var) float64 { return 0.5 }
+	if got, err := CircuitProbCtx(nil, &DNF{}, p, 0, cache, nil); err != nil || got != 0 {
+		t.Errorf("false formula: (%v, %v), want (0, nil)", got, err)
+	}
+	taut := &DNF{}
+	taut.Add(NewClause())
+	taut.Add(NewClause(1, 2))
+	if got, err := CircuitProbCtx(nil, taut, p, 0, cache, nil); err != nil || got != 1 {
+		t.Errorf("tautology: (%v, %v), want (1, nil)", got, err)
+	}
+	if st := cache.Stats(); st.Compiles != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("constants touched the cache: %+v", st)
+	}
+}
+
+// TestCircuitBudget: compilation charges the same per-expansion budget as
+// the solver and surfaces ErrBudget; a cached circuit re-evaluates without
+// charging.
+func TestCircuitBudget(t *testing.T) {
+	f := chainDNF(2000)
+	p := func(Var) float64 { return 0.5 }
+	if _, err := CompileCtx(nil, f, 10); !errors.Is(err, ErrBudget) {
+		t.Fatalf("CompileCtx(budget=10) err = %v, want ErrBudget", err)
+	}
+	cache := NewCircuitCache(CircuitCacheConfig{})
+	small := chainDNF(40)
+	want, err := ProbMemoCtx(nil, small, p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := CircuitProbCtx(nil, small, p, 0, cache, nil); err != nil || got != want {
+		t.Fatalf("cold CircuitProbCtx = (%v, %v), want (%v, nil)", got, err, want)
+	}
+	// Warm: a budget far too small to compile must still succeed via the
+	// cache (hits charge nothing, like shared-memo hits).
+	if got, err := CircuitProbCtx(nil, small, p, 1, cache, nil); err != nil || got != want {
+		t.Fatalf("warm CircuitProbCtx(budget=1) = (%v, %v), want (%v, nil)", got, err, want)
+	}
+	st := cache.Stats()
+	if st.Compiles != 1 || st.Hits != 1 || st.Evals != 2 {
+		t.Errorf("cache stats = %+v, want 1 compile, 1 hit, 2 evals", st)
+	}
+}
+
+// TestCircuitCancellation: a cancelled ExecContext unwinds compilation
+// promptly with the context error.
+func TestCircuitCancellation(t *testing.T) {
+	f := chainDNF(1200)
+	start := time.Now()
+	_, err := CompileCtx(cancelledEC(), f, 1<<30)
+	if err == nil {
+		t.Fatal("CompileCtx on cancelled context returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestCircuitCacheLRUAndReset: the cache evicts least-recently-used circuits
+// past its entry cap, and Reset drops entries while counters accumulate.
+func TestCircuitCacheLRUAndReset(t *testing.T) {
+	cache := NewCircuitCache(CircuitCacheConfig{MaxEntries: 2})
+	p := func(Var) float64 { return 0.5 }
+	formulas := make([]*DNF, 3)
+	for i := range formulas {
+		f := &DNF{}
+		// Distinct non-read-once cores so each compiles its own circuit.
+		base := Var(10 * i)
+		f.Add(NewClause(base, base+1))
+		f.Add(NewClause(base+1, base+2))
+		f.Add(NewClause(base+2, base))
+		formulas[i] = f
+		if _, err := CircuitProbCtx(nil, f, p, 0, cache, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("after 3 inserts with cap 2: %+v, want 2 entries, 1 eviction", st)
+	}
+	// formulas[0] was evicted: re-running it compiles again.
+	if _, err := CircuitProbCtx(nil, formulas[0], p, 0, cache, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Compiles != 4 {
+		t.Errorf("compiles = %d, want 4 (eviction forced a recompile)", st.Compiles)
+	}
+	cache.Reset()
+	if st := cache.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("after Reset: %+v, want empty", st)
+	}
+	if st := cache.Stats(); st.Compiles != 4 {
+		t.Errorf("Reset cleared the compile counter: %+v", st)
+	}
+}
+
+// TestCircuitStatsAccumulator: the per-evaluation accumulator distinguishes
+// compiles from hits and is nil-safe.
+func TestCircuitStatsAccumulator(t *testing.T) {
+	cache := NewCircuitCache(CircuitCacheConfig{})
+	p := func(Var) float64 { return 0.5 }
+	f := chainDNF(20)
+	var st CircuitStats
+	if _, err := CircuitProbCtx(nil, f, p, 0, cache, &st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CircuitProbCtx(nil, f, p, 0, cache, &st); err != nil {
+		t.Fatal(err)
+	}
+	compiles, hits, evals := st.Snapshot()
+	if compiles != 1 || hits != 1 || evals != 2 {
+		t.Errorf("accumulator = (%d, %d, %d), want (1, 1, 2)", compiles, hits, evals)
+	}
+	var nilStats *CircuitStats
+	if c, h, e := nilStats.Snapshot(); c != 0 || h != 0 || e != 0 {
+		t.Errorf("nil Snapshot = (%d, %d, %d), want zeros", c, h, e)
+	}
+	if _, err := CircuitProbCtx(nil, f, p, 0, nil, nil); err != nil {
+		t.Fatalf("nil cache and stats: %v", err)
+	}
+}
+
+// TestCircuitCodecRoundTrip: Encode/Decode preserves compiled circuits and
+// their evaluations exactly.
+func TestCircuitCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 50; trial++ {
+		nVars := 2 + rng.Intn(9)
+		f := randomDNF(rng, nVars, 1+rng.Intn(9), 3)
+		c := Compile(f)
+		buf := EncodeCircuit(c)
+		got, err := DecodeCircuit(buf)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !bytes.Equal(buf, EncodeCircuit(got)) {
+			t.Fatalf("trial %d: re-encode differs", trial)
+		}
+		probs := make([]float64, nVars)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		p := tableProbs(probs...)
+		if a, b := c.Eval(p), got.Eval(p); a != b {
+			t.Fatalf("trial %d: decoded circuit Eval = %.17g, original %.17g", trial, b, a)
+		}
+	}
+}
+
+// TestCircuitCodecRejectsMalformed: the documented invariant violations are
+// rejected with errors rather than producing circuits that could crash Eval.
+func TestCircuitCodecRejectsMalformed(t *testing.T) {
+	f := &DNF{}
+	f.Add(NewClause(0, 1))
+	f.Add(NewClause(1, 2))
+	valid := EncodeCircuit(Compile(f))
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      []byte("nope!"),
+		"truncated":      valid[:len(valid)-2],
+		"trailing bytes": append(append([]byte(nil), valid...), 0),
+	}
+	for name, buf := range cases {
+		if _, err := DecodeCircuit(buf); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// Forward reference: a decision node at index 0 has no possible children.
+	forward := append([]byte(circuitMagic), 1, 0, 1, byte(CDecision), 5, 0, 0)
+	if _, err := DecodeCircuit(forward); err == nil {
+		t.Error("forward-referencing decision decoded without error")
+	}
+	// Unknown kind.
+	unknown := append([]byte(circuitMagic), 1, 0, 0, 99)
+	if _, err := DecodeCircuit(unknown); err == nil {
+		t.Error("unknown node kind decoded without error")
+	}
+	// Root out of range.
+	badRoot := append([]byte(circuitMagic), 1, 7, 0, byte(CTrue))
+	if _, err := DecodeCircuit(badRoot); err == nil {
+		t.Error("out-of-range root decoded without error")
+	}
+}

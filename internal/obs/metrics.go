@@ -82,6 +82,13 @@ type Registry struct {
 	memoEvictions uint64
 	consHits      uint64
 
+	// Compiled-circuit counters (knowledge-compilation layer): lineage
+	// formulas compiled to d-DNNF circuits, answers served from
+	// already-compiled structure, and linear evaluation passes run.
+	circuitCompiles uint64
+	circuitHits     uint64
+	circuitEvals    uint64
+
 	// Adaptive-planner counters: plan choices by source ("safe", "greedy",
 	// "body"), per-answer inference-backend choices and deterministic
 	// fallthroughs by backend label, and answers whose first-ranked backend
@@ -200,6 +207,9 @@ func (r *Registry) ObserveQuery(o QueryObservation) {
 		r.memoMisses += uint64(o.Stats.MemoMisses)
 		r.memoEvictions += uint64(o.Stats.MemoEvictions)
 		r.consHits += uint64(o.Stats.ConsHits)
+		r.circuitCompiles += uint64(o.Stats.CircuitCompiles)
+		r.circuitHits += uint64(o.Stats.CircuitHits)
+		r.circuitEvals += uint64(o.Stats.CircuitEvals)
 		if o.Stats.PlanSource != "" {
 			if r.plannerPlans == nil {
 				r.plannerPlans = make(map[string]uint64)
@@ -418,6 +428,9 @@ func (r *Registry) snapshot() map[string]any {
 		"memo_misses_total":               r.memoMisses,
 		"memo_evictions_total":            r.memoEvictions,
 		"cons_hits_total":                 r.consHits,
+		"circuit_compiles_total":          r.circuitCompiles,
+		"circuit_hits_total":              r.circuitHits,
+		"circuit_evals_total":             r.circuitEvals,
 		"planner_plans_total":             copyMap(r.plannerPlans),
 		"planner_backend_chosen_total":    copyMap(r.plannerBackendChosen),
 		"planner_backend_fallbacks_total": copyMap(r.plannerBackendFallbacks),
@@ -480,6 +493,9 @@ func MetricNames() []string {
 		"pdb_memo_misses_total",
 		"pdb_memo_evictions_total",
 		"pdb_cons_hits_total",
+		"pdb_circuit_compiles_total",
+		"pdb_circuit_hits_total",
+		"pdb_circuit_evals_total",
 		"pdb_planner_plans_total",
 		"pdb_planner_backend_chosen_total",
 		"pdb_planner_backend_fallbacks_total",
@@ -570,6 +586,12 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		"Entries evicted from the shared inference memo tables by their size caps.", r.memoEvictions)
 	promScalar(&b, "pdb_cons_hits_total", "counter",
 		"AddGate calls answered by the AND-OR network's hash-consing table instead of allocating a node.", r.consHits)
+	promScalar(&b, "pdb_circuit_compiles_total", "counter",
+		"Lineage formulas compiled to cached d-DNNF circuits across all evaluations.", r.circuitCompiles)
+	promScalar(&b, "pdb_circuit_hits_total", "counter",
+		"Answers served from already-compiled circuit structure in the circuit cache.", r.circuitHits)
+	promScalar(&b, "pdb_circuit_evals_total", "counter",
+		"Linear bottom-up circuit evaluation passes run by the compiled-circuit backend.", r.circuitEvals)
 
 	promLabeled(&b, "pdb_planner_plans_total", "counter",
 		"Query-level plan choices by the adaptive planner, by source (safe, greedy, body).", "source", r.plannerPlans)

@@ -20,6 +20,7 @@ func feed(r *Registry) {
 		Duration: 800 * time.Microsecond,
 		Stats: &core.Stats{Answers: 3, OffendingTuples: 2, RowsCharged: 23, NodesCharged: 5,
 			MemoHits: 12, MemoMisses: 30, MemoEvictions: 1, ConsHits: 4,
+			CircuitCompiles: 2, CircuitHits: 5, CircuitEvals: 7,
 			SpilledPartitions: 3, SpillBytes: 4096},
 	})
 	r.ObserveQuery(QueryObservation{

@@ -38,6 +38,14 @@ const (
 	// bounds-valued evaluations (Profile.WantBounds) — interval results
 	// cannot substitute for the point estimates the other backends produce.
 	BackendDissociation
+	// BackendCircuit is the compiled-circuit evaluator (engine label
+	// "circuit"): the expanded DNF lineage is compiled to a d-DNNF circuit
+	// cached on its canonical fingerprint, and confidence is one linear
+	// bottom-up pass. It is ranked only when Profile.Circuits is set —
+	// substituting positionally for BackendShannon, whose floats it
+	// reproduces bit for bit — so enabling the circuit cache changes speed,
+	// never answer bytes.
+	BackendCircuit
 )
 
 // String names the backend with the engine's trace label.
@@ -51,6 +59,8 @@ func (b Backend) String() string {
 		return "jtree"
 	case BackendDissociation:
 		return "dissociation"
+	case BackendCircuit:
+		return "circuit"
 	default:
 		return "sample"
 	}
@@ -81,6 +91,13 @@ type Profile struct {
 	// does Rank consider BackendDissociation; point-estimate evaluations
 	// never see it, so existing rankings are unchanged by construction.
 	WantBounds bool
+	// Circuits reports that the evaluation carries a compiled-circuit
+	// cache — the engine sets it for multi-answer evaluations and
+	// materialized views, exactly the workloads where compiling once
+	// amortizes over shared cores and prob-update refreshes. Rank then
+	// routes expanded-DNF answers to BackendCircuit in the position
+	// BackendShannon would otherwise occupy.
+	Circuits bool
 }
 
 // CostModel holds the thresholds that drive backend ranking. The zero value
@@ -139,13 +156,27 @@ func (m CostModel) BoundsFirst(p Profile) bool {
 	return p.WantBounds && p.Expanded && !m.shannonFirst(p)
 }
 
+// exactDNF returns the backend that solves the expanded DNF exactly: the
+// compiled-circuit evaluator when the evaluation carries a circuit cache,
+// else the plain Shannon solver. The circuit compiler replays the Shannon
+// recursion, so the two produce bit-identical floats and the substitution
+// never changes which answers fall through the ranking.
+func (m CostModel) exactDNF(p Profile) Backend {
+	if p.Circuits {
+		return BackendCircuit
+	}
+	return BackendShannon
+}
+
 // Rank returns the backend attempt order for the profile, most promising
 // first. The last element is always BackendSample. The ranking is a pure
 // function of (p, m).
 //
 // With Profile.WantBounds set (bounds-valued evaluations only), the
 // dissociation evaluator leads the ranking for unsafe answers (BoundsFirst);
-// without it the ranking is identical to the point-estimate ranking.
+// without it the ranking is identical to the point-estimate ranking. With
+// Profile.Circuits set, BackendCircuit takes BackendShannon's position (see
+// exactDNF); the ranking shape is otherwise unchanged.
 func (m CostModel) Rank(p Profile) []Backend {
 	if m.BoundsFirst(p) {
 		q := p
@@ -167,11 +198,11 @@ func (m CostModel) Rank(p Profile) []Backend {
 	}
 	var rank []Backend
 	if shannonFirst {
-		rank = append([]Backend{BackendShannon}, exact...)
+		rank = append([]Backend{m.exactDNF(p)}, exact...)
 	} else {
 		rank = exact
 		if p.Expanded {
-			rank = append(rank, BackendShannon)
+			rank = append(rank, m.exactDNF(p))
 		}
 	}
 	return append(rank, BackendSample)

@@ -73,6 +73,10 @@ type Config struct {
 	// DisableCache turns the result cache off entirely: every request
 	// evaluates, as before the cache existed.
 	DisableCache bool
+	// NoCircuit disables the compiled-circuit exact backend for every
+	// request, as if each carried no_circuit. Ablation knob; answers are
+	// bit-identical either way.
+	NoCircuit bool
 	// MemBudget bounds operator scratch memory per evaluation, in bytes:
 	// join/dedup partitions past it spill to temp files and the answers
 	// stay byte-identical (docs/SPILL.md). Zero means unlimited. A request
@@ -296,6 +300,10 @@ type QueryRequest struct {
 	// safe-plan-else-body-order plans and the fixed legacy inference
 	// backend order. Ablation knob; answers are equivalent either way.
 	NoAdaptivePlan bool `json:"no_adaptive_plan,omitempty"`
+	// NoCircuit disables the compiled-circuit exact backend for this
+	// request: exact inference reverts to the memoized Shannon solver.
+	// Ablation knob; answers are bit-identical either way.
+	NoCircuit bool `json:"no_circuit,omitempty"`
 }
 
 // AnswerRow is one answer: head values (rendered as strings) and its
@@ -574,6 +582,7 @@ func (s *Server) evaluateUncached(ctx context.Context, req *QueryRequest, start 
 		Trace:       req.Trace,
 
 		NoAdaptivePlan: req.NoAdaptivePlan,
+		NoCircuit:      req.NoCircuit || s.cfg.NoCircuit,
 	}
 	opts.Budget.Mem = s.cfg.MemBudget
 	if req.Budget != nil {

@@ -166,3 +166,14 @@ func (v *Materialized) Result() *Result {
 // Relations returns the view's sorted dependency set: the relations whose
 // mutations can change its answers.
 func (v *Materialized) Relations() []string { return v.q.Relations() }
+
+// CircuitStats reports the view's compiled-circuit cache counters: compiles
+// grow when answers are first solved (and on structural recomputes, which
+// drop compiled structure), hits and evals when patched refreshes re-evaluate
+// retained circuits in linear time. All zero when the view was materialized
+// with Options.NoCircuit.
+func (v *Materialized) CircuitStats() CircuitCacheStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.m.CircuitStats()
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/inference"
+	"repro/internal/lineage"
 	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/query"
@@ -99,6 +100,11 @@ type Stats = core.Stats
 // results stay byte-identical to unbounded execution (docs/SPILL.md). Zero
 // fields are unlimited.
 type Budget = core.Budget
+
+// CircuitCacheStats reports compiled-circuit cache counters (compiles, hits,
+// misses, evals, evictions, resident entries and bytes); returned by
+// Database.CircuitCacheStats and Materialized.CircuitStats.
+type CircuitCacheStats = lineage.CircuitCacheStats
 
 // Budget-exhaustion errors, matchable with errors.Is. Time exhaustion
 // surfaces as context.DeadlineExceeded, cancellation as context.Canceled.
@@ -179,6 +185,13 @@ type Options struct {
 	// legacy backend order. Ablation knob; answers are equivalent either
 	// way (see docs/PLANNER.md).
 	NoAdaptivePlan bool
+	// NoCircuit disables the compiled-circuit exact backend: per-answer
+	// exact inference reverts to the memoized Shannon solver and prob-update
+	// refreshes of materialized views re-solve instead of re-evaluating
+	// cached d-DNNF circuits. Ablation knob: answers are bit-identical with
+	// and without it (the circuit compiler replays the Shannon recursion),
+	// so the flag changes speed and Stats.Circuit* counters, never bytes.
+	NoCircuit bool
 	// ExactBudget caps the exact solver's Shannon expansions per answer
 	// before the strategy's fallback engages (0 = engine default 500000,
 	// < 0 = unlimited). Under StrategyDissociation a starved exact pass
@@ -213,6 +226,7 @@ func (o Options) engineOptions() engine.Options {
 		NoPool:      o.NoPool,
 
 		NoAdaptivePlan: o.NoAdaptivePlan,
+		NoCircuit:      o.NoCircuit,
 		ExactBudget:    o.ExactBudget,
 		// The process-wide sink: backend attempt telemetry for metrics and
 		// the pdbbench calibration report. Observability only — never an
@@ -257,6 +271,16 @@ type Database struct {
 	// deltas is the bounded mutation log; see Delta and DeltasSince.
 	deltas   []Delta
 	deltaSeq int64 // seq of the last appended delta
+
+	// circuits is the database-shared compiled-circuit cache, attached to
+	// every evaluation unless Options.NoCircuit: answers whose canonical
+	// lineage fingerprint was compiled before — by the same query or any
+	// other — are served by a linear circuit evaluation instead of a Shannon
+	// re-solve. Keys are structure-only (clause sets, not probabilities), so
+	// mutations never make entries wrong: prob-updates re-evaluate the same
+	// structure with new leaf probabilities, and structural writes produce
+	// new keys while stale entries age out of the LRU.
+	circuits *lineage.CircuitCache
 }
 
 // maxDeltaLog bounds the retained mutation log. Refreshers that fall behind
@@ -266,7 +290,11 @@ const maxDeltaLog = 4096
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{db: relation.NewDatabase(), relVersions: make(map[string]int64)}
+	return &Database{
+		db:          relation.NewDatabase(),
+		relVersions: make(map[string]int64),
+		circuits:    lineage.NewCircuitCache(lineage.CircuitCacheConfig{}),
+	}
 }
 
 // LoadDatabase reads a database from a directory of <name>.csv files as
@@ -277,7 +305,11 @@ func LoadDatabase(dir string) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Database{db: db, relVersions: make(map[string]int64)}
+	out := &Database{
+		db:          db,
+		relVersions: make(map[string]int64),
+		circuits:    lineage.NewCircuitCache(lineage.CircuitCacheConfig{}),
+	}
 	for _, name := range db.Names() {
 		out.relVersions[name] = 1
 	}
@@ -298,6 +330,15 @@ func (d *Database) SaveDir(dir string) error {
 // versions (VersionVector) so unrelated writes don't invalidate it; Version
 // remains the coarse "did anything change at all?" signal.
 func (d *Database) Version() int64 { return d.version.Load() }
+
+// CircuitCacheStats reports the database-shared compiled-circuit cache's
+// counters: how many lineage formulas were compiled to d-DNNF circuits, how
+// many answers were served from already-compiled structure, and what the
+// cache currently holds. The cache is shared across queries, so hits here
+// include cross-query reuse of common lineage cores.
+func (d *Database) CircuitCacheStats() CircuitCacheStats {
+	return d.circuits.Stats()
+}
 
 // RelationVersion returns the named relation's mutation counter: 0 if the
 // relation was never created, otherwise 1 at creation plus 1 per mutation
@@ -889,8 +930,10 @@ func (d *Database) Evaluate(q *Query, opts Options) (*Result, error) {
 // and the rows/nodes charged, so Trace/Explain show where the time went.
 func (d *Database) EvaluateContext(ctx context.Context, q *Query, opts Options) (*Result, error) {
 	start := time.Now()
+	eo := opts.engineOptions()
+	eo.Circuits = d.circuits
 	d.mu.RLock()
-	res, err := engine.EvaluateQueryContext(ctx, d.db, q.q, opts.engineOptions())
+	res, err := engine.EvaluateQueryContext(ctx, d.db, q.q, eo)
 	d.mu.RUnlock()
 	if err != nil {
 		partial := wrapPartial(res, q)
@@ -942,8 +985,10 @@ func (d *Database) EvaluateWithPlan(q *Query, p *Plan, opts Options) (*Result, e
 // EvaluateContext (including the partial Result accompanying abort errors).
 func (d *Database) EvaluateWithPlanContext(ctx context.Context, q *Query, p *Plan, opts Options) (*Result, error) {
 	start := time.Now()
+	eo := opts.engineOptions()
+	eo.Circuits = d.circuits
 	d.mu.RLock()
-	res, err := engine.EvaluateContext(ctx, d.db, q.q, p.p, opts.engineOptions())
+	res, err := engine.EvaluateContext(ctx, d.db, q.q, p.p, eo)
 	d.mu.RUnlock()
 	if err != nil {
 		partial := wrapPartial(res, q)
